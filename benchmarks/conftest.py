@@ -1,0 +1,32 @@
+"""Benchmark configuration.
+
+Environment knobs:
+
+* ``REPRO_BENCH_PROGRAMS`` — comma-separated subset (default: all 19);
+* ``REPRO_BENCH_SCALE`` — workload SCALE override (default: the
+  programs' built-in sizes, as the figures are meant to be run).
+
+Each figure benchmark regenerates its table once (pedantic, one round)
+and prints it, so ``pytest benchmarks/ --benchmark-only -s`` reproduces
+the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.benchsuite import PROGRAMS
+
+
+@pytest.fixture(scope="session")
+def bench_programs() -> list[str]:
+    names = os.environ.get("REPRO_BENCH_PROGRAMS")
+    return names.split(",") if names else list(PROGRAMS)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> int | None:
+    scale = os.environ.get("REPRO_BENCH_SCALE")
+    return int(scale) if scale else None

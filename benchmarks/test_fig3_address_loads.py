@@ -1,0 +1,33 @@
+"""Figure 3: static fraction of address loads removed.
+
+Paper: OM-simple converts essentially all convertible loads and
+nullifies about as many — about half of all address loads removed;
+OM-full eliminates nearly all of them.
+"""
+
+from repro.experiments import fig3_rows
+from repro.experiments.report import print_figure
+
+
+def test_fig3_address_loads(benchmark, bench_programs, bench_scale):
+    keys, rows = benchmark.pedantic(
+        fig3_rows,
+        kwargs={"programs": bench_programs, "scale": bench_scale},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print_figure("fig3", keys, rows, percent=True)
+
+    mean = rows[-1]
+    # OM-simple removes a substantial fraction (paper: ~half).
+    simple_removed = mean["each_simple_conv"] + mean["each_simple_null"]
+    assert 0.25 <= simple_removed <= 0.9
+    # OM-full eliminates nearly all address loads.
+    full_removed = mean["each_full_conv"] + mean["each_full_null"]
+    assert full_removed >= 0.8
+    assert full_removed >= simple_removed
+    # Compile-all behaves comparably (paper: OM's ability is not
+    # dependent on prior interprocedural optimization).
+    all_full = mean["all_full_conv"] + mean["all_full_null"]
+    assert abs(all_full - full_removed) < 0.2

@@ -1,0 +1,33 @@
+"""Figure 4: static fraction of calls requiring PV-loads and GP-resets.
+
+Paper: even compile-all leaves ~85% of calls fully bookkept; OM-simple
+converts JSRs to BSRs but cannot nullify most PV-loads (compile-time
+scheduling moved the GP-setup it would skip); OM-full removes all but
+the calls through procedure variables.
+"""
+
+from repro.experiments import fig4_rows
+from repro.experiments.report import print_figure
+
+
+def test_fig4_call_overhead(benchmark, bench_programs, bench_scale):
+    keys, rows = benchmark.pedantic(
+        fig4_rows,
+        kwargs={"programs": bench_programs, "scale": bench_scale},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print_figure("fig4", keys, rows, percent=True)
+
+    mean = rows[-1]
+    # Without OM, nearly all calls carry the full bookkeeping.
+    assert mean["each_none_pv"] >= 0.85
+    assert mean["each_none_reset"] >= 0.85
+    assert mean["all_none_pv"] >= 0.80  # interproc helps only a little
+    # OM-simple: most PV loads stay, most GP-resets go.
+    assert mean["each_simple_pv"] >= 0.5
+    assert mean["each_simple_reset"] <= 0.2
+    # OM-full: only procedure-variable calls remain.
+    assert mean["each_full_pv"] <= 0.15
+    assert mean["each_full_reset"] <= 0.05

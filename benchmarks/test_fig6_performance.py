@@ -1,0 +1,39 @@
+"""Figure 6: dynamic improvement relative to the program without
+link-time optimization.
+
+Paper: OM-simple improves compile-each programs by 1.5% on average
+(median 0.6%), OM-full by 3.8% (median 2.8%); on compile-all versions
+1.35% and 3.4% — about 90% of the compile-each improvement.
+Rescheduling adds only a little (3.8% -> 4.2%).
+"""
+
+import statistics
+
+from repro.experiments import fig6_rows
+from repro.experiments.report import print_figure
+
+
+def test_fig6_dynamic_improvement(benchmark, bench_programs, bench_scale):
+    keys, rows = benchmark.pedantic(
+        fig6_rows,
+        kwargs={"programs": bench_programs, "scale": bench_scale},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print_figure("fig6", keys, rows, percent=False)
+
+    mean = rows[-1]
+    body = rows[:-1]
+    # OM-simple helps, OM-full helps more, on both versions.
+    assert mean["each_simple"] > 0.3
+    assert mean["each_full"] > mean["each_simple"]
+    assert mean["all_full"] > mean["all_simple"] > 0.2
+    # Compile-all retains most of the compile-each benefit (paper: 90%).
+    assert mean["all_full"] >= 0.6 * mean["each_full"]
+    # Medians land in a plausible band around the paper's 2.8%.
+    median_full = statistics.median(row["each_full"] for row in body)
+    assert median_full > 0.5
+    # Rescheduling changes things only modestly on average.
+    if "each_full-sched" in mean:
+        assert mean["each_full-sched"] >= mean["each_full"] - 1.0

@@ -1,0 +1,60 @@
+"""Figure 7: build-time comparison.
+
+Paper: a standard link takes fractions of a second; OM adds modest
+overhead (even OM-full handles any benchmark in a couple of seconds);
+rebuilding from source with interprocedural optimization is one to two
+orders of magnitude slower; link-time scheduling is the expensive OM
+step.
+"""
+
+from repro.benchsuite import build_stdlib
+from repro.experiments import fig7_rows
+from repro.experiments.build import build_objects
+from repro.experiments.report import print_figure
+from repro.linker import link
+from repro.om import OMLevel, OMOptions, om_link
+
+#: A representative subset for the per-operation timing benchmarks.
+REPRESENTATIVE = "li"
+
+
+def test_fig7_build_time_table(benchmark, bench_programs, bench_scale):
+    keys, rows = benchmark.pedantic(
+        fig7_rows,
+        kwargs={"programs": bench_programs, "scale": bench_scale},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print_figure("fig7", keys, rows, percent=False)
+
+    mean = rows[-1]
+    # Orderings the paper reports.
+    assert mean["ld"] <= mean["om_none"] <= mean["om_full"] * 1.05
+    assert mean["om_simple"] <= mean["om_full"] * 1.2
+    assert mean["interproc_build"] > mean["ld"]
+    assert mean["om_sched"] >= mean["om_full"]
+
+
+def test_bench_standard_link(benchmark, bench_scale):
+    objects, lib = build_objects(REPRESENTATIVE, "each", bench_scale)
+    benchmark(lambda: link(objects, [lib]))
+
+
+def test_bench_om_simple(benchmark, bench_scale):
+    objects, lib = build_objects(REPRESENTATIVE, "each", bench_scale)
+    benchmark(lambda: om_link(objects, [lib], level=OMLevel.SIMPLE))
+
+
+def test_bench_om_full(benchmark, bench_scale):
+    objects, lib = build_objects(REPRESENTATIVE, "each", bench_scale)
+    benchmark(lambda: om_link(objects, [lib], level=OMLevel.FULL))
+
+
+def test_bench_om_full_sched(benchmark, bench_scale):
+    objects, lib = build_objects(REPRESENTATIVE, "each", bench_scale)
+    benchmark(
+        lambda: om_link(
+            objects, [lib], level=OMLevel.FULL, options=OMOptions(schedule=True)
+        )
+    )

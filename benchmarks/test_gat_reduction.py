@@ -1,0 +1,22 @@
+"""§5.1's GAT statistic: OM-full reduces the GAT by an order of
+magnitude, to 3-15% of its original size."""
+
+from repro.experiments import gat_rows
+from repro.experiments.report import print_figure
+
+
+def test_gat_reduction(benchmark, bench_programs, bench_scale):
+    keys, rows = benchmark.pedantic(
+        gat_rows,
+        kwargs={"programs": bench_programs, "scale": bench_scale},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print_figure("gat", keys, rows, percent=False)
+
+    mean = rows[-1]
+    # Order-of-magnitude shrink on average (paper band: 3-15%).
+    assert mean["ratio"] <= 0.25
+    for row in rows[:-1]:
+        assert row["gat_after"] <= row["gat_before"]

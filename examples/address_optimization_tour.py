@@ -1,0 +1,72 @@
+"""A guided tour of the paper's transformations, with disassembly.
+
+Shows one small procedure before and after OM-simple and OM-full:
+address loads turning into GP-relative references or vanishing, the
+call-site bookkeeping (PV-load, JSR, GP-reset) collapsing to a bare BSR,
+and the GAT shrinking.
+
+Run:  python examples/address_optimization_tour.py
+"""
+
+from repro.benchsuite import build_stdlib
+from repro.isa.disasm import disassemble
+from repro.linker import link, make_crt0
+from repro.minicc import compile_module
+from repro.om import OMLevel, om_link
+
+SOURCE = """
+int counter;
+int flags;
+extern int helper(int x);
+
+int main() {
+    counter = helper(flags) + 1;
+    __putint(counter);
+    return 0;
+}
+"""
+
+HELPER = "int helper(int x) { return x + 41; }"
+
+
+def show(title: str, executable) -> None:
+    print(f"--- {title} " + "-" * (60 - len(title)))
+    proc = executable.proc_named("main")
+    start = proc.addr - executable.segments[0].vaddr
+    body = executable.text_bytes()[start : start + proc.size]
+    for line in disassemble(body, proc.addr):
+        print(" ", line)
+    print(f"  (GAT: {executable.gat_size} bytes, GP = {executable.gp:#x})\n")
+
+
+def main() -> None:
+    objects = [
+        make_crt0(),
+        compile_module(SOURCE, "main.o"),
+        compile_module(HELPER, "helper.o"),
+    ]
+    libmc = build_stdlib()
+
+    print("The conservative model: every global via a GAT address load")
+    print("(ldq rX, slot(gp)), calls = PV-load + jsr + 2-instruction GP")
+    print("reset.  Watch them disappear.\n")
+
+    show("standard link (no LTO)", link(objects, [libmc]))
+    simple = om_link(objects, [libmc], level=OMLevel.SIMPLE)
+    show("OM-simple: replacement only, no code motion", simple.executable)
+    print(
+        "  note the NOPs where address loads and GP-resets used to be,\n"
+        "  GP-relative lda/ldq ...(gp) references, and jsr -> bsr.\n"
+    )
+    full = om_link(objects, [libmc], level=OMLevel.FULL)
+    show("OM-full: moves GP setup, deletes instructions", full.executable)
+    print(
+        f"  instructions deleted: {full.counters.instructions_deleted}, "
+        f"PV-loads removed: {full.counters.pv_loads_removed}, "
+        f"GP-resets removed: {full.counters.gp_resets_removed}, "
+        f"entry setups removed: {full.counters.entry_setups_removed}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""The paper's §6 alternative: optimistic compilation (the MIPS -G scheme).
+
+Instead of optimizing at link time, compile each module *assuming* its
+small variables will land within the GP window — one `lda` instead of a
+GAT load.  The gamble usually pays; when the program's data outgrows the
+window, the linker refuses to link and the programmer must recompile
+with a lower threshold — the burden-shifting the paper criticizes.
+
+Run:  python examples/optimistic_compilation.py
+"""
+
+from repro.benchsuite import build_stdlib
+from repro.linker import LinkError, link, make_crt0
+from repro.machine import run
+from repro.minicc import Options, compile_module
+
+SMALL = """
+int hits;
+int misses;
+int main() {
+    int i;
+    for (i = 0; i < 50; i++) {
+        if (i % 3) { hits += 1; } else { misses += 1; }
+    }
+    __putint(hits);
+    __putint(misses);
+    return 0;
+}
+"""
+
+TOO_BIG = """
+int table_a[8192];
+int table_b[8192];
+int tiny;
+int main() {
+    table_a[0] = 1;
+    table_b[0] = 2;
+    tiny = table_a[0] + table_b[0];
+    __putint(tiny);
+    return 0;
+}
+"""
+
+
+def build_and_run(source: str, threshold: int):
+    crt0 = make_crt0()
+    lib = build_stdlib()
+    obj = compile_module(source, "m.o", Options(small_data_threshold=threshold))
+    exe = link([crt0, obj], [lib])
+    return run(exe)
+
+
+def main() -> None:
+    print("Optimistic build of a small program (-G 64):")
+    result = build_and_run(SMALL, threshold=64)
+    conservative = build_and_run(SMALL, threshold=0)
+    print("  output:", result.output.split())
+    print(
+        f"  cycles: {conservative.cycles} (conservative) -> {result.cycles} "
+        "(optimistic): address loads became 1-for-1 address computations,\n"
+        f"  so the instruction count is unchanged but "
+        f"{conservative.dcache_misses - result.dcache_misses} data-cache "
+        "misses and the GAT load latencies disappear.\n"
+    )
+
+    print("Optimistic build of a program with 128KB of arrays (-G 64):")
+    try:
+        build_and_run(TOO_BIG, threshold=64)
+        print("  unexpectedly linked!")
+    except LinkError as exc:
+        print(f"  LINK FAILED, as the paper describes: {exc}")
+        print("  (recompile with a lower threshold, i.e. -G 0)")
+    result = build_and_run(TOO_BIG, threshold=0)
+    print("  conservative rebuild output:", result.output.split())
+    print(
+        "\nThe paper's point: an optimizing linker makes this tradeoff "
+        "per program, automatically, instead of making the programmer "
+        "pick compiler switches."
+    )
+
+
+if __name__ == "__main__":
+    main()

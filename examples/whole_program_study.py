@@ -1,0 +1,59 @@
+"""Reproduce the paper's measurement protocol on one benchmark.
+
+Builds a SPEC92-named benchmark in both of the paper's versions
+(compile-each and compile-all), links each with the standard linker
+and with OM at both levels, verifies bit-identical output, and prints
+the static and dynamic rows the evaluation section reports.
+
+Run:  python examples/whole_program_study.py [program]
+"""
+
+import sys
+
+from repro.benchsuite import PROGRAMS, build_program, build_stdlib
+from repro.linker import link, make_crt0
+from repro.machine import run
+from repro.om import OMLevel, OMOptions, om_link
+
+
+def study(name: str) -> None:
+    libmc = build_stdlib()
+    crt0 = make_crt0()
+    print(f"=== {name} ===")
+    for mode in ("each", "all"):
+        objects = [crt0] + build_program(name, mode)
+        baseline = run(link(objects, [libmc]))
+        print(f"\ncompile-{mode}: baseline {baseline.cycles} cycles, "
+              f"{baseline.instructions} instructions")
+
+        for level, schedule in (
+            (OMLevel.SIMPLE, False),
+            (OMLevel.FULL, False),
+            (OMLevel.FULL, True),
+        ):
+            result = om_link(
+                objects, [libmc], level=level, options=OMOptions(schedule=schedule)
+            )
+            timed = run(result.executable)
+            assert timed.output == baseline.output
+            stats = result.stats
+            label = level.value + ("+sched" if schedule else "")
+            improvement = 100.0 * (baseline.cycles - timed.cycles) / baseline.cycles
+            removed = stats.frac_loads_removed
+            print(
+                f"  OM-{label:12s} perf {improvement:+5.2f}%   "
+                f"addr loads removed {100 * removed:5.1f}%   "
+                f"instrs -{100 * stats.frac_instructions_nullified:4.1f}%   "
+                f"GAT {stats.gat_bytes_before}B -> {stats.gat_bytes_after}B"
+            )
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "eqntott"
+    if name not in PROGRAMS:
+        raise SystemExit(f"unknown benchmark {name!r}; choose from {PROGRAMS}")
+    study(name)
+
+
+if __name__ == "__main__":
+    main()

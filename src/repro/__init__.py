@@ -1,0 +1,58 @@
+"""repro — a reproduction of Srivastava & Wall, "Link-Time Optimization
+of Address Calculation on a 64-bit Architecture" (PLDI 1994).
+
+The package contains the paper's system (the OM optimizing linker) and
+every substrate it needs, built from scratch in Python:
+
+* :mod:`repro.isa` — the Alpha AXP-subset instruction set;
+* :mod:`repro.objfile` — the ECOFF-like relocatable object format;
+* :mod:`repro.minicc` — the MiniC compiler emitting the conservative
+  64-bit address-calculation model;
+* :mod:`repro.linker` — the standard linker baseline;
+* :mod:`repro.om` — **the paper's contribution**: link-time address-
+  calculation optimization over a symbolic program form;
+* :mod:`repro.machine` — the dual-issue AXP timing simulator;
+* :mod:`repro.benchsuite` — the 19-program SPEC92-named workload suite;
+* :mod:`repro.experiments` — regeneration of every evaluation figure.
+
+Typical use::
+
+    from repro import compile_module, link, make_crt0, om_link, run
+    from repro import OMLevel, build_stdlib
+
+    objs = [make_crt0(), compile_module(source, "prog.o")]
+    lib = build_stdlib()
+    baseline = run(link(objs, [lib]))
+    optimized = run(om_link(objs, [lib], level=OMLevel.FULL).executable)
+"""
+
+from repro.benchsuite import PROGRAMS, build_program, build_stdlib
+from repro.linker import link, make_crt0
+from repro.machine import Machine, RunResult, run
+from repro.minicc import Options, compile_all, compile_module
+from repro.objfile import Archive, ObjectFile
+from repro.om import OMLevel, OMOptions, OMResult, OMStats, om_link
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PROGRAMS",
+    "build_program",
+    "build_stdlib",
+    "link",
+    "make_crt0",
+    "Machine",
+    "RunResult",
+    "run",
+    "Options",
+    "compile_all",
+    "compile_module",
+    "Archive",
+    "ObjectFile",
+    "OMLevel",
+    "OMOptions",
+    "OMResult",
+    "OMStats",
+    "om_link",
+    "__version__",
+]

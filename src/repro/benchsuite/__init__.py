@@ -1,0 +1,24 @@
+"""The benchmark-suite substrate.
+
+Nineteen synthetic MiniC programs named after the SPEC92 suite the
+paper measured (gcc excluded there too), plus the pre-compiled ``libmc``
+standard library archive.  Each program is multi-module, generates its
+workload deterministically, and prints checksums so that every build
+variant can be verified for bit-identical behaviour.
+"""
+
+from repro.benchsuite.suite import (
+    PROGRAMS,
+    build_program,
+    build_stdlib,
+    program_sources,
+    stdlib_sources,
+)
+
+__all__ = [
+    "PROGRAMS",
+    "build_program",
+    "build_stdlib",
+    "program_sources",
+    "stdlib_sources",
+]

@@ -1,0 +1,35 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+Each ``figN_rows`` function produces the same rows/series the paper
+reports (per-program values plus the unweighted arithmetic mean the
+paper's bar-chart keys show); ``python -m repro.experiments <figure>``
+prints them.  EXPERIMENTS.md records paper-vs-measured values.
+"""
+
+from repro.experiments.build import (
+    VARIANTS,
+    build_objects,
+    link_variant,
+    variant_stats,
+)
+from repro.experiments.figures import (
+    fig3_rows,
+    fig4_rows,
+    fig5_rows,
+    fig6_rows,
+    fig7_rows,
+    gat_rows,
+)
+
+__all__ = [
+    "VARIANTS",
+    "build_objects",
+    "link_variant",
+    "variant_stats",
+    "fig3_rows",
+    "fig4_rows",
+    "fig5_rows",
+    "fig6_rows",
+    "fig7_rows",
+    "gat_rows",
+]

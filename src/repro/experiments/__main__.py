@@ -1,0 +1,47 @@
+"""Command-line entry point: ``python -m repro.experiments <figure>``.
+
+Figures: fig3 fig4 fig5 fig6 fig7 gat all.  ``--scale N`` shrinks the
+workloads (useful for smoke runs); ``--programs a,b,c`` restricts the
+program set.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import figures
+from repro.experiments.report import print_figure
+
+_FIGURES = {
+    "fig3": (figures.fig3_rows, True),
+    "fig4": (figures.fig4_rows, True),
+    "fig5": (figures.fig5_rows, True),
+    "fig6": (figures.fig6_rows, False),
+    "fig7": (figures.fig7_rows, False),
+    "gat": (figures.gat_rows, False),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.experiments")
+    parser.add_argument("figure", choices=sorted(_FIGURES) + ["all", "summary"])
+    parser.add_argument("--scale", type=int, default=None)
+    parser.add_argument("--programs", type=str, default=None)
+    args = parser.parse_args(argv)
+
+    programs = args.programs.split(",") if args.programs else None
+    if args.figure == "summary":
+        from repro.experiments.summary import compute_summary, print_summary
+
+        print_summary(compute_summary(programs=programs, scale=args.scale))
+        return 0
+    names = sorted(_FIGURES) if args.figure == "all" else [args.figure]
+    for name in names:
+        generate, percent = _FIGURES[name]
+        keys, rows = generate(programs=programs, scale=args.scale)
+        print_figure(name, keys, rows, percent=percent)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,75 @@
+"""Build plumbing for the experiments: compile, link, cache.
+
+Variants mirror the paper's build matrix:
+
+* program versions: ``each`` (compile-each) and ``all`` (compile-all);
+* link variants: ``ld`` (standard link), ``om-none`` (OM translate and
+  regenerate only), ``om-simple``, ``om-full``, ``om-full-sched``.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.benchsuite import build_program, build_stdlib
+from repro.linker import link, make_crt0
+from repro.linker.executable import Executable
+from repro.machine import RunResult, run
+from repro.om import OMLevel, OMOptions, OMResult, om_link
+
+VARIANTS = ("ld", "om-none", "om-simple", "om-full", "om-full-sched")
+
+_LEVELS = {
+    "om-none": (OMLevel.NONE, False),
+    "om-simple": (OMLevel.SIMPLE, False),
+    "om-full": (OMLevel.FULL, False),
+    "om-full-sched": (OMLevel.FULL, True),
+}
+
+
+@functools.lru_cache(maxsize=256)
+def build_objects(name: str, mode: str, scale: int | None = None):
+    """Compile one benchmark version; returns (objects, stdlib archive)."""
+    objects = [make_crt0()] + build_program(name, mode, scale=scale)
+    return objects, build_stdlib()
+
+
+@functools.lru_cache(maxsize=1024)
+def link_variant(
+    name: str, mode: str, variant: str, scale: int | None = None
+) -> Executable:
+    """Link one benchmark version with one link variant."""
+    objects, lib = build_objects(name, mode, scale)
+    if variant == "ld":
+        return link(objects, [lib])
+    level, schedule = _LEVELS[variant]
+    result = om_link(
+        objects, [lib], level=level, options=OMOptions(schedule=schedule)
+    )
+    return result.executable
+
+
+@functools.lru_cache(maxsize=1024)
+def variant_stats(
+    name: str, mode: str, variant: str, scale: int | None = None
+) -> OMResult:
+    """Full OM result (stats included) for a non-ld variant."""
+    objects, lib = build_objects(name, mode, scale)
+    level, schedule = _LEVELS[variant]
+    return om_link(objects, [lib], level=level, options=OMOptions(schedule=schedule))
+
+
+@functools.lru_cache(maxsize=1024)
+def run_variant(
+    name: str, mode: str, variant: str, scale: int | None = None
+) -> RunResult:
+    """Execute one build on the timing simulator."""
+    return run(link_variant(name, mode, variant, scale))
+
+
+def clear_caches() -> None:
+    """Drop all memoized builds (tests use this between scales)."""
+    build_objects.cache_clear()
+    link_variant.cache_clear()
+    variant_stats.cache_clear()
+    run_variant.cache_clear()

@@ -1,0 +1,166 @@
+"""Figure and table generators.
+
+Every function returns ``(header, rows)`` where rows are per-program
+dicts; the final row is the unweighted arithmetic mean over the 19
+programs, exactly the statistic the paper's bar-chart keys display.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.benchsuite import PROGRAMS, build_stdlib
+from repro.benchsuite.suite import program_sources
+from repro.experiments.build import build_objects, run_variant, variant_stats
+from repro.linker import link
+from repro.minicc import compile_all
+
+
+def _selected(programs) -> list[str]:
+    return list(programs) if programs else list(PROGRAMS)
+
+
+def _with_mean(rows: list[dict], keys: list[str]) -> list[dict]:
+    if not rows:
+        return rows
+    mean = {"program": "mean"}
+    for key in keys:
+        mean[key] = sum(row[key] for row in rows) / len(rows)
+    return rows + [mean]
+
+
+def fig3_rows(programs=None, scale: int | None = None):
+    """Figure 3: static fraction of address loads removed.
+
+    Per program and version: the converted (dark) and nullified (light)
+    fractions for OM-simple and OM-full.
+    """
+    keys = []
+    for mode in ("each", "all"):
+        for level in ("simple", "full"):
+            keys += [f"{mode}_{level}_conv", f"{mode}_{level}_null"]
+    rows = []
+    for name in _selected(programs):
+        row = {"program": name}
+        for mode in ("each", "all"):
+            for level in ("simple", "full"):
+                stats = variant_stats(name, mode, f"om-{level}", scale).stats
+                row[f"{mode}_{level}_conv"] = stats.frac_loads_converted
+                row[f"{mode}_{level}_null"] = stats.frac_loads_nullified
+        rows.append(row)
+    return keys, _with_mean(rows, keys)
+
+
+def fig4_rows(programs=None, scale: int | None = None):
+    """Figure 4: static fraction of calls requiring PV-loads (top) and
+    GP-reset code (bottom), including the no-OM bars."""
+    keys = []
+    for mode in ("each", "all"):
+        for level in ("none", "simple", "full"):
+            keys += [f"{mode}_{level}_pv", f"{mode}_{level}_reset"]
+    rows = []
+    for name in _selected(programs):
+        row = {"program": name}
+        for mode in ("each", "all"):
+            for level in ("none", "simple", "full"):
+                stats = variant_stats(name, mode, f"om-{level}", scale).stats
+                row[f"{mode}_{level}_pv"] = stats.frac_calls_with_pv_load
+                row[f"{mode}_{level}_reset"] = stats.frac_calls_with_gp_reset
+        rows.append(row)
+    return keys, _with_mean(rows, keys)
+
+
+def fig5_rows(programs=None, scale: int | None = None):
+    """Figure 5: static fraction of instructions nullified/deleted."""
+    keys = [f"{mode}_{level}" for mode in ("each", "all") for level in ("simple", "full")]
+    rows = []
+    for name in _selected(programs):
+        row = {"program": name}
+        for mode in ("each", "all"):
+            for level in ("simple", "full"):
+                stats = variant_stats(name, mode, f"om-{level}", scale).stats
+                row[f"{mode}_{level}"] = stats.frac_instructions_nullified
+        rows.append(row)
+    return keys, _with_mean(rows, keys)
+
+
+def fig6_rows(programs=None, scale: int | None = None, include_sched: bool = True):
+    """Figure 6: dynamic performance improvement over the no-LTO link
+    of the same program version (percent cycles saved)."""
+    levels = ["om-simple", "om-full"] + (["om-full-sched"] if include_sched else [])
+    keys = [
+        f"{mode}_{level.removeprefix('om-')}"
+        for mode in ("each", "all")
+        for level in levels
+    ]
+    rows = []
+    for name in _selected(programs):
+        row = {"program": name}
+        for mode in ("each", "all"):
+            base = run_variant(name, mode, "ld", scale)
+            for level in levels:
+                result = run_variant(name, mode, level, scale)
+                if result.output != base.output:
+                    raise AssertionError(
+                        f"{name}/{mode}/{level}: output diverges from baseline"
+                    )
+                improvement = 100.0 * (base.cycles - result.cycles) / base.cycles
+                row[f"{mode}_{level.removeprefix('om-')}"] = improvement
+        rows.append(row)
+    return keys, _with_mean(rows, keys)
+
+
+def gat_rows(programs=None, scale: int | None = None):
+    """§5.1: GAT size before and after OM-full (compile-each)."""
+    keys = ["gat_before", "gat_after", "ratio"]
+    rows = []
+    for name in _selected(programs):
+        stats = variant_stats(name, "each", "om-full", scale).stats
+        rows.append(
+            {
+                "program": name,
+                "gat_before": stats.gat_bytes_before,
+                "gat_after": stats.gat_bytes_after,
+                "ratio": stats.gat_shrink_ratio,
+            }
+        )
+    return keys, _with_mean(rows, keys)
+
+
+def fig7_rows(programs=None, scale: int | None = None):
+    """Figure 7: build times in seconds.
+
+    Columns: standard link from objects; full build from source with
+    interprocedural optimization (compile-all + link); OM from objects
+    at no-opt / simple / full / full+sched.
+    """
+    keys = ["ld", "interproc_build", "om_none", "om_simple", "om_full", "om_sched"]
+    lib = build_stdlib()
+    rows = []
+    for name in _selected(programs):
+        objects, __ = build_objects(name, "each", scale)
+        row = {"program": name}
+
+        start = time.perf_counter()
+        link(objects, [lib])
+        row["ld"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        sources = [(f, t) for f, t in program_sources(name)]
+        unit = compile_all(sources, f"{name}_all.o")
+        link([objects[0], unit], [lib])
+        row["interproc_build"] = time.perf_counter() - start
+
+        from repro.om import OMLevel, OMOptions, om_link
+
+        for key, level, sched in (
+            ("om_none", OMLevel.NONE, False),
+            ("om_simple", OMLevel.SIMPLE, False),
+            ("om_full", OMLevel.FULL, False),
+            ("om_sched", OMLevel.FULL, True),
+        ):
+            start = time.perf_counter()
+            om_link(objects, [lib], level=level, options=OMOptions(schedule=sched))
+            row[key] = time.perf_counter() - start
+        rows.append(row)
+    return keys, _with_mean(rows, keys)

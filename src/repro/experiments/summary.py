@@ -1,0 +1,122 @@
+"""The one-screen paper-vs-measured summary.
+
+``python -m repro.experiments summary`` computes the headline means the
+paper reports and prints them next to the paper's numbers, with a
+shape verdict per line.  This is the quantitative core of
+EXPERIMENTS.md, regenerated on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import figures
+
+
+@dataclass
+class Claim:
+    label: str
+    paper: str
+    measure: float
+    lo: float
+    hi: float
+
+    @property
+    def verdict(self) -> str:
+        return "ok" if self.lo <= self.measure <= self.hi else "OUT OF BAND"
+
+
+def compute_summary(programs=None, scale=None, include_dynamic: bool = True):
+    """Compute the headline claims; returns a list of :class:`Claim`."""
+    claims: list[Claim] = []
+
+    __, fig3 = figures.fig3_rows(programs=programs, scale=scale)
+    mean3 = fig3[-1]
+    claims.append(
+        Claim(
+            "fig3: OM-simple address loads removed (compile-each)",
+            "~50%",
+            100 * (mean3["each_simple_conv"] + mean3["each_simple_null"]),
+            25, 75,
+        )
+    )
+    claims.append(
+        Claim(
+            "fig3: OM-full address loads removed (compile-each)",
+            "nearly all",
+            100 * (mean3["each_full_conv"] + mean3["each_full_null"]),
+            80, 100,
+        )
+    )
+
+    __, fig4 = figures.fig4_rows(programs=programs, scale=scale)
+    mean4 = fig4[-1]
+    claims.append(
+        Claim(
+            "fig4: calls w/ PV-load, no OM (compile-each)",
+            "~95%", 100 * mean4["each_none_pv"], 85, 100,
+        )
+    )
+    claims.append(
+        Claim(
+            "fig4: calls w/ PV-load after OM-simple",
+            "most remain", 100 * mean4["each_simple_pv"], 50, 100,
+        )
+    )
+    claims.append(
+        Claim(
+            "fig4: calls w/ PV-load after OM-full",
+            "only proc-variable calls", 100 * mean4["each_full_pv"], 0, 15,
+        )
+    )
+    claims.append(
+        Claim(
+            "fig4: calls w/ GP-reset after OM-simple",
+            "mostly removed", 100 * mean4["each_simple_reset"], 0, 20,
+        )
+    )
+
+    __, fig5 = figures.fig5_rows(programs=programs, scale=scale)
+    mean5 = fig5[-1]
+    claims.append(
+        Claim("fig5: instructions nullified, OM-simple", "~6%",
+              100 * mean5["each_simple"], 2, 15)
+    )
+    claims.append(
+        Claim("fig5: instructions deleted, OM-full", "~11%",
+              100 * mean5["each_full"], 8, 25)
+    )
+
+    __, gat = figures.gat_rows(programs=programs, scale=scale)
+    claims.append(
+        Claim("gat: size after OM-full", "3-15% of original",
+              100 * gat[-1]["ratio"], 0, 25)
+    )
+
+    if include_dynamic:
+        __, fig6 = figures.fig6_rows(programs=programs, scale=scale, include_sched=False)
+        mean6 = fig6[-1]
+        claims.append(
+            Claim("fig6: dynamic improvement, OM-simple (each)", "1.5%",
+                  mean6["each_simple"], 0.3, 6)
+        )
+        claims.append(
+            Claim("fig6: dynamic improvement, OM-full (each)", "3.8%",
+                  mean6["each_full"], 1, 9)
+        )
+        claims.append(
+            Claim("fig6: dynamic improvement, OM-full (all)", "3.4%",
+                  mean6["all_full"], 0.8, 9)
+        )
+    return claims
+
+
+def print_summary(claims: list[Claim]) -> None:
+    width = max(len(c.label) for c in claims)
+    print(f"{'claim'.ljust(width)}  {'paper':>24}  {'measured':>9}  verdict")
+    print("-" * (width + 48))
+    for claim in claims:
+        print(
+            f"{claim.label.ljust(width)}  {claim.paper:>24}  "
+            f"{claim.measure:8.1f}%  {claim.verdict}"
+        )

@@ -1,0 +1,31 @@
+"""Alpha AXP-subset instruction set architecture.
+
+This package models the machine language the whole toolchain speaks: a
+64-bit RISC with 32-bit instructions, closely following the Alpha AXP
+formats described in the Alpha Architecture Reference Manual and used by
+the paper.  It provides register definitions with their calling-convention
+roles, the instruction catalogue, exact binary encoding/decoding, a
+symbolic assembler layer used by the compiler back end, and a
+disassembler.
+"""
+
+from repro.isa.registers import Reg, REG_NAMES, reg_name
+from repro.isa.opcodes import Op, Format, OPS, PalFunc, NOP, UNOP
+from repro.isa.instruction import Instruction
+from repro.isa.encoding import encode, decode, EncodingError
+
+__all__ = [
+    "Reg",
+    "REG_NAMES",
+    "reg_name",
+    "Op",
+    "Format",
+    "OPS",
+    "PalFunc",
+    "NOP",
+    "UNOP",
+    "Instruction",
+    "encode",
+    "decode",
+    "EncodingError",
+]

@@ -1,0 +1,337 @@
+"""Symbolic assembler: the bridge from compiler output to object files.
+
+The code generator emits concrete :class:`Instruction` objects whose
+displacement fields are placeholders, annotated with *relocation
+requests* (literal loads, literal uses, GP-displacement pairs, branch
+targets, jump hints, jump tables).  The assembler lays out sections,
+resolves module-internal labels, and produces an :class:`ObjectFile`
+carrying exactly the relocation records the linker and OM consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.encoding import encode_stream
+from repro.isa.instruction import Instruction
+from repro.objfile.objfile import ObjectFile
+from repro.objfile.relocations import LituseKind, Relocation, RelocType
+from repro.objfile.sections import Section, SectionKind
+from repro.objfile.symbols import Binding, ProcInfo, Symbol, SymbolKind
+
+
+class AsmError(ValueError):
+    """Raised for malformed assembly (unknown labels, nesting errors)."""
+
+
+@dataclass
+class _TextItem:
+    """One text-stream entry: an instruction plus relocation requests."""
+
+    instr: Instruction
+    literal: tuple[str, int] | None = None  # (symbol, addend)
+    lit_escaped: bool = False  # value escapes; OM may convert but not nullify
+    lituse: tuple[int, LituseKind] | None = None  # (literal item index, kind)
+    gpdisp_base: str | None = None  # label of the pair's base point (ldah)
+    gpdisp_pair: int | None = None  # item index of the ldah (on the lda)
+    branch: tuple[str, int] | None = None  # (symbol, addend)
+    hint: str | None = None
+    jmptab: tuple[str, int] | None = None  # (table symbol, entry count)
+    gprel: tuple[str, str, int, int] | None = None  # (kind, symbol, addend, group)
+
+
+@dataclass
+class _DataQuad:
+    """A 64-bit data item, possibly symbolic."""
+
+    section: SectionKind
+    offset: int
+    symbol: str | None = None
+    addend: int = 0
+    label: str | None = None  # text label inside ``symbol`` (jump tables)
+
+
+class Assembler:
+    """Accumulates one module's code, data, and symbols.
+
+    Typical use by the code generator::
+
+        asm = Assembler("m.o")
+        asm.begin_proc("f", exported=True, frame_size=16)
+        idx = asm.emit(ldq, literal=("counter", 0))
+        asm.emit(ldq2, lituse=(idx, LituseKind.BASE))
+        ...
+        asm.end_proc()
+        obj = asm.finish()
+    """
+
+    def __init__(self, module_name: str):
+        self.module_name = module_name
+        self._items: list[_TextItem] = []
+        self._labels: dict[str, int] = {}  # label -> text item index
+        self._data: dict[SectionKind, Section] = {}
+        self._data_quads: list[_DataQuad] = []
+        self._symbols: list[Symbol] = []
+        self._extern: dict[str, Symbol] = {}
+        self._current_proc: Symbol | None = None
+        self._proc_start_item = 0
+
+    # -- text stream -------------------------------------------------------
+
+    def begin_proc(
+        self,
+        name: str,
+        *,
+        exported: bool = True,
+        uses_gp: bool = True,
+        frame_size: int = 0,
+    ) -> None:
+        """Open a procedure; its entry gets a label of the same name."""
+        if self._current_proc is not None:
+            raise AsmError(f"begin_proc({name}) inside {self._current_proc.name}")
+        sym = Symbol(
+            name,
+            SymbolKind.PROC,
+            Binding.GLOBAL if exported else Binding.LOCAL,
+            SectionKind.TEXT,
+            offset=4 * len(self._items),
+            proc=ProcInfo(uses_gp=uses_gp, frame_size=frame_size),
+        )
+        self._current_proc = sym
+        self._proc_start_item = len(self._items)
+        self.label(name)
+
+    def end_proc(self) -> None:
+        """Close the current procedure, fixing its size."""
+        if self._current_proc is None:
+            raise AsmError("end_proc outside a procedure")
+        sym = self._current_proc
+        sym.size = 4 * len(self._items) - sym.offset
+        self._symbols.append(sym)
+        self._current_proc = None
+
+    def label(self, name: str) -> None:
+        """Define a text label at the current position."""
+        if name in self._labels:
+            raise AsmError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._items)
+
+    def emit(self, instr: Instruction, **reloc) -> int:
+        """Append an instruction with optional relocation requests.
+
+        Returns the text item index (used to link LITUSEs to their
+        LITERAL and GPDISP ``lda``s to their ``ldah``).
+        """
+        item = _TextItem(instr, **reloc)
+        self._items.append(item)
+        return len(self._items) - 1
+
+    # -- data stream -------------------------------------------------------
+
+    def data_section(self, kind: SectionKind) -> Section:
+        sec = self._data.get(kind)
+        if sec is None:
+            sec = Section(kind)
+            self._data[kind] = sec
+        return sec
+
+    def data_symbol(
+        self,
+        name: str,
+        kind: SectionKind,
+        *,
+        exported: bool = True,
+        align: int = 8,
+    ) -> Symbol:
+        """Define a data symbol at the current end of ``kind``."""
+        sec = self.data_section(kind)
+        sec.align_to(align)
+        sym = Symbol(
+            name,
+            SymbolKind.OBJECT,
+            Binding.GLOBAL if exported else Binding.LOCAL,
+            kind,
+            offset=sec.size,
+            alignment=align,
+        )
+        self._symbols.append(sym)
+        return sym
+
+    def data_quad(
+        self, kind: SectionKind, value: int = 0, symbol: str | None = None, addend: int = 0
+    ) -> None:
+        """Emit a 64-bit datum; if ``symbol`` is set, it is relocated."""
+        sec = self.data_section(kind)
+        offset = sec.append((value % (1 << 64)).to_bytes(8, "little"))
+        if symbol is not None:
+            self._data_quads.append(_DataQuad(kind, offset, symbol, addend))
+
+    def data_quad_label(self, kind: SectionKind, proc: str, label: str) -> None:
+        """Emit a quad holding the address of a label inside ``proc``.
+
+        Used for jump tables; the addend is resolved to the label's byte
+        offset from the procedure entry when the module is finished.
+        """
+        sec = self.data_section(kind)
+        offset = sec.append(bytes(8))
+        self._data_quads.append(_DataQuad(kind, offset, proc, 0, label))
+
+    def data_bytes(self, kind: SectionKind, data: bytes) -> None:
+        self.data_section(kind).append(data)
+
+    def bss_symbol(
+        self, name: str, size: int, *, kind: SectionKind = SectionKind.BSS,
+        exported: bool = True, align: int = 8,
+    ) -> Symbol:
+        """Define a zero-initialized symbol in a BSS-kind section."""
+        sec = self.data_section(kind)
+        offset = sec.reserve(size, align)
+        sym = Symbol(
+            name,
+            SymbolKind.OBJECT,
+            Binding.GLOBAL if exported else Binding.LOCAL,
+            kind,
+            offset=offset,
+            size=size,
+            alignment=align,
+        )
+        self._symbols.append(sym)
+        return sym
+
+    def common(self, name: str, size: int, align: int = 8) -> Symbol:
+        """Declare a COMMON (uninitialized, linker-allocated) symbol."""
+        sym = Symbol(name, SymbolKind.COMMON, size=size, alignment=align)
+        self._symbols.append(sym)
+        return sym
+
+    def extern(self, name: str) -> None:
+        """Declare an undefined symbol satisfied by another module."""
+        if name not in self._extern:
+            sym = Symbol(name, SymbolKind.UNDEF)
+            self._extern[name] = sym
+
+    # -- finishing ----------------------------------------------------------
+
+    def _label_offset(self, name: str) -> int:
+        try:
+            return 4 * self._labels[name]
+        except KeyError:
+            raise AsmError(f"undefined label {name!r}") from None
+
+    def finish(self) -> ObjectFile:
+        """Assemble everything into an :class:`ObjectFile`."""
+        if self._current_proc is not None:
+            raise AsmError(f"unterminated procedure {self._current_proc.name}")
+        obj = ObjectFile(self.module_name)
+
+        defined = {s.name for s in self._symbols}
+        relocs: list[Relocation] = []
+
+        for index, item in enumerate(self._items):
+            offset = 4 * index
+            if item.literal is not None:
+                symbol, addend = item.literal
+                relocs.append(
+                    Relocation(
+                        RelocType.LITERAL,
+                        SectionKind.TEXT,
+                        offset,
+                        symbol,
+                        addend,
+                        int(item.lit_escaped),
+                    )
+                )
+                self._note_symbol(symbol, defined)
+            if item.lituse is not None:
+                load_index, kind = item.lituse
+                relocs.append(
+                    Relocation(
+                        RelocType.LITUSE,
+                        SectionKind.TEXT,
+                        offset,
+                        None,
+                        4 * load_index,
+                        int(kind),
+                    )
+                )
+            if item.gpdisp_base is not None:
+                # Paired lda found via gpdisp_pair annotations.
+                lda_index = self._find_gpdisp_lda(index)
+                relocs.append(
+                    Relocation(
+                        RelocType.GPDISP,
+                        SectionKind.TEXT,
+                        offset,
+                        None,
+                        4 * lda_index - offset,
+                        self._label_offset(item.gpdisp_base),
+                    )
+                )
+            if item.branch is not None:
+                symbol, addend = item.branch
+                if symbol in self._labels and symbol not in defined:
+                    # Intra-module label branch: resolve displacement now.
+                    target = self._label_offset(symbol) + addend
+                    item.instr.disp = (target - (offset + 4)) // 4
+                else:
+                    relocs.append(
+                        Relocation(RelocType.BRADDR, SectionKind.TEXT, offset, symbol, addend)
+                    )
+                    self._note_symbol(symbol, defined)
+            if item.hint is not None:
+                relocs.append(
+                    Relocation(RelocType.HINT, SectionKind.TEXT, offset, item.hint)
+                )
+                self._note_symbol(item.hint, defined)
+            if item.jmptab is not None:
+                table, count = item.jmptab
+                relocs.append(
+                    Relocation(RelocType.JMPTAB, SectionKind.TEXT, offset, table, count)
+                )
+                self._note_symbol(table, defined)
+            if item.gprel is not None:
+                kind, symbol, addend, group = item.gprel
+                rtype = {
+                    "gprel16": RelocType.GPREL16,
+                    "gprelhigh": RelocType.GPRELHIGH,
+                    "gprellow": RelocType.GPRELLOW,
+                }[kind]
+                relocs.append(
+                    Relocation(rtype, SectionKind.TEXT, offset, symbol, addend, group)
+                )
+                self._note_symbol(symbol, defined)
+
+        for quad in self._data_quads:
+            addend = quad.addend
+            if quad.label is not None:
+                proc = next(s for s in self._symbols if s.name == quad.symbol)
+                addend = self._label_offset(quad.label) - proc.offset
+            relocs.append(
+                Relocation(
+                    RelocType.REFQUAD, quad.section, quad.offset, quad.symbol, addend
+                )
+            )
+            self._note_symbol(quad.symbol, defined)
+
+        text = Section(SectionKind.TEXT, alignment=16)
+        text.data = bytearray(encode_stream([item.instr for item in self._items]))
+        obj.sections[SectionKind.TEXT] = text
+        for kind, sec in self._data.items():
+            sec.align_to(8)
+            obj.sections[kind] = sec
+
+        obj.symbols = list(self._symbols) + list(self._extern.values())
+        obj.relocations = relocs
+        obj.validate()
+        return obj
+
+    def _note_symbol(self, symbol: str, defined: set[str]) -> None:
+        """Record an implicit extern for a referenced, undefined symbol."""
+        if symbol not in defined:
+            self.extern(symbol)
+
+    def _find_gpdisp_lda(self, ldah_index: int) -> int:
+        for index in range(ldah_index + 1, len(self._items)):
+            if self._items[index].gpdisp_pair == ldah_index:
+                return index
+        raise AsmError(f"gpdisp ldah at item {ldah_index} has no paired lda")

@@ -1,0 +1,59 @@
+"""Disassembler: render instructions in Alpha assembly syntax.
+
+Used by tests, examples, and OM's before/after dumps.  Output follows
+the conventional OSF syntax, e.g. ``ldq t0, 188(gp)`` or
+``bis zero, zero, zero``.
+"""
+
+from __future__ import annotations
+
+from repro.isa.encoding import decode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format, PalFunc
+from repro.isa.registers import reg_name
+
+_PAL_NAMES = {f.value: f.name.lower() for f in PalFunc}
+
+
+def format_instruction(instr: Instruction, pc: int | None = None) -> str:
+    """Format one instruction.
+
+    If ``pc`` (the instruction's own address) is given, branch targets are
+    rendered as absolute addresses instead of raw displacements.
+    """
+    op = instr.op
+    fmt = op.format
+    if instr.is_nop and fmt is Format.OPERATE:
+        return "nop"
+    if fmt is Format.MEMORY:
+        return f"{op.name} {reg_name(instr.ra)}, {instr.disp}({reg_name(instr.rb)})"
+    if fmt is Format.MEMORY_JUMP:
+        return f"{op.name} {reg_name(instr.ra)}, ({reg_name(instr.rb)}), {instr.disp}"
+    if fmt is Format.BRANCH:
+        if pc is None:
+            target = f".{instr.disp:+d}"
+        else:
+            target = f"{pc + 4 + 4 * instr.disp:#x}"
+        if instr.is_cond_branch:
+            return f"{op.name} {reg_name(instr.ra)}, {target}"
+        return f"{op.name} {reg_name(instr.ra)}, {target}"
+    if fmt is Format.OPERATE:
+        src2 = f"{instr.lit:#x}" if instr.lit is not None else reg_name(instr.rb)
+        return f"{op.name} {reg_name(instr.ra)}, {src2}, {reg_name(instr.rc)}"
+    # PAL
+    name = _PAL_NAMES.get(instr.disp, f"{instr.disp:#x}")
+    return f"call_pal {name}"
+
+
+def disassemble(data: bytes, base: int = 0) -> list[str]:
+    """Disassemble an instruction byte stream into formatted lines."""
+    lines = []
+    for offset in range(0, len(data), 4):
+        word = int.from_bytes(data[offset : offset + 4], "little")
+        pc = base + offset
+        try:
+            text = format_instruction(decode(word), pc=pc)
+        except Exception:
+            text = f".word {word:#010x}"
+        lines.append(f"{pc:#012x}:  {text}")
+    return lines

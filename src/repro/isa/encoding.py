@@ -1,0 +1,135 @@
+"""Exact binary encoding and decoding of the 32-bit instruction word.
+
+Encoding follows the Alpha AXP layouts; :func:`decode` is the exact
+inverse of :func:`encode` for every instruction in the subset (this is
+property-tested).  Unknown opcodes raise :class:`EncodingError` so that
+corrupted object files fail loudly rather than silently mis-execute.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OPS, Format, Op
+
+
+class EncodingError(ValueError):
+    """Raised for malformed instructions or undecodable words."""
+
+
+_MASK16 = 0xFFFF
+_MASK21 = 0x1FFFFF
+
+# Decode lookup tables built once from the catalogue.
+_BY_OPCODE: dict[int, Op] = {}
+_BY_OPCODE_FUNC: dict[tuple[int, int], Op] = {}
+for _op in OPS.values():
+    if _op.format in (Format.OPERATE, Format.MEMORY_JUMP):
+        _BY_OPCODE_FUNC[(_op.opcode, _op.func)] = _op
+    else:
+        _BY_OPCODE[_op.opcode] = _op
+
+
+def _check_range(value: int, bits: int, what: str, *, signed: bool) -> None:
+    if signed:
+        lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    else:
+        lo, hi = 0, (1 << bits) - 1
+    if not lo <= value <= hi:
+        raise EncodingError(f"{what} {value} out of {bits}-bit range [{lo}, {hi}]")
+
+
+def encode(instr: Instruction) -> int:
+    """Encode ``instr`` into its 32-bit word."""
+    op = instr.op
+    word = op.opcode << 26
+    fmt = op.format
+    if fmt is Format.MEMORY:
+        _check_range(instr.disp, 16, f"{op.name} displacement", signed=True)
+        return word | (instr.ra << 21) | (instr.rb << 16) | (instr.disp & _MASK16)
+    if fmt is Format.MEMORY_JUMP:
+        _check_range(instr.disp, 14, f"{op.name} hint", signed=False)
+        return (
+            word
+            | (instr.ra << 21)
+            | (instr.rb << 16)
+            | (op.func << 14)
+            | instr.disp
+        )
+    if fmt is Format.BRANCH:
+        _check_range(instr.disp, 21, f"{op.name} displacement", signed=True)
+        return word | (instr.ra << 21) | (instr.disp & _MASK21)
+    if fmt is Format.OPERATE:
+        word |= (instr.ra << 21) | (op.func << 5) | instr.rc
+        if instr.lit is not None:
+            _check_range(instr.lit, 8, f"{op.name} literal", signed=False)
+            return word | (instr.lit << 13) | (1 << 12)
+        return word | (instr.rb << 16)
+    if fmt is Format.PAL:
+        _check_range(instr.disp, 26, "PAL function", signed=False)
+        return word | instr.disp
+    raise EncodingError(f"unencodable format {fmt}")  # pragma: no cover
+
+
+def _sext(value: int, bits: int) -> int:
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word into an :class:`Instruction`.
+
+    Raises :class:`EncodingError` for words outside the subset.
+    """
+    if not 0 <= word <= 0xFFFFFFFF:
+        raise EncodingError(f"not a 32-bit word: {word:#x}")
+    opcode = word >> 26
+    ra = (word >> 21) & 31
+    rb = (word >> 16) & 31
+
+    op = _BY_OPCODE.get(opcode)
+    if op is not None:
+        fmt = op.format
+        if fmt is Format.MEMORY:
+            return Instruction(op, ra=ra, rb=rb, disp=_sext(word, 16))
+        if fmt is Format.BRANCH:
+            return Instruction(op, ra=ra, disp=_sext(word, 21))
+        if fmt is Format.PAL:
+            return Instruction(op, disp=word & 0x3FFFFFF)
+        raise EncodingError(f"bad table entry for opcode {opcode:#x}")  # pragma: no cover
+
+    if opcode == 0x1A:  # memory-format jumps
+        func = (word >> 14) & 3
+        op = _BY_OPCODE_FUNC.get((opcode, func))
+        if op is None:  # pragma: no cover - all four funcs defined
+            raise EncodingError(f"unknown jump func {func}")
+        return Instruction(op, ra=ra, rb=rb, disp=word & 0x3FFF)
+
+    # Operate format.
+    func = (word >> 5) & 0x7F
+    op = _BY_OPCODE_FUNC.get((opcode, func))
+    if op is None:
+        raise EncodingError(f"unknown instruction word {word:#010x}")
+    rc = word & 31
+    if word & (1 << 12):
+        return Instruction(op, ra=ra, rc=rc, lit=(word >> 13) & 0xFF)
+    if (word >> 13) & 7:
+        raise EncodingError(f"SBZ bits set in operate word {word:#010x}")
+    return Instruction(op, ra=ra, rb=rb, rc=rc)
+
+
+def encode_stream(instructions: list[Instruction]) -> bytes:
+    """Encode a sequence of instructions to little-endian bytes."""
+    out = bytearray()
+    for instr in instructions:
+        out += encode(instr).to_bytes(4, "little")
+    return bytes(out)
+
+
+def decode_stream(data: bytes) -> list[Instruction]:
+    """Decode little-endian instruction bytes; length must be a multiple of 4."""
+    if len(data) % 4:
+        raise EncodingError(f"instruction stream length {len(data)} not word-aligned")
+    return [
+        decode(int.from_bytes(data[i : i + 4], "little"))
+        for i in range(0, len(data), 4)
+    ]

@@ -1,0 +1,168 @@
+"""The concrete machine instruction value type.
+
+An :class:`Instruction` is fully numeric — every operand is a register
+number or an immediate — and can be encoded to its 32-bit word.  The
+assembler (:mod:`repro.isa.asm`) and OM's symbolic form wrap this type
+with symbolic operands; by the time an ``Instruction`` exists, all
+symbols have been resolved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as _dc_replace
+
+from repro.isa.opcodes import CONDITIONAL_BRANCHES, OPS, Format, Op
+from repro.isa.registers import Reg
+
+
+@dataclass(slots=True)
+class Instruction:
+    """One 32-bit instruction.
+
+    Field use by format:
+
+    * MEMORY:       ``ra``, ``rb``, ``disp`` (16-bit signed)
+    * MEMORY_JUMP:  ``ra``, ``rb``, ``disp`` = 14-bit hint
+    * BRANCH:       ``ra``, ``disp`` (21-bit signed word displacement)
+    * OPERATE:      ``ra``, ``rb`` or ``lit`` (8-bit unsigned), ``rc``
+    * PAL:          ``disp`` = 26-bit function code
+    """
+
+    op: Op
+    ra: int = 31
+    rb: int = 31
+    rc: int = 31
+    disp: int = 0
+    lit: int | None = None
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def mem(cls, name: str, ra: int, rb: int, disp: int) -> Instruction:
+        """Memory-format instruction ``name ra, disp(rb)``."""
+        op = OPS[name]
+        assert op.format is Format.MEMORY, name
+        return cls(op, ra=ra, rb=rb, disp=disp)
+
+    @classmethod
+    def opr(cls, name: str, ra: int, rb_or_lit: int, rc: int, *, lit: bool = False) -> Instruction:
+        """Operate-format instruction ``name ra, rb_or_lit, rc``."""
+        op = OPS[name]
+        assert op.format is Format.OPERATE, name
+        if lit:
+            return cls(op, ra=ra, rc=rc, lit=rb_or_lit)
+        return cls(op, ra=ra, rb=rb_or_lit, rc=rc)
+
+    @classmethod
+    def branch(cls, name: str, ra: int, disp: int) -> Instruction:
+        """Branch-format instruction; ``disp`` in instruction words."""
+        op = OPS[name]
+        assert op.format is Format.BRANCH, name
+        return cls(op, ra=ra, disp=disp)
+
+    @classmethod
+    def jump(cls, name: str, ra: int, rb: int, hint: int = 0) -> Instruction:
+        """Memory-format jump ``name ra, (rb), hint``."""
+        op = OPS[name]
+        assert op.format is Format.MEMORY_JUMP, name
+        return cls(op, ra=ra, rb=rb, disp=hint)
+
+    @classmethod
+    def pal(cls, func: int) -> Instruction:
+        """``call_pal func``."""
+        return cls(OPS["call_pal"], disp=func)
+
+    @classmethod
+    def nop(cls) -> Instruction:
+        """The canonical integer no-op ``bis zero, zero, zero``."""
+        return cls.opr("bis", Reg.ZERO, Reg.ZERO, Reg.ZERO)
+
+    def replace(self, **kwargs) -> Instruction:
+        """Return a copy with fields replaced."""
+        return _dc_replace(self, **kwargs)
+
+    # -- classification -------------------------------------------------
+
+    @property
+    def is_nop(self) -> bool:
+        """True for the canonical no-op and any op writing only ZERO."""
+        op = self.op
+        if op.format is Format.OPERATE:
+            return self.rc == Reg.ZERO
+        if op is OPS["ldq_u"]:
+            return self.ra == Reg.ZERO
+        if op.name in ("lda", "ldah"):
+            return self.ra == Reg.ZERO
+        return False
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op.format is Format.BRANCH
+
+    @property
+    def is_cond_branch(self) -> bool:
+        return self.op.name in CONDITIONAL_BRANCHES
+
+    @property
+    def is_jump(self) -> bool:
+        return self.op.format is Format.MEMORY_JUMP
+
+    @property
+    def is_call(self) -> bool:
+        """True for the call forms: ``jsr`` and ``bsr``."""
+        return self.op.name in ("jsr", "bsr")
+
+    @property
+    def is_control(self) -> bool:
+        """True if this instruction can change the PC."""
+        return (
+            self.op.format in (Format.BRANCH, Format.MEMORY_JUMP)
+            or self.op.format is Format.PAL
+        )
+
+    # -- register dependences (for scheduling and analysis) --------------
+
+    def defs(self) -> tuple[int, ...]:
+        """Registers written (ZERO filtered out)."""
+        op = self.op
+        fmt = op.format
+        if fmt is Format.OPERATE:
+            regs = (self.rc,)
+        elif fmt is Format.MEMORY:
+            regs = () if op.is_store else (self.ra,)
+        elif fmt is Format.MEMORY_JUMP:
+            regs = (self.ra,)
+        elif fmt is Format.BRANCH:
+            regs = () if self.is_cond_branch else (self.ra,)
+        else:  # PAL
+            regs = (Reg.V0.value,)
+        return tuple(r for r in regs if r != Reg.ZERO)
+
+    def uses(self) -> tuple[int, ...]:
+        """Registers read (ZERO filtered out)."""
+        op = self.op
+        fmt = op.format
+        if fmt is Format.OPERATE:
+            regs = [self.ra]
+            if self.lit is None:
+                regs.append(self.rb)
+            if op.name.startswith("cmov"):
+                regs.append(self.rc)
+        elif fmt is Format.MEMORY:
+            regs = [self.rb]
+            if op.is_store:
+                regs.append(self.ra)
+        elif fmt is Format.MEMORY_JUMP:
+            regs = [self.rb]
+        elif fmt is Format.BRANCH:
+            regs = [self.ra] if self.is_cond_branch else []
+        else:  # PAL
+            regs = [Reg.A0.value]
+        return tuple(r for r in regs if r != Reg.ZERO)
+
+    # -- display ---------------------------------------------------------
+
+    def __str__(self) -> str:
+        from repro.isa.disasm import format_instruction
+
+        return format_instruction(self)

@@ -1,0 +1,85 @@
+"""Alpha AXP integer register set and calling-convention roles.
+
+The Alpha has 32 integer registers.  Several have architecturally or
+conventionally fixed roles that the paper's optimizations depend on:
+
+* ``GP`` (r29) — the global pointer, base register for the global address
+  table (GAT).
+* ``PV`` (r27) — the procedure value: by convention it holds the entry
+  address of the called procedure, which the callee uses to compute its
+  own GP.
+* ``RA`` (r26) — the return address, which the caller uses to recompute
+  its GP after a call returns.
+* ``ZERO`` (r31) — reads as zero, writes are discarded.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Reg(enum.IntEnum):
+    """Integer registers, named by their software convention."""
+
+    V0 = 0  # function return value
+    T0 = 1
+    T1 = 2
+    T2 = 3
+    T3 = 4
+    T4 = 5
+    T5 = 6
+    T6 = 7
+    T7 = 8
+    S0 = 9  # callee-saved
+    S1 = 10
+    S2 = 11
+    S3 = 12
+    S4 = 13
+    S5 = 14
+    FP = 15  # frame pointer / s6
+    A0 = 16  # arguments
+    A1 = 17
+    A2 = 18
+    A3 = 19
+    A4 = 20
+    A5 = 21
+    T8 = 22
+    T9 = 23
+    T10 = 24
+    T11 = 25
+    RA = 26  # return address
+    PV = 27  # procedure value (t12)
+    AT = 28  # assembler temporary
+    GP = 29  # global pointer
+    SP = 30  # stack pointer
+    ZERO = 31  # hardwired zero
+
+
+#: Registers a callee must preserve.
+CALLEE_SAVED = (Reg.S0, Reg.S1, Reg.S2, Reg.S3, Reg.S4, Reg.S5, Reg.FP)
+
+#: Registers available for expression temporaries (caller-saved).
+TEMPORARIES = (
+    Reg.T0,
+    Reg.T1,
+    Reg.T2,
+    Reg.T3,
+    Reg.T4,
+    Reg.T5,
+    Reg.T6,
+    Reg.T7,
+    Reg.T8,
+    Reg.T9,
+    Reg.T10,
+    Reg.T11,
+)
+
+#: Argument registers, in order.
+ARG_REGS = (Reg.A0, Reg.A1, Reg.A2, Reg.A3, Reg.A4, Reg.A5)
+
+REG_NAMES = {r.value: r.name.lower() for r in Reg}
+
+
+def reg_name(num: int) -> str:
+    """Return the conventional software name of register ``num``."""
+    return REG_NAMES[num]

@@ -1,0 +1,60 @@
+"""Shared timing model of the simulated dual-issue AXP implementation.
+
+Modeled on the DECstation 3000/400's 21064-class pipeline used in the
+paper's dynamic measurements:
+
+* in-order dual issue: one integer-operate instruction may pair with one
+  memory or control instruction per cycle (two integer ops, two memory
+  ops, or two control ops never pair);
+* loads have a 3-cycle latency (2 stall cycles on immediate use);
+* integer multiply is long-latency;
+* taken branches cost one bubble.
+
+Both pipeline schedulers (compile-time and OM's link-time rescheduler)
+and the performance simulator import this table, mirroring the paper's
+note that OM's scheduler is "very similar to the scheduler used by the
+assembler".
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format
+
+#: Result latency in cycles by producer kind.
+LOAD_LATENCY = 3
+MUL_LATENCY = 12
+DEFAULT_LATENCY = 1
+
+#: Extra cycles for a taken branch (fetch bubble).
+TAKEN_BRANCH_PENALTY = 1
+
+#: Cache geometry: split 8KB direct-mapped I and D caches, 32-byte lines.
+ICACHE_BYTES = 8192
+DCACHE_BYTES = 8192
+CACHE_LINE = 32
+CACHE_MISS_PENALTY = 10
+
+
+def result_latency(instr: Instruction) -> int:
+    """Cycles until ``instr``'s result may be consumed without stalling."""
+    if instr.op.is_load:
+        return LOAD_LATENCY
+    if instr.op.name in ("mulq", "mull", "umulh"):
+        return MUL_LATENCY
+    return DEFAULT_LATENCY
+
+
+def issue_class(instr: Instruction) -> str:
+    """Issue pipe class: 'M' memory, 'B' control, 'I' integer operate."""
+    fmt = instr.op.format
+    if fmt is Format.MEMORY:
+        return "M"
+    if fmt is Format.OPERATE:
+        return "I"
+    return "B"  # branches, jumps, PAL
+
+
+def can_dual_issue(first: Instruction, second: Instruction) -> bool:
+    """Whether two independent instructions may share an issue cycle."""
+    return issue_class(first) != issue_class(second)

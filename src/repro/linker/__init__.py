@@ -1,0 +1,29 @@
+"""Standard linker substrate (the paper's ``ld`` baseline).
+
+Performs conventional linking of object modules and static archives:
+demand-driven archive member pull-in, merging of module GATs into one
+GAT section with duplicate removal (splitting into multiple GAT groups
+when the 16-bit GP displacement cannot cover one), segment layout,
+COMMON allocation, and relocation.  No optimization is performed — the
+output preserves every address load and every piece of calling-convention
+bookkeeping the compiler emitted, which is exactly the baseline all of
+the paper's measurements compare against.
+"""
+
+from repro.linker.executable import Executable, Segment
+from repro.linker.resolve import LinkError, resolve_inputs
+from repro.linker.layout import Layout, LayoutOptions, compute_layout
+from repro.linker.linker import link
+from repro.linker.crt0 import make_crt0
+
+__all__ = [
+    "Executable",
+    "Segment",
+    "LinkError",
+    "resolve_inputs",
+    "Layout",
+    "LayoutOptions",
+    "compute_layout",
+    "link",
+    "make_crt0",
+]

@@ -1,0 +1,40 @@
+"""The C runtime startup module.
+
+``__start`` establishes GP, calls ``main`` through the standard
+conservative convention (PV-load from the GAT + ``jsr`` + GP reset), and
+halts.  Built programmatically with the assembler so every toolchain
+consumer shares one definition.
+"""
+
+from __future__ import annotations
+
+from repro.isa.asm import Assembler
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import PalFunc
+from repro.isa.registers import Reg
+from repro.objfile.objfile import ObjectFile
+from repro.objfile.relocations import LituseKind
+
+
+def make_crt0() -> ObjectFile:
+    """Build the startup object module."""
+    asm = Assembler("crt0.o")
+    asm.begin_proc("__start", exported=True, uses_gp=True, frame_size=0)
+    ldah = asm.emit(
+        Instruction.mem("ldah", Reg.GP, Reg.PV, 0), gpdisp_base="__start"
+    )
+    asm.emit(Instruction.mem("lda", Reg.GP, Reg.GP, 0), gpdisp_pair=ldah)
+    load = asm.emit(Instruction.mem("ldq", Reg.PV, Reg.GP, 0), literal=("main", 0))
+    asm.emit(
+        Instruction.jump("jsr", Reg.RA, Reg.PV),
+        lituse=(load, LituseKind.JSR),
+        hint="main",
+    )
+    asm.label("$start_ret")
+    ldah = asm.emit(
+        Instruction.mem("ldah", Reg.GP, Reg.RA, 0), gpdisp_base="$start_ret"
+    )
+    asm.emit(Instruction.mem("lda", Reg.GP, Reg.GP, 0), gpdisp_pair=ldah)
+    asm.emit(Instruction.pal(int(PalFunc.HALT)))
+    asm.end_proc()
+    return asm.finish()

@@ -1,0 +1,72 @@
+"""The executable image format.
+
+An executable is fully relocated: segments of bytes at virtual
+addresses, zero-filled regions, an entry point, and the per-GAT-group GP
+values.  Symbol and procedure tables are retained for the simulator,
+tests, and measurement tooling (the real Alpha/OSF loader format keeps
+them too — the paper relies on that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Canonical memory map (Alpha/OSF flavoured).
+TEXT_BASE = 0x1_2000_0000
+DATA_BASE = 0x1_4000_0000
+STACK_TOP = 0x1_6000_0000
+STACK_BYTES = 1 << 20
+
+
+@dataclass
+class Segment:
+    vaddr: int
+    data: bytes
+
+    @property
+    def end(self) -> int:
+        return self.vaddr + len(self.data)
+
+
+@dataclass
+class ProcEntry:
+    """Procedure descriptor in the executable: the paper's requirement
+    that the loader format identify procedure boundaries and each
+    procedure's GP."""
+
+    name: str
+    addr: int
+    size: int
+    gp_group: int = 0
+    uses_gp: bool = True
+
+
+@dataclass
+class Executable:
+    entry: int
+    gp_values: list[int]
+    segments: list[Segment] = field(default_factory=list)
+    zeroed: list[tuple[int, int]] = field(default_factory=list)  # (vaddr, size)
+    symbols: dict[str, int] = field(default_factory=dict)
+    procs: list[ProcEntry] = field(default_factory=list)
+    gat_base: int = 0
+    gat_size: int = 0
+    text_size: int = 0
+
+    @property
+    def gp(self) -> int:
+        """The primary GP value (group 0)."""
+        return self.gp_values[0]
+
+    def symbol(self, name: str) -> int:
+        return self.symbols[name]
+
+    def proc_named(self, name: str) -> ProcEntry:
+        for proc in self.procs:
+            if proc.name == name:
+                return proc
+        raise KeyError(name)
+
+    def text_bytes(self) -> bytes:
+        """The text segment contents (segments[0] by construction)."""
+        return self.segments[0].data

@@ -1,0 +1,27 @@
+"""The standard linker entry point."""
+
+from __future__ import annotations
+
+from repro.linker.executable import Executable
+from repro.linker.layout import LayoutOptions, compute_layout
+from repro.linker.relocate import build_executable
+from repro.linker.resolve import resolve_inputs
+from repro.objfile.archive import Archive
+from repro.objfile.objfile import ObjectFile
+
+
+def link(
+    objects: list[ObjectFile],
+    libraries: list[Archive] = (),
+    *,
+    entry: str = "__start",
+    options: LayoutOptions | None = None,
+) -> Executable:
+    """Standard (non-optimizing) link of objects and archives.
+
+    This is the paper's baseline: every address load, PV-load, and
+    GP-reset the compiler emitted survives into the executable.
+    """
+    inputs = resolve_inputs(objects, list(libraries))
+    layout = compute_layout(inputs, options)
+    return build_executable(inputs, layout, entry=entry)

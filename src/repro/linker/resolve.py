@@ -1,0 +1,99 @@
+"""Symbol resolution and archive member selection.
+
+Implements the conventional model: explicitly named objects are always
+linked; archive members are pulled in only when they define a symbol
+some already-linked module needs.  This demand-driven behaviour is what
+makes pre-compiled library code opaque to compile-time interprocedural
+optimization while remaining fully visible at link time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.objfile.archive import Archive
+from repro.objfile.objfile import ObjectFile
+from repro.objfile.symbols import Symbol, SymbolKind
+
+
+class LinkError(Exception):
+    """Unresolved or multiply-defined symbols, layout overflow, etc."""
+
+
+@dataclass
+class ResolvedInputs:
+    """The closed world the linker (or OM) will operate on."""
+
+    modules: list[ObjectFile] = field(default_factory=list)
+    #: global name -> (module index, Symbol) for every defined global
+    globals: dict[str, tuple[int, Symbol]] = field(default_factory=dict)
+    #: COMMON allocations: name -> (size, alignment)
+    commons: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+
+def resolve_inputs(
+    objects: list[ObjectFile], libraries: list[Archive] = ()
+) -> ResolvedInputs:
+    """Select the modules to link and build the global symbol map."""
+    modules: list[ObjectFile] = list(objects)
+    resolved = ResolvedInputs()
+
+    defined: dict[str, tuple[int, Symbol]] = {}
+    commons: dict[str, tuple[int, int]] = {}
+    undefined: set[str] = set()
+
+    def absorb(index: int, module: ObjectFile) -> None:
+        for sym in module.symbols:
+            if sym.kind is SymbolKind.UNDEF:
+                if sym.name not in defined and sym.name not in commons:
+                    undefined.add(sym.name)
+            elif sym.kind is SymbolKind.COMMON:
+                size, align = commons.get(sym.name, (0, 8))
+                commons[sym.name] = (max(size, sym.size), max(align, sym.alignment))
+                undefined.discard(sym.name)
+            elif sym.binding.value == "global":
+                if sym.name in defined:
+                    raise LinkError(
+                        f"symbol {sym.name!r} multiply defined "
+                        f"(in {modules[defined[sym.name][0]].name} and {module.name})"
+                    )
+                defined[sym.name] = (index, sym)
+                undefined.discard(sym.name)
+
+    for index, module in enumerate(modules):
+        absorb(index, module)
+
+    # Demand-driven archive pull-in, iterated until a fixed point: a
+    # pulled member may itself need further members (library-to-library
+    # calls, which the paper observes are common).
+    progress = True
+    while progress and undefined:
+        progress = False
+        for library in libraries:
+            for name in sorted(undefined):
+                member = library.member_defining(name)
+                if member is None or member in modules:
+                    continue
+                index = len(modules)
+                modules.append(member)
+                absorb(index, member)
+                progress = True
+                if not undefined:
+                    break
+
+    # A COMMON definition satisfies references; a real definition
+    # overrides a COMMON of the same name.
+    for name in list(commons):
+        if name in defined:
+            del commons[name]
+
+    still_missing = sorted(
+        name for name in undefined if name not in defined and name not in commons
+    )
+    if still_missing:
+        raise LinkError(f"unresolved symbols: {', '.join(still_missing)}")
+
+    resolved.modules = modules
+    resolved.globals = defined
+    resolved.commons = commons
+    return resolved

@@ -1,0 +1,12 @@
+"""Simulated AXP machine (the DECstation 3000/400 analog).
+
+Executes linked executables and reports both architectural results
+(console output, instruction counts) and micro-architectural timing
+(cycles under an in-order dual-issue model with load-use stalls, split
+direct-mapped I/D caches, and taken-branch bubbles) — the terms that
+produce the paper's dynamic measurements.
+"""
+
+from repro.machine.cpu import Machine, MachineError, RunResult, run
+
+__all__ = ["Machine", "MachineError", "RunResult", "run"]

@@ -1,0 +1,597 @@
+"""Functional and timing simulation of the AXP subset.
+
+The executable's text is pre-decoded once into flat operation tuples;
+the interpreter loop dispatches on a small integer kind.  Two loops are
+provided: a plain functional one (used by correctness tests) and a timed
+one that additionally models the paper's performance terms:
+
+* in-order dual issue (one integer op may pair with one memory/control
+  op — see :mod:`repro.isa.timing`);
+* load-use and multiply latencies via per-register ready times;
+* direct-mapped split 8KB I/D caches with a fixed miss penalty;
+* a one-cycle bubble for taken branches.
+
+The timed loop is also the source of the ``getticks`` PAL call's value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import PalFunc
+from repro.isa.timing import (
+    CACHE_LINE,
+    CACHE_MISS_PENALTY,
+    DCACHE_BYTES,
+    ICACHE_BYTES,
+    LOAD_LATENCY,
+    MUL_LATENCY,
+    TAKEN_BRANCH_PENALTY,
+)
+from repro.linker.executable import Executable, STACK_BYTES, STACK_TOP
+
+_MASK = (1 << 64) - 1
+
+# Operation kind codes for the pre-decoded stream.
+(
+    K_LDA, K_LDAH, K_LDQ, K_STQ, K_LDL, K_STL, K_LDBU, K_STB, K_LDQ_U,
+    K_OP_RR, K_OP_RL, K_BR, K_BSR, K_CBR, K_JSR, K_RET, K_JMP, K_PAL,
+) = range(18)
+
+# Operate-function codes for K_OP_*: index into _OPERATE handlers.
+_OPERATE_NAMES = [
+    "addq", "subq", "mulq", "s4addq", "s8addq", "addl", "subl", "mull",
+    "umulh", "cmpeq", "cmplt", "cmple", "cmpult", "cmpule", "and", "bic",
+    "bis", "ornot", "xor", "eqv", "sll", "srl", "sra", "cmoveq", "cmovne",
+    "cmovlt", "cmovge", "cmovle", "cmovgt", "cmovlbs", "cmovlbc",
+]
+_OPERATE_CODE = {name: i for i, name in enumerate(_OPERATE_NAMES)}
+
+_COND_BRANCH_NAMES = {
+    "beq": 0, "bne": 1, "blt": 2, "ble": 3, "bge": 4, "bgt": 5,
+    "blbc": 6, "blbs": 7,
+}
+
+
+class MachineError(Exception):
+    """Bad memory access, undecodable instruction, or runaway program."""
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated run."""
+
+    output: str
+    instructions: int
+    cycles: int
+    icache_misses: int = 0
+    dcache_misses: int = 0
+    dual_issues: int = 0
+    halted: bool = True
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / max(self.instructions, 1)
+
+
+@dataclass
+class Machine:
+    """A loaded program instance ready to run."""
+
+    executable: Executable
+    max_instructions: int = 200_000_000
+
+    _decoded: list = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        exe = self.executable
+        self.text_base = exe.segments[0].vaddr
+        self.text = bytes(exe.segments[0].data)
+        data_seg = exe.segments[1]
+        self.data_base = data_seg.vaddr
+        data_end = data_seg.end
+        for vaddr, size in exe.zeroed:
+            data_end = max(data_end, vaddr + size)
+        self.data = bytearray(data_end - self.data_base)
+        self.data[: len(data_seg.data)] = data_seg.data
+        self.data_limit = self.data_base + len(self.data)
+        self.stack_base = STACK_TOP - STACK_BYTES
+        self.stack = bytearray(STACK_BYTES)
+        self._decoded = _predecode(self.text, self.text_base)
+
+    # -- memory helpers (shared by both loops) ---------------------------------
+
+    def _load_q(self, addr: int) -> int:
+        if addr & 7:
+            raise MachineError(f"unaligned load at {addr:#x}")
+        if self.data_base <= addr < self.data_limit:
+            off = addr - self.data_base
+            return int.from_bytes(self.data[off : off + 8], "little")
+        if self.stack_base <= addr < STACK_TOP:
+            off = addr - self.stack_base
+            return int.from_bytes(self.stack[off : off + 8], "little")
+        if self.text_base <= addr < self.text_base + len(self.text):
+            off = addr - self.text_base
+            return int.from_bytes(self.text[off : off + 8], "little")
+        raise MachineError(f"load from unmapped address {addr:#x}")
+
+    def _store_q(self, addr: int, value: int) -> None:
+        if addr & 7:
+            raise MachineError(f"unaligned store at {addr:#x}")
+        value &= _MASK
+        if self.data_base <= addr < self.data_limit:
+            off = addr - self.data_base
+            self.data[off : off + 8] = value.to_bytes(8, "little")
+            return
+        if self.stack_base <= addr < STACK_TOP:
+            off = addr - self.stack_base
+            self.stack[off : off + 8] = value.to_bytes(8, "little")
+            return
+        raise MachineError(f"store to unmapped address {addr:#x}")
+
+    def _load_byte(self, addr: int) -> int:
+        quad = self._load_q(addr & ~7)
+        return (quad >> ((addr & 7) * 8)) & 0xFF
+
+    def _store_byte(self, addr: int, value: int) -> None:
+        shift = (addr & 7) * 8
+        quad = self._load_q(addr & ~7)
+        quad = (quad & ~(0xFF << shift)) | ((value & 0xFF) << shift)
+        self._store_q(addr & ~7, quad)
+
+    def _store_long(self, addr: int, value: int) -> None:
+        if addr & 3:
+            raise MachineError(f"unaligned longword store at {addr:#x}")
+        shift = (addr & 4) * 8
+        quad = self._load_q(addr & ~7)
+        quad = (quad & ~(0xFFFFFFFF << shift)) | ((value & 0xFFFFFFFF) << shift)
+        self._store_q(addr & ~7, quad)
+
+    # -- running ----------------------------------------------------------------
+
+    def run(self, timed: bool = True) -> RunResult:
+        if timed:
+            return self._run_timed()
+        return self._run_functional()
+
+    def _initial_state(self) -> tuple[list[int], int]:
+        regs = [0] * 32
+        regs[27] = self.executable.entry  # PV
+        regs[26] = self.executable.entry  # RA (returning to entry halts anyway)
+        regs[30] = STACK_TOP - 512  # SP, with a red zone
+        return regs, (self.executable.entry - self.text_base) >> 2
+
+    def _run_functional(self) -> RunResult:
+        regs, index = self._initial_state()
+        decoded = self._decoded
+        output: list[str] = []
+        text_base = self.text_base
+        load_q = self._load_q
+        store_q = self._store_q
+        count = 0
+        limit = self.max_instructions
+        halted = False
+
+        while True:
+            op = decoded[index]
+            kind = op[0]
+            count += 1
+            if count > limit:
+                raise MachineError(f"instruction limit {limit} exceeded")
+            if kind == K_LDQ:
+                __, ra, rb, disp = op
+                regs[ra] = load_q((regs[rb] + disp) & _MASK)
+            elif kind == K_OP_RR or kind == K_OP_RL:
+                __, fn, ra, rb, rc = op
+                b = rb if kind == K_OP_RL else regs[rb]
+                regs[rc] = _operate(fn, regs[ra], b, regs[rc])
+            elif kind == K_LDA:
+                __, ra, rb, disp = op
+                regs[ra] = (regs[rb] + disp) & _MASK
+            elif kind == K_LDAH:
+                __, ra, rb, disp = op
+                regs[ra] = (regs[rb] + (disp << 16)) & _MASK
+            elif kind == K_STQ:
+                __, ra, rb, disp = op
+                store_q((regs[rb] + disp) & _MASK, regs[ra])
+            elif kind == K_CBR:
+                __, cond, ra, target = op
+                if _branch_taken(cond, regs[ra]):
+                    regs[31] = 0
+                    index = target
+                    continue
+            elif kind == K_BR or kind == K_BSR:
+                __, ra, target = op
+                regs[ra] = text_base + 4 * (index + 1)
+                regs[31] = 0
+                index = target
+                continue
+            elif kind == K_JSR or kind == K_JMP or kind == K_RET:
+                __, ra, rb = op
+                dest = regs[rb] & ~3
+                regs[ra] = text_base + 4 * (index + 1)
+                regs[31] = 0
+                index = (dest - text_base) >> 2
+                if not 0 <= index < len(decoded):
+                    raise MachineError(f"jump to unmapped address {dest:#x}")
+                continue
+            elif kind == K_PAL:
+                func = op[1]
+                if func == PalFunc.HALT:
+                    halted = True
+                    break
+                if func == PalFunc.PUTINT:
+                    value = regs[16]
+                    output.append(str(value - (1 << 64) if value >> 63 else value))
+                    output.append("\n")
+                elif func == PalFunc.PUTCHAR:
+                    output.append(chr(regs[16] & 0xFF))
+                elif func == PalFunc.GETTICKS:
+                    regs[0] = count
+                else:
+                    raise MachineError(f"unknown PAL function {func:#x}")
+            elif kind == K_LDL:
+                __, ra, rb, disp = op
+                value = load_q((regs[rb] + disp) & ~7 & _MASK)
+                shift = ((regs[rb] + disp) & 4) * 8
+                word = (value >> shift) & 0xFFFFFFFF
+                regs[ra] = word | (~0xFFFFFFFF & _MASK if word >> 31 else 0)
+            elif kind == K_LDQ_U:
+                __, ra, rb, disp = op
+                regs[ra] = load_q((regs[rb] + disp) & ~7 & _MASK)
+            elif kind == K_LDBU:
+                __, ra, rb, disp = op
+                regs[ra] = self._load_byte((regs[rb] + disp) & _MASK)
+            elif kind == K_STB:
+                __, ra, rb, disp = op
+                self._store_byte((regs[rb] + disp) & _MASK, regs[ra])
+            elif kind == K_STL:
+                __, ra, rb, disp = op
+                self._store_long((regs[rb] + disp) & _MASK, regs[ra])
+            else:
+                raise MachineError(f"unhandled op kind {kind}")
+            regs[31] = 0
+            index += 1
+
+        return RunResult("".join(output), count, cycles=count, halted=halted)
+
+    def _run_timed(self) -> RunResult:
+        regs, index = self._initial_state()
+        decoded = self._decoded
+        output: list[str] = []
+        text_base = self.text_base
+        load_q = self._load_q
+        store_q = self._store_q
+        count = 0
+        limit = self.max_instructions
+        halted = False
+
+        # Timing state.
+        cycle = 0
+        ready = [0] * 32  # per-register result-ready cycle
+        slot_open = False  # second issue slot of `cycle` available
+        slot_class = 0  # class of the instruction in the first slot
+        iline_shift = CACHE_LINE.bit_length() - 1
+        in_lines = ICACHE_BYTES // CACHE_LINE
+        dn_lines = DCACHE_BYTES // CACHE_LINE
+        itags = [-1] * in_lines
+        dtags = [-1] * dn_lines
+        imisses = 0
+        dmisses = 0
+        duals = 0
+        miss_penalty = CACHE_MISS_PENALTY
+
+        while True:
+            op = decoded[index]
+            kind = op[0]
+            count += 1
+            if count > limit:
+                raise MachineError(f"instruction limit {limit} exceeded")
+
+            # Instruction fetch / I-cache.
+            iaddr = text_base + 4 * index
+            line = iaddr >> iline_shift
+            islot = line & (in_lines - 1)
+            if itags[islot] != line:
+                itags[islot] = line
+                imisses += 1
+                cycle += miss_penalty
+                slot_open = False
+
+            # Issue-cycle computation: operand readiness.
+            if kind == K_OP_RR:
+                __, fn, ra, rb, rc = op
+                klass = 2  # integer
+                operand_ready = ready[ra] if ready[ra] > ready[rb] else ready[rb]
+            elif kind == K_OP_RL:
+                __, fn, ra, rb, rc = op
+                klass = 2
+                operand_ready = ready[ra]
+            elif kind in (K_LDQ, K_LDA, K_LDAH, K_LDL, K_LDQ_U, K_LDBU):
+                __, ra, rb, disp = op
+                klass = 1  # memory
+                operand_ready = ready[rb]
+            elif kind in (K_STQ, K_STL, K_STB):
+                __, ra, rb, disp = op
+                klass = 1
+                operand_ready = ready[ra] if ready[ra] > ready[rb] else ready[rb]
+            elif kind == K_CBR:
+                __, cond, ra, target = op
+                klass = 3  # control
+                operand_ready = ready[ra]
+            elif kind in (K_JSR, K_JMP, K_RET):
+                __, ra, rb = op
+                klass = 3
+                operand_ready = ready[rb]
+            else:  # BR/BSR/PAL
+                klass = 3
+                operand_ready = 0
+
+            if slot_open and operand_ready <= cycle and klass != slot_class:
+                # Pairs into the open second slot of the current cycle.
+                slot_open = False
+                duals += 1
+                issue = cycle
+            else:
+                issue = cycle + 1
+                if operand_ready > issue:
+                    issue = operand_ready
+                cycle = issue
+                slot_open = True
+                slot_class = klass
+
+            # Execute.
+            taken = False
+            if kind == K_LDQ:
+                addr = (regs[rb] + disp) & _MASK
+                regs[ra] = load_q(addr)
+                latency = LOAD_LATENCY
+                dline = addr >> iline_shift
+                dslot = dline & (dn_lines - 1)
+                if dtags[dslot] != dline:
+                    dtags[dslot] = dline
+                    dmisses += 1
+                    latency += miss_penalty
+                ready[ra] = issue + latency
+            elif kind == K_OP_RR or kind == K_OP_RL:
+                b = rb if kind == K_OP_RL else regs[rb]
+                regs[rc] = _operate(fn, regs[ra], b, regs[rc])
+                ready[rc] = issue + (MUL_LATENCY if fn in (2, 7, 8) else 1)
+            elif kind == K_LDA:
+                regs[ra] = (regs[rb] + disp) & _MASK
+                ready[ra] = issue + 1
+            elif kind == K_LDAH:
+                regs[ra] = (regs[rb] + (disp << 16)) & _MASK
+                ready[ra] = issue + 1
+            elif kind == K_STQ:
+                addr = (regs[rb] + disp) & _MASK
+                store_q(addr, regs[ra])
+                dline = addr >> iline_shift
+                dslot = dline & (dn_lines - 1)
+                if dtags[dslot] != dline:
+                    dtags[dslot] = dline
+                    dmisses += 1
+                    cycle += miss_penalty
+                    slot_open = False
+            elif kind == K_CBR:
+                if _branch_taken(cond, regs[ra]):
+                    taken = True
+                    next_index = target
+            elif kind == K_BR or kind == K_BSR:
+                __, ra2, target = op
+                regs[ra2] = text_base + 4 * (index + 1)
+                ready[ra2] = issue + 1
+                taken = True
+                next_index = target
+            elif kind in (K_JSR, K_JMP, K_RET):
+                dest = regs[rb] & ~3
+                regs[ra] = text_base + 4 * (index + 1)
+                ready[ra] = issue + 1
+                taken = True
+                next_index = (dest - text_base) >> 2
+                if not 0 <= next_index < len(decoded):
+                    raise MachineError(f"jump to unmapped address {dest:#x}")
+            elif kind == K_PAL:
+                func = op[1]
+                if func == PalFunc.HALT:
+                    halted = True
+                    break
+                if func == PalFunc.PUTINT:
+                    value = regs[16]
+                    output.append(str(value - (1 << 64) if value >> 63 else value))
+                    output.append("\n")
+                elif func == PalFunc.PUTCHAR:
+                    output.append(chr(regs[16] & 0xFF))
+                elif func == PalFunc.GETTICKS:
+                    regs[0] = cycle
+                    ready[0] = issue + 1
+                else:
+                    raise MachineError(f"unknown PAL function {func:#x}")
+            elif kind == K_LDL:
+                addr = (regs[rb] + disp) & _MASK
+                value = load_q(addr & ~7)
+                shift = (addr & 4) * 8
+                word = (value >> shift) & 0xFFFFFFFF
+                regs[ra] = word | (~0xFFFFFFFF & _MASK if word >> 31 else 0)
+                ready[ra] = issue + LOAD_LATENCY
+            elif kind == K_LDQ_U:
+                regs[ra] = load_q((regs[rb] + disp) & ~7 & _MASK)
+                ready[ra] = issue + LOAD_LATENCY
+            elif kind == K_LDBU:
+                regs[ra] = self._load_byte((regs[rb] + disp) & _MASK)
+                ready[ra] = issue + LOAD_LATENCY
+            elif kind == K_STB:
+                self._store_byte((regs[rb] + disp) & _MASK, regs[ra])
+            elif kind == K_STL:
+                self._store_long((regs[rb] + disp) & _MASK, regs[ra])
+            else:
+                raise MachineError(f"unhandled op kind {kind}")
+
+            regs[31] = 0
+            ready[31] = 0
+            if taken:
+                cycle = issue + TAKEN_BRANCH_PENALTY
+                slot_open = False
+                index = next_index
+            else:
+                index += 1
+
+        return RunResult(
+            "".join(output),
+            count,
+            cycles=cycle,
+            icache_misses=imisses,
+            dcache_misses=dmisses,
+            dual_issues=duals,
+            halted=halted,
+        )
+
+
+def run(
+    executable: Executable, *, timed: bool = True, max_instructions: int = 200_000_000
+) -> RunResult:
+    """Load and run an executable to completion."""
+    return Machine(executable, max_instructions=max_instructions).run(timed=timed)
+
+
+# -- decode ---------------------------------------------------------------------
+
+
+def _predecode(text: bytes, text_base: int) -> list:
+    """Translate the text segment into flat operation tuples."""
+    from repro.isa.encoding import decode
+    from repro.isa.opcodes import Format
+
+    decoded = []
+    nwords = len(text) // 4
+    for i in range(nwords):
+        word = int.from_bytes(text[4 * i : 4 * i + 4], "little")
+        try:
+            instr = decode(word)
+        except Exception as exc:
+            decoded.append((K_PAL, -1, f"undecodable word {word:#010x}: {exc}"))
+            continue
+        name = instr.op.name
+        fmt = instr.op.format
+        if fmt is Format.MEMORY:
+            kind = {
+                "lda": K_LDA, "ldah": K_LDAH, "ldq": K_LDQ, "stq": K_STQ,
+                "ldl": K_LDL, "stl": K_STL, "ldbu": K_LDBU, "stb": K_STB,
+                "ldq_u": K_LDQ_U,
+            }[name]
+            decoded.append((kind, instr.ra, instr.rb, instr.disp))
+        elif fmt is Format.OPERATE:
+            fn = _OPERATE_CODE[name]
+            if instr.lit is not None:
+                decoded.append((K_OP_RL, fn, instr.ra, instr.lit, instr.rc))
+            else:
+                decoded.append((K_OP_RR, fn, instr.ra, instr.rb, instr.rc))
+        elif fmt is Format.BRANCH:
+            target = i + 1 + instr.disp
+            if name == "br":
+                decoded.append((K_BR, instr.ra, target))
+            elif name == "bsr":
+                decoded.append((K_BSR, instr.ra, target))
+            else:
+                decoded.append((K_CBR, _COND_BRANCH_NAMES[name], instr.ra, target))
+        elif fmt is Format.MEMORY_JUMP:
+            kind = {"jsr": K_JSR, "jmp": K_JMP, "ret": K_RET,
+                    "jsr_coroutine": K_JSR}[name]
+            decoded.append((kind, instr.ra, instr.rb))
+        else:  # PAL
+            decoded.append((K_PAL, instr.disp))
+    return decoded
+
+
+def _to_signed(value: int) -> int:
+    return value - (1 << 64) if value >> 63 else value
+
+
+def _operate(fn: int, a: int, b: int, old_c: int) -> int:
+    """Evaluate an operate instruction; operands/result are u64."""
+    if fn == 0:  # addq
+        return (a + b) & _MASK
+    if fn == 1:  # subq
+        return (a - b) & _MASK
+    if fn == 16:  # bis
+        return a | b
+    if fn == 9:  # cmpeq
+        return 1 if a == b else 0
+    if fn == 10:  # cmplt
+        return 1 if _to_signed(a) < _to_signed(b) else 0
+    if fn == 11:  # cmple
+        return 1 if _to_signed(a) <= _to_signed(b) else 0
+    if fn == 12:  # cmpult
+        return 1 if a < b else 0
+    if fn == 13:  # cmpule
+        return 1 if a <= b else 0
+    if fn == 2:  # mulq
+        return (a * b) & _MASK
+    if fn == 4:  # s8addq
+        return (a * 8 + b) & _MASK
+    if fn == 3:  # s4addq
+        return (a * 4 + b) & _MASK
+    if fn == 20:  # sll
+        return (a << (b & 63)) & _MASK
+    if fn == 21:  # srl
+        return a >> (b & 63)
+    if fn == 22:  # sra
+        return (_to_signed(a) >> (b & 63)) & _MASK
+    if fn == 14:  # and
+        return a & b
+    if fn == 15:  # bic
+        return a & ~b & _MASK
+    if fn == 17:  # ornot
+        return (a | (~b & _MASK)) & _MASK
+    if fn == 18:  # xor
+        return a ^ b
+    if fn == 19:  # eqv
+        return (a ^ (~b & _MASK)) & _MASK
+    if fn == 5:  # addl
+        return _sext32((a + b) & 0xFFFFFFFF)
+    if fn == 6:  # subl
+        return _sext32((a - b) & 0xFFFFFFFF)
+    if fn == 7:  # mull
+        return _sext32((a * b) & 0xFFFFFFFF)
+    if fn == 8:  # umulh
+        return ((a * b) >> 64) & _MASK
+    if fn == 23:  # cmoveq
+        return b if a == 0 else old_c
+    if fn == 24:  # cmovne
+        return b if a != 0 else old_c
+    if fn == 25:  # cmovlt
+        return b if _to_signed(a) < 0 else old_c
+    if fn == 26:  # cmovge
+        return b if _to_signed(a) >= 0 else old_c
+    if fn == 27:  # cmovle
+        return b if _to_signed(a) <= 0 else old_c
+    if fn == 28:  # cmovgt
+        return b if _to_signed(a) > 0 else old_c
+    if fn == 29:  # cmovlbs
+        return b if a & 1 else old_c
+    if fn == 30:  # cmovlbc
+        return b if not a & 1 else old_c
+    raise MachineError(f"unhandled operate function {fn}")
+
+
+def _sext32(value: int) -> int:
+    return value | (~0xFFFFFFFF & _MASK) if value >> 31 else value
+
+
+def _branch_taken(cond: int, value: int) -> bool:
+    if cond == 0:  # beq
+        return value == 0
+    if cond == 1:  # bne
+        return value != 0
+    signed = _to_signed(value)
+    if cond == 2:  # blt
+        return signed < 0
+    if cond == 3:  # ble
+        return signed <= 0
+    if cond == 4:  # bge
+        return signed >= 0
+    if cond == 5:  # bgt
+        return signed > 0
+    if cond == 6:  # blbc
+        return not value & 1
+    return bool(value & 1)  # blbs

@@ -1,0 +1,37 @@
+"""MiniC: the compiler substrate.
+
+MiniC is a C subset (64-bit ints, one-dimensional arrays, pointers,
+function pointers, ``switch``) whose compiler emits exactly the
+conservative 64-bit address-calculation code model the paper describes:
+
+* every global variable and procedure address is obtained by an
+  *address load* from the GAT through the GP register;
+* every procedure establishes its own GP on entry from PV, and
+  re-establishes it after every call returns from RA;
+* every call site loads PV from the GAT and uses the general ``jsr``.
+
+Two compilation modes mirror the paper's versions:
+
+* **compile-each** (``-O2`` analog): each module compiled separately with
+  intraprocedural optimization and pipeline scheduling;
+* **compile-all** (interprocedural analog): all user sources compiled as
+  one unit, with inlining and intra-unit call optimization (BSR, skipped
+  GP setup, no GP reset) — but pre-compiled library calls keep the full
+  conservative convention, as the paper stresses.
+"""
+
+from repro.minicc.errors import CompileError
+from repro.minicc.driver import (
+    Options,
+    compile_module,
+    compile_all,
+    parse_source,
+)
+
+__all__ = [
+    "CompileError",
+    "Options",
+    "compile_module",
+    "compile_all",
+    "parse_source",
+]

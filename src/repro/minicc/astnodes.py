@@ -1,0 +1,218 @@
+"""MiniC abstract syntax tree.
+
+Every node carries its source line for diagnostics.  The tree is plain
+data; semantic checking lives in :mod:`repro.minicc.sema` and lowering
+in :mod:`repro.minicc.irgen`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# -- expressions -------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class Num(Expr):
+    value: int = 0
+
+
+@dataclass
+class Var(Expr):
+    """A name: local, parameter, global, or function."""
+
+    name: str = ""
+
+
+@dataclass
+class Str(Expr):
+    """A string literal; evaluates to the address of a zero-terminated
+    word array (one character code per 64-bit word)."""
+
+    value: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    """Operators: - ~ ! * (deref) & (address-of)."""
+
+    op: str = ""
+    operand: Expr | None = None
+
+
+@dataclass
+class Binary(Expr):
+    """Arithmetic/logical/relational binary operators (incl. && ||)."""
+
+    op: str = ""
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass
+class Assign(Expr):
+    """``target op= value``; op is '=' or a compound like '+='."""
+
+    op: str = "="
+    target: Expr | None = None
+    value: Expr | None = None
+
+
+@dataclass
+class IncDec(Expr):
+    """``++x``/``x++``/``--x``/``x--``."""
+
+    op: str = "++"
+    target: Expr | None = None
+    is_prefix: bool = True
+
+
+@dataclass
+class Cond(Expr):
+    """Ternary ``c ? t : f``."""
+
+    cond: Expr | None = None
+    then: Expr | None = None
+    other: Expr | None = None
+
+
+@dataclass
+class Call(Expr):
+    """A call; ``callee`` may be a Var naming a function (direct) or any
+    pointer-valued expression (indirect)."""
+
+    callee: Expr | None = None
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    """``base[index]`` — 8-byte scaled."""
+
+    base: Expr | None = None
+    index: Expr | None = None
+
+
+# -- statements ---------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class Block(Stmt):
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+@dataclass
+class LocalDecl(Stmt):
+    """``int x = e;`` or ``int a[N];`` inside a function."""
+
+    name: str = ""
+    array_size: int | None = None
+    init: Expr | None = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr | None = None
+    then: Stmt | None = None
+    other: Stmt | None = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt | None = None
+    cond: Expr | None = None
+
+
+@dataclass
+class For(Stmt):
+    init: Expr | None = None
+    cond: Expr | None = None
+    step: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class Switch(Stmt):
+    value: Expr | None = None
+    cases: list[tuple[int, list[Stmt]]] = field(default_factory=list)
+    default: list[Stmt] | None = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# -- top-level declarations ----------------------------------------------------
+
+
+@dataclass
+class GlobalVar:
+    """A module-level variable definition (or extern declaration)."""
+
+    name: str
+    array_size: int | None = None
+    init: list[int] | None = None
+    static: bool = False
+    extern: bool = False
+    line: int = 0
+
+
+@dataclass
+class FuncProto:
+    """``extern int f(int a, int b);``"""
+
+    name: str
+    params: list[str] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class FuncDef:
+    name: str
+    params: list[str] = field(default_factory=list)
+    body: Block | None = None
+    static: bool = False
+    line: int = 0
+
+
+@dataclass
+class Module:
+    """One parsed translation unit."""
+
+    name: str
+    globals: list[GlobalVar] = field(default_factory=list)
+    protos: list[FuncProto] = field(default_factory=list)
+    functions: list[FuncDef] = field(default_factory=list)

@@ -1,0 +1,124 @@
+"""Compiler driver: source text to relocatable object module.
+
+``compile_module`` is the compile-each path (one translation unit,
+intraprocedural optimization, pipeline scheduling — the paper's ``-O2``
+analog).  ``compile_all`` merges several sources into one unit and adds
+inlining plus intra-unit call optimization (the interprocedural
+``-O4``/compile-all analog).  Both paths emit the conservative 64-bit
+address-calculation model; only link-time optimization (or intra-unit
+knowledge) relaxes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.asm import Assembler
+from repro.minicc import astnodes as ast
+from repro.minicc import ir
+from repro.minicc.codegen import ProcCodegen, analyze_unit
+from repro.minicc.inline import inline_module
+from repro.minicc.irgen import lower_module
+from repro.minicc.mcode import emit_proc
+from repro.minicc.opt import optimize_module
+from repro.minicc.parser import parse
+from repro.minicc.sched import schedule_proc
+from repro.minicc.sema import analyze, merge_modules
+from repro.objfile.objfile import ObjectFile
+from repro.objfile.sections import SectionKind
+
+
+@dataclass
+class Options:
+    """Compilation switches.
+
+    ``optimize`` runs the IR optimizer; ``schedule`` runs compile-time
+    pipeline scheduling; ``inline`` enables inlining (compile-all only).
+    """
+
+    optimize: bool = True
+    schedule: bool = True
+    inline: bool = True
+    #: Optimistic small-data mode (the -G analog of §6 of the paper):
+    #: variables of at most this many bytes are addressed GP-relative
+    #: directly; the linker refuses to link if the layout breaks the
+    #: assumption.  0 (default) generates fully conservative code.
+    small_data_threshold: int = 0
+
+
+def parse_source(source: str, name: str) -> ast.Module:
+    """Parse one translation unit (exposed for tools and tests)."""
+    return parse(source, name)
+
+
+def compile_module(
+    source: str, name: str, options: Options | None = None
+) -> ObjectFile:
+    """Compile one source file separately (compile-each mode)."""
+    module = parse(source, name)
+    analyze(module)
+    return _compile_unit(module, mode="each", options=options or Options())
+
+
+def compile_all(
+    sources: list[tuple[str, str]], unit_name: str, options: Options | None = None
+) -> ObjectFile:
+    """Compile several sources as a single unit (compile-all mode).
+
+    ``sources`` is a list of ``(name, text)`` pairs.  Library sources are
+    *not* expected here — like the paper's users, we have no library
+    sources at application-build time; libraries arrive pre-compiled.
+    """
+    modules = [parse(text, name) for name, text in sources]
+    merged = merge_modules(modules, unit_name)
+    return _compile_unit(merged, mode="all", options=options or Options())
+
+
+def _compile_unit(module: ast.Module, mode: str, options: Options) -> ObjectFile:
+    irmod = lower_module(module)
+    if mode == "all" and options.inline:
+        inline_module(irmod)
+    if options.optimize:
+        optimize_module(irmod)
+    return generate_object(irmod, mode, options)
+
+
+def generate_object(irmod: ir.IRModule, mode: str, options: Options) -> ObjectFile:
+    """Code-generate an IR module into an object file."""
+    unit = analyze_unit(irmod, mode, options.small_data_threshold)
+    asm = Assembler(irmod.name)
+
+    _emit_globals(asm, irmod)
+
+    jump_tables = []
+    for func in irmod.functions:
+        codegen = ProcCodegen(func, unit)
+        proc = codegen.generate()
+        if options.schedule:
+            schedule_proc(proc)
+        emit_proc(asm, proc)
+        jump_tables.extend(codegen.jump_tables)
+
+    for table in jump_tables:
+        asm.data_symbol(table.symbol, SectionKind.DATA, exported=False)
+        for label in table.labels:
+            asm.data_quad_label(SectionKind.DATA, table.proc, label)
+
+    return asm.finish()
+
+
+def _emit_globals(asm: Assembler, irmod: ir.IRModule) -> None:
+    for glob in irmod.globals:
+        if glob.init is not None:
+            asm.data_symbol(glob.name, SectionKind.DATA, exported=glob.exported)
+            for value in glob.init:
+                asm.data_quad(SectionKind.DATA, value)
+            remaining = glob.size - 8 * len(glob.init)
+            if remaining > 0:
+                asm.data_bytes(SectionKind.DATA, bytes(remaining))
+        elif glob.exported:
+            # Uninitialized exported data becomes COMMON: the linker (or
+            # OM, sorting by size) decides its placement.
+            asm.common(glob.name, glob.size)
+        else:
+            asm.bss_symbol(glob.name, glob.size, exported=False)

@@ -1,0 +1,13 @@
+"""Compiler diagnostics."""
+
+from __future__ import annotations
+
+
+class CompileError(Exception):
+    """A source-level error with location information."""
+
+    def __init__(self, message: str, filename: str = "<input>", line: int = 0):
+        self.message = message
+        self.filename = filename
+        self.line = line
+        super().__init__(f"{filename}:{line}: {message}" if line else message)

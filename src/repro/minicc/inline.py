@@ -1,0 +1,161 @@
+"""Procedure inlining — the interprocedural half of compile-all mode.
+
+The paper's compile-all versions were built with DEC's interprocedural
+optimization, whose chief effect (footnote 5) is "the inlining of user
+routines; if a multiply-inlined user routine contains a library call
+then that call will be replicated".  This pass reproduces that: small
+user routines are inlined at direct call sites, replicating any library
+calls their bodies contain; calls to pre-compiled library routines are
+untouched because their bodies are simply not in the unit.
+"""
+
+from __future__ import annotations
+
+from repro.minicc import ir
+
+#: Callee body size (IR instructions) above which we do not inline.
+#: Medium-sized routines stay as (intra-unit-optimized) calls, as real
+#: interprocedural compilers keep them.
+MAX_INLINE_SIZE = 14
+
+#: Caller body size above which we stop growing it.
+MAX_CALLER_SIZE = 400
+
+#: Inline passes (bounded cascade).
+PASSES = 2
+
+
+def inline_module(module: ir.IRModule) -> int:
+    """Inline eligible direct calls; returns the number of sites inlined."""
+    total = 0
+    for _ in range(PASSES):
+        templates = {
+            func.name: func
+            for func in module.functions
+            if _is_candidate(func)
+        }
+        round_count = 0
+        for func in module.functions:
+            round_count += _inline_into(func, templates)
+        total += round_count
+        if not round_count:
+            break
+    return total
+
+
+def _is_candidate(func: ir.IRFunc) -> bool:
+    if len(func.body) > MAX_INLINE_SIZE:
+        return False
+    for instr in func.body:
+        if isinstance(instr, ir.Call) and instr.callee == func.name:
+            return False  # directly recursive
+    return True
+
+
+def _inline_into(caller: ir.IRFunc, templates: dict[str, ir.IRFunc]) -> int:
+    count = 0
+    body: list[ir.Instr] = []
+    for instr in caller.body:
+        if (
+            isinstance(instr, ir.Call)
+            and instr.callee != caller.name
+            and instr.callee in templates
+            and len(caller.body) + len(body) < MAX_CALLER_SIZE
+        ):
+            body.extend(_splice(caller, templates[instr.callee], instr))
+            count += 1
+        else:
+            body.append(instr)
+    caller.body = body
+    return count
+
+
+def _splice(caller: ir.IRFunc, callee: ir.IRFunc, call: ir.Call) -> list[ir.Instr]:
+    """Expand one call site into a renamed copy of the callee body."""
+    vreg_base = caller.next_vreg
+    caller.next_vreg += callee.next_vreg
+    local_base = len(caller.locals)
+    for local in callee.locals:
+        caller.locals.append(
+            ir.IRLocal(
+                f"{callee.name}${local.name}",
+                local.size,
+                local.is_array,
+                local.addr_taken,
+                local.weight,
+            )
+        )
+    caller.next_label += 1
+    prefix = f"{caller.name}$inl{caller.next_label}$"
+    end_label = f"{prefix}end"
+
+    out: list[ir.Instr] = []
+    for pindex, arg in enumerate(call.args):
+        out.append(ir.StoreLocal(call.line, local_base + pindex, arg))
+
+    def vreg(reg: int) -> int:
+        return vreg_base + reg
+
+    for instr in callee.body:
+        if isinstance(instr, ir.Ret):
+            # A return becomes: assign the result (if wanted), jump to end.
+            line = instr.line
+            if call.dst is not None:
+                if instr.src is not None:
+                    out.append(ir.Mov(line, call.dst, vreg(instr.src)))
+                else:
+                    out.append(ir.Const(line, call.dst, 0))
+            out.append(ir.Jump(line, end_label))
+            continue
+        out.append(_copy_instr(instr, vreg, local_base, prefix))
+    out.append(ir.Label(call.line, end_label))
+    return out
+
+
+def _copy_instr(instr: ir.Instr, vreg, local_base: int, prefix: str) -> ir.Instr:
+    line = instr.line
+    if isinstance(instr, ir.Const):
+        return ir.Const(line, vreg(instr.dst), instr.value)
+    if isinstance(instr, ir.Mov):
+        return ir.Mov(line, vreg(instr.dst), vreg(instr.src))
+    if isinstance(instr, ir.AddrGlobal):
+        return ir.AddrGlobal(line, vreg(instr.dst), instr.symbol, instr.addend)
+    if isinstance(instr, ir.AddrLocal):
+        return ir.AddrLocal(line, vreg(instr.dst), local_base + instr.local)
+    if isinstance(instr, ir.LoadLocal):
+        return ir.LoadLocal(line, vreg(instr.dst), local_base + instr.local)
+    if isinstance(instr, ir.StoreLocal):
+        return ir.StoreLocal(line, local_base + instr.local, vreg(instr.src))
+    if isinstance(instr, ir.Load):
+        return ir.Load(line, vreg(instr.dst), vreg(instr.base), instr.offset)
+    if isinstance(instr, ir.Store):
+        return ir.Store(line, vreg(instr.src), vreg(instr.base), instr.offset)
+    if isinstance(instr, ir.Un):
+        return ir.Un(line, instr.op, vreg(instr.dst), vreg(instr.src))
+    if isinstance(instr, ir.Bin):
+        return ir.Bin(line, instr.op, vreg(instr.dst), vreg(instr.a), vreg(instr.b))
+    if isinstance(instr, ir.BinImm):
+        return ir.BinImm(line, instr.op, vreg(instr.dst), vreg(instr.a), instr.imm)
+    if isinstance(instr, ir.Call):
+        dst = vreg(instr.dst) if instr.dst is not None else None
+        return ir.Call(line, dst, instr.callee, [vreg(a) for a in instr.args])
+    if isinstance(instr, ir.CallPtr):
+        dst = vreg(instr.dst) if instr.dst is not None else None
+        return ir.CallPtr(line, dst, vreg(instr.func), [vreg(a) for a in instr.args])
+    if isinstance(instr, ir.Pal):
+        dst = vreg(instr.dst) if instr.dst is not None else None
+        arg = vreg(instr.arg) if instr.arg is not None else None
+        return ir.Pal(line, instr.kind, dst, arg)
+    if isinstance(instr, ir.Label):
+        return ir.Label(line, prefix + instr.name)
+    if isinstance(instr, ir.Jump):
+        return ir.Jump(line, prefix + instr.target)
+    if isinstance(instr, ir.CJump):
+        return ir.CJump(
+            line, vreg(instr.cond), prefix + instr.if_true, prefix + instr.if_false
+        )
+    if isinstance(instr, ir.JumpTable):
+        return ir.JumpTable(
+            line, vreg(instr.index), [prefix + label for label in instr.labels]
+        )
+    raise TypeError(f"cannot inline {type(instr).__name__}")  # pragma: no cover

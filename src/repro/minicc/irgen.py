@@ -1,0 +1,636 @@
+"""Lowering from AST to IR.
+
+Implements MiniC evaluation semantics: 64-bit two's-complement
+arithmetic, arrays decaying to addresses, 8-byte-scaled indexing,
+short-circuit ``&&``/``||``, C-style ``switch`` fallthrough.  Comparisons
+are canonicalized to the machine's cmpeq/cmplt/cmple/cmpult/cmpule
+repertoire; loops are rotated so each iteration executes one backward
+conditional branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.minicc import astnodes as ast
+from repro.minicc import ir
+from repro.minicc.errors import CompileError
+from repro.minicc.sema import ModuleSyms, analyze
+
+
+@dataclass
+class _LoopCtx:
+    break_label: str
+    continue_label: str | None
+
+
+class FuncLowerer:
+    """Lowers one function definition to an :class:`ir.IRFunc`."""
+
+    def __init__(
+        self,
+        syms: ModuleSyms,
+        func: ast.FuncDef,
+        filename: str,
+        string_pool: dict[str, str] | None = None,
+    ):
+        self.syms = syms
+        self.string_pool = string_pool if string_pool is not None else {}
+        self.filename = filename
+        self.func = ir.IRFunc(
+            func.name, list(func.params), exported=not func.static
+        )
+        self.scopes: list[dict[str, int]] = [{}]
+        self.loops: list[_LoopCtx] = []
+        self.loop_depth = 0
+        self.ast_func = func
+        for param in func.params:
+            self._declare_local(param, func.line)
+
+    # -- plumbing -----------------------------------------------------------
+
+    def emit(self, instr: ir.Instr) -> ir.Instr:
+        self.func.body.append(instr)
+        return instr
+
+    def error(self, message: str, line: int) -> CompileError:
+        return CompileError(message, self.filename, line)
+
+    def _declare_local(
+        self, name: str, line: int, size: int = 8, is_array: bool = False
+    ) -> int:
+        scope = self.scopes[-1]
+        if name in scope:
+            raise self.error(f"duplicate local {name!r}", line)
+        index = len(self.func.locals)
+        self.func.locals.append(ir.IRLocal(name, size, is_array))
+        scope[name] = index
+        return index
+
+    def _lookup_local(self, name: str) -> int | None:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    def _weight(self) -> float:
+        return float(8 ** min(self.loop_depth, 3))
+
+    def _touch(self, local: int) -> None:
+        self.func.locals[local].weight += self._weight()
+
+    # -- lowering entry point --------------------------------------------------
+
+    def lower(self) -> ir.IRFunc:
+        self.gen_stmt(self.ast_func.body)
+        body = self.func.body
+        if not body or not isinstance(body[-1], ir.Ret):
+            self.emit(ir.Ret(self.ast_func.line, None))
+        return self.func
+
+    # -- statements --------------------------------------------------------------
+
+    def gen_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self.scopes.append({})
+            for inner in stmt.body:
+                self.gen_stmt(inner)
+            self.scopes.pop()
+        elif isinstance(stmt, ast.ExprStmt):
+            self.gen_expr(stmt.expr)
+        elif isinstance(stmt, ast.LocalDecl):
+            self._gen_local_decl(stmt)
+        elif isinstance(stmt, ast.If):
+            self._gen_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._gen_while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._gen_do_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._gen_for(stmt)
+        elif isinstance(stmt, ast.Switch):
+            self._gen_switch(stmt)
+        elif isinstance(stmt, ast.Return):
+            value = self.gen_expr(stmt.value) if stmt.value is not None else None
+            self.emit(ir.Ret(stmt.line, value))
+        elif isinstance(stmt, ast.Break):
+            if not self.loops:
+                raise self.error("break outside loop or switch", stmt.line)
+            self.emit(ir.Jump(stmt.line, self.loops[-1].break_label))
+        elif isinstance(stmt, ast.Continue):
+            target = next(
+                (ctx.continue_label for ctx in reversed(self.loops) if ctx.continue_label),
+                None,
+            )
+            if target is None:
+                raise self.error("continue outside loop", stmt.line)
+            self.emit(ir.Jump(stmt.line, target))
+        else:  # pragma: no cover - parser produces no other nodes
+            raise self.error(f"unhandled statement {type(stmt).__name__}", stmt.line)
+
+    def _gen_local_decl(self, stmt: ast.LocalDecl) -> None:
+        if stmt.array_size is not None:
+            if stmt.array_size <= 0:
+                raise self.error("array size must be positive", stmt.line)
+            index = self._declare_local(
+                stmt.name, stmt.line, size=8 * stmt.array_size, is_array=True
+            )
+            __ = index
+            return
+        index = self._declare_local(stmt.name, stmt.line)
+        if stmt.init is not None:
+            value = self.gen_expr(stmt.init)
+            self._touch(index)
+            self.emit(ir.StoreLocal(stmt.line, index, value))
+
+    def _gen_if(self, stmt: ast.If) -> None:
+        then_label = self.func.new_label("then")
+        end_label = self.func.new_label("endif")
+        else_label = self.func.new_label("else") if stmt.other else end_label
+        self.gen_cond(stmt.cond, then_label, else_label)
+        self.emit(ir.Label(stmt.line, then_label))
+        self.gen_stmt(stmt.then)
+        if stmt.other is not None:
+            self.emit(ir.Jump(stmt.line, end_label))
+            self.emit(ir.Label(stmt.line, else_label))
+            self.gen_stmt(stmt.other)
+        self.emit(ir.Label(stmt.line, end_label))
+
+    def _gen_while(self, stmt: ast.While) -> None:
+        body_label = self.func.new_label("loop")
+        test_label = self.func.new_label("test")
+        end_label = self.func.new_label("endloop")
+        self.emit(ir.Jump(stmt.line, test_label))
+        self.emit(ir.Label(stmt.line, body_label))
+        self.loops.append(_LoopCtx(end_label, test_label))
+        self.loop_depth += 1
+        self.gen_stmt(stmt.body)
+        self.loop_depth -= 1
+        self.loops.pop()
+        self.emit(ir.Label(stmt.line, test_label))
+        self.gen_cond(stmt.cond, body_label, end_label)
+        self.emit(ir.Label(stmt.line, end_label))
+
+    def _gen_do_while(self, stmt: ast.DoWhile) -> None:
+        body_label = self.func.new_label("loop")
+        test_label = self.func.new_label("test")
+        end_label = self.func.new_label("endloop")
+        self.emit(ir.Label(stmt.line, body_label))
+        self.loops.append(_LoopCtx(end_label, test_label))
+        self.loop_depth += 1
+        self.gen_stmt(stmt.body)
+        self.loop_depth -= 1
+        self.loops.pop()
+        self.emit(ir.Label(stmt.line, test_label))
+        self.gen_cond(stmt.cond, body_label, end_label)
+        self.emit(ir.Label(stmt.line, end_label))
+
+    def _gen_for(self, stmt: ast.For) -> None:
+        body_label = self.func.new_label("loop")
+        step_label = self.func.new_label("step")
+        test_label = self.func.new_label("test")
+        end_label = self.func.new_label("endloop")
+        if stmt.init is not None:
+            self.gen_expr(stmt.init)
+        self.emit(ir.Jump(stmt.line, test_label))
+        self.emit(ir.Label(stmt.line, body_label))
+        self.loops.append(_LoopCtx(end_label, step_label))
+        self.loop_depth += 1
+        self.gen_stmt(stmt.body)
+        self.loop_depth -= 1
+        self.loops.pop()
+        self.emit(ir.Label(stmt.line, step_label))
+        if stmt.step is not None:
+            self.gen_expr(stmt.step)
+        self.emit(ir.Label(stmt.line, test_label))
+        if stmt.cond is not None:
+            self.gen_cond(stmt.cond, body_label, end_label)
+        else:
+            self.emit(ir.Jump(stmt.line, body_label))
+        self.emit(ir.Label(stmt.line, end_label))
+
+    def _gen_switch(self, stmt: ast.Switch) -> None:
+        end_label = self.func.new_label("endsw")
+        default_body = self.func.new_label("swdef") if stmt.default is not None else end_label
+        case_labels = {value: self.func.new_label("case") for value, _ in stmt.cases}
+        value = self.gen_expr(stmt.value)
+
+        values = sorted(case_labels)
+        if self._switch_is_dense(values):
+            low, high = values[0], values[-1]
+            labels = [
+                case_labels.get(v, default_body) for v in range(low, high + 1)
+            ]
+            index = self.func.new_vreg()
+            if low:
+                base = self.func.new_vreg()
+                self.emit(ir.Const(stmt.line, base, low))
+                self.emit(ir.Bin(stmt.line, "sub", index, value, base))
+            else:
+                self.emit(ir.Mov(stmt.line, index, value))
+            bound = self.func.new_vreg()
+            self.emit(ir.Const(stmt.line, bound, len(labels)))
+            in_range = self.func.new_vreg()
+            self.emit(ir.Bin(stmt.line, "cmpult", in_range, index, bound))
+            table_label = self.func.new_label("swtab")
+            self.emit(ir.CJump(stmt.line, in_range, table_label, default_body))
+            self.emit(ir.Label(stmt.line, table_label))
+            self.emit(ir.JumpTable(stmt.line, index, labels))
+        else:
+            for case_value in values:
+                probe = self.func.new_vreg()
+                self.emit(ir.Const(stmt.line, probe, case_value))
+                test = self.func.new_vreg()
+                self.emit(ir.Bin(stmt.line, "cmpeq", test, value, probe))
+                next_label = self.func.new_label("swnext")
+                self.emit(ir.CJump(stmt.line, test, case_labels[case_value], next_label))
+                self.emit(ir.Label(stmt.line, next_label))
+            self.emit(ir.Jump(stmt.line, default_body))
+
+        # Bodies, with C fallthrough semantics; break jumps to end.
+        self.loops.append(_LoopCtx(end_label, None))
+        for case_value, body in stmt.cases:
+            self.emit(ir.Label(stmt.line, case_labels[case_value]))
+            for inner in body:
+                self.gen_stmt(inner)
+        if stmt.default is not None:
+            self.emit(ir.Label(stmt.line, default_body))
+            for inner in stmt.default:
+                self.gen_stmt(inner)
+        self.loops.pop()
+        self.emit(ir.Label(stmt.line, end_label))
+
+    @staticmethod
+    def _switch_is_dense(values: list[int]) -> bool:
+        if len(values) < 4:
+            return False
+        span = values[-1] - values[0] + 1
+        return span <= max(3 * len(values), 16) and span <= 512
+
+    # -- conditions ------------------------------------------------------------
+
+    _COND_SWAP = {"==": False, "!=": True}
+    _COND_CMP = {
+        "<": ("cmplt", False),
+        "<=": ("cmple", False),
+        ">": ("cmplt", True),
+        ">=": ("cmple", True),
+    }
+
+    def gen_cond(self, expr: ast.Expr, if_true: str, if_false: str) -> None:
+        """Emit a branch to ``if_true``/``if_false`` on ``expr``'s truth."""
+        if isinstance(expr, ast.Num):
+            self.emit(ir.Jump(expr.line, if_true if expr.value else if_false))
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "!":
+            self.gen_cond(expr.operand, if_false, if_true)
+            return
+        if isinstance(expr, ast.Binary):
+            if expr.op == "&&":
+                mid = self.func.new_label("and")
+                self.gen_cond(expr.left, mid, if_false)
+                self.emit(ir.Label(expr.line, mid))
+                self.gen_cond(expr.right, if_true, if_false)
+                return
+            if expr.op == "||":
+                mid = self.func.new_label("or")
+                self.gen_cond(expr.left, if_true, mid)
+                self.emit(ir.Label(expr.line, mid))
+                self.gen_cond(expr.right, if_true, if_false)
+                return
+            if expr.op in ("==", "!="):
+                test = self._emit_bin("cmpeq", expr)
+                if expr.op == "!=":
+                    if_true, if_false = if_false, if_true
+                self.emit(ir.CJump(expr.line, test, if_true, if_false))
+                return
+            if expr.op in self._COND_CMP:
+                op, swapped = self._COND_CMP[expr.op]
+                left, right = (expr.right, expr.left) if swapped else (expr.left, expr.right)
+                a = self.gen_expr(left)
+                b = self.gen_expr(right)
+                test = self.func.new_vreg()
+                self.emit(ir.Bin(expr.line, op, test, a, b))
+                self.emit(ir.CJump(expr.line, test, if_true, if_false))
+                return
+        value = self.gen_expr(expr)
+        self.emit(ir.CJump(expr.line, value, if_true, if_false))
+
+    def _emit_bin(self, op: str, expr: ast.Binary) -> int:
+        a = self.gen_expr(expr.left)
+        b = self.gen_expr(expr.right)
+        dst = self.func.new_vreg()
+        self.emit(ir.Bin(expr.line, op, dst, a, b))
+        return dst
+
+    # -- expressions ---------------------------------------------------------------
+
+    _BIN_MAP = {
+        "+": "add",
+        "-": "sub",
+        "*": "mul",
+        "/": "div",
+        "%": "rem",
+        "&": "and",
+        "|": "or",
+        "^": "xor",
+        "<<": "sll",
+        ">>": "sra",
+    }
+
+    def gen_expr(self, expr: ast.Expr) -> int:
+        if isinstance(expr, ast.Num):
+            dst = self.func.new_vreg()
+            self.emit(ir.Const(expr.line, dst, expr.value))
+            return dst
+        if isinstance(expr, ast.Var):
+            return self._gen_var_read(expr)
+        if isinstance(expr, ast.Str):
+            symbol = self.string_pool.get(expr.value)
+            if symbol is None:
+                symbol = f"$str{len(self.string_pool)}"
+                self.string_pool[expr.value] = symbol
+            dst = self.func.new_vreg()
+            self.emit(ir.AddrGlobal(expr.line, dst, symbol))
+            return dst
+        if isinstance(expr, ast.Unary):
+            return self._gen_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._gen_binary(expr)
+        if isinstance(expr, ast.Assign):
+            return self._gen_assign(expr)
+        if isinstance(expr, ast.IncDec):
+            return self._gen_incdec(expr)
+        if isinstance(expr, ast.Cond):
+            return self._gen_ternary(expr)
+        if isinstance(expr, ast.Call):
+            return self._gen_call(expr, want_result=True)
+        if isinstance(expr, ast.Index):
+            base, offset = self._gen_index_addr(expr)
+            dst = self.func.new_vreg()
+            self.emit(ir.Load(expr.line, dst, base, offset))
+            return dst
+        raise self.error(f"unhandled expression {type(expr).__name__}", expr.line)
+
+    def _gen_var_read(self, expr: ast.Var) -> int:
+        name = expr.name
+        local = self._lookup_local(name)
+        dst = self.func.new_vreg()
+        if local is not None:
+            if self.func.locals[local].is_array:
+                self.emit(ir.AddrLocal(expr.line, dst, local))
+            else:
+                self._touch(local)
+                self.emit(ir.LoadLocal(expr.line, dst, local))
+            return dst
+        info = self.syms.globals.get(name)
+        if info is not None:
+            addr = self.func.new_vreg()
+            self.emit(ir.AddrGlobal(expr.line, addr, name))
+            if info.array_size is not None:
+                return addr
+            self.emit(ir.Load(expr.line, dst, addr, 0))
+            return dst
+        if name in self.syms.functions:
+            self.emit(ir.AddrGlobal(expr.line, dst, name))
+            return dst
+        raise self.error(f"undeclared name {name!r}", expr.line)
+
+    def _gen_unary(self, expr: ast.Unary) -> int:
+        if expr.op == "&":
+            return self._gen_addr_of(expr.operand, expr.line)
+        if expr.op == "*":
+            base = self.gen_expr(expr.operand)
+            dst = self.func.new_vreg()
+            self.emit(ir.Load(expr.line, dst, base, 0))
+            return dst
+        src = self.gen_expr(expr.operand)
+        dst = self.func.new_vreg()
+        op = {"-": "neg", "~": "not", "!": "lognot"}[expr.op]
+        self.emit(ir.Un(expr.line, op, dst, src))
+        return dst
+
+    def _gen_addr_of(self, target: ast.Expr, line: int) -> int:
+        if isinstance(target, ast.Var):
+            local = self._lookup_local(target.name)
+            dst = self.func.new_vreg()
+            if local is not None:
+                self.func.locals[local].addr_taken = True
+                self.emit(ir.AddrLocal(line, dst, local))
+                return dst
+            if target.name in self.syms.globals or target.name in self.syms.functions:
+                self.emit(ir.AddrGlobal(line, dst, target.name))
+                return dst
+            raise self.error(f"undeclared name {target.name!r}", line)
+        if isinstance(target, ast.Index):
+            base, offset = self._gen_index_addr(target)
+            if offset == 0:
+                return base
+            dst = self.func.new_vreg()
+            off = self.func.new_vreg()
+            self.emit(ir.Const(line, off, offset))
+            self.emit(ir.Bin(line, "add", dst, base, off))
+            return dst
+        if isinstance(target, ast.Unary) and target.op == "*":
+            return self.gen_expr(target.operand)
+        raise self.error("cannot take the address of this expression", line)
+
+    def _gen_binary(self, expr: ast.Binary) -> int:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._materialize_cond(expr)
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            if op == "==":
+                return self._emit_bin("cmpeq", expr)
+            if op == "!=":
+                test = self._emit_bin("cmpeq", expr)
+                dst = self.func.new_vreg()
+                self.emit(ir.Un(expr.line, "lognot", dst, test))
+                return dst
+            cmp_op, swapped = self._COND_CMP[op]
+            left, right = (expr.right, expr.left) if swapped else (expr.left, expr.right)
+            a = self.gen_expr(left)
+            b = self.gen_expr(right)
+            dst = self.func.new_vreg()
+            self.emit(ir.Bin(expr.line, cmp_op, dst, a, b))
+            return dst
+        return self._emit_bin(self._BIN_MAP[op], expr)
+
+    def _materialize_cond(self, expr: ast.Expr) -> int:
+        dst = self.func.new_vreg()
+        true_label = self.func.new_label("ctrue")
+        false_label = self.func.new_label("cfalse")
+        end_label = self.func.new_label("cend")
+        self.gen_cond(expr, true_label, false_label)
+        self.emit(ir.Label(expr.line, true_label))
+        self.emit(ir.Const(expr.line, dst, 1))
+        self.emit(ir.Jump(expr.line, end_label))
+        self.emit(ir.Label(expr.line, false_label))
+        self.emit(ir.Const(expr.line, dst, 0))
+        self.emit(ir.Label(expr.line, end_label))
+        return dst
+
+    def _gen_ternary(self, expr: ast.Cond) -> int:
+        dst = self.func.new_vreg()
+        then_label = self.func.new_label("tthen")
+        else_label = self.func.new_label("telse")
+        end_label = self.func.new_label("tend")
+        self.gen_cond(expr.cond, then_label, else_label)
+        self.emit(ir.Label(expr.line, then_label))
+        then_value = self.gen_expr(expr.then)
+        self.emit(ir.Mov(expr.line, dst, then_value))
+        self.emit(ir.Jump(expr.line, end_label))
+        self.emit(ir.Label(expr.line, else_label))
+        else_value = self.gen_expr(expr.other)
+        self.emit(ir.Mov(expr.line, dst, else_value))
+        self.emit(ir.Label(expr.line, end_label))
+        return dst
+
+    # -- lvalues, assignment -----------------------------------------------------
+
+    def _gen_index_addr(self, expr: ast.Index) -> tuple[int, int]:
+        """Return (base_vreg, byte_offset) for ``base[index]``."""
+        base = self.gen_expr(expr.base)
+        if isinstance(expr.index, ast.Num) and -4096 <= expr.index.value < 4096:
+            return base, 8 * expr.index.value
+        index = self.gen_expr(expr.index)
+        addr = self.func.new_vreg()
+        self.emit(ir.Bin(expr.line, "s8add", addr, index, base))
+        return addr, 0
+
+    def _gen_assign(self, expr: ast.Assign) -> int:
+        target = expr.target
+        line = expr.line
+        compound = expr.op != "="
+        bin_op = self._BIN_MAP[expr.op[:-1]] if compound else None
+
+        if isinstance(target, ast.Var):
+            name = target.name
+            local = self._lookup_local(name)
+            if local is not None:
+                if self.func.locals[local].is_array:
+                    raise self.error("cannot assign to an array", line)
+                if compound:
+                    current = self.func.new_vreg()
+                    self._touch(local)
+                    self.emit(ir.LoadLocal(line, current, local))
+                    rhs = self.gen_expr(expr.value)
+                    value = self.func.new_vreg()
+                    self.emit(ir.Bin(line, bin_op, value, current, rhs))
+                else:
+                    value = self.gen_expr(expr.value)
+                self._touch(local)
+                self.emit(ir.StoreLocal(line, local, value))
+                return value
+            info = self.syms.globals.get(name)
+            if info is None:
+                raise self.error(f"cannot assign to {name!r}", line)
+            if info.array_size is not None:
+                raise self.error("cannot assign to an array", line)
+            addr = self.func.new_vreg()
+            self.emit(ir.AddrGlobal(line, addr, name))
+            if compound:
+                current = self.func.new_vreg()
+                self.emit(ir.Load(line, current, addr, 0))
+                rhs = self.gen_expr(expr.value)
+                value = self.func.new_vreg()
+                self.emit(ir.Bin(line, bin_op, value, current, rhs))
+            else:
+                value = self.gen_expr(expr.value)
+            self.emit(ir.Store(line, value, addr, 0))
+            return value
+
+        # Memory lvalues: a[i] and *p.
+        if isinstance(target, ast.Index):
+            base, offset = self._gen_index_addr(target)
+        elif isinstance(target, ast.Unary) and target.op == "*":
+            base, offset = self.gen_expr(target.operand), 0
+        else:
+            raise self.error("not an assignable expression", line)
+        if compound:
+            current = self.func.new_vreg()
+            self.emit(ir.Load(line, current, base, offset))
+            rhs = self.gen_expr(expr.value)
+            value = self.func.new_vreg()
+            self.emit(ir.Bin(line, bin_op, value, current, rhs))
+        else:
+            value = self.gen_expr(expr.value)
+        self.emit(ir.Store(line, value, base, offset))
+        return value
+
+    def _gen_incdec(self, expr: ast.IncDec) -> int:
+        delta = ast.Num(expr.line, 1)
+        op = "+=" if expr.op == "++" else "-="
+        assign = ast.Assign(expr.line, op, expr.target, delta)
+        if expr.is_prefix:
+            return self._gen_assign(assign)
+        # Postfix: capture the old value first.
+        old = self.gen_expr(expr.target)
+        self._gen_assign(assign)
+        return old
+
+    # -- calls ------------------------------------------------------------------
+
+    def _gen_call(self, expr: ast.Call, want_result: bool) -> int:
+        line = expr.line
+        callee = expr.callee
+        if isinstance(callee, ast.Var) and self._lookup_local(callee.name) is None:
+            name = callee.name
+            if name in ir.PAL_BUILTINS:
+                return self._gen_pal(name, expr)
+            sig = self.syms.functions.get(name)
+            if sig is not None:
+                if len(expr.args) != sig.nparams:
+                    raise self.error(
+                        f"{name!r} takes {sig.nparams} arguments,"
+                        f" {len(expr.args)} given",
+                        line,
+                    )
+                args = [self.gen_expr(arg) for arg in expr.args]
+                dst = self.func.new_vreg() if want_result else None
+                self.emit(ir.Call(line, dst, name, args))
+                return dst if dst is not None else -1
+            if name not in self.syms.globals:
+                raise self.error(f"call to undeclared function {name!r}", line)
+        func = self.gen_expr(callee)
+        args = [self.gen_expr(arg) for arg in expr.args]
+        dst = self.func.new_vreg() if want_result else None
+        self.emit(ir.CallPtr(line, dst, func, args))
+        return dst if dst is not None else -1
+
+    def _gen_pal(self, name: str, expr: ast.Call) -> int:
+        kind = ir.PAL_BUILTINS[name]
+        want_arg = kind in ("putint", "putchar")
+        if want_arg != bool(expr.args) or len(expr.args) > 1:
+            raise self.error(f"wrong arguments for builtin {name}", expr.line)
+        arg = self.gen_expr(expr.args[0]) if expr.args else None
+        dst = self.func.new_vreg() if kind == "getticks" else None
+        self.emit(ir.Pal(expr.line, kind, dst, arg))
+        return dst if dst is not None else -1
+
+
+def lower_module(module: ast.Module, syms: ModuleSyms | None = None) -> ir.IRModule:
+    """Lower a parsed module to IR (running semantic analysis if needed)."""
+    syms = syms or analyze(module)
+    out = ir.IRModule(module.name)
+    for name, info in syms.globals.items():
+        out.global_sizes[name] = 8 * (info.array_size or 1)
+    for name, info in syms.globals.items():
+        if not info.defined:
+            continue
+        size = 8 * (info.array_size or 1)
+        out.globals.append(
+            ir.IRGlobal(name, size, info.array_size is not None, info.init, not info.static)
+        )
+    string_pool: dict[str, str] = {}
+    for func in module.functions:
+        out.functions.append(
+            FuncLowerer(syms, func, module.name, string_pool).lower()
+        )
+    for text, symbol in string_pool.items():
+        words = [ord(ch) for ch in text] + [0]
+        out.globals.append(
+            ir.IRGlobal(symbol, 8 * len(words), True, words, exported=False)
+        )
+        out.global_sizes[symbol] = 8 * len(words)
+    return out

@@ -1,0 +1,184 @@
+"""MiniC lexer.
+
+Hand-written scanner producing a flat token list.  Tokens carry their
+line number for diagnostics.  Comments (``//`` and ``/* */``) and
+whitespace are skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.minicc.errors import CompileError
+
+KEYWORDS = frozenset(
+    [
+        "int",
+        "void",
+        "extern",
+        "static",
+        "if",
+        "else",
+        "while",
+        "for",
+        "do",
+        "return",
+        "break",
+        "continue",
+        "switch",
+        "case",
+        "default",
+    ]
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "++",
+    "--",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "&",
+    "|",
+    "^",
+    "~",
+    "!",
+    "<",
+    ">",
+    "=",
+    "?",
+    ":",
+    ";",
+    ",",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: kind is 'ident', 'num', a keyword, or an operator."""
+
+    kind: str
+    value: str | int
+    line: int
+
+
+def tokenize(source: str, filename: str = "<input>") -> list[Token]:
+    """Scan MiniC source into tokens; raises CompileError on bad input."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    length = len(source)
+    while pos < length:
+        ch = source[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            pos = length if end < 0 else end
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end < 0:
+                raise CompileError("unterminated comment", filename, line)
+            line += source.count("\n", pos, end)
+            pos = end + 2
+            continue
+        if ch.isdigit():
+            start = pos
+            if source.startswith("0x", pos) or source.startswith("0X", pos):
+                pos += 2
+                while pos < length and source[pos] in "0123456789abcdefABCDEF":
+                    pos += 1
+                value = int(source[start:pos], 16)
+            else:
+                while pos < length and source[pos].isdigit():
+                    pos += 1
+                value = int(source[start:pos])
+            tokens.append(Token("num", value, line))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < length and (source[pos].isalnum() or source[pos] == "_"):
+                pos += 1
+            word = source[start:pos]
+            kind = word if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, line))
+            continue
+        if ch == '"':
+            end = pos + 1
+            chars: list[str] = []
+            escapes = {"n": "\n", "t": "\t", "0": "\0", "\\": "\\", '"': '"'}
+            while end < length and source[end] != '"':
+                if source[end] == "\\":
+                    if end + 1 >= length or source[end + 1] not in escapes:
+                        raise CompileError("bad escape in string literal", filename, line)
+                    chars.append(escapes[source[end + 1]])
+                    end += 2
+                elif source[end] == "\n":
+                    raise CompileError("unterminated string literal", filename, line)
+                else:
+                    chars.append(source[end])
+                    end += 1
+            if end >= length:
+                raise CompileError("unterminated string literal", filename, line)
+            tokens.append(Token("str", "".join(chars), line))
+            pos = end + 1
+            continue
+        if ch == "'":
+            end = pos + 1
+            if end < length and source[end] == "\\":
+                escapes = {"n": 10, "t": 9, "0": 0, "\\": 92, "'": 39}
+                if end + 1 >= length or source[end + 1] not in escapes:
+                    raise CompileError("bad escape in char literal", filename, line)
+                value = escapes[source[end + 1]]
+                end += 2
+            elif end < length:
+                value = ord(source[end])
+                end += 1
+            else:
+                raise CompileError("unterminated char literal", filename, line)
+            if end >= length or source[end] != "'":
+                raise CompileError("unterminated char literal", filename, line)
+            tokens.append(Token("num", value, line))
+            pos = end + 1
+            continue
+        for operator in _OPERATORS:
+            if source.startswith(operator, pos):
+                tokens.append(Token(operator, operator, line))
+                pos += len(operator)
+                break
+        else:
+            raise CompileError(f"unexpected character {ch!r}", filename, line)
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,437 @@
+"""Intraprocedural IR optimizer — the ``-O2`` analog.
+
+Passes (run to a local fixpoint):
+
+* constant folding and algebraic simplification (``x*8`` → shift,
+  ``x+0`` → copy, compile-time evaluation of constant operands);
+* immediate forming: binary ops whose second operand is a small constant
+  become :class:`ir.BinImm` (the Alpha operate-literal form);
+* copy propagation over single-definition moves;
+* dead code elimination (pure definitions with no uses; call results
+  that are never read become void calls);
+* branch simplification: constant conditions, jump-to-next threading,
+  unreachable-code and dead-label removal.
+
+All passes preserve the IR's linear-interval liveness invariant (see
+:mod:`repro.minicc.ir`): they only delete instructions or substitute a
+use by an older, still-live value.
+"""
+
+from __future__ import annotations
+
+from repro.minicc import ir
+
+_MASK = (1 << 64) - 1
+
+
+def _to_signed(value: int) -> int:
+    value &= _MASK
+    return value - (1 << 64) if value >> 63 else value
+
+
+def _fold_bin(op: str, a: int, b: int) -> int | None:
+    """Evaluate an IR binary op over two 64-bit signed values."""
+    if op == "add":
+        return _to_signed(a + b)
+    if op == "sub":
+        return _to_signed(a - b)
+    if op == "mul":
+        return _to_signed(a * b)
+    if op == "s8add":
+        return _to_signed(a * 8 + b)
+    if op == "div":
+        if b == 0:
+            return None
+        quotient = abs(a) // abs(b)
+        return _to_signed(-quotient if (a < 0) != (b < 0) else quotient)
+    if op == "rem":
+        if b == 0:
+            return None
+        return _to_signed(a - b * _fold_bin("div", a, b))
+    if op == "and":
+        return _to_signed(a & b)
+    if op == "or":
+        return _to_signed(a | b)
+    if op == "xor":
+        return _to_signed(a ^ b)
+    if op == "sll":
+        return _to_signed((a & _MASK) << (b & 63))
+    if op == "srl":
+        return _to_signed((a & _MASK) >> (b & 63))
+    if op == "sra":
+        return _to_signed(_to_signed(a) >> (b & 63))
+    if op == "cmpeq":
+        return int(a == b)
+    if op == "cmplt":
+        return int(a < b)
+    if op == "cmple":
+        return int(a <= b)
+    if op == "cmpult":
+        return int((a & _MASK) < (b & _MASK))
+    if op == "cmpule":
+        return int((a & _MASK) <= (b & _MASK))
+    return None
+
+
+def _fold_un(op: str, a: int) -> int:
+    if op == "neg":
+        return _to_signed(-a)
+    if op == "not":
+        return _to_signed(~a)
+    return int(a == 0)  # lognot
+
+
+_COMMUTATIVE = frozenset(["add", "mul", "and", "or", "xor", "cmpeq"])
+
+
+def optimize_function(func: ir.IRFunc) -> None:
+    """Run the optimization pipeline on one function, in place."""
+    for _ in range(4):
+        changed = _forward_locals(func)
+        changed |= _fold_and_simplify(func)
+        changed |= _propagate_copies(func)
+        changed |= _eliminate_dead_code(func)
+        changed |= _eliminate_dead_stores(func)
+        changed |= _simplify_branches(func)
+        if not changed:
+            break
+
+
+def optimize_module(module: ir.IRModule) -> None:
+    """Optimize every function of the module."""
+    for func in module.functions:
+        optimize_function(func)
+
+
+# -- constant folding ----------------------------------------------------------
+
+
+def _constant_defs(func: ir.IRFunc) -> dict[int, int]:
+    """Map each single-definition constant vreg to its value."""
+    def_count: dict[int, int] = {}
+    for instr in func.body:
+        for dst in ir.defs_of(instr):
+            def_count[dst] = def_count.get(dst, 0) + 1
+    constants: dict[int, int] = {}
+    for instr in func.body:
+        if isinstance(instr, ir.Const) and def_count.get(instr.dst) == 1:
+            constants[instr.dst] = instr.value
+    return constants
+
+
+def _fold_and_simplify(func: ir.IRFunc) -> bool:
+    constants = _constant_defs(func)
+    changed = False
+    body = func.body
+    for index, instr in enumerate(body):
+        if isinstance(instr, ir.Bin):
+            a = constants.get(instr.a)
+            b = constants.get(instr.b)
+            if a is not None and b is not None:
+                value = _fold_bin(instr.op, a, b)
+                if value is not None:
+                    body[index] = ir.Const(instr.line, instr.dst, value)
+                    changed = True
+                    continue
+            if a is not None and instr.op in _COMMUTATIVE:
+                instr.a, instr.b = instr.b, instr.a
+                a, b = b, a
+                changed = True
+            replacement = _simplify_with_const_rhs(instr, b)
+            if replacement is not None:
+                body[index] = replacement
+                changed = True
+        elif isinstance(instr, ir.BinImm):
+            a = constants.get(instr.a)
+            if a is not None:
+                value = _fold_bin(instr.op, a, instr.imm)
+                if value is not None:
+                    body[index] = ir.Const(instr.line, instr.dst, value)
+                    changed = True
+        elif isinstance(instr, ir.Un):
+            a = constants.get(instr.src)
+            if a is not None:
+                body[index] = ir.Const(instr.line, instr.dst, _fold_un(instr.op, a))
+                changed = True
+            elif instr.op == "lognot":
+                body[index] = ir.BinImm(instr.line, "cmpeq", instr.dst, instr.src, 0)
+                changed = True
+        elif isinstance(instr, ir.CJump):
+            cond = constants.get(instr.cond)
+            if cond is not None:
+                target = instr.if_true if cond else instr.if_false
+                body[index] = ir.Jump(instr.line, target)
+                changed = True
+    return changed
+
+
+def _simplify_with_const_rhs(instr: ir.Bin, b: int | None) -> ir.Instr | None:
+    """Rewrite ``a op const`` into cheaper forms."""
+    if b is None:
+        return None
+    op = instr.op
+    if b == 0 and op in ("add", "sub", "or", "xor", "sll", "srl", "sra"):
+        return ir.Mov(instr.line, instr.dst, instr.a)
+    if b == 0 and op in ("mul", "and"):
+        return ir.Const(instr.line, instr.dst, 0)
+    if b == 1 and op in ("mul", "div"):
+        return ir.Mov(instr.line, instr.dst, instr.a)
+    if op == "mul" and b > 1 and (b & (b - 1)) == 0:
+        return ir.BinImm(instr.line, "sll", instr.dst, instr.a, b.bit_length() - 1)
+    if 0 <= b <= 255 and op not in ("div", "rem"):
+        return ir.BinImm(instr.line, op, instr.dst, instr.a, b)
+    if op == "sub" and -255 <= b < 0:
+        return ir.BinImm(instr.line, "add", instr.dst, instr.a, -b)
+    if op == "add" and -255 <= b < 0:
+        return ir.BinImm(instr.line, "sub", instr.dst, instr.a, -b)
+    return None
+
+
+# -- store-load forwarding through locals -----------------------------------------
+
+
+def _forward_locals(func: ir.IRFunc) -> bool:
+    """Within a basic block, a LoadLocal after a StoreLocal of the same
+    (non-address-taken) local becomes a copy of the stored value.
+
+    Safe because non-address-taken scalars cannot alias memory stores or
+    be modified by calls, and tracking resets at labels so no value is
+    forwarded across a join or around a back edge (preserving the IR's
+    linear-interval liveness invariant).
+    """
+    def_count: dict[int, int] = {}
+    for instr in func.body:
+        for dst in ir.defs_of(instr):
+            def_count[dst] = def_count.get(dst, 0) + 1
+
+    addr_taken = {
+        index for index, local in enumerate(func.locals) if local.addr_taken
+    }
+    known: dict[int, int] = {}  # local index -> vreg holding its value
+    changed = False
+    for position, instr in enumerate(func.body):
+        if isinstance(instr, ir.Label):
+            known.clear()
+        elif isinstance(instr, ir.StoreLocal):
+            if instr.local in addr_taken:
+                continue
+            if def_count.get(instr.src) == 1:
+                known[instr.local] = instr.src
+            else:
+                known.pop(instr.local, None)
+        elif isinstance(instr, ir.LoadLocal):
+            source = known.get(instr.local)
+            if source is not None and source != instr.dst:
+                func.body[position] = ir.Mov(instr.line, instr.dst, source)
+                changed = True
+    return changed
+
+
+def _eliminate_dead_stores(func: ir.IRFunc) -> bool:
+    """Drop stores to locals that are never read or address-taken."""
+    read: set[int] = set()
+    for instr in func.body:
+        if isinstance(instr, (ir.LoadLocal, ir.AddrLocal)):
+            read.add(instr.local)
+    for index, local in enumerate(func.locals):
+        if local.addr_taken:
+            read.add(index)
+    before = len(func.body)
+    func.body = [
+        instr
+        for instr in func.body
+        if not (isinstance(instr, ir.StoreLocal) and instr.local not in read)
+    ]
+    return len(func.body) != before
+
+
+# -- copy propagation -----------------------------------------------------------
+
+
+def _propagate_copies(func: ir.IRFunc) -> bool:
+    def_count: dict[int, int] = {}
+    for instr in func.body:
+        for dst in ir.defs_of(instr):
+            def_count[dst] = def_count.get(dst, 0) + 1
+
+    mapping: dict[int, int] = {}
+    for instr in func.body:
+        if (
+            isinstance(instr, ir.Mov)
+            and def_count.get(instr.dst) == 1
+            and def_count.get(instr.src, 0) == 1
+        ):
+            source = mapping.get(instr.src, instr.src)
+            mapping[instr.dst] = source
+    if not mapping:
+        return False
+
+    changed = False
+    for instr in func.body:
+        changed |= _rewrite_uses(instr, mapping)
+    return changed
+
+
+def _rewrite_uses(instr: ir.Instr, mapping: dict[int, int]) -> bool:
+    changed = False
+
+    def sub(reg: int) -> int:
+        nonlocal changed
+        new = mapping.get(reg, reg)
+        if new != reg:
+            changed = True
+        return new
+
+    if isinstance(instr, ir.Mov):
+        instr.src = sub(instr.src)
+    elif isinstance(instr, ir.StoreLocal):
+        instr.src = sub(instr.src)
+    elif isinstance(instr, ir.Load):
+        instr.base = sub(instr.base)
+    elif isinstance(instr, ir.Store):
+        instr.src, instr.base = sub(instr.src), sub(instr.base)
+    elif isinstance(instr, ir.Un):
+        instr.src = sub(instr.src)
+    elif isinstance(instr, ir.Bin):
+        instr.a, instr.b = sub(instr.a), sub(instr.b)
+    elif isinstance(instr, ir.BinImm):
+        instr.a = sub(instr.a)
+    elif isinstance(instr, ir.Call):
+        instr.args = [sub(a) for a in instr.args]
+    elif isinstance(instr, ir.CallPtr):
+        instr.func = sub(instr.func)
+        instr.args = [sub(a) for a in instr.args]
+    elif isinstance(instr, ir.Pal) and instr.arg is not None:
+        instr.arg = sub(instr.arg)
+    elif isinstance(instr, ir.CJump):
+        instr.cond = sub(instr.cond)
+    elif isinstance(instr, ir.JumpTable):
+        instr.index = sub(instr.index)
+    elif isinstance(instr, ir.Ret) and instr.src is not None:
+        instr.src = sub(instr.src)
+    return changed
+
+
+# -- dead code elimination ---------------------------------------------------------
+
+
+_PURE = (
+    ir.Const,
+    ir.Mov,
+    ir.AddrGlobal,
+    ir.AddrLocal,
+    ir.LoadLocal,
+    ir.Load,
+    ir.Un,
+    ir.Bin,
+    ir.BinImm,
+)
+
+
+def _eliminate_dead_code(func: ir.IRFunc) -> bool:
+    changed = False
+    while True:
+        used: set[int] = set()
+        for instr in func.body:
+            used.update(ir.uses_of(instr))
+        new_body: list[ir.Instr] = []
+        removed = False
+        for instr in func.body:
+            if isinstance(instr, _PURE) and instr.dst not in used:
+                removed = True
+                continue
+            if isinstance(instr, (ir.Call, ir.CallPtr, ir.Pal)):
+                if instr.dst is not None and instr.dst not in used:
+                    instr.dst = None
+                    changed = True
+            new_body.append(instr)
+        func.body = new_body
+        changed |= removed
+        if not removed:
+            return changed
+
+
+# -- branch simplification -----------------------------------------------------------
+
+
+def _simplify_branches(func: ir.IRFunc) -> bool:
+    changed = False
+    body = func.body
+
+    # Remove unreachable instructions after an unconditional transfer.
+    reachable: list[ir.Instr] = []
+    skipping = False
+    for instr in body:
+        if isinstance(instr, ir.Label):
+            skipping = False
+        if skipping:
+            changed = True
+            continue
+        reachable.append(instr)
+        if isinstance(instr, (ir.Jump, ir.Ret, ir.JumpTable)):
+            skipping = True
+    body = reachable
+
+    # Thread jumps to labels that immediately jump elsewhere, and drop
+    # jumps to the very next label.
+    label_next: dict[str, ir.Instr | None] = {}
+    for index, instr in enumerate(body):
+        if isinstance(instr, ir.Label):
+            follow = index + 1
+            while follow < len(body) and isinstance(body[follow], ir.Label):
+                follow += 1
+            label_next[instr.name] = body[follow] if follow < len(body) else None
+
+    def resolve(target: str, depth: int = 0) -> str:
+        follower = label_next.get(target)
+        if depth < 8 and isinstance(follower, ir.Jump):
+            return resolve(follower.target, depth + 1)
+        return target
+
+    for instr in body:
+        if isinstance(instr, ir.Jump):
+            new_target = resolve(instr.target)
+            changed |= new_target != instr.target
+            instr.target = new_target
+        elif isinstance(instr, ir.CJump):
+            new_true, new_false = resolve(instr.if_true), resolve(instr.if_false)
+            changed |= (new_true, new_false) != (instr.if_true, instr.if_false)
+            instr.if_true, instr.if_false = new_true, new_false
+        elif isinstance(instr, ir.JumpTable):
+            new_labels = [resolve(label) for label in instr.labels]
+            changed |= new_labels != instr.labels
+            instr.labels = new_labels
+
+    cleaned: list[ir.Instr] = []
+    for index, instr in enumerate(body):
+        if isinstance(instr, ir.Jump):
+            follow = index + 1
+            is_next = False
+            while follow < len(body) and isinstance(body[follow], ir.Label):
+                if body[follow].name == instr.target:
+                    is_next = True
+                    break
+                follow += 1
+            if is_next:
+                changed = True
+                continue
+        cleaned.append(instr)
+    body = cleaned
+
+    # Drop labels nothing references.
+    used_labels: set[str] = set()
+    for instr in body:
+        if isinstance(instr, ir.Jump):
+            used_labels.add(instr.target)
+        elif isinstance(instr, ir.CJump):
+            used_labels.update((instr.if_true, instr.if_false))
+        elif isinstance(instr, ir.JumpTable):
+            used_labels.update(instr.labels)
+    final = [
+        instr
+        for instr in body
+        if not (isinstance(instr, ir.Label) and instr.name not in used_labels)
+    ]
+    changed |= len(final) != len(body)
+    func.body = final
+    return changed

@@ -1,0 +1,385 @@
+"""MiniC recursive-descent parser.
+
+Types in MiniC are all 64-bit words; the parser accepts ``int``,
+``int *`` and ``void`` (functions only) but does not track a type
+lattice — arrays and address-of are the only places representation
+matters, and those are structural.
+"""
+
+from __future__ import annotations
+
+from repro.minicc import astnodes as ast
+from repro.minicc.errors import CompileError
+from repro.minicc.lexer import Token, tokenize
+
+#: Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+_ASSIGN_OPS = frozenset(["=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="])
+
+
+class Parser:
+    """Parses one translation unit into an :class:`ast.Module`."""
+
+    def __init__(self, source: str, filename: str = "<input>"):
+        self.filename = filename
+        self.tokens: list[Token] = tokenize(source, filename)
+        self.pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    @property
+    def tok(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, ahead: int = 1) -> Token:
+        index = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        if self.tok.kind != kind:
+            raise self.error(f"expected {kind!r}, found {self.tok.value!r}")
+        return self.advance()
+
+    def accept(self, kind: str) -> bool:
+        if self.tok.kind == kind:
+            self.advance()
+            return True
+        return False
+
+    def error(self, message: str) -> CompileError:
+        return CompileError(message, self.filename, self.tok.line)
+
+    # -- top level -----------------------------------------------------------
+
+    def parse_module(self, name: str) -> ast.Module:
+        module = ast.Module(name)
+        while self.tok.kind != "eof":
+            self._parse_top_decl(module)
+        return module
+
+    def _parse_type(self) -> None:
+        """Consume a type spelling: ``int``, ``int *``, or ``void``."""
+        if not (self.accept("int") or self.accept("void")):
+            raise self.error(f"expected type, found {self.tok.value!r}")
+        while self.accept("*"):
+            pass
+
+    def _parse_top_decl(self, module: ast.Module) -> None:
+        line = self.tok.line
+        is_extern = self.accept("extern")
+        is_static = self.accept("static")
+        self._parse_type()
+        name = str(self.expect("ident").value)
+
+        if self.tok.kind == "(":
+            # Function prototype or definition.
+            params = self._parse_params()
+            if self.accept(";"):
+                module.protos.append(ast.FuncProto(name, params, line))
+                return
+            if is_extern:
+                raise self.error("extern function declaration needs ';'")
+            body = self._parse_block()
+            module.functions.append(ast.FuncDef(name, params, body, is_static, line))
+            return
+
+        # Variable.
+        array_size = None
+        if self.accept("["):
+            array_size = int(self.expect("num").value)
+            self.expect("]")
+            if array_size <= 0:
+                raise CompileError("array size must be positive", self.filename, line)
+        init = None
+        if self.accept("="):
+            if is_extern:
+                raise self.error("extern variable cannot have an initializer")
+            init = self._parse_const_init()
+        self.expect(";")
+        module.globals.append(
+            ast.GlobalVar(name, array_size, init, is_static, is_extern, line)
+        )
+
+    def _parse_const_init(self) -> list[int]:
+        if self.accept("{"):
+            values = [self._parse_const_expr()]
+            while self.accept(","):
+                if self.tok.kind == "}":
+                    break
+                values.append(self._parse_const_expr())
+            self.expect("}")
+            return values
+        return [self._parse_const_expr()]
+
+    def _parse_const_expr(self) -> int:
+        negative = self.accept("-")
+        value = int(self.expect("num").value)
+        return -value if negative else value
+
+    def _parse_params(self) -> list[str]:
+        self.expect("(")
+        params: list[str] = []
+        if self.accept(")"):
+            return params
+        if self.tok.kind == "void" and self.peek().kind == ")":
+            self.advance()
+            self.expect(")")
+            return params
+        while True:
+            self._parse_type()
+            params.append(str(self.expect("ident").value))
+            if not self.accept(","):
+                break
+        self.expect(")")
+        if len(params) > 6:
+            raise self.error("MiniC functions take at most 6 parameters")
+        return params
+
+    # -- statements -----------------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        line = self.tok.line
+        self.expect("{")
+        body: list[ast.Stmt] = []
+        while not self.accept("}"):
+            if self.tok.kind == "eof":
+                raise self.error("unterminated block")
+            body.append(self._parse_stmt())
+        return ast.Block(line, body)
+
+    def _parse_stmt(self) -> ast.Stmt:
+        line = self.tok.line
+        kind = self.tok.kind
+        if kind == "{":
+            return self._parse_block()
+        if kind == ";":
+            self.advance()
+            return ast.Block(line, [])
+        if kind == "int":
+            self.advance()
+            while self.accept("*"):
+                pass
+            name = str(self.expect("ident").value)
+            array_size = None
+            init = None
+            if self.accept("["):
+                array_size = int(self.expect("num").value)
+                self.expect("]")
+            elif self.accept("="):
+                init = self._parse_expr()
+            self.expect(";")
+            return ast.LocalDecl(line, name, array_size, init)
+        if kind == "if":
+            self.advance()
+            self.expect("(")
+            cond = self._parse_expr()
+            self.expect(")")
+            then = self._parse_stmt()
+            other = self._parse_stmt() if self.accept("else") else None
+            return ast.If(line, cond, then, other)
+        if kind == "while":
+            self.advance()
+            self.expect("(")
+            cond = self._parse_expr()
+            self.expect(")")
+            return ast.While(line, cond, self._parse_stmt())
+        if kind == "do":
+            self.advance()
+            body = self._parse_stmt()
+            self.expect("while")
+            self.expect("(")
+            cond = self._parse_expr()
+            self.expect(")")
+            self.expect(";")
+            return ast.DoWhile(line, body, cond)
+        if kind == "for":
+            self.advance()
+            self.expect("(")
+            init = None if self.tok.kind == ";" else self._parse_expr()
+            self.expect(";")
+            cond = None if self.tok.kind == ";" else self._parse_expr()
+            self.expect(";")
+            step = None if self.tok.kind == ")" else self._parse_expr()
+            self.expect(")")
+            return ast.For(line, init, cond, step, self._parse_stmt())
+        if kind == "switch":
+            return self._parse_switch()
+        if kind == "return":
+            self.advance()
+            value = None if self.tok.kind == ";" else self._parse_expr()
+            self.expect(";")
+            return ast.Return(line, value)
+        if kind == "break":
+            self.advance()
+            self.expect(";")
+            return ast.Break(line)
+        if kind == "continue":
+            self.advance()
+            self.expect(";")
+            return ast.Continue(line)
+        expr = self._parse_expr()
+        self.expect(";")
+        return ast.ExprStmt(line, expr)
+
+    def _parse_switch(self) -> ast.Switch:
+        line = self.tok.line
+        self.expect("switch")
+        self.expect("(")
+        value = self._parse_expr()
+        self.expect(")")
+        self.expect("{")
+        cases: list[tuple[int, list[ast.Stmt]]] = []
+        default: list[ast.Stmt] | None = None
+        seen: set[int] = set()
+        while not self.accept("}"):
+            if self.accept("case"):
+                case_value = self._parse_const_expr()
+                if case_value in seen:
+                    raise self.error(f"duplicate case {case_value}")
+                seen.add(case_value)
+                self.expect(":")
+                cases.append((case_value, self._parse_case_body()))
+            elif self.accept("default"):
+                if default is not None:
+                    raise self.error("duplicate default")
+                self.expect(":")
+                default = self._parse_case_body()
+            else:
+                raise self.error("expected 'case' or 'default'")
+        return ast.Switch(line, value, cases, default)
+
+    def _parse_case_body(self) -> list[ast.Stmt]:
+        body: list[ast.Stmt] = []
+        while self.tok.kind not in ("case", "default", "}", "eof"):
+            body.append(self._parse_stmt())
+        return body
+
+    # -- expressions ------------------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> ast.Expr:
+        left = self._parse_ternary()
+        if self.tok.kind in _ASSIGN_OPS:
+            op = self.tok.kind
+            line = self.tok.line
+            self.advance()
+            value = self._parse_assignment()
+            return ast.Assign(line, op, left, value)
+        return left
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_binary(1)
+        if self.accept("?"):
+            line = self.tok.line
+            then = self._parse_expr()
+            self.expect(":")
+            other = self._parse_ternary()
+            return ast.Cond(line, cond, then, other)
+        return cond
+
+    def _parse_binary(self, min_prec: int) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            prec = _PRECEDENCE.get(self.tok.kind, 0)
+            if prec < min_prec:
+                return left
+            op = self.tok.kind
+            line = self.tok.line
+            self.advance()
+            right = self._parse_binary(prec + 1)
+            left = ast.Binary(line, op, left, right)
+
+    def _parse_unary(self) -> ast.Expr:
+        line = self.tok.line
+        if self.tok.kind in ("-", "~", "!", "*", "&"):
+            op = self.tok.kind
+            self.advance()
+            return ast.Unary(line, op, self._parse_unary())
+        if self.tok.kind in ("++", "--"):
+            op = self.tok.kind
+            self.advance()
+            return ast.IncDec(line, op, self._parse_unary(), is_prefix=True)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            line = self.tok.line
+            if self.accept("["):
+                index = self._parse_expr()
+                self.expect("]")
+                expr = ast.Index(line, expr, index)
+            elif self.tok.kind == "(":
+                args = self._parse_args()
+                expr = ast.Call(line, expr, args)
+            elif self.tok.kind in ("++", "--"):
+                op = self.tok.kind
+                self.advance()
+                expr = ast.IncDec(line, op, expr, is_prefix=False)
+            else:
+                return expr
+
+    def _parse_args(self) -> list[ast.Expr]:
+        self.expect("(")
+        args: list[ast.Expr] = []
+        if self.accept(")"):
+            return args
+        while True:
+            args.append(self._parse_expr())
+            if not self.accept(","):
+                break
+        self.expect(")")
+        if len(args) > 6:
+            raise self.error("MiniC calls take at most 6 arguments")
+        return args
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.tok
+        if token.kind == "num":
+            self.advance()
+            return ast.Num(token.line, int(token.value))
+        if token.kind == "ident":
+            self.advance()
+            return ast.Var(token.line, str(token.value))
+        if token.kind == "str":
+            self.advance()
+            return ast.Str(token.line, str(token.value))
+        if token.kind == "(":
+            self.advance()
+            expr = self._parse_expr()
+            self.expect(")")
+            return expr
+        raise self.error(f"unexpected token {token.value!r}")
+
+
+def parse(source: str, name: str, filename: str | None = None) -> ast.Module:
+    """Parse MiniC source text into a module AST."""
+    return Parser(source, filename or name).parse_module(name)

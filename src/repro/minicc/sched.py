@@ -1,0 +1,188 @@
+"""Basic-block list scheduler for the dual-issue pipeline.
+
+Used twice, mirroring the paper: at compile time on freshly generated
+code, and by OM-full's optional link-time rescheduling pass (the paper
+notes OM's scheduler is "very similar to the scheduler used by the
+assembler").
+
+A side effect the paper highlights: scheduling routinely moves the
+GP-establishing ``ldah``/``lda`` pair away from its logical position at
+procedure entry (independent prologue instructions have longer critical
+paths and are preferred), which later prevents OM-simple from
+retargeting BSRs past the GP setup — only OM-full, which can move code,
+restores them.
+
+Block boundaries: control-transfer instructions end a block; *target*
+labels begin one.  Marker labels (procedure entries, call return
+points) always coincide with a block start and stay there; the
+instructions after them are free to move, which is exactly how GP-reset
+pairs drift away from their base points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.timing import can_dual_issue, result_latency
+from repro.minicc.mcode import MInstr, MItem, MLabel, MProc
+
+
+@dataclass
+class _Node:
+    item: MInstr
+    index: int
+    succs: list[tuple[int, int]] = field(default_factory=list)  # (node, latency)
+    npreds: int = 0
+    priority: int = 0
+    ready_at: int = 0
+
+
+def schedule_proc(proc: MProc) -> None:
+    """Schedule every basic block of the procedure, in place."""
+    proc.items = schedule_items(proc.items)
+
+
+def schedule_items(items: list[MItem]) -> list[MItem]:
+    """Return the item list with each basic block list-scheduled."""
+    out: list[MItem] = []
+    block: list[MInstr] = []
+
+    def flush() -> None:
+        out.extend(_schedule_block(block))
+        block.clear()
+
+    for item in items:
+        if isinstance(item, MLabel):
+            if item.is_target:
+                flush()
+                out.append(item)
+            else:
+                # Marker labels pin to a block start.
+                flush()
+                out.append(item)
+            continue
+        block.append(item)
+        if item.instr.is_control:
+            flush()
+    flush()
+    return out
+
+
+def _schedule_block(block: list[MInstr]) -> list[MInstr]:
+    if len(block) <= 1:
+        return list(block)
+
+    # A trailing control instruction is pinned last.
+    tail: list[MInstr] = []
+    body = list(block)
+    if body and body[-1].instr.is_control:
+        tail = [body.pop()]
+    if len(body) <= 1:
+        return body + tail
+
+    nodes = _build_dag(body)
+    _compute_priorities(nodes)
+    order = _list_schedule(nodes)
+    return [nodes[i].item for i in order] + tail
+
+
+def _build_dag(body: list[MInstr]) -> list[_Node]:
+    nodes = [_Node(item, index) for index, item in enumerate(body)]
+    last_def: dict[int, int] = {}
+    uses_since_def: dict[int, list[int]] = {}
+    last_store: int | None = None
+    mem_reads_since_store: list[int] = []
+
+    def add_edge(src: int, dst: int, latency: int) -> None:
+        nodes[src].succs.append((dst, latency))
+        nodes[dst].npreds += 1
+
+    for index, node in enumerate(nodes):
+        instr = node.item.instr
+        for reg in instr.uses():
+            if reg in last_def:  # RAW
+                add_edge(last_def[reg], index, result_latency(nodes[last_def[reg]].item.instr))
+            uses_since_def.setdefault(reg, []).append(index)
+        for reg in instr.defs():
+            if reg in last_def:  # WAW
+                add_edge(last_def[reg], index, 1)
+            for user in uses_since_def.get(reg, []):  # WAR
+                if user != index:
+                    add_edge(user, index, 0)
+            last_def[reg] = index
+            uses_since_def[reg] = []
+        if instr.op.is_store:
+            if last_store is not None:
+                add_edge(last_store, index, 1)
+            for reader in mem_reads_since_store:
+                add_edge(reader, index, 0)
+            last_store = index
+            mem_reads_since_store = []
+        elif instr.op.is_load:
+            if last_store is not None:
+                add_edge(last_store, index, 1)
+            mem_reads_since_store.append(index)
+    return nodes
+
+
+def _compute_priorities(nodes: list[_Node]) -> None:
+    """Priority = critical-path length to the end of the block."""
+    for node in reversed(nodes):
+        latency = result_latency(node.item.instr)
+        best = 0
+        for succ, edge_latency in node.succs:
+            best = max(best, nodes[succ].priority + max(edge_latency, 1))
+        node.priority = best + (latency - 1)
+
+
+def _list_schedule(nodes: list[_Node]) -> list[int]:
+    """Cycle-by-cycle dual-issue list scheduling; returns issue order."""
+    pending = {node.index for node in nodes}
+    npreds = [node.npreds for node in nodes]
+    ready: list[int] = [n.index for n in nodes if n.npreds == 0]
+    order: list[int] = []
+    cycle = 0
+
+    def pick(exclude: int | None) -> int | None:
+        candidates = [
+            i
+            for i in ready
+            if nodes[i].ready_at <= cycle
+            and (
+                exclude is None
+                or can_dual_issue(nodes[exclude].item.instr, nodes[i].item.instr)
+            )
+        ]
+        if not candidates:
+            return None
+        # Highest priority first; original order breaks ties (stability).
+        return min(candidates, key=lambda i: (-nodes[i].priority, i))
+
+    while pending:
+        issued: list[int] = []
+        first = pick(None)
+        if first is not None:
+            issued.append(first)
+            ready.remove(first)
+            second = pick(first)
+            if second is not None:
+                issued.append(second)
+                ready.remove(second)
+        for index in issued:
+            pending.discard(index)
+            order.append(index)
+            for succ, edge_latency in nodes[index].succs:
+                npreds[succ] -= 1
+                earliest = cycle + max(edge_latency, 1)
+                nodes[succ].ready_at = max(nodes[succ].ready_at, earliest)
+                if npreds[succ] == 0:
+                    ready.append(succ)
+        cycle += 1
+        if not issued and not ready:
+            # Nothing ready this cycle: jump to the next ready time.
+            future = [
+                nodes[i].ready_at for i in pending if npreds[nodes[i].index] == 0
+            ]
+            if future:
+                cycle = max(cycle, min(future))
+    return order

@@ -1,0 +1,145 @@
+"""Semantic analysis: module symbol tables and well-formedness checks.
+
+Produces a :class:`ModuleSyms` used by IR generation to classify every
+name as a local, parameter, global variable, or function, and to check
+call arity.  MiniC is a whole-word language, so "type checking" reduces
+to structural rules (arrays are not assignable, address-of applies to
+variables and functions, etc.), enforced in irgen where the structure
+is at hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.minicc import astnodes as ast
+from repro.minicc.errors import CompileError
+from repro.minicc.ir import PAL_BUILTINS
+
+
+@dataclass
+class FuncSig:
+    name: str
+    nparams: int
+    defined: bool = False
+    static: bool = False
+
+
+@dataclass
+class GlobalInfo:
+    name: str
+    array_size: int | None = None
+    init: list[int] | None = None
+    static: bool = False
+    defined: bool = False  # False for extern declarations
+
+
+@dataclass
+class ModuleSyms:
+    """Name environment of one translation unit."""
+
+    functions: dict[str, FuncSig] = field(default_factory=dict)
+    globals: dict[str, GlobalInfo] = field(default_factory=dict)
+
+
+def analyze(module: ast.Module) -> ModuleSyms:
+    """Build and validate the module symbol table."""
+    syms = ModuleSyms()
+
+    for proto in module.protos:
+        _declare_function(syms, proto.name, len(proto.params), False, False, proto.line, module.name)
+    for func in module.functions:
+        _declare_function(
+            syms, func.name, len(func.params), True, func.static, func.line, module.name
+        )
+
+    for var in module.globals:
+        if var.name in syms.functions:
+            raise CompileError(
+                f"{var.name!r} declared as both variable and function",
+                module.name,
+                var.line,
+            )
+        existing = syms.globals.get(var.name)
+        defined = not var.extern
+        if existing is not None:
+            if existing.defined and defined:
+                raise CompileError(
+                    f"duplicate definition of {var.name!r}", module.name, var.line
+                )
+            if not existing.defined and defined:
+                existing.array_size = var.array_size
+                existing.init = var.init
+                existing.static = var.static
+                existing.defined = True
+            continue
+        if var.init is not None and var.array_size is not None:
+            if len(var.init) > var.array_size:
+                raise CompileError(
+                    f"too many initializers for {var.name!r}", module.name, var.line
+                )
+        syms.globals[var.name] = GlobalInfo(
+            var.name, var.array_size, var.init, var.static, defined
+        )
+
+    for name in PAL_BUILTINS:
+        if name in syms.functions or name in syms.globals:
+            raise CompileError(f"{name!r} is a reserved builtin", module.name)
+    return syms
+
+
+def _declare_function(
+    syms: ModuleSyms,
+    name: str,
+    nparams: int,
+    defined: bool,
+    static: bool,
+    line: int,
+    filename: str,
+) -> None:
+    if name in syms.globals:
+        raise CompileError(
+            f"{name!r} declared as both variable and function", filename, line
+        )
+    existing = syms.functions.get(name)
+    if existing is None:
+        syms.functions[name] = FuncSig(name, nparams, defined, static)
+        return
+    if existing.nparams != nparams:
+        raise CompileError(
+            f"conflicting parameter counts for {name!r}", filename, line
+        )
+    if existing.defined and defined:
+        raise CompileError(f"duplicate definition of {name!r}", filename, line)
+    existing.defined = existing.defined or defined
+    existing.static = existing.static or static
+
+
+def merge_modules(modules: list[ast.Module], name: str) -> ast.Module:
+    """Concatenate translation units for compile-all mode.
+
+    Duplicate extern declarations collapse; duplicate *definitions* are
+    an error, as they would be at link time.
+    """
+    merged = ast.Module(name)
+    seen_protos: set[str] = set()
+    seen_globals: dict[str, ast.GlobalVar] = {}
+    for module in modules:
+        for proto in module.protos:
+            if proto.name not in seen_protos:
+                seen_protos.add(proto.name)
+                merged.protos.append(proto)
+        for var in module.globals:
+            existing = seen_globals.get(var.name)
+            if existing is None:
+                seen_globals[var.name] = var
+                merged.globals.append(var)
+            elif not existing.extern and not var.extern:
+                raise CompileError(f"duplicate definition of {var.name!r}", name, var.line)
+            elif existing.extern and not var.extern:
+                index = merged.globals.index(existing)
+                merged.globals[index] = var
+                seen_globals[var.name] = var
+        merged.functions.extend(module.functions)
+    analyze(merged)  # validates cross-module consistency
+    return merged

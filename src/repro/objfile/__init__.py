@@ -1,0 +1,48 @@
+"""Relocatable object-file format (ECOFF-like) and static archives.
+
+The format deliberately mirrors the properties of the Alpha/OSF loader
+format that the paper relies on:
+
+* references to the GAT are marked for relocation (``R_LITERAL``);
+* instructions that *use* a loaded address are linked back to the load
+  that produced it (``R_LITUSE``, the paper's "links between an
+  instruction that loads an address and the subsequent instructions that
+  use it");
+* GP-establishing instruction pairs are marked (``R_GPDISP``);
+* procedure boundaries and per-procedure GP usage are recorded in the
+  symbol table (procedure descriptors).
+
+These hints are exactly what makes thorough link-time analysis "not
+difficult", per the paper.
+"""
+
+from repro.objfile.sections import Section, SectionKind
+from repro.objfile.symbols import Binding, ProcInfo, Symbol, SymbolKind
+from repro.objfile.relocations import LituseKind, Relocation, RelocType
+from repro.objfile.objfile import ObjectFile, ObjectFormatError
+from repro.objfile.archive import Archive
+from repro.objfile.serialize import (
+    dump_object,
+    load_object,
+    dump_archive,
+    load_archive,
+)
+
+__all__ = [
+    "Section",
+    "SectionKind",
+    "Binding",
+    "ProcInfo",
+    "Symbol",
+    "SymbolKind",
+    "LituseKind",
+    "Relocation",
+    "RelocType",
+    "ObjectFile",
+    "ObjectFormatError",
+    "Archive",
+    "dump_object",
+    "load_object",
+    "dump_archive",
+    "load_archive",
+]

@@ -1,0 +1,54 @@
+"""Static libraries: archives of pre-compiled object modules.
+
+Archives model the paper's "statically-linked pre-compiled library
+code": modules compiled long before the application, pulled in by the
+linker only when they satisfy an undefined symbol.  This demand-driven
+member selection is what makes library code invisible to compile-time
+interprocedural optimization but fully visible to OM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.objfile.objfile import ObjectFile
+from repro.objfile.serialize import dump_archive, load_archive
+
+
+@dataclass
+class Archive:
+    """An ordered collection of object modules with a symbol index."""
+
+    name: str
+    members: list[ObjectFile] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._index: dict[str, ObjectFile] = {}
+        for member in self.members:
+            self._index_member(member)
+
+    def _index_member(self, member: ObjectFile) -> None:
+        for sym in member.defined_globals():
+            # First definition wins, like ranlib's index.
+            self._index.setdefault(sym.name, member)
+
+    def add(self, member: ObjectFile) -> None:
+        """Append a member and index its definitions."""
+        self.members.append(member)
+        self._index_member(member)
+
+    def member_defining(self, symbol: str) -> ObjectFile | None:
+        """The member that defines ``symbol``, if any."""
+        return self._index.get(symbol)
+
+    def to_bytes(self) -> bytes:
+        """Serialize the archive."""
+        return dump_archive(self.members)
+
+    @classmethod
+    def from_bytes(cls, name: str, data: bytes) -> Archive:
+        """Deserialize an archive."""
+        return cls(name, load_archive(data))
+
+    def __len__(self) -> int:
+        return len(self.members)

@@ -1,0 +1,34 @@
+"""File-level object and archive I/O.
+
+Thin wrappers over the binary serializers so the toolchain CLI (and
+users) can keep ``.o``/``.a`` artifacts on disk like a real toolchain.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.objfile.archive import Archive
+from repro.objfile.objfile import ObjectFile
+from repro.objfile.serialize import dump_object, load_object
+
+
+def save_object(obj: ObjectFile, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_bytes(dump_object(obj))
+    return path
+
+
+def load_object_file(path: str | Path) -> ObjectFile:
+    return load_object(Path(path).read_bytes())
+
+
+def save_archive(archive: Archive, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_bytes(archive.to_bytes())
+    return path
+
+
+def load_archive_file(path: str | Path) -> Archive:
+    path = Path(path)
+    return Archive.from_bytes(path.stem, path.read_bytes())

@@ -1,0 +1,121 @@
+"""The relocatable object module container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.objfile.relocations import Relocation, RelocType
+from repro.objfile.sections import Section, SectionKind
+from repro.objfile.symbols import Binding, Symbol, SymbolKind
+
+
+class ObjectFormatError(ValueError):
+    """Raised for malformed or inconsistent object modules."""
+
+
+@dataclass
+class ObjectFile:
+    """One compiled module: sections, symbols, and relocations."""
+
+    name: str
+    sections: dict[SectionKind, Section] = field(default_factory=dict)
+    symbols: list[Symbol] = field(default_factory=list)
+    relocations: list[Relocation] = field(default_factory=list)
+
+    def section(self, kind: SectionKind) -> Section:
+        """Get (creating if needed) the section of the given kind."""
+        sec = self.sections.get(kind)
+        if sec is None:
+            sec = Section(kind)
+            self.sections[kind] = sec
+        return sec
+
+    # -- symbol access ----------------------------------------------------
+
+    def add_symbol(self, symbol: Symbol) -> Symbol:
+        self.symbols.append(symbol)
+        return symbol
+
+    def find_symbol(self, name: str) -> Symbol | None:
+        """Find a symbol by name (definitions preferred over references)."""
+        best = None
+        for sym in self.symbols:
+            if sym.name == name:
+                if sym.is_defined:
+                    return sym
+                best = best or sym
+        return best
+
+    def defined_globals(self) -> list[Symbol]:
+        """Symbols this module offers to other modules (incl. COMMON)."""
+        return [
+            s
+            for s in self.symbols
+            if s.binding is Binding.GLOBAL and s.kind is not SymbolKind.UNDEF
+        ]
+
+    def undefined(self) -> list[Symbol]:
+        """Symbols this module needs from other modules."""
+        return [s for s in self.symbols if s.kind is SymbolKind.UNDEF]
+
+    def procedures(self) -> list[Symbol]:
+        """Procedure symbols in text-offset order."""
+        procs = [s for s in self.symbols if s.kind is SymbolKind.PROC]
+        procs.sort(key=lambda s: s.offset)
+        return procs
+
+    # -- relocation access --------------------------------------------------
+
+    def relocs_for(self, kind: SectionKind) -> list[Relocation]:
+        """Relocations applying to the given section, in offset order."""
+        relocs = [r for r in self.relocations if r.section is kind]
+        relocs.sort(key=lambda r: r.offset)
+        return relocs
+
+    def literal_pool(self) -> list[tuple[str, int]]:
+        """The module's distinct GAT entries: (symbol, addend) pairs.
+
+        This is the module's ``.lita`` contribution — what the paper
+        calls the module's GAT, before the linker merges and dedups the
+        pools of all modules.
+        """
+        seen: dict[tuple[str, int], None] = {}
+        for reloc in self.relocations:
+            if reloc.type is RelocType.LITERAL:
+                seen.setdefault((reloc.symbol, reloc.addend), None)
+        return list(seen)
+
+    @property
+    def lita_size(self) -> int:
+        """Bytes of GAT this module requires (8 per distinct literal)."""
+        return 8 * len(self.literal_pool())
+
+    def validate(self) -> None:
+        """Sanity-check internal consistency; raises ObjectFormatError."""
+        defined: set[str] = set()
+        for sym in self.symbols:
+            if sym.is_defined:
+                if sym.name in defined:
+                    raise ObjectFormatError(
+                        f"{self.name}: duplicate definition of {sym.name!r}"
+                    )
+                defined.add(sym.name)
+                if sym.section is None:
+                    raise ObjectFormatError(
+                        f"{self.name}: defined symbol {sym.name!r} has no section"
+                    )
+                sec = self.sections.get(sym.section)
+                if sec is None or sym.offset > sec.size:
+                    raise ObjectFormatError(
+                        f"{self.name}: symbol {sym.name!r} outside its section"
+                    )
+        known = {s.name for s in self.symbols}
+        for reloc in self.relocations:
+            if reloc.section not in self.sections:
+                raise ObjectFormatError(
+                    f"{self.name}: relocation against missing section {reloc}"
+                )
+            if reloc.symbol is not None and reloc.symbol not in known:
+                raise ObjectFormatError(
+                    f"{self.name}: relocation names unknown symbol {reloc.symbol!r}"
+                )

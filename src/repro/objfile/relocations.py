@@ -1,0 +1,86 @@
+"""Relocation records.
+
+These model the Alpha ECOFF relocation vocabulary the paper's analysis
+leans on.  Field use per type:
+
+``REFQUAD``
+    64-bit absolute address at ``section[offset]``; value is
+    ``symbol + addend``.  When ``symbol`` names a procedure and ``addend``
+    is nonzero, the target is a code label inside that procedure (jump
+    tables); OM must retarget these when it moves code.
+``GPDISP``
+    Marks a GP-establishing ``ldah``/``lda`` pair.  ``offset`` is the
+    ``ldah``; ``addend`` is the byte distance from the ``ldah`` to the
+    paired ``lda``; ``extra`` is the section offset of the *base point* —
+    the address held in the pair's base register at run time (procedure
+    entry for a PV-based pair, the return point for an RA-based pair).
+    The scheduler may move either instruction away from the base point;
+    the record keeps the pair identifiable and patchable regardless.
+``LITERAL``
+    Marks an address load ``ldq rX, slot(gp)``.  ``symbol + addend`` is
+    the address that must be found in the GAT slot; the linker allocates
+    (or dedups) the slot and patches the 16-bit displacement.
+``LITUSE``
+    Marks an instruction that uses the register produced by an address
+    load.  ``addend`` is the text-section offset of the corresponding
+    ``LITERAL`` instruction; ``extra`` is a :class:`LituseKind`.
+``BRADDR``
+    21-bit branch displacement to ``symbol + addend``.
+``HINT``
+    14-bit jump hint on a ``jsr``/``jmp``; ``symbol`` is the predicted
+    target (advisory).
+``JMPTAB``
+    Marks a ``jmp`` that dispatches through a jump table.  ``symbol`` is
+    the table's data symbol; ``addend`` is the number of 8-byte entries.
+    This is the "hint" that lets OM recover case-statement control flow.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.objfile.sections import SectionKind
+
+
+class RelocType(enum.Enum):
+    REFQUAD = "refquad"
+    GPDISP = "gpdisp"
+    LITERAL = "literal"
+    LITUSE = "lituse"
+    BRADDR = "braddr"
+    HINT = "hint"
+    JMPTAB = "jmptab"
+    # Produced by OM's transformations (not by the compiler): direct
+    # GP-relative references that the final link resolves against the
+    # final data layout, keeping OM's decisions valid across GAT-
+    # reduction rounds.
+    GPREL16 = "gprel16"  # disp := symbol + addend - GP
+    GPRELHIGH = "gprelhigh"  # ldah half of a split GP-relative reference
+    GPRELLOW = "gprellow"  # low half; ``extra`` groups it with its HIGH
+
+
+class LituseKind(enum.IntEnum):
+    """How a LITUSE instruction consumes the loaded address."""
+
+    BASE = 1  # base register of a load/store
+    JSR = 2  # target of a jsr/jmp
+
+
+@dataclass
+class Relocation:
+    """One relocation record (see module docstring for field use)."""
+
+    type: RelocType
+    section: SectionKind
+    offset: int
+    symbol: str | None = None
+    addend: int = 0
+    extra: int = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sym = f" {self.symbol}+{self.addend:#x}" if self.symbol else f" +{self.addend:#x}"
+        return (
+            f"Reloc({self.type.value} @ {self.section.value}+{self.offset:#x}"
+            f"{sym} extra={self.extra})"
+        )

@@ -1,0 +1,99 @@
+"""Sections of an object module.
+
+The section kinds follow Alpha/OSF conventions: ``.text`` holds code,
+``.data`` initialized data, ``.sdata`` small initialized data placed near
+the GAT, ``.bss``/``.sbss`` zero-initialized data (size only, no bytes),
+and ``.lita`` is the module's literal-address pool — the GAT fragment the
+linker merges and the paper's optimizations shrink.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class SectionKind(enum.Enum):
+    """Section classes with distinct layout/relocation behaviour."""
+
+    TEXT = "text"
+    DATA = "data"
+    SDATA = "sdata"
+    BSS = "bss"
+    SBSS = "sbss"
+    LITA = "lita"
+
+    @property
+    def has_bytes(self) -> bool:
+        """Whether the section carries image bytes (BSS kinds do not)."""
+        return self not in (SectionKind.BSS, SectionKind.SBSS)
+
+
+#: Canonical section names by kind.
+SECTION_NAMES = {
+    SectionKind.TEXT: ".text",
+    SectionKind.DATA: ".data",
+    SectionKind.SDATA: ".sdata",
+    SectionKind.BSS: ".bss",
+    SectionKind.SBSS: ".sbss",
+    SectionKind.LITA: ".lita",
+}
+
+
+@dataclass
+class Section:
+    """One section: a byte container (or a bare size for BSS kinds)."""
+
+    kind: SectionKind
+    data: bytearray = field(default_factory=bytearray)
+    bss_size: int = 0
+    alignment: int = 8
+
+    @property
+    def name(self) -> str:
+        return SECTION_NAMES[self.kind]
+
+    @property
+    def size(self) -> int:
+        return self.bss_size if not self.kind.has_bytes else len(self.data)
+
+    def append(self, data: bytes) -> int:
+        """Append bytes, returning the offset they were placed at."""
+        if not self.kind.has_bytes:
+            raise ValueError(f"cannot append bytes to {self.name}")
+        offset = len(self.data)
+        self.data += data
+        return offset
+
+    def reserve(self, size: int, alignment: int = 8) -> int:
+        """Reserve zero space (BSS kinds), returning the aligned offset."""
+        if self.kind.has_bytes:
+            self.align_to(alignment)
+            return self.append(bytes(size))
+        offset = -(-self.bss_size // alignment) * alignment
+        self.bss_size = offset + size
+        return offset
+
+    def align_to(self, alignment: int) -> None:
+        """Pad with zeros to the given alignment."""
+        if not self.kind.has_bytes:
+            self.bss_size = -(-self.bss_size // alignment) * alignment
+            return
+        while len(self.data) % alignment:
+            self.data.append(0)
+
+    def read_quad(self, offset: int) -> int:
+        """Read a little-endian unsigned 64-bit value."""
+        return int.from_bytes(self.data[offset : offset + 8], "little")
+
+    def write_quad(self, offset: int, value: int) -> None:
+        """Write a little-endian 64-bit value (value taken mod 2**64)."""
+        self.data[offset : offset + 8] = (value % (1 << 64)).to_bytes(8, "little")
+
+    def read_word(self, offset: int) -> int:
+        """Read a little-endian unsigned 32-bit value."""
+        return int.from_bytes(self.data[offset : offset + 4], "little")
+
+    def write_word(self, offset: int, value: int) -> None:
+        """Write a little-endian 32-bit value (value taken mod 2**32)."""
+        self.data[offset : offset + 4] = (value % (1 << 32)).to_bytes(4, "little")

@@ -1,0 +1,75 @@
+"""Symbol table entries, including procedure descriptors.
+
+The paper notes that "the loader format identifies procedure boundaries
+and specifies the correct value of GP for each procedure"; our
+:class:`ProcInfo` plays the role of the ECOFF procedure descriptor.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.objfile.sections import SectionKind
+
+
+class Binding(enum.Enum):
+    """Linkage visibility of a symbol."""
+
+    LOCAL = "local"  # file-scope (MiniC ``static``)
+    GLOBAL = "global"  # exported, participates in cross-module resolution
+
+
+class SymbolKind(enum.Enum):
+    """What a symbol names."""
+
+    PROC = "proc"
+    OBJECT = "object"  # defined data
+    COMMON = "common"  # uninitialized global; linker allocates
+    UNDEF = "undef"  # reference satisfied by another module
+
+
+@dataclass
+class ProcInfo:
+    """Procedure descriptor.
+
+    ``uses_gp`` records whether the procedure establishes and uses a GP
+    (leaf procedures touching no globals may not).  ``frame_size`` is the
+    stack frame in bytes.  ``gat_group`` is filled in at link time: the
+    index of the GAT this procedure addresses through its GP.
+    """
+
+    uses_gp: bool = True
+    frame_size: int = 0
+    gat_group: int = 0
+
+
+@dataclass
+class Symbol:
+    """One symbol-table entry.
+
+    ``section``/``offset`` locate the definition (``None`` section for
+    COMMON and UNDEF).  ``size`` is the object or procedure size in bytes
+    (for COMMON, the size to allocate).  ``alignment`` applies to COMMON
+    allocation.
+    """
+
+    name: str
+    kind: SymbolKind
+    binding: Binding = Binding.GLOBAL
+    section: SectionKind | None = None
+    offset: int = 0
+    size: int = 0
+    alignment: int = 8
+    proc: ProcInfo | None = None
+
+    @property
+    def is_defined(self) -> bool:
+        return self.kind not in (SymbolKind.UNDEF, SymbolKind.COMMON)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = self.section.value if self.section else "-"
+        return (
+            f"Symbol({self.name!r}, {self.kind.value}, {self.binding.value}, "
+            f"{where}+{self.offset:#x}, size={self.size})"
+        )

@@ -1,0 +1,26 @@
+"""OM: the link-time code modification and optimization system.
+
+This is the paper's primary contribution.  OM links a program like the
+standard linker but first translates every module's object code into a
+*symbolic form* — instructions with symbolic operands, recovered
+procedure boundaries, control flow, and jump tables — transforms that
+form, and generates the final executable from it.  Translation to and
+from symbolic form is "the key idea behind OM": deletion and reordering
+of instructions require no manual tracking of address constants or
+branch displacements.
+
+Two optimization levels are provided, as in the paper:
+
+* :data:`OMLevel.SIMPLE` — local analysis, no code motion, 1-for-1
+  instruction replacement (unneeded instructions become no-ops);
+* :data:`OMLevel.FULL` — code motion and deletion: GP-setup pairs are
+  restored to their logical positions, BSRs are retargeted past callee
+  GP setup, PV-loads and GP-resets are deleted, and GAT reduction is
+  iterated; optionally followed by link-time rescheduling with
+  quadword alignment of backward-branch targets.
+"""
+
+from repro.om.driver import OMLevel, OMOptions, OMResult, om_link
+from repro.om.stats import OMStats
+
+__all__ = ["OMLevel", "OMOptions", "OMResult", "OMStats", "om_link"]

@@ -1,0 +1,136 @@
+"""The OM optimizing-linker driver.
+
+``om_link`` mirrors the standard linker's interface but routes every
+module through symbolic translation, the requested optimization level,
+optional rescheduling, and reassembly; the finish is a normal layout +
+relocation pass over the transformed modules.  GAT reduction is
+emergent: the final GAT is built from the literal relocations that
+survive, and the transformation rounds iterate because a smaller GAT
+brings data closer to GP, "perhaps enabling a fresh round of the other
+improvements".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.linker.executable import Executable
+from repro.linker.layout import DEFAULT_GAT_CAPACITY, LayoutOptions, compute_layout
+from repro.linker.relocate import build_executable
+from repro.linker.resolve import resolve_inputs
+from repro.objfile.archive import Archive
+from repro.objfile.objfile import ObjectFile
+from repro.om.sched import om_schedule
+from repro.om.stats import OMStats, count_code
+from repro.om.symbolic import reassemble_module, translate_module
+from repro.om.transform import PassCounters, Program, Transformer
+
+
+class OMLevel(enum.Enum):
+    """Optimization level, as in the paper's study."""
+
+    NONE = "none"  # translate and regenerate only (overhead baseline)
+    SIMPLE = "simple"  # no code motion; 1-for-1 replacement with no-ops
+    FULL = "full"  # motion, deletion, GAT-reduction rounds
+
+
+@dataclass
+class OMOptions:
+    """Knobs, including the ablations DESIGN.md calls out."""
+
+    schedule: bool = False  # link-time rescheduling (OM-full only)
+    align_loop_targets: bool = True  # quadword-align backward-branch targets
+    rounds: int = 3  # GAT-reduction iteration bound
+    sort_commons: bool = True  # place size-sorted COMMONs near the GAT
+    convert_escaped: bool = False  # 2-for-1 ldah+lda for far escaped literals
+    remove_dead_procs: bool = False  # extension: link-time procedure GC
+    verify: bool = False  # run the structural verifier on the output
+    gat_capacity: int = DEFAULT_GAT_CAPACITY
+    entry: str = "__start"
+
+
+@dataclass
+class OMResult:
+    executable: Executable
+    stats: OMStats
+    counters: PassCounters = field(default_factory=PassCounters)
+
+
+def om_link(
+    objects: list[ObjectFile],
+    libraries: list[Archive] = (),
+    *,
+    level: OMLevel = OMLevel.FULL,
+    options: OMOptions | None = None,
+) -> OMResult:
+    """Optimizing link: the paper's OM-simple / OM-full, or the
+    translate-only OM-none baseline."""
+    options = options or OMOptions()
+    inputs = resolve_inputs(objects, list(libraries))
+
+    # Baseline measurements use the standard linker's view.
+    baseline_layout = compute_layout(inputs, LayoutOptions())
+    gat_before = sum(group.size for group in baseline_layout.groups)
+    text_before = baseline_layout.text_end - baseline_layout.options.text_base
+
+    modules = [translate_module(module) for module in inputs.modules]
+    before = count_code(modules)
+
+    counters = PassCounters()
+    if level is not OMLevel.NONE:
+        layout_options = LayoutOptions(
+            gat_capacity=options.gat_capacity, sort_commons=options.sort_commons
+        )
+        max_rounds = 1 if level is OMLevel.SIMPLE else max(1, options.rounds)
+        for _ in range(max_rounds):
+            objs = [reassemble_module(module)[0] for module in modules]
+            round_inputs = resolve_inputs(objs, [])
+            layout = compute_layout(round_inputs, layout_options)
+            program = Program.build(modules, layout, entry=options.entry)
+            transformer = Transformer(
+                program,
+                full=level is OMLevel.FULL,
+                convert_escaped=options.convert_escaped,
+            )
+            counters.merge(transformer.run())
+            if not transformer.changed:
+                break
+
+    if level is OMLevel.FULL and options.remove_dead_procs:
+        from repro.om.gc import remove_dead_procedures
+
+        counters.procs_removed += remove_dead_procedures(modules, options.entry)
+
+    if level is OMLevel.FULL and options.schedule:
+        om_schedule(modules, align_loop_targets=options.align_loop_targets)
+
+    final_objs = [reassemble_module(module)[0] for module in modules]
+    final_inputs = resolve_inputs(final_objs, [])
+    final_layout_options = (
+        LayoutOptions()
+        if level is OMLevel.NONE
+        else LayoutOptions(
+            gat_capacity=options.gat_capacity, sort_commons=options.sort_commons
+        )
+    )
+    final_layout = compute_layout(final_inputs, final_layout_options)
+    executable = build_executable(final_inputs, final_layout, entry=options.entry)
+
+    if options.verify:
+        from repro.om.verify import verify_executable
+
+        verify_executable(executable)
+
+    stats = OMStats(
+        level=level.value,
+        before=before,
+        after=count_code(modules),
+        loads_converted=counters.loads_converted,
+        loads_nullified=counters.loads_nullified + counters.pv_loads_removed,
+        gat_bytes_before=gat_before,
+        gat_bytes_after=sum(group.size for group in final_layout.groups),
+        text_bytes_before=text_before,
+        text_bytes_after=executable.text_size,
+    )
+    return OMResult(executable, stats, counters)

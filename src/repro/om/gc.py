@@ -1,0 +1,87 @@
+"""Link-time dead-procedure removal (an OM extension).
+
+The paper positions OM as the vehicle for "more sophisticated link-time
+optimization"; this pass is the classic first example: with the whole
+statically-linked program visible, procedures unreachable from the
+entry point can be deleted outright — including the unused parts of
+library members the archive pull-in dragged along.
+
+Reachability roots are the entry procedure and every address-taken
+procedure (a stored function pointer may be called from anywhere).
+Edges are branches into a procedure (entry or interior label), literal
+references to a procedure, and jump-table data references.
+"""
+
+from __future__ import annotations
+
+from repro.minicc.mcode import MInstr
+from repro.om.symbolic import SymbolicModule, SymbolicProc
+from repro.om.transform import _find_address_taken
+
+
+def _owner_of_label(label: str) -> str:
+    """Labels are ``proc`` or ``proc$suffix`` by construction."""
+    return label.split("$", 1)[0]
+
+
+def remove_dead_procedures(
+    modules: list[SymbolicModule], entry: str = "__start"
+) -> int:
+    """Delete unreachable procedures; returns how many were removed."""
+    all_procs: dict[str, tuple[SymbolicModule, SymbolicProc]] = {}
+    for module in modules:
+        for proc in module.procs:
+            # Exported names are unique program-wide; locals may collide
+            # across modules, so qualify them in the worklist keying.
+            all_procs.setdefault(proc.name, (module, proc))
+
+    def refs_of(proc: SymbolicProc) -> set[str]:
+        out: set[str] = set()
+        for item in proc.items:
+            if not isinstance(item, MInstr):
+                continue
+            if item.branch is not None:
+                out.add(_owner_of_label(item.branch[0]))
+            if item.literal is not None:
+                out.add(_owner_of_label(item.literal[0]))
+            if item.hint is not None:
+                out.add(item.hint)
+        return out
+
+    roots = {entry} | _find_address_taken(modules)
+    for module in modules:
+        for ref in module.data_refs:
+            # A stored code address (function pointer in data) roots its
+            # procedure; jump tables root their owner, which is already
+            # reachable when the table's dispatch code is.
+            if ref.label is None and ref.symbol in all_procs:
+                roots.add(ref.symbol)
+
+    reachable: set[str] = set()
+    worklist = [name for name in roots if name in all_procs]
+    while worklist:
+        name = worklist.pop()
+        if name in reachable:
+            continue
+        reachable.add(name)
+        __, proc = all_procs[name]
+        for target in refs_of(proc):
+            if target in all_procs and target not in reachable:
+                worklist.append(target)
+
+    removed = 0
+    for module in modules:
+        dead = [proc.name for proc in module.procs if proc.name not in reachable]
+        if not dead:
+            continue
+        dead_set = set(dead)
+        module.procs = [p for p in module.procs if p.name not in dead_set]
+        # Jump tables of deleted procedures would dangle: drop their
+        # relocations (the table bytes stay, harmlessly unreferenced).
+        module.data_refs = [
+            ref
+            for ref in module.data_refs
+            if not (ref.proc in dead_set or (ref.label is None and ref.symbol in dead_set))
+        ]
+        removed += len(dead)
+    return removed

@@ -1,0 +1,36 @@
+"""OM's optional link-time rescheduling pass.
+
+Re-runs basic-block list scheduling on the transformed code — the
+original compile-time schedule was computed in the presence of address
+loads that OM has since removed — and quadword-aligns instructions that
+are the targets of backward branches, "intended to improve the behavior
+of the AXP's dual-issue and cache" (the paper found the payoff small,
+and negative for ``ear``; the alignment knob exists for that ablation).
+"""
+
+from __future__ import annotations
+
+from repro.minicc.mcode import MInstr, MLabel
+from repro.minicc.sched import schedule_items
+from repro.om.symbolic import SymbolicModule
+
+
+def om_schedule(modules: list[SymbolicModule], *, align_loop_targets: bool = True) -> None:
+    """Schedule every procedure, in place."""
+    for module in modules:
+        for proc in module.procs:
+            proc.items = schedule_items(proc.items)
+            if align_loop_targets:
+                _mark_backward_targets(proc.items)
+
+
+def _mark_backward_targets(items) -> None:
+    """Quadword-align labels targeted by backward branches."""
+    seen: dict[str, MLabel] = {}
+    for item in items:
+        if isinstance(item, MLabel):
+            seen[item.name] = item
+        elif isinstance(item, MInstr) and item.branch is not None:
+            label = seen.get(item.branch[0])
+            if label is not None:
+                label.align = 8

@@ -1,0 +1,495 @@
+"""Translation between object code and OM's symbolic form.
+
+``translate_module`` decodes a module's text into per-procedure lists of
+:class:`MInstr`/:class:`MLabel` items.  Branch displacements become
+label references, GPDISP pairs and literal loads/uses are re-linked by
+item uid from the relocation records, and jump-table entries in data
+become label references into text.  After transformation,
+``reassemble_module`` emits a fresh object module: instruction offsets,
+branch displacements, procedure sizes, and jump-table entries are all
+recomputed — which is precisely why OM can delete and reorder
+instructions freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.encoding import decode_stream, encode_stream
+from repro.minicc.mcode import MInstr, MItem, MLabel
+from repro.objfile.objfile import ObjectFile
+from repro.objfile.relocations import LituseKind, Relocation, RelocType
+from repro.objfile.sections import Section, SectionKind
+from repro.objfile.symbols import Binding, ProcInfo, Symbol, SymbolKind
+
+
+class TranslationError(Exception):
+    """Object code OM cannot translate (should not happen for toolchain
+    output; indicates corruption or an unsupported construct)."""
+
+
+@dataclass
+class SymbolicProc:
+    name: str
+    items: list[MItem] = field(default_factory=list)
+    exported: bool = True
+    uses_gp: bool = True
+    frame_size: int = 0
+    #: Labels that must be visible to other modules (OM's cross-module
+    #: bsr retargets past callee GP setup).
+    export_labels: set[str] = field(default_factory=set)
+
+    def instructions(self) -> list[MInstr]:
+        return [item for item in self.items if isinstance(item, MInstr)]
+
+
+@dataclass
+class DataRef:
+    """A 64-bit relocated datum in a data section.
+
+    When ``label`` is set the datum points into text and its value is
+    recomputed after code motion (jump tables, stored code addresses).
+    """
+
+    section: SectionKind
+    offset: int
+    symbol: str
+    addend: int = 0
+    label: str | None = None
+    proc: str | None = None  # containing procedure of the label
+
+
+@dataclass
+class SymbolicModule:
+    name: str
+    procs: list[SymbolicProc] = field(default_factory=list)
+    data_sections: dict[SectionKind, Section] = field(default_factory=dict)
+    data_refs: list[DataRef] = field(default_factory=list)
+    other_symbols: list[Symbol] = field(default_factory=list)
+
+    def proc_named(self, name: str) -> SymbolicProc | None:
+        for proc in self.procs:
+            if proc.name == name:
+                return proc
+        return None
+
+    def all_items(self):
+        for proc in self.procs:
+            yield from proc.items
+
+
+# -- translation ---------------------------------------------------------------
+
+
+def translate_module(obj: ObjectFile) -> SymbolicModule:
+    """Recover the symbolic form of one object module."""
+    out = SymbolicModule(obj.name)
+    text_section = obj.sections.get(SectionKind.TEXT)
+    text = bytes(text_section.data) if text_section else b""
+    instrs = decode_stream(text)
+    nwords = len(instrs)
+
+    procs = obj.procedures()
+    defined = {s.name: s for s in obj.symbols if s.is_defined}
+
+    def proc_at(offset: int) -> Symbol:
+        for sym in procs:
+            if sym.offset <= offset < sym.offset + sym.size:
+                return sym
+        raise TranslationError(f"{obj.name}: no procedure covers text+{offset:#x}")
+
+    # Index relocations by type and offset.
+    literal_at: dict[int, Relocation] = {}
+    lituse_at: dict[int, Relocation] = {}
+    gpdisp_at: dict[int, Relocation] = {}
+    braddr_at: dict[int, Relocation] = {}
+    hint_at: dict[int, Relocation] = {}
+    jmptab_at: dict[int, Relocation] = {}
+    gprel_at: dict[int, Relocation] = {}
+    for reloc in obj.relocations:
+        if reloc.section is not SectionKind.TEXT:
+            continue
+        table = {
+            RelocType.LITERAL: literal_at,
+            RelocType.LITUSE: lituse_at,
+            RelocType.GPDISP: gpdisp_at,
+            RelocType.BRADDR: braddr_at,
+            RelocType.HINT: hint_at,
+            RelocType.JMPTAB: jmptab_at,
+            RelocType.GPREL16: gprel_at,
+            RelocType.GPRELHIGH: gprel_at,
+            RelocType.GPRELLOW: gprel_at,
+        }.get(reloc.type)
+        if table is None:
+            raise TranslationError(
+                f"{obj.name}: cannot translate relocation {reloc.type.value}"
+            )
+        table[reloc.offset] = reloc
+
+    # ---- decide which offsets need labels --------------------------------
+    target_offsets: set[int] = set()
+    marker_offsets: set[int] = set()
+    lda_to_ldah: dict[int, int] = {}
+
+    for offset, reloc in gpdisp_at.items():
+        marker_offsets.add(reloc.extra)
+        lda_to_ldah[offset + reloc.addend] = offset
+
+    for index, instr in enumerate(instrs):
+        offset = 4 * index
+        if instr.is_branch and offset not in braddr_at:
+            target_offsets.add(offset + 4 + 4 * instr.disp)
+    for offset, reloc in braddr_at.items():
+        target = defined.get(reloc.symbol)
+        if target is not None and reloc.addend:
+            target_offsets.add(target.offset + reloc.addend)
+
+    # Jump tables and other text-pointing data.
+    data_kinds = (SectionKind.DATA, SectionKind.SDATA)
+    for reloc in obj.relocations:
+        if reloc.type is not RelocType.REFQUAD or reloc.section not in data_kinds:
+            continue
+        target = defined.get(reloc.symbol)
+        if target is not None and target.kind is SymbolKind.PROC and reloc.addend:
+            target_offsets.add(target.offset + reloc.addend)
+
+    for offset in target_offsets | marker_offsets:
+        if offset % 4 or offset > 4 * nwords:
+            raise TranslationError(f"{obj.name}: misaligned label target {offset:#x}")
+
+    def label_name(offset: int) -> str:
+        sym = proc_at(offset) if offset < 4 * nwords else procs[-1]
+        if offset == sym.offset:
+            return sym.name
+        return f"{sym.name}$L{offset - sym.offset:x}"
+
+    # ---- build items ------------------------------------------------------
+    item_at: dict[int, MInstr] = {}
+    proc_entry_offsets = {sym.offset for sym in procs}
+
+    for sym in procs:
+        proc = SymbolicProc(
+            sym.name,
+            exported=sym.binding is Binding.GLOBAL,
+            uses_gp=sym.proc.uses_gp if sym.proc else True,
+            frame_size=sym.proc.frame_size if sym.proc else 0,
+        )
+        proc.items.append(MLabel(sym.name, is_target=True))
+        for index in range(sym.offset // 4, (sym.offset + sym.size) // 4):
+            offset = 4 * index
+            if offset != sym.offset and offset in target_offsets:
+                proc.items.append(MLabel(label_name(offset), is_target=True))
+            if (
+                offset in marker_offsets
+                and offset not in target_offsets
+                and offset not in proc_entry_offsets
+            ):
+                proc.items.append(MLabel(label_name(offset), is_target=False))
+            item = MInstr(instrs[index])
+            item_at[offset] = item
+            _annotate(
+                item,
+                offset,
+                literal_at,
+                lituse_at,
+                gpdisp_at,
+                braddr_at,
+                hint_at,
+                jmptab_at,
+                gprel_at,
+                lda_to_ldah,
+                item_at,
+                label_name,
+                defined,
+            )
+            proc.items.append(item)
+        out.procs.append(proc)
+
+    # ---- data sections ----------------------------------------------------
+    for kind, section in obj.sections.items():
+        if kind is SectionKind.TEXT:
+            continue
+        copied = Section(kind, alignment=section.alignment)
+        if kind.has_bytes:
+            copied.data = bytearray(section.data)
+        else:
+            copied.bss_size = section.bss_size
+        out.data_sections[kind] = copied
+
+    for reloc in obj.relocations:
+        if reloc.type is not RelocType.REFQUAD:
+            continue
+        target = defined.get(reloc.symbol)
+        ref = DataRef(reloc.section, reloc.offset, reloc.symbol, reloc.addend)
+        if target is not None and target.kind is SymbolKind.PROC and reloc.addend:
+            ref.label = label_name(target.offset + reloc.addend)
+            ref.proc = target.name
+            ref.addend = 0
+        out.data_refs.append(ref)
+
+    out.other_symbols = [
+        sym for sym in obj.symbols if sym.kind is not SymbolKind.PROC
+    ]
+    return out
+
+
+_GPREL_KINDS = {
+    RelocType.GPREL16: "gprel16",
+    RelocType.GPRELHIGH: "gprelhigh",
+    RelocType.GPRELLOW: "gprellow",
+}
+
+
+def _annotate(
+    item: MInstr,
+    offset: int,
+    literal_at,
+    lituse_at,
+    gpdisp_at,
+    braddr_at,
+    hint_at,
+    jmptab_at,
+    gprel_at,
+    lda_to_ldah,
+    item_at,
+    label_name,
+    defined,
+) -> None:
+    reloc = literal_at.get(offset)
+    if reloc is not None:
+        item.literal = (reloc.symbol, reloc.addend)
+        item.lit_escaped = bool(reloc.extra)
+    reloc = lituse_at.get(offset)
+    if reloc is not None:
+        load_item = item_at.get(reloc.addend)
+        if load_item is None:
+            raise TranslationError(f"lituse at {offset:#x} references missing load")
+        item.lituse = (load_item.uid, LituseKind(reloc.extra))
+    reloc = gpdisp_at.get(offset)
+    if reloc is not None:
+        item.gpdisp_base = label_name(reloc.extra)
+    ldah_offset = lda_to_ldah.get(offset)
+    if ldah_offset is not None:
+        ldah_item = item_at.get(ldah_offset)
+        if ldah_item is None:
+            raise TranslationError(f"gpdisp lda at {offset:#x} precedes its ldah")
+        item.gpdisp_pair = ldah_item.uid
+    reloc = braddr_at.get(offset)
+    if reloc is not None:
+        target = defined.get(reloc.symbol)
+        if target is not None and reloc.addend:
+            item.branch = (label_name(target.offset + reloc.addend), 0)
+        else:
+            item.branch = (reloc.symbol, reloc.addend)
+    elif item.instr.is_branch:
+        item.branch = (label_name(offset + 4 + 4 * item.instr.disp), 0)
+    reloc = hint_at.get(offset)
+    if reloc is not None:
+        item.hint = reloc.symbol
+    reloc = jmptab_at.get(offset)
+    if reloc is not None:
+        item.jmptab = (reloc.symbol, reloc.addend)
+    reloc = gprel_at.get(offset)
+    if reloc is not None:
+        item.gprel = (
+            _GPREL_KINDS[reloc.type], reloc.symbol, reloc.addend, reloc.extra
+        )
+
+
+# -- reassembly ----------------------------------------------------------------
+
+
+def reassemble_module(module: SymbolicModule) -> tuple[ObjectFile, dict[int, int]]:
+    """Emit a fresh object module from symbolic form.
+
+    Returns the object plus a map from item uid to its new text offset
+    (used by OM's analysis to reason about final addresses).
+    """
+    obj = ObjectFile(module.name)
+    nop_word = _nop_instruction()
+
+    # Pass 1: offsets.
+    label_offset: dict[str, int] = {}
+    uid_offset: dict[int, int] = {}
+    proc_bounds: dict[str, tuple[int, int]] = {}
+    emitted: list[MInstr | None] = []  # None = alignment nop
+    cursor = 0
+    for proc in module.procs:
+        start = cursor
+        for item in proc.items:
+            if isinstance(item, MLabel):
+                if item.align and cursor % item.align:
+                    while cursor % item.align:
+                        emitted.append(None)
+                        cursor += 4
+                if item.name in label_offset:
+                    raise TranslationError(f"duplicate label {item.name}")
+                label_offset[item.name] = cursor
+            else:
+                uid_offset[item.uid] = cursor
+                emitted.append(item)
+                cursor += 4
+        proc_bounds[proc.name] = (start, cursor - start)
+
+    # Pass 2: instructions and relocations.
+    instrs = []
+    relocs: list[Relocation] = []
+    referenced: set[str] = set()
+    gpdisp_lda_of: dict[int, int] = {}  # ldah uid -> lda offset
+    for item in emitted:
+        if item is not None and item.gpdisp_pair is not None:
+            gpdisp_lda_of[item.gpdisp_pair] = uid_offset[item.uid]
+
+    proc_names = {proc.name for proc in module.procs}
+    for item in emitted:
+        if item is None:
+            instrs.append(nop_word)
+            continue
+        instr = item.instr
+        offset = uid_offset[item.uid]
+        if item.branch is not None:
+            # Procedure entries stay symbolic (BRADDR) so the final link
+            # resolves them — identical to what the compiler emitted;
+            # internal labels resolve here.
+            name, addend = item.branch
+            if name in label_offset and name not in proc_names:
+                target = label_offset[name] + addend
+                instr = instr.replace(disp=(target - (offset + 4)) // 4)
+            else:
+                relocs.append(
+                    Relocation(RelocType.BRADDR, SectionKind.TEXT, offset, name, addend)
+                )
+                referenced.add(name)
+                instr = instr.replace(disp=0)
+        if item.literal is not None:
+            symbol, addend = item.literal
+            relocs.append(
+                Relocation(
+                    RelocType.LITERAL,
+                    SectionKind.TEXT,
+                    offset,
+                    symbol,
+                    addend,
+                    int(item.lit_escaped),
+                )
+            )
+            referenced.add(symbol)
+        if item.lituse is not None:
+            load_uid, kind = item.lituse
+            if load_uid not in uid_offset:
+                raise TranslationError("lituse references a deleted literal load")
+            relocs.append(
+                Relocation(
+                    RelocType.LITUSE,
+                    SectionKind.TEXT,
+                    offset,
+                    None,
+                    uid_offset[load_uid],
+                    int(kind),
+                )
+            )
+        if item.gpdisp_base is not None:
+            lda_offset = gpdisp_lda_of.get(item.uid)
+            if lda_offset is None:
+                raise TranslationError("gpdisp ldah lost its paired lda")
+            relocs.append(
+                Relocation(
+                    RelocType.GPDISP,
+                    SectionKind.TEXT,
+                    offset,
+                    None,
+                    lda_offset - offset,
+                    label_offset[item.gpdisp_base],
+                )
+            )
+        if item.hint is not None:
+            relocs.append(
+                Relocation(RelocType.HINT, SectionKind.TEXT, offset, item.hint)
+            )
+            referenced.add(item.hint)
+        if item.jmptab is not None:
+            symbol, count = item.jmptab
+            relocs.append(
+                Relocation(RelocType.JMPTAB, SectionKind.TEXT, offset, symbol, count)
+            )
+            referenced.add(symbol)
+        if item.gprel is not None:
+            kind, symbol, addend, group = item.gprel
+            rtype = {
+                "gprel16": RelocType.GPREL16,
+                "gprelhigh": RelocType.GPRELHIGH,
+                "gprellow": RelocType.GPRELLOW,
+            }[kind]
+            relocs.append(
+                Relocation(rtype, SectionKind.TEXT, offset, symbol, addend, group)
+            )
+            referenced.add(symbol)
+        instrs.append(instr)
+
+    text = Section(SectionKind.TEXT, alignment=16)
+    text.data = bytearray(encode_stream(instrs))
+    obj.sections[SectionKind.TEXT] = text
+
+    for kind, section in module.data_sections.items():
+        copied = Section(kind, alignment=section.alignment)
+        if kind.has_bytes:
+            copied.data = bytearray(section.data)
+        else:
+            copied.bss_size = section.bss_size
+        obj.sections[kind] = copied
+
+    for ref in module.data_refs:
+        addend = ref.addend
+        symbol = ref.symbol
+        if ref.label is not None:
+            start, __ = proc_bounds[ref.proc]
+            addend = label_offset[ref.label] - start
+            symbol = ref.proc
+        relocs.append(
+            Relocation(RelocType.REFQUAD, ref.section, ref.offset, symbol, addend)
+        )
+        referenced.add(symbol)
+
+    symbols: list[Symbol] = []
+    for proc in module.procs:
+        start, size = proc_bounds[proc.name]
+        symbols.append(
+            Symbol(
+                proc.name,
+                SymbolKind.PROC,
+                Binding.GLOBAL if proc.exported else Binding.LOCAL,
+                SectionKind.TEXT,
+                start,
+                size,
+                proc=ProcInfo(uses_gp=proc.uses_gp, frame_size=proc.frame_size),
+            )
+        )
+        for label in sorted(proc.export_labels):
+            symbols.append(
+                Symbol(
+                    label,
+                    SymbolKind.OBJECT,
+                    Binding.GLOBAL,
+                    SectionKind.TEXT,
+                    label_offset[label],
+                )
+            )
+    # Data/common symbols are copied; undefined symbols are regenerated
+    # from what the transformed code still references.
+    symbols.extend(
+        sym for sym in module.other_symbols if sym.kind is not SymbolKind.UNDEF
+    )
+    known = {s.name for s in symbols}
+    for name in sorted(referenced - known):
+        symbols.append(Symbol(name, SymbolKind.UNDEF))
+
+    obj.symbols = symbols
+    obj.relocations = relocs
+    obj.validate()
+    return obj, uid_offset
+
+
+def _nop_instruction():
+    from repro.isa.instruction import Instruction
+
+    return Instruction.nop()

@@ -1,0 +1,560 @@
+"""OM's address-calculation transformations.
+
+Implements the paper's optimization catalogue over the symbolic form:
+
+1. GP-relative conversion of address loads (``ldq rX, slot(gp)`` →
+   ``lda``/``ldah`` forms) and nullification of address loads whose
+   uses can all be rebased onto GP directly;
+2. nullification/deletion of GP-reset pairs after calls between
+   routines that share a GAT;
+3. ``jsr`` → ``bsr`` conversion, retargeting past callee GP setup when
+   legal, with deletion of the call site's PV-load;
+4. deletion of entry GP-setup for procedures all of whose entries
+   arrive with the correct GP established;
+5. GAT reduction — emergent: the final link builds the GAT from the
+   literal relocations that survive.
+
+OM-simple restricts itself to 1-for-1 replacement (NOPs, no motion);
+OM-full moves GP-setup pairs back to their logical position first and
+deletes instead of nullifying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Instruction
+from repro.isa.registers import Reg
+from repro.linker.layout import Layout
+from repro.minicc.mcode import MInstr, MLabel
+from repro.objfile.relocations import LituseKind
+from repro.om.symbolic import SymbolicModule, SymbolicProc
+
+
+@dataclass
+class PassCounters:
+    """Transformation counts accumulated across rounds (for stats)."""
+
+    loads_converted: int = 0
+    loads_nullified: int = 0
+    pv_loads_removed: int = 0
+    gp_resets_removed: int = 0
+    jsr_to_bsr: int = 0
+    bsr_retargeted: int = 0
+    entry_setups_removed: int = 0
+    instructions_nulled: int = 0  # NOPs introduced (OM-simple)
+    instructions_deleted: int = 0  # items removed (OM-full)
+    procs_removed: int = 0  # dead-procedure GC (extension)
+
+    def merge(self, other: PassCounters) -> None:
+        for name in vars(other):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+@dataclass
+class Program:
+    """Whole-program view binding symbolic modules to a tentative layout."""
+
+    modules: list[SymbolicModule]
+    layout: Layout
+    proc_dir: dict[str, tuple[int, SymbolicProc]] = field(default_factory=dict)
+    address_taken: set[str] = field(default_factory=set)
+    entry: str = "__start"
+
+    @classmethod
+    def build(
+        cls, modules: list[SymbolicModule], layout: Layout, entry: str = "__start"
+    ) -> Program:
+        prog = cls(modules, layout, entry=entry)
+        for index, module in enumerate(modules):
+            for proc in module.procs:
+                if proc.exported or proc.name not in prog.proc_dir:
+                    prog.proc_dir[proc.name] = (index, proc)
+        prog.address_taken = _find_address_taken(modules)
+        return prog
+
+    def addr(self, module_index: int, symbol: str, addend: int = 0) -> int:
+        return self.layout.symbol_addr(module_index, symbol) + addend
+
+    def gp(self, module_index: int) -> int:
+        return self.layout.gp_for_module(module_index)
+
+    def group(self, module_index: int) -> int:
+        return self.layout.module_group[module_index]
+
+    def single_group(self) -> bool:
+        return len(self.layout.groups) <= 1
+
+    def callee_info(
+        self, caller_module: int, name: str
+    ) -> tuple[int, SymbolicProc] | None:
+        """Resolve a direct-call target, honouring module-local statics."""
+        module = self.modules[caller_module]
+        local = module.proc_named(name)
+        if local is not None and not local.exported:
+            return (caller_module, local)
+        return self.proc_dir.get(name)
+
+
+def _find_address_taken(modules: list[SymbolicModule]) -> set[str]:
+    """Procedures whose address escapes (function pointers, data refs)."""
+    proc_names = {proc.name for module in modules for proc in module.procs}
+    taken: set[str] = set()
+    for module in modules:
+        for ref in module.data_refs:
+            if ref.symbol in proc_names and ref.label is None:
+                taken.add(ref.symbol)
+        for item in module.all_items():
+            if isinstance(item, MInstr) and item.literal is not None:
+                symbol, __ = item.literal
+                if symbol not in proc_names:
+                    continue
+                if item.lit_escaped:
+                    taken.add(symbol)
+                else:
+                    # Non-JSR uses of a procedure literal take its address.
+                    for other in module.all_items():
+                        if (
+                            isinstance(other, MInstr)
+                            and other.lituse is not None
+                            and other.lituse[0] == item.uid
+                            and other.lituse[1] != LituseKind.JSR
+                        ):
+                            taken.add(symbol)
+    return taken
+
+
+# -- helpers over item lists ------------------------------------------------------
+
+
+def _uses_of_literal(proc: SymbolicProc, uid: int) -> list[MInstr]:
+    return [
+        item
+        for item in proc.instructions()
+        if item.lituse is not None and item.lituse[0] == uid
+    ]
+
+
+def _gpdisp_pairs(proc: SymbolicProc) -> list[tuple[MInstr, MInstr, str]]:
+    """All (ldah, lda, base_label) GP-establishing pairs in the proc."""
+    ldahs = {
+        item.uid: item
+        for item in proc.instructions()
+        if item.gpdisp_base is not None
+    }
+    pairs = []
+    for item in proc.instructions():
+        if item.gpdisp_pair is not None and item.gpdisp_pair in ldahs:
+            ldah = ldahs[item.gpdisp_pair]
+            pairs.append((ldah, item, ldah.gpdisp_base))
+    return pairs
+
+
+def _remove_items(proc: SymbolicProc, doomed: set[int]) -> int:
+    before = len(proc.items)
+    proc.items = [
+        item
+        for item in proc.items
+        if not (isinstance(item, MInstr) and item.uid in doomed)
+    ]
+    return before - len(proc.items)
+
+
+def _nullify(item: MInstr) -> None:
+    item.instr = Instruction.nop()
+    item.literal = None
+    item.lituse = None
+    item.gpdisp_base = None
+    item.gpdisp_pair = None
+    item.branch = None
+    item.hint = None
+    item.jmptab = None
+    item.gprel = None
+
+
+def _entry_pair_at_top(proc: SymbolicProc) -> tuple[MInstr, MInstr] | None:
+    """The entry GPDISP pair if it sits in the first two instruction slots."""
+    instrs = proc.instructions()
+    if len(instrs) < 2:
+        return None
+    first, second = instrs[0], instrs[1]
+    if (
+        first.gpdisp_base == proc.name
+        and second.gpdisp_pair == first.uid
+    ):
+        return first, second
+    return None
+
+
+def _find_skip_label(proc: SymbolicProc) -> str | None:
+    for item in proc.items:
+        if isinstance(item, MLabel) and item.name == f"{proc.name}$skipgp":
+            return item.name
+    return None
+
+
+# -- the passes ---------------------------------------------------------------------
+
+
+class Transformer:
+    """One round of OM transformations over the whole program."""
+
+    def __init__(self, prog: Program, *, full: bool, convert_escaped: bool = False):
+        self.prog = prog
+        self.full = full
+        # Replace far escaped literals (function pointers, out-of-window
+        # array bases) with exact ldah+lda pairs.  Off by default: the
+        # paper's OM leaves these in the GAT (its GAT shrinks to 3-15%
+        # of original, not to zero); the knob exists as an ablation.
+        self.convert_escaped = convert_escaped and full
+        self.counters = PassCounters()
+        self.changed = False
+        self._gprel_group = 0
+
+    # ---- round driver -----------------------------------------------------
+
+    def run(self) -> PassCounters:
+        if self.full:
+            for module in self.prog.modules:
+                for proc in module.procs:
+                    self._canonicalize_gp_pairs(proc)
+        for index, module in enumerate(self.prog.modules):
+            for proc in module.procs:
+                self._optimize_calls(index, proc)
+        for index, module in enumerate(self.prog.modules):
+            for proc in module.procs:
+                self._optimize_address_loads(index, proc)
+        if self.full:
+            self._remove_dead_entry_setups()
+        return self.counters
+
+    # ---- GP pair canonicalization (OM-full only) ------------------------------
+
+    def _canonicalize_gp_pairs(self, proc: SymbolicProc) -> None:
+        """Move GPDISP pairs back to their logical position: entry pairs
+        to the top of the procedure, post-call pairs directly after the
+        call's return point.  Safe because nothing between the logical
+        and scheduled position can read or write GP, PV, or RA."""
+        for ldah, lda, base in _gpdisp_pairs(proc):
+            items = proc.items
+            try:
+                anchor = next(
+                    i
+                    for i, item in enumerate(items)
+                    if isinstance(item, MLabel) and item.name == base
+                )
+            except StopIteration:
+                continue
+            ldah_pos = items.index(ldah)
+            lda_pos = items.index(lda)
+            if (ldah_pos, lda_pos) == (anchor + 1, anchor + 2):
+                continue
+            for item in (lda, ldah):
+                items.remove(item)
+            anchor = next(
+                i
+                for i, item in enumerate(items)
+                if isinstance(item, MLabel) and item.name == base
+            )
+            items.insert(anchor + 1, ldah)
+            items.insert(anchor + 2, lda)
+            self.changed = True
+
+    # ---- call optimization ------------------------------------------------------
+
+    def _optimize_calls(self, module_index: int, proc: SymbolicProc) -> None:
+        # Map literal-load uid -> item, for PV loads.
+        literal_items = {
+            item.uid: item
+            for item in proc.instructions()
+            if item.literal is not None
+        }
+
+        for item in list(proc.items):  # snapshot: sites mutate the list
+            if not isinstance(item, MInstr):
+                continue
+            instr = item.instr
+            is_direct_jsr = (
+                instr.is_jump
+                and instr.op.name == "jsr"
+                and item.lituse is not None
+                and item.lituse[1] == LituseKind.JSR
+            )
+            if is_direct_jsr:
+                load = literal_items.get(item.lituse[0])
+                if load is None or load.literal is None:
+                    continue
+                callee_name, addend = load.literal
+                if addend:
+                    continue
+                self._convert_call_site(module_index, proc, item, load, callee_name)
+            elif instr.is_jump and instr.op.name == "jsr":
+                # Indirect call: GP-reset handling only.
+                self._maybe_drop_reset(module_index, proc, item, callee=None)
+
+    def _convert_call_site(
+        self,
+        module_index: int,
+        proc: SymbolicProc,
+        jsr: MInstr,
+        load: MInstr,
+        callee_name: str,
+    ) -> None:
+        prog = self.prog
+        resolved = prog.callee_info(module_index, callee_name)
+        if resolved is None:
+            return
+        callee_module, callee = resolved
+
+        # Range check for the BSR (21-bit word displacement).
+        try:
+            caller_addr = prog.addr(module_index, proc.name)
+            callee_addr = prog.addr(callee_module, callee.name)
+        except Exception:
+            return
+        if abs(callee_addr - caller_addr) >= (1 << 22) - (1 << 16):
+            return
+
+        skip_ok = False
+        target: tuple[str, int]
+        if not callee.uses_gp:
+            # No GP setup at all, so PV is never needed.  Recognizing
+            # this requires per-procedure GP knowledge, which the
+            # paper's OM-simple (destination lookup only, "no analysis
+            # at all") does not apply — only OM-full drops the PV-load.
+            skip_ok = self.full
+            target = (callee.name, 0)
+        else:
+            same_group = prog.group(callee_module) == prog.group(module_index)
+            pair = _entry_pair_at_top(callee)
+            if same_group and pair is not None:
+                # The GP pair is the first two instructions (OM-full put
+                # it there; OM-simple only sees this when compile-time
+                # scheduling happened to leave it in place).
+                skip_ok = True
+                label = _find_skip_label(callee)
+                if label is None:
+                    label = f"{callee.name}$skipgp"
+                    insert_at = callee.items.index(pair[1]) + 1
+                    callee.items.insert(insert_at, MLabel(label, is_target=True))
+                target = (label, 0)
+                if callee_module != module_index:
+                    callee.export_labels.add(label)
+            else:
+                skip_ok = False
+                target = (callee.name, 0)
+
+        # Convert jsr -> bsr.  Without a retarget past the callee's GP
+        # setup, the PV-load must stay: "the compiled code normally does
+        # so anyway, because the called procedure needs the PV in order
+        # to set up its value for GP" — so the lituse link survives too.
+        jsr.instr = Instruction.branch("bsr", Reg.RA, 0)
+        jsr.branch = target
+        jsr.hint = None
+        self.counters.jsr_to_bsr += 1
+        self.changed = True
+
+        if skip_ok:
+            jsr.lituse = None
+            remaining = _uses_of_literal(proc, load.uid)
+            if not remaining and not load.lit_escaped:
+                self._kill(proc, load)
+                self.counters.pv_loads_removed += 1
+            self.counters.bsr_retargeted += 1
+
+        self._maybe_drop_reset(module_index, proc, jsr, callee=(callee_module, callee))
+
+    def _maybe_drop_reset(
+        self,
+        module_index: int,
+        proc: SymbolicProc,
+        call_item: MInstr,
+        callee: tuple[int, SymbolicProc] | None,
+    ) -> None:
+        """Remove the GP-reset pair after a call when GP is provably
+        unchanged across it."""
+        prog = self.prog
+        if prog.single_group():
+            safe = True
+        elif callee is not None:
+            callee_module, callee_proc = callee
+            same = prog.group(callee_module) == prog.group(module_index)
+            safe = same and (callee_proc.uses_gp or _is_reset_free_leaf(callee_proc))
+        else:
+            safe = False
+        if not safe:
+            return
+
+        base_label = self._return_label_after(proc, call_item)
+        if base_label is None:
+            return
+        for ldah, lda, base in _gpdisp_pairs(proc):
+            if base != base_label:
+                continue
+            self._kill(proc, ldah)
+            self._kill(proc, lda)
+            self.counters.gp_resets_removed += 1
+            self.changed = True
+            return
+
+    @staticmethod
+    def _return_label_after(proc: SymbolicProc, call_item: MInstr) -> str | None:
+        items = proc.items
+        index = items.index(call_item)
+        for item in items[index + 1 :]:
+            if isinstance(item, MLabel):
+                return item.name
+            return None
+        return None
+
+    # ---- address-load optimization ----------------------------------------------
+
+    def _optimize_address_loads(self, module_index: int, proc: SymbolicProc) -> None:
+        prog = self.prog
+        gp = prog.gp(module_index)
+        for item in list(proc.instructions()):
+            if item.literal is None:
+                continue
+            uses = _uses_of_literal(proc, item.uid)
+            if any(kind == LituseKind.JSR for __, kind in (u.lituse for u in uses)):
+                continue  # unconverted call site keeps its PV load
+            symbol, addend = item.literal
+            try:
+                target = prog.addr(module_index, symbol, addend)
+            except Exception:
+                continue
+            d = target - gp
+
+            if not item.lit_escaped:
+                offsets = [use.instr.disp for use in uses]
+                if not uses:
+                    # Dead address load.
+                    self._kill(proc, item)
+                    self.counters.loads_nullified += 1
+                    self.changed = True
+                    continue
+                # Lower bound: data-segment symbols sit at or above the
+                # GAT start, which is GP - 32752, and GAT reduction only
+                # moves them down *toward* that floor — so -32752 is a
+                # structural minimum that later rounds cannot violate.
+                if (
+                    -32752 <= d
+                    and all(0 <= off for off in offsets)
+                    and all(d + off <= 32767 for off in offsets)
+                ):
+                    # Nullify: every use is rebased directly onto GP.
+                    for use, off in zip(uses, offsets):
+                        use.instr = use.instr.replace(rb=int(Reg.GP), disp=0)
+                        use.gprel = ("gprel16", symbol, addend + off, 0)
+                        use.lituse = None
+                    self._kill(proc, item)
+                    self.counters.loads_nullified += 1
+                    self.changed = True
+                    continue
+                if max(addend + off for off in offsets) - min(
+                    addend + off for off in offsets
+                ) < 32768:
+                    # Convert to LDAH; uses get the low halves.
+                    self._gprel_group += 1
+                    group = self._gprel_group
+                    dst = item.instr.ra
+                    item.instr = Instruction.mem("ldah", dst, Reg.GP, 0)
+                    item.literal = None
+                    item.lit_escaped = False
+                    item.gprel = ("gprelhigh", symbol, addend, group)
+                    for use, off in zip(uses, offsets):
+                        use.instr = use.instr.replace(disp=0)
+                        use.gprel = ("gprellow", symbol, addend + off, group)
+                        use.lituse = None
+                    self.counters.loads_converted += 1
+                    self.changed = True
+                    continue
+                continue
+
+            # Escaped literal: the register must hold the exact address.
+            if -32752 <= d <= 32767:
+                dst = item.instr.ra
+                item.instr = Instruction.mem("lda", dst, Reg.GP, 0)
+                item.literal = None
+                item.lit_escaped = False
+                item.gprel = ("gprel16", symbol, addend, 0)
+                for use in uses:
+                    use.lituse = None
+                self.counters.loads_converted += 1
+                self.changed = True
+            elif self.convert_escaped:
+                # Replace the load with an exact ldah+lda pair (2-for-1;
+                # only OM-full may change instruction counts).
+                self._gprel_group += 1
+                group = self._gprel_group
+                dst = item.instr.ra
+                item.instr = Instruction.mem("ldah", dst, Reg.GP, 0)
+                item.literal = None
+                item.lit_escaped = False
+                item.gprel = ("gprelhigh", symbol, addend, group)
+                lda = MInstr(
+                    Instruction.mem("lda", dst, dst, 0),
+                    gprel=("gprellow", symbol, addend, group),
+                )
+                proc.items.insert(proc.items.index(item) + 1, lda)
+                for use in uses:
+                    use.lituse = None
+                self.counters.loads_converted += 1
+                self.changed = True
+
+    # ---- entry GP-setup removal (OM-full) -----------------------------------------
+
+    def _remove_dead_entry_setups(self) -> None:
+        prog = self.prog
+        # A procedure's entry GP-setup can go only when every remaining
+        # entry arrives with the correct GP already established: no
+        # address-taken uses, no surviving literals (unconverted call
+        # sites), no stored entry pointers, and no branch to the entry
+        # label itself (skip-label branches land past the pair).
+        blocked: set[str] = set(prog.address_taken)
+        blocked.add(prog.entry)
+        for module in prog.modules:
+            for ref in module.data_refs:
+                if ref.label is None:
+                    blocked.add(ref.symbol)
+            for item in module.all_items():
+                if not isinstance(item, MInstr):
+                    continue
+                if item.literal is not None:
+                    blocked.add(item.literal[0])
+                if item.branch is not None:
+                    blocked.add(item.branch[0])
+                if item.hint is not None:
+                    blocked.add(item.hint)
+
+        for module in prog.modules:
+            for proc in module.procs:
+                if proc.name in blocked or not proc.uses_gp:
+                    continue
+                pair = _entry_pair_at_top(proc)
+                if pair is None:
+                    continue
+                self._kill(proc, pair[0])
+                self._kill(proc, pair[1])
+                self.counters.entry_setups_removed += 1
+                self.changed = True
+
+    # ---- kill helper ---------------------------------------------------------------
+
+    def _kill(self, proc: SymbolicProc, item: MInstr) -> None:
+        if self.full:
+            _remove_items(proc, {item.uid})
+            self.counters.instructions_deleted += 1
+        else:
+            _nullify(item)
+            self.counters.instructions_nulled += 1
+
+
+def _is_reset_free_leaf(proc: SymbolicProc) -> bool:
+    """A procedure that cannot change GP (no gpdisp pairs, no calls)."""
+    for item in proc.instructions():
+        if item.gpdisp_base is not None or item.gpdisp_pair is not None:
+            return False
+        if item.instr.is_call:
+            return False
+    return True

@@ -1,0 +1,116 @@
+"""Post-link structural verification of executables.
+
+A defensive checker run over OM's output (and usable on the standard
+linker's too): it re-decodes the final image and asserts the structural
+invariants that the transformations must preserve.  Cheap enough to run
+in tests after every optimized link; OM itself can run it via
+``OMOptions.verify``.
+
+Checks:
+
+* every text word decodes to a known instruction;
+* every branch displacement lands on an instruction inside the text
+  segment, and conditional branches stay within their procedure;
+* every ``jsr``/``jmp``/``ret`` base register is architecturally
+  plausible (jumps never through GP/SP/ZERO);
+* the procedure table tiles the text segment without overlap;
+* the GAT region holds only addresses inside the image's segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.encoding import EncodingError, decode
+from repro.isa.registers import Reg
+from repro.linker.executable import Executable
+
+
+class VerificationError(Exception):
+    """The executable violates a structural invariant."""
+
+
+@dataclass
+class VerifyReport:
+    instructions: int = 0
+    branches: int = 0
+    calls: int = 0
+    gat_entries: int = 0
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
+_BAD_JUMP_BASES = {int(Reg.GP), int(Reg.SP), int(Reg.ZERO)}
+
+
+def verify_executable(executable: Executable, *, strict: bool = True) -> VerifyReport:
+    """Check structural invariants; raises on failure when ``strict``."""
+    report = VerifyReport()
+    text = executable.text_bytes()
+    base = executable.segments[0].vaddr
+    nwords = len(text) // 4
+
+    proc_spans = sorted((p.addr, p.addr + p.size, p.name) for p in executable.procs)
+    for (a_start, a_end, a_name), (b_start, __, b_name) in zip(
+        proc_spans, proc_spans[1:]
+    ):
+        if a_end > b_start:
+            report.problems.append(
+                f"procedures {a_name} and {b_name} overlap"
+            )
+
+    def proc_of(addr: int) -> str | None:
+        for start, end, name in proc_spans:
+            if start <= addr < end:
+                return name
+        return None
+
+    for index in range(nwords):
+        word = int.from_bytes(text[4 * index : 4 * index + 4], "little")
+        pc = base + 4 * index
+        try:
+            instr = decode(word)
+        except EncodingError as exc:
+            report.problems.append(f"{pc:#x}: undecodable word ({exc})")
+            continue
+        report.instructions += 1
+
+        if instr.is_branch:
+            report.branches += 1
+            target = pc + 4 + 4 * instr.disp
+            if not base <= target < base + len(text):
+                report.problems.append(
+                    f"{pc:#x}: branch target {target:#x} outside text"
+                )
+            elif instr.is_cond_branch and proc_of(target) != proc_of(pc):
+                report.problems.append(
+                    f"{pc:#x}: conditional branch crosses procedures"
+                )
+        if instr.is_call:
+            report.calls += 1
+        if instr.is_jump and instr.rb in _BAD_JUMP_BASES:
+            report.problems.append(
+                f"{pc:#x}: jump through register {Reg(instr.rb).name}"
+            )
+
+    # GAT contents must be addresses inside some segment (or zero).
+    data = executable.segments[1]
+    lo_bounds = [(s.vaddr, s.end) for s in executable.segments]
+    lo_bounds += [(addr, addr + size) for addr, size in executable.zeroed]
+    gat_offset = executable.gat_base - data.vaddr
+    for slot in range(executable.gat_size // 8):
+        value = int.from_bytes(
+            data.data[gat_offset + 8 * slot : gat_offset + 8 * slot + 8], "little"
+        )
+        report.gat_entries += 1
+        if value and not any(lo <= value < hi for lo, hi in lo_bounds):
+            report.problems.append(
+                f"GAT slot {slot}: value {value:#x} outside all segments"
+            )
+
+    if strict and report.problems:
+        raise VerificationError("; ".join(report.problems[:10]))
+    return report

@@ -1,0 +1,183 @@
+"""The command-line toolchain: ``python -m repro.toolchain <tool> ...``.
+
+Mirrors the workflow of the paper's environment:
+
+* ``cc``   — compile MiniC sources to object files (``-all`` for the
+  compile-all interprocedural mode, ``-O0`` to disable optimization,
+  ``-no-sched`` to disable pipeline scheduling);
+* ``ar``   — build a static archive from object files;
+* ``ld``   — standard link (objects + ``-l`` archives) to an executable;
+* ``om``   — optimizing link (``-simple``/``-full``/``-sched``/``-gc``);
+* ``run``  — execute an executable on the simulated AXP;
+* ``dis``  — disassemble an object file or executable.
+
+Executables are serialized with pickle (they are an internal format);
+objects and archives use the repository's binary format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import sys
+from pathlib import Path
+
+from repro.isa.disasm import disassemble
+from repro.linker import link, make_crt0
+from repro.machine import run as machine_run
+from repro.minicc import Options, compile_all, compile_module
+from repro.objfile.archive import Archive
+from repro.objfile.fileio import (
+    load_archive_file,
+    load_object_file,
+    save_archive,
+    save_object,
+)
+from repro.objfile.sections import SectionKind
+from repro.om import OMLevel, OMOptions, om_link
+
+
+def _cc(args) -> int:
+    options = Options(optimize=not args.O0, schedule=not args.no_sched)
+    if args.all:
+        sources = [(Path(p).name, Path(p).read_text()) for p in args.sources]
+        out = args.output or "all.o"
+        save_object(compile_all(sources, Path(out).name, options), out)
+        print(out)
+        return 0
+    for source in args.sources:
+        path = Path(source)
+        out = args.output or str(path.with_suffix(".o"))
+        obj = compile_module(path.read_text(), path.with_suffix(".o").name, options)
+        save_object(obj, out)
+        print(out)
+        if args.output and len(args.sources) > 1:
+            raise SystemExit("-o with multiple sources requires -all")
+    return 0
+
+
+def _ar(args) -> int:
+    archive = Archive(Path(args.output).stem)
+    for member in args.objects:
+        archive.add(load_object_file(member))
+    save_archive(archive, args.output)
+    print(f"{args.output}: {len(archive)} members")
+    return 0
+
+
+def _load_inputs(args):
+    objects = [load_object_file(p) for p in args.objects]
+    if not args.no_crt0:
+        objects.insert(0, make_crt0())
+    libraries = [load_archive_file(p) for p in args.libs or []]
+    return objects, libraries
+
+
+def _ld(args) -> int:
+    objects, libraries = _load_inputs(args)
+    executable = link(objects, libraries)
+    Path(args.output).write_bytes(pickle.dumps(executable))
+    print(f"{args.output}: {executable.text_size} text bytes, "
+          f"GAT {executable.gat_size} bytes")
+    return 0
+
+
+def _om(args) -> int:
+    objects, libraries = _load_inputs(args)
+    level = OMLevel.SIMPLE if args.simple else OMLevel.FULL
+    options = OMOptions(
+        schedule=args.sched,
+        remove_dead_procs=args.gc,
+        convert_escaped=args.convert_escaped,
+    )
+    result = om_link(objects, libraries, level=level, options=options)
+    Path(args.output).write_bytes(pickle.dumps(result.executable))
+    stats = result.stats
+    print(
+        f"{args.output}: OM-{stats.level}; address loads "
+        f"{stats.before.addr_loads} -> {stats.after.addr_loads}; "
+        f"GAT {stats.gat_bytes_before} -> {stats.gat_bytes_after} bytes; "
+        f"text {stats.text_bytes_before} -> {stats.text_bytes_after} bytes"
+    )
+    return 0
+
+
+def _run(args) -> int:
+    executable = pickle.loads(Path(args.executable).read_bytes())
+    result = machine_run(executable, timed=not args.fast)
+    sys.stdout.write(result.output)
+    if args.stats:
+        print(
+            f"[{result.instructions} instructions, {result.cycles} cycles, "
+            f"cpi {result.cpi:.2f}, i$ {result.icache_misses}, "
+            f"d$ {result.dcache_misses}]",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _dis(args) -> int:
+    path = Path(args.input)
+    data = path.read_bytes()
+    if data[:4] == b"ROBJ":
+        obj = load_object_file(path)
+        text = bytes(obj.section(SectionKind.TEXT).data)
+        base = 0
+    else:
+        executable = pickle.loads(data)
+        text = executable.text_bytes()
+        base = executable.segments[0].vaddr
+    for line in disassemble(text, base):
+        print(line)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro.toolchain")
+    sub = parser.add_subparsers(dest="tool", required=True)
+
+    cc = sub.add_parser("cc", help="compile MiniC sources")
+    cc.add_argument("sources", nargs="+")
+    cc.add_argument("-o", dest="output")
+    cc.add_argument("-all", action="store_true", help="compile-all mode")
+    cc.add_argument("-O0", action="store_true", help="disable optimization")
+    cc.add_argument("-no-sched", action="store_true", help="disable scheduling")
+    cc.set_defaults(func=_cc)
+
+    ar = sub.add_parser("ar", help="build a static archive")
+    ar.add_argument("output")
+    ar.add_argument("objects", nargs="+")
+    ar.set_defaults(func=_ar)
+
+    for name, func in (("ld", _ld), ("om", _om)):
+        tool = sub.add_parser(name, help=f"{name} link")
+        tool.add_argument("objects", nargs="+")
+        tool.add_argument("-o", dest="output", required=True)
+        tool.add_argument("-l", dest="libs", action="append")
+        tool.add_argument("--no-crt0", action="store_true")
+        if name == "om":
+            tool.add_argument("-simple", action="store_true")
+            tool.add_argument("-sched", action="store_true")
+            tool.add_argument("-gc", action="store_true")
+            tool.add_argument("--convert-escaped", action="store_true")
+        tool.set_defaults(func=func)
+
+    runner = sub.add_parser("run", help="execute on the simulated AXP")
+    runner.add_argument("executable")
+    runner.add_argument("--fast", action="store_true", help="skip timing model")
+    runner.add_argument("--stats", action="store_true")
+    runner.set_defaults(func=_run)
+
+    dis = sub.add_parser("dis", help="disassemble an object or executable")
+    dis.add_argument("input")
+    dis.set_defaults(func=_dis)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

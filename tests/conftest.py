@@ -1,0 +1,40 @@
+"""Shared fixtures: the stdlib archive and small helper toolchains."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchsuite import build_stdlib
+from repro.linker import link, make_crt0
+from repro.machine import run
+from repro.minicc import compile_module
+from repro.objfile.archive import Archive
+
+
+@pytest.fixture(scope="session")
+def libmc() -> Archive:
+    return build_stdlib()
+
+
+@pytest.fixture(scope="session")
+def crt0():
+    return make_crt0()
+
+
+@pytest.fixture()
+def toolchain(libmc, crt0):
+    """Compile+link+run helper for small test programs."""
+
+    def execute(source: str, *, timed: bool = False, extra_sources=()):
+        objects = [crt0, compile_module(source, "test.o")]
+        for index, text in enumerate(extra_sources):
+            objects.append(compile_module(text, f"extra{index}.o"))
+        exe = link(objects, [libmc])
+        return run(exe, timed=timed)
+
+    return execute
+
+
+def outputs(result) -> list[int]:
+    """Parse simulator output lines into ints."""
+    return [int(line) for line in result.output.split()]

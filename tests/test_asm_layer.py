@@ -1,0 +1,174 @@
+"""Unit tests for the symbolic assembler layer, crt0, and disassembler."""
+
+import pytest
+
+from repro.isa.asm import Assembler, AsmError
+from repro.isa.disasm import disassemble, format_instruction
+from repro.isa.encoding import decode_stream
+from repro.isa.instruction import Instruction
+from repro.isa.registers import Reg
+from repro.linker import make_crt0
+from repro.objfile.relocations import LituseKind, RelocType
+from repro.objfile.sections import SectionKind
+from repro.objfile.symbols import SymbolKind
+
+
+def test_begin_end_proc_records_size():
+    asm = Assembler("m.o")
+    asm.begin_proc("f", frame_size=32)
+    asm.emit(Instruction.nop())
+    asm.emit(Instruction.jump("ret", Reg.ZERO, Reg.RA, 1))
+    asm.end_proc()
+    obj = asm.finish()
+    sym = obj.find_symbol("f")
+    assert sym.kind is SymbolKind.PROC
+    assert sym.offset == 0 and sym.size == 8
+    assert sym.proc.frame_size == 32
+
+
+def test_nested_proc_rejected():
+    asm = Assembler("m.o")
+    asm.begin_proc("f")
+    with pytest.raises(AsmError):
+        asm.begin_proc("g")
+
+
+def test_unterminated_proc_rejected():
+    asm = Assembler("m.o")
+    asm.begin_proc("f")
+    with pytest.raises(AsmError):
+        asm.finish()
+
+
+def test_duplicate_label_rejected():
+    asm = Assembler("m.o")
+    asm.begin_proc("f")
+    asm.label("L")
+    with pytest.raises(AsmError):
+        asm.label("L")
+
+
+def test_intra_module_branch_resolved_without_reloc():
+    asm = Assembler("m.o")
+    asm.begin_proc("f")
+    asm.label("top")
+    asm.emit(Instruction.nop())
+    asm.emit(Instruction.branch("br", Reg.ZERO, 0), branch=("top", 0))
+    asm.end_proc()
+    obj = asm.finish()
+    assert not [r for r in obj.relocations if r.type is RelocType.BRADDR]
+    instrs = decode_stream(bytes(obj.section(SectionKind.TEXT).data))
+    # br at offset 4 targeting offset 0: disp = (0 - 8) / 4 = -2
+    assert instrs[1].disp == -2
+
+
+def test_extern_branch_creates_undef_symbol():
+    asm = Assembler("m.o")
+    asm.begin_proc("f")
+    asm.emit(Instruction.branch("bsr", Reg.RA, 0), branch=("far", 0))
+    asm.end_proc()
+    obj = asm.finish()
+    assert obj.find_symbol("far").kind is SymbolKind.UNDEF
+    braddr = [r for r in obj.relocations if r.type is RelocType.BRADDR]
+    assert braddr[0].symbol == "far"
+
+
+def test_gpdisp_without_pair_rejected():
+    asm = Assembler("m.o")
+    asm.begin_proc("f")
+    asm.emit(Instruction.mem("ldah", Reg.GP, Reg.PV, 0), gpdisp_base="f")
+    asm.end_proc()
+    with pytest.raises(AsmError, match="no paired lda"):
+        asm.finish()
+
+
+def test_data_quad_label_resolves_proc_offset():
+    asm = Assembler("m.o")
+    asm.begin_proc("f")
+    asm.emit(Instruction.nop())
+    asm.label("case1")
+    asm.emit(Instruction.nop())
+    asm.end_proc()
+    asm.data_symbol("jt", SectionKind.DATA, exported=False)
+    asm.data_quad_label(SectionKind.DATA, "f", "case1")
+    obj = asm.finish()
+    ref = [r for r in obj.relocations if r.type is RelocType.REFQUAD][0]
+    assert ref.symbol == "f" and ref.addend == 4
+
+
+def test_lituse_links_to_literal_offset():
+    asm = Assembler("m.o")
+    asm.begin_proc("f")
+    load = asm.emit(
+        Instruction.mem("ldq", Reg.T0, Reg.GP, 0), literal=("sym", 16)
+    )
+    asm.emit(Instruction.nop())
+    asm.emit(
+        Instruction.mem("ldq", Reg.T1, Reg.T0, 0),
+        lituse=(load, LituseKind.BASE),
+    )
+    asm.end_proc()
+    obj = asm.finish()
+    literal = [r for r in obj.relocations if r.type is RelocType.LITERAL][0]
+    lituse = [r for r in obj.relocations if r.type is RelocType.LITUSE][0]
+    assert literal.addend == 16
+    assert lituse.addend == literal.offset == 0
+    assert lituse.offset == 8
+
+
+def test_bss_symbol_alignment():
+    asm = Assembler("m.o")
+    asm.data_bytes(SectionKind.DATA, b"x")
+    sym = asm.bss_symbol("z", 24, kind=SectionKind.BSS, align=16)
+    assert sym.offset % 16 == 0
+    obj = asm.finish()
+    assert obj.sections[SectionKind.BSS].bss_size >= 24
+
+
+# -- crt0 ---------------------------------------------------------------------
+
+
+def test_crt0_shape():
+    crt0 = make_crt0()
+    start = crt0.find_symbol("__start")
+    assert start.kind is SymbolKind.PROC and start.offset == 0
+    assert crt0.find_symbol("main").kind is SymbolKind.UNDEF
+    types = {r.type for r in crt0.relocations}
+    assert {
+        RelocType.GPDISP,
+        RelocType.LITERAL,
+        RelocType.LITUSE,
+        RelocType.HINT,
+    } <= types
+    instrs = decode_stream(bytes(crt0.section(SectionKind.TEXT).data))
+    assert instrs[0].op.name == "ldah" and instrs[0].ra == Reg.GP
+    assert instrs[-1].op.format.value == "pal"
+
+
+# -- disassembler ----------------------------------------------------------------
+
+
+def test_format_instruction_styles():
+    assert format_instruction(Instruction.mem("ldq", Reg.T0, Reg.GP, 188)) == (
+        "ldq t0, 188(gp)"
+    )
+    assert format_instruction(Instruction.nop()) == "nop"
+    assert (
+        format_instruction(Instruction.opr("addq", Reg.T0, 5, Reg.T1, lit=True))
+        == "addq t0, 0x5, t1"
+    )
+    assert format_instruction(Instruction.jump("ret", Reg.ZERO, Reg.RA, 1)) == (
+        "ret zero, (ra), 1"
+    )
+    assert format_instruction(Instruction.pal(0x82)) == "call_pal putint"
+
+
+def test_format_branch_with_pc():
+    text = format_instruction(Instruction.branch("bne", Reg.T0, 3), pc=0x1000)
+    assert text == "bne t0, 0x1010"  # pc + 4 + 4*disp
+
+
+def test_disassemble_handles_bad_words():
+    data = (0x07 << 26).to_bytes(4, "little")
+    lines = disassemble(data, base=0)
+    assert ".word" in lines[0]

@@ -1,0 +1,96 @@
+"""Benchmark-suite integration: the strongest whole-system check.
+
+For every program, every build version (compile-each / compile-all) and
+every link variant (standard, OM-none, OM-simple, OM-full,
+OM-full+sched) must produce bit-identical console output.  Workloads
+are shrunk via the SCALE override so the full matrix stays fast.
+"""
+
+import pytest
+
+from repro.benchsuite import PROGRAMS, build_program, build_stdlib, program_sources
+from repro.benchsuite.suite import apply_scale
+from repro.linker import link, make_crt0
+from repro.machine import run
+from repro.om import OMLevel, OMOptions, om_link
+
+SCALE = 1
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return build_stdlib()
+
+
+@pytest.fixture(scope="module")
+def crt():
+    return make_crt0()
+
+
+def test_program_list_matches_paper():
+    # SPEC92 minus gcc = 19 programs.
+    assert len(PROGRAMS) == 19
+    assert "gcc" not in PROGRAMS
+
+
+def test_every_program_has_multiple_modules():
+    for name in PROGRAMS:
+        sources = program_sources(name)
+        assert len(sources) >= 2, f"{name} should be multi-module"
+        assert sources[0][0] == "main.mc"
+
+
+def test_apply_scale_replaces_constant():
+    text = "int SCALE = 6;\nint main() { return SCALE; }"
+    assert "int SCALE = 2;" in apply_scale(text, 2)
+    assert apply_scale(text, None) == text
+
+
+@pytest.mark.parametrize("name", PROGRAMS)
+def test_all_variants_preserve_output(name, lib, crt):
+    each = [crt] + build_program(name, "each", scale=SCALE)
+    all_unit = [crt] + build_program(name, "all", scale=SCALE)
+
+    reference = None
+    for objs, mode in ((each, "each"), (all_unit, "all")):
+        outputs = {}
+        outputs["ld"] = run(link(objs, [lib]), timed=False).output
+        for level in (OMLevel.NONE, OMLevel.SIMPLE, OMLevel.FULL):
+            result = om_link(objs, [lib], level=level)
+            outputs[level.value] = run(result.executable, timed=False).output
+        sched = om_link(
+            objs, [lib], level=OMLevel.FULL, options=OMOptions(schedule=True)
+        )
+        outputs["full+sched"] = run(sched.executable, timed=False).output
+
+        distinct = set(outputs.values())
+        assert len(distinct) == 1, f"{name}/{mode}: outputs diverge: {outputs}"
+        if reference is None:
+            reference = distinct.pop()
+        else:
+            assert distinct.pop() == reference, f"{name}: each vs all diverge"
+        assert reference.strip(), f"{name}: produced no output"
+
+
+@pytest.mark.parametrize("name", ["eqntott", "li", "hydro2d"])
+def test_om_full_improves_cycles(name, lib, crt):
+    objs = [crt] + build_program(name, "each", scale=SCALE)
+    base = run(link(objs, [lib]))
+    full = om_link(objs, [lib], level=OMLevel.FULL)
+    improved = run(full.executable)
+    assert improved.output == base.output
+    assert improved.cycles < base.cycles
+    assert improved.instructions < base.instructions
+
+
+def test_stdlib_archive_contents():
+    lib = build_stdlib()
+    defined = set()
+    for member in lib.members:
+        defined.update(s.name for s in member.defined_globals())
+    expected = {
+        "__divq", "__remq", "print_int", "iabs", "isqrt", "rand", "srand",
+        "fx_mul", "fx_div", "fx_sin", "qsort64", "cmp_asc", "bsearch64",
+        "popcount64", "hash_array", "heap_alloc", "cons", "vdot", "mat_mul",
+    }
+    assert expected <= defined

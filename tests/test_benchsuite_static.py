@@ -1,0 +1,108 @@
+"""Static structure checks over the whole benchmark suite.
+
+These pin the properties that make the suite a meaningful workload for
+the paper's measurements: plenty of address loads, call-heavy code,
+library pull-in, and at least some function-pointer calls and jump
+tables somewhere in the suite.
+"""
+
+import pytest
+
+from repro.benchsuite import PROGRAMS, build_program, build_stdlib
+from repro.linker import make_crt0
+from repro.linker.resolve import resolve_inputs
+from repro.objfile.relocations import LituseKind, RelocType
+
+
+@pytest.fixture(scope="module")
+def suite_inputs():
+    lib = build_stdlib()
+    crt0 = make_crt0()
+    out = {}
+    for name in PROGRAMS:
+        objs = [crt0] + build_program(name, "each", scale=1)
+        out[name] = resolve_inputs(objs, [lib])
+    return out
+
+
+def count_relocs(inputs, rtype):
+    return sum(
+        1
+        for module in inputs.modules
+        for reloc in module.relocations
+        if reloc.type is rtype
+    )
+
+
+def test_every_program_has_many_address_loads(suite_inputs):
+    for name, inputs in suite_inputs.items():
+        literals = count_relocs(inputs, RelocType.LITERAL)
+        assert literals >= 15, f"{name}: only {literals} address loads"
+
+
+def test_every_program_pulls_library_members(suite_inputs):
+    for name, inputs in suite_inputs.items():
+        libs = [m for m in inputs.modules if m.name in (
+            "runtime.o", "io.o", "math.o", "rand.o", "fixed.o", "mem.o",
+            "sort.o", "search.o", "bits.o", "hash.o", "alloc.o", "list.o",
+            "vec.o", "matrix.o", "wstr.o", "ring.o", "stats.o",
+        )]
+        assert len(libs) >= 2, f"{name}: pulled only {len(libs)} library members"
+
+
+def test_every_program_has_gp_bookkeeping(suite_inputs):
+    for name, inputs in suite_inputs.items():
+        gpdisp = count_relocs(inputs, RelocType.GPDISP)
+        assert gpdisp >= 10, f"{name}: only {gpdisp} GPDISP pairs"
+
+
+def test_suite_contains_function_pointer_calls(suite_inputs):
+    """At least some programs call through procedure variables — the
+    PV-loads even OM-full cannot remove."""
+    with_pointers = []
+    for name, inputs in suite_inputs.items():
+        lituse_jsr = sum(
+            1
+            for module in inputs.modules
+            for reloc in module.relocations
+            if reloc.type is RelocType.LITUSE and reloc.extra == int(LituseKind.JSR)
+        )
+        assert lituse_jsr > 0, f"{name}: no direct calls at all?"
+        # A taken procedure address shows up as an *escaped* literal
+        # naming a procedure defined somewhere in the program.
+        proc_names = {
+            sym.name
+            for module in inputs.modules
+            for sym in module.procedures()
+        }
+        escaped_proc_literals = sum(
+            1
+            for module in inputs.modules
+            for reloc in module.relocations
+            if reloc.type is RelocType.LITERAL
+            and reloc.extra == 1
+            and reloc.symbol in proc_names
+        )
+        if escaped_proc_literals:
+            with_pointers.append(name)
+    assert {"li", "espresso", "eqntott"} <= set(with_pointers)
+
+
+def test_suite_contains_jump_tables(suite_inputs):
+    tabled = [
+        name
+        for name, inputs in suite_inputs.items()
+        if count_relocs(inputs, RelocType.JMPTAB) > 0
+    ]
+    assert "sc" in tabled  # the spreadsheet's opcode dispatch
+    assert len(tabled) >= 2
+
+
+def test_common_sizes_vary_widely(suite_inputs):
+    """Small scalars and large arrays must coexist so the small-data
+    sorting has something to sort."""
+    for name in ("hydro2d", "swm256"):
+        inputs = suite_inputs[name]
+        sizes = [size for size, __ in inputs.commons.values()]
+        assert min(sizes) <= 64
+        assert max(sizes) >= 4096

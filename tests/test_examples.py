@@ -1,0 +1,64 @@
+"""Smoke tests: every shipped example must run cleanly."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_examples_directory_complete():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert "quickstart.py" in names
+    assert len(names) >= 3
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "285" in out
+    assert "OM-full" in out
+    assert "cycles" in out
+
+
+def test_address_optimization_tour():
+    out = run_example("address_optimization_tour.py")
+    assert "standard link" in out
+    assert "OM-simple" in out and "OM-full" in out
+    assert "nop" in out  # nullified instructions visible
+    assert "bsr" in out  # converted calls visible
+
+
+def test_whole_program_study():
+    out = run_example("whole_program_study.py", "mdljsp2")
+    assert "compile-each" in out and "compile-all" in out
+    assert "OM-full" in out and "GAT" in out
+
+
+def test_custom_link_pass():
+    out = run_example("custom_link_pass.py")
+    assert "isqrt" in out and "__divq" in out
+    assert "procedure entry counts" in out
+
+
+def test_profile_hotspots():
+    out = run_example("profile_hotspots.py", "mdljsp2")
+    assert "standard link" in out and "OM-full" in out
+
+
+def test_optimistic_compilation():
+    out = run_example("optimistic_compilation.py")
+    assert "LINK FAILED" in out
+    assert "conservative rebuild output" in out

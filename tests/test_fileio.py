@@ -1,0 +1,31 @@
+"""Object/archive file I/O tests."""
+
+from repro.benchsuite import build_stdlib
+from repro.minicc import compile_module
+from repro.objfile.fileio import (
+    load_archive_file,
+    load_object_file,
+    save_archive,
+    save_object,
+)
+from repro.objfile.sections import SectionKind
+
+
+def test_object_file_roundtrip(tmp_path):
+    obj = compile_module("int g; int f() { return g + 1; }", "f.o")
+    path = save_object(obj, tmp_path / "f.o")
+    back = load_object_file(path)
+    assert back.name == obj.name
+    assert bytes(back.section(SectionKind.TEXT).data) == bytes(
+        obj.section(SectionKind.TEXT).data
+    )
+    assert len(back.relocations) == len(obj.relocations)
+
+
+def test_archive_file_roundtrip(tmp_path):
+    lib = build_stdlib()
+    path = save_archive(lib, tmp_path / "libmc.a")
+    back = load_archive_file(path)
+    assert len(back) == len(lib)
+    assert back.member_defining("__divq") is not None
+    assert back.name == "libmc"

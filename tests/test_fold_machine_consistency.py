@@ -1,0 +1,105 @@
+"""Property test: the compiler's constant folder agrees with the machine.
+
+Compile-time evaluation (``opt._fold_bin``) and run-time evaluation
+(the simulator's operate handlers) must implement identical 64-bit
+semantics — otherwise compile-all (which folds more, after inlining)
+would diverge from compile-each, breaking the suite's bit-identical
+output guarantee.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.machine.cpu import _OPERATE_CODE, _operate
+from repro.minicc.opt import _fold_bin, _to_signed
+
+_MASK = (1 << 64) - 1
+
+#: IR op -> machine operate mnemonic (the div/rem pair is a library
+#: call, checked separately below).
+_DIRECT = {
+    "add": "addq",
+    "sub": "subq",
+    "mul": "mulq",
+    "and": "and",
+    "or": "bis",
+    "xor": "xor",
+    "cmpeq": "cmpeq",
+    "cmplt": "cmplt",
+    "cmple": "cmple",
+    "cmpult": "cmpult",
+    "cmpule": "cmpule",
+    "s8add": "s8addq",
+}
+
+_values = st.integers(-(1 << 63), (1 << 63) - 1)
+
+
+@given(op=st.sampled_from(sorted(_DIRECT)), a=_values, b=_values)
+def test_fold_matches_operate(op, a, b):
+    folded = _fold_bin(op, a, b)
+    machine = _operate(
+        _OPERATE_CODE[_DIRECT[op]], a & _MASK, b & _MASK, 0
+    )
+    assert folded == _to_signed(machine)
+
+
+@given(a=_values, b=_values, op=st.sampled_from(["sll", "srl", "sra"]))
+def test_shift_fold_matches_machine(a, b, op):
+    folded = _fold_bin(op, a, b)
+    machine = _operate(_OPERATE_CODE[op], a & _MASK, b & _MASK, 0)
+    assert folded == _to_signed(machine)
+
+
+def _py_divq(a, b):
+    """Reference semantics of the __divq library routine (C-style
+    truncation toward zero)."""
+    if b == 0:
+        return 0
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+@given(a=st.integers(-(1 << 62), (1 << 62) - 1), b=st.integers(-(1 << 62), (1 << 62) - 1))
+def test_division_fold_matches_library_reference(a, b):
+    folded_div = _fold_bin("div", a, b)
+    folded_rem = _fold_bin("rem", a, b)
+    if b == 0:
+        assert folded_div is None and folded_rem is None
+        return
+    assert folded_div == _py_divq(a, b)
+    assert folded_rem == a - b * _py_divq(a, b)
+
+
+@given(a=_values, b=_values)
+def test_simulated_divq_matches_fold(a, b, libmc, crt0):
+    """Run the actual __divq library routine on the simulator for a
+    pinned set of operands drawn by hypothesis (cheap: tiny program)."""
+    # Keep the run count sane: exercise only a few magnitudes.
+    from hypothesis import assume
+
+    assume(abs(a) < (1 << 62) and 0 < abs(b) < (1 << 20))
+    from repro.linker import link
+    from repro.machine import run
+    from repro.minicc import compile_module
+
+    source = f"""
+    int main() {{
+        __putint({a} / {b});
+        __putint({a} % {b});
+        return 0;
+    }}
+    """
+    # Constant folding would evaluate at compile time; defeat it with
+    # volatile-ish globals.
+    source = f"""
+    int va = {a};
+    int vb = {b};
+    int main() {{
+        __putint(va / vb);
+        __putint(va % vb);
+        return 0;
+    }}
+    """
+    exe = link([crt0, compile_module(source, "m.o")], [libmc])
+    got = [int(x) for x in run(exe, timed=False).output.split()]
+    assert got == [_fold_bin("div", a, b), _fold_bin("rem", a, b)]

@@ -1,0 +1,133 @@
+"""Encoding/decoding round-trip and format tests for the ISA."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import OPS, Format, Instruction, decode, encode, EncodingError
+from repro.isa.encoding import decode_stream, encode_stream
+from repro.isa.registers import Reg
+
+
+def test_memory_format_fields():
+    instr = Instruction.mem("ldq", Reg.T0, Reg.GP, 188)
+    word = encode(instr)
+    assert word >> 26 == 0x29
+    assert (word >> 21) & 31 == Reg.T0
+    assert (word >> 16) & 31 == Reg.GP
+    assert word & 0xFFFF == 188
+
+
+def test_memory_negative_displacement():
+    instr = Instruction.mem("lda", Reg.SP, Reg.SP, -32)
+    assert decode(encode(instr)) == instr
+
+
+def test_branch_format_word_displacement():
+    instr = Instruction.branch("bsr", Reg.RA, -5)
+    word = encode(instr)
+    assert word >> 26 == 0x34
+    assert decode(word).disp == -5
+
+
+def test_operate_register_form():
+    instr = Instruction.opr("addq", Reg.T0, Reg.T1, Reg.T2)
+    back = decode(encode(instr))
+    assert back.op.name == "addq"
+    assert (back.ra, back.rb, back.rc) == (Reg.T0, Reg.T1, Reg.T2)
+    assert back.lit is None
+
+
+def test_operate_literal_form():
+    instr = Instruction.opr("subq", Reg.SP, 16, Reg.SP, lit=True)
+    back = decode(encode(instr))
+    assert back.lit == 16
+    assert back.rc == Reg.SP
+
+
+def test_jump_funcs_distinguished():
+    jsr = Instruction.jump("jsr", Reg.RA, Reg.PV)
+    ret = Instruction.jump("ret", Reg.ZERO, Reg.RA)
+    assert decode(encode(jsr)).op.name == "jsr"
+    assert decode(encode(ret)).op.name == "ret"
+
+
+def test_pal_roundtrip():
+    instr = Instruction.pal(0x82)
+    assert decode(encode(instr)) == instr
+
+
+def test_nop_is_canonical_bis():
+    nop = Instruction.nop()
+    assert nop.is_nop
+    assert nop.op.name == "bis"
+    word = encode(nop)
+    assert decode(word).is_nop
+
+
+def test_displacement_out_of_range_rejected():
+    with pytest.raises(EncodingError):
+        encode(Instruction.mem("ldq", Reg.T0, Reg.GP, 40000))
+    with pytest.raises(EncodingError):
+        encode(Instruction.branch("br", Reg.ZERO, 1 << 21))
+
+
+def test_unknown_word_rejected():
+    with pytest.raises(EncodingError):
+        decode(0x07 << 26)  # unassigned major opcode
+
+
+def test_stream_roundtrip():
+    instrs = [
+        Instruction.mem("ldah", Reg.GP, Reg.PV, 8192),
+        Instruction.mem("lda", Reg.GP, Reg.GP, 28576),
+        Instruction.jump("jsr", Reg.RA, Reg.PV),
+    ]
+    assert decode_stream(encode_stream(instrs)) == instrs
+
+
+def test_stream_requires_word_alignment():
+    with pytest.raises(EncodingError):
+        decode_stream(b"\x00\x01\x02")
+
+
+# -- property-based round-trip over the whole catalogue ---------------------
+
+_REG = st.integers(0, 31)
+
+
+@st.composite
+def instructions(draw):
+    op = draw(st.sampled_from(sorted(OPS.values(), key=lambda o: o.name)))
+    if op.format is Format.MEMORY:
+        return Instruction(
+            op, ra=draw(_REG), rb=draw(_REG), disp=draw(st.integers(-32768, 32767))
+        )
+    if op.format is Format.MEMORY_JUMP:
+        return Instruction(
+            op, ra=draw(_REG), rb=draw(_REG), disp=draw(st.integers(0, (1 << 14) - 1))
+        )
+    if op.format is Format.BRANCH:
+        return Instruction(
+            op, ra=draw(_REG), disp=draw(st.integers(-(1 << 20), (1 << 20) - 1))
+        )
+    if op.format is Format.PAL:
+        return Instruction(op, disp=draw(st.integers(0, (1 << 26) - 1)))
+    if draw(st.booleans()):
+        return Instruction(op, ra=draw(_REG), rc=draw(_REG), lit=draw(st.integers(0, 255)))
+    return Instruction(op, ra=draw(_REG), rb=draw(_REG), rc=draw(_REG))
+
+
+@given(instructions())
+def test_roundtrip_property(instr):
+    assert decode(encode(instr)) == instr
+
+
+@given(instructions())
+def test_encoding_is_32bit(instr):
+    assert 0 <= encode(instr) <= 0xFFFFFFFF
+
+
+@given(instructions())
+def test_defs_uses_exclude_zero(instr):
+    assert Reg.ZERO not in instr.defs()
+    assert Reg.ZERO not in instr.uses()

@@ -1,0 +1,198 @@
+"""Machine simulator tests: functional semantics and the timing model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.timing import CACHE_MISS_PENALTY
+from repro.linker import link, make_crt0
+from repro.machine import Machine, MachineError, run
+from repro.machine.cpu import _operate, _OPERATE_CODE, _branch_taken
+from repro.minicc import compile_module
+from repro.objfile.archive import Archive
+
+_MASK = (1 << 64) - 1
+
+
+def s64(x):
+    x &= _MASK
+    return x - (1 << 64) if x >> 63 else x
+
+
+# -- operate-function unit tests --------------------------------------------------
+
+
+@given(st.integers(0, _MASK), st.integers(0, _MASK))
+def test_addq_subq_are_inverse(a, b):
+    added = _operate(_OPERATE_CODE["addq"], a, b, 0)
+    assert _operate(_OPERATE_CODE["subq"], added, b, 0) == a
+
+
+@given(st.integers(0, _MASK), st.integers(0, _MASK))
+def test_mulq_wraps_to_64_bits(a, b):
+    assert _operate(_OPERATE_CODE["mulq"], a, b, 0) == (a * b) & _MASK
+
+
+@given(st.integers(0, _MASK), st.integers(0, _MASK))
+def test_cmplt_is_signed(a, b):
+    expected = 1 if s64(a) < s64(b) else 0
+    assert _operate(_OPERATE_CODE["cmplt"], a, b, 0) == expected
+
+
+@given(st.integers(0, _MASK), st.integers(0, _MASK))
+def test_cmpult_is_unsigned(a, b):
+    assert _operate(_OPERATE_CODE["cmpult"], a, b, 0) == (1 if a < b else 0)
+
+
+@given(st.integers(0, _MASK), st.integers(0, 63))
+def test_sra_sign_extends(a, k):
+    assert _operate(_OPERATE_CODE["sra"], a, k, 0) == (s64(a) >> k) & _MASK
+
+
+@given(st.integers(0, _MASK), st.integers(0, 63))
+def test_srl_zero_extends(a, k):
+    assert _operate(_OPERATE_CODE["srl"], a, k, 0) == a >> k
+
+
+@given(st.integers(0, _MASK))
+def test_umulh_matches_python(a):
+    assert _operate(_OPERATE_CODE["umulh"], a, a, 0) == (a * a) >> 64 & _MASK
+
+
+@given(st.integers(0, _MASK), st.integers(0, _MASK), st.integers(0, _MASK))
+def test_cmov_selects(a, b, old):
+    taken = _operate(_OPERATE_CODE["cmoveq"], 0, b, old)
+    not_taken = _operate(_OPERATE_CODE["cmoveq"], 1, b, old)
+    assert taken == b and not_taken == old
+
+
+@given(st.integers(0, _MASK))
+def test_branch_conditions_consistent(value):
+    signed = s64(value)
+    assert _branch_taken(0, value) == (value == 0)  # beq
+    assert _branch_taken(1, value) == (value != 0)  # bne
+    assert _branch_taken(2, value) == (signed < 0)  # blt
+    assert _branch_taken(3, value) == (signed <= 0)  # ble
+    assert _branch_taken(4, value) == (signed >= 0)  # bge
+    assert _branch_taken(5, value) == (signed > 0)  # bgt
+    assert _branch_taken(6, value) == (value & 1 == 0)  # blbc
+    assert _branch_taken(7, value) == (value & 1 == 1)  # blbs
+
+
+# -- whole-machine behaviour --------------------------------------------------------
+
+
+def build(source, libmc, crt0):
+    return link([crt0, compile_module(source, "t.o")], [libmc])
+
+
+def test_functional_and_timed_agree(libmc, crt0):
+    source = """
+    int a[32];
+    int main() {
+        int i;
+        int s = 0;
+        for (i = 0; i < 32; i++) { a[i] = i * 3; }
+        for (i = 0; i < 32; i++) { s += a[i] % 5; }
+        __putint(s);
+        return 0;
+    }
+    """
+    exe = build(source, libmc, crt0)
+    fast = run(exe, timed=False)
+    timed = run(exe, timed=True)
+    assert fast.output == timed.output
+    assert fast.instructions == timed.instructions
+
+
+def test_cycles_bounded_by_dual_issue(libmc, crt0):
+    exe = build("int main() { __putint(6 * 7); return 0; }", libmc, crt0)
+    result = run(exe)
+    assert result.cycles >= result.instructions / 2
+    assert result.cycles >= result.instructions - result.dual_issues
+
+
+def test_cache_misses_counted(libmc, crt0):
+    source = """
+    int big[4096];
+    int main() {
+        int i;
+        int s = 0;
+        for (i = 0; i < 4096; i = i + 4) { big[i] = i; }
+        for (i = 0; i < 4096; i = i + 4) { s += big[i]; }
+        __putint(s);
+        return 0;
+    }
+    """
+    result = run(build(source, libmc, crt0))
+    # 32KB of data through an 8KB cache with 4 words per line touched
+    # once per line: both sweeps miss every line.
+    assert result.dcache_misses >= 1800
+    assert result.icache_misses > 0
+
+
+def test_getticks_monotone(libmc, crt0):
+    source = """
+    int main() {
+        int t0 = __getticks();
+        int i;
+        int s = 0;
+        for (i = 0; i < 100; i++) { s += i; }
+        __putint(__getticks() > t0);
+        __putint(s);
+        return 0;
+    }
+    """
+    result = run(build(source, libmc, crt0))
+    assert result.output.split() == ["1", "4950"]
+
+
+def test_unmapped_access_faults(libmc, crt0):
+    source = """
+    int main() {
+        int *p = 1024;   /* far below any segment */
+        return *p;
+    }
+    """
+    with pytest.raises(MachineError, match="unmapped"):
+        run(build(source, libmc, crt0))
+
+
+def test_instruction_limit_enforced(libmc, crt0):
+    exe = build("int main() { while (1) { } return 0; }", libmc, crt0)
+    with pytest.raises(MachineError, match="limit"):
+        Machine(exe, max_instructions=10_000).run(timed=False)
+
+
+def test_halt_reported(libmc, crt0):
+    exe = build("int main() { return 0; }", libmc, crt0)
+    assert run(exe).halted
+
+
+def test_deterministic_cycles(libmc, crt0):
+    exe = build(
+        "int main() { int i; int s=0; for(i=0;i<50;i++){s+=i*i;} __putint(s); return 0; }",
+        libmc,
+        crt0,
+    )
+    first = run(exe)
+    second = run(exe)
+    assert first.cycles == second.cycles
+    assert first.output == second.output
+
+
+def test_miss_penalty_visible_in_cycles(libmc, crt0):
+    """A strided walk over a large array must cost at least the miss
+    penalty per touched line more than the same loop over one line."""
+    big = """
+    int big[8192];
+    int main() {
+        int i; int s = 0;
+        for (i = 0; i < 8192; i = i + 64) { s += big[i]; }
+        __putint(s);
+        return 0;
+    }
+    """
+    result = run(build(big, libmc, crt0))
+    assert result.cycles > result.instructions + result.dcache_misses * (
+        CACHE_MISS_PENALTY - 1
+    )

@@ -1,0 +1,85 @@
+"""Byte and longword memory operations, exercised via hand assembly."""
+
+import pytest
+
+from repro.isa.textasm import assemble_text
+from repro.linker import link
+from repro.machine import MachineError, run
+
+WRITER = """
+        .ent    main
+main:   ldah    $gp, 0($pv)       !gpdisp:main
+        lda     $gp, 0($gp)       !gpdisp_pair
+        ldq     $t0, buf($gp)     !literal
+        lda     $t1, 0x41($zero)
+        stb     $t1, 0($t0)       !lituse_base
+        lda     $t1, 0x42($zero)
+        stb     $t1, 1($t0)
+        ldbu    $a0, 0($t0)
+        call_pal putchar
+        ldbu    $a0, 1($t0)
+        call_pal putchar
+        lda     $t1, 10($zero)
+        bis     $t1, $t1, $a0
+        call_pal putchar
+        call_pal halt
+        .end    main
+
+        .data
+buf:    .quad   0
+"""
+
+
+def test_byte_store_and_load(libmc):
+    obj = assemble_text(WRITER, "bytes.o")
+    # main assembles its own startup; link without crt0 via custom entry
+    exe = link([obj], [libmc], entry="main")
+    for timed in (False, True):
+        assert run(exe, timed=timed).output == "AB\n"
+
+
+LONGWORD = """
+        .ent    main
+main:   ldah    $gp, 0($pv)       !gpdisp:main
+        lda     $gp, 0($gp)       !gpdisp_pair
+        ldq     $t0, buf($gp)     !literal
+        ldah    $t1, -1($zero)    # 0xFFFF0000 sign-extended
+        stl     $t1, 0($t0)       !lituse_base
+        ldl     $a0, 0($t0)
+        call_pal putint
+        ldq     $a0, 0($t0)
+        call_pal putint
+        call_pal halt
+        .end    main
+
+        .data
+buf:    .quad   0
+"""
+
+
+def test_longword_store_sign_extending_load(libmc):
+    obj = assemble_text(LONGWORD, "long.o")
+    exe = link([obj], [libmc], entry="main")
+    result = run(exe, timed=False)
+    values = [int(v) for v in result.output.split()]
+    # ldl sign-extends the stored 32-bit pattern 0xFFFF0000.
+    assert values[0] == -65536
+    # The stq-visible quad holds only the low 32 bits (zero upper half).
+    assert values[1] == 0xFFFF0000
+
+
+def test_unaligned_longword_rejected(libmc):
+    source = """
+        .ent    main
+main:   ldah    $gp, 0($pv)       !gpdisp:main
+        lda     $gp, 0($gp)       !gpdisp_pair
+        ldq     $t0, buf($gp)     !literal
+        stl     $t1, 2($t0)       !lituse_base
+        call_pal halt
+        .end    main
+        .data
+buf:    .quad   0
+    """
+    exe = link([assemble_text(source, "bad.o")], [libmc], entry="main")
+    with pytest.raises(MachineError, match="unaligned"):
+        run(exe, timed=False)

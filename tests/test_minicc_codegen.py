@@ -1,0 +1,187 @@
+"""Code generator tests: the conservative 64-bit code model.
+
+These check the *shape* of emitted code — the address loads, GP
+bookkeeping, and relocations the paper's optimizations target.
+"""
+
+from repro.isa.encoding import decode_stream
+from repro.isa.registers import Reg
+from repro.minicc import Options, compile_all, compile_module
+from repro.objfile.relocations import LituseKind, RelocType
+from repro.objfile.sections import SectionKind
+from repro.objfile.symbols import SymbolKind
+
+
+def relocs_of(obj, rtype):
+    return [r for r in obj.relocations if r.type is rtype]
+
+
+def text_instrs(obj):
+    return decode_stream(bytes(obj.section(SectionKind.TEXT).data))
+
+
+NOSCHED = Options(schedule=False)
+
+
+def test_global_read_emits_literal_and_lituse():
+    obj = compile_module("int g; int f() { return g; }", "t.o", NOSCHED)
+    literals = relocs_of(obj, RelocType.LITERAL)
+    lituses = relocs_of(obj, RelocType.LITUSE)
+    assert [r.symbol for r in literals] == ["g"]
+    assert len(lituses) == 1
+    assert lituses[0].addend == literals[0].offset
+    assert lituses[0].extra == int(LituseKind.BASE)
+
+
+def test_call_site_has_four_bookkeeping_instructions():
+    """The paper: 'An unoptimized call site has four instructions: one
+    to load the PV with the destination address, one for the JSR, and
+    two to reset the GP after returning.'"""
+    obj = compile_module(
+        "extern int g(int x); int f(int x) { return g(x); }", "t.o", NOSCHED
+    )
+    instrs = text_instrs(obj)
+    names = [i.op.name for i in instrs]
+    jsr_at = names.index("jsr")
+    assert instrs[jsr_at - 1].op.name == "ldq"  # PV load
+    assert instrs[jsr_at - 1].ra == Reg.PV
+    assert names[jsr_at + 1 : jsr_at + 3] == ["ldah", "lda"]  # GP reset
+    jsr_lituse = [
+        r
+        for r in relocs_of(obj, RelocType.LITUSE)
+        if r.extra == int(LituseKind.JSR)
+    ]
+    assert len(jsr_lituse) == 1
+    assert relocs_of(obj, RelocType.HINT)[0].symbol == "g"
+
+
+def test_entry_gpdisp_pair_at_start_without_scheduling():
+    obj = compile_module("int g; int f() { return g; }", "t.o", NOSCHED)
+    instrs = text_instrs(obj)
+    assert instrs[0].op.name == "ldah" and instrs[0].ra == Reg.GP
+    assert instrs[1].op.name == "lda" and instrs[1].ra == Reg.GP
+    gpdisp = relocs_of(obj, RelocType.GPDISP)
+    assert gpdisp[0].offset == 0
+    assert gpdisp[0].extra == 0  # base point is the entry
+
+
+def test_scheduling_moves_gp_setup_away_from_entry():
+    """The paper's crucial observation: compile-time scheduling moves
+    the GP-establishing pair away from procedure entry."""
+    source = """
+    int g;
+    extern int callee(int a);
+    int f(int x) { int y = x + 1; return callee(g + y); }
+    """
+    scheduled = compile_module(source, "t.o", Options(schedule=True))
+    instrs = text_instrs(scheduled)
+    first_two = {(i.op.name, i.ra) for i in instrs[:2]}
+    assert (("ldah", int(Reg.GP)) in first_two) is False or (
+        ("lda", int(Reg.GP)) not in first_two
+    )
+    # The pair is still identifiable through its GPDISP record.
+    gpdisp = relocs_of(scheduled, RelocType.GPDISP)
+    assert any(r.extra == 0 for r in gpdisp)
+
+
+def test_leaf_without_globals_has_no_gp_setup():
+    obj = compile_module("int f(int x) { return x * 2; }", "t.o", NOSCHED)
+    sym = obj.find_symbol("f")
+    assert sym.proc is not None and not sym.proc.uses_gp
+    assert not relocs_of(obj, RelocType.GPDISP)
+    assert not relocs_of(obj, RelocType.LITERAL)
+
+
+def test_division_becomes_library_call():
+    obj = compile_module("int f(int a, int b) { return a / b; }", "t.o", NOSCHED)
+    assert any(
+        r.symbol == "__divq" for r in relocs_of(obj, RelocType.LITERAL)
+    )
+    assert any(s.name == "__divq" and s.kind is SymbolKind.UNDEF for s in obj.symbols)
+
+
+def test_static_function_called_with_bsr():
+    source = """
+    static int helper(int x) { return x + 1; }
+    int f(int y) { return helper(y); }
+    """
+    obj = compile_module(source, "t.o", NOSCHED)
+    instrs = text_instrs(obj)
+    assert any(i.op.name == "bsr" for i in instrs)
+    # No PV-load literal for the local call, no GP reset after it.
+    assert not any(
+        r.symbol == "helper" for r in relocs_of(obj, RelocType.LITERAL)
+    )
+
+
+def test_compile_all_optimizes_intra_unit_calls():
+    sources = [
+        ("a.c", "extern int ext(int x); int f(int y) { return helper(y) + ext(y); }"
+                "extern int helper(int x);"),
+        ("b.c", "int big; int helper(int x) { big = big + x; if (x > 3) { return big * x; } "
+                "while (x < 10) { x = x + big; } return x; }"),
+    ]
+    obj = compile_all(sources, "all.o", NOSCHED)
+    instrs = text_instrs(obj)
+    assert any(i.op.name == "bsr" for i in instrs)  # helper via bsr
+    assert any(i.op.name == "jsr" for i in instrs)  # ext via full convention
+    literal_syms = {r.symbol for r in relocs_of(obj, RelocType.LITERAL)}
+    assert "helper" not in literal_syms
+    assert "ext" in literal_syms
+
+
+def test_jump_table_emitted_for_dense_switch():
+    source = """
+    int f(int x) {
+        switch (x) {
+            case 0: return 10; case 1: return 11; case 2: return 12;
+            case 3: return 13; case 4: return 14; case 5: return 15;
+        }
+        return -1;
+    }
+    """
+    obj = compile_module(source, "t.o", NOSCHED)
+    jmptab = relocs_of(obj, RelocType.JMPTAB)
+    assert len(jmptab) == 1 and jmptab[0].addend == 6
+    refquads = relocs_of(obj, RelocType.REFQUAD)
+    assert len(refquads) == 6
+    assert all(r.symbol == "f" for r in refquads)
+
+
+def test_escaped_literal_flagged():
+    # Array base consumed by s8addq: the literal's value escapes.
+    obj = compile_module(
+        "int a[10]; int f(int i) { return a[i]; }", "t.o", NOSCHED
+    )
+    literal = relocs_of(obj, RelocType.LITERAL)[0]
+    assert literal.extra == 1
+    # Scalar access does not escape.
+    obj2 = compile_module("int g; int f() { return g; }", "t.o", NOSCHED)
+    assert relocs_of(obj2, RelocType.LITERAL)[0].extra == 0
+
+
+def test_function_address_literal_escapes():
+    obj = compile_module(
+        "int h(int x) { return x; } int f() { int *p = &h; return p(3); }",
+        "t.o",
+        NOSCHED,
+    )
+    literal = next(
+        r for r in relocs_of(obj, RelocType.LITERAL) if r.symbol == "h"
+    )
+    assert literal.extra == 1
+
+
+def test_param_homes_in_areg_for_leaf():
+    obj = compile_module("int f(int x, int y) { return x + y; }", "t.o", NOSCHED)
+    instrs = text_instrs(obj)
+    # No frame, no saves, computes directly from a0/a1.
+    assert len(instrs) <= 3
+    assert instrs[-1].op.name == "ret"
+
+
+def test_uninitialized_global_is_common():
+    obj = compile_module("int big[100]; int small_one;", "t.o", NOSCHED)
+    commons = [s for s in obj.symbols if s.kind is SymbolKind.COMMON]
+    sizes = {s.name: s.size for s in commons}
+    assert sizes == {"big": 800, "small_one": 8}

@@ -1,0 +1,80 @@
+"""Compiler diagnostics: every class of source error reports cleanly."""
+
+import pytest
+
+from repro.minicc import compile_module
+from repro.minicc.errors import CompileError
+
+
+def expect_error(source, match):
+    with pytest.raises(CompileError, match=match):
+        compile_module(source, "t.o")
+
+
+def test_undeclared_name():
+    expect_error("int f() { return mystery; }", "undeclared")
+
+
+def test_undeclared_function():
+    expect_error("int f() { return nowhere(1); }", "undeclared")
+
+
+def test_wrong_arity():
+    expect_error(
+        "int g(int a, int b) { return a + b; } int f() { return g(1); }",
+        "takes 2 arguments",
+    )
+
+
+def test_assign_to_array():
+    expect_error("int a[4]; int f() { a = 0; return 0; }", "array")
+    expect_error("int f() { int a[4]; a = 0; return 0; }", "array")
+
+
+def test_break_outside_loop():
+    expect_error("int f() { break; return 0; }", "break outside")
+
+
+def test_continue_outside_loop():
+    expect_error("int f() { continue; return 0; }", "continue outside")
+
+
+def test_continue_inside_switch_needs_loop():
+    # A switch provides a break target but not a continue target.
+    expect_error(
+        """
+        int f(int x) {
+            switch (x) { case 1: continue; }
+            return 0;
+        }
+        """,
+        "continue outside",
+    )
+
+
+def test_duplicate_local():
+    expect_error("int f() { int x; int x; return 0; }", "duplicate local")
+
+
+def test_address_of_expression_rejected():
+    expect_error("int f(int x) { return &(x + 1); }", "address")
+
+
+def test_bad_builtin_arity():
+    expect_error("int f() { __putint(); return 0; }", "builtin")
+    expect_error("int f() { __putint(1, 2); return 0; }", "builtin")
+    expect_error("int f() { __halt(3); return 0; }", "builtin")
+
+
+def test_break_inside_switch_is_fine():
+    obj = compile_module(
+        "int f(int x) { switch (x) { case 1: x = 2; break; } return x; }",
+        "t.o",
+    )
+    assert obj.find_symbol("f") is not None
+
+
+def test_error_carries_location():
+    with pytest.raises(CompileError) as info:
+        compile_module("int f() {\n  return oops;\n}", "t.o")
+    assert info.value.line == 2

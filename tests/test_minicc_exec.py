@@ -1,0 +1,357 @@
+"""End-to-end language semantics: compile, link, simulate, check output.
+
+These tests pin MiniC's evaluation semantics through the entire
+toolchain (compiler, assembler, linker, simulator), so a regression in
+any layer shows up as a wrong number.
+"""
+
+import pytest
+
+from tests.conftest import outputs
+
+
+def run_ints(toolchain, body: str, prelude: str = "") -> list[int]:
+    return outputs(toolchain(prelude + "\nint main() {" + body + "\nreturn 0; }"))
+
+
+def test_arithmetic_and_precedence(toolchain):
+    values = run_ints(
+        toolchain,
+        """
+        __putint(2 + 3 * 4);
+        __putint((2 + 3) * 4);
+        __putint(10 - 7 - 2);
+        __putint(-5);
+        __putint(100 / 7);
+        __putint(100 % 7);
+        __putint(-100 / 7);
+        __putint(-100 % 7);
+        """,
+    )
+    assert values == [14, 20, 1, -5, 14, 2, -14, -2]
+
+
+def test_64bit_wraparound(toolchain):
+    values = run_ints(
+        toolchain,
+        """
+        int big = 0x7FFFFFFFFFFFFFFF;
+        __putint(big);
+        __putint(big + 1);
+        __putint(big * 2);
+        """,
+    )
+    assert values == [2**63 - 1, -(2**63), -2]
+
+
+def test_shifts_and_bitops(toolchain):
+    values = run_ints(
+        toolchain,
+        """
+        __putint(1 << 40);
+        __putint(-16 >> 2);
+        __putint(0xF0 & 0x3C);
+        __putint(0xF0 | 0x0C);
+        __putint(0xF0 ^ 0xFF);
+        __putint(~0);
+        """,
+    )
+    assert values == [1 << 40, -4, 0x30, 0xFC, 0x0F, -1]
+
+
+def test_comparisons_produce_01(toolchain):
+    values = run_ints(
+        toolchain,
+        """
+        __putint(3 < 4); __putint(4 < 3); __putint(3 <= 3);
+        __putint(5 > 2); __putint(5 >= 6);
+        __putint(7 == 7); __putint(7 != 7);
+        __putint(-1 < 1);
+        """,
+    )
+    assert values == [1, 0, 1, 1, 0, 1, 0, 1]
+
+
+def test_short_circuit_side_effects(toolchain):
+    values = run_ints(
+        toolchain,
+        """
+        int hits = 0;
+        int bump_true = 0;
+        if (1 || bump(&hits)) { bump_true = 1; }
+        if (0 && bump(&hits)) { bump_true = 2; }
+        __putint(hits);
+        __putint(bump_true);
+        __putint(!0);
+        __putint(!42);
+        """,
+        prelude="int bump(int *p) { *p = *p + 1; return 1; }",
+    )
+    assert values == [0, 1, 1, 0]
+
+
+def test_ternary(toolchain):
+    values = run_ints(
+        toolchain,
+        """
+        int x = 5;
+        __putint(x > 3 ? 111 : 222);
+        __putint(x > 9 ? 111 : 222);
+        __putint((x > 3 ? 1 : 2) + (x > 9 ? 10 : 20));
+        """,
+    )
+    assert values == [111, 222, 21]
+
+
+def test_loops(toolchain):
+    values = run_ints(
+        toolchain,
+        """
+        int i;
+        int s = 0;
+        for (i = 1; i <= 10; i++) { s += i; }
+        __putint(s);
+        s = 0;
+        i = 0;
+        while (i < 5) { s = s * 10 + i; i++; }
+        __putint(s);
+        s = 0;
+        do { s++; } while (s < 3);
+        __putint(s);
+        """,
+    )
+    assert values == [55, 1234, 3]
+
+
+def test_break_continue(toolchain):
+    values = run_ints(
+        toolchain,
+        """
+        int i;
+        int s = 0;
+        for (i = 0; i < 10; i++) {
+            if (i == 3) { continue; }
+            if (i == 7) { break; }
+            s = s * 10 + i;
+        }
+        __putint(s);
+        """,
+    )
+    assert values == [12456]
+
+
+def test_switch_dense_jump_table(toolchain):
+    # 6 contiguous cases -> jump table path.
+    values = run_ints(
+        toolchain,
+        """
+        int i;
+        for (i = 0; i < 8; i++) {
+            switch (i) {
+                case 0: __putint(100); break;
+                case 1: __putint(101); break;
+                case 2: __putint(102);
+                case 3: __putint(103); break;
+                case 4: __putint(104); break;
+                case 5: __putint(105); break;
+                default: __putint(-1);
+            }
+        }
+        """,
+    )
+    assert values == [100, 101, 102, 103, 103, 104, 105, -1, -1]
+
+
+def test_switch_sparse_compare_chain(toolchain):
+    values = run_ints(
+        toolchain,
+        """
+        int i;
+        int probe[4];
+        probe[0] = 5; probe[1] = 500; probe[2] = 5000; probe[3] = 7;
+        for (i = 0; i < 4; i++) {
+            switch (probe[i]) {
+                case 5: __putint(1); break;
+                case 500: __putint(2); break;
+                case 5000: __putint(3); break;
+                default: __putint(9);
+            }
+        }
+        """,
+    )
+    assert values == [1, 2, 3, 9]
+
+
+def test_arrays_and_pointers(toolchain):
+    values = run_ints(
+        toolchain,
+        """
+        int a[5];
+        int *p = a;
+        int i;
+        for (i = 0; i < 5; i++) { a[i] = i * i; }
+        __putint(p[3]);
+        __putint(*p);
+        p = &a[2];
+        __putint(p[1]);
+        *p = 77;
+        __putint(a[2]);
+        """,
+    )
+    assert values == [9, 0, 9, 77]
+
+
+def test_globals_and_commons(toolchain):
+    values = run_ints(
+        toolchain,
+        """
+        counter = 5;
+        table[2] = 42;
+        counter += table[2];
+        __putint(counter);
+        __putint(initialized);
+        """,
+        prelude="int counter; int table[10]; int initialized = 31337;",
+    )
+    assert values == [47, 31337]
+
+
+def test_recursion(toolchain):
+    values = run_ints(
+        toolchain,
+        "__putint(fib(15));",
+        prelude="int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }",
+    )
+    assert values == [610]
+
+
+def test_function_pointers(toolchain):
+    values = run_ints(
+        toolchain,
+        """
+        int *op = &add3;
+        __putint(op(10));
+        op = &mul3;
+        __putint(op(10));
+        __putint(apply(&add3, 5));
+        """,
+        prelude="""
+        int add3(int x) { return x + 3; }
+        int mul3(int x) { return x * 3; }
+        int apply(int *f, int x) { return f(x); }
+        """,
+    )
+    assert values == [13, 30, 8]
+
+
+def test_six_args_and_deep_expressions(toolchain):
+    values = run_ints(
+        toolchain,
+        """
+        __putint(sum6(1, 2, 3, 4, 5, 6));
+        __putint(((1+2)*(3+4)-(5-6))*((7+8)/(2+1)));
+        """,
+        prelude="int sum6(int a,int b,int c,int d,int e,int f){return a+b+c+d+e+f;}",
+    )
+    assert values == [21, 110]
+
+
+def test_stack_array_and_address_of_local(toolchain):
+    values = run_ints(
+        toolchain,
+        """
+        int buf[4];
+        int x = 9;
+        int *px = &x;
+        buf[0] = 1; buf[1] = 2; buf[2] = 3; buf[3] = 4;
+        *px = *px + buf[2];
+        __putint(x);
+        __putint(sum(buf, 4));
+        """,
+        prelude="int sum(int *a, int n){int i;int s=0;for(i=0;i<n;i++){s+=a[i];}return s;}",
+    )
+    assert values == [12, 10]
+
+
+def test_stdlib_qsort_and_bsearch(toolchain):
+    values = run_ints(
+        toolchain,
+        """
+        int a[8];
+        a[0]=5; a[1]=3; a[2]=8; a[3]=1; a[4]=9; a[5]=2; a[6]=7; a[7]=4;
+        qsort64(a, 0, 7, &cmp_asc);
+        __putint(is_sorted64(a, 8, &cmp_asc));
+        __putint(bsearch64(a, 8, 7));
+        __putint(bsearch64(a, 8, 6));
+        """,
+        prelude="""
+        extern int qsort64(int *a, int lo, int hi, int *cmp);
+        extern int cmp_asc(int a, int b);
+        extern int is_sorted64(int *a, int n, int *cmp);
+        extern int bsearch64(int *a, int n, int key);
+        """,
+    )
+    # sorted: 1 2 3 4 5 7 8 9 -> 7 at index 5, 6 missing
+    assert values == [1, 5, -1]
+
+
+def test_stdlib_fixed_point(toolchain):
+    values = run_ints(
+        toolchain,
+        """
+        __putint(fx_mul(131072, 98304));        /* 2.0*1.5 = 3.0 */
+        __putint(fx_div(196608, 131072));       /* 3.0/2.0 = 1.5 */
+        __putint(fx_sqrt(262144) );             /* sqrt(4.0) = 2.0 */
+        """,
+        prelude="""
+        extern int fx_mul(int a, int b);
+        extern int fx_div(int a, int b);
+        extern int fx_sqrt(int x);
+        """,
+    )
+    assert values[0] == 3 * 65536
+    assert values[1] == 98304
+    assert abs(values[2] - 2 * 65536) <= 2
+
+
+def test_putchar_output(toolchain):
+    result = toolchain(
+        "int main() { __putchar('h'); __putchar('i'); __putchar('\\n'); return 0; }"
+    )
+    assert result.output == "hi\n"
+
+
+def test_compound_assignment_operators(toolchain):
+    values = run_ints(
+        toolchain,
+        """
+        int x = 100;
+        x += 5; __putint(x);
+        x -= 10; __putint(x);
+        x *= 2; __putint(x);
+        x /= 3; __putint(x);
+        x %= 7; __putint(x);
+        x <<= 4; __putint(x);
+        x >>= 2; __putint(x);
+        x |= 9; __putint(x);
+        x &= 12; __putint(x);
+        x ^= 5; __putint(x);
+        """,
+    )
+    assert values == [105, 95, 190, 63, 0, 0, 0, 9, 8, 13]
+
+
+def test_array_compound_assign_evaluates_index_once(toolchain):
+    values = run_ints(
+        toolchain,
+        """
+        int a[3];
+        int calls = 0;
+        a[0] = 10; a[1] = 20; a[2] = 30;
+        a[next(&calls)] += 7;
+        __putint(calls);
+        __putint(a[0]);
+        """,
+        prelude="int next(int *p) { *p = *p + 1; return 0; }",
+    )
+    assert values == [1, 17]

@@ -1,0 +1,208 @@
+"""IR generation and optimizer unit tests."""
+
+from repro.minicc import ir
+from repro.minicc.irgen import lower_module
+from repro.minicc.inline import inline_module
+from repro.minicc.opt import optimize_function, optimize_module
+from repro.minicc.parser import parse
+
+
+def lower(source):
+    return lower_module(parse(source, "t.c"))
+
+
+def func_named(module, name):
+    return next(f for f in module.functions if f.name == name)
+
+
+def instr_types(func):
+    return [type(i).__name__ for i in func.body]
+
+
+def test_simple_function_shape():
+    module = lower("int f(int x) { return x + 1; }")
+    func = module.functions[0]
+    assert func.params == ["x"]
+    assert isinstance(func.body[-1], ir.Ret)
+    assert any(isinstance(i, ir.Bin) and i.op == "add" for i in func.body)
+
+
+def test_globals_lowered_with_size():
+    module = lower("int a; int b[8]; static int c = 5;")
+    by_name = {g.name: g for g in module.globals}
+    assert by_name["a"].size == 8
+    assert by_name["b"].size == 64 and by_name["b"].is_array
+    assert by_name["c"].init == [5] and not by_name["c"].exported
+
+
+def test_global_access_uses_addr_plus_load():
+    module = lower("int g; int f() { return g; }")
+    func = module.functions[0]
+    assert any(isinstance(i, ir.AddrGlobal) and i.symbol == "g" for i in func.body)
+    assert any(isinstance(i, ir.Load) for i in func.body)
+
+
+def test_loop_rotated_single_backward_branch():
+    module = lower("int f(int n) { int i; int s=0; for (i=0;i<n;i++){s+=i;} return s; }")
+    func = module.functions[0]
+    jumps = [i for i in func.body if isinstance(i, ir.Jump)]
+    cjumps = [i for i in func.body if isinstance(i, ir.CJump)]
+    # Rotation: one entry jump to the test, one conditional at the bottom.
+    assert len(jumps) == 1 and len(cjumps) == 1
+
+
+def test_address_taken_local_flagged():
+    module = lower("int f() { int x; int *p = &x; return *p; }")
+    func = module.functions[0]
+    assert func.locals[0].addr_taken
+
+
+def test_array_local_is_array():
+    module = lower("int f() { int a[4]; a[0] = 1; return a[0]; }")
+    func = module.functions[0]
+    local = next(l for l in func.locals if l.name == "a")
+    assert local.is_array and local.size == 32
+
+
+def test_dense_switch_becomes_jump_table():
+    source = """
+    int f(int x) {
+        switch (x) {
+            case 0: return 1; case 1: return 2; case 2: return 3;
+            case 3: return 4; case 4: return 5;
+        }
+        return 0;
+    }
+    """
+    func = lower(source).functions[0]
+    assert any(isinstance(i, ir.JumpTable) for i in func.body)
+
+
+def test_sparse_switch_becomes_compare_chain():
+    source = """
+    int f(int x) {
+        switch (x) { case 1: return 1; case 100: return 2; case 10000: return 3; }
+        return 0;
+    }
+    """
+    func = lower(source).functions[0]
+    assert not any(isinstance(i, ir.JumpTable) for i in func.body)
+    assert sum(1 for i in func.body if isinstance(i, ir.CJump)) >= 3
+
+
+def test_division_stays_symbolic_until_codegen():
+    func = lower("int f(int a, int b) { return a / b; }").functions[0]
+    assert any(isinstance(i, ir.Bin) and i.op == "div" for i in func.body)
+
+
+# -- optimizer -----------------------------------------------------------------
+
+
+def test_constant_folding_collapses_expression():
+    func = lower("int f() { return 2 + 3 * 4; }").functions[0]
+    optimize_function(func)
+    consts = [i for i in func.body if isinstance(i, ir.Const)]
+    assert any(c.value == 14 for c in consts)
+    assert not any(isinstance(i, ir.Bin) for i in func.body)
+
+
+def test_mul_by_power_of_two_becomes_shift():
+    func = lower("int f(int x) { return x * 8; }").functions[0]
+    optimize_function(func)
+    assert any(
+        isinstance(i, ir.BinImm) and i.op == "sll" and i.imm == 3 for i in func.body
+    )
+
+
+def test_small_constants_become_immediates():
+    func = lower("int f(int x) { return x + 5; }").functions[0]
+    optimize_function(func)
+    assert any(isinstance(i, ir.BinImm) and i.imm == 5 for i in func.body)
+
+
+def test_division_not_folded_into_immediate_form():
+    func = lower("int f(int x) { return x / 3; }").functions[0]
+    optimize_function(func)
+    assert any(isinstance(i, ir.Bin) and i.op == "div" for i in func.body)
+
+
+def test_dead_code_removed():
+    func = lower("int f(int x) { int unused = x * 37; return x; }").functions[0]
+    optimize_function(func)
+    assert not any(isinstance(i, ir.Bin) and i.op == "mul" for i in func.body)
+
+
+def test_constant_branch_simplified():
+    func = lower("int f() { if (1) { return 5; } return 9; }").functions[0]
+    optimize_function(func)
+    assert not any(isinstance(i, ir.CJump) for i in func.body)
+
+
+def test_unused_call_result_voided():
+    func = lower("extern int g(int x); int f() { g(1); return 0; }").functions[0]
+    optimize_function(func)
+    call = next(i for i in func.body if isinstance(i, ir.Call))
+    assert call.dst is None
+
+
+def test_folding_division_semantics_match_c():
+    # -7/2 truncates toward zero, unlike Python floor division.
+    func = lower("int f() { return -7 / 2; }").functions[0]
+    optimize_function(func)
+    consts = [i.value for i in func.body if isinstance(i, ir.Const)]
+    assert -3 in consts
+
+
+# -- inliner ------------------------------------------------------------------
+
+
+def test_inline_small_callee():
+    module = lower(
+        """
+        int tiny(int x) { return x + 1; }
+        int f(int y) { return tiny(y) * 2; }
+        """
+    )
+    count = inline_module(module)
+    assert count >= 1
+    f = func_named(module, "f")
+    assert not any(
+        isinstance(i, ir.Call) and i.callee == "tiny" for i in f.body
+    )
+
+
+def test_inline_skips_recursive():
+    module = lower("int f(int n) { if (n < 2) { return n; } return f(n-1); }")
+    assert inline_module(module) == 0
+
+
+def test_inline_preserves_semantics_structurally():
+    module = lower(
+        """
+        int add(int a, int b) { return a + b; }
+        int f() { return add(3, 4); }
+        """
+    )
+    inline_module(module)
+    optimize_module(module)
+    f = func_named(module, "f")
+    assert not any(isinstance(i, ir.Call) for i in f.body)
+    # Store-load forwarding lets the whole call fold to a constant.
+    consts = [i.value for i in f.body if isinstance(i, ir.Const)]
+    assert 7 in consts
+
+
+def test_inline_replicates_library_calls():
+    # The paper's footnote: inlining a routine that calls a library
+    # routine replicates the library call.
+    module = lower(
+        """
+        extern int lib(int x);
+        int wrap(int x) { return lib(x) + 1; }
+        int f(int a) { return wrap(a) + wrap(a + 1); }
+        """
+    )
+    inline_module(module)
+    f = func_named(module, "f")
+    lib_calls = [i for i in f.body if isinstance(i, ir.Call) and i.callee == "lib"]
+    assert len(lib_calls) == 2

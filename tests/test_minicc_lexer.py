@@ -1,0 +1,80 @@
+"""Lexer tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.minicc.errors import CompileError
+from repro.minicc.lexer import Token, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]
+
+
+def test_keywords_and_identifiers():
+    assert kinds("int x while whilex") == ["int", "ident", "while", "ident", "eof"]
+
+
+def test_numbers_decimal_and_hex():
+    assert values("0 42 0x10 0XFF") == [0, 42, 16, 255]
+
+
+def test_char_literals():
+    assert values("'a' '\\n' '\\0' '\\\\'") == [97, 10, 0, 92]
+
+
+def test_unterminated_char_rejected():
+    with pytest.raises(CompileError):
+        tokenize("'a")
+
+
+def test_maximal_munch_operators():
+    assert kinds("a <<= b << c <= d < e")[:9] == [
+        "ident", "<<=", "ident", "<<", "ident", "<=", "ident", "<", "ident",
+    ]
+
+
+def test_line_comments_skipped():
+    assert kinds("a // comment\n b") == ["ident", "ident", "eof"]
+
+
+def test_block_comments_track_lines():
+    tokens = tokenize("/* one\ntwo */ x")
+    assert tokens[0] == Token("ident", "x", 2)
+
+
+def test_unterminated_block_comment_rejected():
+    with pytest.raises(CompileError):
+        tokenize("/* never ends")
+
+
+def test_unexpected_character_reports_line():
+    with pytest.raises(CompileError) as info:
+        tokenize("x\n@")
+    assert info.value.line == 2
+
+
+def test_line_numbers_attached():
+    tokens = tokenize("a\nb\n\nc")
+    assert [t.line for t in tokens[:-1]] == [1, 2, 4]
+
+
+@given(st.integers(0, 2**62))
+def test_every_number_roundtrips(value):
+    assert values(str(value)) == [value]
+
+
+@given(
+    st.lists(
+        st.sampled_from(["foo", "bar", "int", "42", "+", "<<", "(", ")"]),
+        max_size=12,
+    )
+)
+def test_whitespace_insensitivity(parts):
+    spaced = " ".join(parts)
+    extra = "   ".join(parts)
+    assert kinds(spaced) == kinds(extra)

@@ -1,0 +1,158 @@
+"""Parser and semantic-analysis tests."""
+
+import pytest
+
+from repro.minicc import astnodes as ast
+from repro.minicc.errors import CompileError
+from repro.minicc.parser import parse
+from repro.minicc.sema import analyze, merge_modules
+
+
+def parse_one(source):
+    return parse(source, "t.c")
+
+
+def test_global_variable_forms():
+    module = parse_one("int a; static int b[4]; int c = 7; int d[2] = {1, 2};")
+    assert [g.name for g in module.globals] == ["a", "b", "c", "d"]
+    assert module.globals[1].static and module.globals[1].array_size == 4
+    assert module.globals[2].init == [7]
+    assert module.globals[3].init == [1, 2]
+
+
+def test_extern_declarations():
+    module = parse_one("extern int g; extern int f(int a, int b);")
+    assert module.globals[0].extern
+    assert module.protos[0].params == ["a", "b"]
+
+
+def test_function_definition():
+    module = parse_one("static int f(int x) { return x + 1; }")
+    func = module.functions[0]
+    assert func.static and func.params == ["x"]
+    assert isinstance(func.body.body[0], ast.Return)
+
+
+def test_operator_precedence():
+    module = parse_one("int f() { return 1 + 2 * 3 == 7 && 4 < 5; }")
+    expr = module.functions[0].body.body[0].value
+    assert expr.op == "&&"
+    assert expr.left.op == "=="
+
+
+def test_ternary_and_assignment():
+    module = parse_one("int f(int x) { int y = x ? 1 : 2; y += 3; return y; }")
+    body = module.functions[0].body.body
+    assert isinstance(body[0].init, ast.Cond)
+    assert body[1].expr.op == "+="
+
+
+def test_incdec_forms():
+    module = parse_one("int f(int x) { x++; ++x; x--; return x; }")
+    stmts = module.functions[0].body.body
+    assert not stmts[0].expr.is_prefix
+    assert stmts[1].expr.is_prefix
+
+
+def test_control_statements():
+    source = """
+    int f(int n) {
+        int s = 0;
+        int i;
+        for (i = 0; i < n; i++) { s += i; }
+        while (s > 100) { s -= 3; if (s == 50) { break; } }
+        do { s++; } while (s < 10);
+        return s;
+    }
+    """
+    module = parse_one(source)
+    kinds = [type(s).__name__ for s in module.functions[0].body.body]
+    assert kinds == ["LocalDecl", "LocalDecl", "For", "While", "DoWhile", "Return"]
+
+
+def test_switch_with_default_and_fallthrough():
+    source = """
+    int f(int x) {
+        switch (x) {
+            case 1: x = 10;
+            case 2: x = 20; break;
+            default: x = 0;
+        }
+        return x;
+    }
+    """
+    switch = parse_one(source).functions[0].body.body[0]
+    assert [value for value, __ in switch.cases] == [1, 2]
+    assert switch.default is not None
+
+
+def test_duplicate_case_rejected():
+    with pytest.raises(CompileError):
+        parse_one("int f(int x) { switch (x) { case 1: case 1: ; } return 0; }")
+
+
+def test_call_and_index_postfix():
+    module = parse_one("int f(int *a) { return g(a[1], 2)[3]; }")
+    expr = module.functions[0].body.body[0].value
+    assert isinstance(expr, ast.Index)
+    assert isinstance(expr.base, ast.Call)
+
+
+def test_address_of_and_deref():
+    module = parse_one("int f(int x) { int *p = &x; return *p; }")
+    body = module.functions[0].body.body
+    assert body[0].init.op == "&"
+    assert body[1].value.op == "*"
+
+
+def test_too_many_params_rejected():
+    with pytest.raises(CompileError):
+        parse_one("int f(int a, int b, int c, int d, int e, int g, int h) { return 0; }")
+
+
+def test_missing_semicolon_reports_location():
+    with pytest.raises(CompileError) as info:
+        parse_one("int f() { return 1 }")
+    assert "expected" in str(info.value)
+
+
+# -- sema ---------------------------------------------------------------------
+
+
+def test_sema_duplicate_function_rejected():
+    module = parse_one("int f() { return 0; } int f() { return 1; }")
+    with pytest.raises(CompileError):
+        analyze(module)
+
+
+def test_sema_conflicting_arity_rejected():
+    module = parse_one("extern int f(int a); int f(int a, int b) { return 0; }")
+    with pytest.raises(CompileError):
+        analyze(module)
+
+
+def test_sema_variable_function_clash_rejected():
+    module = parse_one("int f; int f() { return 0; }")
+    with pytest.raises(CompileError):
+        analyze(module)
+
+
+def test_sema_reserved_builtin_rejected():
+    module = parse_one("int __putint(int x) { return x; }")
+    with pytest.raises(CompileError):
+        analyze(module)
+
+
+def test_merge_modules_collapses_externs():
+    first = parse("extern int g; int f() { return g; }", "a.c")
+    second = parse("int g = 3; int h() { return g; }", "b.c")
+    merged = merge_modules([first, second], "all")
+    definitions = [v for v in merged.globals if not v.extern]
+    assert len(definitions) == 1 and definitions[0].init == [3]
+
+
+def test_merge_modules_duplicate_definition_rejected():
+    first = parse("int g = 1;", "a.c")
+    second = parse("int g = 2;", "b.c")
+    with pytest.raises(CompileError):
+        merge_modules([first, second], "all")

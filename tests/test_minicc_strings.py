@@ -1,0 +1,68 @@
+"""String literal tests (word-per-character arrays)."""
+
+import pytest
+
+from repro.minicc.errors import CompileError
+from repro.minicc.lexer import tokenize
+from repro.om import OMLevel, om_link
+from repro.linker import link
+from repro.machine import run
+from repro.minicc import compile_module
+
+
+def test_lexer_string_token():
+    tokens = tokenize('"hi\\n"')
+    assert tokens[0].kind == "str" and tokens[0].value == "hi\n"
+
+
+def test_lexer_rejects_unterminated():
+    with pytest.raises(CompileError):
+        tokenize('"oops')
+    with pytest.raises(CompileError):
+        tokenize('"line\nbreak"')
+
+
+def test_print_str_via_stdlib(toolchain):
+    result = toolchain(
+        """
+        extern int print_line(int *s);
+        int main() {
+            print_line("hello, axp");
+            return 0;
+        }
+        """
+    )
+    assert result.output == "hello, axp\n"
+
+
+def test_string_indexing_and_dedup(toolchain):
+    result = toolchain(
+        """
+        extern int print_str(int *s);
+        int main() {
+            int *a = "abc";
+            int *b = "abc";
+            __putint(a == b);       /* pooled: same address */
+            __putint(a[1]);          /* 'b' */
+            __putint(a[3]);          /* terminator */
+            return 0;
+        }
+        """
+    )
+    assert result.output.split() == ["1", "98", "0"]
+
+
+def test_strings_survive_om(libmc, crt0):
+    obj = compile_module(
+        """
+        extern int print_line(int *s);
+        int main() {
+            print_line("optimized");
+            return 0;
+        }
+        """,
+        "m.o",
+    )
+    base = run(link([crt0, obj], [libmc]))
+    full = om_link([crt0, obj], [libmc], level=OMLevel.FULL)
+    assert run(full.executable).output == base.output == "optimized\n"

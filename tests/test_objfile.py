@@ -1,0 +1,176 @@
+"""Object file container, serialization, and archive tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.objfile import (
+    Archive,
+    Binding,
+    ObjectFile,
+    ObjectFormatError,
+    ProcInfo,
+    Relocation,
+    RelocType,
+    Section,
+    SectionKind,
+    Symbol,
+    SymbolKind,
+    dump_object,
+    load_object,
+)
+
+
+def make_module(name="m.o"):
+    obj = ObjectFile(name)
+    text = obj.section(SectionKind.TEXT)
+    text.append(bytes(16))
+    obj.add_symbol(
+        Symbol(
+            "f",
+            SymbolKind.PROC,
+            Binding.GLOBAL,
+            SectionKind.TEXT,
+            0,
+            16,
+            proc=ProcInfo(uses_gp=True, frame_size=32),
+        )
+    )
+    data = obj.section(SectionKind.DATA)
+    data.append((123).to_bytes(8, "little"))
+    obj.add_symbol(Symbol("v", SymbolKind.OBJECT, Binding.GLOBAL, SectionKind.DATA, 0, 8))
+    obj.add_symbol(Symbol("g", SymbolKind.UNDEF))
+    obj.relocations.append(
+        Relocation(RelocType.LITERAL, SectionKind.TEXT, 4, "g", 0)
+    )
+    obj.relocations.append(
+        Relocation(RelocType.LITUSE, SectionKind.TEXT, 8, None, 4, 1)
+    )
+    return obj
+
+
+def test_section_quad_io():
+    sec = Section(SectionKind.DATA)
+    sec.append(bytes(16))
+    sec.write_quad(8, 0x1122334455667788)
+    assert sec.read_quad(8) == 0x1122334455667788
+
+
+def test_section_negative_quad_wraps():
+    sec = Section(SectionKind.DATA)
+    sec.append(bytes(8))
+    sec.write_quad(0, -1)
+    assert sec.read_quad(0) == (1 << 64) - 1
+
+
+def test_bss_reserve_aligns():
+    sec = Section(SectionKind.BSS)
+    sec.reserve(3)
+    offset = sec.reserve(8, alignment=16)
+    assert offset % 16 == 0
+    assert sec.size == offset + 8
+
+
+def test_bss_rejects_bytes():
+    sec = Section(SectionKind.BSS)
+    with pytest.raises(ValueError):
+        sec.append(b"x")
+
+
+def test_find_symbol_prefers_definition():
+    obj = make_module()
+    obj.add_symbol(Symbol("f", SymbolKind.UNDEF))
+    assert obj.find_symbol("f").is_defined
+
+
+def test_defined_and_undefined_partition():
+    obj = make_module()
+    assert {s.name for s in obj.defined_globals()} == {"f", "v"}
+    assert {s.name for s in obj.undefined()} == {"g"}
+
+
+def test_literal_pool_dedups():
+    obj = make_module()
+    obj.relocations.append(Relocation(RelocType.LITERAL, SectionKind.TEXT, 12, "g", 0))
+    assert obj.literal_pool() == [("g", 0)]
+    assert obj.lita_size == 8
+
+
+def test_validate_catches_duplicate_definition():
+    obj = make_module()
+    obj.add_symbol(Symbol("f", SymbolKind.PROC, Binding.GLOBAL, SectionKind.TEXT, 0, 4))
+    with pytest.raises(ObjectFormatError):
+        obj.validate()
+
+
+def test_validate_catches_unknown_reloc_symbol():
+    obj = make_module()
+    obj.relocations.append(Relocation(RelocType.BRADDR, SectionKind.TEXT, 0, "nope"))
+    with pytest.raises(ObjectFormatError):
+        obj.validate()
+
+
+def test_serialize_roundtrip():
+    obj = make_module()
+    back = load_object(dump_object(obj))
+    assert back.name == obj.name
+    assert back.section(SectionKind.TEXT).data == obj.section(SectionKind.TEXT).data
+    assert [s.name for s in back.symbols] == [s.name for s in obj.symbols]
+    f = back.find_symbol("f")
+    assert f.proc is not None and f.proc.frame_size == 32
+    assert len(back.relocations) == 2
+    assert back.relocations[0].type is RelocType.LITERAL
+
+
+def test_load_rejects_bad_magic():
+    with pytest.raises(ObjectFormatError):
+        load_object(b"XXXX" + bytes(100))
+
+
+def test_archive_index_and_roundtrip():
+    lib = Archive("libmc")
+    member = make_module("div.o")
+    lib.add(member)
+    assert lib.member_defining("f") is member
+    assert lib.member_defining("nope") is None
+    back = Archive.from_bytes("libmc", lib.to_bytes())
+    assert len(back) == 1
+    assert back.member_defining("f").name == "div.o"
+
+
+def test_archive_first_definition_wins():
+    lib = Archive("lib")
+    first = make_module("a.o")
+    second = make_module("b.o")
+    lib.add(first)
+    lib.add(second)
+    assert lib.member_defining("f") is first
+
+
+# -- property-based serialization round-trip --------------------------------
+
+_names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), max_codepoint=0x7F),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(
+    name=_names,
+    payload=st.binary(max_size=64).map(lambda b: b + bytes(-len(b) % 4)),
+    offsets=st.lists(st.integers(0, 60), max_size=5),
+)
+def test_serialize_roundtrip_property(name, payload, offsets):
+    obj = ObjectFile(name + ".o")
+    obj.section(SectionKind.TEXT).append(payload)
+    obj.add_symbol(Symbol("sym", SymbolKind.COMMON, size=24, alignment=16))
+    for offset in offsets:
+        obj.relocations.append(
+            Relocation(RelocType.LITUSE, SectionKind.TEXT, offset, None, offset, 2)
+        )
+    back = load_object(dump_object(obj))
+    assert back.name == obj.name
+    assert bytes(back.section(SectionKind.TEXT).data) == payload
+    assert len(back.relocations) == len(offsets)
+    assert back.symbols[0].kind is SymbolKind.COMMON
+    assert back.symbols[0].alignment == 16

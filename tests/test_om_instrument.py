@@ -1,0 +1,67 @@
+"""ATOM-style instrumentation tests."""
+
+import pytest
+
+from repro.benchsuite import build_program
+from repro.linker import link
+from repro.machine import run
+from repro.minicc import compile_module
+from repro.om.instrument import link_with_entry_counters
+
+
+def test_counts_direct_and_library_calls(libmc, crt0):
+    source = """
+    extern int gcd(int a, int b);
+    int helper(int x) { return x + 1; }
+    int main() {
+        int i;
+        int s = 0;
+        for (i = 0; i < 4; i++) { s += helper(i); }
+        s += gcd(12, 18);
+        __putint(s);
+        return 0;
+    }
+    """
+    objs = [crt0, compile_module(source, "m.o")]
+    baseline = run(link(objs, [libmc]), timed=False)
+    program = link_with_entry_counters(objs, [libmc])
+    result, counts = program.run_with_counts()
+    assert result.output == baseline.output
+    assert counts["main"] == 1
+    assert counts["helper"] == 4
+    assert counts["gcd"] == 1
+    # gcd calls iabs twice and __remq in its loop.
+    assert counts["iabs"] == 2
+    assert counts["__remq"] >= 1
+
+
+def test_instrumentation_only_adds_instructions(libmc, crt0):
+    objs = [crt0, compile_module("int main() { __putint(7); return 0; }", "m.o")]
+    baseline = run(link(objs, [libmc]), timed=False)
+    program = link_with_entry_counters(objs, [libmc])
+    result, counts = program.run_with_counts()
+    assert result.output == baseline.output
+    assert result.instructions == baseline.instructions + 4 * sum(counts.values())
+
+
+def test_counts_recursive_procedures(libmc, crt0):
+    source = """
+    int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+    int main() { __putint(fib(10)); return 0; }
+    """
+    objs = [crt0, compile_module(source, "m.o")]
+    program = link_with_entry_counters(objs, [libmc])
+    result, counts = program.run_with_counts()
+    assert result.output == "55\n"
+    assert counts["fib"] == 177  # calls of fib(10)
+
+
+def test_benchmark_instrumented_end_to_end(libmc, crt0):
+    objs = [crt0] + build_program("eqntott", "each", scale=1)
+    baseline = run(link(objs, [libmc]), timed=False)
+    program = link_with_entry_counters(objs, [libmc])
+    result, counts = program.run_with_counts()
+    assert result.output == baseline.output
+    assert counts["main"] == 1
+    assert counts["qsort64"] >= 5  # recursive sorter, called per round
+    assert counts["cmp_asc"] > 100  # comparator via function pointer

@@ -1,0 +1,107 @@
+"""OM statistics and counter tests."""
+
+from repro.minicc import compile_module
+from repro.om import OMLevel, OMOptions, om_link
+from repro.om.stats import CodeCounts, OMStats, count_code
+from repro.om.symbolic import translate_module
+
+
+def make_stats(**kwargs) -> OMStats:
+    defaults = dict(
+        level="full",
+        before=CodeCounts(instructions=100, addr_loads=20, pv_loads=8,
+                          gp_resets=8, calls=10),
+        after=CodeCounts(instructions=85, addr_loads=2, pv_loads=1,
+                         gp_resets=0, calls=10),
+        loads_converted=6,
+        loads_nullified=12,
+        gat_bytes_before=160,
+        gat_bytes_after=16,
+    )
+    defaults.update(kwargs)
+    return OMStats(**defaults)
+
+
+def test_derived_fractions():
+    stats = make_stats()
+    assert stats.frac_loads_converted == 0.3
+    assert stats.frac_loads_nullified == 0.6
+    assert abs(stats.frac_loads_removed - 0.9) < 1e-9
+    assert stats.frac_calls_with_pv_load == 0.1
+    assert stats.frac_calls_with_gp_reset == 0.0
+    assert stats.frac_instructions_nullified == 0.15
+    assert stats.gat_shrink_ratio == 0.1
+
+
+def test_nullified_counts_include_nops():
+    stats = make_stats(
+        before=CodeCounts(instructions=100),
+        after=CodeCounts(instructions=100, nops=6),
+    )
+    assert stats.frac_instructions_nullified == 0.06
+
+
+def test_count_code_on_compiled_module():
+    obj = compile_module(
+        """
+        int g;
+        extern int h(int x);
+        int f(int x) { g = h(x); return g + 1; }
+        """,
+        "t.o",
+    )
+    counts = count_code([translate_module(obj)])
+    assert counts.calls == 1
+    assert counts.pv_loads == 1
+    assert counts.gp_resets == 1
+    # literals: h (PV) + g twice deduped at GAT level but both loads count.
+    assert counts.addr_loads >= 2
+    from repro.objfile.sections import SectionKind
+
+    assert counts.instructions * 4 == obj.section(SectionKind.TEXT).size
+
+
+def test_count_code_counts_indirect_calls_as_pv():
+    obj = compile_module(
+        """
+        int f(int x) { return x; }
+        int call_it(int v) { int *p = &f; return p(v); }
+        """,
+        "t.o",
+    )
+    counts = count_code([translate_module(obj)])
+    assert counts.indirect_calls == 1
+    assert counts.pv_loads >= 1
+
+
+def test_counters_accumulate_across_rounds(libmc, crt0):
+    objs = [
+        crt0,
+        compile_module(
+            """
+            int a; int b; int c;
+            extern int imax(int x, int y);
+            int main() {
+                a = imax(1, 2); b = imax(a, 3); c = a + b;
+                __putint(c);
+                return 0;
+            }
+            """,
+            "m.o",
+        ),
+    ]
+    result = om_link(objs, [libmc], level=OMLevel.FULL)
+    counters = result.counters
+    assert counters.jsr_to_bsr >= 2
+    assert counters.instructions_deleted > 0
+    assert counters.instructions_nulled == 0  # full deletes, never nops
+    simple = om_link(objs, [libmc], level=OMLevel.SIMPLE)
+    assert simple.counters.instructions_deleted == 0
+    assert simple.counters.instructions_nulled > 0
+
+
+def test_stats_levels_recorded(libmc, crt0):
+    objs = [crt0, compile_module("int main() { __putint(1); return 0; }", "m.o")]
+    for level in (OMLevel.NONE, OMLevel.SIMPLE, OMLevel.FULL):
+        result = om_link(objs, [libmc], level=level)
+        assert result.stats.level == level.value

@@ -1,0 +1,124 @@
+"""OM symbolic translation round-trip tests.
+
+Translating object code to symbolic form and reassembling it unchanged
+must produce a program with identical behaviour — the paper's "key
+idea" depends on this round trip being lossless.
+"""
+
+from repro.isa.encoding import decode_stream
+from repro.linker import link, make_crt0
+from repro.linker.resolve import resolve_inputs
+from repro.machine import run
+from repro.minicc import Options, compile_module
+from repro.objfile.relocations import RelocType
+from repro.objfile.sections import SectionKind
+from repro.om import OMLevel, om_link
+from repro.om.symbolic import reassemble_module, translate_module
+
+SOURCE = """
+int g;
+int table[6];
+extern int helper(int x);
+static int local_fn(int x) { return x - 1; }
+int pick(int x) {
+    switch (x) {
+        case 0: return 10; case 1: return 11; case 2: return 12;
+        case 3: return 13; case 4: return 14;
+    }
+    return -1;
+}
+int main() {
+    int i;
+    int s = 0;
+    for (i = 0; i < 5; i++) {
+        table[i] = pick(i) + helper(i) + local_fn(i);
+        s += table[i];
+    }
+    g = s;
+    __putint(g);
+    return 0;
+}
+"""
+
+HELPER = "int helper(int x) { return x * 2; }"
+
+
+def build_objs(crt0):
+    return [
+        crt0,
+        compile_module(SOURCE, "main.o"),
+        compile_module(HELPER, "helper.o", Options(schedule=False)),
+    ]
+
+
+def test_translate_recovers_procedures(crt0):
+    obj = compile_module(SOURCE, "main.o")
+    sym = translate_module(obj)
+    names = [p.name for p in sym.procs]
+    assert names == [p.name for p in obj.procedures()]
+    assert {"local_fn", "pick", "main"} <= set(names)
+
+
+def test_translate_identifies_gp_pairs(crt0):
+    obj = compile_module(SOURCE, "main.o")
+    sym = translate_module(obj)
+    main = sym.proc_named("main")
+    entry_pairs = [
+        i for i in main.instructions() if i.gpdisp_base == "main"
+    ]
+    assert len(entry_pairs) == 1
+    reset_pairs = [
+        i
+        for i in main.instructions()
+        if i.gpdisp_base is not None and i.gpdisp_base != "main"
+    ]
+    assert len(reset_pairs) >= 1  # after the helper call
+
+
+def test_translate_links_jump_table(crt0):
+    obj = compile_module(SOURCE, "main.o")
+    sym = translate_module(obj)
+    pick = sym.proc_named("pick")
+    jmptabs = [i for i in pick.instructions() if i.jmptab is not None]
+    assert len(jmptabs) == 1
+    labeled_refs = [r for r in sym.data_refs if r.label is not None]
+    assert len(labeled_refs) == 5  # five case targets
+
+
+def test_reassembly_identity_same_bytes():
+    obj = compile_module(SOURCE, "main.o")
+    back, __ = reassemble_module(translate_module(obj))
+    assert bytes(back.section(SectionKind.TEXT).data) == bytes(
+        obj.section(SectionKind.TEXT).data
+    )
+    original = {(r.type, r.offset, r.symbol, r.addend, r.extra) for r in obj.relocations}
+    rebuilt = {(r.type, r.offset, r.symbol, r.addend, r.extra) for r in back.relocations}
+    assert original == rebuilt
+
+
+def test_om_none_executable_matches_standard_link(libmc, crt0):
+    objs = build_objs(crt0)
+    base = run(link(objs, [libmc]))
+    om = om_link(objs, [libmc], level=OMLevel.NONE)
+    result = run(om.executable)
+    assert result.output == base.output
+    assert result.cycles == base.cycles  # byte-identical code paths
+
+
+def test_roundtrip_of_every_stdlib_module(libmc):
+    for member in libmc.members:
+        back, __ = reassemble_module(translate_module(member))
+        assert bytes(back.section(SectionKind.TEXT).data) == bytes(
+            member.section(SectionKind.TEXT).data
+        ), member.name
+
+
+def test_translation_rejects_corrupt_text():
+    from repro.om.symbolic import TranslationError
+    import pytest
+
+    obj = compile_module("int f() { return 1; }", "t.o")
+    text = obj.section(SectionKind.TEXT)
+    text.data[0:4] = (0x07 << 26).to_bytes(4, "little")  # unassigned opcode
+    with pytest.raises(Exception):
+        translate_module(obj)

@@ -1,0 +1,69 @@
+"""Executable structural-verification tests."""
+
+import pytest
+
+from repro.benchsuite import build_program
+from repro.linker import link, make_crt0
+from repro.minicc import compile_module
+from repro.om import OMLevel, OMOptions, om_link
+from repro.om.verify import VerificationError, verify_executable
+
+
+def test_standard_link_verifies(libmc, crt0):
+    obj = compile_module(
+        "int g; extern int imin(int a, int b);"
+        "int main() { g = imin(1, 2); __putint(g); return 0; }",
+        "m.o",
+    )
+    report = verify_executable(link([crt0, obj], [libmc]))
+    assert report.ok
+    assert report.instructions > 0
+    assert report.calls >= 2  # crt0->main, main->imin
+    assert report.gat_entries == link([crt0, obj], [libmc]).gat_size // 8
+
+
+@pytest.mark.parametrize("level", [OMLevel.NONE, OMLevel.SIMPLE, OMLevel.FULL])
+def test_om_outputs_verify(level, libmc, crt0):
+    objs = [crt0] + build_program("eqntott", "each", scale=1)
+    result = om_link(objs, [libmc], level=level)
+    report = verify_executable(result.executable)
+    assert report.ok, report.problems
+
+
+def test_om_sched_gc_output_verifies(libmc, crt0):
+    objs = [crt0] + build_program("li", "each", scale=1)
+    result = om_link(
+        objs,
+        [libmc],
+        level=OMLevel.FULL,
+        options=OMOptions(schedule=True, remove_dead_procs=True),
+    )
+    report = verify_executable(result.executable)
+    assert report.ok, report.problems
+
+
+def test_verifier_catches_corruption(libmc, crt0):
+    obj = compile_module("int main() { __putint(1); return 0; }", "m.o")
+    exe = link([crt0, obj], [libmc])
+    # Corrupt one text word into an unassigned opcode.
+    data = bytearray(exe.segments[0].data)
+    data[8:12] = (0x07 << 26).to_bytes(4, "little")
+    from repro.linker.executable import Segment
+
+    exe.segments[0] = Segment(exe.segments[0].vaddr, bytes(data))
+    with pytest.raises(VerificationError, match="undecodable"):
+        verify_executable(exe)
+    report = verify_executable(exe, strict=False)
+    assert not report.ok
+
+
+def test_verifier_catches_bad_gat_entry(libmc, crt0):
+    obj = compile_module("int g; int main() { g = 1; return g; }", "m.o")
+    exe = link([crt0, obj], [libmc])
+    data = bytearray(exe.segments[1].data)
+    data[0:8] = (0xDEAD_BEEF_0000).to_bytes(8, "little")
+    from repro.linker.executable import Segment
+
+    exe.segments[1] = Segment(exe.segments[1].vaddr, bytes(data))
+    report = verify_executable(exe, strict=False)
+    assert any("GAT slot" in p for p in report.problems)

@@ -1,0 +1,104 @@
+"""Optimistic-compilation mode tests (the paper's §6 ``-G`` analog).
+
+Variables under the threshold are addressed GP-relative directly at
+compile time — no GAT entry, no address load — gambling on the final
+layout.  When the program's data outgrows the GP window, the link must
+*fail* (the paper: "if there are too many such variables the program
+will not link, and recompilation with a lower threshold is required").
+"""
+
+import pytest
+
+from repro.linker import LinkError, link
+from repro.machine import run
+from repro.minicc import Options, compile_module
+from repro.objfile.relocations import RelocType
+from repro.om import OMLevel, om_link
+
+OPTIMISTIC = Options(small_data_threshold=64)
+
+SMALL_PROGRAM = """
+int a;
+int b = 7;
+int main() {
+    a = b + 35;
+    __putint(a);
+    return 0;
+}
+"""
+
+
+def test_small_data_emits_gprel_not_literal():
+    obj = compile_module(SMALL_PROGRAM, "m.o", OPTIMISTIC)
+    types = [r.type for r in obj.relocations]
+    assert RelocType.GPREL16 in types
+    data_literals = [
+        r
+        for r in obj.relocations
+        if r.type is RelocType.LITERAL and r.symbol in ("a", "b")
+    ]
+    assert not data_literals
+
+
+def test_optimistic_build_runs_correctly(libmc, crt0):
+    obj = compile_module(SMALL_PROGRAM, "m.o", OPTIMISTIC)
+    result = run(link([crt0, obj], [libmc]))
+    assert result.output == "42\n"
+
+
+def test_optimistic_shrinks_gat_and_loads(libmc, crt0):
+    """The win is 1-for-1: address *loads* (memory operations that can
+    miss) become address *computations*, and the GAT loses the entries."""
+    conservative = compile_module(SMALL_PROGRAM, "m.o")
+    optimistic = compile_module(SMALL_PROGRAM, "m.o", OPTIMISTIC)
+    assert optimistic.lita_size < conservative.lita_size
+
+    from repro.isa.encoding import decode_stream
+    from repro.objfile.sections import SectionKind
+
+    def loads(obj):
+        return sum(
+            1
+            for i in decode_stream(bytes(obj.section(SectionKind.TEXT).data))
+            if i.op.is_load
+        )
+
+    assert loads(optimistic) < loads(conservative)
+
+
+def test_threshold_excludes_large_variables():
+    source = "int big[100]; int main() { big[0] = 1; return big[0]; }"
+    obj = compile_module(source, "m.o", OPTIMISTIC)
+    assert any(
+        r.type is RelocType.LITERAL and r.symbol == "big"
+        for r in obj.relocations
+    )
+
+
+def test_broken_assumption_refuses_to_link(libmc, crt0):
+    """With enough data between GP and the small variable, the 16-bit
+    displacement cannot reach it and the link must fail loudly."""
+    source = """
+    int huge_a[8192];
+    int huge_b[8192];
+    int tiny;
+    int main() {
+        huge_a[0] = 1;
+        huge_b[0] = 2;
+        tiny = 3;
+        __putint(tiny);
+        return 0;
+    }
+    """
+    obj = compile_module(source, "m.o", OPTIMISTIC)
+    with pytest.raises(LinkError, match="displacement"):
+        link([crt0, obj], [libmc])
+    # Recompiling without the optimistic assumption links fine.
+    safe = compile_module(source, "m.o")
+    assert run(link([crt0, safe], [libmc])).output == "3\n"
+
+
+def test_om_processes_optimistic_objects(libmc, crt0):
+    obj = compile_module(SMALL_PROGRAM, "m.o", OPTIMISTIC)
+    result = om_link([crt0, obj], [libmc], level=OMLevel.FULL)
+    assert run(result.executable).output == "42\n"

@@ -1,0 +1,54 @@
+"""Profiler tests."""
+
+from repro.linker import link
+from repro.machine.profile import profile
+from repro.minicc import compile_module
+
+
+def test_profile_attributes_instructions(libmc, crt0):
+    source = """
+    int busy(int n) {
+        int i;
+        int s = 0;
+        for (i = 0; i < n; i++) { s += i * i; }
+        return s;
+    }
+    int main() {
+        __putint(busy(200));
+        return 0;
+    }
+    """
+    exe = link([crt0, compile_module(source, "t.o")], [libmc])
+    result = profile(exe)
+    assert result.run.output == f"{sum(i * i for i in range(200))}\n"
+    names = [p.name for p in result.procs]
+    assert names[0] == "busy"  # the hot loop dominates
+    assert result.named("busy").fraction > 0.8
+    assert sum(p.instructions for p in result.procs) == result.run.instructions
+
+
+def test_profile_shows_library_division_cost(libmc, crt0):
+    source = """
+    int main() {
+        int i;
+        int s = 0;
+        for (i = 1; i < 60; i++) { s += 100000 / i; }
+        __putint(s);
+        return 0;
+    }
+    """
+    exe = link([crt0, compile_module(source, "t.o")], [libmc])
+    result = profile(exe)
+    # Like the real Alpha, division dominates division-heavy code.
+    assert result.named("__divq").fraction > 0.5
+
+
+def test_profile_matches_plain_run(libmc, crt0):
+    from repro.machine import run
+
+    source = "int main() { __putint(123); return 0; }"
+    exe = link([crt0, compile_module(source, "t.o")], [libmc])
+    plain = run(exe, timed=False)
+    profiled = profile(exe)
+    assert profiled.run.output == plain.output
+    assert profiled.run.instructions == plain.instructions

@@ -1,0 +1,99 @@
+"""Scale stress: many modules, forced multi-GAT, whole-pipeline checks."""
+
+import pytest
+
+from repro.linker import LayoutOptions, link, make_crt0
+from repro.machine import run
+from repro.minicc import Options, compile_module
+from repro.om import OMLevel, OMOptions, om_link
+from repro.om.verify import verify_executable
+
+NMODULES = 24
+
+
+@pytest.fixture(scope="module")
+def many_modules():
+    crt0 = make_crt0()
+    modules = [crt0]
+    calls = []
+    protos = []
+    for index in range(NMODULES):
+        source = f"""
+        int acc{index};
+        int weight{index} = {index + 1};
+        int stage{index}(int x) {{
+            acc{index} = acc{index} + x * weight{index};
+            return acc{index} ^ (x << {index % 7});
+        }}
+        """
+        modules.append(compile_module(source, f"stage{index}.o", Options()))
+        protos.append(f"extern int stage{index}(int x);")
+        calls.append(f"v = stage{index}(v + {index});")
+    main = f"""
+    {' '.join(protos)}
+    int main() {{
+        int v = 1;
+        int round;
+        for (round = 0; round < 3; round++) {{
+            {' '.join(calls)}
+        }}
+        __putint(v);
+        return 0;
+    }}
+    """
+    modules.append(compile_module(main, "main.o", Options()))
+    return modules
+
+
+def test_large_link_runs(many_modules, libmc):
+    exe = link(many_modules, [libmc])
+    result = run(exe, timed=False)
+    assert result.halted and result.output.strip()
+    verify_executable(exe)
+
+
+def test_multi_gat_forced_and_equivalent(many_modules, libmc):
+    single = run(link(many_modules, [libmc]), timed=False)
+    multi_exe = link(many_modules, [libmc], options=LayoutOptions(gat_capacity=30))
+    assert len(multi_exe.gp_values) >= 3
+    multi = run(multi_exe, timed=False)
+    assert multi.output == single.output
+    verify_executable(multi_exe)
+
+
+def test_om_full_on_many_modules(many_modules, libmc):
+    baseline = run(link(many_modules, [libmc]), timed=False)
+    result = om_link(
+        many_modules, [libmc], level=OMLevel.FULL, options=OMOptions(verify=True)
+    )
+    optimized = run(result.executable, timed=False)
+    assert optimized.output == baseline.output
+    assert optimized.instructions < baseline.instructions
+    # Every module contributed literals; nearly all must be gone.
+    assert result.stats.frac_loads_removed > 0.8
+
+
+def test_om_merges_gat_groups_after_reduction(many_modules, libmc):
+    """The paper: "the GAT gets smaller, perhaps enabling a fresh round
+    of the other improvements."  A program whose baseline needs several
+    GAT groups can collapse to one after OM-full's GAT reduction."""
+    baseline_exe = link(many_modules, [libmc], options=LayoutOptions(gat_capacity=30))
+    assert len(baseline_exe.gp_values) >= 2
+    baseline = run(baseline_exe, timed=False)
+    result = om_link(
+        many_modules,
+        [libmc],
+        level=OMLevel.FULL,
+        options=OMOptions(gat_capacity=30, verify=True),
+    )
+    assert run(result.executable, timed=False).output == baseline.output
+    assert len(result.executable.gp_values) <= len(baseline_exe.gp_values)
+    # OM-simple cannot iterate as far: with the same capacity it must
+    # stay conservative about cross-group calls it could not prove safe.
+    simple = om_link(
+        many_modules,
+        [libmc],
+        level=OMLevel.SIMPLE,
+        options=OMOptions(gat_capacity=30, verify=True),
+    )
+    assert run(simple.executable, timed=False).output == baseline.output

@@ -1,0 +1,41 @@
+"""Negative-path tests for serialization and resolution."""
+
+import pytest
+
+from repro.minicc import compile_module
+from repro.objfile import ObjectFormatError, dump_object, load_object
+from repro.objfile.serialize import FORMAT_VERSION, load_archive
+
+
+def test_bad_version_rejected():
+    obj = compile_module("int f() { return 1; }", "t.o")
+    data = bytearray(dump_object(obj))
+    data[4] = FORMAT_VERSION + 1
+    with pytest.raises(ObjectFormatError, match="version"):
+        load_object(bytes(data))
+
+
+def test_truncated_object_fails_loudly():
+    obj = compile_module("int g; int f() { return g; }", "t.o")
+    data = dump_object(obj)
+    with pytest.raises(Exception):
+        load_object(data[: len(data) // 2])
+
+
+def test_archive_magic_checked():
+    with pytest.raises(ObjectFormatError, match="magic"):
+        load_archive(b"NOPE" + bytes(64))
+
+
+def test_object_magic_checked():
+    with pytest.raises(ObjectFormatError, match="magic"):
+        load_object(b"ELF\x7f" + bytes(64))
+
+
+def test_roundtrip_stability_across_double_dump():
+    obj = compile_module(
+        "int t[4] = {1,2,3,4}; int f(int i) { return t[i]; }", "t.o"
+    )
+    once = dump_object(obj)
+    twice = dump_object(load_object(once))
+    assert once == twice

@@ -1,0 +1,201 @@
+"""Standard-library correctness, checked against Python references."""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from tests.conftest import outputs
+
+
+def call_lib(toolchain, prelude, body):
+    return outputs(
+        toolchain(prelude + "\nint main() {" + body + "\nreturn 0; }")
+    )
+
+
+MATH_PRELUDE = """
+extern int iabs(int x);
+extern int imin(int a, int b);
+extern int imax(int a, int b);
+extern int gcd(int a, int b);
+extern int ipow(int base, int exp);
+extern int isqrt(int x);
+extern int ilog2(int x);
+"""
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(x=st.integers(0, 2**40))
+def test_isqrt_matches_math(x, toolchain):
+    (got,) = call_lib(toolchain, MATH_PRELUDE, f"__putint(isqrt({x}));")
+    assert got == (math.isqrt(x) if x > 0 else 0) or (x in (1, 2, 3) and got == 1)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(a=st.integers(-(2**30), 2**30), b=st.integers(-(2**30), 2**30))
+def test_gcd_matches_math(a, b, toolchain):
+    (got,) = call_lib(toolchain, MATH_PRELUDE, f"__putint(gcd({a}, {b}));")
+    assert got == math.gcd(a, b)
+
+
+def test_math_helpers(toolchain):
+    values = call_lib(
+        toolchain,
+        MATH_PRELUDE,
+        """
+        __putint(iabs(-9)); __putint(imin(3, -4)); __putint(imax(3, -4));
+        __putint(ipow(3, 7)); __putint(ilog2(1024)); __putint(isqrt(144));
+        """,
+    )
+    assert values == [9, -4, 3, 3**7, 10, 12]
+
+
+def test_fixed_point_sin_accuracy(toolchain):
+    prelude = "extern int fx_sin(int x); extern int fx_cos(int x);"
+    body = "".join(
+        f"__putint(fx_sin({int(x * 65536)}));" for x in (0.0, 0.5, 1.0, -1.0, 2.5)
+    )
+    values = call_lib(toolchain, prelude, body)
+    for got, x in zip(values, (0.0, 0.5, 1.0, -1.0, 2.5)):
+        assert abs(got / 65536 - math.sin(x)) < 0.02, x
+
+
+def test_fixed_point_exp_and_ln(toolchain):
+    prelude = "extern int fx_exp(int x); extern int fx_ln(int x);"
+    values = call_lib(
+        toolchain,
+        prelude,
+        "__putint(fx_exp(65536)); __putint(fx_ln(131072));",
+    )
+    assert abs(values[0] / 65536 - math.e) < 0.01
+    assert abs(values[1] / 65536 - math.log(2)) < 0.01
+
+
+def test_popcount_and_bits(toolchain):
+    prelude = (
+        "extern int popcount64(int x); extern int parity64(int x);"
+        "extern int bitrev16(int x); extern int clz64(int x);"
+    )
+    values = call_lib(
+        toolchain,
+        prelude,
+        """
+        __putint(popcount64(0xF0F0)); __putint(parity64(7));
+        __putint(bitrev16(0x8001)); __putint(clz64(1));
+        """,
+    )
+    assert values == [8, 1, 0x8001, 63]
+
+
+def test_wstr_operations(toolchain):
+    prelude = """
+    extern int wstrlen(int *s); extern int wstrcmp(int *a, int *b);
+    extern int wstrcpy(int *d, int *s); extern int wstrcat(int *d, int *s);
+    extern int wstrchr(int *s, int c); extern int wstrrev(int *s);
+    extern int wstr_from_int(int *d, int v); extern int print_line(int *s);
+    """
+    result = toolchain(
+        prelude
+        + """
+    int buf[64];
+    int num[24];
+    int main() {
+        __putint(wstrlen("hello"));
+        __putint(wstrcmp("abc", "abd"));
+        __putint(wstrcmp("same", "same"));
+        wstrcpy(buf, "fore");
+        wstrcat(buf, "ground");
+        print_line(buf);
+        __putint(wstrchr("finder", 'd'));
+        wstrrev(buf);
+        print_line(buf);
+        wstr_from_int(num, -4096);
+        print_line(num);
+        return 0;
+    }
+    """
+    )
+    lines = result.output.splitlines()
+    assert lines[0] == "5"
+    assert lines[1] == "-1"
+    assert lines[2] == "0"
+    assert lines[3] == "foreground"
+    assert lines[4] == "3"
+    assert lines[5] == "dnuorgerof"
+    assert lines[6] == "-4096"
+
+
+def test_ring_buffer(toolchain):
+    prelude = """
+    extern int ring_reset(); extern int ring_push(int v);
+    extern int ring_pop(); extern int ring_size(); extern int ring_peek();
+    """
+    values = call_lib(
+        toolchain,
+        prelude,
+        """
+        int i;
+        ring_reset();
+        for (i = 1; i <= 5; i++) { ring_push(i * 10); }
+        __putint(ring_size());
+        __putint(ring_peek());
+        __putint(ring_pop());
+        __putint(ring_pop());
+        __putint(ring_size());
+        """,
+    )
+    assert values == [5, 10, 10, 20, 3]
+
+
+def test_stats_package(toolchain):
+    prelude = """
+    extern int stat_mean(int *a, int n); extern int stat_variance(int *a, int n);
+    extern int stat_min(int *a, int n); extern int stat_max(int *a, int n);
+    extern int stat_histogram(int *a, int n, int *bins, int nb, int lo, int w);
+    """
+    values = call_lib(
+        toolchain,
+        prelude,
+        """
+        int a[6];
+        int bins[4];
+        a[0]=2; a[1]=4; a[2]=4; a[3]=4; a[4]=5; a[5]=5;
+        __putint(stat_mean(a, 6));
+        __putint(stat_variance(a, 6));
+        __putint(stat_min(a, 6));
+        __putint(stat_max(a, 6));
+        __putint(stat_histogram(a, 6, bins, 4, 0, 2));
+        __putint(bins[1]);
+        __putint(bins[2]);
+        """,
+    )
+    # mean 4, variance (4+0+0+0+1+1)/6 = 1 (truncated)
+    assert values == [4, 1, 2, 5, 6, 1, 5]
+
+
+def test_memcpy_and_sum(toolchain):
+    prelude = """
+    extern int memcpy64(int *d, int *s, int n);
+    extern int memsum64(int *p, int n);
+    extern int memrev64(int *p, int n);
+    extern int memcmp64(int *a, int *b, int n);
+    """
+    values = call_lib(
+        toolchain,
+        prelude,
+        """
+        int a[4];
+        int b[4];
+        a[0]=1; a[1]=2; a[2]=3; a[3]=4;
+        memcpy64(b, a, 4);
+        __putint(memcmp64(a, b, 4));
+        memrev64(b, 4);
+        __putint(b[0]);
+        __putint(memsum64(b, 4));
+        __putint(memcmp64(a, b, 4));
+        """,
+    )
+    assert values == [0, 4, 10, -1]

@@ -1,0 +1,32 @@
+"""Summary-command tests."""
+
+from repro.experiments.summary import Claim, compute_summary, print_summary
+
+
+def test_claim_verdicts():
+    ok = Claim("x", "~1%", 1.0, 0.5, 2.0)
+    out = Claim("y", "~1%", 9.0, 0.5, 2.0)
+    assert ok.verdict == "ok"
+    assert out.verdict == "OUT OF BAND"
+
+
+def test_compute_summary_static_claims():
+    claims = compute_summary(programs=["eqntott"], scale=1, include_dynamic=False)
+    labels = [c.label for c in claims]
+    assert any("fig3" in label for label in labels)
+    assert any("gat" in label for label in labels)
+    assert all(c.verdict == "ok" for c in claims if "fig3: OM-full" in c.label)
+
+
+def test_print_summary_renders(capsys):
+    print_summary([Claim("demo claim", "~5%", 4.2, 1, 10)])
+    out = capsys.readouterr().out
+    assert "demo claim" in out and "4.2%" in out and "ok" in out
+
+
+def test_cli_summary(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["summary", "--programs", "li", "--scale", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "measured" in out and "verdict" in out

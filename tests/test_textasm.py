@@ -1,0 +1,145 @@
+"""Text assembler tests, including running hand-written assembly."""
+
+import pytest
+
+from repro.isa.encoding import decode_stream
+from repro.isa.textasm import AsmSyntaxError, assemble_text
+from repro.linker import link
+from repro.machine import run
+from repro.objfile.relocations import LituseKind, RelocType
+from repro.objfile.sections import SectionKind
+
+HELLO = """
+        .ent    main
+main:   ldah    $gp, 0($pv)       !gpdisp:main
+        lda     $gp, 0($gp)       !gpdisp_pair
+        ldq     $t0, value($gp)   !literal
+        ldq     $a0, 0($t0)       !lituse_base
+        call_pal putint
+        lda     $v0, 0($zero)
+        ret     $zero, ($ra)
+        .end    main
+
+        .data
+value:  .quad   1994
+"""
+
+
+def relocs(obj, rtype):
+    return [r for r in obj.relocations if r.type is rtype]
+
+
+def test_assembles_and_runs(crt0, libmc):
+    obj = assemble_text(HELLO, "hello.o")
+    result = run(link([crt0, obj], [libmc]))
+    assert result.output == "1994\n"
+
+
+def test_literal_and_lituse_linked():
+    obj = assemble_text(HELLO)
+    literal = relocs(obj, RelocType.LITERAL)[0]
+    lituse = relocs(obj, RelocType.LITUSE)[0]
+    assert literal.symbol == "value"
+    assert lituse.addend == literal.offset
+    assert lituse.extra == int(LituseKind.BASE)
+
+
+def test_gpdisp_pair_linked():
+    obj = assemble_text(HELLO)
+    gpdisp = relocs(obj, RelocType.GPDISP)[0]
+    assert gpdisp.offset == 0 and gpdisp.addend == 4 and gpdisp.extra == 0
+
+
+def test_operate_register_and_literal_forms():
+    source = """
+        .ent f
+f:      addq $a0, $a1, $v0
+        addq $v0, 5, $v0
+        sll  $v0, 2, $v0
+        ret  $zero, ($ra)
+        .end f
+    """
+    obj = assemble_text(source)
+    instrs = decode_stream(bytes(obj.section(SectionKind.TEXT).data))
+    assert instrs[0].lit is None
+    assert instrs[1].lit == 5
+    assert instrs[2].lit == 2
+
+
+def test_branch_to_local_label_resolved():
+    source = """
+        .ent f
+f:      lda  $t0, 3($zero)
+loop:   subq $t0, 1, $t0
+        bne  $t0, loop
+        bis  $zero, $zero, $v0
+        ret  $zero, ($ra)
+        .end f
+    """
+    obj = assemble_text(source)
+    instrs = decode_stream(bytes(obj.section(SectionKind.TEXT).data))
+    bne = next(i for i in instrs if i.op.name == "bne")
+    assert bne.disp == -2
+
+
+def test_branch_to_extern_emits_braddr():
+    source = """
+        .ent f
+f:      bsr $ra, helper
+        ret $zero, ($ra)
+        .end f
+    """
+    obj = assemble_text(source)
+    braddr = relocs(obj, RelocType.BRADDR)
+    assert braddr and braddr[0].symbol == "helper"
+
+
+def test_data_symbols_and_comm():
+    source = """
+        .ent f
+f:      ret $zero, ($ra)
+        .end f
+        .data
+tab:    .quad 1, 2, 3
+ptr:    .quad f
+        .space 8
+        .comm shared, 64, 16
+    """
+    obj = assemble_text(source)
+    assert obj.section(SectionKind.DATA).size == 40
+    ref = relocs(obj, RelocType.REFQUAD)[0]
+    assert ref.symbol == "f"
+    common = obj.find_symbol("shared")
+    assert common.size == 64 and common.alignment == 16
+
+
+def test_static_procedure():
+    source = """
+        .ent f, static
+f:      ret $zero, ($ra)
+        .end f
+    """
+    obj = assemble_text(source)
+    assert obj.find_symbol("f").binding.value == "local"
+
+
+def test_errors_report_line_numbers():
+    with pytest.raises(AsmSyntaxError) as info:
+        assemble_text("        .ent f\nf:      bogus $t0\n        .end f")
+    assert info.value.line == 2
+    with pytest.raises(AsmSyntaxError):
+        assemble_text("        addq $t0, $t1, $t2")  # outside .ent
+    with pytest.raises(AsmSyntaxError):
+        assemble_text("        .ent f\nf:      addq $t0, 999, $t1\n        .end f")
+
+
+def test_lituse_without_literal_rejected():
+    with pytest.raises(AsmSyntaxError, match="no preceding literal"):
+        assemble_text(
+            "        .ent f\nf:      ldq $t1, 0($t0) !lituse_base\n        .end f"
+        )
+
+
+def test_unclosed_procedure_rejected():
+    with pytest.raises(AsmSyntaxError, match="not closed"):
+        assemble_text("        .ent f\nf:      ret $zero, ($ra)")

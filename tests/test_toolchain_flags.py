@@ -1,0 +1,85 @@
+"""Additional toolchain CLI flag coverage."""
+
+import pickle
+
+import pytest
+
+from repro.benchsuite import build_stdlib
+from repro.objfile.fileio import save_archive
+from repro.toolchain import main
+
+SRC = """
+int total;
+int main() {
+    int i;
+    for (i = 0; i < 5; i++) { total += i * i; }
+    __putint(total);
+    return 0;
+}
+"""
+
+
+@pytest.fixture()
+def ws(tmp_path):
+    (tmp_path / "p.mc").write_text(SRC)
+    save_archive(build_stdlib(), tmp_path / "libmc.a")
+    return tmp_path
+
+
+def build(ws, *om_flags):
+    main(["cc", str(ws / "p.mc")])
+    tool = "om" if om_flags is not None else "ld"
+    main(
+        [
+            "om",
+            str(ws / "p.o"),
+            "-o",
+            str(ws / "p.exe"),
+            "-l",
+            str(ws / "libmc.a"),
+            *om_flags,
+        ]
+    )
+    return ws / "p.exe"
+
+
+def test_om_simple_flag(ws, capsys):
+    build(ws, "-simple")
+    out = capsys.readouterr().out
+    assert "OM-simple" in out
+    main(["run", str(ws / "p.exe")])
+    assert capsys.readouterr().out == "30\n"
+
+
+def test_run_stats_and_fast(ws, capsys):
+    build(ws)
+    capsys.readouterr()
+    main(["run", str(ws / "p.exe"), "--stats"])
+    captured = capsys.readouterr()
+    assert captured.out == "30\n"
+    main(["run", str(ws / "p.exe"), "--fast"])
+    assert capsys.readouterr().out == "30\n"
+
+
+def test_cc_o0_produces_larger_code(ws, capsys):
+    from repro.objfile.fileio import load_object_file
+    from repro.objfile.sections import SectionKind
+
+    main(["cc", str(ws / "p.mc")])
+    optimized = load_object_file(ws / "p.o").section(SectionKind.TEXT).size
+    main(["cc", "-O0", str(ws / "p.mc")])
+    unoptimized = load_object_file(ws / "p.o").section(SectionKind.TEXT).size
+    assert unoptimized >= optimized
+
+
+def test_convert_escaped_flag(ws, capsys):
+    build(ws, "--convert-escaped")
+    capsys.readouterr()
+    main(["run", str(ws / "p.exe")])
+    assert capsys.readouterr().out == "30\n"
+
+
+def test_executables_are_pickled_images(ws, capsys):
+    path = build(ws)
+    exe = pickle.loads(path.read_bytes())
+    assert exe.entry and exe.segments
