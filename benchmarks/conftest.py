@@ -4,7 +4,12 @@ Environment knobs:
 
 * ``REPRO_BENCH_PROGRAMS`` — comma-separated subset (default: all 19);
 * ``REPRO_BENCH_SCALE`` — workload SCALE override (default: the
-  programs' built-in sizes, as the figures are meant to be run).
+  programs' built-in sizes, as the figures are meant to be run);
+* ``REPRO_BENCH_JOBS`` — worker processes for the build/link/run
+  pipeline (default: 1, fully in-process);
+* ``REPRO_CACHE_DIR`` — content-addressed artifact cache directory;
+  when set, builds/links/runs persist across benchmark sessions and a
+  warm session performs zero compiles.
 
 Each figure benchmark regenerates its table once (pedantic, one round)
 and prints it, so ``pytest benchmarks/ --benchmark-only -s`` reproduces
@@ -14,6 +19,7 @@ the paper's evaluation section.
 from __future__ import annotations
 
 import os
+from pathlib import Path
 
 import pytest
 
@@ -30,3 +36,37 @@ def bench_programs() -> list[str]:
 def bench_scale() -> int | None:
     scale = os.environ.get("REPRO_BENCH_SCALE")
     return int(scale) if scale else None
+
+
+@pytest.fixture(scope="session")
+def bench_jobs() -> int:
+    jobs = os.environ.get("REPRO_BENCH_JOBS")
+    return int(jobs) if jobs else 1
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_cache(bench_programs, bench_scale, bench_jobs):
+    """Install the artifact cache and prewarm the matrix in parallel.
+
+    Without ``REPRO_CACHE_DIR`` this is a no-op and every figure builds
+    in-process exactly as before.
+    """
+    from repro.experiments.build import configure_cache
+
+    cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    if not cache_dir:
+        yield None
+        return
+
+    from repro.cache import ArtifactCache
+    from repro.experiments.pipeline import prewarm
+
+    cache = ArtifactCache(Path(cache_dir))
+    previous = configure_cache(cache)
+    metrics = prewarm(
+        ["all"], programs=bench_programs, scale=bench_scale, jobs=bench_jobs
+    )
+    print()
+    print(metrics.format())
+    yield cache
+    configure_cache(previous)

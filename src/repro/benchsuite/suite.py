@@ -90,11 +90,33 @@ def build_stdlib(optimize: bool = True, schedule: bool = True) -> Archive:
 
 
 def apply_scale(text: str, scale: int | None) -> str:
-    """Override the program's SCALE constant, if requested."""
+    """Override the program's SCALE constant, if requested.
+
+    An explicit ``scale`` with no ``int SCALE = <n>;`` line to rewrite
+    is an error: silently returning the original text would run the
+    default workload while claiming the requested one.
+    """
     if scale is None:
         return text
     replaced, count = _SCALE_RE.subn(f"int SCALE = {scale};", text)
-    return replaced if count else text
+    if not count:
+        raise ValueError(
+            f"scale={scale} requested but no 'int SCALE = <n>;' line found"
+        )
+    return replaced
+
+
+def scaled_sources(name: str, scale: int | None) -> list[tuple[str, str]]:
+    """One benchmark's sources with ``scale`` applied to the main module.
+
+    The SCALE constant lives in the main module (always first in
+    :func:`program_sources` order); the other modules are untouched.
+    """
+    sources = program_sources(name)
+    if scale is None:
+        return sources
+    (main_name, main_text), rest = sources[0], sources[1:]
+    return [(main_name, apply_scale(main_text, scale))] + rest
 
 
 def build_program(
@@ -106,9 +128,7 @@ def build_program(
 ) -> list[ObjectFile]:
     """Compile one benchmark into its object modules."""
     options = options or Options()
-    sources = [
-        (fname, apply_scale(text, scale)) for fname, text in program_sources(name)
-    ]
+    sources = scaled_sources(name, scale)
     if mode == "all":
         unit = compile_all(
             [(f"{name}/{fname}", text) for fname, text in sources],

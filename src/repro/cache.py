@@ -1,0 +1,117 @@
+"""Persistent, content-addressed artifact cache for toolchain outputs.
+
+Keys are SHA-256 digests over a canonical JSON payload — the source
+texts, option fields, and variant that produced an artifact — salted
+with a *toolchain version stamp*: the hash of every Python source file
+of the ``repro`` package itself.  Editing the compiler, linker,
+optimizer, or simulator therefore invalidates every artifact they ever
+produced, while re-running an unchanged toolchain over unchanged
+sources is a pure cache read.
+
+Values are opaque bytes (``repro.objfile.serialize`` dumps for objects
+and archives, ``repro.linker.executable.dump_executable`` images for
+executables, JSON for simulator results).  The store is a flat
+two-level directory tree, ``<root>/<kind>/<aa>/<digest>``, written
+atomically (temp file + rename) so concurrent writers — the parallel
+experiment pipeline runs one process per job — can never expose a torn
+artifact.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@functools.lru_cache(maxsize=1)
+def toolchain_stamp() -> str:
+    """Hash of the ``repro`` package sources (the cache's version salt)."""
+    import repro
+
+    root = Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, total and per artifact kind."""
+
+    hits: dict[str, int] = field(default_factory=dict)
+    misses: dict[str, int] = field(default_factory=dict)
+
+    def hit(self, kind: str) -> None:
+        self.hits[kind] = self.hits.get(kind, 0) + 1
+
+    def miss(self, kind: str) -> None:
+        self.misses[kind] = self.misses.get(kind, 0) + 1
+
+    @property
+    def total_hits(self) -> int:
+        return sum(self.hits.values())
+
+    @property
+    def total_misses(self) -> int:
+        return sum(self.misses.values())
+
+    def snapshot(self) -> tuple[int, int]:
+        return self.total_hits, self.total_misses
+
+
+class ArtifactCache:
+    """A content-addressed store of build artifacts on disk."""
+
+    def __init__(self, root: str | Path, *, stamp: str | None = None):
+        self.root = Path(root)
+        self.stamp = stamp if stamp is not None else toolchain_stamp()
+        self.stats = CacheStats()
+
+    def key(self, payload) -> str:
+        """Digest of a JSON-serializable payload under the current stamp."""
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(
+            self.stamp.encode() + b"\0" + canonical.encode()
+        ).hexdigest()
+
+    def _path(self, kind: str, key: str) -> Path:
+        return self.root / kind / key[:2] / key[2:]
+
+    def get(self, kind: str, key: str) -> bytes | None:
+        """The stored bytes, or None; records a hit or miss."""
+        try:
+            data = self._path(kind, key).read_bytes()
+        except OSError:
+            self.stats.miss(kind)
+            return None
+        self.stats.hit(kind)
+        return data
+
+    def put(self, kind: str, key: str, data: bytes) -> None:
+        """Store bytes under (kind, key), atomically."""
+        path = self._path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def contains(self, kind: str, key: str) -> bool:
+        """Presence check that does not touch the hit/miss counters."""
+        return self._path(kind, key).exists()

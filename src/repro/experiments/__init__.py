@@ -9,9 +9,11 @@ prints them.  EXPERIMENTS.md records paper-vs-measured values.
 from repro.experiments.build import (
     VARIANTS,
     build_objects,
+    configure_cache,
     link_variant,
     variant_stats,
 )
+from repro.experiments.pipeline import PipelineMetrics, plan_cells, prewarm
 from repro.experiments.figures import (
     fig3_rows,
     fig4_rows,
@@ -23,8 +25,12 @@ from repro.experiments.figures import (
 
 __all__ = [
     "VARIANTS",
+    "PipelineMetrics",
     "build_objects",
+    "configure_cache",
     "link_variant",
+    "plan_cells",
+    "prewarm",
     "variant_stats",
     "fig3_rows",
     "fig4_rows",

@@ -3,13 +3,25 @@
 Figures: fig3 fig4 fig5 fig6 fig7 gat all.  ``--scale N`` shrinks the
 workloads (useful for smoke runs); ``--programs a,b,c`` restricts the
 program set.
+
+``--jobs N`` fans the build/link/run matrix across N worker processes
+before the tables are printed; artifacts flow between workers (and
+between invocations) through the content-addressed disk cache at
+``--cache-dir`` (default: ``$REPRO_CACHE_DIR`` or ``.repro-cache``).
+``--no-cache`` disables the disk cache, which also forces inline
+execution.  Each run prints the pipeline's per-stage metrics table —
+on a warm cache every stage shows hits and zero misses.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
+from pathlib import Path
 
-from repro.experiments import figures
+from repro.cache import ArtifactCache
+from repro.experiments import figures, pipeline
+from repro.experiments.build import configure_cache
 from repro.experiments.report import print_figure
 
 _FIGURES = {
@@ -27,18 +39,57 @@ def main(argv=None) -> int:
     parser.add_argument("figure", choices=sorted(_FIGURES) + ["all", "summary"])
     parser.add_argument("--scale", type=int, default=None)
     parser.add_argument("--programs", type=str, default=None)
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="worker processes for the build/link/run pipeline",
+    )
+    parser.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="artifact cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk artifact cache (forces --jobs 1)",
+    )
     args = parser.parse_args(argv)
 
+    if args.no_cache:
+        configure_cache(None)
+    else:
+        cache_dir = (
+            args.cache_dir
+            or os.environ.get("REPRO_CACHE_DIR")
+            or ".repro-cache"
+        )
+        configure_cache(ArtifactCache(Path(cache_dir)))
+
     programs = args.programs.split(",") if args.programs else None
+    names = sorted(_FIGURES) if args.figure == "all" else [args.figure]
+
+    metrics = pipeline.prewarm(
+        names if args.figure != "summary" else ["summary"],
+        programs=programs,
+        scale=args.scale,
+        jobs=args.jobs,
+    )
+    print(metrics.format())
+    print()
+
     if args.figure == "summary":
         from repro.experiments.summary import compute_summary, print_summary
 
         print_summary(compute_summary(programs=programs, scale=args.scale))
         return 0
-    names = sorted(_FIGURES) if args.figure == "all" else [args.figure]
     for name in names:
         generate, percent = _FIGURES[name]
-        keys, rows = generate(programs=programs, scale=args.scale)
+        if name == "fig7":
+            keys, rows = generate(
+                programs=programs,
+                scale=args.scale,
+                link_timings=metrics.link_seconds,
+            )
+        else:
+            keys, rows = generate(programs=programs, scale=args.scale)
         print_figure(name, keys, rows, percent=percent)
     return 0
 

@@ -5,17 +5,37 @@ Variants mirror the paper's build matrix:
 * program versions: ``each`` (compile-each) and ``all`` (compile-all);
 * link variants: ``ld`` (standard link), ``om-none`` (OM translate and
   regenerate only), ``om-simple``, ``om-full``, ``om-full-sched``.
+
+Caching is two-tier.  The in-process tier is the ``lru_cache``
+memoization every caller has always relied on.  Beneath it sits an
+optional process-wide content-addressed disk cache
+(:func:`configure_cache`): artifact keys are SHA-256 digests of the
+source texts, the ``Options``/``OMOptions`` fields, and the toolchain
+version stamp, so a warm cache serves bit-identical objects,
+executables, and simulator results across processes with zero compiles
+or links.  ``link``/``om_link`` always receive *private copies* of the
+memoized inputs, so in-place mutation inside a linker can never corrupt
+the shared cached objects across variants.
 """
 
 from __future__ import annotations
 
 import functools
+import json
+from dataclasses import asdict
 
 from repro.benchsuite import build_program, build_stdlib
+from repro.benchsuite.suite import scaled_sources, stdlib_sources
+from repro.cache import ArtifactCache
 from repro.linker import link, make_crt0
-from repro.linker.executable import Executable
+from repro.linker.executable import Executable, dump_executable, load_executable
 from repro.machine import RunResult, run
+from repro.minicc import Options
+from repro.objfile.archive import Archive
+from repro.objfile.serialize import dump_archive, load_archive
 from repro.om import OMLevel, OMOptions, OMResult, om_link
+from repro.om.stats import CodeCounts, OMStats
+from repro.om.transform import PassCounters
 
 VARIANTS = ("ld", "om-none", "om-simple", "om-full", "om-full-sched")
 
@@ -26,12 +46,132 @@ _LEVELS = {
     "om-full-sched": (OMLevel.FULL, True),
 }
 
+#: The process-wide disk cache; None means in-process memoization only.
+_cache: ArtifactCache | None = None
+
+
+def configure_cache(cache: ArtifactCache | None) -> ArtifactCache | None:
+    """Install (or remove) the process-wide artifact cache.
+
+    Clears the in-process memoization so stale entries built under a
+    different cache configuration cannot leak through; returns the
+    previously installed cache.
+    """
+    global _cache
+    previous = _cache
+    _cache = cache
+    clear_caches()
+    return previous
+
+
+def active_cache() -> ArtifactCache | None:
+    """The currently installed disk cache, if any."""
+    return _cache
+
+
+# -- content keys --------------------------------------------------------------
+
+
+def _om_payload(variant: str) -> dict:
+    level, schedule = _LEVELS[variant]
+    return {"level": level.value, **asdict(OMOptions(schedule=schedule))}
+
+
+def _build_payload(name: str, mode: str, scale: int | None) -> dict:
+    return {
+        "artifact": "objects",
+        "program": name,
+        "mode": mode,
+        "sources": [list(pair) for pair in scaled_sources(name, scale)],
+        "options": asdict(Options()),
+    }
+
+
+def _stdlib_payload() -> dict:
+    return {
+        "artifact": "stdlib",
+        "sources": [[fname, text] for fname, text in stdlib_sources()],
+        "options": asdict(Options()),
+    }
+
+
+def _cell_payload(
+    stage: str, name: str, mode: str, variant: str, scale: int | None
+) -> dict:
+    payload = _build_payload(name, mode, scale)
+    payload["artifact"] = stage
+    payload["variant"] = variant
+    payload["om"] = _om_payload(variant) if variant != "ld" else None
+    return payload
+
+
+# -- OMResult serialization ----------------------------------------------------
+
+
+def _dump_om_result(result: OMResult) -> bytes:
+    meta = json.dumps(
+        {"stats": asdict(result.stats), "counters": asdict(result.counters)}
+    ).encode()
+    exe = dump_executable(result.executable)
+    return len(meta).to_bytes(4, "little") + meta + exe
+
+
+def _load_om_result(data: bytes) -> OMResult:
+    meta_len = int.from_bytes(data[:4], "little")
+    meta = json.loads(data[4 : 4 + meta_len])
+    stats_fields = dict(meta["stats"])
+    stats_fields["before"] = CodeCounts(**stats_fields["before"])
+    stats_fields["after"] = CodeCounts(**stats_fields["after"])
+    return OMResult(
+        executable=load_executable(data[4 + meta_len :]),
+        stats=OMStats(**stats_fields),
+        counters=PassCounters(**meta["counters"]),
+    )
+
+
+# -- build stages --------------------------------------------------------------
+
+
+@functools.lru_cache(maxsize=4)
+def _stdlib_archive() -> Archive:
+    """The ``libmc`` archive, via the disk cache when one is installed."""
+    if _cache is None:
+        return build_stdlib()
+    key = _cache.key(_stdlib_payload())
+    data = _cache.get("stdlib", key)
+    if data is not None:
+        return Archive("libmc", load_archive(data))
+    lib = build_stdlib()
+    _cache.put("stdlib", key, dump_archive(lib.members))
+    return lib
+
 
 @functools.lru_cache(maxsize=256)
 def build_objects(name: str, mode: str, scale: int | None = None):
     """Compile one benchmark version; returns (objects, stdlib archive)."""
+    lib = _stdlib_archive()
+    if _cache is None:
+        return [make_crt0()] + build_program(name, mode, scale=scale), lib
+    key = _cache.key(_build_payload(name, mode, scale))
+    data = _cache.get("objects", key)
+    if data is not None:
+        return load_archive(data), lib
     objects = [make_crt0()] + build_program(name, mode, scale=scale)
-    return objects, build_stdlib()
+    _cache.put("objects", key, dump_archive(objects))
+    return objects, lib
+
+
+def copies_for(name: str, mode: str, scale: int | None = None):
+    """Private copies of the memoized (objects, stdlib) pair.
+
+    This is the cache boundary: linkers get copies so any in-place
+    mutation they might perform cannot corrupt the shared memoized
+    objects that later variants will link from.
+    """
+    objects, lib = build_objects(name, mode, scale)
+    fresh_objects = load_archive(dump_archive(objects))
+    fresh_lib = Archive(lib.name, load_archive(dump_archive(lib.members)))
+    return fresh_objects, fresh_lib
 
 
 @functools.lru_cache(maxsize=1024)
@@ -39,14 +179,19 @@ def link_variant(
     name: str, mode: str, variant: str, scale: int | None = None
 ) -> Executable:
     """Link one benchmark version with one link variant."""
-    objects, lib = build_objects(name, mode, scale)
-    if variant == "ld":
-        return link(objects, [lib])
-    level, schedule = _LEVELS[variant]
-    result = om_link(
-        objects, [lib], level=level, options=OMOptions(schedule=schedule)
-    )
-    return result.executable
+    if variant != "ld":
+        # One OM link serves both the executable and the stats callers.
+        return variant_stats(name, mode, variant, scale).executable
+    if _cache is not None:
+        key = _cache.key(_cell_payload("exe", name, mode, variant, scale))
+        data = _cache.get("exe", key)
+        if data is not None:
+            return load_executable(data)
+    objects, lib = copies_for(name, mode, scale)
+    executable = link(objects, [lib])
+    if _cache is not None:
+        _cache.put("exe", key, dump_executable(executable))
+    return executable
 
 
 @functools.lru_cache(maxsize=1024)
@@ -54,9 +199,19 @@ def variant_stats(
     name: str, mode: str, variant: str, scale: int | None = None
 ) -> OMResult:
     """Full OM result (stats included) for a non-ld variant."""
-    objects, lib = build_objects(name, mode, scale)
+    if _cache is not None:
+        key = _cache.key(_cell_payload("omresult", name, mode, variant, scale))
+        data = _cache.get("omresult", key)
+        if data is not None:
+            return _load_om_result(data)
+    objects, lib = copies_for(name, mode, scale)
     level, schedule = _LEVELS[variant]
-    return om_link(objects, [lib], level=level, options=OMOptions(schedule=schedule))
+    result = om_link(
+        objects, [lib], level=level, options=OMOptions(schedule=schedule)
+    )
+    if _cache is not None:
+        _cache.put("omresult", key, _dump_om_result(result))
+    return result
 
 
 @functools.lru_cache(maxsize=1024)
@@ -64,12 +219,25 @@ def run_variant(
     name: str, mode: str, variant: str, scale: int | None = None
 ) -> RunResult:
     """Execute one build on the timing simulator."""
-    return run(link_variant(name, mode, variant, scale))
+    if _cache is not None:
+        key = _cache.key(_cell_payload("run", name, mode, variant, scale))
+        data = _cache.get("run", key)
+        if data is not None:
+            return RunResult(**json.loads(data))
+    result = run(link_variant(name, mode, variant, scale))
+    if _cache is not None:
+        _cache.put("run", key, json.dumps(asdict(result)).encode())
+    return result
 
 
 def clear_caches() -> None:
-    """Drop all memoized builds (tests use this between scales)."""
+    """Drop all in-process memoized builds (tests use this between
+    scales).  The on-disk artifact cache, if any, is left intact —
+    dropping memoization must never force a recompile the disk cache
+    could serve."""
     build_objects.cache_clear()
     link_variant.cache_clear()
     variant_stats.cache_clear()
     run_variant.cache_clear()
+    _stdlib_archive.cache_clear()
+    build_stdlib.cache_clear()

@@ -1,0 +1,287 @@
+"""Dependency-aware parallel execution of the experiment matrix.
+
+The paper's evaluation is a (program × version × link-variant) matrix:
+compiles feed links, links feed simulator runs.  This module plans the
+cells a figure needs and executes them in dependency order — compiles
+fan out first, then the link variants of each finished build, then the
+runs of each finished link — across a ``ProcessPoolExecutor`` when
+``jobs > 1``.  Workers share artifacts through the content-addressed
+disk cache (:mod:`repro.cache`), which is also what makes a second,
+warm invocation perform zero compiles and links.
+
+Parallel execution therefore *requires* a configured disk cache: with
+in-process memoization only, worker results could never reach the
+parent.  ``prewarm`` degrades to inline execution in that case.
+
+Every task reports its stage, wall time, and cache hit/miss delta; the
+aggregate :class:`PipelineMetrics` renders the per-stage metrics table
+and exposes the cold link timings that feed Fig. 7's build-time rows.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+from repro.benchsuite import PROGRAMS
+
+#: Cells each figure needs.  ``stats`` cells produce OMResults (Figs.
+#: 3-5, GAT), ``runs`` produce simulator results (Fig. 6), ``links``
+#: prewarm executables only (Fig. 7 times links itself from the cached
+#: objects).
+_FIGURE_PLANS: dict[str, dict] = {
+    "fig3": {"modes": ("each", "all"), "stats": ("om-simple", "om-full")},
+    "fig4": {
+        "modes": ("each", "all"),
+        "stats": ("om-none", "om-simple", "om-full"),
+    },
+    "fig5": {"modes": ("each", "all"), "stats": ("om-simple", "om-full")},
+    "gat": {"modes": ("each",), "stats": ("om-full",)},
+    "fig6": {
+        "modes": ("each", "all"),
+        "runs": ("ld", "om-simple", "om-full", "om-full-sched"),
+    },
+    "fig7": {
+        "modes": ("each",),
+        "links": ("ld", "om-none", "om-simple", "om-full", "om-full-sched"),
+    },
+    # The summary needs Figs. 3-5 and GAT stats plus the no-sched
+    # dynamic comparison of Fig. 6.
+    "summary": {
+        "modes": ("each", "all"),
+        "stats": ("om-none", "om-simple", "om-full"),
+        "runs": ("ld", "om-simple", "om-full"),
+    },
+}
+
+
+@dataclass(frozen=True)
+class Plan:
+    """The de-duplicated work list for a set of figures."""
+
+    builds: tuple[tuple[str, str], ...]  # (program, mode)
+    links: tuple[tuple[str, str, str], ...]  # (program, mode, variant)
+    runs: tuple[tuple[str, str, str], ...]
+
+
+def plan_cells(figures, programs=None) -> Plan:
+    """Expand figure names into the cells they require."""
+    names = list(programs) if programs else list(PROGRAMS)
+    wanted = set()
+    for figure in figures:
+        wanted.update(_FIGURE_PLANS if figure == "all" else (figure,))
+    unknown = wanted - set(_FIGURE_PLANS)
+    if unknown:
+        raise ValueError(f"unknown figures: {sorted(unknown)}")
+
+    builds: set[tuple[str, str]] = set()
+    links: set[tuple[str, str, str]] = set()
+    runs: set[tuple[str, str, str]] = set()
+    for figure in wanted:
+        spec = _FIGURE_PLANS[figure]
+        for name in names:
+            for mode in spec["modes"]:
+                builds.add((name, mode))
+                for variant in spec.get("stats", ()):
+                    links.add((name, mode, variant))
+                for variant in spec.get("links", ()):
+                    links.add((name, mode, variant))
+                for variant in spec.get("runs", ()):
+                    runs.add((name, mode, variant))
+    # Every run depends on its link.
+    links.update(runs)
+    return Plan(tuple(sorted(builds)), tuple(sorted(links)), tuple(sorted(runs)))
+
+
+class TaskReport(NamedTuple):
+    stage: str  # "build" | "link" | "run"
+    program: str
+    mode: str
+    variant: str | None
+    seconds: float
+    hits: int
+    misses: int
+
+
+@dataclass
+class StageMetrics:
+    tasks: int = 0
+    hits: int = 0
+    misses: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class PipelineMetrics:
+    """Aggregated per-stage wall time and cache hit/miss counters."""
+
+    jobs: int
+    wall: float = 0.0
+    stages: dict[str, StageMetrics] = field(default_factory=dict)
+    #: Cold (cache-miss) link wall times: (program, mode, variant) -> s.
+    #: These feed Fig. 7's build-time rows.
+    link_seconds: dict[tuple[str, str, str], float] = field(default_factory=dict)
+
+    def record(self, report: TaskReport) -> None:
+        stage = self.stages.setdefault(report.stage, StageMetrics())
+        stage.tasks += 1
+        stage.hits += report.hits
+        stage.misses += report.misses
+        stage.seconds += report.seconds
+        if report.stage == "link" and report.misses:
+            cell = (report.program, report.mode, report.variant)
+            self.link_seconds[cell] = report.seconds
+
+    @property
+    def total_hits(self) -> int:
+        return sum(stage.hits for stage in self.stages.values())
+
+    @property
+    def total_misses(self) -> int:
+        return sum(stage.misses for stage in self.stages.values())
+
+    def format(self) -> str:
+        """The metrics table (plus a greppable summary line)."""
+        headers = ("stage", "tasks", "hits", "misses", "seconds")
+        rows = [
+            (
+                name,
+                str(stage.tasks),
+                str(stage.hits),
+                str(stage.misses),
+                f"{stage.seconds:.2f}",
+            )
+            for name, stage in sorted(
+                self.stages.items(),
+                key=lambda kv: ("build", "link", "run").index(kv[0]),
+            )
+        ]
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        lines.append(
+            f"pipeline: jobs={self.jobs} hits={self.total_hits} "
+            f"misses={self.total_misses} wall={self.wall:.2f}s"
+        )
+        return "\n".join(lines)
+
+
+# -- task execution ------------------------------------------------------------
+
+
+def _execute_cell(
+    stage: str, name: str, mode: str, variant: str | None, scale: int | None
+) -> TaskReport:
+    """Run one cell in the current process and report its cost."""
+    from repro.experiments import build
+
+    cache = build.active_cache()
+    hits0, misses0 = cache.stats.snapshot() if cache else (0, 0)
+    start = time.perf_counter()
+    if stage == "build":
+        build.build_objects(name, mode, scale)
+    elif stage == "link":
+        if variant == "ld":
+            build.link_variant(name, mode, variant, scale)
+        else:
+            build.variant_stats(name, mode, variant, scale)
+    elif stage == "run":
+        build.run_variant(name, mode, variant, scale)
+    else:  # pragma: no cover
+        raise ValueError(f"unknown stage {stage!r}")
+    seconds = time.perf_counter() - start
+    hits1, misses1 = cache.stats.snapshot() if cache else (0, 0)
+    return TaskReport(
+        stage, name, mode, variant, seconds, hits1 - hits0, misses1 - misses0
+    )
+
+
+def _worker_init(cache_root: str, stamp: str) -> None:
+    """Configure a pool worker's disk cache (runs once per worker)."""
+    from repro.cache import ArtifactCache
+    from repro.experiments import build
+
+    build.configure_cache(ArtifactCache(cache_root, stamp=stamp))
+
+
+def _run_inline(plan: Plan, scale, metrics: PipelineMetrics) -> None:
+    for name, mode in plan.builds:
+        metrics.record(_execute_cell("build", name, mode, None, scale))
+    for name, mode, variant in plan.links:
+        metrics.record(_execute_cell("link", name, mode, variant, scale))
+    for name, mode, variant in plan.runs:
+        metrics.record(_execute_cell("run", name, mode, variant, scale))
+
+
+def _run_parallel(plan: Plan, scale, jobs: int, metrics: PipelineMetrics) -> None:
+    from repro.experiments import build
+
+    cache = build.active_cache()
+    links_by_build: dict[tuple[str, str], list] = {}
+    for cell in plan.links:
+        links_by_build.setdefault(cell[:2], []).append(cell)
+    runs_by_link: dict[tuple[str, str, str], list] = {}
+    for cell in plan.runs:
+        runs_by_link.setdefault(cell, []).append(cell)
+
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=jobs,
+        initializer=_worker_init,
+        initargs=(str(cache.root), cache.stamp),
+    ) as pool:
+        pending: dict[concurrent.futures.Future, tuple] = {}
+        for name, mode in plan.builds:
+            future = pool.submit(_execute_cell, "build", name, mode, None, scale)
+            pending[future] = ("build", name, mode, None)
+        while pending:
+            done, _ = concurrent.futures.wait(
+                pending, return_when=concurrent.futures.FIRST_COMPLETED
+            )
+            for future in done:
+                stage, name, mode, variant = pending.pop(future)
+                metrics.record(future.result())
+                if stage == "build":
+                    for cell in links_by_build.get((name, mode), ()):
+                        sub = pool.submit(
+                            _execute_cell, "link", cell[0], cell[1], cell[2], scale
+                        )
+                        pending[sub] = ("link", *cell)
+                elif stage == "link":
+                    for cell in runs_by_link.get((name, mode, variant), ()):
+                        sub = pool.submit(
+                            _execute_cell, "run", cell[0], cell[1], cell[2], scale
+                        )
+                        pending[sub] = ("run", *cell)
+
+
+def prewarm(
+    figures,
+    programs=None,
+    scale: int | None = None,
+    jobs: int = 1,
+) -> PipelineMetrics:
+    """Execute every cell the given figures need; returns the metrics.
+
+    With ``jobs > 1`` and a disk cache installed, cells execute across
+    a process pool in dependency order; otherwise they run inline (the
+    pool would be useless without a cache to share artifacts through).
+    """
+    from repro.experiments import build
+
+    plan = plan_cells(figures, programs)
+    effective_jobs = jobs if (jobs > 1 and build.active_cache() is not None) else 1
+    metrics = PipelineMetrics(jobs=effective_jobs)
+    start = time.perf_counter()
+    if effective_jobs == 1:
+        _run_inline(plan, scale, metrics)
+    else:
+        _run_parallel(plan, scale, effective_jobs, metrics)
+    metrics.wall = time.perf_counter() - start
+    return metrics

@@ -26,8 +26,19 @@ class Claim:
         return "ok" if self.lo <= self.measure <= self.hi else "OUT OF BAND"
 
 
-def compute_summary(programs=None, scale=None, include_dynamic: bool = True):
-    """Compute the headline claims; returns a list of :class:`Claim`."""
+def compute_summary(
+    programs=None, scale=None, include_dynamic: bool = True, *, jobs: int = 1
+):
+    """Compute the headline claims; returns a list of :class:`Claim`.
+
+    ``jobs > 1`` prewarms every cell the summary touches through the
+    parallel build/run pipeline first (requires a configured artifact
+    cache; see :func:`repro.experiments.build.configure_cache`).
+    """
+    if jobs > 1:
+        from repro.experiments.pipeline import prewarm
+
+        prewarm(["summary"], programs=programs, scale=scale, jobs=jobs)
     claims: list[Claim] = []
 
     __, fig3 = figures.fig3_rows(programs=programs, scale=scale)

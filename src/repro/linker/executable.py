@@ -9,6 +9,8 @@ them too — the paper relies on that).
 
 from __future__ import annotations
 
+import io
+import struct
 from dataclasses import dataclass, field
 
 #: Canonical memory map (Alpha/OSF flavoured).
@@ -70,3 +72,108 @@ class Executable:
     def text_bytes(self) -> bytes:
         """The text segment contents (segments[0] by construction)."""
         return self.segments[0].data
+
+
+# -- serialization -------------------------------------------------------------
+#
+# A compact little-endian image format in the style of
+# ``repro.objfile.serialize``: magic, version byte, then the fields in
+# declaration order.  ``load_executable(dump_executable(exe))``
+# round-trips exactly, which is what lets the artifact cache hand back
+# bit-identical images.
+
+EXECUTABLE_MAGIC = b"REXE"
+EXECUTABLE_VERSION = 1
+
+
+class ExecutableFormatError(Exception):
+    """Damaged or unsupported serialized executable."""
+
+
+def _write_str(out: io.BytesIO, text: str) -> None:
+    data = text.encode("utf-8")
+    out.write(struct.pack("<H", len(data)))
+    out.write(data)
+
+
+def _read_str(inp: io.BytesIO) -> str:
+    (length,) = struct.unpack("<H", inp.read(2))
+    return inp.read(length).decode("utf-8")
+
+
+def dump_executable(exe: Executable) -> bytes:
+    """Serialize an executable image to bytes."""
+    out = io.BytesIO()
+    out.write(EXECUTABLE_MAGIC)
+    out.write(bytes([EXECUTABLE_VERSION]))
+    out.write(
+        struct.pack(
+            "<QQQQ", exe.entry, exe.gat_base, exe.gat_size, exe.text_size
+        )
+    )
+    out.write(struct.pack("<H", len(exe.gp_values)))
+    for gp in exe.gp_values:
+        out.write(struct.pack("<Q", gp % (1 << 64)))
+    out.write(struct.pack("<H", len(exe.segments)))
+    for segment in exe.segments:
+        out.write(struct.pack("<QQ", segment.vaddr, len(segment.data)))
+        out.write(segment.data)
+    out.write(struct.pack("<H", len(exe.zeroed)))
+    for vaddr, size in exe.zeroed:
+        out.write(struct.pack("<QQ", vaddr, size))
+    out.write(struct.pack("<I", len(exe.symbols)))
+    for name, addr in exe.symbols.items():
+        _write_str(out, name)
+        out.write(struct.pack("<Q", addr % (1 << 64)))
+    out.write(struct.pack("<I", len(exe.procs)))
+    for proc in exe.procs:
+        _write_str(out, proc.name)
+        out.write(
+            struct.pack(
+                "<QQHB", proc.addr, proc.size, proc.gp_group, int(proc.uses_gp)
+            )
+        )
+    return out.getvalue()
+
+
+def load_executable(data: bytes) -> Executable:
+    """Deserialize an executable; raises ExecutableFormatError on damage."""
+    inp = io.BytesIO(data)
+    if inp.read(4) != EXECUTABLE_MAGIC:
+        raise ExecutableFormatError("bad executable magic")
+    version = inp.read(1)[0]
+    if version != EXECUTABLE_VERSION:
+        raise ExecutableFormatError(f"unsupported executable version {version}")
+    entry, gat_base, gat_size, text_size = struct.unpack("<QQQQ", inp.read(32))
+    (ngp,) = struct.unpack("<H", inp.read(2))
+    gp_values = [struct.unpack("<Q", inp.read(8))[0] for _ in range(ngp)]
+    (nsegments,) = struct.unpack("<H", inp.read(2))
+    segments = []
+    for _ in range(nsegments):
+        vaddr, size = struct.unpack("<QQ", inp.read(16))
+        segments.append(Segment(vaddr, inp.read(size)))
+    (nzeroed,) = struct.unpack("<H", inp.read(2))
+    zeroed = [struct.unpack("<QQ", inp.read(16)) for _ in range(nzeroed)]
+    (nsymbols,) = struct.unpack("<I", inp.read(4))
+    symbols = {}
+    for _ in range(nsymbols):
+        name = _read_str(inp)
+        (addr,) = struct.unpack("<Q", inp.read(8))
+        symbols[name] = addr
+    (nprocs,) = struct.unpack("<I", inp.read(4))
+    procs = []
+    for _ in range(nprocs):
+        name = _read_str(inp)
+        addr, size, gp_group, uses_gp = struct.unpack("<QQHB", inp.read(19))
+        procs.append(ProcEntry(name, addr, size, gp_group, bool(uses_gp)))
+    return Executable(
+        entry=entry,
+        gp_values=gp_values,
+        segments=segments,
+        zeroed=[tuple(z) for z in zeroed],
+        symbols=symbols,
+        procs=procs,
+        gat_base=gat_base,
+        gat_size=gat_size,
+        text_size=text_size,
+    )

@@ -116,6 +116,22 @@ def _split_hi_lo(value: int) -> tuple[int, int]:
     return hi, lo
 
 
+def pick_gprel_high(disps: list[int]) -> int:
+    """The shared ``ldah`` constant for one GAT-split gprel group.
+
+    Picks the smallest ``hi`` whose signed 16-bit low window
+    ``[hi<<16 - 32768, hi<<16 + 32767]`` covers the largest
+    displacement, then requires the smallest displacement to fit the
+    same window.  Raises ValueError when no single ``hi`` covers the
+    group — note this can happen even for tiny spans that straddle a
+    window boundary.
+    """
+    hi = (max(disps) - 32767 + 65535) >> 16
+    if min(disps) - (hi << 16) < -32768:
+        raise ValueError("gprel group spans more than one ldah window")
+    return hi
+
+
 def _apply_module_relocs(
     inputs: ResolvedInputs,
     layout: Layout,
@@ -145,11 +161,12 @@ def _apply_module_relocs(
         ]
         if not disps:
             disps = [layout.symbol_addr(index, highs[0].symbol) + highs[0].addend - gp]
-        hi = (max(disps) - 32767 + 65535) >> 16
-        if min(disps) - (hi << 16) < -32768:
+        try:
+            hi = pick_gprel_high(disps)
+        except ValueError:
             raise LinkError(
                 f"{module.name}: gprel group {group_id} spans more than 64KB"
-            )
+            ) from None
         for reloc in highs:
             _patch_disp16(text, module_text - text_base + reloc.offset, hi,
                           f"{module.name} gprelhigh")

@@ -31,6 +31,38 @@ from repro.objfile.relocations import LituseKind
 from repro.om.symbolic import SymbolicModule, SymbolicProc
 
 
+# -- 16-bit GP-displacement windows --------------------------------------------
+#
+# The GAT starts at GP - 32752 (layout.GP_BIAS) and GAT reduction only
+# moves data down *toward* that floor, so -32752 is a structural lower
+# bound that later rounds cannot violate; the upper bound is the signed
+# 16-bit displacement limit of lda/ldq.  These predicates are the exact
+# boundary conditions of the paper's conversion/nullification legality.
+
+
+def gprel_nullify_in_range(d: int, offsets: list[int]) -> bool:
+    """May every use of an address load be rebased directly onto GP?
+
+    ``d`` is the symbol's displacement from GP, ``offsets`` the use
+    instructions' own displacements (which fold into the rebased form).
+    """
+    return (
+        -32752 <= d
+        and all(0 <= off for off in offsets)
+        and all(d + off <= 32767 for off in offsets)
+    )
+
+
+def gprel_direct_in_range(d: int) -> bool:
+    """May an escaped literal be materialized with a single ``lda``?"""
+    return -32752 <= d <= 32767
+
+
+def gprel_split_in_range(targets: list[int]) -> bool:
+    """May one shared ``ldah`` cover every target displacement?"""
+    return max(targets) - min(targets) < 32768
+
+
 @dataclass
 class PassCounters:
     """Transformation counts accumulated across rounds (for stats)."""
@@ -433,15 +465,7 @@ class Transformer:
                     self.counters.loads_nullified += 1
                     self.changed = True
                     continue
-                # Lower bound: data-segment symbols sit at or above the
-                # GAT start, which is GP - 32752, and GAT reduction only
-                # moves them down *toward* that floor — so -32752 is a
-                # structural minimum that later rounds cannot violate.
-                if (
-                    -32752 <= d
-                    and all(0 <= off for off in offsets)
-                    and all(d + off <= 32767 for off in offsets)
-                ):
+                if gprel_nullify_in_range(d, offsets):
                     # Nullify: every use is rebased directly onto GP.
                     for use, off in zip(uses, offsets):
                         use.instr = use.instr.replace(rb=int(Reg.GP), disp=0)
@@ -451,9 +475,7 @@ class Transformer:
                     self.counters.loads_nullified += 1
                     self.changed = True
                     continue
-                if max(addend + off for off in offsets) - min(
-                    addend + off for off in offsets
-                ) < 32768:
+                if gprel_split_in_range([addend + off for off in offsets]):
                     # Convert to LDAH; uses get the low halves.
                     self._gprel_group += 1
                     group = self._gprel_group
@@ -472,7 +494,7 @@ class Transformer:
                 continue
 
             # Escaped literal: the register must hold the exact address.
-            if -32752 <= d <= 32767:
+            if gprel_direct_in_range(d):
                 dst = item.instr.ra
                 item.instr = Instruction.mem("lda", dst, Reg.GP, 0)
                 item.literal = None

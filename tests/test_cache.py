@@ -1,0 +1,199 @@
+"""The content-addressed artifact cache and its build-layer integration."""
+
+import pytest
+
+from repro.benchsuite import build_stdlib
+from repro.benchsuite.suite import apply_scale, scaled_sources
+from repro.cache import ArtifactCache, toolchain_stamp
+from repro.experiments import build
+from repro.linker.executable import dump_executable, load_executable
+
+
+@pytest.fixture()
+def disk_cache(tmp_path):
+    """A configured ArtifactCache, restored to the previous state after."""
+    cache = ArtifactCache(tmp_path)
+    previous = build.configure_cache(cache)
+    yield cache
+    build.configure_cache(previous)
+
+
+# -- ArtifactCache primitives --------------------------------------------------
+
+
+def test_cache_roundtrip_and_counters(tmp_path):
+    cache = ArtifactCache(tmp_path, stamp="s1")
+    key = cache.key({"a": 1, "b": [1, 2]})
+    assert cache.get("objects", key) is None
+    cache.put("objects", key, b"payload")
+    assert cache.get("objects", key) == b"payload"
+    assert cache.stats.hits == {"objects": 1}
+    assert cache.stats.misses == {"objects": 1}
+
+
+def test_cache_key_is_canonical_and_stamped(tmp_path):
+    cache1 = ArtifactCache(tmp_path, stamp="s1")
+    cache2 = ArtifactCache(tmp_path, stamp="s2")
+    # Key order in the payload must not matter; the stamp must.
+    assert cache1.key({"a": 1, "b": 2}) == cache1.key({"b": 2, "a": 1})
+    assert cache1.key({"a": 1}) != cache1.key({"a": 2})
+    assert cache1.key({"a": 1}) != cache2.key({"a": 1})
+
+
+def test_toolchain_stamp_stable():
+    assert toolchain_stamp() == toolchain_stamp()
+    assert len(toolchain_stamp()) == 16
+
+
+def test_cache_kinds_do_not_collide(tmp_path):
+    cache = ArtifactCache(tmp_path, stamp="s")
+    key = cache.key({"x": 1})
+    cache.put("exe", key, b"exe-bytes")
+    assert cache.get("run", key) is None
+    assert cache.get("exe", key) == b"exe-bytes"
+
+
+# -- executable serializer -----------------------------------------------------
+
+
+def test_executable_serializer_roundtrip(toolchain):
+    result = toolchain("int main() { __putint(7); return 0; }")
+    assert result.output == "7\n"
+
+
+def test_executable_dump_load_bit_identical(libmc, crt0):
+    from repro.linker import link
+    from repro.machine import run
+    from repro.minicc import compile_module
+
+    source = "int g; int main() { g = 41; __putint(g + 1); return 0; }"
+    exe = link([crt0, compile_module(source, "m.o")], [libmc])
+    data = dump_executable(exe)
+    loaded = load_executable(data)
+    assert dump_executable(loaded) == data
+    assert loaded.entry == exe.entry
+    assert loaded.gp_values == exe.gp_values
+    assert loaded.symbols == exe.symbols
+    assert [(s.vaddr, s.data) for s in loaded.segments] == [
+        (s.vaddr, s.data) for s in exe.segments
+    ]
+    assert loaded.zeroed == exe.zeroed
+    assert [vars(p) for p in loaded.procs] == [vars(p) for p in exe.procs]
+    # The deserialized image must actually run.
+    assert run(loaded, timed=False).output == run(exe, timed=False).output
+
+
+def test_executable_load_rejects_damage():
+    from repro.linker.executable import ExecutableFormatError
+
+    with pytest.raises(ExecutableFormatError):
+        load_executable(b"XXXX" + b"\0" * 64)
+
+
+# -- build-layer integration ---------------------------------------------------
+
+
+def test_warm_cache_serves_everything(disk_cache):
+    """After one cold pass, a fresh process (cleared memoization) serves
+    objects, executables, stats, and runs purely from disk."""
+    cold = build.run_variant("eqntott", "each", "om-full", 1)
+    cold_stats = build.variant_stats("eqntott", "each", "om-full", 1)
+    build.clear_caches()
+    disk_cache.stats.hits.clear()
+    disk_cache.stats.misses.clear()
+
+    warm = build.run_variant("eqntott", "each", "om-full", 1)
+    warm_stats = build.variant_stats("eqntott", "each", "om-full", 1)
+    assert disk_cache.stats.total_misses == 0
+    assert disk_cache.stats.total_hits > 0
+    assert warm == cold
+    assert warm_stats.stats == cold_stats.stats
+    assert vars(warm_stats.counters) == vars(cold_stats.counters)
+
+
+def test_cached_executable_bit_identical_to_fresh(disk_cache):
+    """Acceptance: cached-vs-fresh executables are bit-identical."""
+    for variant in ("ld", "om-none", "om-full"):
+        cached = build.link_variant("li", "each", variant, 1)
+        build.clear_caches()
+        served = build.link_variant("li", "each", variant, 1)  # disk hit
+        previous = build.configure_cache(None)  # fully fresh rebuild
+        try:
+            fresh = build.link_variant("li", "each", variant, 1)
+        finally:
+            build.configure_cache(previous)
+        assert dump_executable(served) == dump_executable(fresh)
+        assert dump_executable(cached) == dump_executable(fresh)
+
+
+def test_clear_caches_clears_stdlib_archive():
+    """Regression: ``clear_caches`` must drop ``build_stdlib``'s
+    memoized archive too, not leave a stale stdlib behind."""
+    build_stdlib()
+    assert build_stdlib.cache_info().currsize > 0
+    build.clear_caches()
+    assert build_stdlib.cache_info().currsize == 0
+
+
+# -- apply_scale ---------------------------------------------------------------
+
+
+def test_apply_scale_rewrites_scale_line():
+    assert apply_scale("int SCALE = 10;\nint x;", 3) == "int SCALE = 3;\nint x;"
+
+
+def test_apply_scale_none_is_identity():
+    assert apply_scale("int x;", None) == "int x;"
+
+
+def test_apply_scale_raises_without_scale_line():
+    """Regression: a typo'd SCALE line must not silently run the
+    default workload."""
+    with pytest.raises(ValueError):
+        apply_scale("int SCAIE = 10;", 3)
+
+
+def test_scaled_sources_touches_main_only():
+    sources = scaled_sources("eqntott", 2)
+    assert sources[0][0] == "main.mc"
+    assert "int SCALE = 2;" in sources[0][1]
+    from repro.benchsuite.suite import program_sources
+
+    assert sources[1:] == program_sources("eqntott")[1:]
+
+
+# -- variant cross-contamination (cache boundary) ------------------------------
+
+
+def test_ld_after_om_full_bit_identical(disk_cache):
+    """Regression: linking ``ld`` after ``om-full`` from the same
+    memoized objects must give the same image as a fresh build — no
+    in-place mutation may leak through the cache boundary."""
+    build.link_variant("eqntott", "each", "om-full", 1)
+    after_om = build.link_variant("eqntott", "each", "ld", 1)
+
+    previous = build.configure_cache(None)
+    try:
+        fresh = build.link_variant("eqntott", "each", "ld", 1)
+    finally:
+        build.configure_cache(previous)
+    assert dump_executable(after_om) == dump_executable(fresh)
+
+
+def test_memoized_objects_unchanged_by_all_variants():
+    """Every variant links from copies; the memoized objects and the
+    stdlib archive must be byte-for-byte unchanged afterwards."""
+    from repro.objfile.serialize import dump_archive
+
+    previous = build.configure_cache(None)
+    try:
+        objects, lib = build.build_objects("li", "each", 1)
+        before = dump_archive(objects)
+        before_lib = dump_archive(lib.members)
+        for variant in build.VARIANTS:
+            build.link_variant("li", "each", variant, 1)
+        build.run_variant("li", "each", "om-full", 1)
+        assert dump_archive(objects) == before
+        assert dump_archive(lib.members) == before_lib
+    finally:
+        build.configure_cache(previous)

@@ -93,6 +93,29 @@ def test_format_table_renders():
 def test_cli_smoke(capsys):
     from repro.experiments.__main__ import main
 
-    assert main(["fig5", "--programs", "eqntott", "--scale", "1"]) == 0
+    assert main(["fig5", "--programs", "eqntott", "--scale", "1", "--no-cache"]) == 0
     out = capsys.readouterr().out
     assert "fig5" in out and "eqntott" in out and "paper:" in out
+    assert "pipeline:" in out  # the metrics table precedes the figure
+
+
+def test_cli_cache_warm_cycle(tmp_path, capsys):
+    """Second CLI invocation against the same cache dir is all hits."""
+    from repro.experiments.__main__ import main
+    from repro.experiments.build import clear_caches
+
+    argv = [
+        "fig5", "--programs", "eqntott", "--scale", "1",
+        "--cache-dir", str(tmp_path),
+    ]
+    try:
+        assert main(argv) == 0
+        capsys.readouterr()
+        clear_caches()  # simulate a fresh process: only the disk cache survives
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "misses=0" in out
+    finally:
+        from repro.experiments.build import configure_cache
+
+        configure_cache(None)

@@ -1,0 +1,124 @@
+"""The dependency-aware parallel experiment pipeline."""
+
+import pytest
+
+from repro.cache import ArtifactCache
+from repro.experiments import build, figures, pipeline
+
+
+@pytest.fixture()
+def disk_cache(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    previous = build.configure_cache(cache)
+    yield cache
+    build.configure_cache(previous)
+
+
+# -- planning ------------------------------------------------------------------
+
+
+def test_plan_fig5_cells():
+    plan = pipeline.plan_cells(["fig5"], programs=["eqntott"])
+    assert plan.builds == (("eqntott", "all"), ("eqntott", "each"))
+    assert set(plan.links) == {
+        ("eqntott", "all", "om-full"),
+        ("eqntott", "all", "om-simple"),
+        ("eqntott", "each", "om-full"),
+        ("eqntott", "each", "om-simple"),
+    }
+    assert plan.runs == ()
+
+
+def test_plan_fig6_runs_imply_links():
+    plan = pipeline.plan_cells(["fig6"], programs=["li"])
+    assert set(plan.runs) <= set(plan.links)
+    assert ("li", "each", "ld") in plan.runs
+
+
+def test_plan_deduplicates_across_figures():
+    one = pipeline.plan_cells(["fig3"], programs=["li"])
+    both = pipeline.plan_cells(["fig3", "fig5"], programs=["li"])
+    # fig3 already needs every cell fig5 needs.
+    assert set(both.links) == set(one.links)
+
+
+def test_plan_all_and_unknown():
+    plan = pipeline.plan_cells(["all"], programs=["li"])
+    assert ("li", "each", "om-full-sched") in plan.links  # from fig6/fig7
+    with pytest.raises(ValueError):
+        pipeline.plan_cells(["fig99"])
+
+
+# -- inline execution ----------------------------------------------------------
+
+
+def test_prewarm_cold_then_warm(disk_cache):
+    cold = pipeline.prewarm(["fig5"], programs=["eqntott"], scale=1, jobs=1)
+    assert cold.total_misses > 0
+    assert set(cold.stages) == {"build", "link"}
+
+    build.clear_caches()  # fresh process: only the disk survives
+    warm = pipeline.prewarm(["fig5"], programs=["eqntott"], scale=1, jobs=1)
+    assert warm.total_misses == 0
+    assert warm.total_hits > 0
+
+    keys, rows = figures.fig5_rows(programs=["eqntott"], scale=1)
+    assert rows[-1]["program"] == "mean"
+
+
+def test_prewarm_without_cache_degrades_to_inline():
+    previous = build.configure_cache(None)
+    try:
+        metrics = pipeline.prewarm(["fig5"], programs=["eqntott"], scale=1, jobs=4)
+        assert metrics.jobs == 1  # no disk cache to share artifacts through
+        assert metrics.total_hits == 0 and metrics.total_misses == 0
+    finally:
+        build.configure_cache(previous)
+
+
+def test_metrics_table_format(disk_cache):
+    metrics = pipeline.prewarm(["gat"], programs=["eqntott"], scale=1, jobs=1)
+    text = metrics.format()
+    assert "stage" in text and "build" in text and "link" in text
+    assert "pipeline: jobs=1" in text
+
+
+def test_link_seconds_feed_fig7(disk_cache):
+    metrics = pipeline.prewarm(["fig7"], programs=["eqntott"], scale=1, jobs=1)
+    cells = set(metrics.link_seconds)
+    assert ("eqntott", "each", "ld") in cells
+    assert ("eqntott", "each", "om-full-sched") in cells
+    keys, rows = figures.fig7_rows(
+        programs=["eqntott"], scale=1, link_timings=metrics.link_seconds
+    )
+    row = rows[0]
+    assert row["ld"] == metrics.link_seconds[("eqntott", "each", "ld")]
+    assert row["om_sched"] == metrics.link_seconds[
+        ("eqntott", "each", "om-full-sched")
+    ]
+    assert row["interproc_build"] > 0  # always measured inline
+
+
+# -- parallel execution --------------------------------------------------------
+
+
+def test_parallel_prewarm_matches_inline(disk_cache, tmp_path):
+    """Worker processes share through the disk cache; the parent then
+    serves every figure cell without a single compile or link."""
+    metrics = pipeline.prewarm(["fig6"], programs=["eqntott"], scale=1, jobs=2)
+    assert metrics.jobs == 2
+    assert metrics.total_misses > 0  # the workers did the cold work
+
+    disk_cache.stats.hits.clear()
+    disk_cache.stats.misses.clear()
+    keys, rows = figures.fig6_rows(programs=["eqntott"], scale=1)
+    assert disk_cache.stats.total_misses == 0
+    assert rows[-1]["each_full"] == pytest.approx(rows[0]["each_full"])
+
+    # And the runs are identical to an uncached in-process evaluation.
+    previous = build.configure_cache(None)
+    try:
+        __, fresh_rows = figures.fig6_rows(programs=["eqntott"], scale=1)
+    finally:
+        build.configure_cache(previous)
+    assert rows == fresh_rows

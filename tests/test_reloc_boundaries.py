@@ -1,0 +1,139 @@
+"""16-bit displacement boundary behaviour.
+
+The GAT-split and GP-relative conversion legality checks all hinge on
+signed 16-bit windows: displacements of exactly ±32768/32767 in the
+linker's relocation patching, the ldah-window straddle in GAT-split
+groups, and the ``-32752`` GAT-floor lower bound in OM's conversion
+predicates.
+"""
+
+import pytest
+
+from repro.linker.relocate import (
+    _patch_disp16,
+    _split_hi_lo,
+    pick_gprel_high,
+)
+from repro.linker.resolve import LinkError
+from repro.om.transform import (
+    gprel_direct_in_range,
+    gprel_nullify_in_range,
+    gprel_split_in_range,
+)
+
+
+# -- _patch_disp16 -------------------------------------------------------------
+
+
+def _word_image(word: int = 0xFFFF0000) -> bytearray:
+    return bytearray(word.to_bytes(4, "little"))
+
+
+def test_patch_disp16_accepts_extremes():
+    image = _word_image()
+    _patch_disp16(image, 0, 32767, "hi edge")
+    assert int.from_bytes(image, "little") & 0xFFFF == 0x7FFF
+    image = _word_image()
+    _patch_disp16(image, 0, -32768, "lo edge")
+    assert int.from_bytes(image, "little") & 0xFFFF == 0x8000
+
+
+def test_patch_disp16_preserves_upper_bits():
+    image = _word_image(0xABCD0000)
+    _patch_disp16(image, 0, -1, "upper bits")
+    assert int.from_bytes(image, "little") == 0xABCDFFFF
+
+
+@pytest.mark.parametrize("disp", [32768, -32769, 65536, -65536])
+def test_patch_disp16_rejects_out_of_range(disp):
+    with pytest.raises(LinkError):
+        _patch_disp16(_word_image(), 0, disp, "overflow")
+
+
+# -- _split_hi_lo --------------------------------------------------------------
+
+
+@pytest.mark.parametrize("value", [0, 1, -1, 32767, -32768, 32768, -32769,
+                                   65535, 65536, 0x12345678, -0x12345678])
+def test_split_hi_lo_reconstructs(value):
+    hi, lo = _split_hi_lo(value)
+    assert -32768 <= lo <= 32767
+    assert (hi << 16) + lo == value
+
+
+def test_split_hi_lo_boundaries():
+    assert _split_hi_lo(32767) == (0, 32767)
+    assert _split_hi_lo(32768) == (1, -32768)
+    assert _split_hi_lo(-32768) == (0, -32768)
+    assert _split_hi_lo(-32769) == (-1, 32767)
+
+
+# -- GAT-split ldah window selection -------------------------------------------
+
+
+def test_pick_gprel_high_zero_window():
+    assert pick_gprel_high([0]) == 0
+    assert pick_gprel_high([-32768, 32767]) == 0  # the exact hi=0 window
+
+
+def test_pick_gprel_high_next_window():
+    assert pick_gprel_high([32768]) == 1
+    assert pick_gprel_high([32768, 98303]) == 1  # the exact hi=1 window
+
+
+def test_pick_gprel_high_negative_window():
+    assert pick_gprel_high([-32769]) == -1
+    assert pick_gprel_high([-98304, -32769]) == -1
+
+
+def test_pick_gprel_high_rejects_window_overflow():
+    with pytest.raises(ValueError):
+        pick_gprel_high([-32768, 32768])  # spans 64KB + 1
+
+
+def test_pick_gprel_high_rejects_straddle():
+    # A tiny span can still straddle two ldah windows: 32767 needs
+    # hi=0, 32769 needs hi=1, and no single hi covers both.
+    with pytest.raises(ValueError):
+        pick_gprel_high([32767, 32769])
+
+
+def test_patch_of_picked_high_and_lows_in_range():
+    """The (hi, lo) pairs pick_gprel_high implies always patch cleanly."""
+    for disps in ([0, 100, 32767], [-32768, 0], [32768, 40000], [-32769, -40000]):
+        hi = pick_gprel_high(disps)
+        _patch_disp16(_word_image(), 0, hi, "hi")
+        for disp in disps:
+            _patch_disp16(_word_image(), 0, disp - (hi << 16), "lo")
+
+
+# -- OM conversion predicates (-32752 GAT floor) -------------------------------
+
+
+def test_nullify_lower_bound_is_gat_floor():
+    assert gprel_nullify_in_range(-32752, [0])
+    assert not gprel_nullify_in_range(-32753, [0])
+
+
+def test_nullify_upper_bound_folds_use_offsets():
+    assert gprel_nullify_in_range(0, [32767])
+    assert not gprel_nullify_in_range(0, [32768])
+    assert gprel_nullify_in_range(32767, [0])
+    assert not gprel_nullify_in_range(32768, [0])
+
+
+def test_nullify_rejects_negative_use_offsets():
+    assert not gprel_nullify_in_range(0, [-1])
+
+
+def test_direct_range_boundaries():
+    assert gprel_direct_in_range(-32752)
+    assert not gprel_direct_in_range(-32753)
+    assert gprel_direct_in_range(32767)
+    assert not gprel_direct_in_range(32768)
+
+
+def test_split_range_boundaries():
+    assert gprel_split_in_range([0, 32767])
+    assert not gprel_split_in_range([0, 32768])
+    assert gprel_split_in_range([40000, 40000 + 32767])
