@@ -1,8 +1,8 @@
 """Command-line entry point: ``python -m repro.experiments <figure>``.
 
-Figures: fig3 fig4 fig5 fig6 fig7 gat all.  ``--scale N`` shrinks the
-workloads (useful for smoke runs); ``--programs a,b,c`` restricts the
-program set.
+Figures: fig3 fig4 fig5 fig6 fig7 gat overhead all.  ``--scale N``
+shrinks the workloads (useful for smoke runs); ``--programs a,b,c``
+restricts the program set.
 
 ``--jobs N`` fans the build/link/run matrix across N worker processes
 before the tables are printed; artifacts flow between workers (and
@@ -11,12 +11,25 @@ between invocations) through the content-addressed disk cache at
 ``--no-cache`` disables the disk cache, which also forces inline
 execution.  Each run prints the pipeline's per-stage metrics table —
 on a warm cache every stage shows hits and zero misses.
+
+``--trace out.json`` writes a Chrome-trace timeline of the pipeline
+(one span per build/link/run/profile cell, on its worker's pid lane);
+load it at https://ui.perfetto.dev or ``chrome://tracing``.
+
+Two observability subcommands exist alongside the figures:
+
+* ``explain <prog>`` — relink one program with a provenance trace
+  attached and print every transformation decision OM made (pass, pc,
+  before -> after, reason), reconciled against the pass counters;
+* ``profile <prog>`` — per-procedure cycle/instruction attribution
+  and executed address-calculation overhead for one build.
 """
 
 from __future__ import annotations
 
 import argparse
 import os
+import sys
 from pathlib import Path
 
 from repro.cache import ArtifactCache
@@ -31,12 +44,128 @@ _FIGURES = {
     "fig6": (figures.fig6_rows, False),
     "fig7": (figures.fig7_rows, False),
     "gat": (figures.gat_rows, False),
+    "overhead": (figures.overhead_rows, False),
 }
+
+_EXPLAIN_VARIANTS = ("om-none", "om-simple", "om-full", "om-full-sched")
+
+
+def _explain(argv) -> int:
+    parser = argparse.ArgumentParser(prog="repro.experiments explain")
+    parser.add_argument("program")
+    parser.add_argument("--proc", type=str, default=None,
+                        help="restrict output to one procedure")
+    parser.add_argument("--mode", choices=("each", "all"), default="each")
+    parser.add_argument("--variant", choices=_EXPLAIN_VARIANTS,
+                        default="om-full")
+    parser.add_argument("--scale", type=int, default=None)
+    parser.add_argument("--trace", type=str, default=None,
+                        help="also save the full trace (Chrome-trace JSON)")
+    args = parser.parse_args(argv)
+
+    from repro.experiments import build
+    from repro.obs import provenance
+    from repro.obs.trace import TraceLog
+    from repro.om import OMOptions, om_link
+
+    configure_cache(None)
+    objects, lib = build.copies_for(args.program, args.mode, args.scale)
+    level, schedule = build._LEVELS[args.variant]
+    trace = TraceLog()
+    result = om_link(
+        objects,
+        [lib],
+        level=level,
+        options=OMOptions(schedule=schedule, verify=True),
+        trace=trace,
+    )
+
+    lines = provenance.explain_lines(trace, proc=args.proc)
+    for line in lines:
+        print(line)
+
+    events = provenance.events(trace, proc=args.proc)
+    by_proc: dict[str, int] = {}
+    for event in events:
+        by_proc[event["proc"]] = by_proc.get(event["proc"], 0) + 1
+    print()
+    print(f"{len(events)} provenance events in {len(by_proc)} procedures")
+    for proc, count in sorted(by_proc.items(), key=lambda kv: -kv[1])[:10]:
+        print(f"  {proc}: {count}")
+
+    mismatches = provenance.reconcile(trace, result.counters)
+    if args.proc is None:
+        if mismatches:
+            print("\ncounter reconciliation FAILED:")
+            for field, (seen, expected) in sorted(mismatches.items()):
+                print(f"  {field}: {seen} events vs counter {expected}")
+        else:
+            print("\nprovenance events reconcile exactly with pass counters")
+
+    report = result.verify
+    if report is not None:
+        print(
+            f"verify: instructions={report.instructions} "
+            f"branches={report.branches} calls={report.calls} "
+            f"gat_entries={report.gat_entries} problems={len(report.problems)}"
+        )
+
+    if args.trace:
+        trace.save_chrome_trace(args.trace)
+        print(f"trace written to {args.trace}")
+    return 1 if (mismatches and args.proc is None) else 0
+
+
+def _profile(argv) -> int:
+    parser = argparse.ArgumentParser(prog="repro.experiments profile")
+    parser.add_argument("program")
+    parser.add_argument("--mode", choices=("each", "all"), default="each")
+    parser.add_argument(
+        "--variant",
+        choices=("ld",) + _EXPLAIN_VARIANTS,
+        default="om-full",
+    )
+    parser.add_argument("--scale", type=int, default=None)
+    parser.add_argument("--top", type=int, default=10)
+    args = parser.parse_args(argv)
+
+    from repro.experiments import build
+
+    configure_cache(None)
+    keys, rows = figures.profile_rows(
+        args.program, args.mode, args.variant, args.scale, top=args.top
+    )
+    result = build.profile_variant(args.program, args.mode, args.variant, args.scale)
+    print_figure(
+        f"profile {args.program}/{args.mode}/{args.variant}",
+        keys,
+        rows,
+        percent=False,
+    )
+    counts = result.overhead
+    total = result.run.instructions
+    frac = counts.instructions / total if total else 0.0
+    print(
+        f"run: {total} instructions, {result.run.cycles} cycles  |  "
+        f"overhead: {counts.gat_loads} GAT loads "
+        f"({counts.pv_loads} PV), {counts.gp_setup_pairs} GP-setup pairs "
+        f"= {100 * frac:.2f}% of executed instructions"
+    )
+    return 0
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "explain":
+        return _explain(argv[1:])
+    if argv and argv[0] == "profile":
+        return _profile(argv[1:])
+
     parser = argparse.ArgumentParser(prog="repro.experiments")
-    parser.add_argument("figure", choices=sorted(_FIGURES) + ["all", "summary"])
+    parser.add_argument(
+        "figure",
+        choices=sorted(_FIGURES) + ["all", "summary", "explain", "profile"],
+    )
     parser.add_argument("--scale", type=int, default=None)
     parser.add_argument("--programs", type=str, default=None)
     parser.add_argument(
@@ -50,6 +179,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="disable the on-disk artifact cache (forces --jobs 1)",
+    )
+    parser.add_argument(
+        "--trace", type=str, default=None,
+        help="write a Chrome-trace timeline of the pipeline to this path",
     )
     args = parser.parse_args(argv)
 
@@ -66,14 +199,26 @@ def main(argv=None) -> int:
     programs = args.programs.split(",") if args.programs else None
     names = sorted(_FIGURES) if args.figure == "all" else [args.figure]
 
+    trace = None
+    if args.trace:
+        from repro.obs.trace import TraceLog
+
+        trace = TraceLog()
+
     metrics = pipeline.prewarm(
         names if args.figure != "summary" else ["summary"],
         programs=programs,
         scale=args.scale,
         jobs=args.jobs,
+        trace=trace,
     )
     print(metrics.format())
     print()
+
+    if trace is not None:
+        trace.save_chrome_trace(args.trace)
+        print(f"pipeline trace written to {args.trace} "
+              f"(load at https://ui.perfetto.dev)\n")
 
     if args.figure == "summary":
         from repro.experiments.summary import compute_summary, print_summary

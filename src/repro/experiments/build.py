@@ -30,6 +30,12 @@ from repro.cache import ArtifactCache
 from repro.linker import link, make_crt0
 from repro.linker.executable import Executable, dump_executable, load_executable
 from repro.machine import RunResult, run
+from repro.machine.profile import (
+    OverheadCounts,
+    ProcProfile,
+    ProfileResult,
+    profile,
+)
 from repro.minicc import Options
 from repro.objfile.archive import Archive
 from repro.objfile.serialize import dump_archive, load_archive
@@ -126,6 +132,22 @@ def _load_om_result(data: bytes) -> OMResult:
         executable=load_executable(data[4 + meta_len :]),
         stats=OMStats(**stats_fields),
         counters=PassCounters(**meta["counters"]),
+    )
+
+
+# -- ProfileResult serialization -----------------------------------------------
+
+
+def _dump_profile_result(result: ProfileResult) -> bytes:
+    return json.dumps(asdict(result)).encode()
+
+
+def _load_profile_result(data: bytes) -> ProfileResult:
+    payload = json.loads(data)
+    return ProfileResult(
+        run=RunResult(**payload["run"]),
+        procs=[ProcProfile(**proc) for proc in payload["procs"]],
+        overhead=OverheadCounts(**payload["overhead"]),
     )
 
 
@@ -230,6 +252,26 @@ def run_variant(
     return result
 
 
+@functools.lru_cache(maxsize=1024)
+def profile_variant(
+    name: str, mode: str, variant: str, scale: int | None = None
+) -> ProfileResult:
+    """Execute one build on the profiling simulator (timed model).
+
+    The profiled run shares the timing model with :func:`run_variant`,
+    so ``profile_variant(...).run.cycles == run_variant(...).cycles``.
+    """
+    if _cache is not None:
+        key = _cache.key(_cell_payload("profile", name, mode, variant, scale))
+        data = _cache.get("profile", key)
+        if data is not None:
+            return _load_profile_result(data)
+    result = profile(link_variant(name, mode, variant, scale))
+    if _cache is not None:
+        _cache.put("profile", key, _dump_profile_result(result))
+    return result
+
+
 def clear_caches() -> None:
     """Drop all in-process memoized builds (tests use this between
     scales).  The on-disk artifact cache, if any, is left intact —
@@ -239,5 +281,6 @@ def clear_caches() -> None:
     link_variant.cache_clear()
     variant_stats.cache_clear()
     run_variant.cache_clear()
+    profile_variant.cache_clear()
     _stdlib_archive.cache_clear()
     build_stdlib.cache_clear()

@@ -11,7 +11,12 @@ import time
 
 from repro.benchsuite import PROGRAMS
 from repro.benchsuite.suite import program_sources
-from repro.experiments.build import copies_for, run_variant, variant_stats
+from repro.experiments.build import (
+    copies_for,
+    profile_variant,
+    run_variant,
+    variant_stats,
+)
 from repro.linker import link
 from repro.minicc import compile_all
 
@@ -125,6 +130,80 @@ def gat_rows(programs=None, scale: int | None = None):
             }
         )
     return keys, _with_mean(rows, keys)
+
+
+def overhead_rows(programs=None, scale: int | None = None):
+    """Dynamic address-calculation overhead, executed counts.
+
+    For the standard link and OM-full (compile-each): executed GAT
+    address loads, PV loads, GP-setup pairs, and the fraction of all
+    executed instructions that is address-calculation overhead.  This
+    is the measured counterpart of Fig. 6 — *why* the cycles moved.
+    """
+    keys = []
+    for variant in ("ld", "full"):
+        keys += [
+            f"{variant}_gat_loads",
+            f"{variant}_pv_loads",
+            f"{variant}_gp_setups",
+            f"{variant}_overhead_frac",
+        ]
+    rows = []
+    for name in _selected(programs):
+        row = {"program": name}
+        for variant, key in (("ld", "ld"), ("om-full", "full")):
+            result = profile_variant(name, "each", variant, scale)
+            counts = result.overhead
+            row[f"{key}_gat_loads"] = counts.gat_loads
+            row[f"{key}_pv_loads"] = counts.pv_loads
+            row[f"{key}_gp_setups"] = counts.gp_setup_pairs
+            row[f"{key}_overhead_frac"] = (
+                counts.instructions / result.run.instructions
+                if result.run.instructions
+                else 0.0
+            )
+        rows.append(row)
+    return keys, _with_mean(rows, keys)
+
+
+def profile_rows(
+    name: str,
+    mode: str = "each",
+    variant: str = "om-full",
+    scale: int | None = None,
+    top: int = 10,
+):
+    """Per-procedure profile of one build: instruction and cycle
+    attribution plus the executed overhead inside each procedure.
+
+    The name key is ``program`` so the rows render with the standard
+    table formatter, but each row is one *procedure* of the build.
+    """
+    keys = [
+        "instructions",
+        "fraction",
+        "cycles",
+        "cycle_fraction",
+        "gat_loads",
+        "pv_loads",
+        "gp_setups",
+    ]
+    result = profile_variant(name, mode, variant, scale)
+    rows = []
+    for proc in result.procs[:top]:
+        rows.append(
+            {
+                "program": proc.name,
+                "instructions": proc.instructions,
+                "fraction": proc.fraction,
+                "cycles": proc.cycles,
+                "cycle_fraction": proc.cycle_fraction,
+                "gat_loads": proc.gat_loads,
+                "pv_loads": proc.pv_loads,
+                "gp_setups": proc.gp_setup_pairs,
+            }
+        )
+    return keys, rows
 
 
 #: Pipeline link-variant -> Fig. 7 column.

@@ -21,11 +21,13 @@ and exposes the cold link timings that feed Fig. 7's build-time rows.
 from __future__ import annotations
 
 import concurrent.futures
+import os
 import time
 from dataclasses import dataclass, field
 from typing import NamedTuple
 
 from repro.benchsuite import PROGRAMS
+from repro.obs.trace import TraceLog
 
 #: Cells each figure needs.  ``stats`` cells produce OMResults (Figs.
 #: 3-5, GAT), ``runs`` produce simulator results (Fig. 6), ``links``
@@ -47,6 +49,9 @@ _FIGURE_PLANS: dict[str, dict] = {
         "modes": ("each",),
         "links": ("ld", "om-none", "om-simple", "om-full", "om-full-sched"),
     },
+    # Dynamic address-calculation overhead: profiled runs of the
+    # standard link vs. OM-full.
+    "overhead": {"modes": ("each",), "profiles": ("ld", "om-full")},
     # The summary needs Figs. 3-5 and GAT stats plus the no-sched
     # dynamic comparison of Fig. 6.
     "summary": {
@@ -64,6 +69,7 @@ class Plan:
     builds: tuple[tuple[str, str], ...]  # (program, mode)
     links: tuple[tuple[str, str, str], ...]  # (program, mode, variant)
     runs: tuple[tuple[str, str, str], ...]
+    profiles: tuple[tuple[str, str, str], ...] = ()
 
 
 def plan_cells(figures, programs=None) -> Plan:
@@ -79,6 +85,7 @@ def plan_cells(figures, programs=None) -> Plan:
     builds: set[tuple[str, str]] = set()
     links: set[tuple[str, str, str]] = set()
     runs: set[tuple[str, str, str]] = set()
+    profiles: set[tuple[str, str, str]] = set()
     for figure in wanted:
         spec = _FIGURE_PLANS[figure]
         for name in names:
@@ -90,19 +97,39 @@ def plan_cells(figures, programs=None) -> Plan:
                     links.add((name, mode, variant))
                 for variant in spec.get("runs", ()):
                     runs.add((name, mode, variant))
-    # Every run depends on its link.
+                for variant in spec.get("profiles", ()):
+                    profiles.add((name, mode, variant))
+    # Every run and profile depends on its link.
     links.update(runs)
-    return Plan(tuple(sorted(builds)), tuple(sorted(links)), tuple(sorted(runs)))
+    links.update(profiles)
+    return Plan(
+        tuple(sorted(builds)),
+        tuple(sorted(links)),
+        tuple(sorted(runs)),
+        tuple(sorted(profiles)),
+    )
 
 
 class TaskReport(NamedTuple):
-    stage: str  # "build" | "link" | "run"
+    stage: str  # "build" | "link" | "run" | "profile"
     program: str
     mode: str
     variant: str | None
     seconds: float
     hits: int
     misses: int
+    #: Wall-clock epoch seconds — spans from every worker process share
+    #: one clock, so a merged trace timeline lines up across pids.
+    start: float = 0.0
+    end: float = 0.0
+    pid: int = 0
+
+    @property
+    def label(self) -> str:
+        cell = f"{self.program}/{self.mode}"
+        if self.variant:
+            cell += f"/{self.variant}"
+        return f"{self.stage} {cell}"
 
 
 @dataclass
@@ -123,8 +150,11 @@ class PipelineMetrics:
     #: Cold (cache-miss) link wall times: (program, mode, variant) -> s.
     #: These feed Fig. 7's build-time rows.
     link_seconds: dict[tuple[str, str, str], float] = field(default_factory=dict)
+    #: Every task report, in completion order (feeds trace export).
+    reports: list[TaskReport] = field(default_factory=list)
 
     def record(self, report: TaskReport) -> None:
+        self.reports.append(report)
         stage = self.stages.setdefault(report.stage, StageMetrics())
         stage.tasks += 1
         stage.hits += report.hits
@@ -155,7 +185,7 @@ class PipelineMetrics:
             )
             for name, stage in sorted(
                 self.stages.items(),
-                key=lambda kv: ("build", "link", "run").index(kv[0]),
+                key=lambda kv: ("build", "link", "run", "profile").index(kv[0]),
             )
         ]
         widths = [
@@ -184,6 +214,7 @@ def _execute_cell(
 
     cache = build.active_cache()
     hits0, misses0 = cache.stats.snapshot() if cache else (0, 0)
+    wall_start = time.time()
     start = time.perf_counter()
     if stage == "build":
         build.build_objects(name, mode, scale)
@@ -194,12 +225,23 @@ def _execute_cell(
             build.variant_stats(name, mode, variant, scale)
     elif stage == "run":
         build.run_variant(name, mode, variant, scale)
+    elif stage == "profile":
+        build.profile_variant(name, mode, variant, scale)
     else:  # pragma: no cover
         raise ValueError(f"unknown stage {stage!r}")
     seconds = time.perf_counter() - start
     hits1, misses1 = cache.stats.snapshot() if cache else (0, 0)
     return TaskReport(
-        stage, name, mode, variant, seconds, hits1 - hits0, misses1 - misses0
+        stage,
+        name,
+        mode,
+        variant,
+        seconds,
+        hits1 - hits0,
+        misses1 - misses0,
+        start=wall_start,
+        end=wall_start + seconds,
+        pid=os.getpid(),
     )
 
 
@@ -218,6 +260,8 @@ def _run_inline(plan: Plan, scale, metrics: PipelineMetrics) -> None:
         metrics.record(_execute_cell("link", name, mode, variant, scale))
     for name, mode, variant in plan.runs:
         metrics.record(_execute_cell("run", name, mode, variant, scale))
+    for name, mode, variant in plan.profiles:
+        metrics.record(_execute_cell("profile", name, mode, variant, scale))
 
 
 def _run_parallel(plan: Plan, scale, jobs: int, metrics: PipelineMetrics) -> None:
@@ -229,7 +273,9 @@ def _run_parallel(plan: Plan, scale, jobs: int, metrics: PipelineMetrics) -> Non
         links_by_build.setdefault(cell[:2], []).append(cell)
     runs_by_link: dict[tuple[str, str, str], list] = {}
     for cell in plan.runs:
-        runs_by_link.setdefault(cell, []).append(cell)
+        runs_by_link.setdefault(cell, []).append(("run", cell))
+    for cell in plan.profiles:
+        runs_by_link.setdefault(cell, []).append(("profile", cell))
 
     with concurrent.futures.ProcessPoolExecutor(
         max_workers=jobs,
@@ -254,11 +300,13 @@ def _run_parallel(plan: Plan, scale, jobs: int, metrics: PipelineMetrics) -> Non
                         )
                         pending[sub] = ("link", *cell)
                 elif stage == "link":
-                    for cell in runs_by_link.get((name, mode, variant), ()):
+                    for substage, cell in runs_by_link.get(
+                        (name, mode, variant), ()
+                    ):
                         sub = pool.submit(
-                            _execute_cell, "run", cell[0], cell[1], cell[2], scale
+                            _execute_cell, substage, cell[0], cell[1], cell[2], scale
                         )
-                        pending[sub] = ("run", *cell)
+                        pending[sub] = (substage, *cell)
 
 
 def prewarm(
@@ -266,12 +314,17 @@ def prewarm(
     programs=None,
     scale: int | None = None,
     jobs: int = 1,
+    trace: TraceLog | None = None,
 ) -> PipelineMetrics:
     """Execute every cell the given figures need; returns the metrics.
 
     With ``jobs > 1`` and a disk cache installed, cells execute across
     a process pool in dependency order; otherwise they run inline (the
     pool would be useless without a cache to share artifacts through).
+
+    With a ``trace`` attached, every executed cell becomes a span on
+    its worker's pid lane (see :func:`record_trace`), so the whole
+    matrix renders as a parallel timeline in Perfetto.
     """
     from repro.experiments import build
 
@@ -284,4 +337,37 @@ def prewarm(
     else:
         _run_parallel(plan, scale, effective_jobs, metrics)
     metrics.wall = time.perf_counter() - start
+    if trace is not None:
+        record_trace(metrics, trace)
     return metrics
+
+
+def record_trace(metrics: PipelineMetrics, trace: TraceLog) -> None:
+    """Turn every TaskReport into a pipeline span on its pid lane.
+
+    Workers measure wall-clock start/end epoch times, so spans from all
+    processes land on one shared timeline; cache hit/miss deltas ride
+    along as span args.
+    """
+    for report in metrics.reports:
+        trace.add_span(
+            report.label,
+            report.start * 1e6,
+            report.end * 1e6,
+            cat=f"pipeline.{report.stage}",
+            pid=report.pid or None,
+            tid=0,
+            stage=report.stage,
+            program=report.program,
+            mode=report.mode,
+            variant=report.variant,
+            cache_hits=report.hits,
+            cache_misses=report.misses,
+            cache=("hit" if report.hits and not report.misses else "miss"),
+        )
+    trace.counter(
+        "pipeline.cache",
+        cat="pipeline",
+        hits=metrics.total_hits,
+        misses=metrics.total_misses,
+    )

@@ -154,6 +154,14 @@ class Machine:
             return self._run_timed()
         return self._run_functional()
 
+    # Both loops optionally take per-text-word attribution arrays (one
+    # slot per instruction word, index-aligned with ``self._decoded``):
+    # ``counts`` accumulates executed-instruction counts; the timed loop
+    # additionally fills ``cycle_counts`` so that the per-word cycle
+    # deltas sum exactly to the run's total cycles.  The profiler layers
+    # on these hooks instead of duplicating the interpreter — profiled
+    # runs and plain runs are the same loop and must agree exactly.
+
     def _initial_state(self) -> tuple[list[int], int]:
         regs = [0] * 32
         regs[27] = self.executable.entry  # PV
@@ -161,7 +169,7 @@ class Machine:
         regs[30] = STACK_TOP - 512  # SP, with a red zone
         return regs, (self.executable.entry - self.text_base) >> 2
 
-    def _run_functional(self) -> RunResult:
+    def _run_functional(self, counts: list[int] | None = None) -> RunResult:
         regs, index = self._initial_state()
         decoded = self._decoded
         output: list[str] = []
@@ -171,11 +179,14 @@ class Machine:
         count = 0
         limit = self.max_instructions
         halted = False
+        counting = counts is not None
 
         while True:
             op = decoded[index]
             kind = op[0]
             count += 1
+            if counting:
+                counts[index] += 1
             if count > limit:
                 raise MachineError(f"instruction limit {limit} exceeded")
             if kind == K_LDQ:
@@ -255,7 +266,11 @@ class Machine:
 
         return RunResult("".join(output), count, cycles=count, halted=halted)
 
-    def _run_timed(self) -> RunResult:
+    def _run_timed(
+        self,
+        counts: list[int] | None = None,
+        cycle_counts: list[int] | None = None,
+    ) -> RunResult:
         regs, index = self._initial_state()
         decoded = self._decoded
         output: list[str] = []
@@ -265,6 +280,9 @@ class Machine:
         count = 0
         limit = self.max_instructions
         halted = False
+        counting = counts is not None
+        cycle_counting = cycle_counts is not None
+        prev_cycle = 0
 
         # Timing state.
         cycle = 0
@@ -285,6 +303,8 @@ class Machine:
             op = decoded[index]
             kind = op[0]
             count += 1
+            if counting:
+                counts[index] += 1
             if count > limit:
                 raise MachineError(f"instruction limit {limit} exceeded")
 
@@ -432,9 +452,19 @@ class Machine:
             if taken:
                 cycle = issue + TAKEN_BRANCH_PENALTY
                 slot_open = False
+            if cycle_counting:
+                cycle_counts[index] += cycle - prev_cycle
+                prev_cycle = cycle
+            if taken:
                 index = next_index
             else:
                 index += 1
+
+        # The halting instruction breaks out before the bottom-of-loop
+        # attribution; charge its issue cost so the per-word cycle
+        # deltas sum exactly to the reported total.
+        if cycle_counting:
+            cycle_counts[index] += cycle - prev_cycle
 
         return RunResult(
             "".join(output),

@@ -1,31 +1,72 @@
-"""Per-procedure execution profiling.
+"""Per-procedure execution and overhead profiling.
 
-Attributes executed instructions to the procedure containing them using
-the executable's retained procedure table (the loader-format metadata
-the paper relies on).  Used by examples and tests to show where a
-workload spends its time — e.g. how much of a division-heavy benchmark
-sits in ``__divq``.
+Attributes executed instructions *and* timing-model cycles to the
+procedure containing them, using the executable's retained procedure
+table (the loader-format metadata the paper relies on).  Profiling
+layers per-word counters onto the interpreter's own loops
+(:meth:`~repro.machine.cpu.Machine._run_timed`), so a profiled run and
+a plain ``Machine.run`` report identical instruction and cycle totals
+by construction.
+
+Beyond time attribution, the profiler classifies each executed text
+word to measure the paper's dynamic address-calculation overhead — the
+quantities behind Figure 6:
+
+* **GAT address loads** — executed ``ldq rX, d(gp)``;
+* **PV loads** — the subset loading the procedure value (``ra = pv``);
+* **GP-setup pairs** — executed ``ldah gp, ...`` halves of GPDISP
+  pairs (each pair contributes two overhead instructions).
+
+Executed words not covered by the procedure table are attributed to a
+:data:`UNATTRIBUTED` bucket rather than silently dropped, so per-run
+fractions always sum to 1.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.isa.registers import Reg
 from repro.linker.executable import Executable
-from repro.machine.cpu import Machine, RunResult
+from repro.machine.cpu import K_LDAH, K_LDQ, Machine, RunResult
+
+#: Name of the bucket holding executed words outside the proc table.
+UNATTRIBUTED = "<unattributed>"
 
 
 @dataclass
 class ProcProfile:
+    """Executed work attributed to one procedure."""
+
     name: str
     instructions: int
     fraction: float
+    cycles: int = 0
+    cycle_fraction: float = 0.0
+    gat_loads: int = 0
+    pv_loads: int = 0
+    gp_setup_pairs: int = 0
+
+
+@dataclass
+class OverheadCounts:
+    """Executed address-calculation overhead, whole-program totals."""
+
+    gat_loads: int = 0
+    pv_loads: int = 0
+    gp_setup_pairs: int = 0
+
+    @property
+    def instructions(self) -> int:
+        """Total overhead instructions (each setup pair is ldah+lda)."""
+        return self.gat_loads + 2 * self.gp_setup_pairs
 
 
 @dataclass
 class ProfileResult:
     run: RunResult
     procs: list[ProcProfile] = field(default_factory=list)
+    overhead: OverheadCounts = field(default_factory=OverheadCounts)
 
     def named(self, name: str) -> ProcProfile:
         for proc in self.procs:
@@ -35,125 +76,130 @@ class ProfileResult:
 
 
 class ProfilingMachine(Machine):
-    """A machine that counts executed instructions per text word."""
+    """A machine that attributes executed work per text word.
 
-    def run_profiled(self) -> ProfileResult:
-        self.counts = [0] * (len(self.text) // 4)
-        result = self._run_counted()
-        return ProfileResult(result, self._aggregate())
+    The counting is layered onto the shared interpreter loops: a timed
+    profiled run *is* a timed run (identical cycle totals, identical
+    ``getticks`` values), plus per-word counters.
+    """
 
-    def _run_counted(self) -> RunResult:
-        # A functional run that also bumps a per-word counter.  Kept as
-        # a thin wrapper: pre-decode indexes match self.counts.
-        decoded = self._decoded
-        counting = []
-        counts = self.counts
+    def run_profiled(self, timed: bool = True) -> ProfileResult:
+        nwords = len(self.text) // 4
+        self.counts = [0] * nwords
+        if timed:
+            self.cycle_counts = [0] * nwords
+            result = self._run_timed(
+                counts=self.counts, cycle_counts=self.cycle_counts
+            )
+        else:
+            self.cycle_counts = None
+            result = self._run_functional(counts=self.counts)
+        return ProfileResult(result, self._aggregate(), self._overhead())
 
-        # Wrap by interposing on the decoded stream is not possible for
-        # a flat loop, so run the functional loop manually here.
-        regs, index = self._initial_state()
-        output: list[str] = []
-        from repro.machine.cpu import (
-            K_BR, K_BSR, K_CBR, K_JMP, K_JSR, K_LDA, K_LDAH, K_LDL, K_LDQ,
-            K_LDQ_U, K_OP_RL, K_OP_RR, K_PAL, K_RET, K_STQ, _MASK, _branch_taken,
-            _operate, MachineError,
-        )
-        from repro.isa.opcodes import PalFunc
+    # -- classification ----------------------------------------------------
 
-        text_base = self.text_base
-        load_q = self._load_q
-        store_q = self._store_q
-        count = 0
-        limit = self.max_instructions
-        halted = False
-        while True:
-            op = decoded[index]
+    def _word_classes(self) -> tuple[set[int], set[int], set[int]]:
+        """Static classification of text words by overhead category."""
+        gat_words: set[int] = set()
+        pv_words: set[int] = set()
+        setup_words: set[int] = set()
+        gp = int(Reg.GP)
+        pv = int(Reg.PV)
+        for index, op in enumerate(self._decoded):
             kind = op[0]
-            count += 1
-            counts[index] += 1
-            if count > limit:
-                raise MachineError(f"instruction limit {limit} exceeded")
-            if kind == K_LDQ:
-                __, ra, rb, disp = op
-                regs[ra] = load_q((regs[rb] + disp) & _MASK)
-            elif kind == K_OP_RR or kind == K_OP_RL:
-                __, fn, ra, rb, rc = op
-                b = rb if kind == K_OP_RL else regs[rb]
-                regs[rc] = _operate(fn, regs[ra], b, regs[rc])
-            elif kind == K_LDA:
-                __, ra, rb, disp = op
-                regs[ra] = (regs[rb] + disp) & _MASK
-            elif kind == K_LDAH:
-                __, ra, rb, disp = op
-                regs[ra] = (regs[rb] + (disp << 16)) & _MASK
-            elif kind == K_STQ:
-                __, ra, rb, disp = op
-                store_q((regs[rb] + disp) & _MASK, regs[ra])
-            elif kind == K_CBR:
-                __, cond, ra, target = op
-                if _branch_taken(cond, regs[ra]):
-                    regs[31] = 0
-                    index = target
-                    continue
-            elif kind == K_BR or kind == K_BSR:
-                __, ra, target = op
-                regs[ra] = text_base + 4 * (index + 1)
-                regs[31] = 0
-                index = target
-                continue
-            elif kind in (K_JSR, K_JMP, K_RET):
-                __, ra, rb = op
-                dest = regs[rb] & ~3
-                regs[ra] = text_base + 4 * (index + 1)
-                regs[31] = 0
-                index = (dest - text_base) >> 2
-                if not 0 <= index < len(decoded):
-                    raise MachineError(f"jump to unmapped address {dest:#x}")
-                continue
-            elif kind == K_PAL:
-                func = op[1]
-                if func == PalFunc.HALT:
-                    halted = True
-                    break
-                if func == PalFunc.PUTINT:
-                    value = regs[16]
-                    output.append(str(value - (1 << 64) if value >> 63 else value))
-                    output.append("\n")
-                elif func == PalFunc.PUTCHAR:
-                    output.append(chr(regs[16] & 0xFF))
-                elif func == PalFunc.GETTICKS:
-                    regs[0] = count
-                else:
-                    raise MachineError(f"unknown PAL function {func:#x}")
-            elif kind == K_LDL:
-                __, ra, rb, disp = op
-                value = load_q((regs[rb] + disp) & ~7 & _MASK)
-                shift = ((regs[rb] + disp) & 4) * 8
-                word = (value >> shift) & 0xFFFFFFFF
-                regs[ra] = word | (~0xFFFFFFFF & _MASK if word >> 31 else 0)
-            elif kind == K_LDQ_U:
-                __, ra, rb, disp = op
-                regs[ra] = load_q((regs[rb] + disp) & ~7 & _MASK)
-            else:
-                raise MachineError(f"unhandled op kind {kind}")
-            regs[31] = 0
-            index += 1
-        del counting
-        return RunResult("".join(output), count, cycles=count, halted=halted)
+            if kind == K_LDQ and op[2] == gp:
+                gat_words.add(index)
+                if op[1] == pv:
+                    pv_words.add(index)
+            elif kind == K_LDAH and op[1] == gp:
+                setup_words.add(index)
+        return gat_words, pv_words, setup_words
+
+    def _overhead(self) -> OverheadCounts:
+        gat_words, pv_words, setup_words = self._word_classes()
+        counts = self.counts
+        return OverheadCounts(
+            gat_loads=sum(counts[i] for i in gat_words),
+            pv_loads=sum(counts[i] for i in pv_words),
+            gp_setup_pairs=sum(counts[i] for i in setup_words),
+        )
+
+    # -- aggregation -------------------------------------------------------
 
     def _aggregate(self) -> list[ProcProfile]:
-        total = sum(self.counts) or 1
+        counts = self.counts
+        cycle_counts = self.cycle_counts
+        nwords = len(counts)
+        total = sum(counts) or 1
+        total_cycles = sum(cycle_counts) if cycle_counts else 0
+        cycle_norm = total_cycles or 1
+        gat_words, pv_words, setup_words = self._word_classes()
+
+        covered = bytearray(nwords)
         out = []
         for proc in self.executable.procs:
             start = (proc.addr - self.text_base) >> 2
-            end = start + (proc.size >> 2)
-            executed = sum(self.counts[start:end])
-            if executed:
-                out.append(ProcProfile(proc.name, executed, executed / total))
+            end = min(start + (proc.size >> 2), nwords)
+            start = max(start, 0)
+            span = range(start, end)
+            for index in span:
+                covered[index] = 1
+            executed = sum(counts[index] for index in span)
+            if not executed:
+                continue
+            cycles = (
+                sum(cycle_counts[index] for index in span) if cycle_counts else 0
+            )
+            out.append(
+                ProcProfile(
+                    proc.name,
+                    executed,
+                    executed / total,
+                    cycles=cycles,
+                    cycle_fraction=cycles / cycle_norm,
+                    gat_loads=sum(counts[i] for i in span if i in gat_words),
+                    pv_loads=sum(counts[i] for i in span if i in pv_words),
+                    gp_setup_pairs=sum(
+                        counts[i] for i in span if i in setup_words
+                    ),
+                )
+            )
+
+        # Executed text the procedure table does not cover: attribute it
+        # explicitly so the fractions sum to 1 instead of quietly leaking.
+        stray = [i for i in range(nwords) if not covered[i] and counts[i]]
+        if stray:
+            executed = sum(counts[i] for i in stray)
+            cycles = sum(cycle_counts[i] for i in stray) if cycle_counts else 0
+            out.append(
+                ProcProfile(
+                    UNATTRIBUTED,
+                    executed,
+                    executed / total,
+                    cycles=cycles,
+                    cycle_fraction=cycles / cycle_norm,
+                    gat_loads=sum(counts[i] for i in stray if i in gat_words),
+                    pv_loads=sum(counts[i] for i in stray if i in pv_words),
+                    gp_setup_pairs=sum(
+                        counts[i] for i in stray if i in setup_words
+                    ),
+                )
+            )
         out.sort(key=lambda p: -p.instructions)
         return out
 
 
-def profile(executable: Executable, max_instructions: int = 200_000_000) -> ProfileResult:
-    """Run an executable and attribute instructions to procedures."""
-    return ProfilingMachine(executable, max_instructions=max_instructions).run_profiled()
+def profile(
+    executable: Executable,
+    max_instructions: int = 200_000_000,
+    *,
+    timed: bool = True,
+) -> ProfileResult:
+    """Run an executable and attribute work to procedures.
+
+    ``timed=True`` (default) runs the full timing model, so
+    ``result.run.cycles`` equals a plain ``Machine.run`` and the
+    per-procedure ``cycles`` sum to it exactly.
+    """
+    machine = ProfilingMachine(executable, max_instructions=max_instructions)
+    return machine.run_profiled(timed=timed)

@@ -1,0 +1,14 @@
+"""Toolchain-wide observability: spans, counters, events, provenance.
+
+The :class:`~repro.obs.trace.TraceLog` is the single collection point:
+the experiments pipeline records its build/link/run stages as spans, OM
+records every transformation decision as a provenance event, and the
+verifier contributes its structural counters.  One log serializes to
+JSONL (stable, diffable, greppable) and exports to the Chrome
+trace-event format that ``chrome://tracing`` and Perfetto load
+directly.
+"""
+
+from repro.obs.trace import TraceLog, span_or_null
+
+__all__ = ["TraceLog", "span_or_null"]

@@ -1,0 +1,115 @@
+"""Transformation provenance: the audit trail of OM decisions.
+
+Every convert / nullify / delete / move / retarget / GC-drop that OM
+performs emits one structured event into the link's
+:class:`~repro.obs.trace.TraceLog`::
+
+    {pass, round, module, proc, pc, before, after, reason, counter}
+
+``counter`` names the :class:`~repro.om.transform.PassCounters` field
+the decision increments (``None`` for pure motion), which is what lets
+:func:`reconcile` prove — exactly, not statistically — that the audit
+trail accounts for every total the figures report.  The ``explain``
+CLI (``python -m repro.experiments explain <prog>``) renders these
+events as one line per decision.
+"""
+
+from __future__ import annotations
+
+from repro.obs.trace import TraceLog
+
+#: Category tag of provenance events inside a TraceLog.
+PROVENANCE_CAT = "om-provenance"
+
+#: The actions OM distinguishes (ISSUE vocabulary).
+ACTIONS = ("convert", "nullify", "delete", "move", "retarget", "gc-drop")
+
+
+def emit(
+    trace: TraceLog | None,
+    *,
+    action: str,
+    pass_name: str,
+    module: str,
+    proc: str,
+    pc: int | None,
+    before: str,
+    after: str,
+    reason: str,
+    counter: str | list[str] | None = None,
+    round_index: int = 0,
+) -> None:
+    """Record one OM decision (no-op when tracing is off)."""
+    if trace is None:
+        return
+    trace.event(
+        f"om.{action}",
+        cat=PROVENANCE_CAT,
+        action=action,
+        pass_name=pass_name,
+        round=round_index,
+        module=module,
+        proc=proc,
+        pc=pc,
+        before=before,
+        after=after,
+        reason=reason,
+        counter=counter,
+    )
+
+
+def events(trace: TraceLog, *, proc: str | None = None) -> list[dict]:
+    """Provenance event payloads, optionally restricted to one proc."""
+    out = [e["args"] for e in trace.select(cat=PROVENANCE_CAT)]
+    if proc is not None:
+        out = [a for a in out if a.get("proc") == proc]
+    return out
+
+
+def counter_totals(trace: TraceLog) -> dict[str, int]:
+    """How many events claim each PassCounters field.
+
+    ``counter`` may be a single field name or a list (one deleted
+    instruction can account for both ``instructions_deleted`` and a
+    semantic total like ``pv_loads_removed``).
+    """
+    totals: dict[str, int] = {}
+    for args in events(trace):
+        counter = args.get("counter")
+        if not counter:
+            continue
+        for name in counter if isinstance(counter, list) else [counter]:
+            totals[name] = totals.get(name, 0) + 1
+    return totals
+
+
+def reconcile(trace: TraceLog, counters) -> dict[str, tuple[int, int]]:
+    """Compare the audit trail against a PassCounters total sheet.
+
+    Returns ``{field: (events, counter_value)}`` for every field where
+    they disagree — empty means the trail accounts for every total.
+    """
+    totals = counter_totals(trace)
+    mismatches: dict[str, tuple[int, int]] = {}
+    for field, value in vars(counters).items():
+        traced = totals.get(field, 0)
+        if traced != value:
+            mismatches[field] = (traced, value)
+    return mismatches
+
+
+def format_event(args: dict) -> str:
+    """One human-readable audit line for an event payload."""
+    pc = args.get("pc")
+    where = f"pc={pc:#x}" if isinstance(pc, int) else "pc=?"
+    return (
+        f"[round{args.get('round', 0)}/{args.get('pass_name', '?')}] "
+        f"{args.get('module', '?')}:{args.get('proc', '?')} {where} "
+        f"{args.get('action', '?')}: {args.get('before', '?')} -> "
+        f"{args.get('after', '?')}  ({args.get('reason', '')})"
+    )
+
+
+def explain_lines(trace: TraceLog, *, proc: str | None = None) -> list[str]:
+    """The full audit trail as printable lines."""
+    return [format_event(args) for args in events(trace, proc=proc)]

@@ -1,0 +1,151 @@
+"""A lightweight span/counter/event log with Chrome-trace export.
+
+Events are stored as plain dicts already shaped like Chrome trace-event
+objects (``name``/``cat``/``ph``/``ts``/``pid``/``tid``/``args``), so
+persistence is trivial in both directions:
+
+* :meth:`TraceLog.to_jsonl` / :meth:`TraceLog.from_jsonl` — one JSON
+  object per line, lossless round-trip, greppable;
+* :meth:`TraceLog.to_chrome_trace` — the ``{"traceEvents": [...]}``
+  object that ``chrome://tracing`` and https://ui.perfetto.dev load
+  directly.
+
+Timestamps are wall-clock microseconds (``time.time() * 1e6``) so spans
+recorded in different worker processes of the experiments pipeline merge
+onto one coherent timeline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager, nullcontext
+from pathlib import Path
+
+#: Phase codes used from this module (a subset of the trace-event spec).
+PH_COMPLETE = "X"  # span with a duration
+PH_INSTANT = "i"  # point event
+PH_COUNTER = "C"  # counter sample
+
+
+def _now_us() -> float:
+    return time.time() * 1e6
+
+
+class TraceLog:
+    """An append-only event log shared by one link / experiment run."""
+
+    def __init__(self, events: list[dict] | None = None):
+        self.events: list[dict] = events if events is not None else []
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- recording -------------------------------------------------------
+
+    def _base(self, name: str, cat: str, ph: str, *, pid=None, tid=None) -> dict:
+        return {
+            "name": name,
+            "cat": cat,
+            "ph": ph,
+            "ts": _now_us(),
+            "pid": os.getpid() if pid is None else pid,
+            "tid": threading.get_ident() & 0xFFFF if tid is None else tid,
+        }
+
+    @contextmanager
+    def span(self, name: str, *, cat: str = "span", **args):
+        """Record a complete ("X") event covering the ``with`` body."""
+        record = self._base(name, cat, PH_COMPLETE)
+        start = _now_us()
+        record["ts"] = start
+        try:
+            yield record
+        finally:
+            record["dur"] = _now_us() - start
+            if args:
+                record["args"] = dict(args)
+            self.events.append(record)
+
+    def add_span(
+        self,
+        name: str,
+        start_us: float,
+        end_us: float,
+        *,
+        cat: str = "span",
+        pid=None,
+        tid=None,
+        **args,
+    ) -> dict:
+        """Record a complete event from externally measured timestamps
+        (e.g. a pipeline task that ran in a worker process)."""
+        record = self._base(name, cat, PH_COMPLETE, pid=pid, tid=tid)
+        record["ts"] = start_us
+        record["dur"] = max(end_us - start_us, 0.0)
+        if args:
+            record["args"] = dict(args)
+        self.events.append(record)
+        return record
+
+    def event(self, name: str, *, cat: str = "event", **args) -> dict:
+        """Record an instant event; ``args`` become its payload."""
+        record = self._base(name, cat, PH_INSTANT)
+        record["s"] = "p"  # process-scoped instant
+        if args:
+            record["args"] = dict(args)
+        self.events.append(record)
+        return record
+
+    def counter(self, name: str, *, cat: str = "counter", **values) -> dict:
+        """Record a counter sample (rendered as a track by Perfetto)."""
+        record = self._base(name, cat, PH_COUNTER)
+        record["args"] = dict(values)
+        self.events.append(record)
+        return record
+
+    # -- querying --------------------------------------------------------
+
+    def select(self, *, cat: str | None = None, name: str | None = None) -> list[dict]:
+        """Events filtered by exact category and/or name."""
+        out = self.events
+        if cat is not None:
+            out = [e for e in out if e.get("cat") == cat]
+        if name is not None:
+            out = [e for e in out if e.get("name") == name]
+        return list(out)
+
+    # -- persistence -----------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        return "".join(
+            json.dumps(event, sort_keys=True, separators=(",", ":")) + "\n"
+            for event in self.events
+        )
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> TraceLog:
+        return cls([json.loads(line) for line in text.splitlines() if line.strip()])
+
+    def save_jsonl(self, path) -> None:
+        Path(path).write_text(self.to_jsonl())
+
+    @classmethod
+    def load_jsonl(cls, path) -> TraceLog:
+        return cls.from_jsonl(Path(path).read_text())
+
+    def to_chrome_trace(self) -> dict:
+        """The object ``chrome://tracing`` / Perfetto load directly."""
+        return {"traceEvents": list(self.events), "displayTimeUnit": "ms"}
+
+    def save_chrome_trace(self, path) -> None:
+        Path(path).write_text(json.dumps(self.to_chrome_trace(), indent=1))
+
+
+def span_or_null(trace: TraceLog | None, name: str, *, cat: str = "span", **args):
+    """A span on ``trace``, or a no-op context when tracing is off."""
+    if trace is None:
+        return nullcontext()
+    return trace.span(name, cat=cat, **args)

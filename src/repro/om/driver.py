@@ -19,12 +19,14 @@ from repro.linker.executable import Executable
 from repro.linker.layout import DEFAULT_GAT_CAPACITY, LayoutOptions, compute_layout
 from repro.linker.relocate import build_executable
 from repro.linker.resolve import resolve_inputs
+from repro.obs.trace import TraceLog, span_or_null
 from repro.objfile.archive import Archive
 from repro.objfile.objfile import ObjectFile
 from repro.om.sched import om_schedule
 from repro.om.stats import OMStats, count_code
 from repro.om.symbolic import reassemble_module, translate_module
 from repro.om.transform import PassCounters, Program, Transformer
+from repro.om.verify import VerifyReport
 
 
 class OMLevel(enum.Enum):
@@ -55,6 +57,10 @@ class OMResult:
     executable: Executable
     stats: OMStats
     counters: PassCounters = field(default_factory=PassCounters)
+    #: Structural-verification counters when ``OMOptions.verify`` ran.
+    verify: VerifyReport | None = None
+    #: The link's trace/provenance log when one was attached.
+    trace: TraceLog | None = None
 
 
 def om_link(
@@ -63,9 +69,15 @@ def om_link(
     *,
     level: OMLevel = OMLevel.FULL,
     options: OMOptions | None = None,
+    trace: TraceLog | None = None,
 ) -> OMResult:
     """Optimizing link: the paper's OM-simple / OM-full, or the
-    translate-only OM-none baseline."""
+    translate-only OM-none baseline.
+
+    With a ``trace`` attached, every phase records a span and every
+    transformation decision records a provenance event (see
+    :mod:`repro.obs.provenance`).
+    """
     options = options or OMOptions()
     inputs = resolve_inputs(objects, list(libraries))
 
@@ -74,7 +86,8 @@ def om_link(
     gat_before = sum(group.size for group in baseline_layout.groups)
     text_before = baseline_layout.text_end - baseline_layout.options.text_base
 
-    modules = [translate_module(module) for module in inputs.modules]
+    with span_or_null(trace, "om.translate", cat="om", modules=len(inputs.modules)):
+        modules = [translate_module(module) for module in inputs.modules]
     before = count_code(modules)
 
     counters = PassCounters()
@@ -83,44 +96,70 @@ def om_link(
             gat_capacity=options.gat_capacity, sort_commons=options.sort_commons
         )
         max_rounds = 1 if level is OMLevel.SIMPLE else max(1, options.rounds)
-        for _ in range(max_rounds):
-            objs = [reassemble_module(module)[0] for module in modules]
-            round_inputs = resolve_inputs(objs, [])
-            layout = compute_layout(round_inputs, layout_options)
-            program = Program.build(modules, layout, entry=options.entry)
-            transformer = Transformer(
-                program,
-                full=level is OMLevel.FULL,
-                convert_escaped=options.convert_escaped,
-            )
-            counters.merge(transformer.run())
+        for round_index in range(max_rounds):
+            with span_or_null(
+                trace, f"om.round{round_index}", cat="om", level=level.value
+            ):
+                objs = [reassemble_module(module)[0] for module in modules]
+                round_inputs = resolve_inputs(objs, [])
+                layout = compute_layout(round_inputs, layout_options)
+                program = Program.build(modules, layout, entry=options.entry)
+                transformer = Transformer(
+                    program,
+                    full=level is OMLevel.FULL,
+                    convert_escaped=options.convert_escaped,
+                    trace=trace,
+                    round_index=round_index,
+                )
+                counters.merge(transformer.run())
             if not transformer.changed:
                 break
 
     if level is OMLevel.FULL and options.remove_dead_procs:
         from repro.om.gc import remove_dead_procedures
 
-        counters.procs_removed += remove_dead_procedures(modules, options.entry)
+        with span_or_null(trace, "om.gc", cat="om"):
+            counters.procs_removed += remove_dead_procedures(
+                modules, options.entry, trace=trace
+            )
 
     if level is OMLevel.FULL and options.schedule:
-        om_schedule(modules, align_loop_targets=options.align_loop_targets)
+        with span_or_null(trace, "om.sched", cat="om"):
+            om_schedule(
+                modules,
+                align_loop_targets=options.align_loop_targets,
+                trace=trace,
+            )
 
-    final_objs = [reassemble_module(module)[0] for module in modules]
-    final_inputs = resolve_inputs(final_objs, [])
-    final_layout_options = (
-        LayoutOptions()
-        if level is OMLevel.NONE
-        else LayoutOptions(
-            gat_capacity=options.gat_capacity, sort_commons=options.sort_commons
+    with span_or_null(trace, "om.finalize", cat="om"):
+        final_objs = [reassemble_module(module)[0] for module in modules]
+        final_inputs = resolve_inputs(final_objs, [])
+        final_layout_options = (
+            LayoutOptions()
+            if level is OMLevel.NONE
+            else LayoutOptions(
+                gat_capacity=options.gat_capacity, sort_commons=options.sort_commons
+            )
         )
-    )
-    final_layout = compute_layout(final_inputs, final_layout_options)
-    executable = build_executable(final_inputs, final_layout, entry=options.entry)
+        final_layout = compute_layout(final_inputs, final_layout_options)
+        executable = build_executable(final_inputs, final_layout, entry=options.entry)
 
+    report: VerifyReport | None = None
     if options.verify:
         from repro.om.verify import verify_executable
 
-        verify_executable(executable)
+        with span_or_null(trace, "om.verify", cat="om"):
+            report = verify_executable(executable)
+        if trace is not None:
+            trace.event(
+                "om.verify.report",
+                cat="om",
+                instructions=report.instructions,
+                branches=report.branches,
+                calls=report.calls,
+                gat_entries=report.gat_entries,
+                problems=len(report.problems),
+            )
 
     stats = OMStats(
         level=level.value,
@@ -133,4 +172,4 @@ def om_link(
         text_bytes_before=text_before,
         text_bytes_after=executable.text_size,
     )
-    return OMResult(executable, stats, counters)
+    return OMResult(executable, stats, counters, verify=report, trace=trace)

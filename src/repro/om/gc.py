@@ -15,6 +15,8 @@ references to a procedure, and jump-table data references.
 from __future__ import annotations
 
 from repro.minicc.mcode import MInstr
+from repro.obs import provenance
+from repro.obs.trace import TraceLog
 from repro.om.symbolic import SymbolicModule, SymbolicProc
 from repro.om.transform import _find_address_taken
 
@@ -25,7 +27,10 @@ def _owner_of_label(label: str) -> str:
 
 
 def remove_dead_procedures(
-    modules: list[SymbolicModule], entry: str = "__start"
+    modules: list[SymbolicModule],
+    entry: str = "__start",
+    *,
+    trace: TraceLog | None = None,
 ) -> int:
     """Delete unreachable procedures; returns how many were removed."""
     all_procs: dict[str, tuple[SymbolicModule, SymbolicProc]] = {}
@@ -75,6 +80,20 @@ def remove_dead_procedures(
         if not dead:
             continue
         dead_set = set(dead)
+        for proc in module.procs:
+            if proc.name in dead_set:
+                provenance.emit(
+                    trace,
+                    action="gc-drop",
+                    pass_name="gc",
+                    module=module.name,
+                    proc=proc.name,
+                    pc=None,
+                    before=f"{len(proc.instructions())} instructions",
+                    after="(procedure removed)",
+                    reason="unreachable from entry and address-taken roots",
+                    counter="procs_removed",
+                )
         module.procs = [p for p in module.procs if p.name not in dead_set]
         # Jump tables of deleted procedures would dangle: drop their
         # relocations (the table bytes stay, harmlessly unreferenced).

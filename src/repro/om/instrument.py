@@ -68,7 +68,19 @@ def add_entry_counters(modules: list[SymbolicModule]) -> dict[str, int]:
     """
     proc_index: dict[str, int] = {}
     for module in modules:
+        for symbol in module.other_symbols:
+            if symbol.name == COUNTER_SYMBOL:
+                raise ValueError(
+                    f"symbol {COUNTER_SYMBOL!r} already defined in "
+                    f"{module.name!r}; the program cannot be instrumented "
+                    "twice (or reserve that name)"
+                )
         for proc in module.procs:
+            if proc.name == COUNTER_SYMBOL:
+                raise ValueError(
+                    f"procedure name collides with the counter-section "
+                    f"symbol {COUNTER_SYMBOL!r}"
+                )
             if proc.name != "__start":  # GP is not yet live at the true entry
                 proc_index.setdefault(proc.name, len(proc_index))
 
@@ -119,15 +131,25 @@ def link_with_entry_counters(
     libraries: list[Archive] = (),
     *,
     entry: str = "__start",
+    gat_capacity: int | None = None,
 ) -> InstrumentedProgram:
-    """Resolve, instrument every procedure, and produce an executable."""
+    """Resolve, instrument every procedure, and produce an executable.
+
+    ``gat_capacity`` overrides the layout's GAT-group capacity (tests
+    use a tiny capacity to exercise the multi-group rejection below).
+    """
     inputs = resolve_inputs(objects, list(libraries))
     modules = [translate_module(obj) for obj in inputs.modules]
     proc_index = add_entry_counters(modules)
 
     final = [reassemble_module(module)[0] for module in modules]
     final_inputs = resolve_inputs(final, [])
-    layout = compute_layout(final_inputs, LayoutOptions())
+    layout_options = (
+        LayoutOptions()
+        if gat_capacity is None
+        else LayoutOptions(gat_capacity=gat_capacity)
+    )
+    layout = compute_layout(final_inputs, layout_options)
     if len(layout.groups) > 1:
         raise ValueError(
             "entry-counter instrumentation requires a single GAT group "

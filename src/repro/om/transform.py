@@ -27,6 +27,8 @@ from repro.isa.instruction import Instruction
 from repro.isa.registers import Reg
 from repro.linker.layout import Layout
 from repro.minicc.mcode import MInstr, MLabel
+from repro.obs import provenance
+from repro.obs.trace import TraceLog
 from repro.objfile.relocations import LituseKind
 from repro.om.symbolic import SymbolicModule, SymbolicProc
 
@@ -231,7 +233,15 @@ def _find_skip_label(proc: SymbolicProc) -> str | None:
 class Transformer:
     """One round of OM transformations over the whole program."""
 
-    def __init__(self, prog: Program, *, full: bool, convert_escaped: bool = False):
+    def __init__(
+        self,
+        prog: Program,
+        *,
+        full: bool,
+        convert_escaped: bool = False,
+        trace: TraceLog | None = None,
+        round_index: int = 0,
+    ):
         self.prog = prog
         self.full = full
         # Replace far escaped literals (function pointers, out-of-window
@@ -242,14 +252,66 @@ class Transformer:
         self.counters = PassCounters()
         self.changed = False
         self._gprel_group = 0
+        self.trace = trace
+        self.round_index = round_index
+
+    # ---- provenance --------------------------------------------------------
+
+    def _item_pc(
+        self, module_index: int, proc: SymbolicProc, item: MInstr
+    ) -> int | None:
+        """The instruction's address under this round's tentative layout."""
+        try:
+            base = self.prog.addr(module_index, proc.name)
+        except Exception:
+            return None
+        offset = 0
+        for other in proc.items:
+            if other is item:
+                return base + offset
+            if isinstance(other, MInstr):
+                offset += 4
+        return None
+
+    def _emit(
+        self,
+        module_index: int,
+        proc: SymbolicProc,
+        *,
+        action: str,
+        pass_name: str,
+        item: MInstr | None = None,
+        pc: int | None = None,
+        before: str = "",
+        after: str = "",
+        reason: str = "",
+        counter=None,
+    ) -> None:
+        if self.trace is None:
+            return
+        if pc is None and item is not None:
+            pc = self._item_pc(module_index, proc, item)
+        provenance.emit(
+            self.trace,
+            action=action,
+            pass_name=pass_name,
+            module=self.prog.modules[module_index].name,
+            proc=proc.name,
+            pc=pc,
+            before=before,
+            after=after,
+            reason=reason,
+            counter=counter,
+            round_index=self.round_index,
+        )
 
     # ---- round driver -----------------------------------------------------
 
     def run(self) -> PassCounters:
         if self.full:
-            for module in self.prog.modules:
+            for index, module in enumerate(self.prog.modules):
                 for proc in module.procs:
-                    self._canonicalize_gp_pairs(proc)
+                    self._canonicalize_gp_pairs(index, proc)
         for index, module in enumerate(self.prog.modules):
             for proc in module.procs:
                 self._optimize_calls(index, proc)
@@ -262,7 +324,7 @@ class Transformer:
 
     # ---- GP pair canonicalization (OM-full only) ------------------------------
 
-    def _canonicalize_gp_pairs(self, proc: SymbolicProc) -> None:
+    def _canonicalize_gp_pairs(self, module_index: int, proc: SymbolicProc) -> None:
         """Move GPDISP pairs back to their logical position: entry pairs
         to the top of the procedure, post-call pairs directly after the
         call's return point.  Safe because nothing between the logical
@@ -281,6 +343,10 @@ class Transformer:
             lda_pos = items.index(lda)
             if (ldah_pos, lda_pos) == (anchor + 1, anchor + 2):
                 continue
+            old_pcs = {
+                item.uid: self._item_pc(module_index, proc, item)
+                for item in (ldah, lda)
+            } if self.trace is not None else {}
             for item in (lda, ldah):
                 items.remove(item)
             anchor = next(
@@ -291,6 +357,23 @@ class Transformer:
             items.insert(anchor + 1, ldah)
             items.insert(anchor + 2, lda)
             self.changed = True
+            for item in (ldah, lda):
+                new_pc = self._item_pc(module_index, proc, item)
+                self._emit(
+                    module_index,
+                    proc,
+                    action="move",
+                    pass_name="canonicalize",
+                    pc=old_pcs.get(item.uid),
+                    before=str(item.instr),
+                    after=str(item.instr)
+                    + (f" @ {new_pc:#x}" if new_pc is not None else ""),
+                    reason=(
+                        f"GP pair moved back to its logical position "
+                        f"after label {base!r} (compile-time scheduling "
+                        f"had hoisted it)"
+                    ),
+                )
 
     # ---- call optimization ------------------------------------------------------
 
@@ -380,19 +463,58 @@ class Transformer:
         # setup, the PV-load must stay: "the compiled code normally does
         # so anyway, because the called procedure needs the PV in order
         # to set up its value for GP" — so the lituse link survives too.
+        before = str(jsr.instr)
+        jsr_pc = self._item_pc(module_index, proc, jsr)
         jsr.instr = Instruction.branch("bsr", Reg.RA, 0)
         jsr.branch = target
         jsr.hint = None
         self.counters.jsr_to_bsr += 1
         self.changed = True
+        self._emit(
+            module_index,
+            proc,
+            action="convert",
+            pass_name="calls",
+            pc=jsr_pc,
+            before=before,
+            after=f"bsr ra, {target[0]}",
+            reason=f"direct call to {callee.name!r} within bsr range",
+            counter="jsr_to_bsr",
+        )
 
         if skip_ok:
             jsr.lituse = None
             remaining = _uses_of_literal(proc, load.uid)
             if not remaining and not load.lit_escaped:
-                self._kill(proc, load)
+                self._kill(
+                    module_index,
+                    proc,
+                    load,
+                    pass_name="calls",
+                    reason=(
+                        f"PV-load unnecessary: call retargeted past "
+                        f"{callee.name!r}'s GP setup"
+                    ),
+                    extra_counter="pv_loads_removed",
+                )
                 self.counters.pv_loads_removed += 1
             self.counters.bsr_retargeted += 1
+            self._emit(
+                module_index,
+                proc,
+                action="retarget",
+                pass_name="calls",
+                pc=jsr_pc,
+                before=f"bsr ra, {callee.name}",
+                after=f"bsr ra, {target[0]}",
+                reason=(
+                    "callee GP setup skipped: caller's GP is already "
+                    "correct at the call site"
+                    if callee.uses_gp
+                    else "callee never establishes GP, PV is dead"
+                ),
+                counter="bsr_retargeted",
+            )
 
         self._maybe_drop_reset(module_index, proc, jsr, callee=(callee_module, callee))
 
@@ -420,11 +542,20 @@ class Transformer:
         base_label = self._return_label_after(proc, call_item)
         if base_label is None:
             return
+        callee_name = callee[1].name if callee is not None else "<indirect>"
         for ldah, lda, base in _gpdisp_pairs(proc):
             if base != base_label:
                 continue
-            self._kill(proc, ldah)
-            self._kill(proc, lda)
+            reason = f"GP provably unchanged across call to {callee_name}"
+            self._kill(
+                module_index, proc, ldah,
+                pass_name="gp-resets", reason=reason,
+                extra_counter="gp_resets_removed",
+            )
+            self._kill(
+                module_index, proc, lda,
+                pass_name="gp-resets", reason=reason,
+            )
             self.counters.gp_resets_removed += 1
             self.changed = True
             return
@@ -461,17 +592,41 @@ class Transformer:
                 offsets = [use.instr.disp for use in uses]
                 if not uses:
                     # Dead address load.
-                    self._kill(proc, item)
+                    self._kill(
+                        module_index, proc, item,
+                        pass_name="address-loads",
+                        reason=f"address load of {symbol!r} has no remaining uses",
+                        extra_counter="loads_nullified",
+                    )
                     self.counters.loads_nullified += 1
                     self.changed = True
                     continue
                 if gprel_nullify_in_range(d, offsets):
                     # Nullify: every use is rebased directly onto GP.
                     for use, off in zip(uses, offsets):
+                        before = str(use.instr)
+                        use_pc = self._item_pc(module_index, proc, use)
                         use.instr = use.instr.replace(rb=int(Reg.GP), disp=0)
                         use.gprel = ("gprel16", symbol, addend + off, 0)
                         use.lituse = None
-                    self._kill(proc, item)
+                        self._emit(
+                            module_index, proc,
+                            action="convert", pass_name="address-loads",
+                            pc=use_pc, before=before, after=str(use.instr),
+                            reason=(
+                                f"use rebased directly onto GP "
+                                f"(d={d + off:+d} within 16-bit window)"
+                            ),
+                        )
+                    self._kill(
+                        module_index, proc, item,
+                        pass_name="address-loads",
+                        reason=(
+                            f"address load of {symbol!r} nullified: every "
+                            f"use rebased onto GP (d={d:+d})"
+                        ),
+                        extra_counter="loads_nullified",
+                    )
                     self.counters.loads_nullified += 1
                     self.changed = True
                     continue
@@ -480,22 +635,44 @@ class Transformer:
                     self._gprel_group += 1
                     group = self._gprel_group
                     dst = item.instr.ra
+                    before = str(item.instr)
+                    item_pc = self._item_pc(module_index, proc, item)
                     item.instr = Instruction.mem("ldah", dst, Reg.GP, 0)
                     item.literal = None
                     item.lit_escaped = False
                     item.gprel = ("gprelhigh", symbol, addend, group)
                     for use, off in zip(uses, offsets):
+                        use_before = str(use.instr)
+                        use_pc = self._item_pc(module_index, proc, use)
                         use.instr = use.instr.replace(disp=0)
                         use.gprel = ("gprellow", symbol, addend + off, group)
                         use.lituse = None
+                        self._emit(
+                            module_index, proc,
+                            action="convert", pass_name="address-loads",
+                            pc=use_pc, before=use_before, after=str(use.instr),
+                            reason=f"use takes the low half of {symbol!r}",
+                        )
                     self.counters.loads_converted += 1
                     self.changed = True
+                    self._emit(
+                        module_index, proc,
+                        action="convert", pass_name="address-loads",
+                        pc=item_pc, before=before, after=str(item.instr),
+                        reason=(
+                            f"GAT load of {symbol!r} converted to a shared "
+                            f"ldah high half (d={d:+d} beyond direct window)"
+                        ),
+                        counter="loads_converted",
+                    )
                     continue
                 continue
 
             # Escaped literal: the register must hold the exact address.
             if gprel_direct_in_range(d):
                 dst = item.instr.ra
+                before = str(item.instr)
+                item_pc = self._item_pc(module_index, proc, item)
                 item.instr = Instruction.mem("lda", dst, Reg.GP, 0)
                 item.literal = None
                 item.lit_escaped = False
@@ -504,12 +681,24 @@ class Transformer:
                     use.lituse = None
                 self.counters.loads_converted += 1
                 self.changed = True
+                self._emit(
+                    module_index, proc,
+                    action="convert", pass_name="address-loads",
+                    pc=item_pc, before=before, after=str(item.instr),
+                    reason=(
+                        f"escaped GAT load of {symbol!r} materialized with "
+                        f"a single lda (d={d:+d} in 16-bit window)"
+                    ),
+                    counter="loads_converted",
+                )
             elif self.convert_escaped:
                 # Replace the load with an exact ldah+lda pair (2-for-1;
                 # only OM-full may change instruction counts).
                 self._gprel_group += 1
                 group = self._gprel_group
                 dst = item.instr.ra
+                before = str(item.instr)
+                item_pc = self._item_pc(module_index, proc, item)
                 item.instr = Instruction.mem("ldah", dst, Reg.GP, 0)
                 item.literal = None
                 item.lit_escaped = False
@@ -523,6 +712,17 @@ class Transformer:
                     use.lituse = None
                 self.counters.loads_converted += 1
                 self.changed = True
+                self._emit(
+                    module_index, proc,
+                    action="convert", pass_name="address-loads",
+                    pc=item_pc, before=before,
+                    after=f"{item.instr}; {lda.instr}",
+                    reason=(
+                        f"far escaped GAT load of {symbol!r} replaced with "
+                        f"an exact ldah+lda pair (2-for-1 ablation)"
+                    ),
+                    counter="loads_converted",
+                )
 
     # ---- entry GP-setup removal (OM-full) -----------------------------------------
 
@@ -549,27 +749,61 @@ class Transformer:
                 if item.hint is not None:
                     blocked.add(item.hint)
 
-        for module in prog.modules:
+        for module_index, module in enumerate(prog.modules):
             for proc in module.procs:
                 if proc.name in blocked or not proc.uses_gp:
                     continue
                 pair = _entry_pair_at_top(proc)
                 if pair is None:
                     continue
-                self._kill(proc, pair[0])
-                self._kill(proc, pair[1])
+                reason = (
+                    "every remaining entry arrives with the correct GP "
+                    "already established"
+                )
+                self._kill(
+                    module_index, proc, pair[0],
+                    pass_name="entry-setups", reason=reason,
+                    extra_counter="entry_setups_removed",
+                )
+                self._kill(
+                    module_index, proc, pair[1],
+                    pass_name="entry-setups", reason=reason,
+                )
                 self.counters.entry_setups_removed += 1
                 self.changed = True
 
     # ---- kill helper ---------------------------------------------------------------
 
-    def _kill(self, proc: SymbolicProc, item: MInstr) -> None:
+    def _kill(
+        self,
+        module_index: int,
+        proc: SymbolicProc,
+        item: MInstr,
+        *,
+        pass_name: str = "",
+        reason: str = "",
+        extra_counter: str | None = None,
+    ) -> None:
+        before = str(item.instr)
+        pc = self._item_pc(module_index, proc, item)
         if self.full:
             _remove_items(proc, {item.uid})
             self.counters.instructions_deleted += 1
+            counter = ["instructions_deleted"]
+            action, after = "delete", "(deleted)"
         else:
             _nullify(item)
             self.counters.instructions_nulled += 1
+            counter = ["instructions_nulled"]
+            action, after = "nullify", str(item.instr)
+        if extra_counter is not None:
+            counter.append(extra_counter)
+        self._emit(
+            module_index, proc,
+            action=action, pass_name=pass_name or "kill",
+            pc=pc, before=before, after=after, reason=reason,
+            counter=counter,
+        )
 
 
 def _is_reset_free_leaf(proc: SymbolicProc) -> bool:

@@ -7,7 +7,9 @@ Mirrors the workflow of the paper's environment:
   ``-no-sched`` to disable pipeline scheduling);
 * ``ar``   — build a static archive from object files;
 * ``ld``   — standard link (objects + ``-l`` archives) to an executable;
-* ``om``   — optimizing link (``-simple``/``-full``/``-sched``/``-gc``);
+* ``om``   — optimizing link (``-simple``/``-full``/``-sched``/``-gc``;
+  ``-verify`` prints the structural verifier's counters, ``--trace``
+  saves the link's span/provenance log as Chrome-trace JSON);
 * ``run``  — execute an executable on the simulated AXP;
 * ``dis``  — disassemble an object file or executable.
 
@@ -89,8 +91,14 @@ def _om(args) -> int:
         schedule=args.sched,
         remove_dead_procs=args.gc,
         convert_escaped=args.convert_escaped,
+        verify=args.verify,
     )
-    result = om_link(objects, libraries, level=level, options=options)
+    trace = None
+    if args.trace:
+        from repro.obs.trace import TraceLog
+
+        trace = TraceLog()
+    result = om_link(objects, libraries, level=level, options=options, trace=trace)
     Path(args.output).write_bytes(pickle.dumps(result.executable))
     stats = result.stats
     print(
@@ -99,7 +107,20 @@ def _om(args) -> int:
         f"GAT {stats.gat_bytes_before} -> {stats.gat_bytes_after} bytes; "
         f"text {stats.text_bytes_before} -> {stats.text_bytes_after} bytes"
     )
-    return 0
+    if result.verify is not None:
+        report = result.verify
+        print(
+            f"verify: {report.instructions} instructions, "
+            f"{report.branches} branches, {report.calls} calls, "
+            f"{report.gat_entries} GAT entries, "
+            f"{len(report.problems)} problems"
+        )
+        for problem in report.problems:
+            print(f"  problem: {problem}", file=sys.stderr)
+    if trace is not None:
+        trace.save_chrome_trace(args.trace)
+        print(f"trace: {args.trace}")
+    return 1 if (result.verify is not None and result.verify.problems) else 0
 
 
 def _run(args) -> int:
@@ -160,6 +181,14 @@ def build_parser() -> argparse.ArgumentParser:
             tool.add_argument("-sched", action="store_true")
             tool.add_argument("-gc", action="store_true")
             tool.add_argument("--convert-escaped", action="store_true")
+            tool.add_argument(
+                "-verify", action="store_true",
+                help="run the structural verifier and print its counters",
+            )
+            tool.add_argument(
+                "--trace", dest="trace", default=None,
+                help="write the link's span/provenance trace (Chrome JSON)",
+            )
         tool.set_defaults(func=func)
 
     runner = sub.add_parser("run", help="execute on the simulated AXP")

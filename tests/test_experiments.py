@@ -99,6 +99,43 @@ def test_cli_smoke(capsys):
     assert "pipeline:" in out  # the metrics table precedes the figure
 
 
+def test_cli_trace_writes_chrome_trace(tmp_path, capsys):
+    import json
+
+    from repro.experiments.__main__ import main
+    from repro.experiments.build import configure_cache
+
+    path = tmp_path / "pipeline.json"
+    try:
+        code = main([
+            "overhead", "--programs", "eqntott", "--scale", "1",
+            "--no-cache", "--trace", str(path),
+        ])
+    finally:
+        configure_cache(None)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "overhead" in out and "trace written" in out
+
+    doc = json.loads(path.read_text())
+    assert "traceEvents" in doc
+    spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    stages = {e["args"]["stage"] for e in spans}
+    assert stages == {"build", "link", "profile"}
+    for event in doc["traceEvents"]:
+        assert {"name", "cat", "ph", "ts", "pid", "tid"} <= set(event)
+
+
+def test_cli_profile_command(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["profile", "eqntott", "--scale", "1", "--top", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "profile eqntott/each/om-full" in out
+    assert "cycle_fraction" in out
+    assert "overhead:" in out
+
+
 def test_cli_cache_warm_cycle(tmp_path, capsys):
     """Second CLI invocation against the same cache dir is all hits."""
     from repro.experiments.__main__ import main

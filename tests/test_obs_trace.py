@@ -1,0 +1,111 @@
+"""TraceLog recording, persistence, and Chrome-trace export."""
+
+import json
+
+from repro.obs.trace import TraceLog, span_or_null
+
+
+def test_span_records_complete_event():
+    trace = TraceLog()
+    with trace.span("link", cat="om", modules=3):
+        pass
+    assert len(trace) == 1
+    event = trace.events[0]
+    assert event["name"] == "link"
+    assert event["cat"] == "om"
+    assert event["ph"] == "X"
+    assert event["dur"] >= 0
+    assert event["args"] == {"modules": 3}
+    assert isinstance(event["ts"], float)
+    assert event["pid"] > 0
+
+
+def test_spans_nest_and_order():
+    trace = TraceLog()
+    with trace.span("outer"):
+        with trace.span("inner"):
+            pass
+    # Inner closes first, so it appends first; both are present.
+    assert [e["name"] for e in trace.events] == ["inner", "outer"]
+    inner, outer = trace.events
+    assert outer["ts"] <= inner["ts"]
+    assert outer["ts"] + outer["dur"] >= inner["ts"] + inner["dur"]
+
+
+def test_instant_and_counter_events():
+    trace = TraceLog()
+    trace.event("cache.miss", cat="cache", key="abc")
+    trace.counter("gat.bytes", before=800, after=96)
+    instant, counter = trace.events
+    assert instant["ph"] == "i"
+    assert instant["s"] == "p"
+    assert instant["args"]["key"] == "abc"
+    assert counter["ph"] == "C"
+    assert counter["args"] == {"before": 800, "after": 96}
+
+
+def test_add_span_uses_external_timestamps():
+    trace = TraceLog()
+    trace.add_span("build", 1000.0, 4000.0, pid=42, tid=0, stage="build")
+    event = trace.events[0]
+    assert event["ts"] == 1000.0
+    assert event["dur"] == 3000.0
+    assert event["pid"] == 42
+    # Negative durations are clamped rather than exported.
+    trace.add_span("skew", 5000.0, 4000.0)
+    assert trace.events[1]["dur"] == 0.0
+
+
+def test_select_filters_by_cat_and_name():
+    trace = TraceLog()
+    trace.event("a", cat="x")
+    trace.event("b", cat="x")
+    trace.event("a", cat="y")
+    assert len(trace.select(cat="x")) == 2
+    assert len(trace.select(name="a")) == 2
+    assert len(trace.select(cat="y", name="a")) == 1
+
+
+def test_jsonl_round_trip_is_lossless(tmp_path):
+    trace = TraceLog()
+    with trace.span("phase", cat="om", n=2):
+        trace.event("decision", cat="om-provenance", pc=0x120000000)
+    trace.counter("cache", hits=3, misses=1)
+
+    path = tmp_path / "trace.jsonl"
+    trace.save_jsonl(path)
+    loaded = TraceLog.load_jsonl(path)
+    assert loaded.events == trace.events
+    # Each line is one standalone JSON object.
+    lines = path.read_text().splitlines()
+    assert len(lines) == len(trace.events)
+    for line in lines:
+        json.loads(line)
+
+
+def test_chrome_trace_export_schema(tmp_path):
+    trace = TraceLog()
+    with trace.span("om.round0", cat="om"):
+        pass
+    trace.event("om.delete", cat="om-provenance", proc="main")
+    trace.counter("pipeline.cache", hits=1, misses=0)
+
+    path = tmp_path / "trace.json"
+    trace.save_chrome_trace(path)
+    doc = json.loads(path.read_text())
+    assert set(doc) == {"traceEvents", "displayTimeUnit"}
+    assert len(doc["traceEvents"]) == 3
+    for event in doc["traceEvents"]:
+        assert {"name", "cat", "ph", "ts", "pid", "tid"} <= set(event)
+        assert event["ph"] in ("X", "i", "C")
+        if event["ph"] == "X":
+            assert "dur" in event
+
+
+def test_span_or_null_without_trace():
+    with span_or_null(None, "anything"):
+        pass
+    trace = TraceLog()
+    with span_or_null(trace, "real", cat="om"):
+        pass
+    assert trace.events[0]["name"] == "real"

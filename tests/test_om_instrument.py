@@ -56,6 +56,42 @@ def test_counts_recursive_procedures(libmc, crt0):
     assert counts["fib"] == 177  # calls of fib(10)
 
 
+def test_multi_gat_group_rejected(libmc, crt0):
+    """Entry counters index off the caller's GP, which is only valid
+    when the whole program shares one GAT group."""
+    objs = [crt0, compile_module("int main() { __putint(1); return 0; }", "m.o")]
+    with pytest.raises(ValueError, match="single GAT group"):
+        link_with_entry_counters(objs, [libmc], gat_capacity=1)
+
+
+def test_gat_capacity_override_passthrough(libmc, crt0):
+    objs = [crt0, compile_module("int main() { __putint(3); return 0; }", "m.o")]
+    program = link_with_entry_counters(objs, [libmc], gat_capacity=8190)
+    result, counts = program.run_with_counts()
+    assert result.output == "3\n"
+    assert counts["main"] == 1
+
+
+def test_counter_symbol_collision_rejected(libmc, crt0):
+    source = """
+    int __proc_counts;
+    int main() { __putint(__proc_counts); return 0; }
+    """
+    objs = [crt0, compile_module(source, "m.o")]
+    with pytest.raises(ValueError, match="__proc_counts"):
+        link_with_entry_counters(objs, [libmc])
+
+
+def test_counter_symbol_proc_collision_rejected(libmc, crt0):
+    source = """
+    int __proc_counts(int x) { return x; }
+    int main() { __putint(__proc_counts(2)); return 0; }
+    """
+    objs = [crt0, compile_module(source, "m.o")]
+    with pytest.raises(ValueError, match="__proc_counts"):
+        link_with_entry_counters(objs, [libmc])
+
+
 def test_benchmark_instrumented_end_to_end(libmc, crt0):
     objs = [crt0] + build_program("eqntott", "each", scale=1)
     baseline = run(link(objs, [libmc]), timed=False)

@@ -1,0 +1,157 @@
+"""OM transformation provenance: the audit trail and the explain CLI."""
+
+import pytest
+
+from repro.minicc import compile_module
+from repro.obs import provenance
+from repro.obs.trace import TraceLog
+from repro.om import OMLevel, OMOptions, om_link
+
+SOURCE = """
+extern int gcd(int a, int b);
+int helper(int x) { return x * 3 + 1; }
+int unused(int x) { return x - 7; }
+int main() {
+    int i;
+    int s = 0;
+    for (i = 0; i < 5; i++) { s += helper(i); }
+    __putint(s + gcd(24, 36));
+    return 0;
+}
+"""
+
+
+def _traced_link(libmc, crt0, level, **options):
+    trace = TraceLog()
+    objs = [crt0, compile_module(SOURCE, "prov.o")]
+    result = om_link(
+        objs, [libmc], level=level, options=OMOptions(**options), trace=trace
+    )
+    return result, trace
+
+
+def test_events_carry_full_payload(libmc, crt0):
+    result, trace = _traced_link(libmc, crt0, OMLevel.FULL)
+    events = provenance.events(trace)
+    assert events
+    for args in events:
+        assert args["action"] in provenance.ACTIONS
+        assert args["pass_name"]
+        assert args["module"]
+        assert args["proc"]
+        assert args["before"]
+        assert args["after"]
+        assert args["reason"]
+    # Deleted instructions record their pre-layout pc.
+    deletes = [a for a in events if a["action"] == "delete"]
+    assert deletes
+    assert all(isinstance(a["pc"], int) for a in deletes)
+
+
+def test_full_reconciles_exactly_with_counters(libmc, crt0):
+    result, trace = _traced_link(libmc, crt0, OMLevel.FULL)
+    assert provenance.reconcile(trace, result.counters) == {}
+    # Every deletion the figures count has exactly one audit line.
+    deletes = [a for a in provenance.events(trace) if a["action"] == "delete"]
+    assert len(deletes) == result.counters.instructions_deleted
+
+
+def test_simple_reconciles_exactly_with_counters(libmc, crt0):
+    result, trace = _traced_link(libmc, crt0, OMLevel.SIMPLE)
+    assert provenance.reconcile(trace, result.counters) == {}
+    # OM-simple never deletes, it nullifies in place.
+    actions = {a["action"] for a in provenance.events(trace)}
+    assert "delete" not in actions
+    nulls = [a for a in provenance.events(trace) if a["action"] == "nullify"]
+    assert len(nulls) == result.counters.instructions_nulled
+
+
+def test_gc_drop_events(libmc, crt0):
+    result, trace = _traced_link(
+        libmc, crt0, OMLevel.FULL, remove_dead_procs=True
+    )
+    drops = [a for a in provenance.events(trace) if a["action"] == "gc-drop"]
+    assert len(drops) == result.counters.procs_removed
+    assert "unused" in {a["proc"] for a in drops}
+    assert provenance.reconcile(trace, result.counters) == {}
+
+
+def test_events_filter_by_proc(libmc, crt0):
+    _, trace = _traced_link(libmc, crt0, OMLevel.FULL)
+    all_events = provenance.events(trace)
+    main_only = provenance.events(trace, proc="main")
+    assert main_only
+    assert len(main_only) < len(all_events)
+    assert all(a["proc"] == "main" for a in main_only)
+
+
+def test_sched_emits_move_events(libmc, crt0):
+    result, trace = _traced_link(libmc, crt0, OMLevel.FULL, schedule=True)
+    moves = [
+        a
+        for a in provenance.events(trace)
+        if a["action"] == "move" and a["pass_name"] == "sched"
+    ]
+    assert moves  # rescheduling repositions something in this program
+    assert provenance.reconcile(trace, result.counters) == {}
+
+
+def test_format_event_is_one_line():
+    line = provenance.format_event(
+        {
+            "round": 1,
+            "pass_name": "addr-loads",
+            "module": "m.o",
+            "proc": "main",
+            "pc": 0x120000040,
+            "action": "delete",
+            "before": "ldq t0, 16(gp)",
+            "after": "(deleted)",
+            "reason": "address folded into use",
+        }
+    )
+    assert line == (
+        "[round1/addr-loads] m.o:main pc=0x120000040 delete: "
+        "ldq t0, 16(gp) -> (deleted)  (address folded into use)"
+    )
+    assert "\n" not in line
+
+
+def test_verify_report_surfaced_on_result_and_trace(libmc, crt0):
+    result, trace = _traced_link(libmc, crt0, OMLevel.FULL, verify=True)
+    report = result.verify
+    assert report is not None
+    assert report.instructions > 0
+    assert report.problems == []
+    events = trace.select(name="om.verify.report")
+    assert len(events) == 1
+    assert events[0]["args"]["instructions"] == report.instructions
+    assert events[0]["args"]["gat_entries"] == report.gat_entries
+
+
+def test_om_spans_cover_phases(libmc, crt0):
+    _, trace = _traced_link(libmc, crt0, OMLevel.FULL, schedule=True)
+    names = {e["name"] for e in trace.select(cat="om") if e["ph"] == "X"}
+    assert {"om.translate", "om.round0", "om.sched", "om.finalize"} <= names
+
+
+def test_explain_cli_smoke(capsys):
+    from repro.experiments.__main__ import main
+
+    code = main(["explain", "compress", "--scale", "1", "--proc", "main"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "provenance events" in out
+    # Audit lines have the pass/pc/action anatomy.
+    assert "pc=0x" in out
+    assert " -> " in out
+    assert "verify:" in out
+
+
+def test_explain_cli_reports_reconciliation(capsys):
+    from repro.experiments.__main__ import main
+
+    code = main(["explain", "compress", "--scale", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "provenance events reconcile exactly with pass counters" in out

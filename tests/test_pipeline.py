@@ -99,6 +99,56 @@ def test_link_seconds_feed_fig7(disk_cache):
     assert row["interproc_build"] > 0  # always measured inline
 
 
+def test_plan_overhead_profiles_imply_links():
+    plan = pipeline.plan_cells(["overhead"], programs=["li"])
+    assert ("li", "each", "ld") in plan.profiles
+    assert ("li", "each", "om-full") in plan.profiles
+    assert set(plan.profiles) <= set(plan.links)
+    assert plan.runs == ()
+
+
+def test_prewarm_profiles_and_traces(disk_cache):
+    from repro.obs.trace import TraceLog
+
+    trace = TraceLog()
+    metrics = pipeline.prewarm(
+        ["overhead"], programs=["eqntott"], scale=1, jobs=1, trace=trace
+    )
+    assert "profile" in metrics.stages
+    assert metrics.stages["profile"].tasks == 2  # ld + om-full
+    assert "profile" in metrics.format()
+
+    # Every executed cell became a span covering its measured interval.
+    spans = [e for e in trace.events if e["ph"] == "X"]
+    assert len(spans) == len(metrics.reports)
+    stages = {e["args"]["stage"] for e in spans}
+    assert stages == {"build", "link", "profile"}
+    for span, report in zip(spans, metrics.reports):
+        assert span["ts"] == report.start * 1e6
+        # Epoch-scale floats round at the sub-microsecond level.
+        assert span["dur"] == pytest.approx(report.seconds * 1e6, abs=1.0)
+        assert span["pid"] == report.pid
+    counters = [e for e in trace.events if e["ph"] == "C"]
+    assert counters and counters[0]["args"] == {
+        "hits": metrics.total_hits,
+        "misses": metrics.total_misses,
+    }
+
+    keys, rows = figures.overhead_rows(programs=["eqntott"], scale=1)
+    row = rows[0]
+    assert row["ld_pv_loads"] > 0
+    assert row["full_pv_loads"] == 0
+    assert row["full_overhead_frac"] < row["ld_overhead_frac"]
+
+
+def test_profile_variant_disk_cache_round_trip(disk_cache):
+    first = build.profile_variant("eqntott", "each", "om-full", 1)
+    build.clear_caches()
+    second = build.profile_variant("eqntott", "each", "om-full", 1)
+    assert disk_cache.stats.total_hits > 0
+    assert second == first  # dataclass equality across the JSON round-trip
+
+
 # -- parallel execution --------------------------------------------------------
 
 
