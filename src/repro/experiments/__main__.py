@@ -23,6 +23,12 @@ Two observability subcommands exist alongside the figures:
   before -> after, reason), reconciled against the pass counters;
 * ``profile <prog>`` — per-procedure cycle/instruction attribution
   and executed address-calculation overhead for one build.
+
+``fuzz`` runs the provenance-guided differential fuzzer
+(:mod:`repro.fuzz`): seeded random MiniC programs through the full
+(mode × link-variant) matrix, divergences minimized and persisted to
+``--corpus-dir``.  Exits non-zero on any divergence or replay
+mismatch.
 """
 
 from __future__ import annotations
@@ -154,17 +160,75 @@ def _profile(argv) -> int:
     return 0
 
 
+def _resolve_cache(cache_dir: str | None, no_cache: bool) -> ArtifactCache | None:
+    if no_cache:
+        return None
+    return ArtifactCache(
+        Path(cache_dir or os.environ.get("REPRO_CACHE_DIR") or ".repro-cache")
+    )
+
+
+def _fuzz(argv) -> int:
+    parser = argparse.ArgumentParser(prog="repro.experiments fuzz")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master seed for the campaign planner")
+    parser.add_argument("--iterations", "-n", type=int, default=50,
+                        help="programs to evaluate")
+    parser.add_argument("--time-budget", type=float, default=None,
+                        help="stop at the first wave boundary past this "
+                             "many seconds")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes (requires the disk cache)")
+    parser.add_argument("--corpus-dir", type=str, default="corpus",
+                        help="where minimized repros and coverage seeds go")
+    parser.add_argument("--cache-dir", type=str, default=None)
+    parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--no-minimize", action="store_true",
+                        help="skip the ddmin reducer on divergences")
+    parser.add_argument("--max-instructions", type=int, default=None,
+                        help="per-cell simulator budget")
+    parser.add_argument("--trace", type=str, default=None,
+                        help="write a Chrome-trace timeline of the campaign")
+    args = parser.parse_args(argv)
+
+    from repro.fuzz import run_campaign
+    from repro.fuzz.oracle import DEFAULT_MAX_INSTRUCTIONS
+    from repro.obs.trace import TraceLog
+
+    cache = _resolve_cache(args.cache_dir, args.no_cache)
+    trace = TraceLog() if args.trace else None
+    stats = run_campaign(
+        args.seed,
+        args.iterations,
+        time_budget=args.time_budget,
+        jobs=args.jobs,
+        corpus_dir=args.corpus_dir,
+        cache=cache,
+        trace=trace,
+        max_instructions=args.max_instructions or DEFAULT_MAX_INSTRUCTIONS,
+        minimize=not args.no_minimize,
+        log=print,
+    )
+    print(stats.format())
+    if trace is not None:
+        trace.save_chrome_trace(args.trace)
+        print(f"fuzz trace written to {args.trace}")
+    return 0 if stats.ok else 1
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "explain":
         return _explain(argv[1:])
     if argv and argv[0] == "profile":
         return _profile(argv[1:])
+    if argv and argv[0] == "fuzz":
+        return _fuzz(argv[1:])
 
     parser = argparse.ArgumentParser(prog="repro.experiments")
     parser.add_argument(
         "figure",
-        choices=sorted(_FIGURES) + ["all", "summary", "explain", "profile"],
+        choices=sorted(_FIGURES) + ["all", "summary", "explain", "profile", "fuzz"],
     )
     parser.add_argument("--scale", type=int, default=None)
     parser.add_argument("--programs", type=str, default=None)
@@ -186,15 +250,7 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.no_cache:
-        configure_cache(None)
-    else:
-        cache_dir = (
-            args.cache_dir
-            or os.environ.get("REPRO_CACHE_DIR")
-            or ".repro-cache"
-        )
-        configure_cache(ArtifactCache(Path(cache_dir)))
+    configure_cache(_resolve_cache(args.cache_dir, args.no_cache))
 
     programs = args.programs.split(",") if args.programs else None
     names = sorted(_FIGURES) if args.figure == "all" else [args.figure]

@@ -1,0 +1,55 @@
+"""Provenance-guided differential fuzzing of the whole toolchain.
+
+OM's pitch is that link-time rewriting is *safe*: every converted,
+nullified, deleted, moved, or retargeted instruction must preserve
+program behavior.  This package is the randomized check of that claim,
+scaled up from the original ~100-line generator in the differential
+test:
+
+* :mod:`repro.fuzz.generate` — seeded, grammar-based MiniC program
+  generators (multi-module, arrays/pointers, bounded recursion,
+  switch/jump tables, GAT-window-straddling commons) under a
+  guaranteed-termination fuel discipline;
+* :mod:`repro.fuzz.oracle` — the differential oracle: build one program
+  across the full (mode × link-variant) matrix, demand byte-identical
+  output and monotone non-increasing executed instruction counts, and
+  harvest the OM provenance events each link fired;
+* :mod:`repro.fuzz.coverage` — transform-kind coverage
+  ((action, pass) pairs) with rarity scoring, the signal that biases
+  generation toward programs that light up rare transforms;
+* :mod:`repro.fuzz.reduce` — a delta-debugging (ddmin) reducer that
+  shrinks any interesting program to a 1-minimal repro;
+* :mod:`repro.fuzz.corpus` — the on-disk corpus of coverage-novel and
+  divergent programs, replayable byte-for-byte from their seeds;
+* :mod:`repro.fuzz.campaign` — the fuzz loop itself
+  (``python -m repro.experiments fuzz``): wave-scheduled, optionally
+  fanned across a process pool, warm-startable through the
+  content-addressed artifact cache.
+"""
+
+from repro.fuzz.campaign import CampaignStats, run_campaign
+from repro.fuzz.corpus import CorpusEntry, list_entries, load_entry, replay_entry, save_entry
+from repro.fuzz.coverage import CoverageMap
+from repro.fuzz.generate import GenConfig, GeneratedProgram, ProgramGen, RichProgramGen, generate_program
+from repro.fuzz.oracle import Divergence, OracleReport, evaluate_program
+from repro.fuzz.reduce import reduce_program
+
+__all__ = [
+    "CampaignStats",
+    "CorpusEntry",
+    "CoverageMap",
+    "Divergence",
+    "GenConfig",
+    "GeneratedProgram",
+    "OracleReport",
+    "ProgramGen",
+    "RichProgramGen",
+    "evaluate_program",
+    "generate_program",
+    "list_entries",
+    "load_entry",
+    "reduce_program",
+    "replay_entry",
+    "run_campaign",
+    "save_entry",
+]

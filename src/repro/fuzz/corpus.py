@@ -1,0 +1,148 @@
+"""The on-disk fuzz corpus: replayable, minimized, self-describing.
+
+Each entry is a directory under the corpus root::
+
+    corpus/
+      divergence-seed00001234-9f2ab01c/
+        meta.json        # kind, seed, GenConfig, divergence info
+        m0.mc  m1.mc ... # the generating sources, verbatim
+        minimized/       # ddmin output (divergence entries only)
+          m0.mc ...
+        trace.jsonl      # TraceLog of the OM link on the minimized repro
+
+Entries are saved for two reasons: a program *diverged* (the bug
+archive, kept minimized), or it lit up never-before-seen transform
+coverage (the mutation pool).  The directory name embeds the seed and
+a content digest, so an entry is replayable two ways: regenerate from
+``(seed, config)`` — which must reproduce the sources byte-for-byte —
+or rebuild directly from the stored ``.mc`` files.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.fuzz.generate import GenConfig, GeneratedProgram, generate_program
+
+_META = "meta.json"
+_TRACE = "trace.jsonl"
+_MINDIR = "minimized"
+
+
+def sources_digest(modules) -> str:
+    """Stable content digest of a module list (order-sensitive)."""
+    h = hashlib.sha256()
+    for name, text in modules:
+        h.update(name.encode())
+        h.update(b"\0")
+        h.update(text.encode())
+        h.update(b"\0")
+    return h.hexdigest()
+
+
+def entry_id(program: GeneratedProgram, kind: str) -> str:
+    return f"{kind}-seed{program.seed:08d}-{sources_digest(program.modules)[:8]}"
+
+
+@dataclass
+class CorpusEntry:
+    """One loaded corpus directory."""
+
+    path: Path
+    kind: str
+    seed: int
+    config: GenConfig
+    modules: tuple[tuple[str, str], ...]
+    minimized: tuple[tuple[str, str], ...] | None = None
+    info: dict | None = None
+
+    @property
+    def name(self) -> str:
+        return self.path.name
+
+    @property
+    def program(self) -> GeneratedProgram:
+        return GeneratedProgram(self.seed, self.config, self.modules)
+
+
+def save_entry(
+    corpus_dir: Path | str,
+    program: GeneratedProgram,
+    *,
+    kind: str,
+    info: dict | None = None,
+    minimized=None,
+    trace=None,
+) -> Path:
+    """Persist one entry; returns its directory (idempotent per content)."""
+    root = Path(corpus_dir)
+    path = root / entry_id(program, kind)
+    path.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "kind": kind,
+        "seed": program.seed,
+        "config": dataclasses.asdict(program.config),
+        "modules": [name for name, __ in program.modules],
+        "digest": sources_digest(program.modules),
+        "info": info or {},
+    }
+    (path / _META).write_text(json.dumps(meta, indent=2, sort_keys=True) + "\n")
+    for name, text in program.modules:
+        (path / name).write_text(text)
+    if minimized is not None:
+        mindir = path / _MINDIR
+        mindir.mkdir(exist_ok=True)
+        for name, text in minimized:
+            (mindir / name).write_text(text)
+    if trace is not None:
+        (path / _TRACE).write_text(trace.to_jsonl())
+    return path
+
+
+def load_entry(path: Path | str) -> CorpusEntry:
+    path = Path(path)
+    meta = json.loads((path / _META).read_text())
+    modules = tuple(
+        (name, (path / name).read_text()) for name in meta["modules"]
+    )
+    minimized = None
+    mindir = path / _MINDIR
+    if mindir.is_dir():
+        minimized = tuple(
+            sorted(
+                (entry.name, entry.read_text())
+                for entry in mindir.iterdir()
+                if entry.suffix == ".mc"
+            )
+        )
+    return CorpusEntry(
+        path=path,
+        kind=meta["kind"],
+        seed=meta["seed"],
+        config=GenConfig(**meta["config"]),
+        modules=modules,
+        minimized=minimized,
+        info=meta.get("info") or None,
+    )
+
+
+def list_entries(corpus_dir: Path | str) -> list[Path]:
+    """Entry directories under a corpus root, sorted by name."""
+    root = Path(corpus_dir)
+    if not root.is_dir():
+        return []
+    return sorted(
+        entry
+        for entry in root.iterdir()
+        if entry.is_dir() and (entry / _META).is_file()
+    )
+
+
+def replay_entry(entry: CorpusEntry) -> tuple[GeneratedProgram, bool]:
+    """Regenerate from (seed, config); True iff byte-for-byte identical."""
+    regenerated = generate_program(entry.seed, entry.config)
+    return regenerated, regenerated.modules == entry.modules

@@ -1,0 +1,75 @@
+"""Transform-kind coverage: the feedback signal of the fuzz loop.
+
+Every OM decision recorded by :mod:`repro.obs.provenance` carries an
+``action`` (convert / nullify / delete / move / retarget / gc-drop) and
+the ``pass`` that made it.  The oracle harvests the ``(action, pass)``
+pairs each link fired; this module accumulates them across a campaign,
+scores programs by how *rare* their pairs are, and reports which
+transform kinds have fired at all — the acceptance signal that the
+generator actually exercises the whole optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.provenance import ACTIONS
+
+#: A coverage point: (action, pass_name), e.g. ("convert", "address-loads").
+CoveragePair = tuple[str, str]
+
+
+@dataclass
+class CoverageMap:
+    """Counts of how many evaluated programs hit each (action, pass)."""
+
+    counts: dict[CoveragePair, int] = field(default_factory=dict)
+    programs: int = 0
+
+    def add(self, pairs) -> set[CoveragePair]:
+        """Record one program's pairs; returns the never-seen-before ones."""
+        self.programs += 1
+        fresh: set[CoveragePair] = set()
+        for pair in set(map(tuple, pairs)):
+            if pair not in self.counts:
+                fresh.add(pair)
+            self.counts[pair] = self.counts.get(pair, 0) + 1
+        return fresh
+
+    def rarity_score(self, pairs) -> float:
+        """How unusual a program's coverage is (higher = rarer).
+
+        Each pair contributes the inverse of how many programs have hit
+        it; unseen pairs count as a full point.  Used to weight which
+        corpus seeds get mutated.
+        """
+        return sum(1.0 / self.counts.get(tuple(pair), 1) for pair in set(map(tuple, pairs)))
+
+    def actions_seen(self) -> set[str]:
+        return {action for action, __ in self.counts}
+
+    def missing_actions(self) -> tuple[str, ...]:
+        """OM transform kinds that never fired (empty = full coverage)."""
+        seen = self.actions_seen()
+        return tuple(action for action in ACTIONS if action not in seen)
+
+    def format(self) -> str:
+        """The coverage table plus the per-action roll-up line."""
+        lines = ["transform-kind coverage (programs hitting each pair):"]
+        for (action, pass_name), count in sorted(
+            self.counts.items(), key=lambda item: (-item[1], item[0])
+        ):
+            lines.append(f"  {action:9} x {pass_name:15} {count:5}")
+        by_action: dict[str, int] = {}
+        for (action, __), count in self.counts.items():
+            by_action[action] = by_action.get(action, 0) + count
+        summary = "  ".join(
+            f"{action}={by_action.get(action, 0)}" for action in ACTIONS
+        )
+        lines.append(f"kinds: {summary}")
+        missing = self.missing_actions()
+        if missing:
+            lines.append(f"MISSING transform kinds: {', '.join(missing)}")
+        else:
+            lines.append("all OM transform kinds fired at least once")
+        return "\n".join(lines)

@@ -1,0 +1,560 @@
+"""Seeded MiniC program generators for differential fuzzing.
+
+Two generators live here:
+
+* :class:`ProgramGen` — the original two-module generator the
+  differential test has always used (kept verbatim; tests import it
+  from here);
+* :class:`RichProgramGen` — the fuzzing workhorse: multi-module
+  programs exercising cross-module globals, arrays and pointer
+  parameters, bounded recursion, dense ``switch`` dispatch (jump-table
+  shapes), and common-symbol sorting edge cases (uninitialized arrays
+  whose byte sizes straddle the 16-bit GAT displacement window).
+
+Every generated program is guaranteed to terminate.  ``for`` loops use
+constant bounds and reserved counters the statement generator never
+assigns; ``while`` loops and recursion draw from a shared global fuel
+counter (``__fuel``) that every iteration decrements — once it hits
+zero, loops break and recursion bottoms out.  Fuel is an ordinary
+cross-module global, so the termination discipline itself exercises
+GP-relative addressing.
+
+Generation is a pure function of ``(seed, GenConfig)``: the same pair
+always yields byte-identical sources, which is what makes corpus
+entries replayable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass
+
+#: Reserved loop counters, one per nesting depth; the statement
+#: generator never assigns them, so constant-bound loops always finish.
+_COUNTERS = ("i", "j", "k")
+
+#: Bytes per MiniC ``int`` (the 64-bit architecture of the paper).
+WORD = 8
+
+#: The GP-relative displacement window: one signed 16-bit offset.
+GAT_WINDOW_BYTES = 1 << 15
+
+
+class ProgramGen:
+    """Generates a two-module program from a seed."""
+
+    def __init__(self, seed: int):
+        self.rng = random.Random(seed)
+        self.depth = 0
+
+    def expr(self, depth: int = 0) -> str:
+        rng = self.rng
+        if depth > 2 or rng.random() < 0.35:
+            return rng.choice(
+                [
+                    str(rng.randint(-100, 100)),
+                    str(rng.randint(-(2**40), 2**40)),
+                    "ga",
+                    "gb",
+                    "arr[%d]" % rng.randint(0, 7),
+                    "x",
+                    "y",
+                ]
+            )
+        op = rng.choice(["+", "-", "*", "&", "|", "^", "<", "<=", "==", "!="])
+        if rng.random() < 0.15:
+            # Guarded division: denominator forced odd (nonzero).
+            return f"(({self.expr(depth + 1)}) / (({self.expr(depth + 1)}) | 1))"
+        if rng.random() < 0.1:
+            return f"(({self.expr(depth + 1)}) %% (({self.expr(depth + 1)}) | 1))".replace("%%", "%")
+        if rng.random() < 0.15:
+            shift = rng.randint(0, 8)
+            direction = rng.choice(["<<", ">>"])
+            return f"(({self.expr(depth + 1)}) {direction} {shift})"
+        if rng.random() < 0.2:
+            return f"twist({self.expr(depth + 1)})"
+        return f"(({self.expr(depth + 1)}) {op} ({self.expr(depth + 1)}))"
+
+    def stmt(self, depth: int = 0) -> str:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.35:
+            target = rng.choice(["ga", "gb", "x", "y", f"arr[{rng.randint(0, 7)}]"])
+            op = rng.choice(["=", "+=", "-=", "^="])
+            return f"{target} {op} {self.expr()};"
+        if roll < 0.5:
+            return f"__putint({self.expr()});"
+        if roll < 0.7 and depth < 2:
+            body = " ".join(self.stmt(depth + 1) for __ in range(rng.randint(1, 3)))
+            other = (
+                f" else {{ {self.stmt(depth + 1)} }}" if rng.random() < 0.5 else ""
+            )
+            return f"if ({self.expr()}) {{ {body} }}{other}"
+        if roll < 0.85 and depth < 2:
+            bound = rng.randint(1, 6)
+            var = ["i", "j", "k"][depth]  # distinct per depth: nested
+            # loops sharing a counter would never terminate
+            body = " ".join(self.stmt(depth + 1) for __ in range(rng.randint(1, 2)))
+            return f"for ({var} = 0; {var} < {bound}; {var}++) {{ {body} }}"
+        return f"y = twist({self.expr()});"
+
+    def module_pair(self) -> tuple[str, str]:
+        rng = self.rng
+        body = " ".join(self.stmt() for __ in range(rng.randint(3, 7)))
+        main = f"""
+        int ga;
+        int gb = {rng.randint(-50, 50)};
+        int arr[8];
+        extern int twist(int v);
+        int main() {{
+            int x = {rng.randint(-10, 10)};
+            int y = 1;
+            int i;
+            int j;
+            int k;
+            {body}
+            __putint(ga); __putint(gb); __putint(x); __putint(y);
+            for (i = 0; i < 8; i++) {{ __putint(arr[i]); }}
+            return 0;
+        }}
+        """
+        helper = f"""
+        int tcount;
+        int twist(int v) {{
+            tcount = tcount + 1;
+            return (v ^ {rng.randint(1, 99)}) + (v >> 3) - tcount;
+        }}
+        """
+        return main, helper
+
+
+# -- the rich generator --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Feature mix of one generated program (the mutation space)."""
+
+    modules: int = 3  # translation units, main lives in the first
+    stmts: int = 6  # top-level statements in main's body
+    helpers: int = 2  # helper functions per non-main module
+    max_depth: int = 2  # statement/expression nesting bound
+    fuel: int = 400  # shared budget for while loops and recursion
+    recursion: bool = True  # bounded-depth self-recursive helpers
+    switches: bool = True  # dense switch dispatch (jump tables)
+    pointers: bool = True  # int* parameters walked over arrays
+    while_loops: bool = True  # fuel-guarded while loops
+    big_commons: bool = False  # commons straddling the GAT window
+    dead_procs: bool = True  # never-called helpers (GC fodder)
+
+    def mutated(self, rng: random.Random) -> GenConfig:
+        """A neighbor in the feature space: one knob nudged."""
+        knob = rng.choice(
+            [
+                "modules",
+                "stmts",
+                "helpers",
+                "fuel",
+                "recursion",
+                "switches",
+                "pointers",
+                "while_loops",
+                "big_commons",
+                "dead_procs",
+            ]
+        )
+        if knob == "modules":
+            return dataclasses.replace(self, modules=rng.randint(2, 4))
+        if knob == "stmts":
+            return dataclasses.replace(self, stmts=rng.randint(3, 10))
+        if knob == "helpers":
+            return dataclasses.replace(self, helpers=rng.randint(1, 3))
+        if knob == "fuel":
+            return dataclasses.replace(self, fuel=rng.choice([50, 200, 400, 800]))
+        return dataclasses.replace(self, **{knob: not getattr(self, knob)})
+
+
+def random_config(rng: random.Random) -> GenConfig:
+    """A fresh feature mix (used when no corpus seed is being mutated)."""
+    return GenConfig(
+        modules=rng.randint(2, 4),
+        stmts=rng.randint(3, 9),
+        helpers=rng.randint(1, 3),
+        fuel=rng.choice([50, 200, 400, 800]),
+        recursion=rng.random() < 0.8,
+        switches=rng.random() < 0.8,
+        pointers=rng.random() < 0.8,
+        while_loops=rng.random() < 0.7,
+        big_commons=rng.random() < 0.5,
+        dead_procs=rng.random() < 0.7,
+    )
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """A multi-module MiniC program plus the recipe that made it."""
+
+    seed: int
+    config: GenConfig
+    modules: tuple[tuple[str, str], ...]  # (filename, source)
+
+    @property
+    def sources(self) -> tuple[str, ...]:
+        return tuple(text for __, text in self.modules)
+
+
+@dataclass(frozen=True)
+class _Global:
+    name: str
+    module: int
+    size: int | None  # None: scalar; else array element count
+    init: int | None  # None: common (uninitialized)
+
+
+@dataclass(frozen=True)
+class _Helper:
+    name: str
+    module: int
+    kind: str  # "expr" | "walker" | "recursive" | "switch" | "dead"
+    order: int  # helpers may only call strictly smaller orders
+
+
+class RichProgramGen:
+    """Grammar-based generator for the fuzzing campaign."""
+
+    def __init__(self, seed: int, config: GenConfig | None = None):
+        self.seed = seed
+        self.config = config or GenConfig()
+        self.rng = random.Random(seed)
+
+    # -- planning -------------------------------------------------------------
+
+    def _plan(self) -> None:
+        rng, cfg = self.rng, self.config
+        nmods = max(2, min(int(cfg.modules), 4))
+        self.nmods = nmods
+
+        self.globals: list[_Global] = []
+        for m in range(nmods):
+            self.globals.append(_Global(f"g{m}_0", m, None, None))
+            self.globals.append(
+                _Global(f"g{m}_1", m, None, rng.randint(-60, 60))
+            )
+            self.globals.append(
+                _Global(f"a{m}_0", m, rng.choice([8, 16, 32]), None)
+            )
+        if cfg.big_commons:
+            home = nmods - 1
+            # One array whose byte size lands right on the 16-bit
+            # displacement window, plus mid-size commons so the sorted
+            # placement crosses the boundary inside the run of arrays.
+            straddle = rng.randint(
+                GAT_WINDOW_BYTES // WORD - 6, GAT_WINDOW_BYTES // WORD + 6
+            )
+            self.globals.append(_Global(f"big{home}_0", home, straddle, None))
+            self.globals.append(
+                _Global(f"big{home}_1", home, rng.randint(256, 1024), None)
+            )
+
+        self.helpers: list[_Helper] = []
+        order = 0
+        kinds = ["expr"]
+        if cfg.pointers:
+            kinds.append("walker")
+        if cfg.recursion:
+            kinds.append("recursive")
+        if cfg.switches:
+            kinds.append("switch")
+        for m in range(1, nmods):
+            for j in range(max(1, int(cfg.helpers))):
+                kind = kinds[(order + j) % len(kinds)] if j else rng.choice(kinds)
+                self.helpers.append(_Helper(f"h{m}_{j}", m, kind, order))
+                order += 1
+        if cfg.dead_procs:
+            m = rng.randrange(1, nmods)
+            self.helpers.append(_Helper(f"dead{m}_0", m, "dead", order))
+
+        self.scalars = [g for g in self.globals if g.size is None]
+        self.arrays = [g for g in self.globals if g.size is not None]
+        self.callable = [h for h in self.helpers if h.kind != "dead"]
+
+    # -- expressions ----------------------------------------------------------
+
+    def _array_read(self, g: _Global, ctx: dict, depth: int) -> str:
+        rng = self.rng
+        if rng.random() < 0.5:
+            return f"{g.name}[{rng.randint(0, g.size - 1)}]"
+        mask = (1 << (g.size.bit_length() - 1)) - 1
+        return f"{g.name}[({self._expr(ctx, depth + 1)}) & {mask}]"
+
+    def _leaf(self, ctx: dict, depth: int) -> str:
+        rng = self.rng
+        choices = [
+            lambda: str(rng.randint(-100, 100)),
+            lambda: str(rng.randint(-(2**40), 2**40)),
+            lambda: rng.choice([g.name for g in self.scalars]),
+            lambda: "__fuel",
+        ]
+        if ctx["locals"]:
+            choices.append(lambda: rng.choice(ctx["locals"]))
+        if self.arrays:
+            choices.append(
+                lambda: self._array_read(rng.choice(self.arrays), ctx, depth)
+            )
+        return rng.choice(choices)()
+
+    def _call(self, helper: _Helper, ctx: dict, depth: int) -> str:
+        rng = self.rng
+        if helper.kind == "walker":
+            g = rng.choice(self.arrays)
+            count = rng.randint(1, min(g.size, 16))
+            return f"{helper.name}({g.name}, {count})"
+        if helper.kind == "recursive":
+            return f"{helper.name}({rng.randint(0, 6)}, {self._expr(ctx, depth + 1)})"
+        if helper.kind == "switch":
+            return f"{helper.name}({self._expr(ctx, depth + 1)})"
+        return f"{helper.name}({self._expr(ctx, depth + 1)}, {self._expr(ctx, depth + 1)})"
+
+    def _expr(self, ctx: dict, depth: int = 0) -> str:
+        rng = self.rng
+        if depth >= self.config.max_depth + 1 or rng.random() < 0.3:
+            return self._leaf(ctx, depth)
+        roll = rng.random()
+        if roll < 0.08:
+            return f"(({self._expr(ctx, depth + 1)}) / (({self._expr(ctx, depth + 1)}) | 1))"
+        if roll < 0.14:
+            return f"(({self._expr(ctx, depth + 1)}) % (({self._expr(ctx, depth + 1)}) | 1))"
+        if roll < 0.24:
+            shift = rng.randint(0, 9)
+            direction = rng.choice(["<<", ">>"])
+            return f"(({self._expr(ctx, depth + 1)}) {direction} {shift})"
+        if roll < 0.3:
+            op = rng.choice(["-", "~", "!"])
+            return f"({op}({self._expr(ctx, depth + 1)}))"
+        callables = [h for h in self.callable if h.order < ctx["max_order"]]
+        if roll < 0.45 and callables:
+            return self._call(rng.choice(callables), ctx, depth)
+        op = rng.choice(["+", "-", "*", "&", "|", "^", "<", "<=", "==", "!=", ">"])
+        return f"(({self._expr(ctx, depth + 1)}) {op} ({self._expr(ctx, depth + 1)}))"
+
+    # -- statements -----------------------------------------------------------
+
+    def _assign_target(self, ctx: dict) -> str:
+        rng = self.rng
+        pool = [g.name for g in self.scalars if g.name != "__fuel"]
+        pool += [v for v in ctx["locals"] if v not in _COUNTERS]
+        target = rng.choice(pool + [None])
+        if target is not None:
+            return target
+        g = rng.choice(self.arrays)
+        mask = (1 << (g.size.bit_length() - 1)) - 1
+        return f"{g.name}[({self._expr(ctx, 1)}) & {mask}]"
+
+    def _stmt(self, ctx: dict, depth: int = 0) -> str:
+        rng, cfg = self.rng, self.config
+        roll = rng.random()
+        if roll < 0.3:
+            op = rng.choice(["=", "+=", "-=", "^="])
+            return f"{self._assign_target(ctx)} {op} {self._expr(ctx)};"
+        if roll < 0.42 and ctx["putint"]:
+            return f"__putint({self._expr(ctx)});"
+        if roll < 0.52:
+            callables = [h for h in self.callable if h.order < ctx["max_order"]]
+            if callables:
+                acc = ctx["acc"]
+                return f"{acc} ^= {self._call(rng.choice(callables), ctx, 0)};"
+        if roll < 0.68 and depth < cfg.max_depth:
+            body = " ".join(
+                self._stmt(ctx, depth + 1) for __ in range(rng.randint(1, 2))
+            )
+            other = (
+                f" else {{ {self._stmt(ctx, depth + 1)} }}"
+                if rng.random() < 0.5
+                else ""
+            )
+            return f"if ({self._expr(ctx)}) {{ {body} }}{other}"
+        if roll < 0.8 and depth < min(cfg.max_depth, len(_COUNTERS)):
+            var = _COUNTERS[depth]
+            bound = rng.randint(1, 6)
+            body = " ".join(
+                self._stmt(ctx, depth + 1) for __ in range(rng.randint(1, 2))
+            )
+            return f"for ({var} = 0; {var} < {bound}; {var}++) {{ {body} }}"
+        if roll < 0.88 and cfg.while_loops and depth < cfg.max_depth:
+            # Fuel-guarded: terminates no matter what the condition does.
+            body = self._stmt(ctx, depth + 1)
+            return (
+                f"while ({self._expr(ctx)}) {{ "
+                f"if (__fuel <= 0) {{ break; }} __fuel = __fuel - 1; {body} }}"
+            )
+        if cfg.switches and depth < cfg.max_depth and rng.random() < 0.5:
+            cases = " ".join(
+                f"case {v}: {self._stmt(ctx, depth + 1)} break;"
+                for v in range(rng.randint(3, 6))
+            )
+            return (
+                f"switch (({self._expr(ctx)}) & 7) {{ {cases} "
+                f"default: {self._stmt(ctx, depth + 1)} }}"
+            )
+        return f"{ctx['acc']} ^= {self._expr(ctx)};"
+
+    # -- function bodies ------------------------------------------------------
+
+    def _counter_decls(self) -> list[str]:
+        return [f"int {var} = 0;" for var in _COUNTERS]
+
+    def _helper_lines(self, helper: _Helper) -> list[str]:
+        rng = self.rng
+        ctx = {
+            "locals": [],
+            "acc": "r",
+            "max_order": helper.order,
+            "putint": False,
+        }
+        if helper.kind == "walker":
+            step = rng.choice(["+", "^"])
+            return [
+                f"int {helper.name}(int *p, int n) {{",
+                "    int r = 0;",
+                "    int i = 0;",
+                f"    for (i = 0; i < n; i++) {{ r = (r {step} p[i]) + {rng.randint(1, 9)}; }}",
+                "    return r;",
+                "}",
+            ]
+        if helper.kind == "recursive":
+            ctx["locals"] = ["d", "v"]
+            return [
+                f"int {helper.name}(int d, int v) {{",
+                "    if (d <= 0) { return v; }",
+                "    if (__fuel <= 0) { return v; }",
+                "    __fuel = __fuel - 1;",
+                f"    return {helper.name}(d - 1, {self._expr(ctx)});",
+                "}",
+            ]
+        if helper.kind == "switch":
+            ctx["locals"] = ["x"]
+            ncases = rng.randint(4, 8)
+            lines = [
+                f"int {helper.name}(int x) {{",
+                "    int r = 0;",
+                f"    switch (x & {(1 << (ncases - 1).bit_length()) - 1}) {{",
+            ]
+            for v in range(ncases):
+                lines.append(f"    case {v}: r = {self._expr(ctx)}; break;")
+            lines.append(f"    default: r = {self._expr(ctx)};")
+            lines.append("    }")
+            lines.append("    return r;")
+            lines.append("}")
+            return lines
+        # "expr" and "dead" helpers: parameters plus a couple of
+        # statements over the globals.
+        ctx["locals"] = ["a", "b", "r"]
+        lines = [f"int {helper.name}(int a, int b) {{", "    int r = 0;"]
+        lines += [f"    {d}" for d in self._counter_decls()]
+        for __ in range(rng.randint(1, 2)):
+            lines.append(f"    {self._stmt(ctx)}")
+        lines.append(f"    return (r ^ {self._expr(ctx)});")
+        lines.append("}")
+        return lines
+
+    def _main_lines(self) -> list[str]:
+        rng, cfg = self.rng, self.config
+        ctx = {
+            "locals": ["x", "y", "t"],
+            "acc": "t",
+            "max_order": len(self.helpers) + 1,
+            "putint": True,
+        }
+        lines = [
+            "int main() {",
+            f"    int x = {rng.randint(-10, 10)};",
+            f"    int y = {rng.randint(1, 20)};",
+            "    int t = 0;",
+        ]
+        lines += [f"    {d}" for d in self._counter_decls()]
+        for __ in range(max(1, int(cfg.stmts))):
+            lines.append(f"    {self._stmt(ctx)}")
+        # The dump: every observable, one line per statement so the
+        # reducer can drop irrelevant observations.
+        for g in self.scalars:
+            lines.append(f"    __putint({g.name});")
+        for g in self.arrays:
+            lines.append(
+                f"    for (i = 0; i < {g.size}; i++) {{ t = (t + ({g.name}[i] ^ (i + 1))); }} __putint(t);"
+            )
+        lines.append("    __putint(x);")
+        lines.append("    __putint(y);")
+        lines.append("    __putint(__fuel);")
+        lines.append("    return 0;")
+        lines.append("}")
+        return lines
+
+    # -- assembly -------------------------------------------------------------
+
+    def _extern_lines(self, module: int) -> list[str]:
+        lines = []
+        if module != 0:
+            lines.append("extern int __fuel;")
+        for g in self.globals:
+            if g.module == module:
+                continue
+            if g.size is None:
+                lines.append(f"extern int {g.name};")
+            else:
+                lines.append(f"extern int {g.name}[{g.size}];")
+        for h in self.helpers:
+            if h.module == module or h.kind == "dead":
+                continue
+            sig = {
+                "walker": "int *p, int n",
+                "recursive": "int d, int v",
+                "switch": "int x",
+            }.get(h.kind, "int a, int b")
+            lines.append(f"extern int {h.name}({sig});")
+        return lines
+
+    def _global_lines(self, module: int) -> list[str]:
+        lines = []
+        if module == 0:
+            lines.append(f"int __fuel = {max(1, int(self.config.fuel))};")
+        for g in self.globals:
+            if g.module != module:
+                continue
+            if g.size is not None:
+                lines.append(f"int {g.name}[{g.size}];")
+            elif g.init is None:
+                lines.append(f"int {g.name};")
+            else:
+                lines.append(f"int {g.name} = {g.init};")
+        return lines
+
+    def generate(self) -> GeneratedProgram:
+        self._plan()
+        # Bodies are generated in a fixed order (helpers by module and
+        # index, then main) so the rng stream — and thus the program —
+        # is a pure function of (seed, config).
+        helper_lines: dict[str, list[str]] = {}
+        for helper in self.helpers:
+            helper_lines[helper.name] = self._helper_lines(helper)
+        main_lines = self._main_lines()
+
+        modules: list[tuple[str, str]] = []
+        for m in range(self.nmods):
+            lines = [f"/* fuzz seed={self.seed} module=m{m} */"]
+            lines += self._extern_lines(m)
+            lines += self._global_lines(m)
+            for helper in self.helpers:
+                if helper.module == m:
+                    lines.append("")
+                    lines += helper_lines[helper.name]
+            if m == 0:
+                lines.append("")
+                lines += main_lines
+            modules.append((f"m{m}.mc", "\n".join(lines) + "\n"))
+        return GeneratedProgram(self.seed, self.config, tuple(modules))
+
+
+def generate_program(seed: int, config: GenConfig | None = None) -> GeneratedProgram:
+    """One deterministic program from (seed, config)."""
+    return RichProgramGen(seed, config).generate()

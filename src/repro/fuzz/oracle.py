@@ -1,0 +1,304 @@
+"""The differential oracle: one program, the whole build matrix.
+
+A generated program is compiled in both of the paper's modes
+(compile-each, compile-all) and linked with every link variant — the
+standard linker, OM-simple, OM-full, OM-full+sched, and OM-full+GC
+(the dead-procedure extension, included so the ``gc-drop`` transform
+kind is reachable).  The oracle then asserts:
+
+* **output equality** — all cells print identical simulator output;
+* **termination** — every cell halts within the instruction budget;
+* **monotone non-increasing executed instruction counts** within each
+  mode: OM-simple never executes more than ld (nulled instructions are
+  1-for-1), OM-full / OM-full+sched never more than OM-simple, and GC
+  never more than OM-full.
+
+Each OM link runs with a :class:`~repro.obs.trace.TraceLog` attached;
+the provenance events it fires are distilled into ``(action, pass)``
+coverage pairs — the campaign's guidance signal.
+
+Cell results can round-trip through the content-addressed
+:class:`~repro.cache.ArtifactCache`: keys cover the exact sources,
+mode, variant, and toolchain stamp, so replaying a corpus entry on a
+warm cache performs zero compiles, links, or simulations.
+"""
+
+from __future__ import annotations
+
+import json
+import traceback
+from dataclasses import dataclass, field
+
+from repro.fuzz.coverage import CoveragePair
+from repro.fuzz.generate import GeneratedProgram
+from repro.obs import provenance
+from repro.obs.trace import TraceLog
+from repro.om import OMLevel, OMOptions, om_link
+
+#: Program versions, as in the paper's study.
+MODES = ("each", "all")
+
+#: The OM side of the matrix: variant -> (level, options).
+_OM_SPECS: dict[str, tuple[OMLevel, OMOptions]] = {
+    "om-simple": (OMLevel.SIMPLE, OMOptions()),
+    "om-full": (OMLevel.FULL, OMOptions()),
+    "om-full-sched": (OMLevel.FULL, OMOptions(schedule=True)),
+    "om-full-gc": (OMLevel.FULL, OMOptions(remove_dead_procs=True)),
+}
+
+#: Link variants, in evaluation (and monotonicity) order.
+VARIANTS = ("ld",) + tuple(_OM_SPECS)
+
+#: (smaller-or-equal, reference) pairs the instruction check enforces.
+_MONOTONE = (
+    ("om-simple", "ld"),
+    ("om-full", "om-simple"),
+    ("om-full-sched", "om-simple"),
+    ("om-full-gc", "om-full"),
+)
+
+#: Default per-cell simulator budget; generated programs are tiny.
+DEFAULT_MAX_INSTRUCTIONS = 5_000_000
+
+# Per-process toolchain session (crt0 + stdlib build once per process).
+_SESSION: tuple | None = None
+
+
+def _toolchain():
+    global _SESSION
+    if _SESSION is None:
+        from repro.benchsuite import build_stdlib
+        from repro.linker import make_crt0
+
+        _SESSION = (make_crt0(), build_stdlib())
+    return _SESSION
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One (mode, variant) cell: what it printed and what it cost."""
+
+    output: str
+    instructions: int
+    halted: bool
+    coverage: tuple[CoveragePair, ...] = ()
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One violated oracle invariant."""
+
+    kind: str  # "output" | "instructions" | "runaway" | "build-error"
+    detail: str
+    cells: tuple[str, ...] = ()
+
+
+@dataclass
+class OracleReport:
+    """Everything the matrix said about one program."""
+
+    program: GeneratedProgram
+    cells: dict[str, CellResult] = field(default_factory=dict)
+    divergences: list[Divergence] = field(default_factory=list)
+    coverage: set[CoveragePair] = field(default_factory=set)
+
+    @property
+    def diverged(self) -> bool:
+        return bool(self.divergences)
+
+    def summary(self) -> str:
+        if not self.diverged:
+            return f"seed {self.program.seed}: {len(self.cells)} cells agree"
+        first = self.divergences[0]
+        return (
+            f"seed {self.program.seed}: {first.kind} divergence "
+            f"[{', '.join(first.cells)}] {first.detail}"
+        )
+
+
+def _compile_objects(program: GeneratedProgram, mode: str):
+    from repro.minicc import compile_all, compile_module
+
+    crt0, libmc = _toolchain()
+    if mode == "each":
+        objects = [crt0] + [
+            compile_module(text, name.replace(".mc", ".o"))
+            for name, text in program.modules
+        ]
+    else:
+        objects = [
+            crt0,
+            compile_all([(name, text) for name, text in program.modules], "all.o"),
+        ]
+    return objects, libmc
+
+
+def _run_cell(
+    program: GeneratedProgram, mode: str, variant: str, max_instructions: int
+) -> CellResult:
+    from repro.linker import link
+    from repro.machine import run
+
+    objects, libmc = _compile_objects(program, mode)
+    if variant == "ld":
+        executable = link(objects, [libmc])
+        coverage: tuple[CoveragePair, ...] = ()
+    else:
+        level, options = _OM_SPECS[variant]
+        trace = TraceLog()
+        result = om_link(objects, [libmc], level=level, options=options, trace=trace)
+        executable = result.executable
+        coverage = tuple(
+            sorted(
+                {
+                    (args["action"], args["pass_name"])
+                    for args in provenance.events(trace)
+                }
+            )
+        )
+    outcome = run(executable, timed=False, max_instructions=max_instructions)
+    return CellResult(
+        output=outcome.output,
+        instructions=outcome.instructions,
+        halted=outcome.halted,
+        coverage=coverage,
+    )
+
+
+def _cell_payload(
+    program: GeneratedProgram, mode: str, variant: str, max_instructions: int
+) -> dict:
+    return {
+        "artifact": "fuzz-cell",
+        "sources": [[name, text] for name, text in program.modules],
+        "mode": mode,
+        "variant": variant,
+        "max_instructions": max_instructions,
+    }
+
+
+def _cached_cell(
+    program: GeneratedProgram,
+    mode: str,
+    variant: str,
+    max_instructions: int,
+    cache,
+) -> CellResult:
+    if cache is None:
+        return _run_cell(program, mode, variant, max_instructions)
+    key = cache.key(_cell_payload(program, mode, variant, max_instructions))
+    data = cache.get("fuzz", key)
+    if data is not None:
+        payload = json.loads(data)
+        return CellResult(
+            output=payload["output"],
+            instructions=payload["instructions"],
+            halted=payload["halted"],
+            coverage=tuple((a, p) for a, p in payload["coverage"]),
+        )
+    cell = _run_cell(program, mode, variant, max_instructions)
+    cache.put(
+        "fuzz",
+        key,
+        json.dumps(
+            {
+                "output": cell.output,
+                "instructions": cell.instructions,
+                "halted": cell.halted,
+                "coverage": [list(pair) for pair in cell.coverage],
+            }
+        ).encode(),
+    )
+    return cell
+
+
+def evaluate_program(
+    program: GeneratedProgram,
+    *,
+    cache=None,
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+) -> OracleReport:
+    """Run one program through the full matrix and check every invariant."""
+    report = OracleReport(program)
+    for mode in MODES:
+        for variant in VARIANTS:
+            label = f"{mode}/{variant}"
+            try:
+                cell = _cached_cell(program, mode, variant, max_instructions, cache)
+            except Exception:
+                report.divergences.append(
+                    Divergence(
+                        "build-error",
+                        traceback.format_exc(limit=3).strip().splitlines()[-1],
+                        (label,),
+                    )
+                )
+                return report
+            report.cells[label] = cell
+            report.coverage.update(cell.coverage)
+            if not cell.halted:
+                report.divergences.append(
+                    Divergence(
+                        "runaway",
+                        f"did not halt within {max_instructions} instructions",
+                        (label,),
+                    )
+                )
+
+    by_output: dict[str, list[str]] = {}
+    for label, cell in report.cells.items():
+        by_output.setdefault(cell.output, []).append(label)
+    if len(by_output) > 1:
+        groups = "; ".join(
+            f"[{', '.join(labels)}] -> {output.split()}"
+            for output, labels in by_output.items()
+        )
+        report.divergences.append(
+            Divergence("output", groups, tuple(sorted(report.cells)))
+        )
+
+    for mode in MODES:
+        for smaller, reference in _MONOTONE:
+            low = report.cells.get(f"{mode}/{smaller}")
+            high = report.cells.get(f"{mode}/{reference}")
+            if low is None or high is None:
+                continue
+            if low.instructions > high.instructions:
+                report.divergences.append(
+                    Divergence(
+                        "instructions",
+                        f"{smaller} executed {low.instructions} > "
+                        f"{reference} {high.instructions}",
+                        (f"{mode}/{smaller}", f"{mode}/{reference}"),
+                    )
+                )
+    return report
+
+
+def divergence_predicate(
+    reference: OracleReport, *, cache=None, max_instructions: int | None = None
+):
+    """An interestingness predicate for the reducer.
+
+    A shrunken candidate stays interesting when it still produces a
+    divergence of the same kind as the reference report (any
+    compile-invalid candidate is simply uninteresting).
+    """
+    kind = reference.divergences[0].kind if reference.divergences else None
+    budget = max_instructions or DEFAULT_MAX_INSTRUCTIONS
+
+    def is_interesting(modules) -> bool:
+        candidate = GeneratedProgram(
+            reference.program.seed, reference.program.config, tuple(modules)
+        )
+        try:
+            report = evaluate_program(
+                candidate, cache=cache, max_instructions=budget
+            )
+        except Exception:
+            return False
+        if kind is None:
+            return report.diverged
+        return any(d.kind == kind for d in report.divergences)
+
+    return is_interesting

@@ -1,0 +1,227 @@
+"""Delta-debugging reducer: shrink an interesting program to a repro.
+
+Classic ddmin (Zeller & Hildebrandt) over the *statement lines* of a
+generated program.  The generator emits one statement per line exactly
+so this works: declaration lines, braces, and function signatures are
+structural and always kept, everything else is a removal candidate.
+After ddmin converges the reducer also tries dropping whole procedures
+and whole modules that survived, then re-runs ddmin until a fixpoint —
+the result is 1-minimal at line granularity.
+
+The interestingness predicate is caller-supplied (``modules -> bool``),
+so the same machinery minimizes behavioral divergences, compiler
+crashes, or anything else reproducible from source.  The predicate
+must embed its own validity check (a candidate that fails to compile
+should simply be uninteresting).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.fuzz.generate import GeneratedProgram
+
+Modules = Sequence[tuple[str, str]]
+Predicate = Callable[[Modules], bool]
+
+#: Lines the reducer never removes: structure, declarations, returns.
+_KEEP_PREFIXES = ("/*", "{", "}", "int ", "extern ", "return", "if (__fuel")
+
+_FUNC_RE = re.compile(r"^int\s+(\w+)\s*\(")
+
+
+def _is_candidate(line: str) -> bool:
+    stripped = line.strip()
+    if not stripped:
+        return False
+    if stripped.startswith(_KEEP_PREFIXES):
+        return False
+    if stripped.endswith("{"):
+        return False
+    return True
+
+
+@dataclass
+class ReductionResult:
+    """The minimized program plus how hard the reducer worked."""
+
+    program: GeneratedProgram
+    tests: int = 0
+    removed_lines: int = 0
+    removed_modules: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def modules(self) -> tuple[tuple[str, str], ...]:
+        return self.program.modules
+
+
+class _LineSpace:
+    """A program as kept-line sets, rebuildable into module sources."""
+
+    def __init__(self, modules: Modules):
+        self.names = [name for name, __ in modules]
+        self.lines = [text.splitlines() for __, text in modules]
+        self.candidates: list[tuple[int, int]] = [
+            (m, i)
+            for m, module_lines in enumerate(self.lines)
+            for i, line in enumerate(module_lines)
+            if _is_candidate(line)
+        ]
+
+    def build(self, kept: Sequence[tuple[int, int]]) -> tuple[tuple[str, str], ...]:
+        keep = set(kept)
+        removable = set(self.candidates)
+        out = []
+        for m, (name, module_lines) in enumerate(zip(self.names, self.lines)):
+            body = [
+                line
+                for i, line in enumerate(module_lines)
+                if (m, i) not in removable or (m, i) in keep
+            ]
+            out.append((name, "\n".join(body) + "\n"))
+        return tuple(out)
+
+
+def _chunks(items: list, n: int) -> list[list]:
+    size = max(1, len(items) // n)
+    out = [items[i : i + size] for i in range(0, len(items), size)]
+    return out[:n] if len(out) <= n else out[: n - 1] + [sum(out[n - 1 :], [])]
+
+
+def _ddmin(space: _LineSpace, test: Callable, budget: list[int]) -> list:
+    """Minimize the kept candidate set; ``test`` takes a kept-list."""
+    current = list(space.candidates)
+    if not current:
+        return current
+    n = 2
+    while len(current) >= 2 and budget[0] > 0:
+        shrunk = False
+        pieces = _chunks(current, n)
+        for piece in pieces:
+            trial = [item for item in current if item not in set(piece)]
+            budget[0] -= 1
+            if test(trial):
+                current = trial
+                n = max(2, n - 1)
+                shrunk = True
+                break
+            if budget[0] <= 0:
+                break
+        if not shrunk:
+            if n >= len(current):
+                break
+            n = min(len(current), 2 * n)
+    # 1-minimality sweep: no single remaining line is removable.
+    for item in list(current):
+        if budget[0] <= 0:
+            break
+        trial = [other for other in current if other != item]
+        budget[0] -= 1
+        if test(trial):
+            current = trial
+    return current
+
+
+def _function_spans(text: str) -> list[tuple[str, int, int]]:
+    """(name, first_line, last_line) for each top-level function."""
+    lines = text.splitlines()
+    spans = []
+    start = None
+    name = None
+    for i, line in enumerate(lines):
+        match = _FUNC_RE.match(line)
+        if match and line.rstrip().endswith("{") and start is None:
+            start, name = i, match.group(1)
+        elif start is not None and line.startswith("}"):
+            spans.append((name, start, i))
+            start = None
+    return spans
+
+
+def _drop_unreferenced(
+    modules: Modules, test: Predicate, budget: list[int]
+) -> tuple[tuple[tuple[str, str], ...], bool, int]:
+    """Try removing whole functions nothing else calls, then whole modules."""
+    modules = tuple(modules)
+    changed = False
+    removed_modules = 0
+    for m, (name, text) in enumerate(modules):
+        for func, start, end in reversed(_function_spans(text)):
+            if func == "main":
+                continue
+            # References elsewhere; extern declarations don't count.
+            others = "\n".join(
+                line
+                for j, (__, t) in enumerate(modules)
+                for i, line in enumerate(t.splitlines())
+                if not line.lstrip().startswith("extern ")
+                and not (j == m and start <= i <= end)
+            )
+            if re.search(rf"\b{func}\s*\(", others):
+                continue
+            lines = text.splitlines()
+            trial_text = "\n".join(lines[:start] + lines[end + 1 :]) + "\n"
+            trial = modules[:m] + ((name, trial_text),) + modules[m + 1 :]
+            if budget[0] <= 0:
+                return modules, changed, removed_modules
+            budget[0] -= 1
+            if test(trial):
+                modules = trial
+                text = trial_text
+                changed = True
+    for m in range(len(modules) - 1, 0, -1):  # never drop m0 (holds main)
+        trial = modules[:m] + modules[m + 1 :]
+        if budget[0] <= 0:
+            break
+        budget[0] -= 1
+        if test(trial):
+            modules = trial
+            changed = True
+            removed_modules += 1
+    return modules, changed, removed_modules
+
+
+def reduce_program(
+    program: GeneratedProgram,
+    is_interesting: Predicate,
+    *,
+    max_tests: int = 2000,
+) -> ReductionResult:
+    """Shrink ``program`` while ``is_interesting(modules)`` stays true.
+
+    Returns the original program untouched (with a note) if the
+    predicate does not hold on it — a reducer must never "minimize" a
+    program into exhibiting a failure it didn't have.
+    """
+    result = ReductionResult(program)
+    budget = [max_tests]
+    if not is_interesting(program.modules):
+        result.notes.append("predicate false on input; nothing to reduce")
+        return result
+    result.tests += 1
+
+    modules = program.modules
+    before_lines = sum(text.count("\n") for __, text in modules)
+    while True:
+        space = _LineSpace(modules)
+        spent = budget[0]
+        kept = _ddmin(space, lambda trial: is_interesting(space.build(trial)), budget)
+        modules = space.build(kept)
+        result.tests += spent - budget[0]
+        spent = budget[0]
+        modules, changed, dropped = _drop_unreferenced(modules, is_interesting, budget)
+        result.tests += spent - budget[0]
+        result.removed_modules += dropped
+        if not changed or budget[0] <= 0:
+            break
+
+    after_lines = sum(text.count("\n") for __, text in modules)
+    result.removed_lines = before_lines - after_lines
+    result.program = dataclasses.replace(program, modules=tuple(modules))
+    if budget[0] <= 0:
+        result.notes.append(f"test budget ({max_tests}) exhausted")
+    return result

@@ -354,23 +354,56 @@ def _eliminate_dead_code(func: ir.IRFunc) -> bool:
 # -- branch simplification -----------------------------------------------------------
 
 
+def _reachable_indices(body: list[ir.Instr]) -> set[int]:
+    """Indices of instructions reachable from the function entry.
+
+    Reachability must follow the control-flow graph, not adjacency: a
+    folded branch can leave whole label-reached blocks orphaned, and
+    any instruction surviving in such a block may use a vreg whose
+    (also unreachable) definition dead-code elimination already
+    removed — which codegen would then reject.
+    """
+    starts: dict[str, int] = {}
+    for index, instr in enumerate(body):
+        if isinstance(instr, ir.Label):
+            starts[instr.name] = index
+
+    reachable: set[int] = set()
+    work = [0]
+    while work:
+        index = work.pop()
+        while index < len(body) and index not in reachable:
+            reachable.add(index)
+            instr = body[index]
+            if isinstance(instr, ir.Jump):
+                if instr.target in starts:
+                    work.append(starts[instr.target])
+                break
+            if isinstance(instr, ir.CJump):
+                for target in (instr.if_true, instr.if_false):
+                    if target in starts:
+                        work.append(starts[target])
+                break
+            if isinstance(instr, ir.JumpTable):
+                for target in instr.labels:
+                    if target in starts:
+                        work.append(starts[target])
+                break
+            if isinstance(instr, ir.Ret):
+                break
+            index += 1
+    return reachable
+
+
 def _simplify_branches(func: ir.IRFunc) -> bool:
     changed = False
     body = func.body
 
-    # Remove unreachable instructions after an unconditional transfer.
-    reachable: list[ir.Instr] = []
-    skipping = False
-    for instr in body:
-        if isinstance(instr, ir.Label):
-            skipping = False
-        if skipping:
-            changed = True
-            continue
-        reachable.append(instr)
-        if isinstance(instr, (ir.Jump, ir.Ret, ir.JumpTable)):
-            skipping = True
-    body = reachable
+    # Remove unreachable code, by control-flow reachability from entry.
+    alive = _reachable_indices(body)
+    if len(alive) != len(body):
+        body = [instr for index, instr in enumerate(body) if index in alive]
+        changed = True
 
     # Thread jumps to labels that immediately jump elsewhere, and drop
     # jumps to the very next label.

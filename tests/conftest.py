@@ -1,14 +1,43 @@
-"""Shared fixtures: the stdlib archive and small helper toolchains."""
+"""Shared fixtures, plus the repo-wide hypothesis settings profiles.
+
+Two profiles are registered for every property test:
+
+* ``local`` (default) — no deadline (compile+simulate examples are
+  slow and timing-noisy), normal randomized exploration;
+* ``ci`` — additionally derandomized, so CI failures are always
+  reproducible and runs never flake on example choice.  Selected
+  automatically when ``$CI`` is set, or explicitly with
+  ``--hypothesis-profile=ci``.
+
+Individual tests still pin ``max_examples`` via ``@settings`` where
+the example cost warrants it.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.benchsuite import build_stdlib
 from repro.linker import link, make_crt0
 from repro.machine import run
 from repro.minicc import compile_module
 from repro.objfile.archive import Archive
+
+settings.register_profile(
+    "local",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci",
+    settings.get_profile("local"),
+    derandomize=True,
+    print_blob=True,
+)
+settings.load_profile("ci" if os.environ.get("CI") else "local")
 
 
 @pytest.fixture(scope="session")

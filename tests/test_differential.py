@@ -8,103 +8,14 @@ numbers.  This cross-checks constant folding vs. machine semantics,
 inlining, scheduling, and every OM transformation at once.
 """
 
-import random
-
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.fuzz.generate import ProgramGen
 from repro.linker import link
 from repro.machine import run
 from repro.minicc import compile_all, compile_module
 from repro.om import OMLevel, OMOptions, om_link
-
-
-class ProgramGen:
-    """Generates a two-module program from a seed."""
-
-    def __init__(self, seed: int):
-        self.rng = random.Random(seed)
-        self.depth = 0
-
-    def expr(self, depth: int = 0) -> str:
-        rng = self.rng
-        if depth > 2 or rng.random() < 0.35:
-            return rng.choice(
-                [
-                    str(rng.randint(-100, 100)),
-                    str(rng.randint(-(2**40), 2**40)),
-                    "ga",
-                    "gb",
-                    "arr[%d]" % rng.randint(0, 7),
-                    "x",
-                    "y",
-                ]
-            )
-        op = rng.choice(["+", "-", "*", "&", "|", "^", "<", "<=", "==", "!="])
-        if rng.random() < 0.15:
-            # Guarded division: denominator forced odd (nonzero).
-            return f"(({self.expr(depth + 1)}) / (({self.expr(depth + 1)}) | 1))"
-        if rng.random() < 0.1:
-            return f"(({self.expr(depth + 1)}) %% (({self.expr(depth + 1)}) | 1))".replace("%%", "%")
-        if rng.random() < 0.15:
-            shift = rng.randint(0, 8)
-            direction = rng.choice(["<<", ">>"])
-            return f"(({self.expr(depth + 1)}) {direction} {shift})"
-        if rng.random() < 0.2:
-            return f"twist({self.expr(depth + 1)})"
-        return f"(({self.expr(depth + 1)}) {op} ({self.expr(depth + 1)}))"
-
-    def stmt(self, depth: int = 0) -> str:
-        rng = self.rng
-        roll = rng.random()
-        if roll < 0.35:
-            target = rng.choice(["ga", "gb", "x", "y", f"arr[{rng.randint(0, 7)}]"])
-            op = rng.choice(["=", "+=", "-=", "^="])
-            return f"{target} {op} {self.expr()};"
-        if roll < 0.5:
-            return f"__putint({self.expr()});"
-        if roll < 0.7 and depth < 2:
-            body = " ".join(self.stmt(depth + 1) for __ in range(rng.randint(1, 3)))
-            other = (
-                f" else {{ {self.stmt(depth + 1)} }}" if rng.random() < 0.5 else ""
-            )
-            return f"if ({self.expr()}) {{ {body} }}{other}"
-        if roll < 0.85 and depth < 2:
-            bound = rng.randint(1, 6)
-            var = ["i", "j", "k"][depth]  # distinct per depth: nested
-            # loops sharing a counter would never terminate
-            body = " ".join(self.stmt(depth + 1) for __ in range(rng.randint(1, 2)))
-            return f"for ({var} = 0; {var} < {bound}; {var}++) {{ {body} }}"
-        return f"y = twist({self.expr()});"
-
-    def module_pair(self) -> tuple[str, str]:
-        rng = self.rng
-        body = " ".join(self.stmt() for __ in range(rng.randint(3, 7)))
-        main = f"""
-        int ga;
-        int gb = {rng.randint(-50, 50)};
-        int arr[8];
-        extern int twist(int v);
-        int main() {{
-            int x = {rng.randint(-10, 10)};
-            int y = 1;
-            int i;
-            int j;
-            int k;
-            {body}
-            __putint(ga); __putint(gb); __putint(x); __putint(y);
-            for (i = 0; i < 8; i++) {{ __putint(arr[i]); }}
-            return 0;
-        }}
-        """
-        helper = f"""
-        int tcount;
-        int twist(int v) {{
-            tcount = tcount + 1;
-            return (v ^ {rng.randint(1, 99)}) + (v >> 3) - tcount;
-        }}
-        """
-        return main, helper
 
 
 def build_all_variants(main_src: str, helper_src: str, crt0, libmc):
@@ -134,7 +45,7 @@ def build_all_variants(main_src: str, helper_src: str, crt0, libmc):
     return outputs
 
 
-@settings(max_examples=15, deadline=None)
+@settings(max_examples=15)
 @given(seed=st.integers(0, 10_000))
 def test_random_programs_all_variants_agree(seed, crt0, libmc):
     main_src, helper_src = ProgramGen(seed).module_pair()

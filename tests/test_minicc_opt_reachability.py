@@ -1,0 +1,94 @@
+"""Regression: unreachable-code removal must follow the CFG.
+
+The fuzzer's first catch: a nested switch (with a call in the inner
+scrutinee) inside an outer switch's case body left orphaned label
+blocks behind after branch simplification.  The old sweep was purely
+syntactic — skip instructions after a terminator until the next label —
+so a block whose *only* predecessors had been simplified away survived,
+kept using vregs whose defining instructions DCE had removed, and
+codegen failed with "use of undefined temporary".
+"""
+
+from repro.minicc import ir
+from repro.minicc.irgen import lower_module
+from repro.minicc.opt import optimize_function
+from repro.minicc.parser import parse
+
+NESTED_SWITCH = """
+int ga;
+int gb;
+int h(int v) { return v + 1; }
+int main() {
+    int x = -4;
+    int t = 0;
+    int j = 0;
+    switch (x) {
+    case 2:
+        switch (h(x)) {
+        case 2: t ^= 1; break;
+        case 3: t = 2; break;
+        default: ga = 1;
+        }
+        break;
+    default: for (j = 0; j < 3; j++) { gb += 1; }
+    }
+    __putint(t);
+    __putint(ga);
+    __putint(gb);
+    return 0;
+}
+"""
+
+
+_USE_FIELDS = ("src", "base", "a", "b", "cond", "index", "func", "arg")
+
+
+def _orphan_uses(func: ir.IRFunc) -> list[str]:
+    """Vregs read by some instruction but defined by none."""
+    defined = set(range(len(func.params)))
+    for instr in func.body:
+        dst = getattr(instr, "dst", None)
+        if dst is not None:
+            defined.add(dst)
+    problems = []
+    for instr in func.body:
+        uses = [
+            use
+            for name in _USE_FIELDS
+            for use in [getattr(instr, name, None)]
+            if isinstance(use, int)
+        ]
+        uses.extend(getattr(instr, "args", ()) or ())
+        problems.extend(
+            f"v{use} used by {instr!r}" for use in uses if use not in defined
+        )
+    return problems
+
+
+def test_nested_switch_optimizes_without_orphan_uses():
+    module = lower_module(parse(NESTED_SWITCH, "t.c"))
+    for func in module.functions:
+        optimize_function(func)
+        assert not _orphan_uses(func)
+
+
+def test_nested_switch_compiles_and_runs(toolchain):
+    result = toolchain(NESTED_SWITCH)
+    assert result.output.split() == ["0", "0", "3"]
+
+
+def test_unreachable_block_after_constant_branch_is_dropped(toolchain):
+    # The branch folds to always-true; the else block (and the orphan
+    # label block it jumps through) must disappear, not linger with
+    # dangling operands.
+    source = """
+    int f(int v) { return v * 2; }
+    int main() {
+        int t = 0;
+        if (1) { t = f(3); } else { t = f(f(5)); }
+        __putint(t);
+        return 0;
+    }
+    """
+    result = toolchain(source)
+    assert result.output.split() == ["6"]

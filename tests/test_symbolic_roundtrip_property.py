@@ -6,17 +6,12 @@ must reproduce the module byte-for-byte, relocations included — the
 losslessness the paper's "key idea" rests on.
 """
 
-import sys
-from pathlib import Path
-
 from hypothesis import HealthCheck, given, settings, strategies as st
 
+from repro.fuzz.generate import ProgramGen
 from repro.minicc import Options, compile_module
 from repro.objfile.sections import SectionKind
 from repro.om.symbolic import reassemble_module, translate_module
-
-sys.path.insert(0, str(Path(__file__).parent))
-from test_differential import ProgramGen  # noqa: E402
 
 
 def assert_roundtrip(obj):
@@ -38,7 +33,7 @@ def assert_roundtrip(obj):
     }
 
 
-@settings(max_examples=20, deadline=None,
+@settings(max_examples=20,
           suppress_health_check=[HealthCheck.function_scoped_fixture])
 @given(seed=st.integers(0, 10_000), schedule=st.booleans())
 def test_random_modules_roundtrip(seed, schedule):
