@@ -24,6 +24,12 @@ Two observability subcommands exist alongside the figures:
 * ``profile <prog>`` — per-procedure cycle/instruction attribution
   and executed address-calculation overhead for one build.
 
+``layout <prog>`` compares one program's om-full build against the
+profile-fed ``om-full-layout`` build (the closed PGO loop): identical
+output, jsr->bsr conversions, executed GAT loads, cycles, and the
+layout subsystem's telemetry.  Exits non-zero if any layout invariant
+fails.
+
 ``fuzz`` runs the provenance-guided differential fuzzer
 (:mod:`repro.fuzz`): seeded random MiniC programs through the full
 (mode × link-variant) matrix, divergences minimized and persisted to
@@ -34,6 +40,7 @@ mismatch.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import sys
 from pathlib import Path
@@ -51,9 +58,16 @@ _FIGURES = {
     "fig7": (figures.fig7_rows, False),
     "gat": (figures.gat_rows, False),
     "overhead": (figures.overhead_rows, False),
+    "pgo": (figures.pgo_rows, False),
 }
 
-_EXPLAIN_VARIANTS = ("om-none", "om-simple", "om-full", "om-full-sched")
+_EXPLAIN_VARIANTS = (
+    "om-none",
+    "om-simple",
+    "om-full",
+    "om-full-sched",
+    "om-full-layout",
+)
 
 
 def _explain(argv) -> int:
@@ -76,14 +90,19 @@ def _explain(argv) -> int:
 
     configure_cache(None)
     objects, lib = build.copies_for(args.program, args.mode, args.scale)
-    level, schedule = build._LEVELS[args.variant]
+    level, options = build._LEVELS[args.variant]
+    profile_in = None
+    base = build.FEEDBACK_VARIANTS.get(args.variant)
+    if base:
+        profile_in = build.profile_variant(args.program, args.mode, base, args.scale)
     trace = TraceLog()
     result = om_link(
         objects,
         [lib],
         level=level,
-        options=OMOptions(schedule=schedule, verify=True),
+        options=dataclasses.replace(options, verify=True),
         trace=trace,
+        profile=profile_in,
     )
 
     lines = provenance.explain_lines(trace, proc=args.proc)
@@ -160,6 +179,62 @@ def _profile(argv) -> int:
     return 0
 
 
+def _layout(argv) -> int:
+    """Compare one program's om-full link against the PGO closed loop."""
+    parser = argparse.ArgumentParser(prog="repro.experiments layout")
+    parser.add_argument("program")
+    parser.add_argument("--mode", choices=("each", "all"), default="each")
+    parser.add_argument("--scale", type=int, default=None)
+    parser.add_argument("--cache-dir", type=str, default=None)
+    parser.add_argument("--no-cache", action="store_true")
+    args = parser.parse_args(argv)
+
+    from repro.experiments import build
+
+    configure_cache(_resolve_cache(args.cache_dir, args.no_cache))
+    base = build.variant_stats(args.program, args.mode, "om-full", args.scale)
+    layout = build.variant_stats(
+        args.program, args.mode, "om-full-layout", args.scale
+    )
+    base_prof = build.profile_variant(
+        args.program, args.mode, "om-full", args.scale
+    )
+    layout_prof = build.profile_variant(
+        args.program, args.mode, "om-full-layout", args.scale
+    )
+
+    identical = layout_prof.run.output == base_prof.run.output
+    print(f"layout {args.program}/{args.mode}: "
+          f"outputs identical: {'OK' if identical else 'FAIL'}")
+    print(
+        f"jsr->bsr: om-full={base.counters.jsr_to_bsr} "
+        f"om-full-layout={layout.counters.jsr_to_bsr}"
+    )
+    print(
+        f"executed GAT loads: om-full={base_prof.overhead.gat_loads} "
+        f"om-full-layout={layout_prof.overhead.gat_loads}"
+    )
+    saved = base_prof.run.cycles - layout_prof.run.cycles
+    print(
+        f"cycles: om-full={base_prof.run.cycles} "
+        f"om-full-layout={layout_prof.run.cycles} "
+        f"({100.0 * saved / max(base_prof.run.cycles, 1):+.3f}%)"
+    )
+    print(
+        f"layout: procs_moved={layout.stats.procs_moved} "
+        f"relax_iterations={layout.stats.relax_iterations} "
+        f"relax_demoted={layout.stats.relax_demoted}"
+    )
+    ok = (
+        identical
+        and layout.counters.jsr_to_bsr >= base.counters.jsr_to_bsr
+        and layout_prof.overhead.gat_loads <= base_prof.overhead.gat_loads
+    )
+    if not ok:
+        print("layout invariants: FAIL")
+    return 0 if ok else 1
+
+
 def _resolve_cache(cache_dir: str | None, no_cache: bool) -> ArtifactCache | None:
     if no_cache:
         return None
@@ -224,11 +299,14 @@ def main(argv=None) -> int:
         return _profile(argv[1:])
     if argv and argv[0] == "fuzz":
         return _fuzz(argv[1:])
+    if argv and argv[0] == "layout":
+        return _layout(argv[1:])
 
     parser = argparse.ArgumentParser(prog="repro.experiments")
     parser.add_argument(
         "figure",
-        choices=sorted(_FIGURES) + ["all", "summary", "explain", "profile", "fuzz"],
+        choices=sorted(_FIGURES)
+        + ["all", "summary", "explain", "profile", "fuzz", "layout"],
     )
     parser.add_argument("--scale", type=int, default=None)
     parser.add_argument("--programs", type=str, default=None)

@@ -30,12 +30,7 @@ from repro.cache import ArtifactCache
 from repro.linker import link, make_crt0
 from repro.linker.executable import Executable, dump_executable, load_executable
 from repro.machine import RunResult, run
-from repro.machine.profile import (
-    OverheadCounts,
-    ProcProfile,
-    ProfileResult,
-    profile,
-)
+from repro.machine.profile import ProfileResult, profile
 from repro.minicc import Options
 from repro.objfile.archive import Archive
 from repro.objfile.serialize import dump_archive, load_archive
@@ -43,13 +38,25 @@ from repro.om import OMLevel, OMOptions, OMResult, om_link
 from repro.om.stats import CodeCounts, OMStats
 from repro.om.transform import PassCounters
 
-VARIANTS = ("ld", "om-none", "om-simple", "om-full", "om-full-sched")
+VARIANTS = (
+    "ld",
+    "om-none",
+    "om-simple",
+    "om-full",
+    "om-full-sched",
+    "om-full-layout",
+)
+
+#: Variants whose link consumes a profile of another variant's run
+#: (the closed PGO loop).  Each feeds on the named base variant.
+FEEDBACK_VARIANTS = {"om-full-layout": "om-full"}
 
 _LEVELS = {
-    "om-none": (OMLevel.NONE, False),
-    "om-simple": (OMLevel.SIMPLE, False),
-    "om-full": (OMLevel.FULL, False),
-    "om-full-sched": (OMLevel.FULL, True),
+    "om-none": (OMLevel.NONE, OMOptions()),
+    "om-simple": (OMLevel.SIMPLE, OMOptions()),
+    "om-full": (OMLevel.FULL, OMOptions()),
+    "om-full-sched": (OMLevel.FULL, OMOptions(schedule=True)),
+    "om-full-layout": (OMLevel.FULL, OMOptions(layout=True, relax=True)),
 }
 
 #: The process-wide disk cache; None means in-process memoization only.
@@ -79,8 +86,13 @@ def active_cache() -> ArtifactCache | None:
 
 
 def _om_payload(variant: str) -> dict:
-    level, schedule = _LEVELS[variant]
-    return {"level": level.value, **asdict(OMOptions(schedule=schedule))}
+    level, options = _LEVELS[variant]
+    payload = {"level": level.value, **asdict(options)}
+    if variant in FEEDBACK_VARIANTS:
+        # The feedback link depends on the base variant's profiled run;
+        # naming it in the key keeps the cells content-addressed.
+        payload["feedback"] = FEEDBACK_VARIANTS[variant]
+    return payload
 
 
 def _build_payload(name: str, mode: str, scale: int | None) -> dict:
@@ -139,16 +151,11 @@ def _load_om_result(data: bytes) -> OMResult:
 
 
 def _dump_profile_result(result: ProfileResult) -> bytes:
-    return json.dumps(asdict(result)).encode()
+    return result.to_json()
 
 
 def _load_profile_result(data: bytes) -> ProfileResult:
-    payload = json.loads(data)
-    return ProfileResult(
-        run=RunResult(**payload["run"]),
-        procs=[ProcProfile(**proc) for proc in payload["procs"]],
-        overhead=OverheadCounts(**payload["overhead"]),
-    )
+    return ProfileResult.from_json(data)
 
 
 # -- build stages --------------------------------------------------------------
@@ -227,9 +234,12 @@ def variant_stats(
         if data is not None:
             return _load_om_result(data)
     objects, lib = copies_for(name, mode, scale)
-    level, schedule = _LEVELS[variant]
+    level, options = _LEVELS[variant]
+    profile_in = None
+    if variant in FEEDBACK_VARIANTS:
+        profile_in = profile_variant(name, mode, FEEDBACK_VARIANTS[variant], scale)
     result = om_link(
-        objects, [lib], level=level, options=OMOptions(schedule=schedule)
+        objects, [lib], level=level, options=options, profile=profile_in
     )
     if _cache is not None:
         _cache.put("omresult", key, _dump_om_result(result))

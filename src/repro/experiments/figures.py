@@ -166,6 +166,74 @@ def overhead_rows(programs=None, scale: int | None = None):
     return keys, _with_mean(rows, keys)
 
 
+def pgo_rows(programs=None, scale: int | None = None):
+    """The closed PGO loop: om-full vs. profile-fed om-full-layout.
+
+    Per program (compile-each): cycles on both sides and the percent
+    saved, direct-call bsr conversions and the conversion rate, executed
+    GAT address loads, and the layout subsystem's own telemetry
+    (procedures moved, relaxation iterations/demotions).
+
+    Invariants are asserted, not just reported: the layout build must
+    produce byte-identical output, must convert at least as many call
+    sites to bsr, and must not execute more GAT loads.
+    """
+    keys = [
+        "full_cycles",
+        "layout_cycles",
+        "cycles_delta_pct",
+        "full_bsr",
+        "layout_bsr",
+        "layout_bsr_rate",
+        "full_gat_exec",
+        "layout_gat_exec",
+        "procs_moved",
+        "relax_iters",
+    ]
+    rows = []
+    for name in _selected(programs):
+        base = variant_stats(name, "each", "om-full", scale)
+        layout = variant_stats(name, "each", "om-full-layout", scale)
+        base_prof = profile_variant(name, "each", "om-full", scale)
+        layout_prof = profile_variant(name, "each", "om-full-layout", scale)
+        if layout_prof.run.output != base_prof.run.output:
+            raise AssertionError(
+                f"{name}: om-full-layout output diverges from om-full"
+            )
+        if layout.counters.jsr_to_bsr < base.counters.jsr_to_bsr:
+            raise AssertionError(
+                f"{name}: layout converted fewer jsr->bsr "
+                f"({layout.counters.jsr_to_bsr} < {base.counters.jsr_to_bsr})"
+            )
+        if layout_prof.overhead.gat_loads > base_prof.overhead.gat_loads:
+            raise AssertionError(
+                f"{name}: layout executed more GAT loads "
+                f"({layout_prof.overhead.gat_loads} > "
+                f"{base_prof.overhead.gat_loads})"
+            )
+        direct_calls = max(
+            layout.stats.before.calls - layout.stats.before.indirect_calls, 1
+        )
+        rows.append(
+            {
+                "program": name,
+                "full_cycles": base_prof.run.cycles,
+                "layout_cycles": layout_prof.run.cycles,
+                "cycles_delta_pct": 100.0
+                * (base_prof.run.cycles - layout_prof.run.cycles)
+                / max(base_prof.run.cycles, 1),
+                "full_bsr": base.counters.jsr_to_bsr,
+                "layout_bsr": layout.counters.jsr_to_bsr,
+                "layout_bsr_rate": layout.counters.jsr_to_bsr / direct_calls,
+                "full_gat_exec": base_prof.overhead.gat_loads,
+                "layout_gat_exec": layout_prof.overhead.gat_loads,
+                "procs_moved": layout.stats.procs_moved,
+                "relax_iters": layout.stats.relax_iterations,
+            }
+        )
+    return keys, _with_mean(rows, keys)
+
+
 def profile_rows(
     name: str,
     mode: str = "each",

@@ -52,6 +52,13 @@ _FIGURE_PLANS: dict[str, dict] = {
     # Dynamic address-calculation overhead: profiled runs of the
     # standard link vs. OM-full.
     "overhead": {"modes": ("each",), "profiles": ("ld", "om-full")},
+    # Closed PGO loop: the om-full profile feeds the om-full-layout
+    # link; profiled runs of both sides measure the payoff.
+    "pgo": {
+        "modes": ("each",),
+        "stats": ("om-full", "om-full-layout"),
+        "profiles": ("om-full", "om-full-layout"),
+    },
     # The summary needs Figs. 3-5 and GAT stats plus the no-sched
     # dynamic comparison of Fig. 6.
     "summary": {
@@ -102,6 +109,15 @@ def plan_cells(figures, programs=None) -> Plan:
     # Every run and profile depends on its link.
     links.update(runs)
     links.update(profiles)
+    # Feedback links additionally consume a profiled run of their base
+    # variant; pull those cells (and the base links) into the plan.
+    from repro.experiments.build import FEEDBACK_VARIANTS
+
+    for name, mode, variant in list(links):
+        base = FEEDBACK_VARIANTS.get(variant)
+        if base:
+            profiles.add((name, mode, base))
+            links.add((name, mode, base))
     return Plan(
         tuple(sorted(builds)),
         tuple(sorted(links)),
@@ -254,14 +270,29 @@ def _worker_init(cache_root: str, stamp: str) -> None:
 
 
 def _run_inline(plan: Plan, scale, metrics: PipelineMetrics) -> None:
+    from repro.experiments.build import FEEDBACK_VARIANTS
+
+    feedback = [c for c in plan.links if c[2] in FEEDBACK_VARIANTS]
+    base_profiles = {
+        (name, mode, FEEDBACK_VARIANTS[variant])
+        for name, mode, variant in feedback
+    }
     for name, mode in plan.builds:
         metrics.record(_execute_cell("build", name, mode, None, scale))
-    for name, mode, variant in plan.links:
-        metrics.record(_execute_cell("link", name, mode, variant, scale))
-    for name, mode, variant in plan.runs:
-        metrics.record(_execute_cell("run", name, mode, variant, scale))
-    for name, mode, variant in plan.profiles:
-        metrics.record(_execute_cell("profile", name, mode, variant, scale))
+    for cell in plan.links:
+        if cell not in feedback:
+            metrics.record(_execute_cell("link", *cell, scale))
+    # Base profiles before the feedback links that consume them.
+    for cell in plan.profiles:
+        if cell in base_profiles:
+            metrics.record(_execute_cell("profile", *cell, scale))
+    for cell in feedback:
+        metrics.record(_execute_cell("link", *cell, scale))
+    for cell in plan.runs:
+        metrics.record(_execute_cell("run", *cell, scale))
+    for cell in plan.profiles:
+        if cell not in base_profiles:
+            metrics.record(_execute_cell("profile", *cell, scale))
 
 
 def _run_parallel(plan: Plan, scale, jobs: int, metrics: PipelineMetrics) -> None:
@@ -269,8 +300,15 @@ def _run_parallel(plan: Plan, scale, jobs: int, metrics: PipelineMetrics) -> Non
 
     cache = build.active_cache()
     links_by_build: dict[tuple[str, str], list] = {}
+    feedback_by_profile: dict[tuple[str, str, str], list] = {}
     for cell in plan.links:
-        links_by_build.setdefault(cell[:2], []).append(cell)
+        base = build.FEEDBACK_VARIANTS.get(cell[2])
+        base_profile = (cell[0], cell[1], base) if base else None
+        if base_profile is not None and base_profile in plan.profiles:
+            # Feedback links wait for their base variant's profile.
+            feedback_by_profile.setdefault(base_profile, []).append(cell)
+        else:
+            links_by_build.setdefault(cell[:2], []).append(cell)
     runs_by_link: dict[tuple[str, str, str], list] = {}
     for cell in plan.runs:
         runs_by_link.setdefault(cell, []).append(("run", cell))
@@ -307,6 +345,14 @@ def _run_parallel(plan: Plan, scale, jobs: int, metrics: PipelineMetrics) -> Non
                             _execute_cell, substage, cell[0], cell[1], cell[2], scale
                         )
                         pending[sub] = (substage, *cell)
+                if stage == "profile":
+                    for cell in feedback_by_profile.get(
+                        (name, mode, variant), ()
+                    ):
+                        sub = pool.submit(
+                            _execute_cell, "link", cell[0], cell[1], cell[2], scale
+                        )
+                        pending[sub] = ("link", *cell)
 
 
 def prewarm(

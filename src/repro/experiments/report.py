@@ -39,6 +39,13 @@ PAPER_REFERENCE = {
         "calculation: OM-full removes essentially every PV load and "
         "GP-setup pair and a large share of GAT address loads."
     ),
+    "pgo": (
+        "Extension beyond the paper: a profiled run feeds procedure "
+        "reordering (Pettis-Hansen), hot COMMON placement inside the "
+        "16-bit GP window, and exact jsr->bsr relaxation.  Invariants "
+        "(checked, not just reported): identical output, jsr->bsr "
+        "never decreases, executed GAT loads never increase."
+    ),
 }
 
 

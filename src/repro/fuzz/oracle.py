@@ -2,16 +2,21 @@
 
 A generated program is compiled in both of the paper's modes
 (compile-each, compile-all) and linked with every link variant — the
-standard linker, OM-simple, OM-full, OM-full+sched, and OM-full+GC
+standard linker, OM-simple, OM-full, OM-full+sched, OM-full+GC
 (the dead-procedure extension, included so the ``gc-drop`` transform
-kind is reachable).  The oracle then asserts:
+kind is reachable), and OM-full+layout (the closed PGO loop: the cell
+itself links OM-full, profiles its run, and feeds the profile back
+into a layout-enabled relink, reaching ``reorder``/``hot-place``/
+``relax``).  The oracle then asserts:
 
 * **output equality** — all cells print identical simulator output;
 * **termination** — every cell halts within the instruction budget;
 * **monotone non-increasing executed instruction counts** within each
   mode: OM-simple never executes more than ld (nulled instructions are
-  1-for-1), OM-full / OM-full+sched never more than OM-simple, and GC
-  never more than OM-full.
+  1-for-1), OM-full / OM-full+sched / OM-full+layout never more than
+  OM-simple, and GC never more than OM-full;
+* **GAT-load monotonicity** — the layout cell never executes more GAT
+  address loads than its OM-full base.
 
 Each OM link runs with a :class:`~repro.obs.trace.TraceLog` attached;
 the provenance events it fires are distilled into ``(action, pass)``
@@ -44,7 +49,16 @@ _OM_SPECS: dict[str, tuple[OMLevel, OMOptions]] = {
     "om-full": (OMLevel.FULL, OMOptions()),
     "om-full-sched": (OMLevel.FULL, OMOptions(schedule=True)),
     "om-full-gc": (OMLevel.FULL, OMOptions(remove_dead_procs=True)),
+    "om-full-layout": (OMLevel.FULL, OMOptions(layout=True, relax=True)),
 }
+
+#: Feedback variants link twice: a base link's profiled run feeds the
+#: layout planner (the closed PGO loop, under fuzz).
+_FEEDBACK = {"om-full-layout": "om-full"}
+
+#: Variants whose cells run under the profiler so the oracle can also
+#: compare executed GAT address loads.
+_GAT_PROFILED = ("om-full", "om-full-layout")
 
 #: Link variants, in evaluation (and monotonicity) order.
 VARIANTS = ("ld",) + tuple(_OM_SPECS)
@@ -55,6 +69,9 @@ _MONOTONE = (
     ("om-full", "om-simple"),
     ("om-full-sched", "om-simple"),
     ("om-full-gc", "om-full"),
+    # Layout only moves procedures and promotes jsr->bsr; it must never
+    # execute more than the structurally-safe om-simple bound.
+    ("om-full-layout", "om-simple"),
 )
 
 #: Default per-cell simulator budget; generated programs are tiny.
@@ -82,13 +99,15 @@ class CellResult:
     instructions: int
     halted: bool
     coverage: tuple[CoveragePair, ...] = ()
+    #: Executed GAT address loads (profiled variants only).
+    gat_loads: int | None = None
 
 
 @dataclass(frozen=True)
 class Divergence:
     """One violated oracle invariant."""
 
-    kind: str  # "output" | "instructions" | "runaway" | "build-error"
+    kind: str  # "output" | "instructions" | "gat-loads" | "runaway" | "build-error"
     detail: str
     cells: tuple[str, ...] = ()
 
@@ -145,8 +164,29 @@ def _run_cell(
         coverage: tuple[CoveragePair, ...] = ()
     else:
         level, options = _OM_SPECS[variant]
+        profile_in = None
+        if variant in _FEEDBACK:
+            # Close the PGO loop inside the cell: base link, profiled
+            # functional run, then the layout link fed by that profile.
+            from repro.machine.profile import profile
+
+            base_level, base_options = _OM_SPECS[_FEEDBACK[variant]]
+            base_objects, base_libmc = _compile_objects(program, mode)
+            base = om_link(
+                base_objects, [base_libmc], level=base_level, options=base_options
+            )
+            profile_in = profile(
+                base.executable, max_instructions=max_instructions, timed=False
+            )
         trace = TraceLog()
-        result = om_link(objects, [libmc], level=level, options=options, trace=trace)
+        result = om_link(
+            objects,
+            [libmc],
+            level=level,
+            options=options,
+            trace=trace,
+            profile=profile_in,
+        )
         executable = result.executable
         coverage = tuple(
             sorted(
@@ -156,12 +196,23 @@ def _run_cell(
                 }
             )
         )
-    outcome = run(executable, timed=False, max_instructions=max_instructions)
+    gat_loads = None
+    if variant in _GAT_PROFILED:
+        from repro.machine.profile import profile
+
+        profiled = profile(
+            executable, max_instructions=max_instructions, timed=False
+        )
+        outcome = profiled.run
+        gat_loads = profiled.overhead.gat_loads
+    else:
+        outcome = run(executable, timed=False, max_instructions=max_instructions)
     return CellResult(
         output=outcome.output,
         instructions=outcome.instructions,
         halted=outcome.halted,
         coverage=coverage,
+        gat_loads=gat_loads,
     )
 
 
@@ -195,6 +246,7 @@ def _cached_cell(
             instructions=payload["instructions"],
             halted=payload["halted"],
             coverage=tuple((a, p) for a, p in payload["coverage"]),
+            gat_loads=payload.get("gat_loads"),
         )
     cell = _run_cell(program, mode, variant, max_instructions)
     cache.put(
@@ -206,6 +258,7 @@ def _cached_cell(
                 "instructions": cell.instructions,
                 "halted": cell.halted,
                 "coverage": [list(pair) for pair in cell.coverage],
+                "gat_loads": cell.gat_loads,
             }
         ).encode(),
     )
@@ -270,6 +323,22 @@ def evaluate_program(
                         f"{smaller} executed {low.instructions} > "
                         f"{reference} {high.instructions}",
                         (f"{mode}/{smaller}", f"{mode}/{reference}"),
+                    )
+                )
+        for variant, base in _FEEDBACK.items():
+            low = report.cells.get(f"{mode}/{variant}")
+            high = report.cells.get(f"{mode}/{base}")
+            if low is None or high is None:
+                continue
+            if low.gat_loads is None or high.gat_loads is None:
+                continue
+            if low.gat_loads > high.gat_loads:
+                report.divergences.append(
+                    Divergence(
+                        "gat-loads",
+                        f"{variant} executed {low.gat_loads} GAT loads > "
+                        f"{base} {high.gat_loads}",
+                        (f"{mode}/{variant}", f"{mode}/{base}"),
                     )
                 )
     return report

@@ -1,0 +1,40 @@
+"""Frequency-aware small-data placement weights.
+
+The paper's OM sorts COMMON symbols by size so as many as possible fit
+the 16-bit GP window.  With a profile we can generalize: what actually
+costs cycles after OM-full is the *escaped* literal loads — address
+loads whose register must hold the exact symbol address (function
+pointers, out-of-window array bases).  Non-escaped loads convert to
+``lda``/``ldah`` forms whether or not their symbol lands in the direct
+window, so they never execute a GAT load either way.
+
+This module therefore weighs each symbol by the execution heat of the
+procedures containing *escaped* literal loads of it.  The linker's
+:func:`~repro.linker.layout.compute_layout` uses those weights to
+compare the paper's size-sorted COMMON order against a weight-density
+order under an explicit cost model and keeps whichever places less
+escaped heat outside the GP window — by construction never worse than
+the paper's sort under the model.
+"""
+
+from __future__ import annotations
+
+from repro.om.symbolic import SymbolicModule
+
+
+def escaped_symbol_weights(
+    modules: list[SymbolicModule], proc_weights: dict[str, float]
+) -> dict[str, float]:
+    """Per-symbol heat of escaped literal loads, by containing proc."""
+    weights: dict[str, float] = {}
+    for module in modules:
+        for proc in module.procs:
+            heat = proc_weights.get(proc.name, 0.0)
+            for item in proc.instructions():
+                if item.literal is None or not item.lit_escaped:
+                    continue
+                symbol, __ = item.literal
+                weights[symbol] = weights.get(symbol, 0.0) + heat
+    # Zero-weight entries carry no signal; drop them so the linker's
+    # cost model only sees symbols with measured (or estimated) heat.
+    return {name: w for name, w in weights.items() if w > 0.0}

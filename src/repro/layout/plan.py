@@ -1,0 +1,149 @@
+"""The layout plan: profile in, placement decisions out.
+
+``plan_layout`` runs once per OM link (before the transformation
+rounds): it builds the weighted call graph, computes the Pettis–Hansen
+procedure order, and distills escaped-literal heat into the symbol
+weights the linker's COMMON cost model consumes.  ``apply_plan``
+permutes the symbolic modules accordingly.  Both emit provenance
+(actions ``reorder`` and ``hot-place``) so the decisions show up in
+``explain`` output and the fuzzer's coverage harvest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.layout.callgraph import (
+    build_call_graph,
+    edge_weights,
+    profile_proc_weights,
+    static_proc_weights,
+)
+from repro.layout.hotdata import escaped_symbol_weights
+from repro.layout.reorder import apply_order, pettis_hansen_order
+from repro.obs import provenance
+from repro.obs.trace import TraceLog
+from repro.om.symbolic import SymbolicModule
+
+#: How many per-symbol hot-place events to emit (the heaviest first).
+_HOT_PLACE_EVENTS = 32
+
+
+@dataclass
+class LayoutPlan:
+    """Everything ``om_link`` needs to steer code and data placement."""
+
+    proc_order: list[str] = field(default_factory=list)
+    proc_weights: dict[str, float] = field(default_factory=dict)
+    symbol_weights: dict[str, float] = field(default_factory=dict)
+    from_profile: bool = False
+    moved: int = 0  # procedures whose global position changed
+
+
+def plan_layout(
+    modules: list[SymbolicModule],
+    *,
+    profile=None,
+    entry: str = "__start",
+    trace: TraceLog | None = None,
+) -> LayoutPlan:
+    """Compute the placement plan from a profile (or static estimate)."""
+    graph = build_call_graph(modules)
+    if profile is not None:
+        weights = profile_proc_weights(profile)
+        from_profile = True
+    else:
+        weights = static_proc_weights(graph)
+        from_profile = False
+
+    nodes = [name for __, name in graph.procs]
+    order = pettis_hansen_order(
+        nodes, edge_weights(graph, weights), weights, entry=entry
+    )
+    symbol_weights = escaped_symbol_weights(modules, weights)
+
+    ranked = sorted(symbol_weights.items(), key=lambda kv: (-kv[1], kv[0]))
+    for name, weight in ranked[:_HOT_PLACE_EVENTS]:
+        provenance.emit(
+            trace,
+            action="hot-place",
+            pass_name="layout",
+            module="<layout>",
+            proc="<commons>",
+            pc=None,
+            before=name,
+            after=f"weight {weight:g}",
+            reason="escaped-literal heat steers COMMON placement",
+        )
+    provenance.emit(
+        trace,
+        action="hot-place",
+        pass_name="layout",
+        module="<layout>",
+        proc="<summary>",
+        pc=None,
+        before=f"{len(symbol_weights)} weighted symbols",
+        after=("profile-guided" if from_profile else "static estimate"),
+        reason="symbol heat handed to the linker's COMMON cost model",
+    )
+    return LayoutPlan(
+        proc_order=order,
+        proc_weights=weights,
+        symbol_weights=symbol_weights,
+        from_profile=from_profile,
+    )
+
+
+def apply_plan(
+    modules: list[SymbolicModule],
+    plan: LayoutPlan,
+    *,
+    trace: TraceLog | None = None,
+) -> list[SymbolicModule]:
+    """Reorder procedures/modules per the plan; returns the new list."""
+    before = [
+        (module.name, proc.name)
+        for module in modules
+        for proc in module.procs
+    ]
+    reordered = apply_order(modules, plan.proc_order)
+    after = [
+        (module.name, proc.name)
+        for module in reordered
+        for proc in module.procs
+    ]
+    old_position = {key: index for index, key in enumerate(before)}
+    moved = 0
+    for new_index, key in enumerate(after):
+        old_index = old_position[key]
+        if old_index == new_index:
+            continue
+        moved += 1
+        provenance.emit(
+            trace,
+            action="reorder",
+            pass_name="layout",
+            module=key[0],
+            proc=key[1],
+            pc=None,
+            before=f"link position {old_index}",
+            after=f"layout position {new_index}",
+            reason="Pettis-Hansen chain placement",
+        )
+    plan.moved = moved
+    provenance.emit(
+        trace,
+        action="reorder",
+        pass_name="layout",
+        module="<layout>",
+        proc="<summary>",
+        pc=None,
+        before=f"{len(before)} procedures in link order",
+        after=f"{moved} moved",
+        reason=(
+            "procedure order computed from the "
+            + ("profiled" if plan.from_profile else "statically estimated")
+            + " call graph"
+        ),
+    )
+    return reordered

@@ -1,0 +1,105 @@
+"""Pettis–Hansen procedure placement over the symbolic program.
+
+Chains start as singleton procedures and merge along call edges in
+descending weight order, orienting each merge so the hot caller/callee
+pair ends up adjacent when either sits at a chain end (the "closest is
+best" heuristic of Pettis & Hansen 1990).  The final order concatenates
+chains with the entry chain first, then by descending chain heat.
+
+Applying an order is constrained by fall-through safety: a procedure
+may move relative to its module neighbours only when it ends in an
+unconditional transfer (ret / br / jmp / halt), since OM's symbolic
+form keeps procedures of one module contiguous and a trailing
+conditional branch or call would change behaviour if its successor
+moved.  Modules themselves always move as whole units — the linker
+lays modules out independently, so inter-module order is free.
+"""
+
+from __future__ import annotations
+
+from repro.om.symbolic import SymbolicModule, SymbolicProc
+
+
+def pettis_hansen_order(
+    nodes: list[str],
+    edges: dict[tuple[str, str], float],
+    node_weights: dict[str, float],
+    entry: str | None = None,
+) -> list[str]:
+    """Merge chains along edges; returns the global placement order."""
+    order = list(dict.fromkeys(nodes))
+    chain_of = {name: index for index, name in enumerate(order)}
+    chains: list[list[str]] = [[name] for name in order]
+
+    for (u, v), __ in sorted(edges.items(), key=lambda kv: (-kv[1], kv[0])):
+        cu, cv = chain_of.get(u), chain_of.get(v)
+        if cu is None or cv is None or cu == cv:
+            continue
+        a, b = chains[cu], chains[cv]
+        # Orient so u and v touch whenever either is at a chain end.
+        if a[-1] == u and b[0] == v:
+            merged = a + b
+        elif b[-1] == v and a[0] == u:
+            merged = b + a
+        elif a[-1] == u and b[-1] == v:
+            merged = a + b[::-1]
+        elif a[0] == u and b[0] == v:
+            merged = b[::-1] + a
+        else:
+            merged = a + b  # interior endpoints: plain concatenation
+        chains[cu] = merged
+        chains[cv] = []
+        for name in merged:
+            chain_of[name] = cu
+
+    live = [chain for chain in chains if chain]
+
+    def chain_heat(chain: list[str]) -> float:
+        return sum(node_weights.get(name, 0.0) for name in chain)
+
+    live.sort(
+        key=lambda chain: (
+            0 if (entry is not None and entry in chain) else 1,
+            -chain_heat(chain),
+            chain[0],
+        )
+    )
+    return [name for chain in live for name in chain]
+
+
+def may_move(proc: SymbolicProc) -> bool:
+    """Safe to change this procedure's successor?  Only when control
+    cannot fall off its end: the last instruction is an unconditional
+    transfer that is not a call (calls return to the next address)."""
+    instrs = proc.instructions()
+    if not instrs:
+        return False
+    last = instrs[-1].instr
+    return last.is_control and not last.is_call and not last.is_cond_branch
+
+
+def apply_order(
+    modules: list[SymbolicModule], order: list[str]
+) -> list[SymbolicModule]:
+    """Sort procedures (within movable modules) and modules by rank.
+
+    Both sorts are stable, so procedures the order does not mention and
+    equal-rank modules keep their link order — the result is fully
+    deterministic for a given plan.
+    """
+    rank: dict[str, int] = {}
+    for index, name in enumerate(order):
+        rank.setdefault(name, index)
+    unranked = len(order)
+
+    for module in modules:
+        if len(module.procs) > 1 and all(may_move(p) for p in module.procs):
+            module.procs.sort(key=lambda p: rank.get(p.name, unranked))
+
+    def module_rank(module: SymbolicModule) -> int:
+        return min(
+            (rank.get(p.name, unranked) for p in module.procs),
+            default=unranked,
+        )
+
+    return sorted(modules, key=module_rank)

@@ -44,6 +44,11 @@ class LayoutOptions:
     sort_commons: bool = False  # OM's small-data sorting
     text_base: int = TEXT_BASE
     data_base: int = DATA_BASE
+    #: Escaped-literal heat per symbol (from a profiled run).  When set,
+    #: COMMON placement compares the paper's size sort against a
+    #: weight-density sort under an explicit out-of-window cost model
+    #: and keeps the cheaper order.
+    symbol_weights: dict[str, float] | None = None
 
 
 @dataclass
@@ -69,6 +74,8 @@ class Layout:
     data_end: int = 0
     bss_end: int = 0
     sorted_commons_end: int = 0
+    #: True when the weight-density COMMON order beat the size sort.
+    hot_commons: bool = False
     _defs_cache: dict[int, dict[str, object]] = field(default_factory=dict, repr=False)
 
     # -- address queries ------------------------------------------------------
@@ -176,9 +183,23 @@ def compute_layout(
     # emit; relocate.py zero-fills them.
     sorted_commons_end = cursor
     if options.sort_commons:
-        for name, (size, align) in sorted(
-            inputs.commons.items(), key=lambda item: (item[1][0], item[0])
-        ):
+        # Deterministic size sort: ties broken by alignment then name,
+        # so equal-size symbols never depend on dict insertion order.
+        size_order = sorted(
+            inputs.commons.items(),
+            key=lambda item: (item[1][0], item[1][1], item[0]),
+        )
+        order = size_order
+        if options.symbol_weights:
+            dense_order = _density_order(inputs.commons, options.symbol_weights)
+            gp = layout.groups[-1].gp
+            weights = options.symbol_weights
+            if _window_cost(dense_order, cursor, gp, weights) < _window_cost(
+                size_order, cursor, gp, weights
+            ):
+                order = dense_order
+                layout.hot_commons = True
+        for name, (size, align) in order:
             cursor = _align(cursor, align)
             layout.common_addr[name] = cursor
             cursor += size
@@ -217,3 +238,41 @@ def compute_layout(
 
 def _align(value: int, alignment: int) -> int:
     return -(-value // alignment) * alignment
+
+
+def _density_order(
+    commons: dict[str, tuple[int, int]], weights: dict[str, float]
+) -> list[tuple[str, tuple[int, int]]]:
+    """Hottest-per-byte first; cold symbols fall back to the size sort."""
+    return sorted(
+        commons.items(),
+        key=lambda item: (
+            -(weights.get(item[0], 0.0) / max(item[1][0], 1)),
+            item[1][0],
+            item[1][1],
+            item[0],
+        ),
+    )
+
+
+def _window_cost(
+    order: list[tuple[str, tuple[int, int]]],
+    start: int,
+    gp: int,
+    weights: dict[str, float],
+) -> float:
+    """Escaped heat landing outside the direct 16-bit GP window.
+
+    Simulates the placement loop and charges each symbol its weight
+    when its base address cannot be materialized with a single
+    GP-relative ``lda`` (the window of ``gprel_direct_in_range``).
+    """
+    cursor = start
+    cost = 0.0
+    for name, (size, align) in order:
+        cursor = _align(cursor, align)
+        d = cursor - gp
+        if not -32752 <= d <= 32767:
+            cost += weights.get(name, 0.0)
+        cursor += size
+    return cost

@@ -24,7 +24,8 @@ fractions always sum to 1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 
 from repro.isa.registers import Reg
 from repro.linker.executable import Executable
@@ -73,6 +74,37 @@ class ProfileResult:
             if proc.name == name:
                 return proc
         raise KeyError(name)
+
+    # -- serialization (artifact cache, --profile-out/--profile-in) ----
+
+    def to_json_dict(self) -> dict:
+        """A plain-data image with deterministic proc ordering."""
+        procs = sorted(self.procs, key=lambda p: (-p.instructions, p.name))
+        return {
+            "run": asdict(self.run),
+            "procs": [asdict(p) for p in procs],
+            "overhead": asdict(self.overhead),
+        }
+
+    def to_json(self) -> bytes:
+        """Canonical bytes: sorted keys, compact separators, UTF-8."""
+        return json.dumps(
+            self.to_json_dict(), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "ProfileResult":
+        return cls(
+            run=RunResult(**payload["run"]),
+            procs=[ProcProfile(**p) for p in payload["procs"]],
+            overhead=OverheadCounts(**payload["overhead"]),
+        )
+
+    @classmethod
+    def from_json(cls, data: bytes | str) -> "ProfileResult":
+        if isinstance(data, bytes):
+            data = data.decode("utf-8")
+        return cls.from_json_dict(json.loads(data))
 
 
 class ProfilingMachine(Machine):

@@ -21,8 +21,21 @@ from repro.obs.trace import TraceLog
 #: Category tag of provenance events inside a TraceLog.
 PROVENANCE_CAT = "om-provenance"
 
-#: The actions OM distinguishes (ISSUE vocabulary).
-ACTIONS = ("convert", "nullify", "delete", "move", "retarget", "gc-drop")
+#: The actions OM distinguishes (ISSUE vocabulary).  ``reorder``,
+#: ``hot-place`` and ``relax`` come from the layout subsystem
+#: (:mod:`repro.layout`): Pettis-Hansen procedure moves, hot COMMON
+#: placement decisions, and span-dependent relaxation demotions.
+ACTIONS = (
+    "convert",
+    "nullify",
+    "delete",
+    "move",
+    "retarget",
+    "gc-drop",
+    "reorder",
+    "hot-place",
+    "relax",
+)
 
 
 def emit(

@@ -50,6 +50,12 @@ class OMOptions:
     verify: bool = False  # run the structural verifier on the output
     gat_capacity: int = DEFAULT_GAT_CAPACITY
     entry: str = "__start"
+    # -- layout subsystem (repro.layout): the closed PGO loop ---------
+    layout: bool = False  # Pettis-Hansen reordering + hot COMMONs (FULL)
+    relax: bool = False  # optimistic jsr->bsr span-dependent relaxation
+    relax_slack: int = 0  # extra modelled-growth headroom, bytes
+    relax_max_iterations: int = 64  # fixpoint ceiling (backstop)
+    bsr_range_words: int = 1 << 20  # 21-bit word displacement reach
 
 
 @dataclass
@@ -70,6 +76,7 @@ def om_link(
     level: OMLevel = OMLevel.FULL,
     options: OMOptions | None = None,
     trace: TraceLog | None = None,
+    profile=None,
 ) -> OMResult:
     """Optimizing link: the paper's OM-simple / OM-full, or the
     translate-only OM-none baseline.
@@ -77,6 +84,12 @@ def om_link(
     With a ``trace`` attached, every phase records a span and every
     transformation decision records a provenance event (see
     :mod:`repro.obs.provenance`).
+
+    With ``options.layout`` set, a :class:`~repro.machine.profile.
+    ProfileResult` of a previous run of the same program (``profile``)
+    closes the PGO loop: procedures are reordered along the profiled
+    call graph and COMMON placement is steered by symbol heat.  Without
+    a profile the layout planner falls back to static estimates.
     """
     options = options or OMOptions()
     inputs = resolve_inputs(objects, list(libraries))
@@ -90,10 +103,43 @@ def om_link(
         modules = [translate_module(module) for module in inputs.modules]
     before = count_code(modules)
 
+    # Profile-guided layout: reorder procedures and weigh symbols
+    # before the transformation rounds, so every round's tentative
+    # layout (and the relaxation fixpoint) sees the final placement.
+    plan = None
+    if level is OMLevel.FULL and options.layout:
+        from repro.layout.plan import apply_plan, plan_layout
+
+        with span_or_null(
+            trace, "om.layout", cat="om", profiled=profile is not None
+        ):
+            plan = plan_layout(
+                modules, profile=profile, entry=options.entry, trace=trace
+            )
+            modules = apply_plan(modules, plan, trace=trace)
+
+    relax_options = None
+    if options.relax and level is not OMLevel.NONE:
+        from repro.layout.relax import RelaxOptions
+
+        # Rescheduling (alignment padding) and the escaped 2-for-1
+        # ablation can grow code after the decisions; reserve headroom.
+        slack = options.relax_slack + (
+            32768 if (options.schedule or options.convert_escaped) else 0
+        )
+        relax_options = RelaxOptions(
+            range_words=options.bsr_range_words,
+            slack=slack,
+            max_iterations=options.relax_max_iterations,
+        )
+
     counters = PassCounters()
+    relax_iterations = relax_demoted = 0
     if level is not OMLevel.NONE:
         layout_options = LayoutOptions(
-            gat_capacity=options.gat_capacity, sort_commons=options.sort_commons
+            gat_capacity=options.gat_capacity,
+            sort_commons=options.sort_commons,
+            symbol_weights=(plan.symbol_weights or None) if plan else None,
         )
         max_rounds = 1 if level is OMLevel.SIMPLE else max(1, options.rounds)
         for round_index in range(max_rounds):
@@ -110,8 +156,13 @@ def om_link(
                     convert_escaped=options.convert_escaped,
                     trace=trace,
                     round_index=round_index,
+                    relax=relax_options,
+                    bsr_range_words=options.bsr_range_words,
                 )
                 counters.merge(transformer.run())
+                if transformer.relax_result is not None:
+                    relax_iterations += transformer.relax_result.iterations
+                    relax_demoted += transformer.relax_result.demoted
             if not transformer.changed:
                 break
 
@@ -138,7 +189,9 @@ def om_link(
             LayoutOptions()
             if level is OMLevel.NONE
             else LayoutOptions(
-                gat_capacity=options.gat_capacity, sort_commons=options.sort_commons
+                gat_capacity=options.gat_capacity,
+                sort_commons=options.sort_commons,
+                symbol_weights=(plan.symbol_weights or None) if plan else None,
             )
         )
         final_layout = compute_layout(final_inputs, final_layout_options)
@@ -171,5 +224,8 @@ def om_link(
         gat_bytes_after=sum(group.size for group in final_layout.groups),
         text_bytes_before=text_before,
         text_bytes_after=executable.text_size,
+        procs_moved=plan.moved if plan else 0,
+        relax_iterations=relax_iterations,
+        relax_demoted=relax_demoted,
     )
     return OMResult(executable, stats, counters, verify=report, trace=trace)

@@ -241,6 +241,8 @@ class Transformer:
         convert_escaped: bool = False,
         trace: TraceLog | None = None,
         round_index: int = 0,
+        relax=None,
+        bsr_range_words: int = 1 << 20,
     ):
         self.prog = prog
         self.full = full
@@ -254,6 +256,12 @@ class Transformer:
         self._gprel_group = 0
         self.trace = trace
         self.round_index = round_index
+        #: Optional :class:`repro.layout.relax.RelaxOptions`.  When set,
+        #: the calls pass defers its range decision to the span-
+        #: dependent relaxation fixpoint instead of the one-shot check.
+        self.relax = relax
+        self.bsr_range_words = bsr_range_words
+        self.relax_result = None
 
     # ---- provenance --------------------------------------------------------
 
@@ -312,6 +320,11 @@ class Transformer:
             for index, module in enumerate(self.prog.modules):
                 for proc in module.procs:
                     self._canonicalize_gp_pairs(index, proc)
+        if self.relax is not None:
+            # After canonicalization, so the candidate shapes (entry
+            # pair at top, hence retarget + PV-load deletion) match
+            # exactly what the calls pass will see.
+            self._compute_relax()
         for index, module in enumerate(self.prog.modules):
             for proc in module.procs:
                 self._optimize_calls(index, proc)
@@ -321,6 +334,53 @@ class Transformer:
         if self.full:
             self._remove_dead_entry_setups()
         return self.counters
+
+    # ---- span-dependent relaxation (layout subsystem) -----------------------
+
+    def _compute_relax(self) -> None:
+        """Run the optimistic jsr->bsr fixpoint over every direct site.
+
+        Candidate shapes (retarget offset, PV-load deletability) mirror
+        ``_convert_call_site``; any site the iterator misses simply
+        keeps its conservative jsr, so a mismatch can only lose an
+        optimization, never correctness.
+        """
+        from repro.layout.callgraph import iter_direct_call_sites
+        from repro.layout.relax import RelaxCandidate, relax_call_sites
+
+        candidates = []
+        for site in iter_direct_call_sites(self.prog.modules):
+            deletable, extra = self._relax_site_shape(site)
+            candidates.append(RelaxCandidate(site, deletable, extra))
+        self.relax_result = relax_call_sites(
+            self.prog.modules,
+            candidates,
+            text_base=self.prog.layout.options.text_base,
+            range_words=self.relax.range_words,
+            slack=self.relax.slack,
+            max_iterations=self.relax.max_iterations,
+            trace=self.trace,
+            round_index=self.round_index,
+        )
+
+    def _relax_site_shape(self, site) -> tuple[bool, int]:
+        """(PV load deleted when converted, byte offset past entry)."""
+        callee = site.callee
+        if not callee.uses_gp:
+            skip = self.full
+            extra = 0
+        else:
+            same_group = self.prog.group(site.callee_module) == self.prog.group(
+                site.caller_module
+            )
+            skip = same_group and _entry_pair_at_top(callee) is not None
+            extra = 8 if skip else 0
+        deletable = False
+        if skip and self.full:
+            uses = _uses_of_literal(site.caller, site.load.uid)
+            others = [use for use in uses if use is not site.jsr]
+            deletable = not others and not site.load.lit_escaped
+        return deletable, extra
 
     # ---- GP pair canonicalization (OM-full only) ------------------------------
 
@@ -421,14 +481,23 @@ class Transformer:
             return
         callee_module, callee = resolved
 
-        # Range check for the BSR (21-bit word displacement).
-        try:
-            caller_addr = prog.addr(module_index, proc.name)
-            callee_addr = prog.addr(callee_module, callee.name)
-        except Exception:
-            return
-        if abs(callee_addr - caller_addr) >= (1 << 22) - (1 << 16):
-            return
+        if self.relax_result is not None:
+            # The relaxation fixpoint already decided this site exactly.
+            if not self.relax_result.decisions.get(jsr.uid, False):
+                return
+        else:
+            # One-shot conservative range check for the BSR (21-bit
+            # word displacement, with 64KB of slack for code motion).
+            try:
+                caller_addr = prog.addr(module_index, proc.name)
+                callee_addr = prog.addr(callee_module, callee.name)
+            except Exception:
+                return
+            if (
+                abs(callee_addr - caller_addr)
+                >= 4 * self.bsr_range_words - (1 << 16)
+            ):
+                return
 
         skip_ok = False
         target: tuple[str, int]

@@ -9,8 +9,12 @@ Mirrors the workflow of the paper's environment:
 * ``ld``   — standard link (objects + ``-l`` archives) to an executable;
 * ``om``   — optimizing link (``-simple``/``-full``/``-sched``/``-gc``;
   ``-verify`` prints the structural verifier's counters, ``--trace``
-  saves the link's span/provenance log as Chrome-trace JSON);
-* ``run``  — execute an executable on the simulated AXP;
+  saves the link's span/provenance log as Chrome-trace JSON;
+  ``-layout`` turns on profile-guided layout + jsr->bsr relaxation,
+  fed by ``--profile-in profile.json``);
+* ``run``  — execute an executable on the simulated AXP
+  (``--profile-out profile.json`` writes the per-procedure profile
+  that closes the PGO loop);
 * ``dis``  — disassemble an object file or executable.
 
 Executables are serialized with pickle (they are an internal format);
@@ -92,13 +96,27 @@ def _om(args) -> int:
         remove_dead_procs=args.gc,
         convert_escaped=args.convert_escaped,
         verify=args.verify,
+        layout=args.layout,
+        relax=args.layout,
     )
+    profile_in = None
+    if args.profile_in:
+        from repro.machine.profile import ProfileResult
+
+        profile_in = ProfileResult.from_json(Path(args.profile_in).read_bytes())
     trace = None
     if args.trace:
         from repro.obs.trace import TraceLog
 
         trace = TraceLog()
-    result = om_link(objects, libraries, level=level, options=options, trace=trace)
+    result = om_link(
+        objects,
+        libraries,
+        level=level,
+        options=options,
+        trace=trace,
+        profile=profile_in,
+    )
     Path(args.output).write_bytes(pickle.dumps(result.executable))
     stats = result.stats
     print(
@@ -107,6 +125,14 @@ def _om(args) -> int:
         f"GAT {stats.gat_bytes_before} -> {stats.gat_bytes_after} bytes; "
         f"text {stats.text_bytes_before} -> {stats.text_bytes_after} bytes"
     )
+    if args.layout:
+        print(
+            f"layout: procs_moved={stats.procs_moved} "
+            f"relax_iterations={stats.relax_iterations} "
+            f"relax_demoted={stats.relax_demoted} "
+            f"jsr->bsr={result.counters.jsr_to_bsr} "
+            f"({'profiled' if profile_in is not None else 'static'})"
+        )
     if result.verify is not None:
         report = result.verify
         print(
@@ -125,8 +151,17 @@ def _om(args) -> int:
 
 def _run(args) -> int:
     executable = pickle.loads(Path(args.executable).read_bytes())
-    result = machine_run(executable, timed=not args.fast)
+    if args.profile_out:
+        from repro.machine.profile import profile
+
+        profiled = profile(executable, timed=not args.fast)
+        result = profiled.run
+        Path(args.profile_out).write_bytes(profiled.to_json())
+    else:
+        result = machine_run(executable, timed=not args.fast)
     sys.stdout.write(result.output)
+    if args.profile_out:
+        print(f"profile: {args.profile_out}", file=sys.stderr)
     if args.stats:
         print(
             f"[{result.instructions} instructions, {result.cycles} cycles, "
@@ -189,12 +224,24 @@ def build_parser() -> argparse.ArgumentParser:
                 "--trace", dest="trace", default=None,
                 help="write the link's span/provenance trace (Chrome JSON)",
             )
+            tool.add_argument(
+                "-layout", action="store_true",
+                help="profile-guided layout + jsr->bsr relaxation",
+            )
+            tool.add_argument(
+                "--profile-in", dest="profile_in", default=None,
+                help="profile JSON (from `run --profile-out`) feeding -layout",
+            )
         tool.set_defaults(func=func)
 
     runner = sub.add_parser("run", help="execute on the simulated AXP")
     runner.add_argument("executable")
     runner.add_argument("--fast", action="store_true", help="skip timing model")
     runner.add_argument("--stats", action="store_true")
+    runner.add_argument(
+        "--profile-out", dest="profile_out", default=None,
+        help="write a per-procedure profile (JSON) for `om -layout`",
+    )
     runner.set_defaults(func=_run)
 
     dis = sub.add_parser("dis", help="disassemble an object or executable")

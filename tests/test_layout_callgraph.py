@@ -1,0 +1,102 @@
+"""Weighted call graph and Pettis-Hansen placement."""
+
+from repro.isa.instruction import Instruction
+from repro.layout.callgraph import (
+    build_call_graph,
+    edge_weights,
+    static_proc_weights,
+)
+from repro.layout.reorder import may_move, pettis_hansen_order
+from repro.minicc import compile_module
+from repro.minicc.mcode import MInstr
+from repro.om.symbolic import SymbolicProc, translate_module
+
+SOURCE = """
+int helper(int x) { return x + 1; }
+int twice(int x) { return helper(helper(x)); }
+int main() {
+    __putint(twice(1));
+    __putint(helper(2));
+    return 0;
+}
+"""
+
+
+def _modules():
+    return [translate_module(compile_module(SOURCE, "m.o"))]
+
+
+def test_call_graph_sites_and_multiplicity():
+    graph = build_call_graph(_modules())
+    names = [name for __, name in graph.procs]
+    assert "main" in names and "twice" in names and "helper" in names
+    # helper is called twice from twice and once from main.
+    assert graph.multiplicity[("twice", "helper")] == 2
+    assert graph.multiplicity[("main", "helper")] == 1
+    assert graph.multiplicity[("main", "twice")] == 1
+    for site in graph.sites:
+        assert site.jsr.lituse is not None
+        assert site.load.literal is not None
+        assert site.load.literal[0] == site.callee.name
+
+
+def test_static_weights_reflect_in_degree():
+    graph = build_call_graph(_modules())
+    weights = static_proc_weights(graph)
+    # helper: 1 + 3 call sites; twice: 1 + 1; main: 1 + 0.
+    assert weights["helper"] == 4.0
+    assert weights["twice"] == 2.0
+    assert weights["main"] == 1.0
+
+
+def test_edge_weights_drop_self_edges():
+    graph = build_call_graph(_modules())
+    graph.multiplicity[("helper", "helper")] = 5
+    weights = edge_weights(graph, static_proc_weights(graph))
+    assert ("helper", "helper") not in weights
+    assert weights[("twice", "helper")] > weights[("main", "twice")]
+
+
+def test_pettis_hansen_places_hot_pair_adjacent():
+    edges = {("a", "b"): 10.0, ("b", "c"): 1.0, ("c", "d"): 5.0}
+    weights = {"a": 1.0, "b": 1.0, "c": 1.0, "d": 1.0}
+    order = pettis_hansen_order(["a", "b", "c", "d"], edges, weights)
+    assert abs(order.index("a") - order.index("b")) == 1
+    assert abs(order.index("c") - order.index("d")) == 1
+
+
+def test_pettis_hansen_entry_chain_first():
+    edges = {("hot", "hotter"): 100.0}
+    weights = {"entry": 0.5, "hot": 50.0, "hotter": 50.0}
+    order = pettis_hansen_order(
+        ["entry", "hot", "hotter"], edges, weights, entry="entry"
+    )
+    assert order[0] == "entry"
+
+
+def test_pettis_hansen_deterministic():
+    edges = {("a", "b"): 1.0, ("c", "d"): 1.0, ("e", "f"): 1.0}
+    weights = {name: 1.0 for name in "abcdef"}
+    nodes = list("fedcba")
+    first = pettis_hansen_order(nodes, dict(edges), dict(weights))
+    second = pettis_hansen_order(nodes, dict(edges), dict(weights))
+    assert first == second
+
+
+def test_may_move_requires_unconditional_tail():
+    ret = SymbolicProc("r", items=[MInstr(Instruction.jump("ret", 31, 26))])
+    assert may_move(ret)
+    fallthrough = SymbolicProc("f", items=[MInstr(Instruction.nop())])
+    assert not may_move(fallthrough)
+    cond = SymbolicProc(
+        "c", items=[MInstr(Instruction.branch("beq", 0, 0))]
+    )
+    assert not may_move(cond)
+    empty = SymbolicProc("e", items=[])
+    assert not may_move(empty)
+
+
+def test_real_procs_are_movable():
+    module = _modules()[0]
+    for proc in module.procs:
+        assert may_move(proc), proc.name

@@ -1,0 +1,152 @@
+"""End-to-end layout subsystem: the closed PGO loop through om_link,
+the relaxation-vs-one-shot comparison, and the experiment wiring."""
+
+from repro.machine import run
+from repro.machine.profile import profile
+from repro.minicc import compile_module
+from repro.obs import provenance
+from repro.obs.trace import TraceLog
+from repro.om import OMLevel, OMOptions, om_link
+
+MAIN = """
+extern int mix(int a, int b);
+int helper(int x) { return x * 3 + 1; }
+int main() {
+    int i;
+    int acc;
+    acc = 0;
+    for (i = 0; i < 50; i = i + 1) {
+        acc = acc + mix(helper(i), i);
+    }
+    __putint(acc);
+    return 0;
+}
+"""
+
+AUX = """
+int mix(int a, int b) { return a * 2 - b; }
+"""
+
+
+def _objs(crt0):
+    return [
+        crt0,
+        compile_module(MAIN, "main.o"),
+        compile_module(AUX, "aux.o"),
+    ]
+
+
+def test_relax_converts_where_one_shot_cannot(libmc, crt0):
+    """At ``bsr_range_words=1024`` the legacy one-shot threshold
+    ``4 * range - 65536`` is negative, so it forfeits *every*
+    conversion; the exact fixpoint still converts in-range sites —
+    strictly more jsr->bsr, byte-identical output."""
+    legacy = om_link(
+        _objs(crt0),
+        [libmc],
+        level=OMLevel.FULL,
+        options=OMOptions(bsr_range_words=1024),
+    )
+    relaxed = om_link(
+        _objs(crt0),
+        [libmc],
+        level=OMLevel.FULL,
+        options=OMOptions(relax=True, bsr_range_words=1024),
+    )
+    assert legacy.counters.jsr_to_bsr == 0
+    assert relaxed.counters.jsr_to_bsr > 0
+    assert (
+        run(legacy.executable, timed=False).output
+        == run(relaxed.executable, timed=False).output
+    )
+    assert relaxed.stats.relax_iterations >= 1
+
+
+def test_relax_never_converts_less_at_default_range(libmc, crt0):
+    legacy = om_link(_objs(crt0), [libmc], level=OMLevel.FULL)
+    relaxed = om_link(
+        _objs(crt0), [libmc], level=OMLevel.FULL, options=OMOptions(relax=True)
+    )
+    assert relaxed.counters.jsr_to_bsr >= legacy.counters.jsr_to_bsr
+    assert (
+        run(relaxed.executable, timed=False).output
+        == run(legacy.executable, timed=False).output
+    )
+
+
+def test_closed_pgo_loop_preserves_output(libmc, crt0):
+    """profile -> layout relink: identical output, no fewer jsr->bsr,
+    no more executed GAT loads."""
+    base = om_link(_objs(crt0), [libmc], level=OMLevel.FULL)
+    base_prof = profile(base.executable, timed=False)
+    layout = om_link(
+        _objs(crt0),
+        [libmc],
+        level=OMLevel.FULL,
+        options=OMOptions(layout=True, relax=True),
+        profile=base_prof,
+    )
+    layout_prof = profile(layout.executable, timed=False)
+    assert layout_prof.run.output == base_prof.run.output
+    assert layout.counters.jsr_to_bsr >= base.counters.jsr_to_bsr
+    assert layout_prof.overhead.gat_loads <= base_prof.overhead.gat_loads
+    assert layout.stats.relax_iterations >= 1
+
+
+def test_layout_static_fallback_without_profile(libmc, crt0):
+    base = om_link(_objs(crt0), [libmc], level=OMLevel.FULL)
+    layout = om_link(
+        _objs(crt0),
+        [libmc],
+        level=OMLevel.FULL,
+        options=OMOptions(layout=True, relax=True),
+    )
+    assert (
+        run(layout.executable, timed=False).output
+        == run(base.executable, timed=False).output
+    )
+
+
+def test_layout_emits_new_provenance_actions(libmc, crt0):
+    trace = TraceLog()
+    result = om_link(
+        _objs(crt0),
+        [libmc],
+        level=OMLevel.FULL,
+        options=OMOptions(layout=True, relax=True),
+        trace=trace,
+    )
+    actions = {args["action"] for args in provenance.events(trace)}
+    assert {"reorder", "hot-place", "relax"} <= actions
+    # The new events claim no counters, so reconciliation still holds.
+    assert provenance.reconcile(trace, result.counters) == {}
+
+
+def test_plan_cells_pgo_adds_feedback_dependencies():
+    from repro.experiments.pipeline import plan_cells
+
+    plan = plan_cells(["pgo"], programs=["compress"])
+    assert ("compress", "each", "om-full-layout") in plan.links
+    # The feedback link pulls in the base link and its profiled run.
+    assert ("compress", "each", "om-full") in plan.links
+    assert ("compress", "each", "om-full") in plan.profiles
+    assert ("compress", "each", "om-full-layout") in plan.profiles
+
+
+def test_pgo_rows_smoke():
+    from repro.experiments import build
+    from repro.experiments.figures import pgo_rows
+
+    previous = build.configure_cache(None)
+    try:
+        keys, rows = pgo_rows(["compress"], scale=1)
+    finally:
+        build.configure_cache(previous)
+    assert rows[0]["program"] == "compress"
+    assert rows[-1]["program"] == "mean"
+    row = rows[0]
+    assert row["layout_bsr"] >= row["full_bsr"]
+    assert row["layout_gat_exec"] <= row["full_gat_exec"]
+    assert 0.0 <= row["layout_bsr_rate"] <= 1.0
+    assert row["procs_moved"] >= 0
+    assert row["relax_iters"] >= 1

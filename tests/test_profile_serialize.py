@@ -1,0 +1,71 @@
+"""ProfileResult JSON round-trip: lossless, deterministic, cacheable."""
+
+import json
+
+from repro.cache import ArtifactCache
+from repro.experiments import build
+from repro.machine.cpu import RunResult
+from repro.machine.profile import OverheadCounts, ProcProfile, ProfileResult
+
+
+def _sample():
+    return ProfileResult(
+        run=RunResult(
+            output="42\n",
+            instructions=100,
+            cycles=150,
+            icache_misses=3,
+            dcache_misses=2,
+            dual_issues=7,
+            halted=True,
+        ),
+        procs=[
+            ProcProfile("main", 60, 0.6, cycles=90, cycle_fraction=0.6,
+                        gat_loads=4, pv_loads=2, gp_setup_pairs=1),
+            ProcProfile("helper", 40, 0.4, cycles=60, cycle_fraction=0.4,
+                        gat_loads=1),
+        ],
+        overhead=OverheadCounts(gat_loads=5, pv_loads=2, gp_setup_pairs=1),
+    )
+
+
+def test_round_trip_lossless():
+    original = _sample()
+    restored = ProfileResult.from_json(original.to_json())
+    assert restored == original
+
+
+def test_round_trip_via_dict():
+    original = _sample()
+    payload = json.loads(original.to_json())
+    assert ProfileResult.from_json_dict(payload) == original
+
+
+def test_serialization_deterministic_under_proc_order():
+    a = _sample()
+    b = _sample()
+    b.procs.reverse()
+    assert a.to_json() == b.to_json()
+
+
+def test_tied_procs_ordered_by_name():
+    result = _sample()
+    result.procs = [
+        ProcProfile("zeta", 50, 0.5),
+        ProcProfile("alpha", 50, 0.5),
+    ]
+    names = [p["name"] for p in result.to_json_dict()["procs"]]
+    assert names == ["alpha", "zeta"]
+
+
+def test_profile_survives_artifact_cache(tmp_path):
+    """A cold profile_variant and its warm-cache replay are equal."""
+    previous = build.configure_cache(ArtifactCache(tmp_path / "cache"))
+    try:
+        cold = build.profile_variant("compress", "each", "om-full", 1)
+        build.clear_caches()  # drop memoization, keep the disk cache
+        warm = build.profile_variant("compress", "each", "om-full", 1)
+        assert warm == cold
+        assert warm.to_json() == cold.to_json()
+    finally:
+        build.configure_cache(previous)
