@@ -19,11 +19,13 @@ artifact.
 
 from __future__ import annotations
 
+import concurrent.futures
 import functools
 import hashlib
 import json
 import os
 import tempfile
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -45,16 +47,25 @@ def toolchain_stamp() -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters, total and per artifact kind."""
+    """Hit/miss counters, total and per artifact kind.
+
+    Increments take a class-wide lock (not pickled with instances) so
+    the serving path may count from many threads without losing
+    updates; reads are plain dict lookups.
+    """
+
+    _LOCK = threading.Lock()
 
     hits: dict[str, int] = field(default_factory=dict)
     misses: dict[str, int] = field(default_factory=dict)
 
     def hit(self, kind: str) -> None:
-        self.hits[kind] = self.hits.get(kind, 0) + 1
+        with CacheStats._LOCK:
+            self.hits[kind] = self.hits.get(kind, 0) + 1
 
     def miss(self, kind: str) -> None:
-        self.misses[kind] = self.misses.get(kind, 0) + 1
+        with CacheStats._LOCK:
+            self.misses[kind] = self.misses.get(kind, 0) + 1
 
     @property
     def total_hits(self) -> int:
@@ -115,3 +126,86 @@ class ArtifactCache:
     def contains(self, kind: str, key: str) -> bool:
         """Presence check that does not touch the hit/miss counters."""
         return self._path(kind, key).exists()
+
+
+class SingleFlight:
+    """Coalesce concurrent computations of the same content key.
+
+    While a computation for ``key`` is in flight, every further caller
+    joins it instead of starting a duplicate: the first caller (the
+    *leader*) runs the thunk; the rest (*followers*) wait on a shared
+    future and receive the leader's result — or its exception.  This is
+    the dedup layer the toolchain daemon puts in front of the disk
+    cache: N identical in-flight requests cost one build.
+
+    The flight registry is thread-safe, and the futures are
+    ``concurrent.futures.Future`` objects, so followers may wait from
+    plain threads (``Future.result``) or from an event loop
+    (``asyncio.wrap_future``).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: dict[str, concurrent.futures.Future] = {}
+        self.started = 0  # flights opened (leaders)
+        self.coalesced = 0  # callers who joined an existing flight
+
+    def begin(self, key: str) -> tuple[bool, concurrent.futures.Future]:
+        """Open or join the flight for ``key``: ``(is_leader, future)``.
+
+        A leader must settle the returned future with :meth:`finish` or
+        :meth:`fail` (``do`` packages this discipline for synchronous
+        callers); followers just wait on it.
+        """
+        with self._lock:
+            future = self._flights.get(key)
+            if future is not None:
+                self.coalesced += 1
+                return False, future
+            future = concurrent.futures.Future()
+            self._flights[key] = future
+            self.started += 1
+            return True, future
+
+    def _settle(self, key: str) -> None:
+        with self._lock:
+            self._flights.pop(key, None)
+
+    def finish(self, key: str, future: concurrent.futures.Future, value) -> None:
+        """Publish the leader's result and close the flight."""
+        self._settle(key)
+        future.set_result(value)
+
+    def fail(self, key: str, future: concurrent.futures.Future, exc: BaseException) -> None:
+        """Propagate the leader's failure to every follower."""
+        self._settle(key)
+        future.set_exception(exc)
+
+    def do(self, key: str, thunk) -> tuple[object, bool]:
+        """Run ``thunk`` once per concurrent ``key``: ``(value, led)``.
+
+        ``led`` is True when this caller actually executed the thunk,
+        False when the value came from another caller's flight.
+        """
+        leader, future = self.begin(key)
+        if not leader:
+            return future.result(), False
+        try:
+            value = thunk()
+        except BaseException as exc:
+            self.fail(key, future, exc)
+            raise
+        self.finish(key, future, value)
+        return value, True
+
+
+#: Process-wide default flight registry behind :func:`single_flight`.
+_FLIGHTS = SingleFlight()
+
+
+def single_flight(key: str, thunk) -> tuple[object, bool]:
+    """Coalesce concurrent ``thunk`` runs for ``key`` process-wide.
+
+    Returns ``(value, led)`` — see :meth:`SingleFlight.do`.
+    """
+    return _FLIGHTS.do(key, thunk)

@@ -35,6 +35,13 @@ fails.
 (mode × link-variant) matrix, divergences minimized and persisted to
 ``--corpus-dir``.  Exits non-zero on any divergence or replay
 mismatch.
+
+``serve-bench`` benchmarks the serving path
+(:mod:`repro.serve.loadgen`): a seeded mixed workload replayed against
+the toolchain daemon at a configurable concurrency, cold cache then
+warm, reporting throughput and p50/p95/p99 latency and reconciling the
+client's observations against the server's ``status`` counters.  Exits
+non-zero on any failed request or reconciliation mismatch.
 """
 
 from __future__ import annotations
@@ -301,12 +308,17 @@ def main(argv=None) -> int:
         return _fuzz(argv[1:])
     if argv and argv[0] == "layout":
         return _layout(argv[1:])
+    if argv and argv[0] == "serve-bench":
+        from repro.serve.loadgen import main as serve_bench_main
+
+        return serve_bench_main(argv[1:])
 
     parser = argparse.ArgumentParser(prog="repro.experiments")
     parser.add_argument(
         "figure",
         choices=sorted(_FIGURES)
-        + ["all", "summary", "explain", "profile", "fuzz", "layout"],
+        + ["all", "summary", "explain", "profile", "fuzz", "layout",
+           "serve-bench"],
     )
     parser.add_argument("--scale", type=int, default=None)
     parser.add_argument("--programs", type=str, default=None)

@@ -7,6 +7,18 @@ direct-mapped I/D caches, and taken-branch bubbles) — the terms that
 produce the paper's dynamic measurements.
 """
 
-from repro.machine.cpu import Machine, MachineError, RunResult, run
+from repro.machine.cpu import (
+    ExecutionBudgetExceeded,
+    Machine,
+    MachineError,
+    RunResult,
+    run,
+)
 
-__all__ = ["Machine", "MachineError", "RunResult", "run"]
+__all__ = [
+    "ExecutionBudgetExceeded",
+    "Machine",
+    "MachineError",
+    "RunResult",
+    "run",
+]

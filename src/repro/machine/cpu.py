@@ -57,6 +57,21 @@ class MachineError(Exception):
     """Bad memory access, undecodable instruction, or runaway program."""
 
 
+class ExecutionBudgetExceeded(MachineError):
+    """The run overran its ``max_instructions`` step budget.
+
+    A :class:`MachineError` subclass (existing handlers keep working),
+    but distinguishable so a caller that *bounded* a run on purpose —
+    the toolchain daemon capping a ``run`` request, the fuzz oracle's
+    termination check — can tell "looping program" apart from "broken
+    program".
+    """
+
+    def __init__(self, limit: int):
+        super().__init__(f"instruction limit {limit} exceeded")
+        self.limit = limit
+
+
 @dataclass
 class RunResult:
     """Outcome of one simulated run."""
@@ -188,7 +203,7 @@ class Machine:
             if counting:
                 counts[index] += 1
             if count > limit:
-                raise MachineError(f"instruction limit {limit} exceeded")
+                raise ExecutionBudgetExceeded(limit)
             if kind == K_LDQ:
                 __, ra, rb, disp = op
                 regs[ra] = load_q((regs[rb] + disp) & _MASK)
@@ -306,7 +321,7 @@ class Machine:
             if counting:
                 counts[index] += 1
             if count > limit:
-                raise MachineError(f"instruction limit {limit} exceeded")
+                raise ExecutionBudgetExceeded(limit)
 
             # Instruction fetch / I-cache.
             iaddr = text_base + 4 * index

@@ -35,13 +35,58 @@ def _now_us() -> float:
 
 
 class TraceLog:
-    """An append-only event log shared by one link / experiment run."""
+    """An append-only event log shared by one link / experiment run.
 
-    def __init__(self, events: list[dict] | None = None):
+    With a ``sink`` path attached, the log doubles as a durable JSONL
+    stream: :meth:`flush` appends every event recorded since the last
+    flush, and :meth:`close` (or using the log as a context manager)
+    performs a final flush — so a long-lived process that drains on
+    SIGTERM, like the toolchain daemon, never drops trailing spans.
+    Without a sink, ``flush``/``close`` are no-ops and the log behaves
+    exactly as before.
+    """
+
+    def __init__(self, events: list[dict] | None = None, *, sink=None):
         self.events: list[dict] = events if events is not None else []
+        self.sink = Path(sink) if sink is not None else None
+        self._flushed = 0
+        self.closed = False
 
     def __len__(self) -> int:
         return len(self.events)
+
+    def __enter__(self) -> TraceLog:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def unflushed(self) -> int:
+        """Events recorded since the last :meth:`flush`."""
+        return len(self.events) - self._flushed
+
+    def flush(self) -> int:
+        """Append unflushed events to the sink; returns how many."""
+        if self.sink is None:
+            return 0
+        pending = self.events[self._flushed :]
+        if not pending:
+            return 0
+        with self.sink.open("a", encoding="utf-8") as handle:
+            for event in pending:
+                handle.write(
+                    json.dumps(event, sort_keys=True, separators=(",", ":")) + "\n"
+                )
+        self._flushed += len(pending)
+        return len(pending)
+
+    def close(self) -> None:
+        """Flush any buffered events and mark the log closed (idempotent)."""
+        if self.closed:
+            return
+        self.flush()
+        self.closed = True
 
     # -- recording -------------------------------------------------------
 

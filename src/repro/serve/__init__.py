@@ -1,0 +1,29 @@
+"""Link-as-a-service: the toolchain as a long-lived, concurrent daemon.
+
+Every other entry point in this repository pays process startup and a
+cold artifact cache per invocation.  Real link-time-optimization
+deployments are services inside build farms, so this package keeps the
+compile → link → OM → run loop warm behind a TCP protocol:
+
+* :mod:`repro.serve.protocol` — length-prefixed JSON frames, with
+  size ceilings and truncation detection on both ends;
+* :mod:`repro.serve.server` — the asyncio daemon: single-flight
+  request coalescing layered on the content-addressed cache, a
+  bounded admission queue that answers ``retry-after`` under load, a
+  ``ProcessPoolExecutor`` for the CPU-bound work, and graceful drain;
+* :mod:`repro.serve.workers` — the pure job bodies the pool executes;
+* :mod:`repro.serve.client` — connection-reusing client with
+  per-request timeouts and capped exponential backoff;
+* :mod:`repro.serve.loadgen` — the ``serve-bench`` workload replayer
+  reporting cold/warm throughput and latency percentiles;
+* :mod:`repro.serve.metrics` — the latency histogram behind the
+  ``status`` response.
+
+Start a daemon with ``python -m repro.toolchain serve``; benchmark it
+with ``python -m repro.experiments serve-bench``.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.server import ServeConfig, ServerThread, ToolchainServer
+
+__all__ = ["ServeClient", "ServeConfig", "ServerThread", "ToolchainServer"]

@@ -1,0 +1,210 @@
+"""Client library for the toolchain daemon.
+
+A :class:`ServeClient` holds one TCP connection and reuses it across
+requests (requests on a connection are strictly serial — the protocol
+has no pipelining; use one client per thread for concurrency, as the
+load generator does).  The client owns three reliability behaviors the
+daemon's contract expects:
+
+* **per-request timeouts** — the socket deadline covers send and
+  receive; expiry raises :class:`RequestTimeout` and poisons the
+  connection (a late reply must never be read as the answer to the
+  *next* request);
+* **backpressure honoring** — a ``retry_after`` reply sleeps for
+  ``max(server hint, backoff · 2^attempt)`` capped at
+  ``backoff_cap``, then retries, up to ``retries`` times before
+  raising :class:`ServerBusy`;
+* **reconnect-and-retry on transport failure** — every request is
+  idempotent (the daemon is content-addressed), so a dropped or
+  refused connection is retried on a fresh socket with the same
+  backoff schedule.
+
+``busy_retries`` and ``transport_retries`` count what the reliability
+layer absorbed; the load generator reconciles the former against the
+server's ``rejected`` counter.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import time
+
+from repro.serve import protocol
+
+
+class ServeError(Exception):
+    """Base class for client-visible serving failures."""
+
+
+class ServerBusy(ServeError):
+    """Backpressure retries exhausted."""
+
+    def __init__(self, attempts: int, retry_after: float):
+        super().__init__(
+            f"server still busy after {attempts} attempts "
+            f"(last retry-after hint {retry_after}s)"
+        )
+        self.attempts = attempts
+        self.retry_after = retry_after
+
+
+class RequestFailed(ServeError):
+    """The daemon answered with an error object."""
+
+    def __init__(self, kind: str, message: str):
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+
+    @classmethod
+    def from_response(cls, response: dict) -> RequestFailed:
+        error = response.get("error") or {}
+        return cls(error.get("kind", "unknown"), error.get("message", ""))
+
+
+class RequestTimeout(ServeError):
+    """No reply within the per-request deadline."""
+
+
+class ConnectionFailed(ServeError):
+    """Transport retries exhausted."""
+
+
+class ServeClient:
+    """One connection to the daemon, with retries and backoff."""
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        *,
+        timeout: float = 60.0,
+        retries: int = 5,
+        backoff: float = 0.05,
+        backoff_cap: float = 2.0,
+        max_frame: int = protocol.MAX_FRAME,
+        sleep=time.sleep,
+    ):
+        self.address = (address[0], int(address[1]))
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self.max_frame = max_frame
+        self.requests_sent = 0
+        self.busy_retries = 0
+        self.transport_retries = 0
+        self._sleep = sleep
+        self._sock: socket.socket | None = None
+        self._ids = itertools.count(1)
+
+    # -- connection management --------------------------------------------
+
+    def _connection(self) -> socket.socket:
+        if self._sock is None:
+            self._sock = socket.create_connection(self.address, self.timeout)
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock.settimeout(self.timeout)
+        return self._sock
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> ServeClient:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the request loop --------------------------------------------------
+
+    def _pause(self, attempt: int, hint: float | None = None) -> None:
+        delay = min(self.backoff * (2**attempt), self.backoff_cap)
+        if hint is not None:
+            delay = min(max(delay, hint), self.backoff_cap)
+        self._sleep(delay)
+
+    def request(self, op: str, **params) -> dict:
+        """One request/response exchange; returns the full response.
+
+        Raises :class:`ServerBusy`, :class:`RequestFailed`,
+        :class:`RequestTimeout`, or :class:`ConnectionFailed`.
+        """
+        last_hint = 0.0
+        for attempt in range(self.retries + 1):
+            rid = next(self._ids)
+            try:
+                sock = self._connection()
+                protocol.send_frame(
+                    sock,
+                    protocol.request(op, rid, **params),
+                    max_frame=self.max_frame,
+                )
+                self.requests_sent += 1
+                response = protocol.recv_frame(sock, max_frame=self.max_frame)
+            except socket.timeout:
+                self.close()
+                raise RequestTimeout(
+                    f"no reply to {op!r} within {self.timeout}s"
+                ) from None
+            except (OSError, protocol.ProtocolError):
+                # Refused, reset, or garbled: the connection is useless.
+                self.close()
+                if attempt < self.retries:
+                    self.transport_retries += 1
+                    self._pause(attempt)
+                    continue
+                raise ConnectionFailed(
+                    f"could not complete {op!r} against "
+                    f"{self.address[0]}:{self.address[1]} "
+                    f"after {attempt + 1} attempts"
+                ) from None
+            if response is None:
+                # Clean EOF instead of a reply (e.g. the daemon drained
+                # between our connect and send): retry on a new socket.
+                self.close()
+                if attempt < self.retries:
+                    self.transport_retries += 1
+                    self._pause(attempt)
+                    continue
+                raise ConnectionFailed(f"server closed before answering {op!r}")
+            if response.get("id") != rid:
+                self.close()
+                raise protocol.ProtocolError(
+                    f"response id {response.get('id')!r} != request id {rid}"
+                )
+            if response.get("ok"):
+                return response
+            if "retry_after" in response:
+                last_hint = float(response["retry_after"])
+                self.busy_retries += 1
+                if attempt < self.retries:
+                    self._pause(attempt, last_hint)
+                    continue
+                raise ServerBusy(attempt + 1, last_hint)
+            raise RequestFailed.from_response(response)
+        raise ServerBusy(self.retries + 1, last_hint)  # pragma: no cover
+
+    # -- convenience wrappers ----------------------------------------------
+
+    def compile(self, **params) -> dict:
+        return self.request("compile", **params)
+
+    def link(self, **params) -> dict:
+        return self.request("link", **params)
+
+    def run(self, **params) -> dict:
+        return self.request("run", **params)
+
+    def explain(self, **params) -> dict:
+        return self.request("explain", **params)
+
+    def status(self) -> dict:
+        return self.request("status")["result"]
+
+    def shutdown(self) -> dict:
+        return self.request("shutdown")["result"]

@@ -1,0 +1,365 @@
+"""Load generator for the toolchain daemon: ``serve-bench``.
+
+Replays a seeded, mixed workload (``run``/``link``/``compile``/
+``explain`` over a set of benchmark programs and link variants) against
+a daemon at a configurable concurrency, twice:
+
+* **cold** — a fresh content-addressed cache: every unique job is
+  compiled, linked, and simulated in the worker pool;
+* **warm** — the identical workload again: every request is served by
+  the disk cache or by coalescing onto an in-flight duplicate.
+
+Each phase reports throughput and exact client-side latency
+percentiles (p50/p95/p99 over the recorded per-request durations —
+the server's histograms are bucket estimates; the report carries
+both).  The first ``concurrency`` items of the workload are one
+identical expensive request, released through a barrier, so the
+coalescing path is exercised deterministically.
+
+After the warm phase the generator *reconciles* its observations
+against the server's ``status`` counters: completed == client
+successes, rejected == busy replies the client absorbed, and the
+serving identity ``completed == coalesced + cache_hits + computed``.
+A report that fails reconciliation (or any request) exits non-zero —
+the numbers in ``BENCH_serve.json`` are only worth keeping if both
+sides of the wire agree on what happened.
+
+Run as ``python -m repro.experiments serve-bench``.  By default an
+embedded daemon (fresh temporary cache) is benchmarked; ``--connect
+host:port`` targets an already-running one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import queue
+import random
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.metrics import percentile
+
+#: Default program set: five small benchmarks (the acceptance floor).
+DEFAULT_PROGRAMS = "compress,ear,eqntott,li,ora"
+
+#: Weighted op mix for the replayed workload.
+_OP_MIX = (("run", 45), ("link", 20), ("compile", 20), ("explain", 15))
+
+#: Link variants the mixed workload draws from, weighted.
+_VARIANT_MIX = (("om-full", 50), ("ld", 20), ("om-simple", 15),
+                ("om-full-sched", 15))
+
+
+def _weighted(rng: random.Random, mix) -> str:
+    total = sum(weight for _, weight in mix)
+    pick = rng.uniform(0, total)
+    for value, weight in mix:
+        pick -= weight
+        if pick <= 0:
+            return value
+    return mix[-1][0]
+
+
+def build_workload(
+    programs: list[str],
+    total: int,
+    *,
+    seed: int,
+    scale: int | None,
+    concurrency: int,
+) -> list[tuple[str, dict]]:
+    """A deterministic (op, params) list; index 0..concurrency-1 are one
+    identical ``run`` request — the coalesce burst."""
+    rng = random.Random(seed)
+    burst_params = {
+        "program": programs[0],
+        "scale": scale,
+        "mode": "each",
+        "variant": "om-full",
+        "timed": True,
+    }
+    items: list[tuple[str, dict]] = [
+        ("run", dict(burst_params)) for _ in range(min(concurrency, total))
+    ]
+    while len(items) < total:
+        op = _weighted(rng, _OP_MIX)
+        params: dict = {
+            "program": rng.choice(programs),
+            "scale": scale,
+            "mode": "all" if rng.random() < 0.25 else "each",
+        }
+        if op != "compile":
+            variant = _weighted(rng, _VARIANT_MIX)
+            if op == "explain" and variant == "ld":
+                variant = "om-full"
+            params["variant"] = variant
+        items.append((op, params))
+    return items
+
+
+def run_phase(
+    address: tuple[str, int],
+    workload: list[tuple[str, dict]],
+    concurrency: int,
+    *,
+    timeout: float,
+    retries: int,
+) -> dict:
+    """Drive the workload through ``concurrency`` client threads."""
+    work: queue.Queue = queue.Queue()
+    for item in workload:
+        work.put(item)
+    barrier = threading.Barrier(concurrency)
+    samples: list[tuple[str, float]] = []
+    failures: list[dict] = []
+    coalesced = cached = busy_replies = 0
+    lock = threading.Lock()
+
+    def worker() -> None:
+        nonlocal coalesced, cached, busy_replies
+        client = ServeClient(address, timeout=timeout, retries=retries)
+        try:
+            barrier.wait(timeout=timeout)
+            while True:
+                try:
+                    op, params = work.get_nowait()
+                except queue.Empty:
+                    break
+                started = time.monotonic()
+                try:
+                    response = client.request(op, **params)
+                except ServeError as exc:
+                    with lock:
+                        failures.append(
+                            {"op": op, "error": f"{type(exc).__name__}: {exc}"}
+                        )
+                    continue
+                duration = time.monotonic() - started
+                with lock:
+                    samples.append((op, duration))
+                    if response.get("coalesced"):
+                        coalesced += 1
+                    if response.get("cached"):
+                        cached += 1
+        finally:
+            with lock:
+                busy_replies += client.busy_retries
+            client.close()
+
+    threads = [
+        threading.Thread(target=worker, name=f"loadgen-{i}", daemon=True)
+        for i in range(concurrency)
+    ]
+    started = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.monotonic() - started
+
+    durations = sorted(duration for _, duration in samples)
+    by_op: dict[str, int] = {}
+    for op, _ in samples:
+        by_op[op] = by_op.get(op, 0) + 1
+    return {
+        "requests": len(workload),
+        "ok": len(samples),
+        "failed": len(failures),
+        "failures": failures[:10],
+        "busy_replies": busy_replies,
+        "coalesced": coalesced,
+        "cached": cached,
+        "by_op": by_op,
+        "wall_s": wall,
+        "throughput_rps": len(samples) / wall if wall > 0 else 0.0,
+        "latency_ms": {
+            "p50": 1e3 * percentile(durations, 0.50),
+            "p95": 1e3 * percentile(durations, 0.95),
+            "p99": 1e3 * percentile(durations, 0.99),
+            "mean": 1e3 * sum(durations) / len(durations) if durations else 0.0,
+            "max": 1e3 * durations[-1] if durations else 0.0,
+        },
+    }
+
+
+def _counter_delta(before: dict, after: dict) -> dict:
+    b, a = before["counters"], after["counters"]
+    return {key: a[key] - b.get(key, 0) for key in a}
+
+
+def reconcile(before: dict, final: dict, phases: dict) -> dict:
+    """Client-side observations vs. the server's own counters."""
+    delta = _counter_delta(before, final)
+    client_ok = sum(phase["ok"] for phase in phases.values())
+    client_busy = sum(phase["busy_replies"] for phase in phases.values())
+    client_coalesced = sum(phase["coalesced"] for phase in phases.values())
+    client_cached = sum(phase["cached"] for phase in phases.values())
+    checks = {
+        "completed_matches_client": {
+            "ok": delta["completed"] == client_ok,
+            "server": delta["completed"], "client": client_ok,
+        },
+        "rejected_matches_client_busy": {
+            "ok": delta["rejected"] == client_busy,
+            "server": delta["rejected"], "client": client_busy,
+        },
+        "coalesced_matches_client": {
+            "ok": delta["coalesced"] == client_coalesced,
+            "server": delta["coalesced"], "client": client_coalesced,
+        },
+        "cache_hits_match_client": {
+            "ok": delta["cache_hits"] == client_cached,
+            "server": delta["cache_hits"], "client": client_cached,
+        },
+        "serving_identity": {
+            "ok": delta["completed"]
+            == delta["coalesced"] + delta["cache_hits"] + delta["computed"],
+            "completed": delta["completed"],
+            "coalesced": delta["coalesced"],
+            "cache_hits": delta["cache_hits"],
+            "computed": delta["computed"],
+        },
+        "zero_server_failures": {
+            "ok": delta["failed"] == 0, "failed": delta["failed"],
+        },
+        "coalescing_observed": {
+            "ok": delta["coalesced"] >= 1, "coalesced": delta["coalesced"],
+        },
+        "warm_throughput_higher": {
+            "ok": phases["warm"]["throughput_rps"]
+            > phases["cold"]["throughput_rps"],
+            "cold_rps": phases["cold"]["throughput_rps"],
+            "warm_rps": phases["warm"]["throughput_rps"],
+        },
+    }
+    return {"ok": all(check["ok"] for check in checks.values()),
+            "counters_delta": delta, "checks": checks}
+
+
+def _phase_line(name: str, phase: dict) -> str:
+    lat = phase["latency_ms"]
+    return (
+        f"{name:>5}: {phase['ok']}/{phase['requests']} ok, "
+        f"{phase['failed']} failed, {phase['busy_replies']} busy replies | "
+        f"{phase['throughput_rps']:.2f} req/s | "
+        f"p50 {lat['p50']:.1f} ms, p95 {lat['p95']:.1f} ms, "
+        f"p99 {lat['p99']:.1f} ms | "
+        f"coalesced {phase['coalesced']}, cached {phase['cached']}"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments serve-bench",
+        description="cold/warm load benchmark against the toolchain daemon",
+    )
+    parser.add_argument("--programs", default=DEFAULT_PROGRAMS,
+                        help="comma-separated benchmarks, or 'all'")
+    parser.add_argument("--scale", type=int, default=1,
+                        help="workload SCALE override (default 1: smoke size)")
+    parser.add_argument("--concurrency", "-c", type=int, default=8)
+    parser.add_argument("--requests", "-n", type=int, default=40,
+                        help="requests per phase")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--timeout", type=float, default=120.0)
+    parser.add_argument("--retries", type=int, default=8)
+    parser.add_argument("--connect", default=None, metavar="HOST:PORT",
+                        help="benchmark a running daemon instead of an "
+                             "embedded one")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="embedded daemon worker processes")
+    parser.add_argument("--queue-limit", type=int, default=32,
+                        help="embedded daemon admission-queue bound")
+    parser.add_argument("--cache-dir", default=None,
+                        help="embedded daemon cache dir (default: fresh "
+                             "temporary directory, guaranteeing a cold phase)")
+    parser.add_argument("--out", default="BENCH_serve.json",
+                        help="JSON report path")
+    parser.add_argument("--shutdown", action="store_true",
+                        help="with --connect: send a shutdown request after "
+                             "the benchmark (embedded daemons always drain)")
+    args = parser.parse_args(argv)
+
+    if args.programs == "all":
+        from repro.benchsuite.suite import PROGRAMS
+
+        programs = list(PROGRAMS)
+    else:
+        programs = [name for name in args.programs.split(",") if name]
+    workload = build_workload(
+        programs, args.requests,
+        seed=args.seed, scale=args.scale, concurrency=args.concurrency,
+    )
+
+    thread = None
+    tempdir = None
+    if args.connect:
+        host, _, port = args.connect.rpartition(":")
+        address = (host or "127.0.0.1", int(port))
+    else:
+        from repro.cache import ArtifactCache
+        from repro.serve.server import ServeConfig, ServerThread
+
+        cache_dir = args.cache_dir
+        if cache_dir is None:
+            tempdir = tempfile.TemporaryDirectory(prefix="repro-serve-bench-")
+            cache_dir = tempdir.name
+        thread = ServerThread(
+            ArtifactCache(cache_dir),
+            ServeConfig(workers=args.workers, queue_limit=args.queue_limit),
+        )
+        address = thread.start()
+        print(f"embedded daemon on {address[0]}:{address[1]} "
+              f"(cache: {cache_dir})")
+
+    try:
+        probe = ServeClient(address, timeout=args.timeout)
+        before = probe.status()
+        phases = {}
+        for name in ("cold", "warm"):
+            phases[name] = run_phase(
+                address, workload, args.concurrency,
+                timeout=args.timeout, retries=args.retries,
+            )
+            print(_phase_line(name, phases[name]))
+        final = probe.status()
+        if args.connect and args.shutdown:
+            probe.shutdown()
+        probe.close()
+    finally:
+        if thread is not None:
+            thread.stop()
+        if tempdir is not None:
+            tempdir.cleanup()
+
+    outcome = reconcile(before, final, phases)
+    report = {
+        "bench": "serve",
+        "concurrency": args.concurrency,
+        "requests_per_phase": args.requests,
+        "programs": programs,
+        "scale": args.scale,
+        "seed": args.seed,
+        "phases": phases,
+        "server": {"before": before, "final": final},
+        "reconcile": outcome,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"report: {args.out}")
+
+    for name, check in outcome["checks"].items():
+        flag = "OK" if check["ok"] else "FAIL"
+        detail = {k: v for k, v in check.items() if k != "ok"}
+        print(f"  {flag:>4}  {name}  {detail}")
+    failed_requests = sum(phase["failed"] for phase in phases.values())
+    ok = outcome["ok"] and failed_requests == 0
+    print(f"serve-bench: {'OK' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,209 @@
+"""Job bodies for the daemon's worker pool.
+
+Every job is a pure function of its (already canonicalized) payload:
+the server resolves ``program`` names to source texts *before* keying
+and submission, so by the time a payload reaches a worker it contains
+the exact sources, mode, variant, and budget — nothing environmental.
+That is what makes the job result safe to content-address and share
+between identical requests.
+
+Jobs never raise across the process boundary.  :func:`execute_job`
+returns ``{"ok": True, "result": ...}`` or ``{"ok": False, "error":
+{"kind", "message"}}`` — toolchain failures (MiniC compile errors, a
+run overrunning its instruction budget) are *data*, reported to the
+client with a kind it can dispatch on, while only genuinely unexpected
+exceptions surface as ``kind="internal"`` with a traceback.
+
+Per-process warm state is limited to the standard-library archive
+(memoized by :func:`repro.benchsuite.suite.build_stdlib`); each job
+links against a private copy so an in-place-mutating linker can never
+corrupt another job's inputs — the same cache-boundary discipline as
+``repro.experiments.build.copies_for``.
+"""
+
+from __future__ import annotations
+
+import traceback
+
+from repro.benchsuite.suite import build_stdlib
+from repro.linker import link, make_crt0
+from repro.machine import ExecutionBudgetExceeded, run
+from repro.minicc import Options, compile_all, compile_module
+from repro.objfile.archive import Archive
+from repro.objfile.sections import SectionKind
+from repro.objfile.serialize import dump_archive, load_archive
+from repro.obs import provenance
+from repro.obs.trace import TraceLog
+from repro.om import OMLevel, OMOptions, om_link
+
+#: Link variants a request may name; ``ld`` is the standard linker.
+VARIANTS: dict[str, tuple[OMLevel, OMOptions] | None] = {
+    "ld": None,
+    "om-none": (OMLevel.NONE, OMOptions()),
+    "om-simple": (OMLevel.SIMPLE, OMOptions()),
+    "om-full": (OMLevel.FULL, OMOptions()),
+    "om-full-sched": (OMLevel.FULL, OMOptions(schedule=True)),
+    "om-full-gc": (OMLevel.FULL, OMOptions(remove_dead_procs=True)),
+}
+
+#: Default simulator budget for ``run`` jobs; the server clamps
+#: client-requested budgets to its configured ceiling.
+DEFAULT_RUN_BUDGET = 50_000_000
+
+
+class JobError(Exception):
+    """A job failure with a client-facing kind."""
+
+    def __init__(self, kind: str, message: str):
+        super().__init__(message)
+        self.kind = kind
+
+
+def _options(payload: dict) -> Options:
+    return Options(
+        optimize=bool(payload.get("optimize", True)),
+        schedule=bool(payload.get("schedule", True)),
+    )
+
+
+def _compile_objects(payload: dict):
+    sources = [tuple(pair) for pair in payload["sources"]]
+    if not sources:
+        raise JobError("bad-request", "no sources in payload")
+    options = _options(payload)
+    mode = payload.get("mode", "each")
+    if mode == "all":
+        return [compile_all(list(sources), "all.o", options)]
+    if mode != "each":
+        raise JobError("bad-request", f"unknown mode {mode!r}")
+    return [
+        compile_module(text, name.rsplit(".", 1)[0] + ".o", options)
+        for name, text in sources
+    ]
+
+
+def _fresh_stdlib() -> Archive:
+    lib = build_stdlib()
+    return Archive(lib.name, load_archive(dump_archive(lib.members)))
+
+
+def _link(payload: dict, objects, *, trace: TraceLog | None = None):
+    """Link compiled objects per the payload's variant: (executable, om)."""
+    variant = payload.get("variant", "om-full")
+    if variant not in VARIANTS:
+        raise JobError("bad-request", f"unknown link variant {variant!r}")
+    objects = [make_crt0()] + objects
+    libraries = [_fresh_stdlib()]
+    spec = VARIANTS[variant]
+    if spec is None:
+        return link(objects, libraries), None
+    level, options = spec
+    result = om_link(objects, libraries, level=level, options=options, trace=trace)
+    return result.executable, result
+
+
+def _job_compile(payload: dict) -> dict:
+    objects = _compile_objects(payload)
+    return {
+        "modules": [obj.name for obj in objects],
+        "objects": len(objects),
+        "text_bytes": sum(
+            len(obj.section(SectionKind.TEXT).data) for obj in objects
+        ),
+    }
+
+
+def _link_summary(executable, om) -> dict:
+    summary = {
+        "text_bytes": executable.text_size,
+        "gat_bytes": executable.gat_size,
+        "procs": len(executable.procs),
+    }
+    if om is not None:
+        summary["addr_loads_before"] = om.stats.before.addr_loads
+        summary["addr_loads_after"] = om.stats.after.addr_loads
+        summary["gat_bytes_before"] = om.stats.gat_bytes_before
+        summary["gat_bytes_after"] = om.stats.gat_bytes_after
+    return summary
+
+
+def _job_link(payload: dict) -> dict:
+    executable, om = _link(payload, _compile_objects(payload))
+    return _link_summary(executable, om)
+
+
+def _job_run(payload: dict) -> dict:
+    executable, om = _link(payload, _compile_objects(payload))
+    budget = int(payload.get("max_instructions") or DEFAULT_RUN_BUDGET)
+    try:
+        outcome = run(
+            executable,
+            timed=bool(payload.get("timed", True)),
+            max_instructions=budget,
+        )
+    except ExecutionBudgetExceeded as exc:
+        raise JobError(
+            "budget-exceeded",
+            f"program did not halt within {exc.limit} instructions",
+        ) from None
+    result = _link_summary(executable, om)
+    result.update(
+        {
+            "output": outcome.output,
+            "instructions": outcome.instructions,
+            "cycles": outcome.cycles,
+            "halted": outcome.halted,
+        }
+    )
+    return result
+
+
+def _job_explain(payload: dict) -> dict:
+    if payload.get("variant", "om-full") == "ld":
+        raise JobError("bad-request", "explain requires an OM link variant")
+    trace = TraceLog()
+    executable, om = _link(payload, _compile_objects(payload), trace=trace)
+    events = provenance.events(trace)
+    actions: dict[str, int] = {}
+    for event in events:
+        action = event.get("action", "?")
+        actions[action] = actions.get(action, 0) + 1
+    mismatches = provenance.reconcile(trace, om.counters)
+    result = _link_summary(executable, om)
+    result.update(
+        {
+            "events": len(events),
+            "actions": actions,
+            "reconciled": not mismatches,
+        }
+    )
+    return result
+
+
+_JOBS = {
+    "compile": _job_compile,
+    "link": _job_link,
+    "run": _job_run,
+    "explain": _job_explain,
+}
+
+
+def execute_job(op: str, payload: dict) -> dict:
+    """Run one job; failures are returned as data, never raised."""
+    job = _JOBS.get(op)
+    if job is None:
+        return {"ok": False, "error": {"kind": "bad-request",
+                                       "message": f"unknown op {op!r}"}}
+    try:
+        return {"ok": True, "result": job(payload)}
+    except JobError as exc:
+        return {"ok": False, "error": {"kind": exc.kind, "message": str(exc)}}
+    except Exception as exc:  # toolchain bug or bad program: report, don't die
+        return {
+            "ok": False,
+            "error": {
+                "kind": "internal",
+                "message": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(limit=20),
+            },
+        }

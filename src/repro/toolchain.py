@@ -15,7 +15,11 @@ Mirrors the workflow of the paper's environment:
 * ``run``  — execute an executable on the simulated AXP
   (``--profile-out profile.json`` writes the per-procedure profile
   that closes the PGO loop);
-* ``dis``  — disassemble an object file or executable.
+* ``dis``  — disassemble an object file or executable;
+* ``serve`` — run the toolchain as a long-lived daemon
+  (:mod:`repro.serve`): compile/link/run/explain requests over a
+  length-prefixed JSON TCP protocol, coalesced and content-cached,
+  with bounded admission and graceful drain on SIGTERM.
 
 Executables are serialized with pickle (they are an internal format);
 objects and archives use the repository's binary format.
@@ -172,6 +176,26 @@ def _run(args) -> int:
     return 0
 
 
+def _serve(args) -> int:
+    import asyncio
+
+    from repro.cache import ArtifactCache
+    from repro.obs.trace import TraceLog
+    from repro.serve.server import ServeConfig, serve_main
+
+    cache = None if args.no_cache else ArtifactCache(args.cache_dir)
+    trace = TraceLog(sink=args.trace) if args.trace else None
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        retry_after=args.retry_after,
+        run_budget=args.run_budget,
+    )
+    return asyncio.run(serve_main(config, cache, trace))
+
+
 def _dis(args) -> int:
     path = Path(args.input)
     data = path.read_bytes()
@@ -247,6 +271,27 @@ def build_parser() -> argparse.ArgumentParser:
     dis = sub.add_parser("dis", help="disassemble an object or executable")
     dis.add_argument("input")
     dis.set_defaults(func=_dis)
+
+    serve = sub.add_parser("serve", help="run the toolchain daemon")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 = ephemeral; the bound port is "
+                            "announced as 'serving on host:port')")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="process-pool size for compile/link/run jobs")
+    serve.add_argument("--queue-limit", type=int, default=16,
+                       help="admitted-job bound before retry-after replies")
+    serve.add_argument("--retry-after", type=float, default=0.05,
+                       help="backpressure hint sent when the queue is full")
+    serve.add_argument("--run-budget", type=int, default=200_000_000,
+                       help="ceiling on per-request simulator budgets")
+    serve.add_argument("--cache-dir", default=".repro-cache",
+                       help="content-addressed artifact cache directory")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="serve without the disk cache (still coalesces)")
+    serve.add_argument("--trace", default=None,
+                       help="JSONL trace sink, flushed on drain")
+    serve.set_defaults(func=_serve)
     return parser
 
 

@@ -197,3 +197,91 @@ def test_memoized_objects_unchanged_by_all_variants():
         assert dump_archive(lib.members) == before_lib
     finally:
         build.configure_cache(previous)
+
+
+# -- single-flight coalescing --------------------------------------------------
+
+
+def test_single_flight_coalesces_concurrent_identical_work():
+    import threading
+    import time
+
+    from repro.cache import SingleFlight
+
+    flights = SingleFlight()
+    n = 6
+    release = threading.Event()
+    calls = []
+    results = []
+
+    def thunk():
+        calls.append(1)
+        assert release.wait(timeout=10)
+        return "built"
+
+    def worker():
+        results.append(flights.do("key", thunk))
+
+    threads = [threading.Thread(target=worker) for _ in range(n)]
+    for t in threads:
+        t.start()
+    # The leader is parked inside the thunk; hold it there until every
+    # other thread has demonstrably joined its flight, so the test is
+    # deterministic rather than a thread-scheduling lottery.
+    deadline = time.monotonic() + 10
+    while flights.coalesced < n - 1:
+        assert time.monotonic() < deadline, "followers never joined"
+        time.sleep(0.001)
+    release.set()
+    for t in threads:
+        t.join()
+
+    assert len(calls) == 1  # the work ran once
+    assert [value for value, _ in results] == ["built"] * n
+    assert sum(1 for _, led in results if led) == 1
+    assert flights.started == 1
+    assert flights.coalesced == n - 1
+
+
+def test_single_flight_propagates_leader_failure_then_recovers():
+    from repro.cache import SingleFlight
+
+    flights = SingleFlight()
+
+    def boom():
+        raise RuntimeError("leader failed")
+
+    with pytest.raises(RuntimeError, match="leader failed"):
+        flights.do("key", boom)
+    # The failed flight is closed out: the next caller leads afresh.
+    value, led = flights.do("key", lambda: "second try")
+    assert (value, led) == ("second try", True)
+    assert flights.started == 2
+
+
+def test_single_flight_helper_and_distinct_keys():
+    from repro.cache import single_flight
+
+    assert single_flight("test-cache-k1", lambda: 1) == (1, True)
+    assert single_flight("test-cache-k2", lambda: 2) == (2, True)
+
+
+def test_cache_stats_record_is_thread_safe(tmp_path):
+    import threading
+
+    cache = ArtifactCache(tmp_path, stamp="s")
+    key = cache.key({"x": 1})
+    cache.put("objects", key, b"data")
+
+    def hammer():
+        for _ in range(300):
+            cache.get("objects", key)
+            cache.get("objects", "0" * 64)
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert cache.stats.hits["objects"] == 1200
+    assert cache.stats.misses["objects"] == 1200

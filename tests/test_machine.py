@@ -196,3 +196,23 @@ def test_miss_penalty_visible_in_cycles(libmc, crt0):
     assert result.cycles > result.instructions + result.dcache_misses * (
         CACHE_MISS_PENALTY - 1
     )
+
+
+def test_budget_exceeded_is_typed_and_carries_limit(libmc, crt0):
+    from repro.machine import ExecutionBudgetExceeded
+
+    exe = build("int main() { while (1) { } return 0; }", libmc, crt0)
+    for timed in (False, True):
+        with pytest.raises(ExecutionBudgetExceeded) as err:
+            run(exe, timed=timed, max_instructions=5_000)
+        assert err.value.limit == 5_000
+    # Subclasses MachineError: existing `except MachineError` callers
+    # keep catching budget overruns.
+    assert issubclass(ExecutionBudgetExceeded, MachineError)
+
+
+def test_budget_not_triggered_by_a_halting_program(libmc, crt0):
+    exe = build("int main() { __putint(9); return 0; }", libmc, crt0)
+    result = run(exe, timed=False, max_instructions=10_000_000)
+    assert result.output == "9\n"
+    assert result.halted

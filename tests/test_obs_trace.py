@@ -109,3 +109,60 @@ def test_span_or_null_without_trace():
     with span_or_null(trace, "real", cat="om"):
         pass
     assert trace.events[0]["name"] == "real"
+
+
+# -- durable sink: flush / close -----------------------------------------------
+
+
+def test_sink_flush_appends_only_new_events(tmp_path):
+    sink = tmp_path / "t.jsonl"
+    trace = TraceLog(sink=sink)
+    trace.event("first", cat="x")
+    assert trace.unflushed == 1
+    assert trace.flush() == 1
+    assert trace.unflushed == 0
+    assert trace.flush() == 0  # nothing new: nothing rewritten
+
+    trace.event("second", cat="x")
+    trace.event("third", cat="x")
+    assert trace.flush() == 2
+    names = [json.loads(line)["name"] for line in sink.read_text().splitlines()]
+    assert names == ["first", "second", "third"]
+
+
+def test_sink_close_is_final_flush_and_idempotent(tmp_path):
+    sink = tmp_path / "t.jsonl"
+    trace = TraceLog(sink=sink)
+    trace.event("only", cat="x")
+    trace.close()
+    assert trace.closed
+    trace.close()  # idempotent: no duplicate lines
+    assert len(sink.read_text().splitlines()) == 1
+
+
+def test_sink_context_manager_flushes_on_exit(tmp_path):
+    sink = tmp_path / "t.jsonl"
+    with TraceLog(sink=sink) as trace:
+        with trace.span("work", cat="x"):
+            trace.event("inside", cat="x")
+    lines = [json.loads(line) for line in sink.read_text().splitlines()]
+    assert [line["name"] for line in lines] == ["inside", "work"]
+    assert trace.closed
+
+
+def test_sink_jsonl_is_loadable_as_a_trace(tmp_path):
+    sink = tmp_path / "t.jsonl"
+    with TraceLog(sink=sink) as trace:
+        trace.counter("q", depth=3)
+        trace.event("e", cat="serve")
+    loaded = TraceLog.load_jsonl(sink)
+    assert loaded.events == trace.events
+
+
+def test_no_sink_flush_and_close_are_noops():
+    trace = TraceLog()
+    trace.event("x")
+    assert trace.flush() == 0
+    trace.close()
+    assert trace.closed
+    assert trace.events  # events kept in memory regardless

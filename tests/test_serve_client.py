@@ -1,0 +1,247 @@
+"""Client reliability layer against a scripted (flaky) fake server.
+
+The fake speaks the real wire protocol on a real socket but follows a
+per-connection script — drop, answer busy, answer garbage, go silent —
+so every retry/timeout/backoff path is exercised deterministically,
+without a toolchain in sight.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.client import (
+    ConnectionFailed,
+    RequestFailed,
+    RequestTimeout,
+    ServeClient,
+    ServerBusy,
+)
+
+
+class FakeServer:
+    """A TCP server whose connections follow a script.
+
+    Each element of ``script`` handles one accepted connection:
+
+    * ``"drop"``        — close immediately (clean EOF before a reply);
+    * ``"busy:<s>"``    — answer every request with retry-after <s>;
+    * ``"busy-once:<s>"`` — retry-after <s> for the first request on
+      the connection, ok afterwards;
+    * ``"silent"``      — read requests, never reply;
+    * ``"garbage"``     — reply with bytes that are not a frame;
+    * ``"wrong-id"``    — reply ok but to a different request id;
+    * ``"ok"``          — answer every request with an ok echo;
+    * ``"fail:<kind>"`` — answer every request with that error kind.
+
+    The last element is reused for any further connections.
+    """
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.connections = 0
+        self._sock = socket.socket()
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.address = self._sock.getsockname()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self._stop.set()
+        self._sock.close()
+        self._thread.join(timeout=10)
+
+    def _serve(self):
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return  # listener closed
+            step = self.script[min(self.connections, len(self.script) - 1)]
+            self.connections += 1
+            try:
+                self._handle(conn, step)
+            except OSError:
+                pass
+            finally:
+                conn.close()
+
+    def _handle(self, conn, step):
+        if step == "drop":
+            return
+        conn.settimeout(10)
+        answered = 0
+        while True:
+            request = protocol.recv_frame(conn)
+            if request is None:
+                return
+            rid = request["id"]
+            if step == "silent":
+                continue
+            if step == "garbage":
+                conn.sendall(b"\x00\x00\x00\x04not!")
+                return
+            if step == "wrong-id":
+                protocol.send_frame(conn, protocol.ok_response(rid + 1000, {}))
+                continue
+            if step.startswith("busy:") or (
+                step.startswith("busy-once:") and answered == 0
+            ):
+                hint = float(step.rsplit(":", 1)[1])
+                protocol.send_frame(conn, protocol.busy_response(rid, hint))
+                answered += 1
+                continue
+            if step.startswith("busy-once:"):
+                protocol.send_frame(
+                    conn, protocol.ok_response(rid, {"echo": request["op"]})
+                )
+                answered += 1
+                continue
+            if step.startswith("fail:"):
+                kind = step.split(":", 1)[1]
+                protocol.send_frame(
+                    conn, protocol.error_response(rid, kind, "scripted")
+                )
+                continue
+            assert step == "ok", step
+            protocol.send_frame(
+                conn, protocol.ok_response(rid, {"echo": request["op"]})
+            )
+
+
+def _client(server, **kwargs):
+    kwargs.setdefault("timeout", 5)
+    kwargs.setdefault("backoff", 0.001)
+    kwargs.setdefault("sleep", lambda s: None)  # don't actually wait in tests
+    return ServeClient(server.address, **kwargs)
+
+
+# -- transport retries ---------------------------------------------------------
+
+
+def test_reconnects_after_dropped_connections():
+    with FakeServer(["drop", "drop", "ok"]) as server:
+        with _client(server, retries=5) as client:
+            response = client.request("status")
+        assert response["ok"] and response["result"] == {"echo": "status"}
+        assert client.transport_retries == 2
+        assert server.connections == 3
+
+
+def test_connection_failed_when_retries_exhausted():
+    with FakeServer(["drop"]) as server:
+        with _client(server, retries=2) as client:
+            with pytest.raises(ConnectionFailed):
+                client.request("status")
+        assert client.transport_retries == 2
+        assert server.connections == 3  # initial try + 2 retries
+
+
+def test_connection_refused_is_retried_then_raised():
+    # Grab (and release) an ephemeral port nothing is listening on.
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    address = probe.getsockname()
+    probe.close()
+
+    sleeps = []
+    client = ServeClient(
+        address, timeout=5, retries=3, backoff=0.01, sleep=sleeps.append
+    )
+    with pytest.raises(ConnectionFailed):
+        client.request("status")
+    assert client.transport_retries == 3
+    # Exponential backoff between attempts: 0.01, 0.02, 0.04.
+    assert sleeps == [0.01, 0.02, 0.04]
+
+
+def test_garbage_reply_is_retried_on_a_fresh_connection():
+    with FakeServer(["garbage", "ok"]) as server:
+        with _client(server, retries=3) as client:
+            assert client.request("status")["ok"]
+        assert client.transport_retries == 1
+
+
+# -- backpressure honoring -----------------------------------------------------
+
+
+def test_busy_then_ok_honors_retry_after():
+    sleeps = []
+    with FakeServer(["busy-once:0.25"]) as server:
+        client = ServeClient(
+            server.address, timeout=5, retries=4,
+            backoff=0.001, backoff_cap=2.0, sleep=sleeps.append,
+        )
+        response = client.request("run")
+        client.close()
+        assert response["ok"]
+        assert client.busy_retries == 1
+        assert server.connections == 1  # retried on the same connection
+    # The server's hint (0.25s) dominates the tiny base backoff.
+    assert sleeps == [pytest.approx(0.25)]
+
+
+def test_server_busy_carries_attempts_and_hint():
+    with FakeServer(["busy:0.5"]) as server:
+        with _client(server, retries=2) as client:
+            with pytest.raises(ServerBusy) as err:
+                client.request("run")
+        assert err.value.attempts == 3
+        assert err.value.retry_after == pytest.approx(0.5)
+        assert client.busy_retries == 3
+
+
+def test_backoff_is_capped():
+    sleeps = []
+    with FakeServer(["busy:9.0"]) as server:
+        client = ServeClient(
+            server.address, timeout=5, retries=3,
+            backoff=0.01, backoff_cap=0.3, sleep=sleeps.append,
+        )
+        with pytest.raises(ServerBusy):
+            client.request("run")
+        client.close()
+    # Every pause (hint 9s, backoff growing) is clamped to the cap.
+    assert sleeps == [0.3, 0.3, 0.3]
+
+
+# -- timeouts and protocol hygiene ---------------------------------------------
+
+
+def test_silent_server_raises_request_timeout_without_retry():
+    with FakeServer(["silent", "ok"]) as server:
+        with _client(server, timeout=0.2, retries=5) as client:
+            with pytest.raises(RequestTimeout):
+                client.request("status")
+            # Timeouts are not retried: the reply may still be in flight
+            # and retrying could cross answers between requests.
+            assert client.transport_retries == 0
+            # But the poisoned connection was dropped, so the *next*
+            # request starts fresh and succeeds.
+            assert client.request("status")["ok"]
+        assert server.connections == 2
+
+
+def test_mismatched_response_id_is_a_protocol_error():
+    with FakeServer(["wrong-id"]) as server:
+        with _client(server, retries=0) as client:
+            with pytest.raises(protocol.ProtocolError, match="id"):
+                client.request("status")
+
+
+def test_error_reply_raises_request_failed_without_retry():
+    with FakeServer(["fail:bad-request", "ok"]) as server:
+        with _client(server, retries=5) as client:
+            with pytest.raises(RequestFailed) as err:
+                client.request("compile")
+            assert err.value.kind == "bad-request"
+        # No retries: a definitive error is not flakiness.
+        assert server.connections == 1

@@ -1,0 +1,148 @@
+"""The daemon's wire format: framing, ceilings, truncation, shapes."""
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.serve import protocol
+
+
+def _pipe():
+    """A connected (client, server) socket pair."""
+    return socket.socketpair()
+
+
+# -- encode / decode -----------------------------------------------------------
+
+
+def test_encode_decode_roundtrip():
+    frame = protocol.encode_frame({"op": "status", "id": 7})
+    assert frame[:4] == (len(frame) - 4).to_bytes(4, "big")
+    assert protocol.decode_body(frame[4:]) == {"op": "status", "id": 7}
+
+
+def test_encode_refuses_oversized_frame():
+    with pytest.raises(protocol.FrameTooLarge):
+        protocol.encode_frame({"blob": "x" * 64}, max_frame=32)
+
+
+def test_decode_rejects_non_json_and_non_object():
+    with pytest.raises(protocol.ProtocolError):
+        protocol.decode_body(b"\xff\xfe not json")
+    with pytest.raises(protocol.ProtocolError):
+        protocol.decode_body(b"[1, 2, 3]")
+
+
+# -- blocking-socket codec -----------------------------------------------------
+
+
+def test_socket_roundtrip_and_clean_eof():
+    a, b = _pipe()
+    protocol.send_frame(a, {"id": 1, "op": "status"})
+    protocol.send_frame(a, {"id": 2, "op": "run", "program": "li"})
+    assert protocol.recv_frame(b) == {"id": 1, "op": "status"}
+    assert protocol.recv_frame(b) == {"id": 2, "op": "run", "program": "li"}
+    a.close()
+    assert protocol.recv_frame(b) is None  # EOF at a frame boundary
+    b.close()
+
+
+def test_truncated_header_and_body_raise():
+    a, b = _pipe()
+    a.sendall(b"\x00\x00")  # half a header
+    a.close()
+    with pytest.raises(protocol.TruncatedFrame):
+        protocol.recv_frame(b)
+    b.close()
+
+    a, b = _pipe()
+    frame = protocol.encode_frame({"id": 1, "op": "status"})
+    a.sendall(frame[:-3])  # header promises more body than arrives
+    a.close()
+    with pytest.raises(protocol.TruncatedFrame):
+        protocol.recv_frame(b)
+    b.close()
+
+
+def test_oversized_header_rejected_before_buffering():
+    a, b = _pipe()
+    a.sendall((1 << 30).to_bytes(4, "big"))
+    with pytest.raises(protocol.FrameTooLarge):
+        protocol.recv_frame(b)
+    a.close()
+    b.close()
+
+
+# -- asyncio codec -------------------------------------------------------------
+
+
+def _serve_bytes(data: bytes):
+    """Feed raw bytes through a real asyncio stream; return read_frame's
+    results (or the raised exception) until EOF."""
+
+    async def main():
+        server_done = asyncio.Event()
+        results = []
+
+        async def handler(reader, writer):
+            try:
+                while True:
+                    frame = await protocol.read_frame(reader)
+                    results.append(frame)
+                    if frame is None:
+                        break
+            except protocol.ProtocolError as exc:
+                results.append(exc)
+            finally:
+                writer.close()
+                server_done.set()
+
+        server = await asyncio.start_server(handler, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        _, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(data)
+        await writer.drain()
+        writer.close()
+        await asyncio.wait_for(server_done.wait(), timeout=10)
+        server.close()
+        await server.wait_closed()
+        return results
+
+    return asyncio.run(main())
+
+
+def test_async_roundtrip_and_eof():
+    data = protocol.encode_frame({"id": 1}) + protocol.encode_frame({"id": 2})
+    results = _serve_bytes(data)
+    assert results == [{"id": 1}, {"id": 2}, None]
+
+
+def test_async_truncated_frame():
+    data = protocol.encode_frame({"id": 1, "pad": "x" * 100})[:-10]
+    (result,) = _serve_bytes(data)
+    assert isinstance(result, protocol.TruncatedFrame)
+
+
+def test_async_oversized_frame():
+    (result,) = _serve_bytes((1 << 31).to_bytes(4, "big"))
+    assert isinstance(result, protocol.FrameTooLarge)
+
+
+# -- message shapes ------------------------------------------------------------
+
+
+def test_message_shapes():
+    req = protocol.request("run", 3, program="li", scale=1)
+    assert req == {"id": 3, "op": "run", "program": "li", "scale": 1}
+    ok = protocol.ok_response(3, {"cycles": 9}, cached=True)
+    assert ok["ok"] and ok["cached"] and not ok["coalesced"]
+    err = protocol.error_response(3, "bad-request", "nope")
+    assert not err["ok"] and err["error"]["kind"] == "bad-request"
+    busy = protocol.busy_response(3, 0.25)
+    assert not busy["ok"] and busy["retry_after"] == 0.25
+
+
+def test_ops_inventory():
+    assert set(protocol.JOB_OPS) == {"compile", "link", "run", "explain"}
+    assert set(protocol.ADMIN_OPS) == {"status", "shutdown"}

@@ -1,0 +1,284 @@
+"""The toolchain daemon: coalescing, backpressure, drain, end-to-end.
+
+The concurrency-semantics tests (coalescing, backpressure, drain)
+substitute a deterministic stub job runner on a thread pool — the
+server's single-flight, admission, and drain logic is identical, but
+"a build" becomes "a sleep we control".  The end-to-end tests run the
+real worker pool over real generated programs.
+"""
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.cache import ArtifactCache
+from repro.fuzz.generate import GenConfig, generate_program
+from repro.obs.trace import TraceLog
+from repro.serve.client import (
+    ConnectionFailed,
+    RequestFailed,
+    ServeClient,
+    ServerBusy,
+)
+from repro.serve.server import ServeConfig, ServerThread
+
+#: A tiny grammar config so generated programs compile in milliseconds.
+_GEN = GenConfig(modules=2, helpers=1, switches=False, pointers=False)
+
+
+def stub_runner(op, payload):
+    """Deterministic job body: the first source text scripts it.
+
+    ``sleep:<s>`` sleeps then succeeds; ``fail:<kind>`` fails with that
+    kind; anything else succeeds immediately.
+    """
+    script = payload["sources"][0][1]
+    if script.startswith("sleep:"):
+        time.sleep(float(script.split(":", 1)[1]))
+    elif script.startswith("fail:"):
+        return {"ok": False, "error": {"kind": script.split(":", 1)[1],
+                                       "message": "scripted failure"}}
+    return {"ok": True, "result": {"op": op, "script": script}}
+
+
+def _stub_server(tmp_path=None, **config):
+    cache = ArtifactCache(tmp_path, stamp="test") if tmp_path else None
+    return ServerThread(
+        cache,
+        ServeConfig(**config),
+        executor=ThreadPoolExecutor(max_workers=config.get("workers", 2)),
+        job_runner=stub_runner,
+    )
+
+
+def _sources(script, name="m.mc"):
+    return [[name, script]]
+
+
+# -- coalescing ----------------------------------------------------------------
+
+def test_identical_concurrent_requests_coalesce():
+    with _stub_server(workers=4, queue_limit=8) as st:
+        n = 4
+        barrier = threading.Barrier(n)
+        responses = []
+
+        def fire():
+            with ServeClient(st.address, timeout=30) as client:
+                barrier.wait(timeout=10)
+                responses.append(
+                    client.run(sources=_sources("sleep:0.8"), variant="ld")
+                )
+
+        threads = [threading.Thread(target=fire) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert len(responses) == n
+        assert all(r["ok"] for r in responses)
+        counters = ServeClient(st.address).status()["counters"]
+        # One build served everyone: exactly one computation, the rest
+        # joined its flight.
+        assert counters["computed"] == 1
+        assert counters["coalesced"] == n - 1
+        assert counters["completed"] == n
+        assert sum(1 for r in responses if r["coalesced"]) == n - 1
+
+
+def test_coalesced_result_is_shared_not_recomputed(tmp_path):
+    with _stub_server(tmp_path, workers=2) as st:
+        with ServeClient(st.address, timeout=30) as client:
+            first = client.run(sources=_sources("hello"), variant="ld")
+            again = client.run(sources=_sources("hello"), variant="ld")
+            other = client.run(sources=_sources("other"), variant="ld")
+        assert first["result"] == again["result"]
+        assert not first["cached"] and again["cached"]
+        assert other["result"]["script"] == "other"
+
+
+# -- backpressure --------------------------------------------------------------
+
+def test_full_queue_answers_retry_after():
+    with _stub_server(workers=1, queue_limit=1, retry_after=0.02) as st:
+        start = threading.Barrier(2)
+
+        def occupy():
+            with ServeClient(st.address, timeout=30) as client:
+                start.wait(timeout=10)
+                client.run(sources=_sources("sleep:1.0"), variant="ld")
+
+        occupant = threading.Thread(target=occupy)
+        occupant.start()
+        start.wait(timeout=10)
+        time.sleep(0.2)  # let the occupant's job get admitted
+
+        with ServeClient(st.address, timeout=30, retries=0) as client:
+            with pytest.raises(ServerBusy):
+                client.run(sources=_sources("squeezed-out"), variant="ld")
+            assert client.busy_retries == 1
+        occupant.join()
+
+        status = ServeClient(st.address).status()
+        assert status["counters"]["rejected"] == 1
+        assert status["counters"]["completed"] == 1
+
+
+def test_client_retries_through_backpressure():
+    with _stub_server(workers=1, queue_limit=1, retry_after=0.02) as st:
+        n = 3
+        barrier = threading.Barrier(n)
+        outcomes = []
+
+        def fire(i):
+            # Generous retry budget: every request eventually lands.
+            with ServeClient(st.address, timeout=30, retries=50,
+                             backoff=0.02, backoff_cap=0.2) as client:
+                barrier.wait(timeout=10)
+                response = client.run(
+                    sources=_sources("sleep:0.2", name=f"m{i}.mc"),
+                    variant="ld",
+                )
+                outcomes.append((response["ok"], client.busy_retries))
+
+        threads = [threading.Thread(target=fire, args=(i,)) for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert [ok for ok, _ in outcomes] == [True] * n
+        status = ServeClient(st.address).status()
+        assert status["counters"]["completed"] == n
+        # The server's rejected count is exactly the busy replies the
+        # clients absorbed — the counters reconcile across the wire.
+        assert status["counters"]["rejected"] == sum(b for _, b in outcomes)
+
+
+# -- failures and bad requests -------------------------------------------------
+
+def test_job_failure_reaches_all_coalesced_waiters():
+    with _stub_server(workers=2) as st:
+        with ServeClient(st.address, timeout=30) as client:
+            with pytest.raises(RequestFailed) as err:
+                client.run(sources=_sources("fail:budget-exceeded"), variant="ld")
+            assert err.value.kind == "budget-exceeded"
+        counters = ServeClient(st.address).status()["counters"]
+        assert counters["failed"] == 1 and counters["completed"] == 0
+
+
+def test_malformed_requests_are_rejected_cleanly():
+    with _stub_server(workers=1) as st:
+        with ServeClient(st.address, timeout=30) as client:
+            with pytest.raises(RequestFailed, match="unknown op"):
+                client.request("frobnicate")
+            with pytest.raises(RequestFailed, match="sources"):
+                client.request("run")  # neither sources nor program
+            with pytest.raises(RequestFailed, match="unknown benchmark"):
+                client.run(program="no-such-benchmark")
+            # The connection survives every rejection.
+            assert client.status()["counters"]["bad_requests"] == 3
+
+
+# -- graceful drain ------------------------------------------------------------
+
+def test_drain_finishes_in_flight_work_and_flushes_trace(tmp_path):
+    sink = tmp_path / "serve-trace.jsonl"
+    st = ServerThread(
+        None,
+        ServeConfig(workers=2, trace_flush_every=10_000),  # only drain flushes
+        trace=TraceLog(sink=sink),
+        executor=ThreadPoolExecutor(max_workers=2),
+        job_runner=stub_runner,
+    )
+    with st:
+        responses = []
+
+        def slow_request():
+            with ServeClient(st.address, timeout=30) as client:
+                responses.append(
+                    client.run(sources=_sources("sleep:0.8"), variant="ld")
+                )
+
+        worker = threading.Thread(target=slow_request)
+        worker.start()
+        time.sleep(0.2)  # request is in flight
+        ServeClient(st.address, timeout=30).shutdown()
+        worker.join(timeout=30)
+
+        # The in-flight request completed despite the shutdown racing it.
+        assert responses and responses[0]["ok"]
+
+    # Stopped: the trace sink holds the start event, the request span,
+    # and the drained marker — nothing was dropped.
+    lines = [json.loads(line) for line in sink.read_text().splitlines()]
+    names = [line["name"] for line in lines]
+    assert "serve.start" in names
+    assert "serve.run" in names
+    assert names[-1] == "serve.drained"
+
+    # And the listener is gone.
+    with pytest.raises(ConnectionFailed):
+        ServeClient(st.address, timeout=5, retries=1, backoff=0.01).status()
+
+
+# -- end-to-end over the real worker pool --------------------------------------
+
+@pytest.fixture(scope="module")
+def real_server(tmp_path_factory):
+    cache = ArtifactCache(tmp_path_factory.mktemp("serve-cache"))
+    with ServerThread(cache, ServeConfig(workers=2, queue_limit=8)) as st:
+        yield st
+
+
+def test_generated_programs_compile_and_run_end_to_end(real_server):
+    """Seeded RichProgramGen programs through the real serving path."""
+    address = real_server.address
+    programs = [generate_program(seed, _GEN) for seed in (1, 2, 3)]
+
+    with ServeClient(address, timeout=300) as client:
+        for program in programs:
+            sources = [list(pair) for pair in program.modules]
+            compiled = client.compile(sources=sources, mode="each")
+            assert compiled["ok"]
+            assert compiled["result"]["objects"] == len(program.modules)
+
+            ran = client.run(sources=sources, mode="each", variant="om-full",
+                             timed=False, max_instructions=5_000_000)
+            assert ran["ok"]
+            assert ran["result"]["halted"]
+            # OM removed address loads relative to the standard link.
+            assert (ran["result"]["addr_loads_after"]
+                    <= ran["result"]["addr_loads_before"])
+
+            # Identical request again: served without recomputing.
+            again = client.run(sources=sources, mode="each", variant="om-full",
+                               timed=False, max_instructions=5_000_000)
+            assert again["ok"] and (again["cached"] or again["coalesced"])
+            assert again["result"]["output"] == ran["result"]["output"]
+
+
+def test_budget_bounded_run_reports_budget_exceeded(real_server):
+    looping = [["loop.mc", "int main() { while (1) { } return 0; }"]]
+    with ServeClient(real_server.address, timeout=300) as client:
+        with pytest.raises(RequestFailed) as err:
+            client.run(sources=looping, variant="ld", timed=False,
+                       max_instructions=20_000)
+        assert err.value.kind == "budget-exceeded"
+
+
+def test_explain_reconciles_over_the_wire(real_server):
+    program = generate_program(5, _GEN)
+    with ServeClient(real_server.address, timeout=300) as client:
+        explained = client.explain(
+            sources=[list(pair) for pair in program.modules],
+            mode="each", variant="om-full",
+        )
+    assert explained["ok"]
+    assert explained["result"]["reconciled"]
+    assert explained["result"]["events"] >= 1
+    assert explained["result"]["actions"]
