@@ -36,6 +36,16 @@ fails.
 ``--corpus-dir``.  Exits non-zero on any divergence or replay
 mismatch.
 
+``wpo`` runs the incremental-relink experiment: a deterministic
+scale-N chain program (:func:`repro.fuzz.generate.
+generate_scale_program`) is linked monolithically and with the
+partitioned optimizer (:mod:`repro.wpo`), then relinked after
+one-module edits.  It asserts byte-identity against the monolithic
+link at every step, that a warm relink misses nothing, and that each
+edit's shard-cache misses land only in the shards holding the edited
+modules; ``--figure-out`` writes the relink-time-vs-touched-modules
+figure.  Exits non-zero if any invariant fails.
+
 ``serve-bench`` benchmarks the serving path
 (:mod:`repro.serve.loadgen`): a seeded mixed workload replayed against
 the toolchain daemon at a configurable concurrency, cold cache then
@@ -250,6 +260,150 @@ def _resolve_cache(cache_dir: str | None, no_cache: bool) -> ArtifactCache | Non
     )
 
 
+def _wpo(argv) -> int:
+    """Incremental-relink experiment on a scale-N chain program."""
+    parser = argparse.ArgumentParser(prog="repro.experiments wpo")
+    parser.add_argument("--modules", type=int, default=24,
+                        help="translation units in the generated program")
+    parser.add_argument("--partitions", type=int, default=6,
+                        help="WPO shard count")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--edits", type=int, default=3,
+                        help="sweep touched-module counts 1..K")
+    parser.add_argument("--cache-dir", type=str, default=None)
+    parser.add_argument("--figure-out", type=str, default=None,
+                        help="write the relink-time figure JSON here")
+    args = parser.parse_args(argv)
+
+    import json
+    import time
+
+    from repro.benchsuite import build_stdlib
+    from repro.fuzz.generate import generate_scale_program
+    from repro.linker import make_crt0
+    from repro.linker.executable import dump_executable
+    from repro.minicc import compile_module
+    from repro.objfile.archive import Archive
+    from repro.objfile.serialize import dump_archive, load_archive
+    from repro.om import OMLevel, OMOptions, om_link
+
+    cache = _resolve_cache(args.cache_dir, False)
+    crt0 = make_crt0()
+    lib = build_stdlib()
+
+    def compiled(program) -> bytes:
+        return dump_archive(
+            [crt0]
+            + [
+                compile_module(text, name.replace(".mc", ".o"))
+                for name, text in program.modules
+            ]
+        )
+
+    def timed_link(blob: bytes, options: OMOptions, use_cache: bool):
+        # Private copies per link, as in the pipeline: linkers mutate.
+        objects = load_archive(blob)
+        libmc = Archive(lib.name, load_archive(dump_archive(lib.members)))
+        start = time.monotonic()
+        result = om_link(
+            objects,
+            [libmc],
+            level=OMLevel.FULL,
+            options=options,
+            cache=cache if use_cache else None,
+        )
+        return result, time.monotonic() - start
+
+    wpo_options = OMOptions(partitions=args.partitions)
+    program = generate_scale_program(args.seed, args.modules)
+    blob = compiled(program)
+
+    mono, mono_s = timed_link(blob, OMOptions(), False)
+    mono_bytes = dump_executable(mono.executable)
+
+    cold, cold_s = timed_link(blob, wpo_options, True)
+    identical = dump_executable(cold.executable) == mono_bytes
+    ok = identical
+    stats = cold.wpo
+    print(
+        f"wpo: modules={args.modules} partitions={args.partitions} "
+        f"shards={stats.shards} rounds={stats.rounds}"
+    )
+    print(
+        f"wpo: cold misses={stats.misses} hits={stats.hits} "
+        f"identical={'OK' if identical else 'FAIL'} "
+        f"link={cold_s:.3f}s full={mono_s:.3f}s"
+    )
+
+    warm, warm_s = timed_link(blob, wpo_options, True)
+    identical = dump_executable(warm.executable) == mono_bytes
+    ok = ok and identical and warm.wpo.misses == 0
+    print(
+        f"wpo: warm misses={warm.wpo.misses} hits={warm.wpo.hits} "
+        f"identical={'OK' if identical else 'FAIL'} link={warm_s:.3f}s"
+    )
+
+    points = []
+    for touched in range(1, max(1, args.edits) + 1):
+        # Edited modules spread across 1..N-1 (module 0 holds main),
+        # salted so instruction counts — and shard boundaries — hold.
+        span = args.modules - 1
+        edited = sorted({1 + (i * span) // touched for i in range(touched)})
+        version = generate_scale_program(
+            args.seed, args.modules, salts={m: touched for m in edited}
+        )
+        vblob = compiled(version)
+        full, full_s = timed_link(vblob, OMOptions(), False)
+        inc, inc_s = timed_link(vblob, wpo_options, True)
+        identical = dump_executable(inc.executable) == dump_executable(
+            full.executable
+        )
+        expected = sorted(
+            index
+            for index, members in enumerate(inc.wpo.members)
+            if any(f"s{m}.o" in members for m in edited)
+        )
+        contained = set(inc.wpo.missed_shards) <= set(expected)
+        ok = ok and identical and contained and bool(inc.wpo.missed_shards)
+        print(
+            f"wpo: edit touched={len(edited)} edited={edited} "
+            f"missed_shards={inc.wpo.missed_shards} expected={expected} "
+            f"misses={inc.wpo.misses} "
+            f"identical={'OK' if identical else 'FAIL'} "
+            f"contained={'OK' if contained else 'FAIL'} "
+            f"relink={inc_s:.3f}s full={full_s:.3f}s"
+        )
+        points.append(
+            {
+                "touched_modules": len(edited),
+                "edited": edited,
+                "missed_shards": list(inc.wpo.missed_shards),
+                "shards": inc.wpo.shards,
+                "misses": inc.wpo.misses,
+                "hits": inc.wpo.hits,
+                "relink_seconds": round(inc_s, 6),
+                "full_link_seconds": round(full_s, 6),
+            }
+        )
+
+    if args.figure_out:
+        figure = {
+            "figure": "wpo-relink",
+            "modules": args.modules,
+            "partitions": args.partitions,
+            "seed": args.seed,
+            "monolithic_seconds": round(mono_s, 6),
+            "cold_seconds": round(cold_s, 6),
+            "warm_seconds": round(warm_s, 6),
+            "points": points,
+        }
+        Path(args.figure_out).write_text(json.dumps(figure, indent=2) + "\n")
+        print(f"wpo: figure written to {args.figure_out}")
+
+    print(f"wpo invariants: {'OK' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
 def _fuzz(argv) -> int:
     parser = argparse.ArgumentParser(prog="repro.experiments fuzz")
     parser.add_argument("--seed", type=int, default=0,
@@ -308,6 +462,8 @@ def main(argv=None) -> int:
         return _fuzz(argv[1:])
     if argv and argv[0] == "layout":
         return _layout(argv[1:])
+    if argv and argv[0] == "wpo":
+        return _wpo(argv[1:])
     if argv and argv[0] == "serve-bench":
         from repro.serve.loadgen import main as serve_bench_main
 
@@ -318,7 +474,7 @@ def main(argv=None) -> int:
         "figure",
         choices=sorted(_FIGURES)
         + ["all", "summary", "explain", "profile", "fuzz", "layout",
-           "serve-bench"],
+           "wpo", "serve-bench"],
     )
     parser.add_argument("--scale", type=int, default=None)
     parser.add_argument("--programs", type=str, default=None)

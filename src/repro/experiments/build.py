@@ -4,7 +4,10 @@ Variants mirror the paper's build matrix:
 
 * program versions: ``each`` (compile-each) and ``all`` (compile-all);
 * link variants: ``ld`` (standard link), ``om-none`` (OM translate and
-  regenerate only), ``om-simple``, ``om-full``, ``om-full-sched``.
+  regenerate only), ``om-simple``, ``om-full``, ``om-full-sched``,
+  ``om-full-layout`` (the closed PGO loop), and ``om-full-wpo`` (the
+  partitioned whole-program optimizer — byte-identical to ``om-full``
+  and incrementally cached per shard).
 
 Caching is two-tier.  The in-process tier is the ``lru_cache``
 memoization every caller has always relied on.  Beneath it sits an
@@ -45,6 +48,7 @@ VARIANTS = (
     "om-full",
     "om-full-sched",
     "om-full-layout",
+    "om-full-wpo",
 )
 
 #: Variants whose link consumes a profile of another variant's run
@@ -57,6 +61,9 @@ _LEVELS = {
     "om-full": (OMLevel.FULL, OMOptions()),
     "om-full-sched": (OMLevel.FULL, OMOptions(schedule=True)),
     "om-full-layout": (OMLevel.FULL, OMOptions(layout=True, relax=True)),
+    # Partitioned WPO: byte-identical to om-full, but the transform
+    # rounds shard and content-address through the installed cache.
+    "om-full-wpo": (OMLevel.FULL, OMOptions(partitions=4)),
 }
 
 #: The process-wide disk cache; None means in-process memoization only.
@@ -239,7 +246,12 @@ def variant_stats(
     if variant in FEEDBACK_VARIANTS:
         profile_in = profile_variant(name, mode, FEEDBACK_VARIANTS[variant], scale)
     result = om_link(
-        objects, [lib], level=level, options=options, profile=profile_in
+        objects,
+        [lib],
+        level=level,
+        options=options,
+        profile=profile_in,
+        cache=_cache,
     )
     if _cache is not None:
         _cache.put("omresult", key, _dump_om_result(result))

@@ -558,3 +558,66 @@ class RichProgramGen:
 def generate_program(seed: int, config: GenConfig | None = None) -> GeneratedProgram:
     """One deterministic program from (seed, config)."""
     return RichProgramGen(seed, config).generate()
+
+
+# -- the scale generator -------------------------------------------------------
+
+
+def generate_scale_program(
+    seed: int, n_modules: int, *, salts: dict[int, int] | None = None
+) -> GeneratedProgram:
+    """A deterministic N-module chain program for scale experiments.
+
+    The fuzz generators above clamp the module count to a handful; this
+    builds exactly ``n_modules`` translation units.  ``main`` lives in
+    module 0 and each later module exports one ``f{i}`` that calls the
+    next module's ``f{i+1}``, so the call graph is a chain and every
+    module references its neighbour's globals — GAT pressure and
+    cross-module address loads both grow with N.
+
+    ``salts`` maps module indices to small integers added to one
+    addition-immediate constant inside that module's function.  A
+    salted module compiles to different bytes while its instruction
+    count — and therefore shard weights and partition boundaries —
+    stays fixed.  That is exactly the "edit one module" shape the
+    incremental-relink experiment needs: the edit must invalidate only
+    the shard holding the module.
+    """
+    n_modules = max(2, int(n_modules))
+    salts = dict(salts or {})
+    rng = random.Random(seed)
+    consts = [rng.randint(16, 80) for _ in range(n_modules)]
+    sizes = [rng.choice([8, 16, 32]) for _ in range(n_modules)]
+
+    modules: list[tuple[str, str]] = []
+    for m in range(n_modules):
+        const = consts[m] + int(salts.get(m, 0))
+        lines = [f"/* scale seed={seed} module=s{m} */"]
+        nxt = m + 1
+        if nxt < n_modules:
+            lines.append(f"extern int s{nxt}_g;")
+            lines.append(f"extern int f{nxt}(int x);")
+        lines.append(f"int s{m}_g = {rng.randint(-50, 50)};")
+        lines.append(f"int s{m}_c;")
+        lines.append(f"int s{m}_a[{sizes[m]}];")
+        lines.append("")
+        if m == 0:
+            lines.append("int main() {")
+            lines.append("    int r;")
+            lines.append(f"    r = f1({const});")
+            lines.append("    s0_g = r + s0_a[1] - s0_c;")
+            lines.append("    return s0_g & 255;")
+            lines.append("}")
+        else:
+            lines.append(f"int f{m}(int x) {{")
+            lines.append("    int t;")
+            lines.append(f"    t = x + {const};")
+            lines.append(f"    s{m}_g = s{m}_g + t;")
+            lines.append(f"    s{m}_a[t & {sizes[m] - 1}] = t - s{m}_c;")
+            if nxt < n_modules:
+                lines.append(f"    return f{nxt}(t) + s{nxt}_g;")
+            else:
+                lines.append(f"    return t + s{m}_g;")
+            lines.append("}")
+        modules.append((f"s{m}.mc", "\n".join(lines) + "\n"))
+    return GeneratedProgram(seed, GenConfig(modules=n_modules), tuple(modules))

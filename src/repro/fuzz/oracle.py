@@ -4,10 +4,11 @@ A generated program is compiled in both of the paper's modes
 (compile-each, compile-all) and linked with every link variant — the
 standard linker, OM-simple, OM-full, OM-full+sched, OM-full+GC
 (the dead-procedure extension, included so the ``gc-drop`` transform
-kind is reachable), and OM-full+layout (the closed PGO loop: the cell
+kind is reachable), OM-full+layout (the closed PGO loop: the cell
 itself links OM-full, profiles its run, and feeds the profile back
 into a layout-enabled relink, reaching ``reorder``/``hot-place``/
-``relax``).  The oracle then asserts:
+``relax``), and OM-full-wpo (the partitioned whole-program optimizer,
+pinned byte-identical to OM-full).  The oracle then asserts:
 
 * **output equality** — all cells print identical simulator output;
 * **termination** — every cell halts within the instruction budget;
@@ -16,7 +17,9 @@ into a layout-enabled relink, reaching ``reorder``/``hot-place``/
   1-for-1), OM-full / OM-full+sched / OM-full+layout never more than
   OM-simple, and GC never more than OM-full;
 * **GAT-load monotonicity** — the layout cell never executes more GAT
-  address loads than its OM-full base.
+  address loads than its OM-full base;
+* **executable byte-identity** — within each mode the OM-full-wpo
+  image's sha256 equals OM-full's.
 
 Each OM link runs with a :class:`~repro.obs.trace.TraceLog` attached;
 the provenance events it fires are distilled into ``(action, pass)``
@@ -30,6 +33,7 @@ warm cache performs zero compiles, links, or simulations.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import traceback
 from dataclasses import dataclass, field
@@ -50,6 +54,7 @@ _OM_SPECS: dict[str, tuple[OMLevel, OMOptions]] = {
     "om-full-sched": (OMLevel.FULL, OMOptions(schedule=True)),
     "om-full-gc": (OMLevel.FULL, OMOptions(remove_dead_procs=True)),
     "om-full-layout": (OMLevel.FULL, OMOptions(layout=True, relax=True)),
+    "om-full-wpo": (OMLevel.FULL, OMOptions(partitions=2)),
 }
 
 #: Feedback variants link twice: a base link's profiled run feeds the
@@ -59,6 +64,11 @@ _FEEDBACK = {"om-full-layout": "om-full"}
 #: Variants whose cells run under the profiler so the oracle can also
 #: compare executed GAT address loads.
 _GAT_PROFILED = ("om-full", "om-full-layout")
+
+#: Variants whose executable bytes are digested and pinned equal per
+#: mode: the partitioned optimizer's whole contract is byte-identity
+#: with the monolithic om-full link.
+_EXE_PINNED = ("om-full", "om-full-wpo")
 
 #: Link variants, in evaluation (and monotonicity) order.
 VARIANTS = ("ld",) + tuple(_OM_SPECS)
@@ -101,13 +111,15 @@ class CellResult:
     coverage: tuple[CoveragePair, ...] = ()
     #: Executed GAT address loads (profiled variants only).
     gat_loads: int | None = None
+    #: sha256 of the executable image (byte-identity-pinned variants).
+    exe_digest: str | None = None
 
 
 @dataclass(frozen=True)
 class Divergence:
     """One violated oracle invariant."""
 
-    kind: str  # "output" | "instructions" | "gat-loads" | "runaway" | "build-error"
+    kind: str  # "output" | "instructions" | "gat-loads" | "exe-bytes" | "runaway" | "build-error"
     detail: str
     cells: tuple[str, ...] = ()
 
@@ -196,6 +208,11 @@ def _run_cell(
                 }
             )
         )
+    exe_digest = None
+    if variant in _EXE_PINNED:
+        from repro.linker.executable import dump_executable
+
+        exe_digest = hashlib.sha256(dump_executable(executable)).hexdigest()
     gat_loads = None
     if variant in _GAT_PROFILED:
         from repro.machine.profile import profile
@@ -213,6 +230,7 @@ def _run_cell(
         halted=outcome.halted,
         coverage=coverage,
         gat_loads=gat_loads,
+        exe_digest=exe_digest,
     )
 
 
@@ -247,6 +265,7 @@ def _cached_cell(
             halted=payload["halted"],
             coverage=tuple((a, p) for a, p in payload["coverage"]),
             gat_loads=payload.get("gat_loads"),
+            exe_digest=payload.get("exe_digest"),
         )
     cell = _run_cell(program, mode, variant, max_instructions)
     cache.put(
@@ -259,6 +278,7 @@ def _cached_cell(
                 "halted": cell.halted,
                 "coverage": [list(pair) for pair in cell.coverage],
                 "gat_loads": cell.gat_loads,
+                "exe_digest": cell.exe_digest,
             }
         ).encode(),
     )
@@ -311,6 +331,22 @@ def evaluate_program(
         )
 
     for mode in MODES:
+        # Byte-identity pin: the partitioned link must reproduce the
+        # monolithic om-full image exactly, not merely equivalently.
+        pinned = [
+            (variant, report.cells[f"{mode}/{variant}"].exe_digest)
+            for variant in _EXE_PINNED
+            if f"{mode}/{variant}" in report.cells
+            and report.cells[f"{mode}/{variant}"].exe_digest is not None
+        ]
+        if len({digest for _, digest in pinned}) > 1:
+            report.divergences.append(
+                Divergence(
+                    "exe-bytes",
+                    "; ".join(f"{v}={d[:16]}" for v, d in pinned),
+                    tuple(f"{mode}/{v}" for v, _ in pinned),
+                )
+            )
         for smaller, reference in _MONOTONE:
             low = report.cells.get(f"{mode}/{smaller}")
             high = report.cells.get(f"{mode}/{reference}")

@@ -56,6 +56,9 @@ class OMOptions:
     relax_slack: int = 0  # extra modelled-growth headroom, bytes
     relax_max_iterations: int = 64  # fixpoint ceiling (backstop)
     bsr_range_words: int = 1 << 20  # 21-bit word displacement reach
+    # -- partitioned whole-program optimization (repro.wpo) -----------
+    partitions: int = 0  # >1: shard the transform rounds (byte-identical)
+    wpo_jobs: int = 0  # 0/1 = run shards inline; >1 = own process pool
 
 
 @dataclass
@@ -67,6 +70,8 @@ class OMResult:
     verify: VerifyReport | None = None
     #: The link's trace/provenance log when one was attached.
     trace: TraceLog | None = None
+    #: :class:`repro.wpo.WPOStats` when ``OMOptions.partitions`` > 1.
+    wpo: object | None = None
 
 
 def om_link(
@@ -77,6 +82,7 @@ def om_link(
     options: OMOptions | None = None,
     trace: TraceLog | None = None,
     profile=None,
+    cache=None,
 ) -> OMResult:
     """Optimizing link: the paper's OM-simple / OM-full, or the
     translate-only OM-none baseline.
@@ -90,6 +96,13 @@ def om_link(
     closes the PGO loop: procedures are reordered along the profiled
     call graph and COMMON placement is steered by symbol heat.  Without
     a profile the layout planner falls back to static estimates.
+
+    With ``options.partitions`` > 1 the transformation rounds run
+    partitioned (:mod:`repro.wpo`): balanced shards in parallel around
+    a serial whole-program phase, producing a byte-identical
+    executable.  ``cache`` (an :class:`repro.cache.ArtifactCache`)
+    then content-addresses each shard's transform, so relinking after
+    a one-module edit only recomputes the changed shard.
     """
     options = options or OMOptions()
     inputs = resolve_inputs(objects, list(libraries))
@@ -135,6 +148,7 @@ def om_link(
 
     counters = PassCounters()
     relax_iterations = relax_demoted = 0
+    wpo_stats = None
     if level is not OMLevel.NONE:
         layout_options = LayoutOptions(
             gat_capacity=options.gat_capacity,
@@ -142,29 +156,50 @@ def om_link(
             symbol_weights=(plan.symbol_weights or None) if plan else None,
         )
         max_rounds = 1 if level is OMLevel.SIMPLE else max(1, options.rounds)
-        for round_index in range(max_rounds):
+        if options.partitions > 1:
+            from repro.wpo import wpo_rounds
+
             with span_or_null(
-                trace, f"om.round{round_index}", cat="om", level=level.value
+                trace, "om.wpo", cat="om", partitions=options.partitions
             ):
-                objs = [reassemble_module(module)[0] for module in modules]
-                round_inputs = resolve_inputs(objs, [])
-                layout = compute_layout(round_inputs, layout_options)
-                program = Program.build(modules, layout, entry=options.entry)
-                transformer = Transformer(
-                    program,
-                    full=level is OMLevel.FULL,
-                    convert_escaped=options.convert_escaped,
+                wpo = wpo_rounds(
+                    modules,
+                    level=level,
+                    options=options,
+                    relax_options=relax_options,
+                    layout_options=layout_options,
+                    max_rounds=max_rounds,
+                    cache=cache,
                     trace=trace,
-                    round_index=round_index,
-                    relax=relax_options,
-                    bsr_range_words=options.bsr_range_words,
                 )
-                counters.merge(transformer.run())
-                if transformer.relax_result is not None:
-                    relax_iterations += transformer.relax_result.iterations
-                    relax_demoted += transformer.relax_result.demoted
-            if not transformer.changed:
-                break
+            counters.merge(wpo.counters)
+            relax_iterations += wpo.relax_iterations
+            relax_demoted += wpo.relax_demoted
+            wpo_stats = wpo.stats
+        else:
+            for round_index in range(max_rounds):
+                with span_or_null(
+                    trace, f"om.round{round_index}", cat="om", level=level.value
+                ):
+                    objs = [reassemble_module(module)[0] for module in modules]
+                    round_inputs = resolve_inputs(objs, [])
+                    layout = compute_layout(round_inputs, layout_options)
+                    program = Program.build(modules, layout, entry=options.entry)
+                    transformer = Transformer(
+                        program,
+                        full=level is OMLevel.FULL,
+                        convert_escaped=options.convert_escaped,
+                        trace=trace,
+                        round_index=round_index,
+                        relax=relax_options,
+                        bsr_range_words=options.bsr_range_words,
+                    )
+                    counters.merge(transformer.run())
+                    if transformer.relax_result is not None:
+                        relax_iterations += transformer.relax_result.iterations
+                        relax_demoted += transformer.relax_result.demoted
+                if not transformer.changed:
+                    break
 
     if level is OMLevel.FULL and options.remove_dead_procs:
         from repro.om.gc import remove_dead_procedures
@@ -228,4 +263,6 @@ def om_link(
         relax_iterations=relax_iterations,
         relax_demoted=relax_demoted,
     )
-    return OMResult(executable, stats, counters, verify=report, trace=trace)
+    return OMResult(
+        executable, stats, counters, verify=report, trace=trace, wpo=wpo_stats
+    )

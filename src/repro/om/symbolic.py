@@ -483,6 +483,19 @@ def reassemble_module(module: SymbolicModule) -> tuple[ObjectFile, dict[int, int
     for name in sorted(referenced - known):
         symbols.append(Symbol(name, SymbolKind.UNDEF))
 
+    # The transformer allocates gprel high/low group ids from item uids,
+    # which are process-unique but not stable across runs.  Renumber them
+    # densely in first-appearance (text-offset) order so the emitted
+    # object is a pure function of the module's symbolic content.  Only
+    # GPRELHIGH/GPRELLOW use ``extra`` as a pairing group; other types
+    # use it for offsets and must not be touched.
+    group_ids: dict[int, int] = {}
+    for reloc in relocs:
+        if reloc.type in (RelocType.GPRELHIGH, RelocType.GPRELLOW):
+            if reloc.extra not in group_ids:
+                group_ids[reloc.extra] = len(group_ids) + 1
+            reloc.extra = group_ids[reloc.extra]
+
     obj.symbols = symbols
     obj.relocations = relocs
     obj.validate()

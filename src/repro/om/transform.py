@@ -253,7 +253,6 @@ class Transformer:
         self.convert_escaped = convert_escaped and full
         self.counters = PassCounters()
         self.changed = False
-        self._gprel_group = 0
         self.trace = trace
         self.round_index = round_index
         #: Optional :class:`repro.layout.relax.RelaxOptions`.  When set,
@@ -316,22 +315,43 @@ class Transformer:
     # ---- round driver -----------------------------------------------------
 
     def run(self) -> PassCounters:
-        if self.full:
+        return self.run_passes()
+
+    def run_passes(
+        self,
+        *,
+        canonicalize: bool = True,
+        relax: bool = True,
+        calls: bool = True,
+        address_loads: bool = True,
+        entry_setups: bool = True,
+    ) -> PassCounters:
+        """Run a subset of the round's passes, in canonical order.
+
+        The partitioned driver (:mod:`repro.wpo`) splits one monolithic
+        round into a serial prologue (canonicalize + relax), a parallel
+        per-shard body (calls + address loads), and a serial epilogue
+        (dead entry setups).  Running all five phases back to back is
+        exactly the monolithic round.
+        """
+        if canonicalize and self.full:
             for index, module in enumerate(self.prog.modules):
                 for proc in module.procs:
                     self._canonicalize_gp_pairs(index, proc)
-        if self.relax is not None:
+        if relax and self.relax is not None:
             # After canonicalization, so the candidate shapes (entry
             # pair at top, hence retarget + PV-load deletion) match
             # exactly what the calls pass will see.
             self._compute_relax()
-        for index, module in enumerate(self.prog.modules):
-            for proc in module.procs:
-                self._optimize_calls(index, proc)
-        for index, module in enumerate(self.prog.modules):
-            for proc in module.procs:
-                self._optimize_address_loads(index, proc)
-        if self.full:
+        if calls:
+            for index, module in enumerate(self.prog.modules):
+                for proc in module.procs:
+                    self._optimize_calls(index, proc)
+        if address_loads:
+            for index, module in enumerate(self.prog.modules):
+                for proc in module.procs:
+                    self._optimize_address_loads(index, proc)
+        if entry_setups and self.full:
             self._remove_dead_entry_setups()
         return self.counters
 
@@ -700,9 +720,15 @@ class Transformer:
                     self.changed = True
                     continue
                 if gprel_split_in_range([addend + off for off in offsets]):
-                    # Convert to LDAH; uses get the low halves.
-                    self._gprel_group += 1
-                    group = self._gprel_group
+                    # Convert to LDAH; uses get the low halves.  The
+                    # group id only has to be unique within the module
+                    # (relocation matches high/low parts per module);
+                    # the load's own uid is, and — unlike a counter
+                    # reset per round — can never collide with a group
+                    # made in an earlier round or another worker.
+                    # Reassembly renumbers the ids densely, so they
+                    # never reach the object file.
+                    group = item.uid
                     dst = item.instr.ra
                     before = str(item.instr)
                     item_pc = self._item_pc(module_index, proc, item)
@@ -763,8 +789,7 @@ class Transformer:
             elif self.convert_escaped:
                 # Replace the load with an exact ldah+lda pair (2-for-1;
                 # only OM-full may change instruction counts).
-                self._gprel_group += 1
-                group = self._gprel_group
+                group = item.uid
                 dst = item.instr.ra
                 before = str(item.instr)
                 item_pc = self._item_pc(module_index, proc, item)

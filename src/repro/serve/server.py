@@ -39,7 +39,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
-from repro.cache import ArtifactCache, SingleFlight
+from repro.cache import ArtifactCache, SingleFlight, compute_toolchain_stamp
 from repro.obs.trace import TraceLog
 from repro.serve import protocol, workers
 from repro.serve.metrics import LatencyHistogram
@@ -119,6 +119,15 @@ class ToolchainServer:
         self.cache = cache
         self.config = config or ServeConfig()
         self.trace = trace
+        # The daemon's toolchain stamp is fixed at construction — from
+        # the cache (whose keys it must match) or computed fresh, never
+        # the process-lifetime memoized ``toolchain_stamp()``.  It is
+        # threaded to every pool worker and reported by ``status`` so
+        # an operator can tell which toolchain version a long-lived
+        # daemon is actually serving.
+        self.stamp = (
+            cache.stamp if cache is not None else compute_toolchain_stamp()
+        )
         self.flights = SingleFlight()
         self.counters = _Counters()
         self.latency = {op: LatencyHistogram() for op in protocol.JOB_OPS}
@@ -140,7 +149,14 @@ class ToolchainServer:
     async def start(self) -> tuple[str, int]:
         """Bind the listener and spin up the pool: (host, port)."""
         if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=self.config.workers)
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.config.workers,
+                initializer=workers.initialize_worker,
+                initargs=(
+                    str(self.cache.root) if self.cache is not None else None,
+                    self.stamp,
+                ),
+            )
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
@@ -390,6 +406,7 @@ class ToolchainServer:
         return {
             "pid": os.getpid(),
             "uptime_s": time.monotonic() - self._started,
+            "stamp": self.stamp,
             "draining": self.draining,
             "workers": self.config.workers,
             "queue_limit": self.config.queue_limit,

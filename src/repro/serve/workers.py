@@ -44,11 +44,35 @@ VARIANTS: dict[str, tuple[OMLevel, OMOptions] | None] = {
     "om-full": (OMLevel.FULL, OMOptions()),
     "om-full-sched": (OMLevel.FULL, OMOptions(schedule=True)),
     "om-full-gc": (OMLevel.FULL, OMOptions(remove_dead_procs=True)),
+    "om-full-wpo": (OMLevel.FULL, OMOptions(partitions=4)),
 }
 
 #: Default simulator budget for ``run`` jobs; the server clamps
 #: client-requested budgets to its configured ceiling.
 DEFAULT_RUN_BUDGET = 50_000_000
+
+#: Per-process shard cache for the partitioned link variant, installed
+#: by :func:`initialize_worker`.  None (the default, and the state in
+#: any pool without the initializer) simply runs shards inline.
+_WPO_CACHE = None
+
+
+def initialize_worker(cache_root: str | None, stamp: str | None) -> None:
+    """Pool initializer: install the wpo shard cache for this process.
+
+    The daemon computes the toolchain stamp *once at its own startup*
+    (:func:`repro.cache.compute_toolchain_stamp`) and threads the value
+    here, so every worker of a long-lived pool keys shard artifacts
+    under the stamp of the code the daemon actually serves — never the
+    stale memoized stamp of whatever was on disk when some worker
+    process first imported the package.
+    """
+    global _WPO_CACHE
+    from repro.cache import ArtifactCache
+
+    _WPO_CACHE = (
+        ArtifactCache(cache_root, stamp=stamp) if cache_root else None
+    )
 
 
 class JobError(Exception):
@@ -98,7 +122,14 @@ def _link(payload: dict, objects, *, trace: TraceLog | None = None):
     if spec is None:
         return link(objects, libraries), None
     level, options = spec
-    result = om_link(objects, libraries, level=level, options=options, trace=trace)
+    result = om_link(
+        objects,
+        libraries,
+        level=level,
+        options=options,
+        trace=trace,
+        cache=_WPO_CACHE,
+    )
     return result.executable, result
 
 

@@ -11,7 +11,10 @@ Mirrors the workflow of the paper's environment:
   ``-verify`` prints the structural verifier's counters, ``--trace``
   saves the link's span/provenance log as Chrome-trace JSON;
   ``-layout`` turns on profile-guided layout + jsr->bsr relaxation,
-  fed by ``--profile-in profile.json``);
+  fed by ``--profile-in profile.json``; ``--partitions N`` runs the
+  transform rounds partitioned (byte-identical output), with
+  ``--wpo-jobs`` for parallel shards and ``--cache-dir`` for
+  incremental relinks);
 * ``run``  — execute an executable on the simulated AXP
   (``--profile-out profile.json`` writes the per-procedure profile
   that closes the PGO loop);
@@ -102,7 +105,14 @@ def _om(args) -> int:
         verify=args.verify,
         layout=args.layout,
         relax=args.layout,
+        partitions=args.partitions,
+        wpo_jobs=args.wpo_jobs,
     )
+    cache = None
+    if args.cache_dir and args.partitions > 1:
+        from repro.cache import ArtifactCache
+
+        cache = ArtifactCache(args.cache_dir)
     profile_in = None
     if args.profile_in:
         from repro.machine.profile import ProfileResult
@@ -120,6 +130,7 @@ def _om(args) -> int:
         options=options,
         trace=trace,
         profile=profile_in,
+        cache=cache,
     )
     Path(args.output).write_bytes(pickle.dumps(result.executable))
     stats = result.stats
@@ -129,6 +140,13 @@ def _om(args) -> int:
         f"GAT {stats.gat_bytes_before} -> {stats.gat_bytes_after} bytes; "
         f"text {stats.text_bytes_before} -> {stats.text_bytes_after} bytes"
     )
+    if result.wpo is not None:
+        wpo = result.wpo
+        print(
+            f"wpo: shards={wpo.shards} rounds={wpo.rounds} "
+            f"hits={wpo.hits} misses={wpo.misses} "
+            f"missed_shards={wpo.missed_shards}"
+        )
     if args.layout:
         print(
             f"layout: procs_moved={stats.procs_moved} "
@@ -179,11 +197,18 @@ def _run(args) -> int:
 def _serve(args) -> int:
     import asyncio
 
-    from repro.cache import ArtifactCache
+    from repro.cache import ArtifactCache, compute_toolchain_stamp
     from repro.obs.trace import TraceLog
     from repro.serve.server import ServeConfig, serve_main
 
-    cache = None if args.no_cache else ArtifactCache(args.cache_dir)
+    # A daemon outlives toolchain upgrades on disk: compute the stamp
+    # fresh at startup instead of trusting the memoized module-level
+    # value, so artifacts are keyed under the code actually loaded now.
+    cache = (
+        None
+        if args.no_cache
+        else ArtifactCache(args.cache_dir, stamp=compute_toolchain_stamp())
+    )
     trace = TraceLog(sink=args.trace) if args.trace else None
     config = ServeConfig(
         host=args.host,
@@ -255,6 +280,20 @@ def build_parser() -> argparse.ArgumentParser:
             tool.add_argument(
                 "--profile-in", dest="profile_in", default=None,
                 help="profile JSON (from `run --profile-out`) feeding -layout",
+            )
+            tool.add_argument(
+                "--partitions", type=int, default=0,
+                help="shard the transform rounds across N partitions "
+                     "(byte-identical to the monolithic link)",
+            )
+            tool.add_argument(
+                "--wpo-jobs", dest="wpo_jobs", type=int, default=0,
+                help="worker processes for partitioned rounds (0 = inline)",
+            )
+            tool.add_argument(
+                "--cache-dir", dest="cache_dir", default=None,
+                help="shard-artifact cache for incremental relinks "
+                     "(used with --partitions)",
             )
         tool.set_defaults(func=func)
 

@@ -1,0 +1,11 @@
+"""Partitioned, incremental whole-program optimization for OM.
+
+See :mod:`repro.wpo.driver` for the round structure and the byte-
+identity argument, :mod:`repro.wpo.partition` for shard selection, and
+:mod:`repro.wpo.shard` for the per-shard worker.
+"""
+
+from repro.wpo.driver import WPORun, WPOStats, wpo_rounds
+from repro.wpo.partition import Shard, partition_modules
+
+__all__ = ["Shard", "WPORun", "WPOStats", "partition_modules", "wpo_rounds"]

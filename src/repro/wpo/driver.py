@@ -1,0 +1,514 @@
+"""The partitioned whole-program optimization (WPO) round driver.
+
+Replaces the monolithic per-round transform of ``om_link`` with the
+WHOPR-style split the LTO literature converged on (Glek & Hubička):
+
+* a **serial whole-program phase** per round — reassemble, layout,
+  GP-range/GAT grouping, GP-pair canonicalization, the jsr->bsr
+  range/relaxation verdict for every call site, and cross-shard
+  relocation patching (skip-label effects);
+* a **parallel per-shard phase** — the calls and address-load passes
+  over each shard, against shipped summaries of everything outside it;
+* a serial epilogue — dead entry-setup removal over the merged
+  program (it needs the global blocked-set).
+
+Each shard execution is content-addressed through
+:class:`repro.cache.ArtifactCache` under kind ``"wpo"``: the key
+covers the member modules' object bytes plus the shift-stable context
+(GP displacements, canonical group pattern, per-site decisions, callee
+summaries) — and nothing position-dependent, so unchanged shards hit
+across edits *and* across rounds once they converge.  Editing one
+module therefore relinks in O(changed shard): every other shard's
+transform is a cache read.
+
+Byte identity with the monolithic path is structural, not aspirational:
+the parallel passes mutate only their own modules except for the
+idempotent skip-label/export insertion into callees, which is
+harvested as an effect and replayed serially; every cross-module
+*read* is answered from the post-canonicalize serial snapshot, which
+is exactly the state the monolithic pass order exposes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import dataclass, field
+
+from repro.layout.callgraph import iter_direct_call_sites
+from repro.linker.layout import LayoutOptions, compute_layout
+from repro.linker.resolve import resolve_inputs
+from repro.minicc.mcode import MLabel
+from repro.obs import provenance
+from repro.obs.trace import TraceLog, span_or_null
+from repro.objfile.serialize import dump_object
+from repro.om.symbolic import SymbolicModule, reassemble_module
+from repro.om.transform import (
+    PassCounters,
+    Program,
+    Transformer,
+    _entry_pair_at_top,
+    _find_skip_label,
+    _is_reset_free_leaf,
+)
+from repro.wpo.partition import Shard, partition_modules
+from repro.wpo.shard import (
+    ShardResult,
+    StubInfo,
+    remap_module_uids,
+    run_shard,
+)
+
+#: Bump to invalidate shard artifacts when the job format changes.
+_KEY_VERSION = 1
+
+
+@dataclass
+class WPOStats:
+    """Telemetry of one partitioned link (exposed on ``OMResult.wpo``)."""
+
+    partitions: int = 0  # requested
+    shards: int = 0  # actual (never more than modules)
+    rounds: int = 0
+    hits: int = 0  # shard executions served from the cache
+    misses: int = 0  # shard executions actually run
+    #: Shard indices that missed in any round (the incremental-relink
+    #: acceptance check: after a one-module edit this must only name
+    #: shards containing edited modules).
+    missed_shards: list[int] = field(default_factory=list)
+    #: Module names per shard, for mapping edits to shards.
+    members: list[list[str]] = field(default_factory=list)
+
+
+@dataclass
+class WPORun:
+    """Everything ``om_link`` folds back out of the partitioned rounds."""
+
+    counters: PassCounters = field(default_factory=PassCounters)
+    relax_iterations: int = 0
+    relax_demoted: int = 0
+    stats: WPOStats = field(default_factory=WPOStats)
+
+
+def _site_decisions(prog: Program, transformer: Transformer, options) -> dict[int, bool]:
+    """The jsr->bsr verdict for every direct call site, by jsr uid.
+
+    Mirrors ``Transformer._convert_call_site`` exactly: the relaxation
+    fixpoint's decision when one ran, otherwise the one-shot
+    conservative range check against this round's layout.
+    """
+    decisions: dict[int, bool] = {}
+    relax_result = transformer.relax_result
+    for site in iter_direct_call_sites(prog.modules):
+        if relax_result is not None:
+            decisions[site.jsr.uid] = relax_result.decisions.get(
+                site.jsr.uid, False
+            )
+            continue
+        try:
+            caller_addr = prog.addr(site.caller_module, site.caller.name)
+            callee_addr = prog.addr(site.callee_module, site.callee.name)
+        except Exception:
+            decisions[site.jsr.uid] = False
+            continue
+        decisions[site.jsr.uid] = (
+            abs(callee_addr - caller_addr)
+            < 4 * options.bsr_range_words - (1 << 16)
+        )
+    return decisions
+
+
+def _apply_skip_effect(module: SymbolicModule, proc_name: str) -> None:
+    """Idempotently give ``proc_name`` a skip label past its GP setup
+    and export it (the only cross-module mutation the calls pass makes)."""
+    proc = module.proc_named(proc_name)
+    label = f"{proc.name}$skipgp"
+    if _find_skip_label(proc) is None:
+        pair = _entry_pair_at_top(proc)
+        proc.items.insert(
+            proc.items.index(pair[1]) + 1, MLabel(label, is_target=True)
+        )
+    proc.export_labels.add(label)
+
+
+def _replay_events(
+    trace: TraceLog | None, events: list[dict], round_index: int
+) -> None:
+    """Re-emit a shard's provenance events on the driver's trace.
+
+    Cached events may carry stale pcs/round numbers from the run that
+    produced them; the decisions they record are identical, so the
+    audit trail still reconciles against the counters exactly.
+    """
+    if trace is None:
+        return
+    for args in events:
+        provenance.emit(
+            trace,
+            action=args.get("action", ""),
+            pass_name=args.get("pass_name", ""),
+            module=args.get("module", ""),
+            proc=args.get("proc", ""),
+            pc=args.get("pc"),
+            before=args.get("before", ""),
+            after=args.get("after", ""),
+            reason=args.get("reason", ""),
+            counter=args.get("counter"),
+            round_index=round_index,
+        )
+
+
+class _ShardJob:
+    """One shard's payload, cache key, and driver-side stub directory."""
+
+    def __init__(self, shard: Shard, payload: bytes, key_payload: dict,
+                 stub_modules: dict[int, int], stub_names: dict[int, str]):
+        self.shard = shard
+        self.payload = payload
+        self.key_payload = key_payload
+        #: Stub id -> global module index (for applying effects).
+        self.stub_modules = stub_modules
+        #: Stub id -> callee procedure name.
+        self.stub_names = stub_names
+
+
+def _build_shard_job(
+    shard: Shard,
+    modules: list[SymbolicModule],
+    digests: list[str],
+    layout,
+    prog: Program,
+    sites_by_module: dict[int, list],
+    decisions: dict[int, bool],
+    *,
+    full: bool,
+    convert_escaped: bool,
+    round_index: int,
+) -> _ShardJob:
+    members = shard.members
+    local_of = {g: i for i, g in enumerate(members)}
+    single_group = prog.single_group()
+
+    # Canonical group ids: first appearance over members, then stubs.
+    # Execution only ever compares groups for equality, and the cache
+    # key must not depend on which absolute group index the layout
+    # happened to assign.
+    canon: dict[int, int] = {}
+
+    def canon_group(raw: int) -> int:
+        return canon.setdefault(raw, len(canon))
+
+    gp = [layout.gp_for_module(g) for g in members]
+    group = [canon_group(layout.module_group[g]) for g in members]
+
+    addr: dict[tuple[int, str], int] = {}
+    literal_d: list[list] = []  # per member: [[symbol, d-or-None], ...]
+    for local, g in enumerate(members):
+        module = modules[g]
+        literal_syms = {
+            item.literal[0]
+            for item in module.all_items()
+            if getattr(item, "literal", None) is not None
+        }
+        needed = literal_syms | {proc.name for proc in module.procs}
+        for symbol in sorted(needed):
+            try:
+                addr[(local, symbol)] = layout.symbol_addr(g, symbol)
+            except Exception:
+                pass
+        literal_d.append(
+            [
+                [
+                    symbol,
+                    (addr[(local, symbol)] - gp[local])
+                    if (local, symbol) in addr
+                    else None,
+                ]
+                for symbol in sorted(literal_syms)
+            ]
+        )
+
+    resolutions: dict[tuple[int, str], tuple] = {}
+    stubs: dict[int, StubInfo] = {}
+    stub_of: dict[tuple[int, str], int] = {}
+    stub_modules: dict[int, int] = {}
+    key_sites: list[list] = []
+    member_set = set(members)
+    for g in members:
+        for site in sites_by_module.get(g, ()):
+            local = local_of[site.caller_module]
+            name = site.callee.name
+            decision = decisions.get(site.jsr.uid, False)
+            if site.callee_module in member_set:
+                resolutions[(local, name)] = (
+                    "shard",
+                    local_of[site.callee_module],
+                )
+                ref = ["shard", local_of[site.callee_module]]
+            else:
+                skey = (site.callee_module, name)
+                sid = stub_of.get(skey)
+                if sid is None:
+                    sid = len(stubs)
+                    stub_of[skey] = sid
+                    stub_modules[sid] = site.callee_module
+                    callee = site.callee
+                    stubs[sid] = StubInfo(
+                        name=name,
+                        exported=callee.exported,
+                        uses_gp=callee.uses_gp,
+                        group=canon_group(
+                            layout.module_group[site.callee_module]
+                        ),
+                        entry_pair=_entry_pair_at_top(callee) is not None,
+                        has_skip=_find_skip_label(callee) is not None,
+                        reset_free_leaf=_is_reset_free_leaf(callee),
+                    )
+                resolutions[(local, name)] = ("stub", sid)
+                ref = ["stub"] + stubs[sid].summary()
+            key_sites.append([local, site.caller.name, decision, ref])
+
+    shard_uids = {
+        site.jsr.uid for g in members for site in sites_by_module.get(g, ())
+    }
+    job = {
+        "modules": [modules[g] for g in members],
+        "full": full,
+        "convert_escaped": convert_escaped,
+        "round_index": round_index,
+        "gp": gp,
+        "group": group,
+        "single_group": single_group,
+        "addr": addr,
+        "resolutions": resolutions,
+        "stubs": stubs,
+        "decisions": {
+            uid: decisions.get(uid, False) for uid in shard_uids
+        },
+    }
+    key_payload = {
+        "v": _KEY_VERSION,
+        "full": full,
+        "convert_escaped": convert_escaped,
+        "members": [digests[g] for g in members],
+        "single": single_group,
+        "groups": group,
+        "d": literal_d,
+        "sites": key_sites,
+    }
+    payload = pickle.dumps(job, protocol=pickle.HIGHEST_PROTOCOL)
+    stub_names = {sid: info.name for sid, info in stubs.items()}
+    return _ShardJob(shard, payload, key_payload, stub_modules, stub_names)
+
+
+def wpo_rounds(
+    modules: list[SymbolicModule],
+    *,
+    level,
+    options,
+    relax_options,
+    layout_options: LayoutOptions,
+    max_rounds: int,
+    cache=None,
+    trace: TraceLog | None = None,
+) -> WPORun:
+    """Run the OM transformation rounds partitioned into shards.
+
+    Mutates ``modules`` in place (entries are replaced by their
+    transformed versions each round), exactly like the monolithic round
+    loop mutates them, and returns the merged counters and telemetry.
+    """
+    from repro.om.driver import OMLevel  # circular-safe: driver imports us lazily
+
+    full = level is OMLevel.FULL
+    convert_escaped = bool(options.convert_escaped and full)
+    shards = partition_modules(modules, options.partitions)
+    run = WPORun()
+    run.stats = WPOStats(
+        partitions=options.partitions,
+        shards=len(shards),
+        members=[[modules[g].name for g in shard.members] for shard in shards],
+    )
+    missed: set[int] = set()
+
+    pool = None
+    if options.wpo_jobs > 1 and len(shards) > 1:
+        import concurrent.futures
+
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(options.wpo_jobs, len(shards))
+        )
+    try:
+        for round_index in range(max_rounds):
+            with span_or_null(
+                trace,
+                f"om.round{round_index}",
+                cat="om",
+                level=level.value,
+                wpo=len(shards),
+            ):
+                changed = _run_round(
+                    modules,
+                    shards,
+                    level=level,
+                    options=options,
+                    relax_options=relax_options,
+                    layout_options=layout_options,
+                    round_index=round_index,
+                    full=full,
+                    convert_escaped=convert_escaped,
+                    cache=cache,
+                    trace=trace,
+                    pool=pool,
+                    run=run,
+                    missed=missed,
+                )
+            run.stats.rounds += 1
+            if not changed:
+                break
+    finally:
+        if pool is not None:
+            pool.shutdown()
+    run.stats.missed_shards = sorted(missed)
+    return run
+
+
+def _run_round(
+    modules: list[SymbolicModule],
+    shards: list[Shard],
+    *,
+    level,
+    options,
+    relax_options,
+    layout_options: LayoutOptions,
+    round_index: int,
+    full: bool,
+    convert_escaped: bool,
+    cache,
+    trace: TraceLog | None,
+    pool,
+    run: WPORun,
+    missed: set[int],
+) -> bool:
+    # ---- serial whole-program phase -----------------------------------
+    objs = [reassemble_module(module)[0] for module in modules]
+    digests = [
+        hashlib.sha256(dump_object(obj)).hexdigest() for obj in objs
+    ]
+    inputs = resolve_inputs(objs, [])
+    layout = compute_layout(inputs, layout_options)
+    prog = Program.build(modules, layout, entry=options.entry)
+    # The monolithic round computes address-taken before any transform
+    # and the entry-setup pass reads that pre-transform set; preserve it
+    # across the merge for byte identity.
+    address_taken = set(prog.address_taken)
+
+    prologue = Transformer(
+        prog,
+        full=full,
+        convert_escaped=convert_escaped,
+        trace=trace,
+        round_index=round_index,
+        relax=relax_options,
+        bsr_range_words=options.bsr_range_words,
+    )
+    prologue.run_passes(calls=False, address_loads=False, entry_setups=False)
+    run.counters.merge(prologue.counters)
+    if prologue.relax_result is not None:
+        run.relax_iterations += prologue.relax_result.iterations
+        run.relax_demoted += prologue.relax_result.demoted
+    decisions = _site_decisions(prog, prologue, options)
+
+    sites_by_module: dict[int, list] = {}
+    for site in iter_direct_call_sites(modules):
+        sites_by_module.setdefault(site.caller_module, []).append(site)
+
+    jobs = [
+        _build_shard_job(
+            shard,
+            modules,
+            digests,
+            layout,
+            prog,
+            sites_by_module,
+            decisions,
+            full=full,
+            convert_escaped=convert_escaped,
+            round_index=round_index,
+        )
+        for shard in shards
+    ]
+
+    # ---- parallel per-shard phase -------------------------------------
+    results: list[bytes | None] = [None] * len(jobs)
+    keys: list[str | None] = [None] * len(jobs)
+    pending: list[int] = []
+    for index, job in enumerate(jobs):
+        if cache is not None:
+            keys[index] = cache.key(job.key_payload)
+            blob = cache.get("wpo", keys[index])
+            if blob is not None:
+                results[index] = blob
+                run.stats.hits += 1
+                continue
+        pending.append(index)
+
+    if pool is not None and len(pending) > 1:
+        futures = {
+            index: pool.submit(run_shard, jobs[index].payload)
+            for index in pending
+        }
+        for index in pending:
+            results[index] = futures[index].result()
+    else:
+        for index in pending:
+            results[index] = run_shard(jobs[index].payload)
+    for index in pending:
+        run.stats.misses += 1
+        missed.add(jobs[index].shard.index)
+        if cache is not None:
+            cache.put("wpo", keys[index], results[index])
+    if trace is not None:
+        trace.event(
+            "om.wpo.round",
+            cat="om",
+            round=round_index,
+            shards=len(jobs),
+            hits=len(jobs) - len(pending),
+            misses=len(pending),
+        )
+
+    # ---- serial merge + epilogue --------------------------------------
+    changed = prologue.changed
+    decoded: list[ShardResult] = []
+    for index, job in enumerate(jobs):
+        result: ShardResult = pickle.loads(results[index])
+        decoded.append(result)
+        for local, g in enumerate(job.shard.members):
+            modules[g] = remap_module_uids(result.modules[local])
+        run.counters.merge(result.counters)
+        changed = changed or result.changed
+    # Effects after every replacement, so they land on the merged
+    # modules; insertion is idempotent and position-deterministic.
+    for index, job in enumerate(jobs):
+        result = decoded[index]
+        for sid in result.effects:
+            _apply_skip_effect(
+                modules[job.stub_modules[sid]], job.stub_names[sid]
+            )
+        _replay_events(trace, result.events, round_index)
+
+    epilogue_prog = Program.build(modules, layout, entry=options.entry)
+    epilogue_prog.address_taken = address_taken
+    epilogue = Transformer(
+        epilogue_prog,
+        full=full,
+        convert_escaped=convert_escaped,
+        trace=trace,
+        round_index=round_index,
+    )
+    epilogue.run_passes(
+        canonicalize=False, relax=False, calls=False, address_loads=False
+    )
+    run.counters.merge(epilogue.counters)
+    return changed or epilogue.changed

@@ -1,0 +1,98 @@
+"""Callgraph-guided partitioning of symbolic modules into shards.
+
+The partition is the unit of parallelism and of incremental reuse for
+the whole-program optimizer: each shard's transform work is keyed by
+the content of its member modules, so a one-module edit must land in
+exactly one shard for the relink to be O(changed shard).
+
+Two properties matter more than cut quality:
+
+* **Determinism under discovery order** — shard membership is decided
+  over the *name-sorted* module list, so permuting the input objects
+  (or the order a build system happens to emit them) never moves a
+  module between shards and never invalidates warm shard artifacts.
+* **Stability under small edits** — weights are static instruction
+  counts, which an expression-level edit does not change; the greedy
+  assignment below is a pure function of (names, weights, call
+  multiplicities) and is unaffected by code *content* changes that
+  keep those inputs fixed.
+
+Within those constraints the callgraph still earns its keep: modules
+are packed next to their call-affine neighbours (PR-4's
+:func:`repro.layout.callgraph.build_call_graph` multiplicities), which
+keeps caller/callee pairs in one shard and so keeps the cross-shard
+stub surface — the summaries the serial phase must ship — small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.layout.callgraph import build_call_graph
+from repro.om.symbolic import SymbolicModule
+
+
+@dataclass
+class Shard:
+    """One partition: member module indices (into the driver's list)."""
+
+    index: int
+    #: Global module indices, in canonical (name-sorted) order.  This
+    #: order is also the worker's iteration order, so it must be a
+    #: pure function of module names.
+    members: list[int] = field(default_factory=list)
+    weight: int = 0
+
+
+def _module_weight(module: SymbolicModule) -> int:
+    return sum(len(proc.instructions()) for proc in module.procs) + 1
+
+
+def partition_modules(
+    modules: list[SymbolicModule], partitions: int
+) -> list[Shard]:
+    """Split ``modules`` into at most ``partitions`` balanced shards.
+
+    Modules are considered in name order.  Each is placed on the shard
+    it has the highest call affinity with (static cross-module call
+    multiplicity against already-placed members), unless that shard is
+    already over the balance ceiling, in which case it goes to the
+    lightest shard.  Ties break toward the lighter, lower-indexed
+    shard, so the result is deterministic.
+    """
+    partitions = max(1, min(partitions, len(modules)))
+    order = sorted(range(len(modules)), key=lambda i: modules[i].name)
+    weights = [_module_weight(module) for module in modules]
+
+    # Module-level call affinity from the PR-4 callgraph.
+    graph = build_call_graph(modules)
+    affinity: dict[tuple[int, int], int] = {}
+    for site in graph.sites:
+        if site.caller_module == site.callee_module:
+            continue
+        key = (site.caller_module, site.callee_module)
+        affinity[key] = affinity.get(key, 0) + 1
+
+    shards = [Shard(index) for index in range(partitions)]
+    ceiling = (sum(weights) / partitions) * 1.25 + 1
+
+    def pull(shard: Shard, module_index: int) -> int:
+        return sum(
+            affinity.get((module_index, member), 0)
+            + affinity.get((member, module_index), 0)
+            for member in shard.members
+        )
+
+    for module_index in order:
+        open_shards = [s for s in shards if s.weight < ceiling] or shards
+        best = max(
+            open_shards,
+            key=lambda s: (pull(s, module_index), -s.weight, -s.index),
+        )
+        best.members.append(module_index)
+        best.weight += weights[module_index]
+
+    shards = [shard for shard in shards if shard.members]
+    for index, shard in enumerate(shards):
+        shard.index = index
+    return shards

@@ -1,0 +1,265 @@
+"""The per-shard worker of the partitioned whole-program optimizer.
+
+A shard job is a self-contained pickle: the shard's member modules
+(post-canonicalization) plus a *shift-stable context* — everything the
+calls and address-load passes would otherwise read from the rest of
+the program, precomputed by the serial phase:
+
+* per-member GP value, canonical GP-group id, and a symbol-address
+  table (so ``d = addr - gp`` computes exactly as in the monolithic
+  round);
+* per-site call decisions (the jsr->bsr range/relaxation verdicts,
+  which need whole-program layout and are therefore serial);
+* summaries of out-of-shard callees, realized here as *stub
+  procedures* shaped so that every predicate the transformer applies
+  to a callee (``uses_gp``, entry pair at top, existing skip label,
+  reset-free leaf) answers exactly as it would on the real procedure.
+
+The worker runs the real :class:`repro.om.transform.Transformer` over
+a duck-typed :class:`ShardProgram` and returns the transformed
+members, pass counters, the provenance events it recorded, and the
+*effects* it could not apply itself — skip labels that belong in
+out-of-shard callees, which the serial phase applies idempotently.
+Because the job depends only on member content and the context, the
+result bytes are cacheable under a content key, and a cache hit is
+byte-equivalent to re-running the shard.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Instruction
+from repro.isa.registers import Reg
+from repro.minicc import mcode
+from repro.minicc.mcode import MInstr, MLabel
+from repro.obs import provenance
+from repro.obs.trace import TraceLog
+from repro.om.symbolic import SymbolicModule, SymbolicProc
+from repro.om.transform import Transformer
+
+
+@dataclass(frozen=True)
+class StubInfo:
+    """Shift-stable summary of an out-of-shard callee.
+
+    Everything the calls pass may ask about a callee, captured from
+    the post-canonicalize serial snapshot.  These fields (not the
+    callee's full content) are what enters the shard cache key, so an
+    edit to a callee that does not change them cannot invalidate its
+    callers' shards.
+    """
+
+    name: str
+    exported: bool
+    uses_gp: bool
+    group: int  # canonical GP-group id (shard-local numbering)
+    entry_pair: bool  # GPDISP pair sits in the first two slots
+    has_skip: bool  # a $skipgp label already exists
+    reset_free_leaf: bool  # cannot change GP (no gpdisp, no calls)
+
+    def summary(self) -> list:
+        return [
+            self.name,
+            self.exported,
+            self.uses_gp,
+            self.group,
+            self.entry_pair,
+            self.has_skip,
+            self.reset_free_leaf,
+        ]
+
+
+def build_stub(info: StubInfo) -> SymbolicProc:
+    """A minimal procedure that answers the transformer's callee
+    predicates exactly as the summarized real procedure would."""
+    proc = SymbolicProc(
+        info.name, exported=info.exported, uses_gp=info.uses_gp
+    )
+    proc.items.append(MLabel(info.name, is_target=False))
+    if info.entry_pair:
+        ldah = MInstr(
+            Instruction.mem("ldah", Reg.GP, Reg.PV, 0),
+            gpdisp_base=info.name,
+        )
+        lda = MInstr(
+            Instruction.mem("lda", Reg.GP, Reg.GP, 0),
+            gpdisp_pair=ldah.uid,
+        )
+        proc.items.extend([ldah, lda])
+    if info.has_skip:
+        proc.items.append(MLabel(f"{info.name}$skipgp", is_target=True))
+    if not info.entry_pair and not info.reset_free_leaf:
+        # A call instruction defeats _is_reset_free_leaf, matching a
+        # real callee that might clobber GP.
+        proc.items.append(MInstr(Instruction.branch("bsr", Reg.RA, 0)))
+    return proc
+
+
+class ShardProgram:
+    """Duck-typed stand-in for :class:`repro.om.transform.Program`.
+
+    ``modules`` holds only the shard's members (local indices); every
+    whole-program question is answered from the precomputed context.
+    Out-of-shard callees resolve to stubs under pseudo module indices
+    past the member range, so cross-module checks (group equality,
+    ``callee_module != module_index``) behave as in the full program.
+    """
+
+    def __init__(
+        self,
+        modules: list[SymbolicModule],
+        *,
+        gp: list[int],
+        group: dict[int, int],
+        single: bool,
+        addr: dict[tuple[int, str], int],
+        resolutions: dict[tuple[int, str], tuple],
+        stubs: dict[int, tuple[int, SymbolicProc]],
+    ):
+        self.modules = modules
+        self._gp = gp
+        self._group = group
+        self._single = single
+        self._addr = addr
+        self._resolutions = resolutions
+        self._stubs = stubs
+
+    def addr(self, module_index: int, symbol: str, addend: int = 0) -> int:
+        # KeyError for unknown symbols mirrors Layout.symbol_addr
+        # raising for undefined names; the transformer catches it.
+        return self._addr[(module_index, symbol)] + addend
+
+    def gp(self, module_index: int) -> int:
+        return self._gp[module_index]
+
+    def group(self, module_index: int) -> int:
+        return self._group[module_index]
+
+    def single_group(self) -> bool:
+        return self._single
+
+    def callee_info(
+        self, caller_module: int, name: str
+    ) -> tuple[int, SymbolicProc] | None:
+        resolution = self._resolutions.get((caller_module, name))
+        if resolution is None:
+            return None
+        kind, ref = resolution
+        if kind == "shard":
+            return ref, self.modules[ref].proc_named(name)
+        return self._stubs[ref]
+
+
+class _Decisions:
+    """Holder giving the transformer its precomputed site decisions
+    through the ``relax_result`` seam (the exact per-site verdicts the
+    serial phase computed, relaxation-based or one-shot)."""
+
+    def __init__(self, decisions: dict[int, bool]):
+        self.decisions = decisions
+
+
+@dataclass
+class ShardResult:
+    """What a shard execution produces (cached verbatim as pickle)."""
+
+    modules: list[SymbolicModule] = field(default_factory=list)
+    counters: object = None
+    changed: bool = False
+    #: Stub ids whose callee needs a skip label applied serially.
+    effects: list[int] = field(default_factory=list)
+    #: Provenance event payloads, re-emitted by the driver.
+    events: list[dict] = field(default_factory=list)
+
+
+def _max_uid(modules: list[SymbolicModule]) -> int:
+    top = 0
+    for module in modules:
+        for item in module.all_items():
+            if isinstance(item, MInstr):
+                top = max(top, item.uid)
+    return top
+
+
+def run_shard(payload: bytes) -> bytes:
+    """Execute one shard job (pickled dict in, pickled ShardResult out).
+
+    Runs in a pool worker or inline in the driver; either way the
+    modules arrive and leave by pickle, so the driver's own objects are
+    never aliased and a cache hit replays through the identical path.
+    """
+    job = pickle.loads(payload)
+    modules: list[SymbolicModule] = job["modules"]
+    mcode.ensure_uid_floor(_max_uid(modules))
+
+    group = {index: g for index, g in enumerate(job["group"])}
+    stubs: dict[int, tuple[int, SymbolicProc]] = {}
+    for sid, info in job["stubs"].items():
+        pseudo = len(modules) + sid
+        stubs[sid] = (pseudo, build_stub(info))
+        group[pseudo] = info.group
+
+    prog = ShardProgram(
+        modules,
+        gp=job["gp"],
+        group=group,
+        single=job["single_group"],
+        addr=job["addr"],
+        resolutions=job["resolutions"],
+        stubs=stubs,
+    )
+    trace = TraceLog()
+    transformer = Transformer(
+        prog,
+        full=job["full"],
+        convert_escaped=job["convert_escaped"],
+        trace=trace,
+        round_index=job["round_index"],
+    )
+    transformer.relax_result = _Decisions(job["decisions"])
+    transformer.run_passes(canonicalize=False, relax=False, entry_setups=False)
+
+    # A stub is always cross-module, so any conversion that skips its
+    # GP setup exports the skip label into the stub — the exact set of
+    # callee mutations the serial phase must replay on the real procs.
+    effects = sorted(
+        sid
+        for sid, (_, stub) in stubs.items()
+        if f"{stub.name}$skipgp" in stub.export_labels
+    )
+    result = ShardResult(
+        modules=modules,
+        counters=transformer.counters,
+        changed=transformer.changed,
+        effects=effects,
+        events=provenance.events(trace),
+    )
+    return pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def remap_module_uids(module: SymbolicModule) -> SymbolicModule:
+    """Re-key every instruction to a fresh process-local uid.
+
+    Modules returning from a worker (or the shard cache) carry uids
+    from another counter; without a remap two modules could share a
+    uid and corrupt the uid-keyed whole-program tables (relaxation
+    decisions, literal-use lookups) in later rounds.  The intra-module
+    links (lituse, gpdisp_pair) are rewritten to match.
+    """
+    mapping: dict[int, int] = {}
+    for proc in module.procs:
+        for item in proc.instructions():
+            mapping[item.uid] = mcode.next_uid()
+    for proc in module.procs:
+        for item in proc.instructions():
+            item.uid = mapping[item.uid]
+            if item.lituse is not None:
+                load_uid, kind = item.lituse
+                item.lituse = (mapping.get(load_uid, load_uid), kind)
+            if item.gpdisp_pair is not None:
+                item.gpdisp_pair = mapping.get(
+                    item.gpdisp_pair, item.gpdisp_pair
+                )
+    return module

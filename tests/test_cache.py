@@ -285,3 +285,112 @@ def test_cache_stats_record_is_thread_safe(tmp_path):
         t.join()
     assert cache.stats.hits["objects"] == 1200
     assert cache.stats.misses["objects"] == 1200
+
+
+# -- crash consistency ---------------------------------------------------------
+
+
+def test_put_killed_before_fsync_publishes_nothing(tmp_path, monkeypatch):
+    """A writer dying mid-put must leave no entry and no temp litter."""
+    import repro.cache as cache_mod
+
+    cache = ArtifactCache(tmp_path, stamp="s")
+    key = cache.key({"x": 1})
+
+    def crash(handle):
+        raise RuntimeError("simulated crash before durability")
+
+    monkeypatch.setattr(cache_mod, "_fsync_file", crash)
+    with pytest.raises(RuntimeError, match="simulated crash"):
+        cache.put("objects", key, b"half-written")
+    monkeypatch.undo()
+
+    # Nothing was published, and the temp file was cleaned up.
+    assert cache.get("objects", key) is None
+    assert cache.stats.misses == {"objects": 1}
+    assert not list(tmp_path.rglob(".tmp-*"))
+
+    # The same writer path works once writes are durable again.
+    cache.put("objects", key, b"half-written")
+    assert cache.get("objects", key) == b"half-written"
+
+
+def test_torn_entry_is_quarantined_not_served(tmp_path):
+    """A corrupt published entry costs one miss, then disappears."""
+    cache = ArtifactCache(tmp_path, stamp="s")
+    key = cache.key({"x": 2})
+    cache.put("objects", key, b"good bytes")
+    path = tmp_path / "objects" / key[:2] / key[2:]
+
+    # Truncate mid-payload, as a crashed pre-envelope writer would.
+    path.write_bytes(path.read_bytes()[:-3])
+    assert cache.get("objects", key) is None
+    assert not path.exists()  # quarantined, not left to poison reads
+    assert cache.stats.misses == {"objects": 1}
+    assert cache.stats.errors == {}
+
+    # Garbage that never had an envelope is equally rejected.
+    cache.put("objects", key, b"good bytes")
+    path.write_bytes(b"\x00\x01\x02")
+    assert cache.get("objects", key) is None
+    assert not path.exists()
+
+
+def test_quarantine_emits_trace_event(tmp_path):
+    from repro.obs.trace import TraceLog
+
+    trace = TraceLog()
+    cache = ArtifactCache(tmp_path, stamp="s", trace=trace)
+    key = cache.key({"x": 3})
+    cache.put("objects", key, b"payload")
+    path = tmp_path / "objects" / key[:2] / key[2:]
+    path.write_bytes(b"not an envelope")
+    assert cache.get("objects", key) is None
+    names = [event["name"] for event in trace.events]
+    assert "cache.quarantine" in names
+
+
+def test_get_counts_errors_separately_from_misses(tmp_path):
+    """Only ENOENT is cold-cache behavior; EISDIR & co. are errors."""
+    from repro.obs.trace import TraceLog
+
+    trace = TraceLog()
+    cache = ArtifactCache(tmp_path, stamp="s", trace=trace)
+    key = cache.key({"x": 4})
+
+    # A directory squatting on the entry path: read fails, not-absent.
+    path = tmp_path / "objects" / key[:2] / key[2:]
+    path.mkdir(parents=True)
+    assert cache.get("objects", key) is None
+    assert cache.stats.errors == {"objects": 1}
+    assert cache.stats.misses == {}
+    assert cache.stats.total_errors == 1
+    names = [event["name"] for event in trace.events]
+    assert "cache.error" in names
+
+    # A genuinely absent entry still counts as a plain miss.
+    assert cache.get("objects", cache.key({"x": 5})) is None
+    assert cache.stats.misses == {"objects": 1}
+    assert cache.stats.errors == {"objects": 1}
+
+
+def test_compute_toolchain_stamp_tracks_source_edits(tmp_path, monkeypatch):
+    """The uncached stamp follows the code on disk; the memoized
+    ``toolchain_stamp`` is only for short-lived tools."""
+    import repro
+    from repro.cache import compute_toolchain_stamp
+
+    assert compute_toolchain_stamp() == toolchain_stamp()
+
+    # Stand up a fake package tree and "upgrade" it in place: the
+    # uncached stamp must change, which is what lets a daemon pick up
+    # a new toolchain at its next start.
+    pkg = tmp_path / "fakerepro"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "mod.py").write_text("VERSION = 1\n")
+    monkeypatch.setattr(repro, "__file__", str(pkg / "__init__.py"))
+    before = compute_toolchain_stamp()
+    assert before == compute_toolchain_stamp()
+    (pkg / "mod.py").write_text("VERSION = 2\n")
+    assert compute_toolchain_stamp() != before

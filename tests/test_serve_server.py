@@ -282,3 +282,55 @@ def test_explain_reconciles_over_the_wire(real_server):
     assert explained["result"]["reconciled"]
     assert explained["result"]["events"] >= 1
     assert explained["result"]["actions"]
+
+
+# -- toolchain stamp (stale-stamp regression) ----------------------------------
+
+def test_server_stamp_matches_its_cache(tmp_path):
+    """With a cache attached, the daemon serves under the cache's stamp
+    (the keys it answers from must match)."""
+    from repro.serve.server import ToolchainServer
+
+    cache = ArtifactCache(tmp_path, stamp="cafe0123deadbeef")
+    server = ToolchainServer(cache, ServeConfig())
+    assert server.stamp == "cafe0123deadbeef"
+    assert server.status()["stamp"] == "cafe0123deadbeef"
+
+
+def test_server_stamp_computed_fresh_not_memoized(monkeypatch):
+    """Without a cache, the stamp is computed at daemon construction —
+    not read from the process-lifetime ``toolchain_stamp()`` memo, so a
+    toolchain upgraded on disk is stamped correctly at the next start."""
+    import repro.serve.server as server_mod
+    from repro.serve.server import ToolchainServer
+
+    monkeypatch.setattr(
+        server_mod, "compute_toolchain_stamp", lambda: "fresh0000fresh00"
+    )
+    server = ToolchainServer(None, ServeConfig())
+    assert server.stamp == "fresh0000fresh00"
+    assert server.status()["stamp"] == "fresh0000fresh00"
+
+
+def test_status_reports_stamp_over_the_wire():
+    with _stub_server() as st:
+        with ServeClient(st.address, timeout=30) as client:
+            status = client.status()
+    stamp = status["stamp"]
+    assert isinstance(stamp, str) and len(stamp) == 16
+
+
+def test_wpo_variant_serves_and_matches_om_full(real_server):
+    """The partitioned link variant answers over the wire with output
+    identical to om-full (byte-identity seen as behavioral identity)."""
+    program = generate_program(7, _GEN)
+    sources = [list(pair) for pair in program.modules]
+    with ServeClient(real_server.address, timeout=300) as client:
+        full = client.run(sources=sources, mode="each", variant="om-full",
+                          timed=False, max_instructions=5_000_000)
+        wpo = client.run(sources=sources, mode="each", variant="om-full-wpo",
+                         timed=False, max_instructions=5_000_000)
+    assert full["ok"] and wpo["ok"]
+    assert wpo["result"]["output"] == full["result"]["output"]
+    assert wpo["result"]["text_bytes"] == full["result"]["text_bytes"]
+    assert wpo["result"]["gat_bytes"] == full["result"]["gat_bytes"]

@@ -1,0 +1,182 @@
+"""Partitioned whole-program optimization: byte-identity, shard
+determinism, and incremental relinks through the shard cache."""
+
+import pytest
+
+from repro.benchsuite import build_stdlib
+from repro.cache import ArtifactCache
+from repro.fuzz.generate import generate_scale_program
+from repro.linker import make_crt0
+from repro.linker.executable import dump_executable
+from repro.linker.resolve import resolve_inputs
+from repro.minicc import compile_module
+from repro.objfile.archive import Archive
+from repro.objfile.serialize import dump_archive, load_archive
+from repro.om import OMLevel, OMOptions, om_link
+from repro.om.symbolic import translate_module
+from repro.wpo import partition_modules
+
+
+def _compile(program):
+    return [make_crt0()] + [
+        compile_module(text, name.replace(".mc", ".o"))
+        for name, text in program.modules
+    ]
+
+
+def _link(program, options, cache=None):
+    lib = build_stdlib()
+    libmc = Archive(lib.name, load_archive(dump_archive(lib.members)))
+    return om_link(
+        _compile(program),
+        [libmc],
+        level=OMLevel.FULL,
+        options=options,
+        cache=cache,
+    )
+
+
+def _exe(result) -> bytes:
+    return dump_executable(result.executable)
+
+
+# -- byte-identity --------------------------------------------------------------
+
+
+def test_wpo_byte_identical_cold_and_warm(tmp_path):
+    program = generate_scale_program(11, 10)
+    mono = _link(program, OMOptions())
+    cache = ArtifactCache(tmp_path, stamp="wpo-test")
+
+    cold = _link(program, OMOptions(partitions=3), cache)
+    assert _exe(cold) == _exe(mono)
+    assert cold.counters == mono.counters
+    assert cold.wpo is not None and cold.wpo.misses > 0
+
+    warm = _link(program, OMOptions(partitions=3), cache)
+    assert _exe(warm) == _exe(mono)
+    assert warm.counters == mono.counters
+    assert warm.wpo.misses == 0 and warm.wpo.hits == cold.wpo.misses
+    assert warm.wpo.missed_shards == []
+
+
+def test_wpo_byte_identical_without_cache_and_across_partition_counts():
+    program = generate_scale_program(4, 7)
+    mono = _exe(_link(program, OMOptions()))
+    for partitions in (2, 4, 7):
+        assert _exe(_link(program, OMOptions(partitions=partitions))) == mono
+
+
+def test_wpo_pooled_workers_match_monolithic():
+    program = generate_scale_program(9, 6)
+    mono = _link(program, OMOptions())
+    pooled = _link(program, OMOptions(partitions=2, wpo_jobs=2))
+    assert _exe(pooled) == _exe(mono)
+    assert pooled.counters == mono.counters
+
+
+# -- incrementality -------------------------------------------------------------
+
+
+def test_one_module_edit_misses_only_its_shard(tmp_path):
+    cache = ArtifactCache(tmp_path, stamp="wpo-inc")
+    options = OMOptions(partitions=4)
+    base = generate_scale_program(7, 12)
+    _link(base, options, cache)
+
+    edited = generate_scale_program(7, 12, salts={5: 2})
+    mono = _link(edited, OMOptions())
+    inc = _link(edited, options, cache)
+    assert _exe(inc) == _exe(mono)
+
+    touched = [
+        index
+        for index, members in enumerate(inc.wpo.members)
+        if "s5.o" in members
+    ]
+    assert len(touched) == 1
+    assert inc.wpo.missed_shards == touched
+    assert inc.wpo.hits > 0  # the untouched shards replayed from cache
+
+
+def test_salted_edit_keeps_partition_boundaries(tmp_path):
+    base = _link(generate_scale_program(3, 12), OMOptions(partitions=4),
+                 ArtifactCache(tmp_path / "a", stamp="s"))
+    salted = _link(generate_scale_program(3, 12, salts={4: 5}),
+                   OMOptions(partitions=4),
+                   ArtifactCache(tmp_path / "b", stamp="s"))
+    assert base.wpo.members == salted.wpo.members
+
+
+# -- partition determinism -------------------------------------------------------
+
+
+def _symbolic_modules(program):
+    inputs = resolve_inputs(_compile(program), [])
+    return [translate_module(module) for module in inputs.modules]
+
+
+def _member_names(modules, shards):
+    return [
+        sorted(modules[index].name for index in shard.members)
+        for shard in shards
+    ]
+
+
+def test_partition_independent_of_module_discovery_order():
+    modules = _symbolic_modules(generate_scale_program(13, 9))
+    reference = _member_names(modules, partition_modules(modules, 3))
+    permuted = list(reversed(modules))
+    shuffled = _member_names(permuted, partition_modules(permuted, 3))
+    assert sorted(map(tuple, shuffled)) == sorted(map(tuple, reference))
+
+
+def test_partition_covers_every_module_exactly_once():
+    modules = _symbolic_modules(generate_scale_program(2, 8))
+    shards = partition_modules(modules, 3)
+    seen = [index for shard in shards for index in shard.members]
+    assert sorted(seen) == list(range(len(modules)))
+    assert 1 <= len(shards) <= 3
+    assert all(shard.members for shard in shards)
+
+
+def test_partition_clamps_to_module_count():
+    modules = _symbolic_modules(generate_scale_program(1, 3))
+    shards = partition_modules(modules, 99)
+    assert len(shards) <= len(modules)
+
+
+# -- the scale generator ---------------------------------------------------------
+
+
+def test_scale_generator_is_deterministic():
+    a = generate_scale_program(21, 6)
+    b = generate_scale_program(21, 6)
+    assert a.modules == b.modules
+    assert len(a.modules) == 6
+
+
+def test_scale_salt_changes_exactly_the_named_modules():
+    base = generate_scale_program(21, 6)
+    salted = generate_scale_program(21, 6, salts={3: 1})
+    differing = [
+        name
+        for (name, text), (__, other) in zip(base.modules, salted.modules)
+        if text != other
+    ]
+    assert differing == ["s3.mc"]
+
+
+def test_scale_programs_agree_across_link_variants():
+    from repro.linker import link
+    from repro.machine import run
+
+    program = generate_scale_program(5, 8)
+    lib = build_stdlib()
+    libmc = Archive(lib.name, load_archive(dump_archive(lib.members)))
+    ld = run(link(_compile(program), [libmc]), timed=False,
+             max_instructions=5_000_000)
+    wpo = run(_link(program, OMOptions(partitions=3)).executable,
+              timed=False, max_instructions=5_000_000)
+    assert ld.halted and wpo.halted
+    assert ld.output == wpo.output
