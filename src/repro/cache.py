@@ -77,6 +77,7 @@ class CacheStats:
     hits: dict[str, int] = field(default_factory=dict)
     misses: dict[str, int] = field(default_factory=dict)
     errors: dict[str, int] = field(default_factory=dict)
+    quarantines: dict[str, int] = field(default_factory=dict)
 
     def hit(self, kind: str) -> None:
         with CacheStats._LOCK:
@@ -90,6 +91,10 @@ class CacheStats:
         with CacheStats._LOCK:
             self.errors[kind] = self.errors.get(kind, 0) + 1
 
+    def quarantine(self, kind: str) -> None:
+        with CacheStats._LOCK:
+            self.quarantines[kind] = self.quarantines.get(kind, 0) + 1
+
     @property
     def total_hits(self) -> int:
         return sum(self.hits.values())
@@ -102,8 +107,27 @@ class CacheStats:
     def total_errors(self) -> int:
         return sum(self.errors.values())
 
+    @property
+    def total_quarantines(self) -> int:
+        return sum(self.quarantines.values())
+
     def snapshot(self) -> tuple[int, int]:
         return self.total_hits, self.total_misses
+
+    def to_dict(self) -> dict:
+        """The ``status``-payload shape: totals plus per-kind maps."""
+        return {
+            "hits": self.total_hits,
+            "misses": self.total_misses,
+            "errors": self.total_errors,
+            "quarantines": self.total_quarantines,
+            "by_kind": {
+                "hits": dict(self.hits),
+                "misses": dict(self.misses),
+                "errors": dict(self.errors),
+                "quarantines": dict(self.quarantines),
+            },
+        }
 
 
 #: Entry envelope: magic, payload length, payload SHA-256, payload.
@@ -207,6 +231,7 @@ class ArtifactCache:
         except OSError as exc:
             if exc.errno == errno.ENOENT:
                 self.stats.miss(kind)
+                self._event("cache.miss", kind=kind, key=key)
                 return None
             self.stats.error(kind)
             self._event(
@@ -224,9 +249,11 @@ class ArtifactCache:
             except OSError:
                 pass
             self.stats.miss(kind)
+            self.stats.quarantine(kind)
             self._event("cache.quarantine", kind=kind, key=key, size=len(blob))
             return None
         self.stats.hit(kind)
+        self._event("cache.hit", kind=kind, key=key, size=len(data))
         return data
 
     def put(self, kind: str, key: str, data: bytes) -> None:

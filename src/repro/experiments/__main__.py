@@ -46,6 +46,15 @@ edit's shard-cache misses land only in the shards holding the edited
 modules; ``--figure-out`` writes the relink-time-vs-touched-modules
 figure.  Exits non-zero if any invariant fails.
 
+``bench`` runs the pinned perf suite (:mod:`.bench`) — build matrix,
+serve cold/warm, WPO incremental relink — and writes a
+schema-versioned ``BENCH_pinned.json``; ``regress`` (:mod:`.regress`)
+compares such a report against the committed baselines in
+``benchmarks/baselines/`` with direction-aware per-metric tolerances
+and exits non-zero on any out-of-tolerance regression.  The pair is
+CI's perf gate; ``regress --update-baselines`` is the refresh
+procedure after an intentional perf change.
+
 ``serve-bench`` benchmarks the serving path
 (:mod:`repro.serve.loadgen`): a seeded mixed workload replayed against
 the toolchain daemon at a configurable concurrency, cold cache then
@@ -468,13 +477,21 @@ def main(argv=None) -> int:
         from repro.serve.loadgen import main as serve_bench_main
 
         return serve_bench_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.experiments.bench import bench_main
+
+        return bench_main(argv[1:])
+    if argv and argv[0] == "regress":
+        from repro.experiments.regress import regress_main
+
+        return regress_main(argv[1:])
 
     parser = argparse.ArgumentParser(prog="repro.experiments")
     parser.add_argument(
         "figure",
         choices=sorted(_FIGURES)
         + ["all", "summary", "explain", "profile", "fuzz", "layout",
-           "wpo", "serve-bench"],
+           "wpo", "serve-bench", "bench", "regress"],
     )
     parser.add_argument("--scale", type=int, default=None)
     parser.add_argument("--programs", type=str, default=None)

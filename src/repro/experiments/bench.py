@@ -1,0 +1,242 @@
+"""The pinned perf-benchmark suite: ``python -m repro.experiments bench``.
+
+One command runs a fixed, seeded workload across the three performance
+surfaces of the toolchain and writes a schema-versioned report:
+
+* **build** — compile/link/run a pinned program set under ``ld`` and
+  ``om-full``: simulated cycles/instructions and OM's address-load and
+  GAT-size deltas (all deterministic — the simulator's timing model is
+  pure), plus wall-clock link seconds;
+* **serve** — the load generator's cold/warm phases against an
+  embedded daemon: throughput, latency percentiles, and the serving
+  counters (``completed`` is deterministic; the coalesced/cached split
+  is timing-dependent and reported but not gated);
+* **wpo** — the incremental-relink loop: warm-relink shard misses
+  (deterministically zero), misses after a one-module edit, and
+  relink-vs-full-link wall seconds.
+
+The report is a *flat* ``{"metric.name": value}`` map under a schema
+tag, which is what ``regress`` diffs against the committed baselines
+in ``benchmarks/baselines/`` — deterministic metrics at zero
+tolerance, wall-clock metrics at generous direction-aware tolerances.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from pathlib import Path
+
+#: Bump when metric names or semantics change; ``regress`` refuses to
+#: compare reports and baselines of different schemas.
+BENCH_SCHEMA = "repro-bench/1"
+
+#: Pinned build-matrix programs (small enough for CI, varied enough to
+#: exercise escaped-pointer and switch-table paths).
+BUILD_PROGRAMS = ("eqntott", "compress")
+BUILD_VARIANTS = ("ld", "om-full")
+BUILD_SCALE = 1
+
+#: Pinned serve workload (mirrors the serve-bench smoke defaults).
+SERVE_REQUESTS = 12
+SERVE_CONCURRENCY = 4
+SERVE_WORKERS = 2
+
+#: Pinned WPO incremental-relink shape.
+WPO_MODULES = 12
+WPO_PARTITIONS = 4
+WPO_SEED = 0
+
+
+def bench_build() -> dict:
+    """Simulated-cost and link-time metrics for the pinned matrix."""
+    from repro.experiments import build
+
+    build.configure_cache(None)
+    build.clear_caches()
+    metrics: dict[str, float] = {}
+    for program in BUILD_PROGRAMS:
+        for variant in BUILD_VARIANTS:
+            started = time.perf_counter()
+            build.link_variant(program, "each", variant, BUILD_SCALE)
+            metrics[f"build.{program}.{variant}.link_seconds"] = (
+                time.perf_counter() - started
+            )
+            run = build.run_variant(program, "each", variant, BUILD_SCALE)
+            metrics[f"build.{program}.{variant}.cycles"] = run.cycles
+            metrics[f"build.{program}.{variant}.instructions"] = (
+                run.instructions
+            )
+        om = build.variant_stats(program, "each", "om-full", BUILD_SCALE)
+        metrics[f"build.{program}.addr_loads_before"] = (
+            om.stats.before.addr_loads
+        )
+        metrics[f"build.{program}.addr_loads_after"] = (
+            om.stats.after.addr_loads
+        )
+        metrics[f"build.{program}.gat_bytes_before"] = (
+            om.stats.gat_bytes_before
+        )
+        metrics[f"build.{program}.gat_bytes_after"] = om.stats.gat_bytes_after
+    return metrics
+
+
+def bench_serve() -> dict:
+    """Cold/warm load-generator phases against an embedded daemon."""
+    from repro.cache import ArtifactCache
+    from repro.serve.client import ServeClient
+    from repro.serve.loadgen import DEFAULT_PROGRAMS, build_workload, run_phase
+    from repro.serve.server import ServeConfig, ServerThread
+
+    programs = DEFAULT_PROGRAMS.split(",")
+    workload = build_workload(
+        programs, SERVE_REQUESTS,
+        seed=0, scale=1, concurrency=SERVE_CONCURRENCY,
+    )
+    metrics: dict[str, float] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        with ServerThread(
+            ArtifactCache(tmp),
+            ServeConfig(workers=SERVE_WORKERS, queue_limit=32),
+        ) as st:
+            phases = {}
+            for name in ("cold", "warm"):
+                phases[name] = run_phase(
+                    st.address, workload, SERVE_CONCURRENCY,
+                    timeout=300.0, retries=8,
+                )
+            probe = ServeClient(st.address, timeout=300.0)
+            counters = probe.status()["counters"]
+            probe.close()
+    for name, phase in phases.items():
+        metrics[f"serve.{name}.throughput_rps"] = phase["throughput_rps"]
+        metrics[f"serve.{name}.p50_ms"] = phase["latency_ms"]["p50"]
+        metrics[f"serve.{name}.p95_ms"] = phase["latency_ms"]["p95"]
+        metrics[f"serve.{name}.failed"] = phase["failed"]
+    metrics["serve.completed"] = counters["completed"]
+    metrics["serve.identity_residual"] = counters["completed"] - (
+        counters["coalesced"] + counters["cache_hits"] + counters["computed"]
+    )
+    metrics["serve.warm_speedup"] = (
+        phases["warm"]["throughput_rps"]
+        / max(phases["cold"]["throughput_rps"], 1e-9)
+    )
+    return metrics
+
+
+def bench_wpo() -> dict:
+    """Incremental-relink metrics on the pinned chain program."""
+    from repro.benchsuite import build_stdlib
+    from repro.cache import ArtifactCache
+    from repro.fuzz.generate import generate_scale_program
+    from repro.linker import make_crt0
+    from repro.minicc import compile_module
+    from repro.objfile.archive import Archive
+    from repro.objfile.serialize import dump_archive, load_archive
+    from repro.om import OMLevel, OMOptions, om_link
+
+    crt0 = make_crt0()
+    lib = build_stdlib()
+
+    def compiled(program) -> bytes:
+        return dump_archive(
+            [crt0]
+            + [
+                compile_module(text, name.replace(".mc", ".o"))
+                for name, text in program.modules
+            ]
+        )
+
+    def timed_link(blob: bytes, options: OMOptions, cache):
+        objects = load_archive(blob)
+        libmc = Archive(lib.name, load_archive(dump_archive(lib.members)))
+        started = time.perf_counter()
+        result = om_link(
+            objects, [libmc], level=OMLevel.FULL, options=options, cache=cache
+        )
+        return result, time.perf_counter() - started
+
+    wpo_options = OMOptions(partitions=WPO_PARTITIONS)
+    program = generate_scale_program(WPO_SEED, WPO_MODULES)
+    blob = compiled(program)
+    metrics: dict[str, float] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-wpo-") as tmp:
+        cache = ArtifactCache(tmp)
+        full, full_s = timed_link(blob, OMOptions(), None)
+        cold, cold_s = timed_link(blob, wpo_options, cache)
+        warm, warm_s = timed_link(blob, wpo_options, cache)
+        edited = generate_scale_program(WPO_SEED, WPO_MODULES, salts={1: 1})
+        inc, inc_s = timed_link(compiled(edited), wpo_options, cache)
+    metrics["wpo.full_link_seconds"] = full_s
+    metrics["wpo.cold_link_seconds"] = cold_s
+    metrics["wpo.warm_link_seconds"] = warm_s
+    metrics["wpo.edit_relink_seconds"] = inc_s
+    metrics["wpo.cold_misses"] = cold.wpo.misses
+    metrics["wpo.warm_misses"] = warm.wpo.misses
+    metrics["wpo.edit_misses"] = inc.wpo.misses
+    metrics["wpo.shards"] = cold.wpo.shards
+    return metrics
+
+
+_COMPONENTS = {
+    "build": bench_build,
+    "serve": bench_serve,
+    "wpo": bench_wpo,
+}
+
+
+def run_suite(components=None, *, log=print) -> dict:
+    """Run the pinned suite and return the schema-versioned report."""
+    names = list(components or _COMPONENTS)
+    metrics: dict[str, float] = {}
+    timings: dict[str, float] = {}
+    for name in names:
+        started = time.perf_counter()
+        log(f"bench: running {name}...")
+        metrics.update(_COMPONENTS[name]())
+        timings[name] = time.perf_counter() - started
+        log(f"bench: {name} done in {timings[name]:.1f}s")
+    return {
+        "schema": BENCH_SCHEMA,
+        "components": names,
+        "component_seconds": timings,
+        "config": {
+            "build_programs": list(BUILD_PROGRAMS),
+            "build_scale": BUILD_SCALE,
+            "serve_requests": SERVE_REQUESTS,
+            "serve_concurrency": SERVE_CONCURRENCY,
+            "wpo_modules": WPO_MODULES,
+            "wpo_partitions": WPO_PARTITIONS,
+        },
+        "metrics": metrics,
+    }
+
+
+def bench_main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments bench",
+        description="run the pinned perf suite, write a BENCH report",
+    )
+    parser.add_argument("--out", default="BENCH_pinned.json",
+                        help="report path")
+    parser.add_argument("--components", default=None,
+                        help="comma-separated subset of "
+                             f"{','.join(_COMPONENTS)} (default: all)")
+    args = parser.parse_args(argv)
+
+    components = None
+    if args.components:
+        components = [c for c in args.components.split(",") if c]
+        unknown = [c for c in components if c not in _COMPONENTS]
+        if unknown:
+            parser.error(f"unknown components: {unknown}")
+    report = run_suite(components)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"bench: {len(report['metrics'])} metrics -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main())

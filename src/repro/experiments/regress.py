@@ -1,0 +1,220 @@
+"""Perf-regression gate: ``python -m repro.experiments regress``.
+
+Compares a ``BENCH_*.json`` report from :mod:`.bench` against the
+committed baselines in ``benchmarks/baselines/`` and renders a
+machine-readable verdict.  Every baseline entry pins one metric:
+
+.. code-block:: json
+
+    {"value": 123.0, "direction": "lower", "tolerance": 0.05}
+
+``direction`` says which way is *better* — ``lower`` fails when the
+new value exceeds ``value * (1 + tolerance)``, ``higher`` fails below
+``value * (1 - tolerance)``, and ``either`` fails when the relative
+deviation exceeds the tolerance in both directions (a zero-valued
+baseline falls back to an absolute comparison).  Deterministic metrics
+(simulated cycles, shard-miss counts, counter identities) carry zero
+tolerance: any drift is a real behavior change.  Wall-clock metrics
+carry deliberately generous tolerances so CI machine noise passes but
+an order-of-magnitude slowdown does not.
+
+``--update-baselines`` regenerates the baseline file from a report
+(assigning each metric its default direction/tolerance) — the refresh
+procedure after an *intentional* perf change.  ``--inject name=value``
+overrides one metric of the report before comparison; CI uses it to
+prove the gate actually trips on a synthetic regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.experiments.bench import BENCH_SCHEMA
+
+BASELINE_SCHEMA = "repro-bench-baseline/1"
+
+#: Default baseline path, relative to the repo root.
+DEFAULT_BASELINES = "benchmarks/baselines/bench.json"
+
+#: (suffix-match rules, first hit wins) -> (direction, tolerance).
+#: Deterministic metrics get zero tolerance; wall-clock metrics get
+#: generous, direction-aware slack.
+_SPEC_RULES = (
+    (".link_seconds", ("lower", 3.0)),
+    ("_link_seconds", ("lower", 3.0)),
+    ("_relink_seconds", ("lower", 3.0)),
+    (".throughput_rps", ("higher", 0.85)),
+    ("_speedup", ("higher", 0.95)),
+    (".p50_ms", ("lower", 5.0)),
+    (".p95_ms", ("lower", 5.0)),
+    (".failed", ("either", 0.0)),
+    (".cycles", ("either", 0.0)),
+    (".instructions", ("either", 0.0)),
+    ("_misses", ("either", 0.0)),
+    (".shards", ("either", 0.0)),
+    (".completed", ("either", 0.0)),
+    ("_residual", ("either", 0.0)),
+    ("addr_loads_before", ("either", 0.0)),
+    ("addr_loads_after", ("either", 0.0)),
+    ("gat_bytes_before", ("either", 0.0)),
+    ("gat_bytes_after", ("either", 0.0)),
+)
+
+#: Fallback for metrics no rule matches: any direction, 50% slack.
+_DEFAULT_SPEC = ("either", 0.5)
+
+
+def spec_for(name: str) -> tuple[str, float]:
+    """The default (direction, tolerance) for a metric name."""
+    for suffix, spec in _SPEC_RULES:
+        if name.endswith(suffix):
+            return spec
+    return _DEFAULT_SPEC
+
+
+def make_baselines(report: dict) -> dict:
+    """A baseline file body pinning every metric of a bench report."""
+    entries = {}
+    for name, value in sorted(report["metrics"].items()):
+        direction, tolerance = spec_for(name)
+        entries[name] = {
+            "value": value, "direction": direction, "tolerance": tolerance,
+        }
+    return {
+        "schema": BASELINE_SCHEMA,
+        "bench_schema": report["schema"],
+        "metrics": entries,
+    }
+
+
+def _check(name: str, entry: dict, value: float) -> dict:
+    base = float(entry["value"])
+    direction = entry.get("direction", "either")
+    tolerance = float(entry.get("tolerance", 0.0))
+    if base == 0.0:
+        # Relative tolerance is meaningless at zero: compare absolutely
+        # (a zero baseline with zero tolerance demands an exact zero).
+        deviation = abs(value)
+        ok = deviation <= tolerance
+    else:
+        deviation = (value - base) / abs(base)
+        if direction == "lower":
+            ok = deviation <= tolerance
+        elif direction == "higher":
+            ok = deviation >= -tolerance
+        else:
+            ok = abs(deviation) <= tolerance
+    return {
+        "metric": name,
+        "ok": ok,
+        "baseline": base,
+        "value": value,
+        "deviation": deviation,
+        "direction": direction,
+        "tolerance": tolerance,
+    }
+
+
+def compare(baselines: dict, report: dict) -> dict:
+    """The verdict object: per-metric checks plus missing/new series."""
+    if report.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"report schema {report.get('schema')!r} != {BENCH_SCHEMA!r}"
+        )
+    if baselines.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"baseline schema {baselines.get('schema')!r} != "
+            f"{BASELINE_SCHEMA!r}"
+        )
+    metrics = report["metrics"]
+    checks = []
+    missing = []
+    for name, entry in sorted(baselines["metrics"].items()):
+        if name not in metrics:
+            missing.append(name)
+            continue
+        checks.append(_check(name, entry, float(metrics[name])))
+    new = sorted(set(metrics) - set(baselines["metrics"]))
+    failures = [check for check in checks if not check["ok"]]
+    return {
+        "ok": not failures and not missing,
+        "checked": len(checks),
+        "failures": failures,
+        "missing_metrics": missing,
+        "new_metrics": new,
+    }
+
+
+def _parse_injections(items) -> dict[str, float]:
+    out = {}
+    for item in items or ():
+        name, _, value = item.partition("=")
+        if not name or not value:
+            raise ValueError(f"--inject wants name=value, got {item!r}")
+        out[name] = float(value)
+    return out
+
+
+def regress_main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments regress",
+        description="compare a bench report against committed baselines",
+    )
+    parser.add_argument("--report", default="BENCH_pinned.json",
+                        help="bench report to judge")
+    parser.add_argument("--baselines", default=DEFAULT_BASELINES,
+                        help="baseline file (committed)")
+    parser.add_argument("--out", default=None,
+                        help="also write the verdict JSON here")
+    parser.add_argument("--update-baselines", action="store_true",
+                        help="regenerate the baseline file from the report "
+                             "(after an intentional perf change)")
+    parser.add_argument("--inject", action="append", metavar="NAME=VALUE",
+                        help="override one report metric before comparing "
+                             "(CI uses this to prove the gate trips)")
+    args = parser.parse_args(argv)
+
+    report = json.loads(Path(args.report).read_text())
+    if args.update_baselines:
+        baselines = make_baselines(report)
+        path = Path(args.baselines)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(baselines, indent=2) + "\n")
+        print(f"regress: baselines for {len(baselines['metrics'])} metrics "
+              f"-> {path}")
+        return 0
+
+    for name, value in _parse_injections(args.inject).items():
+        if name not in report["metrics"]:
+            parser.error(f"--inject names unknown metric {name!r}")
+        report["metrics"][name] = value
+
+    baselines = json.loads(Path(args.baselines).read_text())
+    verdict = compare(baselines, report)
+    if args.out:
+        Path(args.out).write_text(json.dumps(verdict, indent=2) + "\n")
+
+    for check in verdict["failures"]:
+        print(
+            f"  FAIL  {check['metric']}  baseline={check['baseline']:g} "
+            f"value={check['value']:g} deviation={check['deviation']:+.1%} "
+            f"(direction={check['direction']}, "
+            f"tolerance={check['tolerance']:g})"
+        )
+    for name in verdict["missing_metrics"]:
+        print(f"  FAIL  {name}  missing from the report")
+    for name in verdict["new_metrics"]:
+        print(f"  note  {name}  not in baselines (run --update-baselines)")
+    print(
+        f"regress: {verdict['checked']} checked, "
+        f"{len(verdict['failures'])} failed, "
+        f"{len(verdict['missing_metrics'])} missing -> "
+        f"{'OK' if verdict['ok'] else 'FAIL'}"
+    )
+    return 0 if verdict["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(regress_main())

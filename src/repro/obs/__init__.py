@@ -9,6 +9,7 @@ trace-event format that ``chrome://tracing`` and Perfetto load
 directly.
 """
 
-from repro.obs.trace import TraceLog, span_or_null
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceLog, now_us, span_or_null
 
-__all__ = ["TraceLog", "span_or_null"]
+__all__ = ["MetricsRegistry", "TraceLog", "now_us", "span_or_null"]

@@ -1,0 +1,151 @@
+"""Stitch per-process trace sinks into one Chrome trace.
+
+The serving path writes several JSONL sinks per run — the daemon's
+event-loop trace, one ``worker-<pid>.jsonl`` per pool worker, and one
+``client-*.jsonl`` per load-generator thread.  Each sink is already a
+valid :class:`~repro.obs.trace.TraceLog` stream; this module merges any
+number of them into a single timeline:
+
+* events are concatenated and sorted by timestamp (stable, so equal
+  timestamps keep their per-file order);
+* each source file contributes Chrome ``process_name`` metadata events
+  (derived from the sink's filename) so Perfetto labels the server,
+  client, and worker lanes;
+* :func:`request_index` groups span events by the ``request_id`` each
+  carries in its ``args``, which is what the load generator's
+  correlation check (and a human asking "where did request X spend its
+  time?") consumes.
+
+``python -m repro.toolchain merge-trace -o merged.json <sinks...>`` is
+the CLI face; directories are expanded to every ``*.jsonl`` inside.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs.trace import TraceLog
+
+
+def iter_trace_files(paths) -> list[Path]:
+    """Expand files and directories to a sorted list of JSONL sinks."""
+    out: list[Path] = []
+    for item in paths:
+        path = Path(item)
+        if path.is_dir():
+            out.extend(sorted(path.glob("*.jsonl")))
+        elif path.exists():
+            out.append(path)
+        else:
+            raise FileNotFoundError(f"no trace sink at {path}")
+    return out
+
+
+def merge_traces(paths) -> TraceLog:
+    """One TraceLog holding every event of every sink, time-ordered."""
+    files = iter_trace_files(paths)
+    merged: list[dict] = []
+    pid_names: dict[int, str] = {}
+    for path in files:
+        events = TraceLog.load_jsonl(path).events
+        for event in events:
+            pid = event.get("pid")
+            if pid is not None and pid not in pid_names:
+                pid_names[pid] = path.stem
+        merged.extend(events)
+    merged.sort(key=lambda e: e.get("ts", 0.0))
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "ts": 0,
+            "cat": "__metadata",
+            "args": {"name": name},
+        }
+        for pid, name in sorted(pid_names.items())
+    ]
+    return TraceLog(metadata + merged)
+
+
+def request_index(trace: TraceLog) -> dict[str, list[dict]]:
+    """Span/instant events grouped by the ``request_id`` they carry."""
+    index: dict[str, list[dict]] = {}
+    for event in trace.events:
+        rid = (event.get("args") or {}).get("request_id")
+        if rid is not None:
+            index.setdefault(rid, []).append(event)
+    return index
+
+
+def correlation_report(trace: TraceLog) -> dict:
+    """How completely the request ids stitch across process roles.
+
+    For every request id seen anywhere, reports which span families
+    cover it: ``client.*`` spans, ``serve.*`` stage spans, and
+    ``worker.*`` spans.  A request served from the disk cache or by
+    coalescing legitimately has no worker span, so the strong check is
+    ``executed ⊆ worker_covered``: every request whose server spans
+    include an ``execute`` stage must also show up in a pool worker.
+    """
+    index = request_index(trace)
+    client = set()
+    server = set()
+    worker = set()
+    executed = set()
+    for rid, events in index.items():
+        for event in events:
+            name = event.get("name", "")
+            if name.startswith("client."):
+                client.add(rid)
+            elif name.startswith("serve."):
+                server.add(rid)
+                if name == "serve.execute":
+                    executed.add(rid)
+            elif name.startswith("worker."):
+                worker.add(rid)
+    return {
+        "request_ids": len(index),
+        "client_spans": len(client),
+        "server_spans": len(server),
+        "worker_spans": len(worker),
+        "executed": len(executed),
+        "client_without_server": sorted(client - server)[:10],
+        "executed_without_worker": sorted(executed - worker)[:10],
+        "ok": bool(index)
+        and not (client - server)
+        and not (executed - worker),
+    }
+
+
+def merge_main(argv=None) -> int:
+    """CLI body for ``python -m repro.toolchain merge-trace``."""
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="repro.toolchain merge-trace",
+        description="merge JSONL trace sinks into one Chrome trace",
+    )
+    parser.add_argument("sinks", nargs="+",
+                        help="JSONL sink files or directories of them")
+    parser.add_argument("-o", dest="output", required=True,
+                        help="merged Chrome-trace JSON output path")
+    parser.add_argument("--report", action="store_true",
+                        help="print the request-correlation report")
+    args = parser.parse_args(argv)
+
+    trace = merge_traces(args.sinks)
+    trace.save_chrome_trace(args.output)
+    report = correlation_report(trace)
+    print(
+        f"{args.output}: {len(trace)} events from "
+        f"{len(iter_trace_files(args.sinks))} sinks; "
+        f"{report['request_ids']} request ids "
+        f"({report['client_spans']} client, {report['server_spans']} server, "
+        f"{report['worker_spans']} worker)"
+    )
+    if args.report:
+        print(json.dumps(report, indent=2))
+    return 0 if (report["ok"] or report["request_ids"] == 0) else 1

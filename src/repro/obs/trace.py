@@ -10,9 +10,12 @@ persistence is trivial in both directions:
   object that ``chrome://tracing`` and https://ui.perfetto.dev load
   directly.
 
-Timestamps are wall-clock microseconds (``time.time() * 1e6``) so spans
-recorded in different worker processes of the experiments pipeline merge
-onto one coherent timeline.
+Timestamps are wall-clock microseconds, but *measured* with the
+monotonic ``time.perf_counter()`` anchored once, per process, to a
+``time.time()`` epoch: a clock step (NTP slew, VM suspend, a test
+freezing ``time.time``) can therefore never produce a negative or
+garbled span duration, while spans recorded in different worker
+processes still merge onto one coherent wall-clock timeline.
 """
 
 from __future__ import annotations
@@ -29,9 +32,17 @@ PH_COMPLETE = "X"  # span with a duration
 PH_INSTANT = "i"  # point event
 PH_COUNTER = "C"  # counter sample
 
+#: Per-process clock anchor: one wall-clock reading paired with one
+#: monotonic reading.  Every timestamp after this is the anchor plus a
+#: perf_counter delta, so durations are monotone within a process and
+#: timelines from different processes agree to within the (one-shot)
+#: anchor skew.
+_EPOCH_WALL_US = time.time() * 1e6
+_EPOCH_PERF = time.perf_counter()
+
 
 def _now_us() -> float:
-    return time.time() * 1e6
+    return _EPOCH_WALL_US + (time.perf_counter() - _EPOCH_PERF) * 1e6
 
 
 class TraceLog:
@@ -51,6 +62,7 @@ class TraceLog:
         self.sink = Path(sink) if sink is not None else None
         self._flushed = 0
         self.closed = False
+        self._ctx = threading.local()
 
     def __len__(self) -> int:
         return len(self.events)
@@ -90,6 +102,41 @@ class TraceLog:
 
     # -- recording -------------------------------------------------------
 
+    @contextmanager
+    def context(self, **fields):
+        """Default ``args`` merged into every event recorded inside.
+
+        The serving path wraps each job in ``context(request_id=...)``
+        so every span, provenance event, and cache event the job emits
+        — however deep in the toolchain — carries the request id that
+        caused it, without threading the id through every call site.
+        Contexts nest (inner wins on key collisions) and are
+        thread-local, so concurrent recorders cannot leak ids into each
+        other's events.
+        """
+        stack = getattr(self._ctx, "stack", None)
+        if stack is None:
+            stack = self._ctx.stack = []
+        stack.append(fields)
+        try:
+            yield self
+        finally:
+            stack.pop()
+
+    def _context_args(self) -> dict:
+        stack = getattr(self._ctx, "stack", None)
+        if not stack:
+            return {}
+        merged: dict = {}
+        for fields in stack:
+            merged.update(fields)
+        return merged
+
+    def _args(self, args: dict) -> dict | None:
+        merged = self._context_args()
+        merged.update(args)
+        return merged or None
+
     def _base(self, name: str, cat: str, ph: str, *, pid=None, tid=None) -> dict:
         return {
             "name": name,
@@ -110,8 +157,9 @@ class TraceLog:
             yield record
         finally:
             record["dur"] = _now_us() - start
-            if args:
-                record["args"] = dict(args)
+            merged = self._args(dict(args))
+            if merged:
+                record["args"] = merged
             self.events.append(record)
 
     def add_span(
@@ -130,8 +178,9 @@ class TraceLog:
         record = self._base(name, cat, PH_COMPLETE, pid=pid, tid=tid)
         record["ts"] = start_us
         record["dur"] = max(end_us - start_us, 0.0)
-        if args:
-            record["args"] = dict(args)
+        merged = self._args(dict(args))
+        if merged:
+            record["args"] = merged
         self.events.append(record)
         return record
 
@@ -139,15 +188,16 @@ class TraceLog:
         """Record an instant event; ``args`` become its payload."""
         record = self._base(name, cat, PH_INSTANT)
         record["s"] = "p"  # process-scoped instant
-        if args:
-            record["args"] = dict(args)
+        merged = self._args(dict(args))
+        if merged:
+            record["args"] = merged
         self.events.append(record)
         return record
 
     def counter(self, name: str, *, cat: str = "counter", **values) -> dict:
         """Record a counter sample (rendered as a track by Perfetto)."""
         record = self._base(name, cat, PH_COUNTER)
-        record["args"] = dict(values)
+        record["args"] = self._args(dict(values)) or {}
         self.events.append(record)
         return record
 
@@ -187,6 +237,16 @@ class TraceLog:
 
     def save_chrome_trace(self, path) -> None:
         Path(path).write_text(json.dumps(self.to_chrome_trace(), indent=1))
+
+
+def now_us() -> float:
+    """The trace clock: wall-anchored monotonic microseconds.
+
+    External span recorders (:meth:`TraceLog.add_span` callers) should
+    measure with this so their timestamps land on the same timeline —
+    and with the same monotonicity guarantee — as context-manager spans.
+    """
+    return _now_us()
 
 
 def span_or_null(trace: TraceLog | None, name: str, *, cat: str = "span", **args):

@@ -22,15 +22,33 @@ daemon's contract expects:
 ``busy_retries`` and ``transport_retries`` count what the reliability
 layer absorbed; the load generator reconciles the former against the
 server's ``rejected`` counter.
+
+Every client mints a ``trace_id`` at construction and stamps each job
+request with a ``request_id`` (``<trace_id>:<n>``) that is *stable
+across retries* — a request that survives three busy replies is still
+one request on the merged timeline.  With a ``trace`` log attached,
+the client records a ``client.<op>`` span per request carrying that
+id, which is what lets :mod:`repro.obs.merge` line the client's view
+of a request up against the server stages and worker spans it caused.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
 import socket
+import threading
 import time
 
+from repro.obs.trace import now_us
 from repro.serve import protocol
+
+_TRACE_IDS = itertools.count(1)
+
+
+def _mint_trace_id() -> str:
+    """Process-unique client identity: ``c<pid>-<n>``."""
+    return f"c{os.getpid()}-{next(_TRACE_IDS)}-{threading.get_ident() & 0xFFFF}"
 
 
 class ServeError(Exception):
@@ -83,6 +101,8 @@ class ServeClient:
         backoff_cap: float = 2.0,
         max_frame: int = protocol.MAX_FRAME,
         sleep=time.sleep,
+        trace=None,
+        trace_id: str | None = None,
     ):
         self.address = (address[0], int(address[1]))
         self.timeout = timeout
@@ -96,6 +116,10 @@ class ServeClient:
         self._sleep = sleep
         self._sock: socket.socket | None = None
         self._ids = itertools.count(1)
+        #: Optional :class:`repro.obs.trace.TraceLog` receiving one
+        #: ``client.<op>`` span per job request.
+        self.trace = trace
+        self.trace_id = trace_id or _mint_trace_id()
 
     # -- connection management --------------------------------------------
 
@@ -134,6 +158,33 @@ class ServeClient:
         Raises :class:`ServerBusy`, :class:`RequestFailed`,
         :class:`RequestTimeout`, or :class:`ConnectionFailed`.
         """
+        if op in protocol.JOB_OPS and "request_id" not in params:
+            # Minted once here, NOT per attempt: retries of one logical
+            # request share one id on the merged timeline.
+            params["request_id"] = f"{self.trace_id}:{next(self._ids)}"
+        request_id = params.get("request_id")
+        start_us = now_us()
+        try:
+            response = self._request_with_retries(op, params)
+        except ServeError:
+            self._client_span(op, start_us, request_id, ok=False)
+            raise
+        self._client_span(
+            op, start_us, request_id, ok=True,
+            cached=bool(response.get("cached")),
+            coalesced=bool(response.get("coalesced")),
+        )
+        return response
+
+    def _client_span(self, op, start_us, request_id, **args) -> None:
+        if self.trace is None or request_id is None:
+            return
+        self.trace.add_span(
+            f"client.{op}", start_us, now_us(), cat="client",
+            request_id=request_id, **args,
+        )
+
+    def _request_with_retries(self, op: str, params: dict) -> dict:
         last_hint = 0.0
         for attempt in range(self.retries + 1):
             rid = next(self._ids)
@@ -205,6 +256,10 @@ class ServeClient:
 
     def status(self) -> dict:
         return self.request("status")["result"]
+
+    def metrics(self) -> dict:
+        """Both exposition formats: ``{"json": ..., "text": ...}``."""
+        return self.request("metrics")["result"]
 
     def shutdown(self) -> dict:
         return self.request("shutdown")["result"]

@@ -40,6 +40,8 @@ import threading
 import time
 from pathlib import Path
 
+from repro.obs import merge as obs_merge
+from repro.obs.trace import TraceLog
 from repro.serve.client import ServeClient, ServeError
 from repro.serve.metrics import percentile
 
@@ -108,6 +110,7 @@ def run_phase(
     *,
     timeout: float,
     retries: int,
+    trace: TraceLog | None = None,
 ) -> dict:
     """Drive the workload through ``concurrency`` client threads."""
     work: queue.Queue = queue.Queue()
@@ -121,7 +124,8 @@ def run_phase(
 
     def worker() -> None:
         nonlocal coalesced, cached, busy_replies
-        client = ServeClient(address, timeout=timeout, retries=retries)
+        client = ServeClient(address, timeout=timeout, retries=retries,
+                             trace=trace)
         try:
             barrier.wait(timeout=timeout)
             while True:
@@ -160,6 +164,8 @@ def run_phase(
     for thread in threads:
         thread.join()
     wall = time.monotonic() - started
+    if trace is not None:
+        trace.flush()
 
     durations = sorted(duration for _, duration in samples)
     by_op: dict[str, int] = {}
@@ -189,6 +195,36 @@ def run_phase(
 def _counter_delta(before: dict, after: dict) -> dict:
     b, a = before["counters"], after["counters"]
     return {key: a[key] - b.get(key, 0) for key in a}
+
+
+def metrics_agree(final: dict, metrics_json: dict) -> dict:
+    """The exposition (``metrics`` op) vs. the ``status`` counters.
+
+    Both read the same registry objects, but this check is what makes
+    "the export reconciles" an observed fact rather than an assumption:
+    every ``serve_<name>_total`` series must equal the counter of the
+    same name in the status payload sampled at the same point.
+    """
+    exported = {
+        series["name"]: series["value"]
+        for series in metrics_json.get("metrics", [])
+        if series["kind"] == "counter"
+    }
+    mismatches = {}
+    checked = 0
+    for name, value in final["counters"].items():
+        if name == "requests":
+            # Counts admin ops too, so the status and metrics probes
+            # themselves move it between the two samples.
+            continue
+        checked += 1
+        series = f"serve_{name}_total"
+        if exported.get(series) != value:
+            mismatches[series] = {
+                "status": value, "exported": exported.get(series),
+            }
+    return {"ok": not mismatches, "mismatches": mismatches,
+            "series_checked": checked}
 
 
 def reconcile(before: dict, final: dict, phases: dict) -> dict:
@@ -279,6 +315,11 @@ def main(argv=None) -> int:
                              "temporary directory, guaranteeing a cold phase)")
     parser.add_argument("--out", default="BENCH_serve.json",
                         help="JSON report path")
+    parser.add_argument("--trace-dir", default=None,
+                        help="collect client/server/worker JSONL trace "
+                             "sinks here, merge them into one Chrome "
+                             "trace, and gate on request correlation "
+                             "(embedded daemon only)")
     parser.add_argument("--shutdown", action="store_true",
                         help="with --connect: send a shutdown request after "
                              "the benchmark (embedded daemons always drain)")
@@ -297,7 +338,11 @@ def main(argv=None) -> int:
 
     thread = None
     tempdir = None
+    trace_dir = Path(args.trace_dir) if args.trace_dir else None
     if args.connect:
+        if trace_dir is not None:
+            parser.error("--trace-dir needs the embedded daemon "
+                         "(worker sinks must land on this filesystem)")
         host, _, port = args.connect.rpartition(":")
         address = (host or "127.0.0.1", int(port))
     else:
@@ -308,9 +353,18 @@ def main(argv=None) -> int:
         if cache_dir is None:
             tempdir = tempfile.TemporaryDirectory(prefix="repro-serve-bench-")
             cache_dir = tempdir.name
+        server_trace = None
+        if trace_dir is not None:
+            trace_dir.mkdir(parents=True, exist_ok=True)
+            server_trace = TraceLog(sink=trace_dir / "server.jsonl")
         thread = ServerThread(
             ArtifactCache(cache_dir),
-            ServeConfig(workers=args.workers, queue_limit=args.queue_limit),
+            ServeConfig(
+                workers=args.workers,
+                queue_limit=args.queue_limit,
+                trace_dir=str(trace_dir) if trace_dir is not None else None,
+            ),
+            trace=server_trace,
         )
         address = thread.start()
         print(f"embedded daemon on {address[0]}:{address[1]} "
@@ -321,22 +375,40 @@ def main(argv=None) -> int:
         before = probe.status()
         phases = {}
         for name in ("cold", "warm"):
+            phase_trace = None
+            if trace_dir is not None:
+                phase_trace = TraceLog(sink=trace_dir / f"client-{name}.jsonl")
             phases[name] = run_phase(
                 address, workload, args.concurrency,
                 timeout=args.timeout, retries=args.retries,
+                trace=phase_trace,
             )
             print(_phase_line(name, phases[name]))
         final = probe.status()
+        metrics = probe.metrics()
         if args.connect and args.shutdown:
             probe.shutdown()
         probe.close()
     finally:
+        # Stop (and so drain) the embedded daemon *before* merging:
+        # drain flushes the server sink, and workers flushed per job.
         if thread is not None:
             thread.stop()
         if tempdir is not None:
             tempdir.cleanup()
 
+    correlation = None
+    if trace_dir is not None:
+        merged = obs_merge.merge_traces([trace_dir])
+        merged_path = trace_dir / "merged.trace.json"
+        merged.save_chrome_trace(merged_path)
+        correlation = obs_merge.correlation_report(merged)
+        print(f"merged trace: {merged_path} "
+              f"({len(merged.events)} events, "
+              f"{correlation['request_ids']} request ids)")
+
     outcome = reconcile(before, final, phases)
+    exposition = metrics_agree(final, metrics["json"])
     report = {
         "bench": "serve",
         "concurrency": args.concurrency,
@@ -346,7 +418,10 @@ def main(argv=None) -> int:
         "seed": args.seed,
         "phases": phases,
         "server": {"before": before, "final": final},
+        "metrics": metrics["json"],
         "reconcile": outcome,
+        "correlation": correlation,
+        "exposition_check": exposition,
     }
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(f"report: {args.out}")
@@ -357,6 +432,12 @@ def main(argv=None) -> int:
         print(f"  {flag:>4}  {name}  {detail}")
     failed_requests = sum(phase["failed"] for phase in phases.values())
     ok = outcome["ok"] and failed_requests == 0
+    if not exposition["ok"]:
+        print(f"  FAIL  metrics_exposition  {exposition['mismatches']}")
+        ok = False
+    if correlation is not None and not correlation["ok"]:
+        print(f"  FAIL  trace_correlation  {correlation}")
+        ok = False
     print(f"serve-bench: {'OK' if ok else 'FAIL'}")
     return 0 if ok else 1
 

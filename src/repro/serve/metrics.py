@@ -1,88 +1,30 @@
-"""Serving-path metrics: a log-bucketed latency histogram.
+"""Serving-path metrics, now backed by the shared registry module.
 
-The daemon answers ``status`` with per-op latency distributions.  A
-fixed set of geometrically spaced buckets (25% per step, ~0.1 ms up to
-~20 s, plus an overflow bucket) keeps the accounting O(1) per request
-and the ``status`` payload small, while still giving percentile
-estimates with bounded relative error — the right trade for a counter
-that is sampled while the server is under load.  Exact sample-level
-percentiles (the load generator's report) are computed client-side
-from recorded durations; :func:`percentile` is the shared helper.
+The log-bucketed latency histogram and the exact nearest-rank
+percentile helper migrated to :mod:`repro.obs.metrics` when the
+process-wide metrics registry landed; this module keeps the serving
+path's historical names.  :class:`LatencyHistogram` is the standalone
+(registry-free) histogram whose ``to_dict`` is the compact latency
+shape embedded in a ``status`` response.
 """
 
 from __future__ import annotations
 
-#: Bucket upper bounds in seconds: 0.1 ms growing by 1.25x per bucket,
-#: 56 finite buckets (~21 s), then a catch-all overflow bucket.
-_FIRST_BOUND = 1e-4
-_GROWTH = 1.25
-_BUCKETS = 56
+from repro.obs.metrics import BOUNDS, Histogram, percentile
 
-BOUNDS = tuple(_FIRST_BOUND * _GROWTH**i for i in range(_BUCKETS))
+__all__ = ["BOUNDS", "LatencyHistogram", "percentile"]
 
 
-class LatencyHistogram:
+class LatencyHistogram(Histogram):
     """Latency counters with percentile estimation from the buckets."""
 
-    __slots__ = ("counts", "count", "total", "min", "max")
-
     def __init__(self) -> None:
-        self.counts = [0] * (_BUCKETS + 1)
-        self.count = 0
-        self.total = 0.0
-        self.min = float("inf")
-        self.max = 0.0
+        import threading
 
-    def observe(self, seconds: float) -> None:
-        index = _BUCKETS  # overflow unless a bound catches it
-        for i, bound in enumerate(BOUNDS):
-            if seconds <= bound:
-                index = i
-                break
-        self.counts[index] += 1
-        self.count += 1
-        self.total += seconds
-        if seconds < self.min:
-            self.min = seconds
-        if seconds > self.max:
-            self.max = seconds
-
-    def quantile(self, q: float) -> float:
-        """The q-quantile in seconds, estimated from the buckets.
-
-        Returns the upper bound of the bucket holding the q-th sample
-        (clamped to the observed max, so the estimate never exceeds a
-        real latency); 0.0 when empty.
-        """
-        if not self.count:
-            return 0.0
-        rank = q * self.count
-        seen = 0
-        for i, n in enumerate(self.counts):
-            seen += n
-            if seen >= rank and n:
-                bound = BOUNDS[i] if i < _BUCKETS else self.max
-                return min(bound, self.max)
-        return self.max
+        super().__init__(
+            "latency_seconds", "", {}, threading.Lock(), bounds=BOUNDS
+        )
 
     def to_dict(self) -> dict:
         """The JSON shape embedded in a ``status`` response."""
-        if not self.count:
-            return {"count": 0}
-        return {
-            "count": self.count,
-            "mean_ms": 1e3 * self.total / self.count,
-            "min_ms": 1e3 * self.min,
-            "max_ms": 1e3 * self.max,
-            "p50_ms": 1e3 * self.quantile(0.50),
-            "p95_ms": 1e3 * self.quantile(0.95),
-            "p99_ms": 1e3 * self.quantile(0.99),
-        }
-
-
-def percentile(sorted_samples: list[float], q: float) -> float:
-    """Exact nearest-rank percentile of pre-sorted samples."""
-    if not sorted_samples:
-        return 0.0
-    rank = max(1, round(q * len(sorted_samples)))
-    return sorted_samples[min(rank, len(sorted_samples)) - 1]
+        return self.summary()

@@ -23,6 +23,13 @@ id and carry either ``"ok": true`` with a ``result`` (plus ``cached``
 / ``coalesced`` provenance flags), ``"ok": false`` with an ``error``
 object, or ``"ok": false`` with a ``retry_after`` hint — the
 backpressure reply a well-behaved client sleeps on.
+
+Requests may additionally carry a ``request_id`` — an opaque string
+the client mints (``<trace_id>:<n>``) for end-to-end trace
+correlation.  It is *not* a content field: two requests for the same
+job with different request ids still coalesce and share one cache
+entry; the id only tags the spans each side records, so a merged
+multi-process trace can answer "where did request X spend its time?".
 """
 
 from __future__ import annotations
@@ -37,10 +44,10 @@ MAX_FRAME = 8 * 1024 * 1024
 _HEADER_LEN = 4
 
 #: Request types the daemon understands.  ``compile``/``link``/``run``/
-#: ``explain`` are content-addressed jobs; ``status`` and ``shutdown``
-#: are served inline by the event loop.
+#: ``explain`` are content-addressed jobs; ``status``, ``metrics``, and
+#: ``shutdown`` are served inline by the event loop.
 JOB_OPS = ("compile", "link", "run", "explain")
-ADMIN_OPS = ("status", "shutdown")
+ADMIN_OPS = ("status", "metrics", "shutdown")
 OPS = JOB_OPS + ADMIN_OPS
 
 
@@ -154,8 +161,11 @@ def send_frame(sock: socket.socket, obj, *, max_frame: int = MAX_FRAME) -> None:
 # -- message shapes ------------------------------------------------------------
 
 
-def request(op: str, request_id: int, **params) -> dict:
-    return {"id": request_id, "op": op, **params}
+def request(op: str, frame_id: int, **params) -> dict:
+    """A request frame.  ``frame_id`` is the per-connection wire id the
+    response echoes; an end-to-end correlation ``request_id`` (if any)
+    travels in ``params``."""
+    return {"id": frame_id, "op": op, **params}
 
 
 def ok_response(

@@ -40,9 +40,9 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro.cache import ArtifactCache, SingleFlight, compute_toolchain_stamp
-from repro.obs.trace import TraceLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceLog, now_us
 from repro.serve import protocol, workers
-from repro.serve.metrics import LatencyHistogram
 
 #: Cache kind for serving-path job results.
 CACHE_KIND = "serve"
@@ -66,6 +66,7 @@ class ServeConfig:
     max_frame: int = protocol.MAX_FRAME
     run_budget: int = 200_000_000  # ceiling on per-run instruction budgets
     trace_flush_every: int = 64  # flush the trace sink every N events
+    trace_dir: str | None = None  # per-pid worker JSONL sinks land here
 
 
 class BusyError(Exception):
@@ -84,24 +85,51 @@ class JobFailed(Exception):
         self.kind = kind
 
 
-@dataclass
-class _Counters:
-    """Serving-path totals; the identity the load generator reconciles
-    is ``completed == coalesced + cache_hits + computed``."""
+#: Serving-path counter names and help text; the identity the load
+#: generator reconciles is ``completed == coalesced + cache_hits +
+#: computed``.
+_COUNTER_HELP = {
+    "requests": "every decoded request, admin included",
+    "completed": "job requests answered ok",
+    "failed": "job requests answered with an error",
+    "rejected": "job requests answered retry-after",
+    "coalesced": "completions served by joining another flight",
+    "cache_hits": "completions served from the disk cache",
+    "computed": "completions that ran in the worker pool",
+    "cache_misses": "leader probes that missed the disk cache",
+    "admitted": "jobs submitted to the worker pool",
+    "bad_requests": "undecodable ops / malformed payloads",
+}
 
-    requests: int = 0  # every decoded request, admin included
-    completed: int = 0  # job requests answered ok
-    failed: int = 0  # job requests answered with an error
-    rejected: int = 0  # job requests answered retry-after
-    coalesced: int = 0  # completions served by joining another flight
-    cache_hits: int = 0  # completions served from the disk cache
-    computed: int = 0  # completions that ran in the worker pool
-    cache_misses: int = 0  # leader probes that missed the disk cache
-    admitted: int = 0  # jobs submitted to the worker pool
-    bad_requests: int = 0  # undecodable ops / malformed payloads
+
+class _Counters:
+    """Serving-path totals, registered in the shared metrics registry.
+
+    The registry counters *are* the source of truth: the ``status``
+    payload, the Prometheus/JSON exposition, and the load generator's
+    reconciliation all read the same objects, so the counter identity
+    cannot drift between export paths.  Reads keep the historical
+    attribute style (``counters.completed``); writes go through
+    :meth:`inc`.
+    """
+
+    def __init__(self, registry: MetricsRegistry):
+        self._counters = {
+            name: registry.counter(f"serve_{name}_total", help)
+            for name, help in _COUNTER_HELP.items()
+        }
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self._counters[name].inc(amount)
+
+    def __getattr__(self, name: str) -> int:
+        try:
+            return self._counters[name].value
+        except KeyError:
+            raise AttributeError(name) from None
 
     def to_dict(self) -> dict:
-        return dict(vars(self))
+        return {name: c.value for name, c in self._counters.items()}
 
 
 class ToolchainServer:
@@ -129,8 +157,16 @@ class ToolchainServer:
             cache.stamp if cache is not None else compute_toolchain_stamp()
         )
         self.flights = SingleFlight()
-        self.counters = _Counters()
-        self.latency = {op: LatencyHistogram() for op in protocol.JOB_OPS}
+        self.metrics = MetricsRegistry()
+        self.counters = _Counters(self.metrics)
+        self.latency = {
+            op: self.metrics.histogram(
+                "serve_request_seconds",
+                "request latency by op, log-bucketed",
+                op=op,
+            )
+            for op in protocol.JOB_OPS
+        }
         self.stop_event = asyncio.Event()
         self.draining = False
         self._active_jobs = 0  # admitted, still in the pool
@@ -143,6 +179,36 @@ class ToolchainServer:
         self._server: asyncio.AbstractServer | None = None
         self._writers: set[asyncio.StreamWriter] = set()
         self._started = time.monotonic()
+        self._minted_ids = 0  # request_ids minted for clients that sent none
+        self._register_gauges()
+
+    def _register_gauges(self) -> None:
+        """Sampled gauges: live server state read at collection time."""
+        gauge = self.metrics.gauge
+        gauge("serve_queue_depth", "jobs admitted but waiting for a worker",
+              fn=self.queue_depth)
+        gauge("serve_active_jobs", "jobs admitted, still in the pool",
+              fn=lambda: self._active_jobs)
+        gauge("serve_uptime_seconds", "seconds since server construction",
+              fn=lambda: time.monotonic() - self._started)
+        gauge("serve_draining", "1 while the server refuses new work",
+              fn=lambda: int(self.draining))
+        gauge("serve_flights_started", "single-flight leaders opened",
+              fn=lambda: self.flights.started)
+        gauge("serve_flights_coalesced", "callers that joined a flight",
+              fn=lambda: self.flights.coalesced)
+        if self.cache is not None:
+            stats = self.cache.stats
+            gauge("serve_cache_disk_hits", "event-loop disk-cache hits",
+                  fn=lambda: stats.total_hits)
+            gauge("serve_cache_disk_misses", "event-loop disk-cache misses",
+                  fn=lambda: stats.total_misses)
+            gauge("serve_cache_disk_errors",
+                  "disk-cache reads failed for non-ENOENT reasons",
+                  fn=lambda: stats.total_errors)
+            gauge("serve_cache_disk_quarantines",
+                  "torn/corrupt entries quarantined on read",
+                  fn=lambda: stats.total_quarantines)
 
     # -- lifecycle --------------------------------------------------------
 
@@ -155,6 +221,7 @@ class ToolchainServer:
                 initargs=(
                     str(self.cache.root) if self.cache is not None else None,
                     self.stamp,
+                    self.config.trace_dir,
                 ),
             )
         self._server = await asyncio.start_server(
@@ -204,14 +271,14 @@ class ToolchainServer:
                 except protocol.FrameTooLarge as exc:
                     # The refused body was never buffered, but the stream
                     # position is now meaningless: answer and hang up.
-                    self.counters.bad_requests += 1
+                    self.counters.inc("bad_requests")
                     await protocol.write_frame(
                         writer,
                         protocol.error_response(None, "frame-too-large", str(exc)),
                     )
                     break
                 except protocol.ProtocolError:
-                    self.counters.bad_requests += 1
+                    self.counters.inc("bad_requests")
                     break  # undecodable stream; nothing sane to answer
                 if message is None:
                     break
@@ -226,62 +293,92 @@ class ToolchainServer:
     # -- dispatch ----------------------------------------------------------
 
     async def _dispatch(self, message: dict) -> dict:
-        self.counters.requests += 1
+        self.counters.inc("requests")
         rid = message.get("id")
         op = message.get("op")
         if op == "status":
             return protocol.ok_response(rid, self.status())
+        if op == "metrics":
+            return protocol.ok_response(rid, self.metrics_payload())
         if op == "shutdown":
             self.stop_event.set()
             return protocol.ok_response(rid, {"draining": True})
         if op not in protocol.JOB_OPS:
-            self.counters.bad_requests += 1
+            self.counters.inc("bad_requests")
             return protocol.error_response(rid, "bad-request", f"unknown op {op!r}")
         if self.draining:
             return protocol.error_response(rid, "draining", "server is draining")
 
+        # The correlation id the client minted; requests without one
+        # still get server-side correlation under a server-minted id.
+        request_id = message.get("request_id")
+        if not isinstance(request_id, str) or not request_id:
+            self._minted_ids += 1
+            request_id = f"srv:{os.getpid()}:{self._minted_ids}"
+
+        canon_start = now_us()
         try:
             payload = self._canonical_payload(op, message)
         except ValueError as exc:
-            self.counters.bad_requests += 1
+            self.counters.inc("bad_requests")
             return protocol.error_response(rid, "bad-request", str(exc))
+        finally:
+            self._stage_span("canonicalize", canon_start, request_id, op=op)
 
         self._pending += 1
         self._idle.clear()
         started = time.monotonic()
+        started_us = now_us()
         try:
-            result, cached, coalesced = await self._job(op, payload)
+            result, cached, coalesced = await self._job(op, payload, request_id)
         except BusyError as exc:
-            self.counters.rejected += 1
+            self.counters.inc("rejected")
             return protocol.busy_response(rid, exc.retry_after)
         except JobFailed as exc:
-            self.counters.failed += 1
+            self.counters.inc("failed")
             return protocol.error_response(rid, exc.kind, str(exc))
         finally:
             self._pending -= 1
             duration = time.monotonic() - started
-            self._record_span(op, started, duration)
+            self._record_span(op, started_us, duration, request_id)
             if not self._pending:
                 self._idle.set()
         self.latency[op].observe(duration)
-        self.counters.completed += 1
+        self.counters.inc("completed")
         if coalesced:
-            self.counters.coalesced += 1
+            self.counters.inc("coalesced")
         elif cached:
-            self.counters.cache_hits += 1
+            self.counters.inc("cache_hits")
         else:
-            self.counters.computed += 1
+            self.counters.inc("computed")
         return protocol.ok_response(rid, result, cached=cached, coalesced=coalesced)
 
-    def _record_span(self, op: str, started: float, duration: float) -> None:
+    def _stage_span(self, stage: str, start_us: float, request_id: str, **args):
+        """One pipeline-stage span (externally timed: the event loop
+        interleaves requests, so context-manager spans would nest
+        across unrelated requests)."""
         if self.trace is None:
             return
-        now_us = time.time() * 1e6
+        self.trace.add_span(
+            f"serve.{stage}",
+            start_us,
+            now_us(),
+            cat="serve-stage",
+            request_id=request_id,
+            **args,
+        )
+
+    def _record_span(
+        self, op: str, started_us: float, duration: float, request_id: str
+    ) -> None:
+        if self.trace is None:
+            return
         self.trace.add_span(
             f"serve.{op}",
-            now_us - duration * 1e6,
-            now_us,
+            started_us,
+            started_us + duration * 1e6,
             cat="serve",
+            request_id=request_id,
             queue_depth=self.queue_depth(),
         )
         if self.trace.unflushed >= self.config.trace_flush_every:
@@ -332,15 +429,22 @@ class ToolchainServer:
         # No disk cache: still coalesce, keyed on the canonical JSON.
         return json.dumps(content, sort_keys=True, separators=(",", ":"))
 
-    async def _job(self, op: str, payload: dict):
+    async def _job(self, op: str, payload: dict, request_id: str):
         """Resolve one job: returns ``(result, cached, coalesced)``."""
         key = self._key(op, payload)
         leader, flight = self.flights.begin(key)
         if not leader:
-            outcome = await asyncio.wrap_future(flight)
+            # The follower's span covers the wait; the worker-side span
+            # for the shared computation carries the *leader's* id —
+            # that is the correct attribution, not a gap.
+            wait_start = now_us()
+            try:
+                outcome = await asyncio.wrap_future(flight)
+            finally:
+                self._stage_span("coalesce", wait_start, request_id, op=op)
             return self._follow(outcome)
         try:
-            result, cached = await self._compute(op, payload, key)
+            result, cached = await self._compute(op, payload, key, request_id)
         except BusyError as exc:
             self.flights.finish(key, flight, ("busy", exc.retry_after))
             raise
@@ -362,27 +466,43 @@ class ToolchainServer:
             raise BusyError(outcome[1])
         raise JobFailed(outcome[1], outcome[2])
 
-    async def _compute(self, op: str, payload: dict, key: str):
+    async def _compute(self, op: str, payload: dict, key: str, request_id: str):
         """Leader path: disk cache, then admission, then the pool."""
         loop = asyncio.get_running_loop()
         if self.cache is not None:
+            probe_start = now_us()
             data = await loop.run_in_executor(
                 None, self.cache.get, CACHE_KIND, key
             )
+            self._stage_span(
+                "cache_probe", probe_start, request_id,
+                op=op, hit=data is not None,
+            )
             if data is not None:
                 return json.loads(data), True
-        self.counters.cache_misses += 1
+        self.counters.inc("cache_misses")
 
         if self._active_jobs >= self.config.queue_limit:
             raise BusyError(self.config.retry_after)
+        admit_start = now_us()
         self._active_jobs += 1
-        self.counters.admitted += 1
+        self.counters.inc("admitted")
+        self._stage_span(
+            "admit", admit_start, request_id,
+            op=op, active_jobs=self._active_jobs,
+        )
+        exec_start = now_us()
         try:
             outcome = await loop.run_in_executor(
-                self._executor, self._job_runner, op, payload
+                self._executor,
+                self._job_runner,
+                op,
+                payload,
+                {"request_id": request_id},
             )
         finally:
             self._active_jobs -= 1
+            self._stage_span("execute", exec_start, request_id, op=op)
         if not outcome.get("ok"):
             error = outcome.get("error") or {}
             raise JobFailed(
@@ -418,8 +538,20 @@ class ToolchainServer:
                 "coalesced": self.flights.coalesced,
             },
             "latency": {
-                op: hist.to_dict() for op, hist in self.latency.items()
+                op: hist.summary() for op, hist in self.latency.items()
             },
+            "cache": (
+                {"stamp": self.stamp, **self.cache.stats.to_dict()}
+                if self.cache is not None
+                else None
+            ),
+        }
+
+    def metrics_payload(self) -> dict:
+        """The ``metrics`` op: both exposition formats of one snapshot."""
+        return {
+            "json": self.metrics.to_dict(),
+            "text": self.metrics.to_prometheus(),
         }
 
 

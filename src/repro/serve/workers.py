@@ -23,7 +23,9 @@ corrupt another job's inputs — the same cache-boundary discipline as
 
 from __future__ import annotations
 
+import os
 import traceback
+from pathlib import Path
 
 from repro.benchsuite.suite import build_stdlib
 from repro.linker import link, make_crt0
@@ -33,7 +35,7 @@ from repro.objfile.archive import Archive
 from repro.objfile.sections import SectionKind
 from repro.objfile.serialize import dump_archive, load_archive
 from repro.obs import provenance
-from repro.obs.trace import TraceLog
+from repro.obs.trace import TraceLog, span_or_null
 from repro.om import OMLevel, OMOptions, om_link
 
 #: Link variants a request may name; ``ld`` is the standard linker.
@@ -56,9 +58,19 @@ DEFAULT_RUN_BUDGET = 50_000_000
 #: any pool without the initializer) simply runs shards inline.
 _WPO_CACHE = None
 
+#: Per-process trace sink (``<trace_dir>/worker-<pid>.jsonl``),
+#: installed by :func:`initialize_worker`.  Every job wraps itself in
+#: ``_TRACE.context(request_id=...)`` so worker-side spans, WPO shard
+#: spans, and cache hit/miss/quarantine events all carry the request id
+#: that caused them — the raw material :mod:`repro.obs.merge` stitches
+#: into one cross-process timeline.
+_TRACE = None
 
-def initialize_worker(cache_root: str | None, stamp: str | None) -> None:
-    """Pool initializer: install the wpo shard cache for this process.
+
+def initialize_worker(
+    cache_root: str | None, stamp: str | None, trace_dir: str | None = None
+) -> None:
+    """Pool initializer: install this process's cache and trace sink.
 
     The daemon computes the toolchain stamp *once at its own startup*
     (:func:`repro.cache.compute_toolchain_stamp`) and threads the value
@@ -66,12 +78,25 @@ def initialize_worker(cache_root: str | None, stamp: str | None) -> None:
     under the stamp of the code the daemon actually serves — never the
     stale memoized stamp of whatever was on disk when some worker
     process first imported the package.
+
+    With a ``trace_dir``, the worker opens a durable per-pid JSONL sink
+    and attaches it to the shard cache, so cache events are traced too;
+    :func:`execute_job` flushes it after every job (pool workers have
+    no drain hook, so per-job flushing is what makes the sink complete
+    at merge time).
     """
-    global _WPO_CACHE
+    global _WPO_CACHE, _TRACE
     from repro.cache import ArtifactCache
 
+    _TRACE = None
+    if trace_dir:
+        path = Path(trace_dir)
+        path.mkdir(parents=True, exist_ok=True)
+        _TRACE = TraceLog(sink=path / f"worker-{os.getpid()}.jsonl")
     _WPO_CACHE = (
-        ArtifactCache(cache_root, stamp=stamp) if cache_root else None
+        ArtifactCache(cache_root, stamp=stamp, trace=_TRACE)
+        if cache_root
+        else None
     )
 
 
@@ -134,7 +159,8 @@ def _link(payload: dict, objects, *, trace: TraceLog | None = None):
 
 
 def _job_compile(payload: dict) -> dict:
-    objects = _compile_objects(payload)
+    with span_or_null(_TRACE, "worker.stage.compile", cat="worker"):
+        objects = _compile_objects(payload)
     return {
         "modules": [obj.name for obj in objects],
         "objects": len(objects),
@@ -158,20 +184,30 @@ def _link_summary(executable, om) -> dict:
     return summary
 
 
+def _compile_and_link(payload: dict):
+    """The shared compile+link front half, staged on the worker trace."""
+    with span_or_null(_TRACE, "worker.stage.compile", cat="worker"):
+        objects = _compile_objects(payload)
+    with span_or_null(_TRACE, "worker.stage.link", cat="worker",
+                      variant=payload.get("variant", "om-full")):
+        return _link(payload, objects, trace=_TRACE)
+
+
 def _job_link(payload: dict) -> dict:
-    executable, om = _link(payload, _compile_objects(payload))
+    executable, om = _compile_and_link(payload)
     return _link_summary(executable, om)
 
 
 def _job_run(payload: dict) -> dict:
-    executable, om = _link(payload, _compile_objects(payload))
+    executable, om = _compile_and_link(payload)
     budget = int(payload.get("max_instructions") or DEFAULT_RUN_BUDGET)
     try:
-        outcome = run(
-            executable,
-            timed=bool(payload.get("timed", True)),
-            max_instructions=budget,
-        )
+        with span_or_null(_TRACE, "worker.stage.run", cat="worker"):
+            outcome = run(
+                executable,
+                timed=bool(payload.get("timed", True)),
+                max_instructions=budget,
+            )
     except ExecutionBudgetExceeded as exc:
         raise JobError(
             "budget-exceeded",
@@ -219,14 +255,24 @@ _JOBS = {
 }
 
 
-def execute_job(op: str, payload: dict) -> dict:
-    """Run one job; failures are returned as data, never raised."""
+def execute_job(op: str, payload: dict, meta: dict | None = None) -> dict:
+    """Run one job; failures are returned as data, never raised.
+
+    ``meta`` carries non-content request context — the client-minted
+    ``request_id``/``trace_id`` — which tags every trace event the job
+    records but never participates in cache keys or job behavior.
+    """
     job = _JOBS.get(op)
     if job is None:
         return {"ok": False, "error": {"kind": "bad-request",
                                        "message": f"unknown op {op!r}"}}
     try:
-        return {"ok": True, "result": job(payload)}
+        if _TRACE is None:
+            return {"ok": True, "result": job(payload)}
+        with _TRACE.context(**(meta or {})):
+            with _TRACE.span(f"worker.{op}", cat="worker"):
+                outcome = {"ok": True, "result": job(payload)}
+        return outcome
     except JobError as exc:
         return {"ok": False, "error": {"kind": exc.kind, "message": str(exc)}}
     except Exception as exc:  # toolchain bug or bad program: report, don't die
@@ -238,3 +284,6 @@ def execute_job(op: str, payload: dict) -> dict:
                 "traceback": traceback.format_exc(limit=20),
             },
         }
+    finally:
+        if _TRACE is not None:
+            _TRACE.flush()

@@ -31,6 +31,7 @@ objects and archives use the repository's binary format.
 from __future__ import annotations
 
 import argparse
+import json
 import pickle
 import sys
 from pathlib import Path
@@ -217,8 +218,33 @@ def _serve(args) -> int:
         queue_limit=args.queue_limit,
         retry_after=args.retry_after,
         run_budget=args.run_budget,
+        trace_dir=args.trace_dir,
     )
     return asyncio.run(serve_main(config, cache, trace))
+
+
+def _metrics(args) -> int:
+    """Scrape a running daemon's metrics in either exposition format."""
+    from repro.serve.client import ServeClient
+
+    host, _, port = args.address.rpartition(":")
+    with ServeClient((host or "127.0.0.1", int(port)),
+                     timeout=args.timeout) as client:
+        payload = client.metrics()
+    if args.format == "json":
+        print(json.dumps(payload["json"], indent=2))
+    else:
+        sys.stdout.write(payload["text"])
+    return 0
+
+
+def _merge_trace(args) -> int:
+    from repro.obs.merge import merge_main
+
+    argv = list(args.sinks) + ["-o", args.output]
+    if args.report:
+        argv.append("--report")
+    return merge_main(argv)
 
 
 def _dis(args) -> int:
@@ -330,7 +356,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve without the disk cache (still coalesces)")
     serve.add_argument("--trace", default=None,
                        help="JSONL trace sink, flushed on drain")
+    serve.add_argument("--trace-dir", default=None,
+                       help="directory for per-pid worker trace sinks "
+                            "(worker-<pid>.jsonl), mergeable with "
+                            "merge-trace")
     serve.set_defaults(func=_serve)
+
+    metrics = sub.add_parser(
+        "metrics", help="scrape a running daemon's metrics"
+    )
+    metrics.add_argument("address", metavar="HOST:PORT")
+    metrics.add_argument("--format", choices=("prometheus", "json"),
+                         default="prometheus")
+    metrics.add_argument("--timeout", type=float, default=30.0)
+    metrics.set_defaults(func=_metrics)
+
+    merge = sub.add_parser(
+        "merge-trace",
+        help="merge JSONL trace sinks into one Chrome trace",
+    )
+    merge.add_argument("sinks", nargs="+",
+                       help="JSONL sink files or directories of them")
+    merge.add_argument("-o", dest="output", required=True,
+                       help="merged Chrome-trace JSON output path")
+    merge.add_argument("--report", action="store_true",
+                       help="print the request-correlation report")
+    merge.set_defaults(func=_merge_trace)
     return parser
 
 

@@ -40,7 +40,7 @@ from repro.linker.layout import LayoutOptions, compute_layout
 from repro.linker.resolve import resolve_inputs
 from repro.minicc.mcode import MLabel
 from repro.obs import provenance
-from repro.obs.trace import TraceLog, span_or_null
+from repro.obs.trace import TraceLog, now_us, span_or_null
 from repro.objfile.serialize import dump_object
 from repro.om.symbolic import SymbolicModule, reassemble_module
 from repro.om.transform import (
@@ -454,15 +454,29 @@ def _run_round(
         pending.append(index)
 
     if pool is not None and len(pending) > 1:
+        submitted_us = now_us()
         futures = {
             index: pool.submit(run_shard, jobs[index].payload)
             for index in pending
         }
         for index in pending:
             results[index] = futures[index].result()
+            if trace is not None:
+                # Pool shards run remotely: the span covers submit to
+                # result pickup (queueing included), one lane per shard.
+                trace.add_span(
+                    "om.wpo.shard", submitted_us, now_us(), cat="om",
+                    round=round_index, shard=jobs[index].shard.index,
+                    members=len(jobs[index].shard.members), pooled=True,
+                )
     else:
         for index in pending:
-            results[index] = run_shard(jobs[index].payload)
+            with span_or_null(
+                trace, "om.wpo.shard", cat="om",
+                round=round_index, shard=jobs[index].shard.index,
+                members=len(jobs[index].shard.members), pooled=False,
+            ):
+                results[index] = run_shard(jobs[index].payload)
     for index in pending:
         run.stats.misses += 1
         missed.add(jobs[index].shard.index)

@@ -1,0 +1,181 @@
+"""The perf-regression gate, unit-tested against synthetic reports.
+
+The real ``bench`` suite takes seconds and exercises the whole
+pipeline (CI runs it); these tests pin the *gate logic* — direction
+rules, tolerance math, the zero-baseline absolute path, and the CLI
+exit codes — with hand-built report dicts.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.bench import BENCH_SCHEMA
+from repro.experiments.regress import (
+    BASELINE_SCHEMA,
+    _check,
+    compare,
+    make_baselines,
+    regress_main,
+    spec_for,
+)
+
+
+def _report(metrics):
+    return {"schema": BENCH_SCHEMA, "components": ["x"], "metrics": metrics}
+
+
+# -- default specs -------------------------------------------------------------
+
+
+def test_spec_rules_classify_metric_families():
+    # Wall clock: lower is better, generous slack.
+    assert spec_for("build.eqntott.ld.link_seconds") == ("lower", 3.0)
+    assert spec_for("wpo.cold_link_seconds") == ("lower", 3.0)
+    assert spec_for("wpo.edit_relink_seconds") == ("lower", 3.0)
+    assert spec_for("serve.warm.p95_ms") == ("lower", 5.0)
+    # Throughput-ish: higher is better.
+    assert spec_for("serve.cold.throughput_rps") == ("higher", 0.85)
+    assert spec_for("serve.warm_speedup") == ("higher", 0.95)
+    # Deterministic: exact.
+    assert spec_for("build.eqntott.om-full.cycles") == ("either", 0.0)
+    assert spec_for("wpo.warm_misses") == ("either", 0.0)
+    assert spec_for("serve.identity_residual") == ("either", 0.0)
+    assert spec_for("build.compress.addr_loads_after") == ("either", 0.0)
+    # Unknown names get the forgiving fallback.
+    assert spec_for("something.new") == ("either", 0.5)
+
+
+def test_make_baselines_pins_every_metric():
+    report = _report({"a.cycles": 100, "b.link_seconds": 1.5})
+    baselines = make_baselines(report)
+    assert baselines["schema"] == BASELINE_SCHEMA
+    assert baselines["metrics"]["a.cycles"] == {
+        "value": 100, "direction": "either", "tolerance": 0.0,
+    }
+    assert baselines["metrics"]["b.link_seconds"]["direction"] == "lower"
+
+
+# -- the comparison math -------------------------------------------------------
+
+
+def test_check_lower_direction_fails_only_on_increase():
+    entry = {"value": 1.0, "direction": "lower", "tolerance": 0.5}
+    assert _check("t", entry, 1.4)["ok"]        # within slack
+    assert _check("t", entry, 0.01)["ok"]       # improvements always pass
+    assert not _check("t", entry, 1.6)["ok"]    # past slack
+
+
+def test_check_higher_direction_fails_only_on_decrease():
+    entry = {"value": 100.0, "direction": "higher", "tolerance": 0.2}
+    assert _check("t", entry, 85.0)["ok"]
+    assert _check("t", entry, 500.0)["ok"]      # faster is never a failure
+    assert not _check("t", entry, 79.0)["ok"]
+
+
+def test_check_either_direction_is_symmetric():
+    entry = {"value": 50.0, "direction": "either", "tolerance": 0.1}
+    assert _check("t", entry, 54.0)["ok"]
+    assert _check("t", entry, 46.0)["ok"]
+    assert not _check("t", entry, 56.0)["ok"]
+    assert not _check("t", entry, 44.0)["ok"]
+
+
+def test_check_zero_tolerance_demands_exactness():
+    entry = {"value": 300644.0, "direction": "either", "tolerance": 0.0}
+    assert _check("cycles", entry, 300644.0)["ok"]
+    assert not _check("cycles", entry, 300645.0)["ok"]
+
+
+def test_check_zero_baseline_compares_absolutely():
+    # deviation relative to 0 is undefined; the gate falls back to
+    # |value| <= tolerance, so a 0-tolerance 0-baseline pins exact zero.
+    exact = {"value": 0.0, "direction": "either", "tolerance": 0.0}
+    assert _check("residual", exact, 0.0)["ok"]
+    assert not _check("residual", exact, 1.0)["ok"]
+    slack = {"value": 0.0, "direction": "lower", "tolerance": 2.0}
+    assert _check("failed", slack, 1.5)["ok"]
+
+
+def test_compare_reports_missing_and_new_metrics():
+    baselines = make_baselines(_report({"a.cycles": 10, "b.cycles": 20}))
+    verdict = compare(baselines, _report({"a.cycles": 10, "c.cycles": 30}))
+    assert not verdict["ok"]  # a pinned metric vanished: that's a failure
+    assert verdict["missing_metrics"] == ["b.cycles"]
+    assert verdict["new_metrics"] == ["c.cycles"]
+    assert verdict["checked"] == 1
+
+
+def test_compare_rejects_schema_mismatches():
+    good = _report({"a.cycles": 1})
+    with pytest.raises(ValueError, match="report schema"):
+        compare(make_baselines(good), {"schema": "bogus/9", "metrics": {}})
+    with pytest.raises(ValueError, match="baseline schema"):
+        compare({"schema": "bogus/9", "metrics": {}}, good)
+
+
+# -- the CLI -------------------------------------------------------------------
+
+
+def _write(tmp_path, name, doc):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return path
+
+
+def test_regress_cli_round_trip(tmp_path, capsys):
+    report = _write(tmp_path, "report.json",
+                    _report({"a.cycles": 100, "b.throughput_rps": 50.0}))
+    baselines = tmp_path / "baselines.json"
+    # Refresh procedure: --update-baselines writes the pin file.
+    assert regress_main(["--report", str(report),
+                         "--baselines", str(baselines),
+                         "--update-baselines"]) == 0
+    assert json.loads(baselines.read_text())["schema"] == BASELINE_SCHEMA
+
+    # A clean comparison passes and writes the verdict.
+    verdict_path = tmp_path / "verdict.json"
+    assert regress_main(["--report", str(report),
+                         "--baselines", str(baselines),
+                         "--out", str(verdict_path)]) == 0
+    assert json.loads(verdict_path.read_text())["ok"]
+    assert "-> OK" in capsys.readouterr().out
+
+
+def test_regress_cli_inject_trips_the_gate(tmp_path, capsys):
+    report = _write(tmp_path, "report.json",
+                    _report({"a.cycles": 100, "b.throughput_rps": 50.0}))
+    baselines = tmp_path / "baselines.json"
+    regress_main(["--report", str(report), "--baselines", str(baselines),
+                  "--update-baselines"])
+    capsys.readouterr()
+    assert regress_main(["--report", str(report),
+                         "--baselines", str(baselines),
+                         "--inject", "b.throughput_rps=1.0"]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL  b.throughput_rps" in out
+    assert "-> FAIL" in out
+
+
+def test_regress_cli_inject_rejects_unknown_metric(tmp_path):
+    report = _write(tmp_path, "report.json", _report({"a.cycles": 1}))
+    baselines = tmp_path / "baselines.json"
+    regress_main(["--report", str(report), "--baselines", str(baselines),
+                  "--update-baselines"])
+    with pytest.raises(SystemExit):
+        regress_main(["--report", str(report),
+                      "--baselines", str(baselines),
+                      "--inject", "no.such.metric=1"])
+
+
+def test_committed_baselines_are_loadable_and_consistent():
+    """The pin file CI compares against must parse and self-describe."""
+    doc = json.loads(open("benchmarks/baselines/bench.json").read())
+    assert doc["schema"] == BASELINE_SCHEMA
+    assert doc["bench_schema"] == BENCH_SCHEMA
+    assert doc["metrics"], "empty baseline file"
+    for name, entry in doc["metrics"].items():
+        assert entry["direction"] in ("lower", "higher", "either"), name
+        assert entry["tolerance"] >= 0.0, name
+        # Each committed entry carries this metric family's default spec.
+        assert (entry["direction"], entry["tolerance"]) == spec_for(name), name

@@ -1,0 +1,136 @@
+"""Merging per-process trace sinks and the correlation report."""
+
+import json
+
+import pytest
+
+from repro.obs.merge import (
+    correlation_report,
+    iter_trace_files,
+    merge_main,
+    merge_traces,
+    request_index,
+)
+from repro.obs.trace import TraceLog
+
+
+def _sink(path, events):
+    trace = TraceLog(sink=path)
+    trace.events.extend(events)
+    trace.flush()
+    return path
+
+
+def _span(name, ts, rid=None, pid=1, tid=0):
+    event = {"name": name, "cat": "t", "ph": "X",
+             "ts": ts, "dur": 5.0, "pid": pid, "tid": tid}
+    if rid is not None:
+        event["args"] = {"request_id": rid}
+    return event
+
+
+def test_iter_trace_files_expands_directories(tmp_path):
+    _sink(tmp_path / "b.jsonl", [_span("x", 1.0)])
+    _sink(tmp_path / "a.jsonl", [_span("y", 2.0)])
+    (tmp_path / "ignored.json").write_text("{}")
+    files = iter_trace_files([tmp_path])
+    assert [f.name for f in files] == ["a.jsonl", "b.jsonl"]
+    with pytest.raises(FileNotFoundError):
+        iter_trace_files([tmp_path / "missing.jsonl"])
+
+
+def test_merge_orders_by_timestamp_and_labels_processes(tmp_path):
+    _sink(tmp_path / "server.jsonl",
+          [_span("serve.run", 200.0, "r1", pid=10)])
+    _sink(tmp_path / "worker-11.jsonl",
+          [_span("worker.run", 300.0, "r1", pid=11)])
+    _sink(tmp_path / "client.jsonl",
+          [_span("client.run", 100.0, "r1", pid=12)])
+    merged = merge_traces([tmp_path])
+    names = [e["name"] for e in merged.events]
+    # Metadata first, then spans in time order.
+    meta = [e for e in merged.events if e.get("ph") == "M"]
+    assert {e["args"]["name"] for e in meta} == {
+        "server", "worker-11", "client",
+    }
+    spans = [n for n in names if n != "process_name"]
+    assert spans == ["client.run", "serve.run", "worker.run"]
+
+
+def _full_dir(tmp_path):
+    """Sinks covering one executed request and one cached request."""
+    _sink(tmp_path / "client.jsonl", [
+        _span("client.run", 100.0, "c1:1", pid=1),
+        _span("client.run", 110.0, "c1:2", pid=1),
+    ])
+    _sink(tmp_path / "server.jsonl", [
+        _span("serve.cache_probe", 120.0, "c1:1", pid=2),
+        _span("serve.execute", 130.0, "c1:1", pid=2),
+        _span("serve.run", 140.0, "c1:1", pid=2),
+        _span("serve.cache_probe", 121.0, "c1:2", pid=2),
+        _span("serve.run", 141.0, "c1:2", pid=2),
+    ])
+    _sink(tmp_path / "worker-3.jsonl", [
+        _span("worker.run", 135.0, "c1:1", pid=3),
+    ])
+    return tmp_path
+
+
+def test_request_index_groups_by_request_id(tmp_path):
+    merged = merge_traces([_full_dir(tmp_path)])
+    index = request_index(merged)
+    assert set(index) == {"c1:1", "c1:2"}
+    assert len(index["c1:1"]) == 5
+    assert len(index["c1:2"]) == 3
+
+
+def test_correlation_report_ok_when_stitched(tmp_path):
+    report = correlation_report(merge_traces([_full_dir(tmp_path)]))
+    assert report["ok"]
+    assert report["request_ids"] == 2
+    assert report["client_spans"] == 2
+    assert report["executed"] == 1  # the cached request never executed
+    assert report["worker_spans"] == 1
+
+
+def test_correlation_flags_executed_without_worker(tmp_path):
+    _sink(tmp_path / "client.jsonl", [_span("client.run", 1.0, "r9", pid=1)])
+    _sink(tmp_path / "server.jsonl", [
+        _span("serve.execute", 2.0, "r9", pid=2),
+        _span("serve.run", 3.0, "r9", pid=2),
+    ])
+    report = correlation_report(merge_traces([tmp_path]))
+    assert not report["ok"]
+    assert report["executed_without_worker"] == ["r9"]
+
+
+def test_correlation_flags_client_without_server(tmp_path):
+    _sink(tmp_path / "client.jsonl", [_span("client.run", 1.0, "r5", pid=1)])
+    report = correlation_report(merge_traces([tmp_path]))
+    assert not report["ok"]
+    assert report["client_without_server"] == ["r5"]
+
+
+def test_merge_main_writes_chrome_trace_and_gates(tmp_path, capsys):
+    _full_dir(tmp_path)
+    out = tmp_path / "merged.json"
+    assert merge_main([str(tmp_path), "-o", str(out), "--report"]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["traceEvents"]
+    printed = capsys.readouterr().out
+    assert "2 request ids" in printed
+
+    # A broken dir (executed span, no worker span) exits non-zero.
+    broken = tmp_path / "broken"
+    broken.mkdir()
+    _sink(broken / "server.jsonl", [
+        _span("serve.execute", 1.0, "r1", pid=2),
+    ])
+    _sink(broken / "client.jsonl", [_span("client.run", 0.5, "r1", pid=1)])
+    assert merge_main([str(broken), "-o", str(tmp_path / "m2.json")]) == 1
+
+
+def test_merge_main_empty_correlation_is_not_a_failure(tmp_path):
+    # Sinks with no request ids (e.g. a pure pipeline trace) merge fine.
+    _sink(tmp_path / "pipeline.jsonl", [_span("build", 1.0)])
+    assert merge_main([str(tmp_path), "-o", str(tmp_path / "m.json")]) == 0

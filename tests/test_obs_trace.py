@@ -1,8 +1,9 @@
 """TraceLog recording, persistence, and Chrome-trace export."""
 
 import json
+import threading
 
-from repro.obs.trace import TraceLog, span_or_null
+from repro.obs.trace import TraceLog, now_us, span_or_null
 
 
 def test_span_records_complete_event():
@@ -166,3 +167,84 @@ def test_no_sink_flush_and_close_are_noops():
     trace.close()
     assert trace.closed
     assert trace.events  # events kept in memory regardless
+
+
+# -- the trace clock -----------------------------------------------------------
+
+
+def test_clock_is_monotonic_even_when_wall_clock_steps(monkeypatch):
+    """Span durations come from perf_counter, not time.time: freezing
+    (or stepping) the wall clock mid-span cannot garble a duration."""
+    import time as time_mod
+
+    trace = TraceLog()
+    with trace.span("steady"):
+        # A wall-clock step backwards of a full hour mid-span.
+        frozen = time_mod.time()
+        monkeypatch.setattr(time_mod, "time", lambda: frozen - 3600.0)
+    assert trace.events[0]["dur"] >= 0.0
+
+
+def test_now_us_advances_and_matches_span_timeline():
+    a = now_us()
+    b = now_us()
+    assert b >= a
+    trace = TraceLog()
+    start = now_us()
+    with trace.span("s"):
+        pass
+    # add_span timestamps from now_us land on the same timeline.
+    assert trace.events[0]["ts"] >= start - 1.0
+
+
+# -- context: default args -----------------------------------------------------
+
+
+def test_context_merges_into_all_event_kinds():
+    trace = TraceLog()
+    with trace.context(request_id="r1"):
+        with trace.span("job", cat="worker", shard=2):
+            pass
+        trace.event("cache.hit", cat="cache", key="k")
+        trace.counter("depth", value=1)
+    span, event, counter = trace.events
+    assert span["args"] == {"request_id": "r1", "shard": 2}
+    assert event["args"] == {"request_id": "r1", "key": "k"}
+    assert counter["args"] == {"request_id": "r1", "value": 1}
+    # Outside the context: no leakage.
+    trace.event("after", cat="cache")
+    assert "args" not in trace.events[3]
+
+
+def test_context_nests_inner_wins_and_unwinds():
+    trace = TraceLog()
+    with trace.context(request_id="outer", phase="a"):
+        with trace.context(request_id="inner"):
+            trace.event("e1")
+        trace.event("e2")
+    assert trace.events[0]["args"] == {"request_id": "inner", "phase": "a"}
+    assert trace.events[1]["args"] == {"request_id": "outer", "phase": "a"}
+
+
+def test_context_is_thread_local():
+    trace = TraceLog()
+    ready = threading.Barrier(2)
+
+    def other():
+        ready.wait(timeout=10)
+        trace.event("from-other")
+
+    with trace.context(request_id="mine"):
+        thread = threading.Thread(target=other)
+        thread.start()
+        ready.wait(timeout=10)
+        thread.join()
+    other_event = next(e for e in trace.events if e["name"] == "from-other")
+    assert "args" not in other_event  # the context never crossed threads
+
+
+def test_explicit_args_override_context():
+    trace = TraceLog()
+    with trace.context(request_id="ctx"):
+        trace.event("e", request_id="explicit")
+    assert trace.events[0]["args"]["request_id"] == "explicit"

@@ -145,4 +145,4 @@ def test_message_shapes():
 
 def test_ops_inventory():
     assert set(protocol.JOB_OPS) == {"compile", "link", "run", "explain"}
-    assert set(protocol.ADMIN_OPS) == {"status", "shutdown"}
+    assert set(protocol.ADMIN_OPS) == {"status", "metrics", "shutdown"}

@@ -29,7 +29,7 @@ from repro.serve.server import ServeConfig, ServerThread
 _GEN = GenConfig(modules=2, helpers=1, switches=False, pointers=False)
 
 
-def stub_runner(op, payload):
+def stub_runner(op, payload, meta=None):
     """Deterministic job body: the first source text scripts it.
 
     ``sleep:<s>`` sleeps then succeeds; ``fail:<kind>`` fails with that
