@@ -13,7 +13,12 @@ surfaces of the toolchain and writes a schema-versioned report:
   is timing-dependent and reported but not gated);
 * **wpo** — the incremental-relink loop: warm-relink shard misses
   (deterministically zero), misses after a one-module edit, and
-  relink-vs-full-link wall seconds.
+  relink-vs-full-link wall seconds;
+* **machine** — interpreter-vs-JIT wall-clock on the plain-run
+  (functional) path for every benchsuite program: min-of-N seconds per
+  backend, per-program speedup, and the geomean (executed-instruction
+  counts ride along at zero tolerance, so a JIT divergence trips the
+  gate as a correctness failure, not a perf blip).
 
 The report is a *flat* ``{"metric.name": value}`` map under a schema
 tag, which is what ``regress`` diffs against the committed baselines
@@ -48,6 +53,10 @@ SERVE_WORKERS = 2
 WPO_MODULES = 12
 WPO_PARTITIONS = 4
 WPO_SEED = 0
+
+#: Wall-clock repetitions per (program, backend) in the machine
+#: component; the minimum is recorded (robust against CI noise).
+MACHINE_REPS = 3
 
 
 def bench_build() -> dict:
@@ -180,10 +189,59 @@ def bench_wpo() -> dict:
     return metrics
 
 
+def bench_machine() -> dict:
+    """Interpreter-vs-JIT plain-run wall-clock across the benchsuite.
+
+    Each program is linked with the standard linker and executed on
+    both machine backends; the JIT is warmed (translated) before
+    timing, so the metric isolates steady-state execution — the
+    regime the fuzz campaign, PGO loop, and serve daemon live in.
+    """
+    import math
+
+    from repro.benchsuite.suite import PROGRAMS
+    from repro.experiments import build
+    from repro.machine import machine_for
+    from repro.machine.jit import clear_jit_cache
+
+    metrics: dict[str, float] = {}
+    speedups: list[float] = []
+    for program in PROGRAMS:
+        exe = build.link_variant(program, "each", "ld", BUILD_SCALE)
+        clear_jit_cache()
+        reference = machine_for(exe, backend="jit").run(timed=False)
+        best = {"interp": float("inf"), "jit": float("inf")}
+        for _ in range(MACHINE_REPS):
+            for backend in ("interp", "jit"):
+                machine = machine_for(exe, backend=backend)
+                started = time.perf_counter()
+                result = machine.run(timed=False)
+                best[backend] = min(
+                    best[backend], time.perf_counter() - started
+                )
+                if result.instructions != reference.instructions:
+                    raise AssertionError(
+                        f"{program}: {backend} executed "
+                        f"{result.instructions} != jit warmup "
+                        f"{reference.instructions}"
+                    )
+        speedup = best["interp"] / best["jit"]
+        metrics[f"machine.{program}.instructions"] = reference.instructions
+        metrics[f"machine.{program}.interp_seconds"] = best["interp"]
+        metrics[f"machine.{program}.jit_seconds"] = best["jit"]
+        metrics[f"machine.{program}.jit_speedup"] = speedup
+        speedups.append(speedup)
+    metrics["machine.jit_speedup_geomean"] = math.exp(
+        sum(math.log(s) for s in speedups) / len(speedups)
+    )
+    return metrics
+
+
 _COMPONENTS = {
     "build": bench_build,
     "serve": bench_serve,
     "wpo": bench_wpo,
+    "machine": bench_machine,
 }
 
 
@@ -209,6 +267,7 @@ def run_suite(components=None, *, log=print) -> dict:
             "serve_concurrency": SERVE_CONCURRENCY,
             "wpo_modules": WPO_MODULES,
             "wpo_partitions": WPO_PARTITIONS,
+            "machine_reps": MACHINE_REPS,
         },
         "metrics": metrics,
     }

@@ -19,7 +19,11 @@ pinned byte-identical to OM-full).  The oracle then asserts:
 * **GAT-load monotonicity** — the layout cell never executes more GAT
   address loads than its OM-full base;
 * **executable byte-identity** — within each mode the OM-full-wpo
-  image's sha256 equals OM-full's.
+  image's sha256 equals OM-full's;
+* **backend identity** — the ``jit`` column reruns the ld executable
+  on the translating machine backend
+  (:class:`~repro.machine.jit.JitMachine`) and must match the
+  interpreter cell exactly, output and executed-instruction count.
 
 Each OM link runs with a :class:`~repro.obs.trace.TraceLog` attached;
 the provenance events it fires are distilled into ``(action, pass)``
@@ -70,8 +74,11 @@ _GAT_PROFILED = ("om-full", "om-full-layout")
 #: with the monolithic om-full link.
 _EXE_PINNED = ("om-full", "om-full-wpo")
 
-#: Link variants, in evaluation (and monotonicity) order.
-VARIANTS = ("ld",) + tuple(_OM_SPECS)
+#: Link variants, in evaluation (and monotonicity) order.  The ``jit``
+#: column is not a link variant at all: it reruns the ld executable on
+#: the translating machine backend, so every wave also differentially
+#: tests the JIT against the reference interpreter for free.
+VARIANTS = ("ld", "jit") + tuple(_OM_SPECS)
 
 #: (smaller-or-equal, reference) pairs the instruction check enforces.
 _MONOTONE = (
@@ -119,7 +126,7 @@ class CellResult:
 class Divergence:
     """One violated oracle invariant."""
 
-    kind: str  # "output" | "instructions" | "gat-loads" | "exe-bytes" | "runaway" | "build-error"
+    kind: str  # "output" | "instructions" | "gat-loads" | "exe-bytes" | "backend" | "runaway" | "build-error"
     detail: str
     cells: tuple[str, ...] = ()
 
@@ -171,7 +178,7 @@ def _run_cell(
     from repro.machine import run
 
     objects, libmc = _compile_objects(program, mode)
-    if variant == "ld":
+    if variant in ("ld", "jit"):
         executable = link(objects, [libmc])
         coverage: tuple[CoveragePair, ...] = ()
     else:
@@ -223,7 +230,12 @@ def _run_cell(
         outcome = profiled.run
         gat_loads = profiled.overhead.gat_loads
     else:
-        outcome = run(executable, timed=False, max_instructions=max_instructions)
+        outcome = run(
+            executable,
+            timed=False,
+            max_instructions=max_instructions,
+            backend="jit" if variant == "jit" else "interp",
+        )
     return CellResult(
         output=outcome.output,
         instructions=outcome.instructions,
@@ -331,6 +343,25 @@ def evaluate_program(
         )
 
     for mode in MODES:
+        # Backend pin: the JIT must reproduce the interpreter exactly
+        # on the same (ld-linked) executable — output equality is
+        # already covered globally, so this adds the executed-count
+        # identity (the paper-style differential-oracle discipline).
+        interp_cell = report.cells.get(f"{mode}/ld")
+        jit_cell = report.cells.get(f"{mode}/jit")
+        if (
+            interp_cell is not None
+            and jit_cell is not None
+            and jit_cell.instructions != interp_cell.instructions
+        ):
+            report.divergences.append(
+                Divergence(
+                    "backend",
+                    f"jit executed {jit_cell.instructions} != "
+                    f"interp {interp_cell.instructions}",
+                    (f"{mode}/jit", f"{mode}/ld"),
+                )
+            )
         # Byte-identity pin: the partitioned link must reproduce the
         # monolithic om-full image exactly, not merely equivalently.
         pinned = [

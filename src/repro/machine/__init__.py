@@ -5,20 +5,86 @@ Executes linked executables and reports both architectural results
 (cycles under an in-order dual-issue model with load-use stalls, split
 direct-mapped I/D caches, and taken-branch bubbles) — the terms that
 produce the paper's dynamic measurements.
+
+Two backends execute the same ISA:
+
+* ``interp`` — the reference interpreter loops in :mod:`.cpu`, the
+  ground truth every other component is checked against;
+* ``jit`` — the translating backend in :mod:`.jit`, which compiles
+  basic-block regions to specialized Python closures and must match
+  the interpreter bit-for-bit on every observable.
+
+:func:`run` and :func:`machine_for` take a ``backend=`` selector
+(default: the ``REPRO_MACHINE_BACKEND`` environment variable, falling
+back to ``interp``).
 """
+
+from __future__ import annotations
+
+import os
 
 from repro.machine.cpu import (
     ExecutionBudgetExceeded,
     Machine,
     MachineError,
     RunResult,
-    run,
 )
 
+#: Recognized values for the ``backend=`` selector.
+BACKENDS = ("interp", "jit")
+
+#: Environment variable consulted when ``backend`` is not given.
+BACKEND_ENV = "REPRO_MACHINE_BACKEND"
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Normalize a backend name, consulting the environment default."""
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV) or "interp"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown machine backend {backend!r} "
+            f"(choose from {', '.join(BACKENDS)})"
+        )
+    return backend
+
+
+def machine_for(
+    executable,
+    *,
+    backend: str | None = None,
+    max_instructions: int = 200_000_000,
+) -> Machine:
+    """A loaded machine instance using the selected backend."""
+    if resolve_backend(backend) == "jit":
+        from repro.machine.jit import JitMachine
+
+        return JitMachine(executable, max_instructions=max_instructions)
+    return Machine(executable, max_instructions=max_instructions)
+
+
+def run(
+    executable,
+    *,
+    timed: bool = True,
+    max_instructions: int = 200_000_000,
+    backend: str | None = None,
+) -> RunResult:
+    """Load and run an executable to completion."""
+    machine = machine_for(
+        executable, backend=backend, max_instructions=max_instructions
+    )
+    return machine.run(timed=timed)
+
+
 __all__ = [
+    "BACKENDS",
+    "BACKEND_ENV",
     "ExecutionBudgetExceeded",
     "Machine",
     "MachineError",
     "RunResult",
+    "machine_for",
+    "resolve_backend",
     "run",
 ]

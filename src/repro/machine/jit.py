@@ -1,0 +1,2325 @@
+"""Template-JIT backend for the simulated machine.
+
+Translates the pre-decoded text into generated Python, region by
+region, and runs those regions instead of the interpreter's dispatch
+loop.  The interpreter in :mod:`repro.machine.cpu` stays the ground
+truth: the JIT must reproduce it bit-for-bit on all three observables
+(program output, :class:`~repro.machine.cpu.RunResult` counters under
+the timed model, and the profiler's per-word attribution arrays), and
+the fuzz oracle cross-checks the two backends on every campaign wave.
+
+Structure:
+
+* the text is segmented once at *global* split points — branch/jump
+  targets, instruction-after-control (jsr return sites), procedure
+  starts, and the entry point — so any two regions that overlap agree
+  on segment boundaries;
+* a *region* is a BFS closure of segments over intra-region control
+  flow (conditional branches and direct ``br``); calls, returns and
+  indirect jumps leave the region through the driver loop;
+* each region compiles to one Python function with registers in local
+  variables and every opcode specialized at translation time
+  (register numbers, displacements, I-cache line/slot constants,
+  return addresses and branch conditions are folded into the source);
+  there is no per-instruction dispatch inside a region;
+* regions come in *flavors* keyed by ``(timed, counting,
+  cycle_counting, guarded)``.  Fast flavors check the instruction
+  budget once per segment and bail back to the driver when a segment
+  might not fit; the guarded flavor replicates the interpreter's
+  per-instruction check exactly, so ``ExecutionBudgetExceeded`` trips
+  at the same instruction index as the interpreter;
+* any word the translator does not cover falls back to a
+  single-instruction interpreter step (a transcription of the cpu
+  loop bodies), keeping behavior identical for odd PAL functions and
+  undecodable words.
+
+Compiled programs are cached across runs in a small module-level LRU
+keyed by the text bytes and load layout; ``clear_jit_cache`` and
+``CompiledProgram.invalidate`` expose the cache semantics for tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+
+from repro.isa.opcodes import PalFunc
+from repro.isa.timing import (
+    CACHE_LINE,
+    CACHE_MISS_PENALTY,
+    DCACHE_BYTES,
+    ICACHE_BYTES,
+    LOAD_LATENCY,
+    MUL_LATENCY,
+    TAKEN_BRANCH_PENALTY,
+)
+from repro.machine.cpu import (
+    ExecutionBudgetExceeded,
+    K_BR,
+    K_BSR,
+    K_CBR,
+    K_JMP,
+    K_JSR,
+    K_LDA,
+    K_LDAH,
+    K_LDBU,
+    K_LDL,
+    K_LDQ,
+    K_LDQ_U,
+    K_OP_RL,
+    K_OP_RR,
+    K_PAL,
+    K_RET,
+    K_STB,
+    K_STL,
+    K_STQ,
+    Machine,
+    MachineError,
+    RunResult,
+    _branch_taken,
+    _MASK,
+    _operate,
+)
+from repro.machine.profile import ProfilingMachine
+
+_ILINE_SHIFT = CACHE_LINE.bit_length() - 1
+_IN_LINES = ICACHE_BYTES // CACHE_LINE
+_DN_LINES = DCACHE_BYTES // CACHE_LINE
+
+#: Sentinel index returned by regions/steps when the program halts.
+#: Far below any reachable branch target (branch displacements are
+#: 21-bit), so it cannot collide with the interpreter's negative-index
+#: wraparound semantics.
+_HALT = -(1 << 40)
+
+#: Marker for "this start is untranslatable; single-step it".
+_FALLBACK = object()
+
+#: Upper bound on segments per region (a runaway-CFG backstop; loops
+#: that matter are far smaller).
+_REGION_SEGMENT_CAP = 48
+
+#: Maximum nesting of inlined branch-taken arms in one emission tree.
+_INLINE_DEPTH_CAP = 16
+
+_CONTROL_KINDS = frozenset((K_BR, K_BSR, K_CBR, K_JSR, K_JMP, K_RET))
+
+#: Kinds the translator covers.  Tests shrink this set (and clear the
+#: cache) to force interpreter fallback on selected opcodes.
+_TRANSLATABLE = frozenset((
+    K_LDA, K_LDAH, K_LDQ, K_STQ, K_LDL, K_STL, K_LDBU, K_STB, K_LDQ_U,
+    K_OP_RR, K_OP_RL, K_BR, K_BSR, K_CBR, K_JSR, K_RET, K_JMP, K_PAL,
+))
+_PAL_TRANSLATABLE = frozenset(
+    (PalFunc.HALT, PalFunc.PUTCHAR, PalFunc.PUTINT, PalFunc.GETTICKS)
+)
+
+_M = str(_MASK)  # 18446744073709551615
+_T64 = str(1 << 64)
+_SGN_BOUND = str(1 << 63)  # first 64-bit pattern that is signed-negative
+_SEXT_HI = str(~0xFFFFFFFF & _MASK)  # 18446744069414584320
+
+# State-vector slots shared between driver, regions and step fallback.
+# [count, limit, cycle, slot_open, slot_class, imisses, dmisses,
+#  duals, prev_cycle]
+
+
+def _can_translate(op) -> bool:
+    kind = op[0]
+    if kind == K_PAL:
+        return kind in _TRANSLATABLE and op[1] in _PAL_TRANSLATABLE
+    return kind in _TRANSLATABLE
+
+
+def _reg_refs(op, reads: set, writes: set) -> None:
+    """Accumulate architectural registers an op reads/writes (r31 excluded)."""
+    kind = op[0]
+    if kind in (K_LDA, K_LDAH, K_LDQ, K_LDL, K_LDBU, K_LDQ_U):
+        reads.add(op[2])
+        writes.add(op[1])
+    elif kind in (K_STQ, K_STL, K_STB):
+        reads.add(op[1])
+        reads.add(op[2])
+    elif kind == K_OP_RR or kind == K_OP_RL:
+        __, fn, ra, rb, rc = op
+        reads.add(ra)
+        if kind == K_OP_RR:
+            reads.add(rb)
+        if 23 <= fn <= 30:  # cmov keeps the old value
+            reads.add(rc)
+        writes.add(rc)
+    elif kind == K_CBR:
+        reads.add(op[2])
+    elif kind in (K_BR, K_BSR):
+        writes.add(op[1])
+    elif kind in (K_JSR, K_JMP, K_RET):
+        reads.add(op[2])
+        writes.add(op[1])
+    elif kind == K_PAL:
+        if op[1] in (PalFunc.PUTINT, PalFunc.PUTCHAR):
+            reads.add(16)
+        elif op[1] == PalFunc.GETTICKS:
+            writes.add(0)
+    reads.discard(31)
+    writes.discard(31)
+
+
+def _reads_list(op) -> list[int]:
+    """Registers an op reads, with multiplicity (r31 excluded).
+
+    Unlike :func:`_reg_refs` this keeps duplicates: an op that reads
+    the same register twice needs two substitution sites, so a
+    forwarded expression (consumed on first use) cannot cover it.
+    """
+    kind = op[0]
+    if kind in (K_LDA, K_LDAH, K_LDQ, K_LDL, K_LDBU, K_LDQ_U):
+        rs = [op[2]]
+    elif kind in (K_STQ, K_STL, K_STB):
+        rs = [op[1], op[2]]
+    elif kind == K_OP_RR or kind == K_OP_RL:
+        __, fn, ra, rb, rc = op
+        rs = [ra]
+        if kind == K_OP_RR:
+            rs.append(rb)
+        if 23 <= fn <= 30:  # cmov keeps the old value
+            rs.append(rc)
+    elif kind == K_CBR:
+        rs = [op[2]]
+    elif kind in (K_JSR, K_JMP, K_RET):
+        rs = [op[2]]
+    elif kind == K_PAL and op[1] in (PalFunc.PUTINT, PalFunc.PUTCHAR):
+        rs = [16]
+    else:
+        rs = []
+    return [r for r in rs if r != 31]
+
+
+def _sgn(expr: str) -> str:
+    """Source for the signed view of a u64 expression.
+
+    Branchless two's-complement fold: flipping the sign bit then
+    subtracting its weight maps [0, 2^64) onto [-2^63, 2^63) exactly,
+    and evaluates ``expr`` once — important when a forwarded compound
+    expression lands here.
+    """
+    if expr.isdigit():
+        # Constant operand (r31 or a propagated value): fold the sign
+        # conversion at translation time.
+        value = int(expr)
+        return str(value - (1 << 64) if value >> 63 else value)
+    return f"(({expr} ^ {1 << 63}) - {1 << 63})"
+
+
+_CMOV_CONDS = {
+    23: "not {a}", 24: "{a}", 25: "{a} >> 63", 26: "not {a} >> 63",
+    27: "{a} == 0 or {a} >> 63", 28: "{a} != 0 and not {a} >> 63",
+    29: "{a} & 1", 30: "not {a} & 1",
+}
+
+_CBR_CONDS = {
+    0: "not {v}", 1: "{v}", 2: "{v} >> 63",
+    3: "{v} == 0 or {v} >> 63", 4: "not {v} >> 63",
+    5: "{v} != 0 and not {v} >> 63", 6: "not {v} & 1", 7: "{v} & 1",
+}
+
+
+def _op_expr(fn: int, a: str, b: str) -> str:
+    """Value expression for a non-cmov, non-longword operate.
+
+    Identity operands fold away: register values are invariantly
+    masked, so ``x | x``, ``x + 0`` and friends are just ``x`` — this
+    strips the mask from the ``bis ra, ra`` move idiom the compiler
+    emits everywhere.
+    """
+    if fn == 0:
+        if b == "0":
+            return a
+        if a == "0":
+            return b
+        return f"({a} + {b}) & {_M}"
+    if fn == 1:
+        if b == "0":
+            return a
+        return f"({a} - {b}) & {_M}"
+    if fn == 14 and (a == b or a == "0" or b == "0"):
+        return a if a == b else "0"
+    if fn == 16 and (a == b or b == "0"):
+        return a
+    if fn == 16 and a == "0":
+        return b
+    if fn == 18 and a == b:
+        return "0"
+    if fn == 18 and (a == "0" or b == "0"):
+        return b if a == "0" else a
+    if fn == 2:
+        return f"({a} * {b}) & {_M}"
+    if fn == 3:
+        return f"({a} * 4 + {b}) & {_M}"
+    if fn == 4:
+        return f"({a} * 8 + {b}) & {_M}"
+    if fn == 8:
+        return f"(({a} * {b}) >> 64) & {_M}"
+    if fn == 9:
+        return f"1 if {a} == {b} else 0"
+    if fn == 10:
+        # Signed comparison against zero never needs the sign fixup:
+        # x < 0 is just the sign bit, 0 < x is the open unsigned range
+        # below the sign boundary.
+        if b == "0":
+            return f"{a} >> 63"
+        if a == "0":
+            return f"1 if 0 < {b} < {_SGN_BOUND} else 0"
+        return f"1 if {_sgn(a)} < {_sgn(b)} else 0"
+    if fn == 11:
+        if b == "0":
+            return f"1 if {a} == 0 or {a} >> 63 else 0"
+        if a == "0":
+            return f"1 if {b} < {_SGN_BOUND} else 0"
+        return f"1 if {_sgn(a)} <= {_sgn(b)} else 0"
+    if fn == 12:
+        return f"1 if {a} < {b} else 0"
+    if fn == 13:
+        return f"1 if {a} <= {b} else 0"
+    if fn == 14:
+        return f"{a} & {b}"
+    if fn == 15:
+        return f"{a} & ~{b} & {_M}"
+    if fn == 16:
+        return f"{a} | {b}"
+    if fn == 17:
+        return f"({a} | (~{b} & {_M})) & {_M}"
+    if fn == 18:
+        return f"{a} ^ {b}"
+    if fn == 19:
+        return f"({a} ^ (~{b} & {_M})) & {_M}"
+    amt = str(int(b) & 63) if b.isdigit() else f"({b} & 63)"
+    if fn == 20:
+        return f"({a} << {amt}) & {_M}"
+    if fn == 21:
+        return f"{a} >> {amt}"
+    if fn == 22:
+        return f"({_sgn(a)} >> {amt}) & {_M}"
+    raise MachineError(f"unhandled operate function {fn}")
+
+
+def _cmp_cond(fn: int, a: str, b: str):
+    """Boolean-context condition equivalent to a 0/1 compare result.
+
+    When a compare's only consumer is a conditional branch on its
+    truthiness, substituting this form skips materializing the 0/1
+    value entirely.  Mirrors the folds of :func:`_op_expr`.
+    """
+    if fn == 9:
+        return f"{a} == {b}"
+    if fn == 10:
+        if b == "0":
+            return f"{a} >> 63"
+        if a == "0":
+            return f"0 < {b} < {_SGN_BOUND}"
+        return f"{_sgn(a)} < {_sgn(b)}"
+    if fn == 11:
+        if b == "0":
+            return f"{a} == 0 or {a} >> 63"
+        if a == "0":
+            return f"{b} < {_SGN_BOUND}"
+        return f"{_sgn(a)} <= {_sgn(b)}"
+    if fn == 12:
+        return f"{a} < {b}"
+    if fn == 13:
+        return f"{a} <= {b}"
+    return None
+
+
+def _wto(nodes, succ, entries):
+    """Bourdoncle-style weak topological order of the chain graph.
+
+    Returns a nested item list — an item is either a plain node or a
+    ``(head, subitems)`` loop.  Every cycle of the graph is contained
+    in some loop item, so a back edge only ever rescans the arms of
+    its own loop instead of the whole region cascade.
+    """
+    nodes_set = set(nodes)
+    index: dict[int, int] = {}
+    low: dict[int, int] = {}
+    onstack: set[int] = set()
+    stack: list[int] = []
+    sccs: list[list[int]] = []
+    counter = [0]
+
+    def connect(v0):
+        index[v0] = low[v0] = counter[0]
+        counter[0] += 1
+        stack.append(v0)
+        onstack.add(v0)
+        work = [(v0, iter(succ.get(v0, ())))]
+        while work:
+            v, it = work[-1]
+            pushed = False
+            for w in it:
+                if w not in nodes_set:
+                    continue
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    onstack.add(w)
+                    work.append((w, iter(succ.get(w, ()))))
+                    pushed = True
+                    break
+                if w in onstack and index[w] < low[v]:
+                    low[v] = index[w]
+            if pushed:
+                continue
+            work.pop()
+            if work and low[v] < low[work[-1][0]]:
+                low[work[-1][0]] = low[v]
+            if low[v] == index[v]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    onstack.discard(w)
+                    scc.append(w)
+                    if w == v:
+                        break
+                sccs.append(scc)
+
+    for e in entries:
+        if e in nodes_set and e not in index:
+            connect(e)
+
+    items: list = []
+    for scc in reversed(sccs):  # Tarjan pops in reverse topo order
+        if len(scc) == 1 and scc[0] not in succ.get(scc[0], ()):
+            items.append(scc[0])
+            continue
+        scc_set = set(scc)
+        head = min(scc, key=index.__getitem__)
+        sub_nodes = [v for v in scc if v != head]
+        sub_succ = {
+            v: [w for w in succ.get(v, ()) if w in scc_set and w != head]
+            for v in scc
+        }
+        sub_entries = [
+            w for w in succ.get(head, ()) if w in scc_set and w != head
+        ]
+        items.append((head, _wto(sub_nodes, sub_succ, sub_entries)))
+    for v in nodes:  # defensive: unreachable nodes become plain arms
+        if v not in index:
+            items.append(v)
+    return items
+
+
+def _wto_flatten(items, acc) -> None:
+    for item in items:
+        if isinstance(item, tuple):
+            acc.append(item[0])
+            _wto_flatten(item[1], acc)
+        else:
+            acc.append(item)
+
+
+class _Emitter:
+    """Generates the Python source for one region in one flavor."""
+
+    def __init__(self, prog: "CompiledProgram", flavor, start, segs, order):
+        self.prog = prog
+        self.timed, self.counting, self.cyc, self.guarded = flavor
+        self.start = start
+        self.segs = segs
+        self.order = order
+        self.lines: list[str] = []
+        #: Segment-local optimizer (constant propagation with deferred
+        #: dead-store-eliminated assignments, resolved branches, grouped
+        #: memory access).  Only on the plain-run fast path: the timed
+        #: flavors model per-instruction issue state and the guarded
+        #: flavor must replicate the interpreter instruction by
+        #: instruction.
+        self.opt = not self.timed and not self.guarded
+        self.kval: dict[int, int] = {}
+        self.defer: set[int] = set()
+        #: Forwarded pure expressions: reg -> (expr, dep regs, bool
+        #: condition form or None).  An entry is consumed (popped) by
+        #: its single scheduled read, or materialized early when a
+        #: dependency register is about to be overwritten.
+        self.sym: dict = {}
+        self.read_deps: set[int] = set()
+        #: Known quad memory: (base reg, disp) -> value expr (a local
+        #: register name or a constant).  A hit elides a reload — the
+        #: earlier access to the same address already proved it mapped,
+        #: so no fault is skipped.  Constant addresses key on r31.
+        self.memtab: dict = {}
+        if self.opt:
+            self._compute_liveness()
+
+        reads: set[int] = set()
+        writes: set[int] = set()
+        helpers: set[str] = set()
+        for s in order:
+            for i in range(s, segs[s]):
+                op = prog.decoded[i]
+                _reg_refs(op, reads, writes)
+                kind = op[0]
+                if kind in (K_LDQ, K_LDL, K_LDQ_U):
+                    helpers.add("lq")
+                elif kind == K_STQ:
+                    helpers.add("sq")
+                elif kind == K_LDBU:
+                    helpers.add("lb")
+                elif kind == K_STB:
+                    helpers.add("sb")
+                elif kind == K_STL:
+                    helpers.add("sl")
+                if prog.fast_mem and kind in (K_LDQ, K_STQ):
+                    helpers.add("qd")
+                    helpers.add("qs")
+        self.used = sorted(reads | writes)
+        self.writes = sorted(writes)
+        self.helpers = helpers
+
+        # Splice single-entry segments into their unique predecessor's
+        # emission tree: straight-line runs chain inline, and a branch
+        # target with no other way in nests inside the branch arm (a
+        # trace tree).  One budget check and one dispatch arm per
+        # tree, and the constant environment survives every merged
+        # edge.  A segment keeps its own arm when any other edge can
+        # enter it, so every remaining branch target is a tree head.
+        preds: dict[int, int] = {}
+        for s in order:
+            for t in prog.region_targets(s):
+                if t in segs:
+                    preds[t] = preds.get(t, 0) + 1
+        self.merged = {
+            t for t in order if t != start and preds.get(t) == 1
+        }
+        # Each inlined branch-taken edge adds one indentation level to
+        # the generated source; demote targets that would nest past the
+        # cap to their own arms (CPython's parser tops out at 100).
+        changed = True
+        while changed:
+            changed = False
+            for h in order:
+                if h in self.merged:
+                    continue
+                stack = [(h, 0)]
+                while stack:
+                    s, depth = stack.pop()
+                    # CBR-taken arms and guarded-jsr hint arms each add
+                    # one indentation level around their first target.
+                    taken = prog.decoded[segs[s] - 1][0] in (K_CBR, K_JSR)
+                    for n, t in enumerate(prog.region_targets(s)):
+                        if t not in self.merged:
+                            continue
+                        nd = depth + (1 if taken and n == 0 else 0)
+                        if nd > _INLINE_DEPTH_CAP:
+                            self.merged.discard(t)
+                            changed = True
+                        else:
+                            stack.append((t, nd))
+        # A continuation merged behind a callee that is *not* merged
+        # (multi-site or external) is never reached by any splice —
+        # control only comes back to it through the callee's ret.
+        # Give it its own arm so the dynamic return dispatch can land
+        # on it inside the region.
+        for s in order:
+            if prog.decoded[segs[s] - 1][0] not in (K_BSR, K_JSR):
+                continue
+            ts = prog.region_targets(s)
+            if (len(ts) == 2 and ts[1] in self.merged
+                    and ts[0] not in self.merged):
+                self.merged.discard(ts[1])
+        self.tree_members: dict[int, list[int]] = {}
+        for h in order:
+            if h in self.merged:
+                continue
+            members = []
+            stack = [h]
+            while stack:
+                s = stack.pop()
+                members.append(s)
+                for t in prog.region_targets(s):
+                    if t in self.merged:
+                        stack.append(t)
+            self.tree_members[h] = members
+        self.tree_total = {
+            h: sum(prog.seg_len[s] for s in members)
+            for h, members in self.tree_members.items()
+        }
+        self.max_unit = max(self.tree_total.values())
+        self.pending = 0
+        self.in_branch = False
+        self.cur_head = start
+        self.self_loop = False
+        self.loop_exits: set[int] = set()
+        self.ret_spliced: set[int] = set()
+
+        # Control edges between trees (inline-merged edges excluded;
+        # every remaining internal target is itself a tree head).
+        succ: dict[int, list[int]] = {}
+        for h, members in self.tree_members.items():
+            succ[h] = [
+                t for s in members for t in prog.region_targets(s)
+                if t in segs and t not in self.merged
+            ]
+        self.loop_form = any(succ.values())
+        if self.loop_form:
+            self.tree = _wto(list(self.tree_members), succ, [start])
+            heads: list[int] = []
+            _wto_flatten(self.tree, heads)
+        else:
+            self.tree = None
+            heads = [start]
+        self.pos = {h: n for n, h in enumerate(heads)}
+
+    # -- dataflow ----------------------------------------------------------
+
+    _ALL_LIVE = frozenset(range(31))
+
+    def _compute_liveness(self) -> None:
+        """Region-level backward liveness at segment granularity.
+
+        ``live_out_map[s]`` is the set of registers some path from the
+        end of segment ``s`` may read before writing.  Exits the region
+        can't see into — calls, indirect jumps, undiscovered targets —
+        count every register live; after a halt nothing is.  A register
+        dead at a segment's end may keep a stale local across the exit:
+        neither the next tree, the guarded budget replay, nor any other
+        region reads it before overwriting, so no observable differs.
+        """
+        prog, segs, order = self.prog, self.segs, self.order
+        gen: dict[int, set] = {}
+        kill: dict[int, set] = {}
+        for s in order:
+            g: set[int] = set()
+            k: set[int] = set()
+            for i in range(s, segs[s]):
+                r: set[int] = set()
+                w: set[int] = set()
+                _reg_refs(prog.decoded[i], r, w)
+                g |= r - k
+                k |= w
+            gen[s], kill[s] = g, k
+        live_in = {s: set(gen[s]) for s in order}
+        self.live_out_map: dict[int, set] = {s: set() for s in order}
+        changed = True
+        while changed:
+            changed = False
+            for s in order:
+                last = prog.decoded[segs[s] - 1]
+                if last[0] == K_PAL and last[1] == PalFunc.HALT:
+                    lo: set[int] = set()
+                elif last[0] == K_JSR:
+                    # The hint edge is a prediction: the dynamic arm can
+                    # exit anywhere, so everything stays live.
+                    lo = set(self._ALL_LIVE)
+                else:
+                    targets = prog.region_targets(s)
+                    lo = set()
+                    if not targets:
+                        lo = set(self._ALL_LIVE)
+                    else:
+                        for t in targets:
+                            if t in segs:
+                                lo |= live_in[t]
+                            else:
+                                lo = set(self._ALL_LIVE)
+                                break
+                self.live_out_map[s] = lo
+                ni = gen[s] | (lo - kill[s])
+                if ni != live_in[s]:
+                    live_in[s] = ni
+                    changed = True
+
+    def _uses_ahead(self, s: int, i: int, rc: int):
+        """(reads, overwritten) for ``rc`` in its segment after ``i``.
+
+        Stops at the first write to ``rc``; a second read reports
+        ``(2, False)`` immediately since two substitution sites already
+        rule forwarding out.
+        """
+        decoded = self.prog.decoded
+        uses = 0
+        for k in range(i + 1, self.segs[s]):
+            op = decoded[k]
+            uses += _reads_list(op).count(rc)
+            if uses > 1:
+                return uses, False
+            r: set[int] = set()
+            w: set[int] = set()
+            _reg_refs(op, r, w)
+            if rc in w:
+                return uses, True
+        return uses, False
+
+    # -- small pieces ------------------------------------------------------
+
+    def _r(self, r: int) -> str:
+        if r == 31:
+            return "0"
+        if r in self.kval:
+            return repr(self.kval[r])
+        e = self.sym.pop(r, None)
+        if e is not None:
+            self.read_deps |= e[1]
+            return e[0]
+        self.read_deps.add(r)
+        return f"r{r}"
+
+    def _addr(self, rb: int, disp: int) -> str:
+        if rb == 31:
+            return repr(disp & _MASK)
+        if rb in self.kval:
+            return repr((self.kval[rb] + disp) & _MASK)
+        e = self.sym.pop(rb, None)
+        if e is not None:
+            self.read_deps |= e[1]
+            base = e[0]
+        else:
+            self.read_deps.add(rb)
+            base = f"r{rb}"
+        if disp == 0:
+            return base
+        return f"({base} + {disp}) & {_M}"
+
+    # -- segment-local constant propagation --------------------------------
+    #
+    # Known register values live in ``kval``; a value whose assignment
+    # has not been emitted yet sits in ``defer``.  Overwriting a
+    # deferred register drops the dead store.  Deferred values
+    # materialize at control joins (``_flush``) and substitute directly
+    # into writebacks and operand positions everywhere else.  State
+    # resets at every segment boundary, because arms of the region
+    # cascade are entered from many predecessors.
+
+    def _def(self, r: int, value: int) -> None:
+        self.kval[r] = value
+        self.defer.add(r)
+        self.sym.pop(r, None)
+        self._mem_forget(r)
+
+    def _kill(self, r: int) -> None:
+        self.kval.pop(r, None)
+        self.defer.discard(r)
+        self.sym.pop(r, None)
+        self._mem_forget(r)
+
+    def _mem_forget(self, r: int) -> None:
+        """Drop memory facts tied to register ``r`` (as base or value)."""
+        if self.memtab:
+            name = f"r{r}"
+            for k in [k for k, v in self.memtab.items()
+                      if k[0] == r or v == name]:
+                del self.memtab[k]
+
+    def _mem_store(self, rb: int, disp: int, addr: str, val: str) -> None:
+        """Record a quad store; invalidate whatever it may alias.
+
+        Two accesses off the same base at displacements 8+ bytes apart
+        are provably distinct; anything else (other base registers,
+        helper-path addresses) may overlap and is forgotten.
+        """
+        if addr.isdigit():
+            key = (31, int(addr))
+        elif addr == f"r{rb}" or addr == f"(r{rb} + {disp}) & {_M}":
+            key = (rb, disp)
+        else:
+            # Address built from a forwarded expression: its base local
+            # is stale, so nothing relates it to the other entries.
+            self.memtab.clear()
+            return
+        self.memtab = {
+            k: v for k, v in self.memtab.items()
+            if k[0] == key[0] and abs(k[1] - key[1]) >= 8
+        }
+        if val.isdigit() or val == "r%d" % 31 or (
+                val.startswith("r") and val[1:].isdigit()):
+            self.memtab[key] = val
+
+    def _mem_load(self, rb: int, disp: int, addr: str):
+        """(key, known value) for a quad load, either may be None."""
+        if addr.isdigit():
+            key = (31, int(addr))
+        elif addr == f"r{rb}" or addr == f"(r{rb} + {disp}) & {_M}":
+            key = (rb, disp)
+        else:
+            return None, None
+        return key, self.memtab.get(key)
+
+    def _reset_consts(self) -> None:
+        self.kval.clear()
+        self.defer.clear()
+        self.sym.clear()
+        self.memtab.clear()
+
+    def _mat_deps(self, out, ind, rc: int) -> None:
+        """Materialize forwarded expressions that read ``rc`` before a
+        write to it lands (their text references the current value)."""
+        if not self.sym:
+            return
+        for c in list(self.sym):
+            e = self.sym[c]
+            if rc in e[1] and c != rc:
+                del self.sym[c]
+                out.append(f"{ind}r{c} = {e[0]}")
+
+    def _flush(self, out, ind) -> None:
+        if not self.defer:
+            return
+        regs = sorted(self.defer)
+        out.append(
+            ind + ", ".join(f"r{r}" for r in regs) + " = "
+            + ", ".join(repr(self.kval[r]) for r in regs)
+        )
+        self.defer.clear()
+
+    def _cnt_done(self, s: int) -> str:
+        """Count expression after fully executing segment ``s``.
+
+        ``pending`` counts instructions of earlier chain elements whose
+        ``cnt`` update was folded into this exit.
+        """
+        if self.guarded:
+            return "cnt"
+        return f"cnt + {self.pending + self.prog.seg_len[s]}"
+
+    def _writeback(self, cnt_expr: str) -> list[str]:
+        slots = [("st[0]", cnt_expr)]
+        if self.timed:
+            slots += [("st[2]", "cycle"), ("st[3]", "so"), ("st[4]", "sc"),
+                      ("st[7]", "du")]
+        if self.cyc:
+            slots.append(("st[8]", "prev"))
+        slots += [
+            (f"regs[{r}]",
+             repr(self.kval[r]) if r in self.defer else f"r{r}")
+            for r in self.writes
+        ]
+        return [
+            ", ".join(t for t, _ in slots) + " = "
+            + ", ".join(v for _, v in slots)
+        ]
+
+    def _goto(self, out, ind, s, t) -> None:
+        """Transfer control to word index ``t`` from the end of seg ``t``.
+
+        A single-entry target splices its code right here (this call
+        site is its only way in, so it owns no dispatch arm).  Other
+        internal targets set ``pc``: forward edges fall through the arm
+        cascade (no ``continue``), back edges and any jump taken from
+        inside a conditional restart the innermost enclosing loop,
+        whose membership tail routes control outward when the target
+        lives in an outer loop.
+        """
+        if t in self.merged:
+            self.pending += self.prog.seg_len[s]
+            self._emit_seg(out, ind, t)
+            return
+        if t in self.segs:
+            self._flush(out, ind)
+            if not self.guarded:
+                out.append(
+                    f"{ind}cnt += {self.pending + self.prog.seg_len[s]}"
+                )
+            if t == self.cur_head:
+                # Back edge into the arm being emitted: ``pc`` still
+                # holds the head, so restarting the innermost loop
+                # re-enters it (or, in a single-arm loop, IS it).
+                out.append(f"{ind}continue")
+            elif self.self_loop:
+                self.loop_exits.add(t)
+                out.append(f"{ind}pc = {t}")
+                out.append(f"{ind}break")
+            else:
+                out.append(f"{ind}pc = {t}")
+                if self.in_branch or self.pos[t] <= self.pos[self.cur_head]:
+                    out.append(f"{ind}continue")
+        else:
+            for line in self._writeback(self._cnt_done(s)):
+                out.append(ind + line)
+            out.append(f"{ind}return {t}")
+
+    def _attr(self, out, ind, i) -> None:
+        if self.cyc:
+            out.append(f"{ind}cyc[{i}] += cycle - prev")
+            out.append(f"{ind}prev = cycle")
+
+    def _emit_issue(self, out, ind, klass, opr_regs) -> None:
+        """The dual-issue slotting computation (timed flavors only)."""
+        rs = [r for r in opr_regs if r != 31]
+        if len(rs) == 2 and rs[0] == rs[1]:
+            rs = rs[:1]
+        if not rs:
+            # operand_ready is the constant 0: always <= cycle.
+            out.append(f"{ind}if so and sc != {klass}:")
+            out.append(f"{ind}    so = False")
+            out.append(f"{ind}    du += 1")
+            out.append(f"{ind}    issue = cycle")
+            out.append(f"{ind}else:")
+            out.append(f"{ind}    issue = cycle + 1")
+            out.append(f"{ind}    cycle = issue")
+            out.append(f"{ind}    so = True")
+            out.append(f"{ind}    sc = {klass}")
+            return
+        if len(rs) == 1:
+            out.append(f"{ind}opr = ready[{rs[0]}]")
+        else:
+            out.append(f"{ind}t0 = ready[{rs[0]}]")
+            out.append(f"{ind}t1 = ready[{rs[1]}]")
+            out.append(f"{ind}opr = t0 if t0 > t1 else t1")
+        out.append(f"{ind}if so and opr <= cycle and sc != {klass}:")
+        out.append(f"{ind}    so = False")
+        out.append(f"{ind}    du += 1")
+        out.append(f"{ind}    issue = cycle")
+        out.append(f"{ind}else:")
+        out.append(f"{ind}    issue = cycle + 1")
+        out.append(f"{ind}    if opr > issue:")
+        out.append(f"{ind}        issue = opr")
+        out.append(f"{ind}    cycle = issue")
+        out.append(f"{ind}    so = True")
+        out.append(f"{ind}    sc = {klass}")
+
+    def _emit_dcache_load(self, out, ind, ra) -> None:
+        out.append(f"{ind}dl = addr >> {_ILINE_SHIFT}")
+        out.append(f"{ind}ds = dl & {_DN_LINES - 1}")
+        out.append(f"{ind}if dtags[ds] != dl:")
+        out.append(f"{ind}    dtags[ds] = dl")
+        out.append(f"{ind}    st[6] += 1")
+        if ra != 31:
+            out.append(
+                f"{ind}    ready[{ra}] = issue + "
+                f"{LOAD_LATENCY + CACHE_MISS_PENALTY}"
+            )
+            out.append(f"{ind}else:")
+            out.append(f"{ind}    ready[{ra}] = issue + {LOAD_LATENCY}")
+
+    # -- per-instruction emission ------------------------------------------
+
+    def _emit_instr(self, out, ind, s, i, j) -> None:
+        """One instruction: budget (guarded), fetch/issue (timed), body."""
+        prog = self.prog
+        op = prog.decoded[i]
+        kind = op[0]
+        seglen = prog.seg_len[s]
+        last = j == seglen - 1
+
+        if self.guarded:
+            out.append(f"{ind}cnt += 1")
+            if self.counting:
+                out.append(f"{ind}cnts[{i}] += 1")
+            out.append(f"{ind}if cnt > limit:")
+            out.append(f"{ind}    raise ExecutionBudgetExceeded(limit)")
+
+        if self.timed:
+            # I-cache probe: line and slot fold to constants per word.
+            line = (prog.text_base + 4 * i) >> _ILINE_SHIFT
+            islot = line & (_IN_LINES - 1)
+            out.append(f"{ind}if itags[{islot}] != {line}:")
+            out.append(f"{ind}    itags[{islot}] = {line}")
+            out.append(f"{ind}    st[5] += 1")
+            out.append(f"{ind}    cycle += {CACHE_MISS_PENALTY}")
+            out.append(f"{ind}    so = False")
+            if kind == K_OP_RR:
+                self._emit_issue(out, ind, 2, (op[2], op[3]))
+            elif kind == K_OP_RL:
+                self._emit_issue(out, ind, 2, (op[2],))
+            elif kind in (K_LDQ, K_LDA, K_LDAH, K_LDL, K_LDQ_U, K_LDBU):
+                self._emit_issue(out, ind, 1, (op[2],))
+            elif kind in (K_STQ, K_STL, K_STB):
+                self._emit_issue(out, ind, 1, (op[1], op[2]))
+            elif kind == K_CBR:
+                self._emit_issue(out, ind, 3, (op[2],))
+            elif kind in (K_JSR, K_JMP, K_RET):
+                self._emit_issue(out, ind, 3, (op[2],))
+            else:  # BR/BSR/PAL
+                self._emit_issue(out, ind, 3, ())
+
+        self.read_deps = set()
+        body = getattr(self, "_k%d" % kind)
+        body(out, ind, s, i, op)
+
+        if kind in _CONTROL_KINDS or (kind == K_PAL and op[1] == PalFunc.HALT):
+            return  # those emitters ended the segment themselves
+        if self.timed:
+            self._attr(out, ind, i)
+        if last:
+            self._goto(out, ind, s, i + 1)
+
+    # Non-control bodies.  ``_k<kind>`` naming mirrors the K_* codes.
+
+    def _lda(self, out, ind, s, i, ra, rb, disp) -> None:
+        if ra == 31:
+            return
+        expr = self._addr(rb, disp)
+        if self.opt:
+            if expr.isdigit():
+                self._mat_deps(out, ind, ra)
+                self._def(ra, int(expr))
+                return
+            if expr == f"r{ra}":
+                return  # address of self with no displacement: no-op
+            self._mat_deps(out, ind, ra)
+            self._kill(ra)
+            if self._forward(s, i, ra, expr, None):
+                return
+        out.append(f"{ind}r{ra} = {expr}")
+        if self.timed:
+            out.append(f"{ind}ready[{ra}] = issue + 1")
+
+    def _forward(self, s: int, i: int, rc: int, expr: str, cond) -> bool:
+        """Try to defer ``rc = expr`` into its single scheduled read.
+
+        Legal when the segment overwrites ``rc`` afterwards, or when
+        ``rc`` is dead at the segment's exits — either way the stale
+        local never escapes to a consumer.  Expressions are pure, so
+        evaluation moves to the read site (or vanishes when there is
+        none) without observable effect; loads and stores are never
+        forwarded, keeping fault order exact.
+        """
+        uses, over = self._uses_ahead(s, i, rc)
+        if uses > 1 or len(expr) > 240:
+            return False
+        if not over and rc in self.live_out_map[s]:
+            return False
+        if uses:
+            self.sym[rc] = (f"({expr})", frozenset(self.read_deps), cond)
+        return True
+
+    def _k0(self, out, ind, s, i, op):  # K_LDA
+        __, ra, rb, disp = op
+        self._lda(out, ind, s, i, ra, rb, disp)
+
+    def _k1(self, out, ind, s, i, op):  # K_LDAH
+        __, ra, rb, disp = op
+        self._lda(out, ind, s, i, ra, rb, disp << 16)
+
+    def _quad_regions(self, rb: int):
+        """The two (view, base, length) fast-path regions, most likely
+        hit first: stack-pointer-relative addresses probe the stack,
+        anything else probes the data segment."""
+        prog = self.prog
+        stack = ("qs", prog.stack_base, prog.stack_len)
+        data = ("qd", prog.data_base, prog.data_len & ~7)
+        return (stack, data) if rb == 30 else (data, stack)
+
+    @staticmethod
+    def _quad_guard(length: int, span: int = 8) -> str:
+        """Bounds+alignment test on offset ``o`` for a ``span``-byte
+        access into a region of ``length`` bytes.
+
+        Region bases are 8-aligned, so ``o`` and the address share
+        alignment.  When the valid offsets are exactly the aligned
+        values expressible within one bit mask (``limit + 8`` a power
+        of two), a single AND covers bounds and alignment together —
+        a negative or oversized ``o`` always has bits outside the
+        mask, Python's negatives carrying infinite sign bits.
+        """
+        limit = length - span
+        if limit >= 0 and (limit + 8) & (limit + 7) == 0:
+            return f"not o & {~limit}"
+        return f"0 <= o <= {limit} and not o & 7"
+
+    def _const_quad(self, value: int):
+        """(view, index) for a statically-resolved aligned quad."""
+        prog = self.prog
+        if value % 8:
+            return None
+        o = value - prog.stack_base
+        if 0 <= o < prog.stack_len:
+            return ("qs", o >> 3)
+        o = value - prog.data_base
+        if 0 <= o < prog.data_len & ~7:
+            return ("qd", o >> 3)
+        return None
+
+    def _emit_quad_access(self, out, ind, rb, assign) -> None:
+        """Inline data/stack fast paths for an 8-byte access at ``addr``.
+
+        ``assign(view_expr)`` renders the access given a source/target
+        expression; unmapped, unaligned, or partial-tail addresses fall
+        back to the bounds-checked memory helper, which reproduces the
+        interpreter's exception behavior exactly.
+        """
+        (v1, b1, l1), (v2, b2, l2) = self._quad_regions(rb)
+        out.append(f"{ind}o = addr - {b1}")
+        out.append(f"{ind}if {self._quad_guard(l1)}:")
+        out.append(f"{ind}    {assign(f'{v1}[o >> 3]')}")
+        out.append(f"{ind}else:")
+        out.append(f"{ind}    o = addr - {b2}")
+        out.append(f"{ind}    if {self._quad_guard(l2)}:")
+        out.append(f"{ind}        {assign(f'{v2}[o >> 3]')}")
+        out.append(f"{ind}    else:")
+        out.append(f"{ind}        {assign(None)}")
+
+    def _k2(self, out, ind, s, i, op):  # K_LDQ
+        __, ra, rb, disp = op
+        tgt = f"r{ra} = " if ra != 31 else ""
+        addr = self._addr(rb, disp)
+        if self.opt:
+            key, known = self._mem_load(rb, disp, addr)
+            if known is not None:
+                # The slot's current value is in a local or constant:
+                # the earlier access proved the address mapped, so the
+                # reload (and any fault it could raise) is redundant.
+                self._mat_deps(out, ind, ra)
+                if ra != 31 and known != f"r{ra}":
+                    if known.isdigit():
+                        self._def(ra, int(known))
+                    else:
+                        self._kill(ra)
+                        self.read_deps = {int(known[1:])}
+                        if not self._forward(s, i, ra, known, None):
+                            out.append(f"{ind}r{ra} = {known}")
+                return
+            self._mat_deps(out, ind, ra)
+            self._kill(ra)
+            if key is not None and ra != 31 and ra != rb:
+                self.memtab[key] = f"r{ra}"
+        if not self.prog.fast_mem:
+            if self.timed:
+                out.append(f"{ind}addr = {addr}")
+                out.append(f"{ind}{tgt}lq(addr)")
+                self._emit_dcache_load(out, ind, ra)
+            else:
+                out.append(f"{ind}{tgt}lq({addr})")
+            return
+        if not self.timed and addr.isdigit():
+            hit = self._const_quad(int(addr))
+            if hit:
+                out.append(f"{ind}{tgt}{hit[0]}[{hit[1]}]")
+            else:
+                out.append(f"{ind}{tgt}lq({addr})")
+            return
+        out.append(f"{ind}addr = {addr}")
+        self._emit_quad_access(
+            out, ind, rb,
+            lambda view: f"{tgt}{view}" if view else f"{tgt}lq(addr)",
+        )
+        if self.timed:
+            self._emit_dcache_load(out, ind, ra)
+
+    def _k3(self, out, ind, s, i, op):  # K_STQ
+        __, ra, rb, disp = op
+        val = self._r(ra)
+        addr = self._addr(rb, disp)
+        if self.opt:
+            self._mem_store(rb, disp, addr, val)
+        if not self.prog.fast_mem:
+            if self.timed:
+                out.append(f"{ind}addr = {addr}")
+                out.append(f"{ind}sq(addr, {val})")
+            else:
+                out.append(f"{ind}sq({addr}, {val})")
+        else:
+            if not self.timed and addr.isdigit():
+                hit = self._const_quad(int(addr))
+                if hit:
+                    out.append(f"{ind}{hit[0]}[{hit[1]}] = {val}")
+                else:
+                    out.append(f"{ind}sq({addr}, {val})")
+                return
+            out.append(f"{ind}addr = {addr}")
+            self._emit_quad_access(
+                out, ind, rb,
+                lambda view: (
+                    f"{view} = {val}" if view else f"sq(addr, {val})"
+                ),
+            )
+        if self.timed:
+            out.append(f"{ind}dl = addr >> {_ILINE_SHIFT}")
+            out.append(f"{ind}ds = dl & {_DN_LINES - 1}")
+            out.append(f"{ind}if dtags[ds] != dl:")
+            out.append(f"{ind}    dtags[ds] = dl")
+            out.append(f"{ind}    st[6] += 1")
+            out.append(f"{ind}    cycle += {CACHE_MISS_PENALTY}")
+            out.append(f"{ind}    so = False")
+
+    def _k4(self, out, ind, s, i, op):  # K_LDL
+        __, ra, rb, disp = op
+        out.append(f"{ind}t = {self._addr(rb, disp)}")
+        if self.opt:
+            self._mat_deps(out, ind, ra)
+            self._kill(ra)
+        if ra == 31:
+            out.append(f"{ind}lq(t & -8)")
+        else:
+            out.append(f"{ind}v = lq(t & -8)")
+            out.append(f"{ind}w = (v >> ((t & 4) * 8)) & 4294967295")
+            out.append(f"{ind}r{ra} = w | {_SEXT_HI} if w >> 31 else w")
+        if self.timed and ra != 31:
+            out.append(f"{ind}ready[{ra}] = issue + {LOAD_LATENCY}")
+
+    def _k5(self, out, ind, s, i, op):  # K_STL
+        __, ra, rb, disp = op
+        # A sub-quad store may alias any tracked quad: drop all facts.
+        self.memtab.clear()
+        out.append(f"{ind}sl({self._addr(rb, disp)}, {self._r(ra)})")
+
+    def _k6(self, out, ind, s, i, op):  # K_LDBU
+        __, ra, rb, disp = op
+        tgt = f"r{ra} = " if ra != 31 else ""
+        addr = self._addr(rb, disp)
+        if self.opt:
+            self._mat_deps(out, ind, ra)
+            self._kill(ra)
+        out.append(f"{ind}{tgt}lb({addr})")
+        if self.timed and ra != 31:
+            out.append(f"{ind}ready[{ra}] = issue + {LOAD_LATENCY}")
+
+    def _k7(self, out, ind, s, i, op):  # K_STB
+        __, ra, rb, disp = op
+        self.memtab.clear()
+        out.append(f"{ind}sb({self._addr(rb, disp)}, {self._r(ra)})")
+
+    def _k8(self, out, ind, s, i, op):  # K_LDQ_U
+        __, ra, rb, disp = op
+        tgt = f"r{ra} = " if ra != 31 else ""
+        if rb == 31 or rb in self.kval:
+            expr = repr((self.kval.get(rb, 0) + disp) & ~7 & _MASK)
+        else:
+            v = self._r(rb)
+            base = f"({v} + {disp})" if disp else v
+            expr = f"{base} & -8 & {_M}"
+        if self.opt:
+            self._mat_deps(out, ind, ra)
+            self._kill(ra)
+        out.append(f"{ind}{tgt}lq({expr})")
+        if self.timed and ra != 31:
+            out.append(f"{ind}ready[{ra}] = issue + {LOAD_LATENCY}")
+
+    def _operate_body(self, out, ind, s, i, op, lit: bool):
+        __, fn, ra, rb, rc = op
+        a = self._r(ra)
+        b = repr(rb) if lit else self._r(rb)
+        if 23 <= fn <= 30:  # cmov
+            if rc == 31:
+                return
+            if self.opt and a.isdigit():
+                # Condition decided at translation time (the move
+                # itself may still carry a runtime value).
+                if _operate(fn, int(a), 1, 0):
+                    self._mat_deps(out, ind, rc)
+                    if b.isdigit():
+                        self._def(rc, int(b))
+                    else:
+                        self._kill(rc)
+                        out.append(f"{ind}r{rc} = {b}")
+                return
+            if self.opt:
+                self._mat_deps(out, ind, rc)
+                # The old value is conditionally kept: materialize a
+                # deferred or forwarded one before the branch.
+                e = self.sym.pop(rc, None)
+                if e is not None:
+                    out.append(f"{ind}r{rc} = {e[0]}")
+                if rc in self.defer:
+                    out.append(f"{ind}r{rc} = {self.kval[rc]}")
+                    self.defer.discard(rc)
+                self._kill(rc)
+            out.append(f"{ind}if {_CMOV_CONDS[fn].format(a=a)}:")
+            out.append(f"{ind}    r{rc} = {b}")
+        elif rc != 31:
+            if self.opt and a.isdigit() and b.isdigit():
+                self._mat_deps(out, ind, rc)
+                self._def(rc, _operate(fn, int(a), int(b), 0))
+                return
+            if fn in (5, 6, 7):  # addl/subl/mull: 32-bit, sign-extended
+                if self.opt:
+                    self._mat_deps(out, ind, rc)
+                    self._kill(rc)
+                opch = {5: "+", 6: "-", 7: "*"}[fn]
+                out.append(f"{ind}w = ({a} {opch} {b}) & 4294967295")
+                out.append(f"{ind}r{rc} = w | {_SEXT_HI} if w >> 31 else w")
+            else:
+                expr = _op_expr(fn, a, b)
+                if self.opt:
+                    if expr == f"r{rc}":
+                        return  # move to itself: no-op
+                    self._mat_deps(out, ind, rc)
+                    self._kill(rc)
+                    cond = _cmp_cond(fn, a, b) if 9 <= fn <= 13 else None
+                    if self._forward(s, i, rc, expr, cond):
+                        return
+                out.append(f"{ind}r{rc} = {expr}")
+        if self.timed and rc != 31:
+            lat = MUL_LATENCY if fn in (2, 7, 8) else 1
+            out.append(f"{ind}ready[{rc}] = issue + {lat}")
+
+    def _k9(self, out, ind, s, i, op):  # K_OP_RR
+        self._operate_body(out, ind, s, i, op, lit=False)
+
+    def _k10(self, out, ind, s, i, op):  # K_OP_RL
+        self._operate_body(out, ind, s, i, op, lit=True)
+
+    # Control bodies: these end the segment (goto / return / raise).
+
+    def _emit_taken(self, out, ind, s, i, target) -> None:
+        if self.timed:
+            out.append(f"{ind}cycle = issue + {TAKEN_BRANCH_PENALTY}")
+            out.append(f"{ind}so = False")
+            self._attr(out, ind, i)
+        self._goto(out, ind, s, target)
+
+    def _emit_not_taken(self, out, ind, s, i) -> None:
+        if self.timed:
+            self._attr(out, ind, i)
+        self._goto(out, ind, s, i + 1)
+
+    def _k13(self, out, ind, s, i, op):  # K_CBR
+        __, cond, ra, target = op
+        if not self.timed and target == i + 1:
+            # Branch to its own fall-through successor: the condition
+            # is pure and both paths agree (only the timed model can
+            # tell them apart), so emit the sequential path alone.
+            self._emit_not_taken(out, ind, s, i)
+            return
+        value = 0 if ra == 31 else self.kval.get(ra)
+        if value is not None:
+            # Branch decided at translation time (r31 or a propagated
+            # constant): emit only the surviving path.
+            if _branch_taken(cond, value):
+                self._emit_taken(out, ind, s, i, target)
+            else:
+                self._emit_not_taken(out, ind, s, i)
+            return
+        # Both runtime paths leave the segment, so deferred constants
+        # must materialize before the test (once, shared by each arm).
+        # The taken arm may splice in whole single-entry segments, so
+        # the optimizer state it mutates is snapshotted around it and
+        # restored for the fall-through path.
+        self._flush(out, ind)
+        test = None
+        if self.opt and cond in (0, 1):
+            e = self.sym.get(ra)
+            if e is not None and e[2] is not None:
+                # The branch tests a forwarded compare's truthiness:
+                # substitute the boolean condition itself and never
+                # materialize the 0/1 value.
+                del self.sym[ra]
+                test = e[2] if cond == 1 else f"not ({e[2]})"
+        if test is None:
+            test = _CBR_CONDS[cond].format(v=self._r(ra))
+        out.append(f"{ind}if {test}:")
+        saved = (dict(self.kval), set(self.defer), dict(self.sym),
+                 dict(self.memtab), self.pending, self.in_branch)
+        self.in_branch = True
+        self._emit_taken(out, ind + "    ", s, i, target)
+        (self.kval, self.defer, self.sym, self.memtab, self.pending,
+         self.in_branch) = saved
+        self._emit_not_taken(out, ind, s, i)
+
+    def _br_bsr(self, out, ind, s, i, op):
+        __, ra, target = op
+        if ra != 31:
+            retaddr = self.prog.text_base + 4 * (i + 1)
+            if self.opt:
+                self._mat_deps(out, ind, ra)
+                self._def(ra, retaddr)
+            else:
+                out.append(f"{ind}r{ra} = {retaddr}")
+                if self.timed:
+                    out.append(f"{ind}ready[{ra}] = issue + 1")
+        self._emit_taken(out, ind, s, i, target)
+
+    _k11 = _br_bsr  # K_BR
+    _k12 = _br_bsr  # K_BSR
+
+    def _jump(self, out, ind, s, i, op):
+        __, ra, rb = op
+        prog = self.prog
+        if self.opt and rb in self.kval:
+            # The jump register holds a translation-time constant (a
+            # bsr-planted return address, possibly round-tripped through
+            # the stack via store-to-load forwarding): resolve the
+            # dispatch statically and keep control inside the region.
+            dest = self.kval[rb] & -4
+            ni = (dest - prog.text_base) >> 2
+            if 0 <= ni < prog.nwords:
+                if ra != 31:
+                    retaddr = prog.text_base + 4 * (i + 1)
+                    self._mat_deps(out, ind, ra)
+                    self._def(ra, retaddr)
+                if ni in self.merged and ni in self.ret_spliced:
+                    # Already spliced at another return site: exit to
+                    # the driver, which roots a fresh region there,
+                    # rather than duplicating code per return path.
+                    for line in self._writeback(self._cnt_done(s)):
+                        out.append(ind + line)
+                    out.append(f"{ind}return {ni}")
+                else:
+                    if ni in self.merged:
+                        self.ret_spliced.add(ni)
+                    self._goto(out, ind, s, ni)
+                return
+        hint = self.prog.jump_hint.get(i) if op[0] == K_JSR else None
+        if hint is not None and hint not in self.segs:
+            hint = None
+        out.append(f"{ind}dest = {self._r(rb)} & -4")
+        if ra != 31:
+            retaddr = prog.text_base + 4 * (i + 1)
+            if self.opt:
+                self._mat_deps(out, ind, ra)
+                self._def(ra, retaddr)
+            else:
+                out.append(f"{ind}r{ra} = {retaddr}")
+                if self.timed:
+                    out.append(f"{ind}ready[{ra}] = issue + 1")
+        if hint is not None:
+            # Guarded devirtualization: if the register agrees with the
+            # linker's hint, control continues inside the region (the
+            # callee often splices right here); otherwise fall back to
+            # the driver dispatch.  Cycle effects precede the split so
+            # both arms see identical timing state.
+            if self.timed:
+                out.append(f"{ind}cycle = issue + {TAKEN_BRANCH_PENALTY}")
+                out.append(f"{ind}so = False")
+                self._attr(out, ind, i)
+            out.append(f"{ind}if dest == {prog.text_base + 4 * hint}:")
+            saved = (dict(self.kval), set(self.defer), dict(self.sym),
+                     dict(self.memtab), self.pending, self.in_branch)
+            self.in_branch = True
+            self._goto(out, ind + "    ", s, hint)
+            (self.kval, self.defer, self.sym, self.memtab, self.pending,
+             self.in_branch) = saved
+            out.append(f"{ind}else:")
+            ind = ind + "    "
+        out.append(f"{ind}ni = (dest - {prog.text_base}) >> 2")
+        out.append(f"{ind}if ni < 0 or ni >= {prog.nwords}:")
+        out.append(
+            f'{ind}    raise MachineError('
+            f'"jump to unmapped address 0x%x" % dest)'
+        )
+        if self.timed:
+            if hint is None:
+                out.append(f"{ind}cycle = issue + {TAKEN_BRANCH_PENALTY}")
+                out.append(f"{ind}so = False")
+                self._attr(out, ind, i)
+        if self.loop_form:
+            # A computed target that is one of this region's own heads
+            # (a ret bouncing back to a call continuation, usually)
+            # re-enters the dispatch cascade instead of exiting to the
+            # driver; the cascade's membership tail routes any head
+            # from any nesting depth.
+            heads = ", ".join(str(h) for h in sorted(self.pos))
+            out.append(f"{ind}if ni in ({heads},):")
+            saved = (dict(self.kval), set(self.defer))
+            self._flush(out, ind + "    ")
+            if not self.guarded:
+                out.append(
+                    f"{ind}    cnt += {self.pending + self.prog.seg_len[s]}"
+                )
+            out.append(f"{ind}    pc = ni")
+            out.append(f"{ind}    {'break' if self.self_loop else 'continue'}")
+            self.kval, self.defer = saved
+        for line in self._writeback(self._cnt_done(s)):
+            out.append(ind + line)
+        out.append(f"{ind}return ni")
+
+    _k14 = _jump  # K_JSR
+    _k15 = _jump  # K_RET
+    _k16 = _jump  # K_JMP
+
+    def _k17(self, out, ind, s, i, op):  # K_PAL
+        func = op[1]
+        if func == PalFunc.HALT:
+            if self.cyc:
+                # The interpreter charges the halting word after its loop.
+                out.append(f"{ind}cyc[{i}] += cycle - prev")
+            for line in self._writeback(self._cnt_done(s)):
+                out.append(ind + line)
+            out.append(f"{ind}return {_HALT}")
+        elif func == PalFunc.PUTINT:
+            v = self._r(16)
+            out.append(f"{ind}out.append(str({_sgn(v)}))")
+            out.append(f'{ind}out.append("\\n")')
+        elif func == PalFunc.PUTCHAR:
+            v = self._r(16)
+            if v.isdigit():
+                out.append(f"{ind}out.append({chr(int(v) & 255)!r})")
+            else:
+                out.append(f"{ind}out.append(chr({v} & 255))")
+        elif func == PalFunc.GETTICKS:
+            if self.timed:
+                out.append(f"{ind}r0 = cycle")
+                out.append(f"{ind}ready[0] = issue + 1")
+            else:
+                if self.guarded:
+                    expr = "cnt"
+                else:
+                    expr = f"cnt + {self.pending + (i - s) + 1}"
+                if self.opt:
+                    self._mat_deps(out, ind, 0)
+                    self._kill(0)
+                out.append(f"{ind}r0 = {expr}")
+
+    # -- whole-region assembly ---------------------------------------------
+
+    def _group_run(self, s: int, j: int) -> int:
+        """Length of a groupable run of ldq/stq at segment offset ``j``.
+
+        A run shares one base register (not redefined mid-run except by
+        its last member), uses 8-aligned displacements, and fits inside
+        either memory region, so a single bounds/alignment guard covers
+        every member.
+        """
+        prog = self.prog
+        seglen = prog.seg_len[s]
+        first = prog.decoded[s + j]
+        if first[0] not in (K_LDQ, K_STQ):
+            return 1
+        base = first[2]
+        if base == 31 or base in self.kval or base in self.sym \
+                or first[3] % 8:
+            return 1
+        if first[0] == K_LDQ and (base, first[3]) in self.memtab:
+            # A tracked store already proved this slot's value: let the
+            # scalar path elide the load (and the rest of the would-be
+            # run retries here, member by member).
+            return 1
+        n = 1
+        disps = [first[3]]
+        if not (first[0] == K_LDQ and first[1] == base):
+            while j + n < seglen:
+                op = prog.decoded[s + j + n]
+                if op[0] not in (K_LDQ, K_STQ) or op[2] != base or op[3] % 8:
+                    break
+                n += 1
+                disps.append(op[3])
+                if op[0] == K_LDQ and op[1] == base:
+                    break  # base clobbered: this load ends the run
+        span = max(disps) - min(disps) + 8
+        if span > prog.stack_len or span > prog.data_len & ~7:
+            return 1
+        return n
+
+    def _emit_group(self, out, ind, s, j, n) -> None:
+        """One guard, ``n`` quad accesses off a common base register."""
+        prog = self.prog
+        ops = [prog.decoded[s + j + k] for k in range(n)]
+        lo = min(op[3] for op in ops)
+        span = max(op[3] for op in ops) - lo + 8
+        base = f"r{ops[0][2]}"
+        # Freeze operand renderings in program order: store values use
+        # the constant environment as of their position; load targets
+        # invalidate theirs.
+        members = []
+        for kind, ra, rb, disp in ops:
+            addr = self._addr(rb, disp)
+            val = self._r(ra) if kind == K_STQ else None
+            members.append((kind, ra, (disp - lo) >> 3, addr, val))
+            if kind == K_STQ:
+                self._mem_store(rb, disp, addr, val)
+            else:
+                self._mat_deps(out, ind, ra)
+                self._kill(ra)
+                if ra != 31 and ra != rb:
+                    self.memtab[(rb, disp)] = f"r{ra}"
+
+        def fast(view, pad):
+            out.append(f"{pad}bi = o >> 3")
+            for kind, ra, delta, __, val in members:
+                sub = f"bi + {delta}" if delta else "bi"
+                if kind == K_STQ:
+                    out.append(f"{pad}{view}[{sub}] = {val}")
+                elif ra != 31:
+                    out.append(f"{pad}r{ra} = {view}[{sub}]")
+
+        def slow(pad):
+            for kind, ra, __, addr, val in members:
+                if kind == K_STQ:
+                    out.append(f"{pad}sq({addr}, {val})")
+                else:
+                    tgt = f"r{ra} = " if ra != 31 else ""
+                    out.append(f"{pad}{tgt}lq({addr})")
+
+        # lo is 8-aligned and so are the region bases, so o shares the
+        # base address's alignment and _quad_guard applies unchanged.
+        (v1, b1, l1), (v2, b2, l2) = self._quad_regions(ops[0][2])
+        out.append(f"{ind}o = {base} - {b1 - lo}")
+        out.append(f"{ind}if {self._quad_guard(l1, span)}:")
+        fast(v1, ind + "    ")
+        out.append(f"{ind}else:")
+        out.append(f"{ind}    o = {base} - {b2 - lo}")
+        out.append(f"{ind}    if {self._quad_guard(l2, span)}:")
+        fast(v2, ind + "        ")
+        out.append(f"{ind}    else:")
+        slow(ind + "        ")
+
+    def _emit_tree(self, out, ind, head) -> None:
+        """Emit one tree: its head segment plus every single-entry
+        successor spliced inline at its unique entry edge.
+
+        The tree pays a single budget bail (conservative: assumes the
+        whole tree will run) and folds per-segment ``cnt`` updates into
+        each exit via ``self.pending``.  Per-segment ``execs`` counters
+        sit at each segment's inline position — inside the branch arm
+        that reaches it — so count expansion remains exact on every
+        path through the tree.
+        """
+        self.cur_head = head
+        self._reset_consts()
+        self.pending = 0
+        if self.loop_form and not self.guarded:
+            # Fast-flavor bail: if this tree might blow the budget,
+            # hand back to the driver, which reruns it under the
+            # guarded flavor for an interpreter-exact trip.
+            out.append(f"{ind}if cnt + {self.tree_total[head]} > limit:")
+            for line in self._writeback("cnt"):
+                out.append(f"{ind}    {line}")
+            out.append(f"{ind}    return {head}")
+        self._emit_seg(out, ind, head)
+
+    def _emit_seg(self, out, ind, s) -> None:
+        prog = self.prog
+        seglen = prog.seg_len[s]
+        if self.counting and not self.guarded:
+            out.append(f"{ind}execs[{s}] += 1")
+        group_ok = self.opt and prog.fast_mem
+        j = 0
+        while j < seglen:
+            n = self._group_run(s, j) if group_ok else 1
+            if n >= 2:
+                self._emit_group(out, ind, s, j, n)
+                j += n
+                if j == seglen:
+                    self._goto(out, ind, s, s + seglen)
+            else:
+                self._emit_instr(out, ind, s, s + j, j)
+                j += 1
+
+    def _emit_items(self, out, arm, items) -> None:
+        """Emit a level of the weak topological order.
+
+        Plain items become ``if pc == s:`` arms; loop items nest a
+        ``while True:`` whose membership tail re-dispatches back edges
+        locally instead of rescanning the whole cascade.  A ``continue``
+        from a deeper level restarts the innermost loop; its membership
+        tail then either continues (target inside) or breaks outward
+        until the loop owning the target is reached.
+        """
+        body = arm + "    "
+        for it in items:
+            if isinstance(it, tuple) and not it[1]:
+                # Single-arm loop: the dispatch test runs once on entry
+                # and every iteration is pure body — back edges are a
+                # bare ``continue`` (``pc`` still holds the head), other
+                # targets set ``pc`` and ``break`` out to the cascade.
+                head = it[0]
+                out.append(f"{arm}if pc == {head}:")
+                out.append(f"{body}while True:")
+                self.self_loop = True
+                self.loop_exits = set()
+                self._emit_tree(out, body + "    ", head)
+                self.self_loop = False
+                back = sorted(
+                    t for t in self.loop_exits
+                    if self.pos[t] < self.pos[head]
+                )
+                if back:
+                    names = ", ".join(str(t) for t in back)
+                    out.append(f"{body}if pc in ({names},):")
+                    out.append(f"{body}    continue")
+            elif isinstance(it, tuple):
+                head, sub = it
+                members: list[int] = []
+                _wto_flatten([it], members)
+                out.append(f"{arm}while True:")
+                out.append(f"{body}if pc == {head}:")
+                self._emit_tree(out, body + "    ", head)
+                self._emit_items(out, body, sub)
+                names = ", ".join(str(m) for m in sorted(members))
+                out.append(f"{body}if pc in ({names},):")
+                out.append(f"{body}    continue")
+                out.append(f"{body}break")
+            else:
+                out.append(f"{arm}if pc == {it}:")
+                self._emit_tree(out, body, it)
+
+    def source(self) -> tuple[str, str]:
+        name = f"_jit_region_{self.start}"
+        out = [
+            f"def {name}(regs, st, out, mem, ready, itags, dtags, "
+            f"cnts, cyc, execs):"
+        ]
+        ind = "    "
+        out.append(f"{ind}cnt = st[0]")
+        out.append(f"{ind}limit = st[1]")
+        if self.timed:
+            out.append(f"{ind}cycle = st[2]")
+            out.append(f"{ind}so = st[3]")
+            out.append(f"{ind}sc = st[4]")
+            out.append(f"{ind}du = st[7]")
+        if self.cyc:
+            out.append(f"{ind}prev = st[8]")
+        names = ("lq", "sq", "lb", "sb", "sl", "qd", "qs", "bd", "bs")
+        unpack = [
+            (helper, idx) for idx, helper in enumerate(names)
+            if helper in self.helpers
+        ]
+        if unpack:
+            out.append(
+                f"{ind}" + ", ".join(h for h, _ in unpack) + " = "
+                + ", ".join(f"mem[{i}]" for _, i in unpack)
+            )
+        if self.used:
+            out.append(
+                f"{ind}" + ", ".join(f"r{r}" for r in self.used) + " = "
+                + ", ".join(f"regs[{r}]" for r in self.used)
+            )
+        if self.loop_form:
+            out.append(f"{ind}pc = {self.start}")
+            out.append(f"{ind}while True:")
+            arm = ind + "    "
+            # Weak topological order: forward edges fall through the
+            # arm cascade, loops nest as local ``while`` bodies so a
+            # back edge only rescans its own loop's arms.
+            self._emit_items(out, arm, self.tree)
+            # Full-membership tail: a dynamically dispatched ``pc``
+            # (an in-region ret target) that broke out of every nested
+            # loop rescans the whole cascade instead of falling off.
+            heads = ", ".join(str(h) for h in sorted(self.pos))
+            out.append(f"{arm}if pc in ({heads},):")
+            out.append(f"{arm}    continue")
+            out.append(
+                f'{arm}raise MachineError("jit dispatch lost: %d" % pc)'
+            )
+        else:
+            self._emit_tree(out, ind, self.start)
+        return "\n".join(out) + "\n", name
+
+
+# -- compiled program, region discovery, cache ------------------------------
+
+
+@dataclass
+class JitStats:
+    """Translation-cache counters for one compiled program."""
+
+    regions: int = 0
+    segments: int = 0
+    words: int = 0
+    fallback_steps: int = 0
+    invalidations: int = 0
+
+
+class CompiledProgram:
+    """Per-executable translation state, shared across runs."""
+
+    def __init__(self, decoded, text_base, entry_index, proc_indexes,
+                 layout=(0, 0, 0, 0), text=b""):
+        self.decoded = decoded
+        self.text_base = text_base
+        self.nwords = len(decoded)
+        #: jsr word index -> linker-hinted target word index.  The
+        #: 14-bit hint field predicts the low bits of ``target >> 2``;
+        #: when the text spans at most 2**14 words the prediction is
+        #: unambiguous.  It is advisory only (function pointers carry
+        #: hint 0, which we treat as unset), so every use is guarded by
+        #: a runtime compare against the actual jump register.
+        self.jump_hint: dict[int, int] = {}
+        if self.nwords <= 16384 and len(text) >= 4 * self.nwords:
+            base2 = (text_base >> 2) & 0x3FFF
+            for i, op in enumerate(decoded):
+                if op[0] != K_JSR:
+                    continue
+                h = int.from_bytes(text[4 * i:4 * i + 4], "little") & 0x3FFF
+                wi = (h - base2) % 16384
+                if h and wi < self.nwords:
+                    self.jump_hint[i] = wi
+        self.data_base, self.data_len, self.stack_base, self.stack_len = (
+            layout
+        )
+        # The inline data/stack fast paths assume 8-aligned region bases
+        # (offset alignment then equals address alignment); anything
+        # else routes every access through the memory helpers.
+        self.fast_mem = (
+            self.data_base % 8 == 0
+            and self.stack_base % 8 == 0
+            and self.stack_len % 8 == 0
+            and self.stack_len > 0
+        )
+        self.splits = self._compute_splits(entry_index, proc_indexes)
+        #: word index -> segment length (0 marks an untranslatable start).
+        #: Purely a function of the global split points, so overlapping
+        #: regions always agree on segment boundaries — which is what
+        #: makes the per-segment execution counters expandable to exact
+        #: per-word counts.
+        self.seg_len: dict[int, int] = {}
+        #: flavor -> {start: (fn, max_segment_len) | _FALLBACK}
+        self.tables: dict[tuple, dict] = {}
+        self.sources: dict[tuple, str] = {}
+        self.stats = JitStats()
+        self._lock = threading.Lock()
+
+    def _compute_splits(self, entry_index, proc_indexes) -> frozenset:
+        splits = {entry_index}
+        splits.update(proc_indexes)
+        for i, op in enumerate(self.decoded):
+            kind = op[0]
+            if kind == K_CBR:
+                splits.add(op[3])
+                splits.add(i + 1)
+            elif kind == K_BR or kind == K_BSR:
+                splits.add(op[2])
+                splits.add(i + 1)
+            elif kind in (K_JSR, K_JMP, K_RET):
+                splits.add(i + 1)
+            elif kind == K_PAL and op[1] == PalFunc.HALT:
+                splits.add(i + 1)
+        return frozenset(s for s in splits if 0 <= s < self.nwords)
+
+    def segment_end(self, s: int):
+        """End (exclusive) of the segment starting at ``s``, or None."""
+        n = self.seg_len.get(s)
+        if n is None:
+            n = self._scan_segment(s)
+            self.seg_len[s] = n
+        return s + n if n else None
+
+    def _scan_segment(self, s: int) -> int:
+        decoded = self.decoded
+        if not _can_translate(decoded[s]):
+            return 0
+        i = s
+        while True:
+            op = decoded[i]
+            kind = op[0]
+            i += 1
+            if kind in _CONTROL_KINDS or (
+                kind == K_PAL and op[1] == PalFunc.HALT
+            ):
+                break
+            if (
+                i >= self.nwords
+                or i in self.splits
+                or not _can_translate(decoded[i])
+            ):
+                break
+        return i - s
+
+    def region_targets(self, s: int):
+        """Successor word indexes of the segment starting at ``s``."""
+        op = self.decoded[s + self.seg_len[s] - 1]
+        kind = op[0]
+        if kind == K_CBR:
+            return (op[3], s + self.seg_len[s])
+        if kind == K_BR:
+            return (op[2],)
+        if kind == K_BSR:
+            # A direct call: the callee entry is a real successor, and
+            # the fall-through is where a constant-folded ret lands --
+            # including both lets a single-site leaf call collapse into
+            # its caller's tree with no driver transition either way.
+            return (op[2], s + self.seg_len[s])
+        if kind == K_JSR:
+            # A hinted indirect call behaves like a direct one for
+            # discovery and tree building; the emitted code still
+            # guards the prediction against the live jump register.
+            hint = self.jump_hint.get(s + self.seg_len[s] - 1)
+            if hint is not None:
+                return (hint, s + self.seg_len[s])
+            return ()
+        if kind in (K_JMP, K_RET):
+            return ()
+        if kind == K_PAL and op[1] == PalFunc.HALT:
+            return ()
+        return (s + self.seg_len[s],)
+
+    def _discover(self, start: int):
+        segs: dict[int, int] = {}
+        order: list[int] = []
+        queue = deque([start])
+        while queue and len(order) < _REGION_SEGMENT_CAP:
+            s = queue.popleft()
+            if s in segs:
+                continue
+            end = self.segment_end(s)
+            if end is None:
+                continue
+            segs[s] = end
+            order.append(s)
+            for t in self.region_targets(s):
+                if 0 <= t < self.nwords and t not in segs:
+                    queue.append(t)
+        return segs, order
+
+    def build(self, start: int, flavor: tuple):
+        """Translate (or fetch) the region rooted at ``start``."""
+        with self._lock:
+            table = self.tables.setdefault(flavor, {})
+            entry = table.get(start)
+            if entry is not None:
+                return entry
+            if not _can_translate(self.decoded[start]):
+                table[start] = _FALLBACK
+                return _FALLBACK
+            segs, order = self._discover(start)
+            em = _Emitter(self, flavor, start, segs, order)
+            src, name = em.source()
+            namespace = {
+                "MachineError": MachineError,
+                "ExecutionBudgetExceeded": ExecutionBudgetExceeded,
+                "str": str,
+                "chr": chr,
+                "__builtins__": {},
+            }
+            exec(compile(src, f"<jit:{start}>", "exec"), namespace)
+            entry = (namespace[name], em.max_unit)
+            table[start] = entry
+            self.sources[(flavor, start)] = src
+            self.stats.regions += 1
+            self.stats.segments += len(order)
+            self.stats.words += sum(segs[s] - s for s in order)
+            return entry
+
+    def invalidate(self) -> None:
+        """Drop every translation; the next run recompiles lazily."""
+        with self._lock:
+            self.tables.clear()
+            self.seg_len.clear()
+            self.sources.clear()
+            self.stats.invalidations += 1
+
+
+_JIT_CACHE: "OrderedDict[str, CompiledProgram]" = OrderedDict()
+_JIT_CACHE_CAP = 64
+_JIT_CACHE_LOCK = threading.Lock()
+
+
+def program_for(machine: Machine) -> CompiledProgram:
+    """The shared compiled-program image for a loaded machine."""
+    exe = machine.executable
+    layout = (
+        machine.data_base, len(machine.data),
+        machine.stack_base, len(machine.stack),
+    )
+    h = hashlib.sha256(machine.text)
+    h.update(machine.text_base.to_bytes(8, "little"))
+    h.update(exe.entry.to_bytes(8, "little"))
+    # Memory-layout constants are baked into the generated fast paths,
+    # so they are part of the translation identity.
+    for bound in layout:
+        h.update(bound.to_bytes(8, "little"))
+    for proc in exe.procs:
+        h.update(proc.addr.to_bytes(8, "little", signed=True))
+    key = h.hexdigest()
+    with _JIT_CACHE_LOCK:
+        prog = _JIT_CACHE.get(key)
+        if prog is not None:
+            _JIT_CACHE.move_to_end(key)
+            return prog
+    entry_index = (exe.entry - machine.text_base) >> 2
+    proc_indexes = [
+        (proc.addr - machine.text_base) >> 2 for proc in exe.procs
+    ]
+    prog = CompiledProgram(
+        machine._decoded, machine.text_base, entry_index, proc_indexes,
+        layout=layout, text=bytes(machine.text),
+    )
+    with _JIT_CACHE_LOCK:
+        existing = _JIT_CACHE.get(key)
+        if existing is not None:
+            return existing
+        _JIT_CACHE[key] = prog
+        while len(_JIT_CACHE) > _JIT_CACHE_CAP:
+            _JIT_CACHE.popitem(last=False)
+    return prog
+
+
+def clear_jit_cache() -> None:
+    """Drop every cached translation (tests, memory pressure)."""
+    with _JIT_CACHE_LOCK:
+        _JIT_CACHE.clear()
+
+
+def jit_cache_len() -> int:
+    with _JIT_CACHE_LOCK:
+        return len(_JIT_CACHE)
+
+
+# -- single-step interpreter fallback ---------------------------------------
+#
+# Transcriptions of one iteration of the cpu.py loops, operating on the
+# driver's shared state vector.  Used for words the translator does not
+# cover; must stay bit-for-bit equivalent to the interpreter.
+
+
+def _step_functional(m, regs, st, out, index, counts, cycle_counts,
+                     ready, itags, dtags):
+    decoded = m._decoded
+    op = decoded[index]
+    kind = op[0]
+    st[0] += 1
+    if counts is not None:
+        counts[index] += 1
+    if st[0] > st[1]:
+        raise ExecutionBudgetExceeded(st[1])
+    if kind == K_LDQ:
+        __, ra, rb, disp = op
+        regs[ra] = m._load_q((regs[rb] + disp) & _MASK)
+    elif kind == K_OP_RR or kind == K_OP_RL:
+        __, fn, ra, rb, rc = op
+        b = rb if kind == K_OP_RL else regs[rb]
+        regs[rc] = _operate(fn, regs[ra], b, regs[rc])
+    elif kind == K_LDA:
+        __, ra, rb, disp = op
+        regs[ra] = (regs[rb] + disp) & _MASK
+    elif kind == K_LDAH:
+        __, ra, rb, disp = op
+        regs[ra] = (regs[rb] + (disp << 16)) & _MASK
+    elif kind == K_STQ:
+        __, ra, rb, disp = op
+        m._store_q((regs[rb] + disp) & _MASK, regs[ra])
+    elif kind == K_CBR:
+        __, cond, ra, target = op
+        if _branch_taken(cond, regs[ra]):
+            regs[31] = 0
+            return target
+    elif kind == K_BR or kind == K_BSR:
+        __, ra, target = op
+        regs[ra] = m.text_base + 4 * (index + 1)
+        regs[31] = 0
+        return target
+    elif kind == K_JSR or kind == K_JMP or kind == K_RET:
+        __, ra, rb = op
+        dest = regs[rb] & ~3
+        regs[ra] = m.text_base + 4 * (index + 1)
+        regs[31] = 0
+        nxt = (dest - m.text_base) >> 2
+        if not 0 <= nxt < len(decoded):
+            raise MachineError(f"jump to unmapped address {dest:#x}")
+        return nxt
+    elif kind == K_PAL:
+        func = op[1]
+        if func == PalFunc.HALT:
+            return _HALT
+        if func == PalFunc.PUTINT:
+            value = regs[16]
+            out.append(str(value - (1 << 64) if value >> 63 else value))
+            out.append("\n")
+        elif func == PalFunc.PUTCHAR:
+            out.append(chr(regs[16] & 0xFF))
+        elif func == PalFunc.GETTICKS:
+            regs[0] = st[0]
+        else:
+            raise MachineError(f"unknown PAL function {func:#x}")
+    elif kind == K_LDL:
+        __, ra, rb, disp = op
+        value = m._load_q((regs[rb] + disp) & ~7 & _MASK)
+        shift = ((regs[rb] + disp) & 4) * 8
+        word = (value >> shift) & 0xFFFFFFFF
+        regs[ra] = word | (~0xFFFFFFFF & _MASK if word >> 31 else 0)
+    elif kind == K_LDQ_U:
+        __, ra, rb, disp = op
+        regs[ra] = m._load_q((regs[rb] + disp) & ~7 & _MASK)
+    elif kind == K_LDBU:
+        __, ra, rb, disp = op
+        regs[ra] = m._load_byte((regs[rb] + disp) & _MASK)
+    elif kind == K_STB:
+        __, ra, rb, disp = op
+        m._store_byte((regs[rb] + disp) & _MASK, regs[ra])
+    elif kind == K_STL:
+        __, ra, rb, disp = op
+        m._store_long((regs[rb] + disp) & _MASK, regs[ra])
+    else:
+        raise MachineError(f"unhandled op kind {kind}")
+    regs[31] = 0
+    return index + 1
+
+
+def _step_timed(m, regs, st, out, index, counts, cycle_counts,
+                ready, itags, dtags):
+    decoded = m._decoded
+    op = decoded[index]
+    kind = op[0]
+    st[0] += 1
+    if counts is not None:
+        counts[index] += 1
+    if st[0] > st[1]:
+        raise ExecutionBudgetExceeded(st[1])
+    cycle = st[2]
+    slot_open = st[3]
+    slot_class = st[4]
+
+    iaddr = m.text_base + 4 * index
+    line = iaddr >> _ILINE_SHIFT
+    islot = line & (_IN_LINES - 1)
+    if itags[islot] != line:
+        itags[islot] = line
+        st[5] += 1
+        cycle += CACHE_MISS_PENALTY
+        slot_open = False
+
+    if kind == K_OP_RR:
+        __, fn, ra, rb, rc = op
+        klass = 2
+        operand_ready = ready[ra] if ready[ra] > ready[rb] else ready[rb]
+    elif kind == K_OP_RL:
+        __, fn, ra, rb, rc = op
+        klass = 2
+        operand_ready = ready[ra]
+    elif kind in (K_LDQ, K_LDA, K_LDAH, K_LDL, K_LDQ_U, K_LDBU):
+        __, ra, rb, disp = op
+        klass = 1
+        operand_ready = ready[rb]
+    elif kind in (K_STQ, K_STL, K_STB):
+        __, ra, rb, disp = op
+        klass = 1
+        operand_ready = ready[ra] if ready[ra] > ready[rb] else ready[rb]
+    elif kind == K_CBR:
+        __, cond, ra, target = op
+        klass = 3
+        operand_ready = ready[ra]
+    elif kind in (K_JSR, K_JMP, K_RET):
+        __, ra, rb = op
+        klass = 3
+        operand_ready = ready[rb]
+    else:
+        klass = 3
+        operand_ready = 0
+
+    if slot_open and operand_ready <= cycle and klass != slot_class:
+        slot_open = False
+        st[7] += 1
+        issue = cycle
+    else:
+        issue = cycle + 1
+        if operand_ready > issue:
+            issue = operand_ready
+        cycle = issue
+        slot_open = True
+        slot_class = klass
+
+    taken = False
+    next_index = index + 1
+    if kind == K_LDQ:
+        addr = (regs[rb] + disp) & _MASK
+        regs[ra] = m._load_q(addr)
+        latency = LOAD_LATENCY
+        dline = addr >> _ILINE_SHIFT
+        dslot = dline & (_DN_LINES - 1)
+        if dtags[dslot] != dline:
+            dtags[dslot] = dline
+            st[6] += 1
+            latency += CACHE_MISS_PENALTY
+        ready[ra] = issue + latency
+    elif kind == K_OP_RR or kind == K_OP_RL:
+        b = rb if kind == K_OP_RL else regs[rb]
+        regs[rc] = _operate(fn, regs[ra], b, regs[rc])
+        ready[rc] = issue + (MUL_LATENCY if fn in (2, 7, 8) else 1)
+    elif kind == K_LDA:
+        regs[ra] = (regs[rb] + disp) & _MASK
+        ready[ra] = issue + 1
+    elif kind == K_LDAH:
+        regs[ra] = (regs[rb] + (disp << 16)) & _MASK
+        ready[ra] = issue + 1
+    elif kind == K_STQ:
+        addr = (regs[rb] + disp) & _MASK
+        m._store_q(addr, regs[ra])
+        dline = addr >> _ILINE_SHIFT
+        dslot = dline & (_DN_LINES - 1)
+        if dtags[dslot] != dline:
+            dtags[dslot] = dline
+            st[6] += 1
+            cycle += CACHE_MISS_PENALTY
+            slot_open = False
+    elif kind == K_CBR:
+        if _branch_taken(cond, regs[ra]):
+            taken = True
+            next_index = target
+    elif kind == K_BR or kind == K_BSR:
+        __, ra2, target = op
+        regs[ra2] = m.text_base + 4 * (index + 1)
+        ready[ra2] = issue + 1
+        taken = True
+        next_index = target
+    elif kind in (K_JSR, K_JMP, K_RET):
+        dest = regs[rb] & ~3
+        regs[ra] = m.text_base + 4 * (index + 1)
+        ready[ra] = issue + 1
+        taken = True
+        next_index = (dest - m.text_base) >> 2
+        if not 0 <= next_index < len(decoded):
+            raise MachineError(f"jump to unmapped address {dest:#x}")
+    elif kind == K_PAL:
+        func = op[1]
+        if func == PalFunc.HALT:
+            st[2] = cycle
+            st[3] = slot_open
+            st[4] = slot_class
+            if cycle_counts is not None:
+                # The halting word is charged after the interpreter's loop.
+                cycle_counts[index] += cycle - st[8]
+            return _HALT
+        if func == PalFunc.PUTINT:
+            value = regs[16]
+            out.append(str(value - (1 << 64) if value >> 63 else value))
+            out.append("\n")
+        elif func == PalFunc.PUTCHAR:
+            out.append(chr(regs[16] & 0xFF))
+        elif func == PalFunc.GETTICKS:
+            regs[0] = cycle
+            ready[0] = issue + 1
+        else:
+            raise MachineError(f"unknown PAL function {func:#x}")
+    elif kind == K_LDL:
+        addr = (regs[rb] + disp) & _MASK
+        value = m._load_q(addr & ~7)
+        shift = (addr & 4) * 8
+        word = (value >> shift) & 0xFFFFFFFF
+        regs[ra] = word | (~0xFFFFFFFF & _MASK if word >> 31 else 0)
+        ready[ra] = issue + LOAD_LATENCY
+    elif kind == K_LDQ_U:
+        regs[ra] = m._load_q((regs[rb] + disp) & ~7 & _MASK)
+        ready[ra] = issue + LOAD_LATENCY
+    elif kind == K_LDBU:
+        regs[ra] = m._load_byte((regs[rb] + disp) & _MASK)
+        ready[ra] = issue + LOAD_LATENCY
+    elif kind == K_STB:
+        m._store_byte((regs[rb] + disp) & _MASK, regs[ra])
+    elif kind == K_STL:
+        m._store_long((regs[rb] + disp) & _MASK, regs[ra])
+    else:
+        raise MachineError(f"unhandled op kind {kind}")
+
+    regs[31] = 0
+    ready[31] = 0
+    if taken:
+        cycle = issue + TAKEN_BRANCH_PENALTY
+        slot_open = False
+    st[2] = cycle
+    st[3] = slot_open
+    st[4] = slot_class
+    if cycle_counts is not None:
+        cycle_counts[index] += cycle - st[8]
+        st[8] = cycle
+    return next_index
+
+
+# -- the driver --------------------------------------------------------------
+
+
+class JitMachine(Machine):
+    """A :class:`Machine` whose run loops execute translated regions."""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self._jit_prog = None
+
+    def jit_program(self) -> CompiledProgram:
+        if self._jit_prog is None:
+            self._jit_prog = program_for(self)
+        return self._jit_prog
+
+    def _run_functional(self, counts=None) -> RunResult:
+        return self._run_jit(False, counts, None)
+
+    def _run_timed(self, counts=None, cycle_counts=None) -> RunResult:
+        return self._run_jit(True, counts, cycle_counts)
+
+    def _run_jit(self, timed, counts, cycle_counts) -> RunResult:
+        program = self.jit_program()
+        counting = counts is not None
+        cyc_flag = timed and cycle_counts is not None
+        fast = (timed, counting, cyc_flag, False)
+        guarded = (timed, counting, cyc_flag, True)
+        with program._lock:
+            ftable = program.tables.setdefault(fast, {})
+            gtable = program.tables.setdefault(guarded, {})
+
+        regs, index = self._initial_state()
+        limit = self.max_instructions
+        st = [0, limit, 0, False, 0, 0, 0, 0, 0]
+        out: list[str] = []
+        if program.fast_mem:
+            qd = memoryview(self.data)[: len(self.data) & ~7].cast("Q")
+            qs = memoryview(self.stack).cast("Q")
+        else:
+            qd = qs = None
+        mem = (self._load_q, self._store_q, self._load_byte,
+               self._store_byte, self._store_long, qd, qs,
+               self.data, self.stack)
+        if timed:
+            ready = [0] * 32
+            itags = [-1] * _IN_LINES
+            dtags = [-1] * _DN_LINES
+            step = _step_timed
+        else:
+            ready = itags = dtags = None
+            step = _step_functional
+        execs = [0] * program.nwords if counting else None
+        stats = program.stats
+        build = program.build
+        get_fast = ftable.get
+
+        try:
+            while True:
+                if index < 0:
+                    if index == _HALT:
+                        break
+                    # A negative branch target: the interpreter would
+                    # wrap around via Python list indexing; mirror it
+                    # one instruction at a time.
+                    index = step(self, regs, st, out, index, counts,
+                                 cycle_counts, ready, itags, dtags)
+                    continue
+                entry = get_fast(index)
+                if entry is None:
+                    entry = build(index, fast)
+                if entry is _FALLBACK:
+                    stats.fallback_steps += 1
+                    index = step(self, regs, st, out, index, counts,
+                                 cycle_counts, ready, itags, dtags)
+                    continue
+                if st[0] + entry[1] > limit:
+                    # The next segment may overrun the budget: switch to
+                    # the guarded flavor, which checks per instruction
+                    # and raises at the interpreter's exact index.
+                    gentry = gtable.get(index)
+                    if gentry is None:
+                        gentry = build(index, guarded)
+                    if gentry is _FALLBACK:
+                        stats.fallback_steps += 1
+                        index = step(self, regs, st, out, index, counts,
+                                     cycle_counts, ready, itags, dtags)
+                        continue
+                    entry = gentry
+                index = entry[0](regs, st, out, mem, ready, itags, dtags,
+                                 counts, cycle_counts, execs)
+        finally:
+            if qd is not None:
+                # Release the exported buffers so the bytearrays stay
+                # resizable for callers once the run is over.
+                qd.release()
+                qs.release()
+            if counting:
+                # Expand per-segment execution counters to per-word
+                # counts; valid even across overlapping regions because
+                # segmentation is a pure function of the split points.
+                seg_len = program.seg_len
+                for s, hits in enumerate(execs):
+                    if hits:
+                        for i in range(s, s + seg_len[s]):
+                            counts[i] += hits
+
+        if timed:
+            return RunResult(
+                "".join(out),
+                st[0],
+                cycles=st[2],
+                icache_misses=st[5],
+                dcache_misses=st[6],
+                dual_issues=st[7],
+                halted=True,
+            )
+        return RunResult("".join(out), st[0], cycles=st[0], halted=True)
+
+
+class JitProfilingMachine(JitMachine, ProfilingMachine):
+    """Profiling machine running on the JIT loops.
+
+    ``run_profiled`` comes from :class:`ProfilingMachine`; the count and
+    cycle hooks it passes land in :meth:`JitMachine._run_timed` /
+    ``_run_functional``, so attribution arrays are filled by the same
+    translated code that produces the run result.
+    """

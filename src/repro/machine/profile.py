@@ -226,12 +226,26 @@ def profile(
     max_instructions: int = 200_000_000,
     *,
     timed: bool = True,
+    backend: str | None = None,
 ) -> ProfileResult:
     """Run an executable and attribute work to procedures.
 
     ``timed=True`` (default) runs the full timing model, so
     ``result.run.cycles`` equals a plain ``Machine.run`` and the
-    per-procedure ``cycles`` sum to it exactly.
+    per-procedure ``cycles`` sum to it exactly.  ``backend`` selects
+    the execution engine (see :data:`repro.machine.BACKENDS`); both
+    backends must produce identical attribution.
     """
-    machine = ProfilingMachine(executable, max_instructions=max_instructions)
+    from repro.machine import resolve_backend
+
+    if resolve_backend(backend) == "jit":
+        from repro.machine.jit import JitProfilingMachine
+
+        machine: ProfilingMachine = JitProfilingMachine(
+            executable, max_instructions=max_instructions
+        )
+    else:
+        machine = ProfilingMachine(
+            executable, max_instructions=max_instructions
+        )
     return machine.run_profiled(timed=timed)

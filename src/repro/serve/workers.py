@@ -29,7 +29,7 @@ from pathlib import Path
 
 from repro.benchsuite.suite import build_stdlib
 from repro.linker import link, make_crt0
-from repro.machine import ExecutionBudgetExceeded, run
+from repro.machine import BACKENDS, ExecutionBudgetExceeded, run
 from repro.minicc import Options, compile_all, compile_module
 from repro.objfile.archive import Archive
 from repro.objfile.sections import SectionKind
@@ -201,12 +201,19 @@ def _job_link(payload: dict) -> dict:
 def _job_run(payload: dict) -> dict:
     executable, om = _compile_and_link(payload)
     budget = int(payload.get("max_instructions") or DEFAULT_RUN_BUDGET)
+    backend = payload.get("backend") or None
+    if backend is not None and backend not in BACKENDS:
+        raise JobError(
+            "bad-request",
+            f"unknown backend {backend!r} (choose from {', '.join(BACKENDS)})",
+        )
     try:
         with span_or_null(_TRACE, "worker.stage.run", cat="worker"):
             outcome = run(
                 executable,
                 timed=bool(payload.get("timed", True)),
                 max_instructions=budget,
+                backend=backend,
             )
     except ExecutionBudgetExceeded as exc:
         raise JobError(

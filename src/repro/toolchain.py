@@ -38,7 +38,7 @@ from pathlib import Path
 
 from repro.isa.disasm import disassemble
 from repro.linker import link, make_crt0
-from repro.machine import run as machine_run
+from repro.machine import BACKENDS, run as machine_run
 from repro.minicc import Options, compile_all, compile_module
 from repro.objfile.archive import Archive
 from repro.objfile.fileio import (
@@ -177,11 +177,15 @@ def _run(args) -> int:
     if args.profile_out:
         from repro.machine.profile import profile
 
-        profiled = profile(executable, timed=not args.fast)
+        profiled = profile(
+            executable, timed=not args.fast, backend=args.backend
+        )
         result = profiled.run
         Path(args.profile_out).write_bytes(profiled.to_json())
     else:
-        result = machine_run(executable, timed=not args.fast)
+        result = machine_run(
+            executable, timed=not args.fast, backend=args.backend
+        )
     sys.stdout.write(result.output)
     if args.profile_out:
         print(f"profile: {args.profile_out}", file=sys.stderr)
@@ -327,6 +331,10 @@ def build_parser() -> argparse.ArgumentParser:
     runner.add_argument("executable")
     runner.add_argument("--fast", action="store_true", help="skip timing model")
     runner.add_argument("--stats", action="store_true")
+    runner.add_argument(
+        "--backend", choices=BACKENDS, default=None,
+        help="execution engine (default: $REPRO_MACHINE_BACKEND or interp)",
+    )
     runner.add_argument(
         "--profile-out", dest="profile_out", default=None,
         help="write a per-procedure profile (JSON) for `om -layout`",

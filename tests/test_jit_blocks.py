@@ -1,0 +1,217 @@
+"""JIT block discovery and translation-cache semantics.
+
+The translator splits the text segment into basic blocks (segments)
+at every branch target, call return, and procedure entry; these tests
+pin the split-point rules on hand-written assembly — where word
+indexes are knowable — plus the cache-invalidation contract of
+:class:`repro.machine.jit.CompiledProgram`.
+"""
+
+import pytest
+
+from repro.isa.textasm import assemble_text
+from repro.linker import link
+from repro.machine import run
+from repro.machine.jit import (
+    JitMachine,
+    _FALLBACK,
+    clear_jit_cache,
+    jit_cache_len,
+    program_for,
+)
+
+
+def _link_asm(crt0, libmc, source):
+    return link([crt0, assemble_text(source, "t.o")], [libmc])
+
+
+def _proc_index(machine, name):
+    """Word index of a named procedure's entry."""
+    for proc in machine.executable.procs:
+        if proc.name == name:
+            return (proc.addr - machine.text_base) >> 2
+    raise KeyError(name)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_jit_cache()
+    yield
+    clear_jit_cache()
+
+
+BRANCHY = """
+        .ent    main
+main:   lda     $t0, 3($zero)
+loop:   subq    $t0, 1, $t0
+        bne     $t0, loop
+        lda     $a0, 7($zero)
+        call_pal putint
+        lda     $v0, 0($zero)
+        ret     $zero, ($ra)
+        .end    main
+"""
+
+
+def test_splits_at_branch_target_and_fallthrough(crt0, libmc):
+    machine = JitMachine(_link_asm(crt0, libmc, BRANCHY))
+    prog = program_for(machine)
+    main = _proc_index(machine, "main")
+    loop = main + 1   # the bne target
+    after = main + 3  # the bne fall-through
+    assert main in prog.splits
+    assert loop in prog.splits
+    assert after in prog.splits
+    # The block holding the branch ends exactly at the branch.
+    assert prog.segment_end(loop) == after
+    # Targets of the branch block: taken target first, then fall-through.
+    assert prog.region_targets(loop) == (loop, after)
+    assert machine.run(timed=False).output == "7\n"
+
+
+CALLS = """
+        .ent    main
+main:   ldah    $gp, 0($pv)      !gpdisp:main
+        lda     $gp, 0($gp)      !gpdisp_pair
+        lda     $s0, 0($ra)
+        ldq     $pv, callee($gp) !literal
+        jsr     $ra, ($pv)       !lituse_jsr !hint:callee
+        lda     $a0, 0($v0)
+        call_pal putint
+        lda     $v0, 0($zero)
+        ret     $zero, ($s0)
+        .end    main
+
+        .ent    callee
+callee: lda     $v0, 42($zero)
+        ret     $zero, ($ra)
+        .end    callee
+"""
+
+
+def test_splits_at_jsr_return_and_proc_entries(crt0, libmc):
+    machine = JitMachine(_link_asm(crt0, libmc, CALLS))
+    prog = program_for(machine)
+    main = _proc_index(machine, "main")
+    callee = _proc_index(machine, "callee")
+    jsr = main + 4
+    # The word after the jsr (the return continuation) is a split, and
+    # the caller's block ends at the jsr even though no label is there.
+    assert jsr + 1 in prog.splits
+    assert prog.segment_end(main) == jsr + 1
+    # Procedure entries are splits (the ret needs somewhere to land).
+    assert callee in prog.splits
+    # The linker-hinted jsr predicts the callee; the continuation is
+    # the second (fall-through) target.
+    assert prog.jump_hint[jsr] == callee
+    assert prog.region_targets(main) == (callee, jsr + 1)
+    assert machine.run(timed=False).output == "42\n"
+
+
+GAT_STRADDLE = """
+        .ent    main
+main:   ldah    $gp, 0($pv)      !gpdisp:main
+        lda     $gp, 0($gp)      !gpdisp_pair
+        lda     $t1, 2($zero)
+        ldq     $t0, value($gp)  !literal
+top:    ldq     $a0, 0($t0)      !lituse_base
+        call_pal putint
+        subq    $t1, 1, $t1
+        bne     $t1, top
+        lda     $v0, 0($zero)
+        ret     $zero, ($ra)
+        .end    main
+
+        .data
+value:  .quad   1994
+"""
+
+
+def test_gat_load_sequence_straddling_block_edge(crt0, libmc):
+    """A GAT address load in one block, its dependent load in the next.
+
+    The loop label falls between the two halves of the sequence, so
+    the address produced by the first block's ``ldq rX, d(gp)`` must
+    flow into the branch-target block through the region state — the
+    translator may not assume the pair stays intact inside one block.
+    """
+    machine = JitMachine(_link_asm(crt0, libmc, GAT_STRADDLE))
+    prog = program_for(machine)
+    main = _proc_index(machine, "main")
+    gat_load = main + 3
+    top = main + 4
+    assert top in prog.splits
+    # The GAT address load is the last word of its block...
+    assert prog.segment_end(main) == top
+    # ...and the dependent data load starts the branch-target block.
+    assert prog.segment_end(top) == top + 4
+    result = machine.run(timed=False)
+    assert result.output == "1994\n1994\n"
+    interp = run(machine.executable, timed=False)
+    assert (result.output, result.instructions) == (
+        interp.output, interp.instructions
+    )
+    assert gat_load == main + 3  # documented layout held
+
+
+def test_cache_invalidation_recompiles_lazily(crt0, libmc):
+    machine = JitMachine(_link_asm(crt0, libmc, BRANCHY))
+    prog = program_for(machine)
+    first = machine.run(timed=False)
+    assert prog.stats.regions > 0
+    assert prog.tables and prog.sources
+
+    prog.invalidate()
+    assert not prog.tables
+    assert not prog.sources
+    assert not prog.seg_len
+    assert prog.stats.invalidations == 1
+
+    # The next run retranslates and reproduces the result exactly.
+    again = JitMachine(machine.executable).run(timed=False)
+    assert (again.output, again.instructions, again.cycles) == (
+        first.output, first.instructions, first.cycles
+    )
+    assert prog.stats.regions > 0
+
+
+def test_compiled_program_shared_and_keyed_by_image(crt0, libmc):
+    exe = _link_asm(crt0, libmc, BRANCHY)
+    one = program_for(JitMachine(exe))
+    two = program_for(JitMachine(exe))
+    assert one is two
+    assert jit_cache_len() == 1
+    other = program_for(JitMachine(_link_asm(crt0, libmc, CALLS)))
+    assert other is not one
+    assert jit_cache_len() == 2
+    clear_jit_cache()
+    assert jit_cache_len() == 0
+    assert program_for(JitMachine(exe)) is not one
+
+
+def test_untranslatable_start_uses_fallback(crt0, libmc, monkeypatch):
+    from repro.machine import jit as jit_mod
+
+    exe = _link_asm(crt0, libmc, BRANCHY)
+    reference = JitMachine(exe).run(timed=False)
+    clear_jit_cache()
+    # Shrink the translatable set: every operate instruction now routes
+    # through the single-step interpreter fallback.
+    monkeypatch.setattr(
+        jit_mod,
+        "_TRANSLATABLE",
+        jit_mod._TRANSLATABLE - {jit_mod.K_OP_RR, jit_mod.K_OP_RL},
+    )
+    machine = JitMachine(exe)
+    result = machine.run(timed=False)
+    assert (result.output, result.instructions, result.cycles) == (
+        reference.output, reference.instructions, reference.cycles
+    )
+    prog = program_for(machine)
+    assert prog.stats.fallback_steps > 0
+    flavor_tables = list(prog.tables.values())
+    assert any(
+        entry is _FALLBACK
+        for table in flavor_tables
+        for entry in table.values()
+    )

@@ -137,3 +137,37 @@ def test_overhead_counters_drop_under_om_full():
         sum(p.gp_setup_pairs for p in base.procs)
         == base.overhead.gp_setup_pairs
     )
+
+
+def test_jit_backend_profile_identical_to_interpreter():
+    """The JIT backend's attribution is the interpreter's, exactly.
+
+    Per-procedure cycles must sum to the plain-run total under the JIT
+    just as they do for the interpreter, and the whole serialized
+    profile (every proc, every counter) must be byte-identical.
+    """
+    from repro.experiments import build
+    from repro.machine.jit import clear_jit_cache
+
+    clear_jit_cache()
+    exe = build.link_variant("compress", "each", "ld", 1)
+    plain = run(exe, timed=True)
+    interp = profile(exe, timed=True, backend="interp")
+    jit = profile(exe, timed=True, backend="jit")
+    assert jit.run.cycles == plain.cycles
+    assert sum(p.cycles for p in jit.procs) == plain.cycles
+    assert sum(p.instructions for p in jit.procs) == plain.instructions
+    assert jit.to_json() == interp.to_json()
+
+
+def test_jit_backend_profile_functional_path():
+    """Untimed attribution (the PGO feedback shape) is also identical."""
+    from repro.experiments import build
+
+    exe = build.link_variant("eqntott", "each", "ld", 1)
+    interp = profile(exe, timed=False, backend="interp")
+    jit = profile(exe, timed=False, backend="jit")
+    assert jit.to_json() == interp.to_json()
+    assert (
+        sum(p.instructions for p in jit.procs) == jit.run.instructions
+    )
