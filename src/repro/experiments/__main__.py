@@ -59,8 +59,13 @@ procedure after an intentional perf change.
 (:mod:`repro.serve.loadgen`): a seeded mixed workload replayed against
 the toolchain daemon at a configurable concurrency, cold cache then
 warm, reporting throughput and p50/p95/p99 latency and reconciling the
-client's observations against the server's ``status`` counters.  Exits
-non-zero on any failed request or reconciliation mismatch.
+client's observations against the server's ``status`` counters.
+``--fleet N`` embeds N daemons behind the consistent-hash router
+instead of one; ``--soak --duration S --tenants T`` switches to the
+gated multi-tenant endurance run (warm-p99 ceiling, error budget,
+fleet-wide counter reconciliation, optional ``--speedup-floor``).
+Exits non-zero on any failed request, reconciliation mismatch, or
+tripped gate.
 """
 
 from __future__ import annotations

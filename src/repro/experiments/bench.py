@@ -11,6 +11,10 @@ surfaces of the toolchain and writes a schema-versioned report:
   embedded daemon: throughput, latency percentiles, and the serving
   counters (``completed`` is deterministic; the coalesced/cached split
   is timing-dependent and reported but not gated);
+* **serve.fleet** — a 2-daemon consistent-hash fleet: a short
+  multi-tenant soak (latency percentiles, zero-failure and
+  counter-identity checks at zero tolerance) and the warm
+  router-vs-single-daemon throughput ratio;
 * **wpo** — the incremental-relink loop: warm-relink shard misses
   (deterministically zero), misses after a one-module edit, and
   relink-vs-full-link wall seconds;
@@ -48,6 +52,12 @@ BUILD_SCALE = 1
 SERVE_REQUESTS = 12
 SERVE_CONCURRENCY = 4
 SERVE_WORKERS = 2
+
+#: Pinned fleet shape for the serve.fleet component: a short soak and
+#: a warm router-vs-single-daemon throughput probe.
+FLEET_SIZE = 2
+FLEET_SOAK_SECONDS = 6.0
+FLEET_TENANTS = 3
 
 #: Pinned WPO incremental-relink shape.
 WPO_MODULES = 12
@@ -133,6 +143,56 @@ def bench_serve() -> dict:
         / max(phases["cold"]["throughput_rps"], 1e-9)
     )
     return metrics
+
+
+def bench_serve_fleet() -> dict:
+    """Short multi-tenant soak plus warm throughput for a 2-daemon
+    fleet behind the consistent-hash router."""
+    from repro.serve.client import ServeClient
+    from repro.serve.fleet import FleetConfig, FleetThread
+    from repro.serve.loadgen import (
+        DEFAULT_PROGRAMS,
+        measure_warm_speedup,
+        run_soak,
+    )
+
+    programs = DEFAULT_PROGRAMS.split(",")
+    with tempfile.TemporaryDirectory(prefix="repro-bench-fleet-") as tmp:
+        config = FleetConfig(
+            size=FLEET_SIZE, workers=SERVE_WORKERS, queue_limit=32,
+            cache_dir=str(Path(tmp) / "cache"),
+        )
+        with FleetThread(config) as fleet:
+            soak = run_soak(
+                fleet.address, programs,
+                duration=FLEET_SOAK_SECONDS, tenants=FLEET_TENANTS,
+                concurrency=SERVE_CONCURRENCY, scale=1, seed=0,
+                timeout=300.0, retries=8,
+            )
+            probe = ServeClient(fleet.address, timeout=300.0)
+            final = probe.status()
+            probe.close()
+            healthy = final["router"]["ring"]["healthy"]
+            single = tuple(final["daemons"][healthy[0]]["address"])
+            speedup = measure_warm_speedup(
+                fleet.address, single, programs,
+                scale=1, seed=0, concurrency=SERVE_CONCURRENCY,
+                timeout=300.0, retries=8,
+            )
+    counters = final["counters"]
+    return {
+        # Deterministic: the fleet never fails or drops a request...
+        "serve.fleet.failed": soak["failed"] + counters["failed"],
+        "serve.fleet.identity_residual": counters["completed"] - (
+            counters["coalesced"] + counters["cache_hits"]
+            + counters["computed"]
+        ),
+        # ...while latency/throughput are wall-clock, gated loosely.
+        "serve.fleet.soak_p99_ms": soak["latency_ms"]["p99"],
+        "serve.fleet.warm_p99_ms": soak["warm_latency_ms"]["p99"],
+        "serve.fleet.warm_rps": speedup["fleet_warm_rps"],
+        "serve.fleet.warm_speedup": speedup["speedup"],
+    }
 
 
 def bench_wpo() -> dict:
@@ -240,6 +300,7 @@ def bench_machine() -> dict:
 _COMPONENTS = {
     "build": bench_build,
     "serve": bench_serve,
+    "serve.fleet": bench_serve_fleet,
     "wpo": bench_wpo,
     "machine": bench_machine,
 }
@@ -265,6 +326,8 @@ def run_suite(components=None, *, log=print) -> dict:
             "build_scale": BUILD_SCALE,
             "serve_requests": SERVE_REQUESTS,
             "serve_concurrency": SERVE_CONCURRENCY,
+            "fleet_size": FLEET_SIZE,
+            "fleet_soak_seconds": FLEET_SOAK_SECONDS,
             "wpo_modules": WPO_MODULES,
             "wpo_partitions": WPO_PARTITIONS,
             "machine_reps": MACHINE_REPS,

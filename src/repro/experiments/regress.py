@@ -46,6 +46,7 @@ _SPEC_RULES = (
     ("_link_seconds", ("lower", 3.0)),
     ("_relink_seconds", ("lower", 3.0)),
     (".throughput_rps", ("higher", 0.85)),
+    ("_rps", ("higher", 0.85)),
     # Per-program wall seconds on a loaded CI box swing wildly in both
     # directions; the speedup ratios (and especially the geomean) are
     # the stable signal, so they carry the tight direction-aware floor.
@@ -55,6 +56,7 @@ _SPEC_RULES = (
     ("_speedup", ("higher", 0.95)),
     (".p50_ms", ("lower", 5.0)),
     (".p95_ms", ("lower", 5.0)),
+    ("_p99_ms", ("lower", 5.0)),
     (".failed", ("either", 0.0)),
     (".cycles", ("either", 0.0)),
     (".instructions", ("either", 0.0)),

@@ -13,17 +13,51 @@ compile → link → OM → run loop warm behind a TCP protocol:
   ``ProcessPoolExecutor`` for the CPU-bound work, and graceful drain;
 * :mod:`repro.serve.workers` — the pure job bodies the pool executes;
 * :mod:`repro.serve.client` — connection-reusing client with
-  per-request timeouts and capped exponential backoff;
+  per-request timeouts and full-jitter capped exponential backoff;
 * :mod:`repro.serve.loadgen` — the ``serve-bench`` workload replayer
-  reporting cold/warm throughput and latency percentiles;
+  reporting cold/warm throughput and latency percentiles, plus the
+  multi-tenant ``--soak`` mode with p99/error-budget gates;
 * :mod:`repro.serve.metrics` — the latency histogram behind the
   ``status`` response.
 
-Start a daemon with ``python -m repro.toolchain serve``; benchmark it
-with ``python -m repro.experiments serve-bench``.
+One daemon scales out into a **fleet**:
+
+* :mod:`repro.serve.router` — the consistent-hash front door: routes
+  each request by its canonical content key so identical in-flight
+  requests land on the same daemon (coalescing survives the
+  scale-out), relays frames verbatim, and aggregates fleet-wide
+  ``status``/``metrics``;
+* :mod:`repro.serve.quota` — per-tenant token-bucket quotas and the
+  start-time-fair weighted scheduler the router admits through;
+* :mod:`repro.serve.fleet` — the supervisor: N daemon subprocesses
+  sharing one cache root, health-checked with automatic restart (a
+  restarted slot reclaims exactly its ring slice), ordered drain.
+
+Start a daemon with ``python -m repro.toolchain serve``; a fleet with
+``python -m repro.toolchain serve --fleet N``; benchmark either with
+``python -m repro.experiments serve-bench`` (``--soak`` for the gated
+endurance run).
 """
 
 from repro.serve.client import ServeClient
+from repro.serve.fleet import FleetConfig, FleetSupervisor, FleetThread
+from repro.serve.quota import QuotaManager, TenantPolicy, parse_policy
+from repro.serve.router import FleetRouter, HashRing, RouterConfig, RouterThread
 from repro.serve.server import ServeConfig, ServerThread, ToolchainServer
 
-__all__ = ["ServeClient", "ServeConfig", "ServerThread", "ToolchainServer"]
+__all__ = [
+    "FleetConfig",
+    "FleetRouter",
+    "FleetSupervisor",
+    "FleetThread",
+    "HashRing",
+    "QuotaManager",
+    "RouterConfig",
+    "RouterThread",
+    "ServeClient",
+    "ServeConfig",
+    "ServerThread",
+    "TenantPolicy",
+    "ToolchainServer",
+    "parse_policy",
+]

@@ -10,10 +10,14 @@ daemon's contract expects:
   receive; expiry raises :class:`RequestTimeout` and poisons the
   connection (a late reply must never be read as the answer to the
   *next* request);
-* **backpressure honoring** — a ``retry_after`` reply sleeps for
-  ``max(server hint, backoff · 2^attempt)`` capped at
-  ``backoff_cap``, then retries, up to ``retries`` times before
-  raising :class:`ServerBusy`;
+* **backpressure honoring** — a ``retry_after`` reply sleeps for a
+  *full-jittered* capped exponential backoff: a uniform draw from
+  ``[0, min(backoff · 2^attempt, backoff_cap)]``, floored at the
+  server's ``retry_after`` hint, then retries, up to ``retries`` times
+  before raising :class:`ServerBusy`.  The jitter matters under
+  coalesce bursts: N clients rejected together must not re-arrive
+  together, so each client draws its schedule from its own RNG
+  (seedable via ``rng`` for reproducibility);
 * **reconnect-and-retry on transport failure** — every request is
   idempotent (the daemon is content-addressed), so a dropped or
   refused connection is retried on a fresh socket with the same
@@ -36,6 +40,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import random
 import socket
 import threading
 import time
@@ -58,13 +63,14 @@ class ServeError(Exception):
 class ServerBusy(ServeError):
     """Backpressure retries exhausted."""
 
-    def __init__(self, attempts: int, retry_after: float):
+    def __init__(self, attempts: int, retry_after: float, reason: str = "busy"):
         super().__init__(
             f"server still busy after {attempts} attempts "
-            f"(last retry-after hint {retry_after}s)"
+            f"(last retry-after hint {retry_after}s, reason {reason!r})"
         )
         self.attempts = attempts
         self.retry_after = retry_after
+        self.reason = reason
 
 
 class RequestFailed(ServeError):
@@ -103,6 +109,8 @@ class ServeClient:
         sleep=time.sleep,
         trace=None,
         trace_id: str | None = None,
+        tenant: str | None = None,
+        rng: random.Random | None = None,
     ):
         self.address = (address[0], int(address[1]))
         self.timeout = timeout
@@ -112,7 +120,17 @@ class ServeClient:
         self.max_frame = max_frame
         self.requests_sent = 0
         self.busy_retries = 0
+        #: Busy replies absorbed, keyed by the server's ``reason`` tag
+        #: (``"busy"`` when the reply carried none) — how a load
+        #: generator tells quota rejections from plain overload.
+        self.busy_reasons: dict[str, int] = {}
         self.transport_retries = 0
+        #: Accounting identity stamped on every job request (never a
+        #: content field — tenants share cache entries and flights).
+        self.tenant = tenant
+        #: Private jitter source: each client must draw its own backoff
+        #: schedule, or synchronized rejects re-arrive synchronized.
+        self._rng = rng if rng is not None else random.Random()
         self._sleep = sleep
         self._sock: socket.socket | None = None
         self._ids = itertools.count(1)
@@ -147,7 +165,17 @@ class ServeClient:
     # -- the request loop --------------------------------------------------
 
     def _pause(self, attempt: int, hint: float | None = None) -> None:
-        delay = min(self.backoff * (2**attempt), self.backoff_cap)
+        """Full-jittered capped exponential backoff.
+
+        The delay is a uniform draw from ``[0, min(backoff · 2^attempt,
+        backoff_cap)]`` — *full* jitter, not a deterministic schedule,
+        because the clients most likely to be backing off together are
+        the ones a coalesce burst rejected together.  A server
+        ``retry_after`` hint floors the draw (the server knows when
+        capacity frees up); the cap bounds both.
+        """
+        window = min(self.backoff * (2**attempt), self.backoff_cap)
+        delay = self._rng.uniform(0.0, window)
         if hint is not None:
             delay = min(max(delay, hint), self.backoff_cap)
         self._sleep(delay)
@@ -162,6 +190,8 @@ class ServeClient:
             # Minted once here, NOT per attempt: retries of one logical
             # request share one id on the merged timeline.
             params["request_id"] = f"{self.trace_id}:{next(self._ids)}"
+        if op in protocol.JOB_OPS and self.tenant and "tenant" not in params:
+            params["tenant"] = self.tenant
         request_id = params.get("request_id")
         start_us = now_us()
         try:
@@ -186,6 +216,7 @@ class ServeClient:
 
     def _request_with_retries(self, op: str, params: dict) -> dict:
         last_hint = 0.0
+        last_reason = "busy"
         for attempt in range(self.retries + 1):
             rid = next(self._ids)
             try:
@@ -232,13 +263,17 @@ class ServeClient:
                 return response
             if "retry_after" in response:
                 last_hint = float(response["retry_after"])
+                last_reason = response.get("reason", "busy")
                 self.busy_retries += 1
+                self.busy_reasons[last_reason] = (
+                    self.busy_reasons.get(last_reason, 0) + 1
+                )
                 if attempt < self.retries:
                     self._pause(attempt, last_hint)
                     continue
-                raise ServerBusy(attempt + 1, last_hint)
+                raise ServerBusy(attempt + 1, last_hint, last_reason)
             raise RequestFailed.from_response(response)
-        raise ServerBusy(self.retries + 1, last_hint)  # pragma: no cover
+        raise ServerBusy(self.retries + 1, last_hint, last_reason)  # pragma: no cover
 
     # -- convenience wrappers ----------------------------------------------
 

@@ -26,7 +26,20 @@ sides of the wire agree on what happened.
 
 Run as ``python -m repro.experiments serve-bench``.  By default an
 embedded daemon (fresh temporary cache) is benchmarked; ``--connect
-host:port`` targets an already-running one.
+host:port`` targets an already-running one; ``--fleet N`` embeds a
+whole router-fronted fleet (:mod:`repro.serve.fleet`).
+
+``--soak`` switches from the two-phase replay to a duration-based
+multi-tenant soak: ``--tenants`` client populations (``t0``, ``t1``,
+…) drive a mixed cold/warm stream — warm draws from a fixed workload
+pool, cold requests carry a nonce comment that changes the content
+key but not the semantics — for ``--duration`` seconds, opening with
+a barrier-released coalesce burst.  The soak report reconciles
+fleet-wide (client observations vs. router counters vs. summed daemon
+counters; quota rejections accounted separately, never as failures)
+and gates on a warm-path p99 (``--p99-ms``), an error budget
+(``--error-budget``), and — against a fleet — warm throughput through
+the router vs. a single daemon (``--speedup-floor``).
 """
 
 from __future__ import annotations
@@ -42,7 +55,7 @@ from pathlib import Path
 
 from repro.obs import merge as obs_merge
 from repro.obs.trace import TraceLog
-from repro.serve.client import ServeClient, ServeError
+from repro.serve.client import ServeClient, ServeError, ServerBusy
 from repro.serve.metrics import percentile
 
 #: Default program set: five small benchmarks (the acceptance floor).
@@ -192,6 +205,267 @@ def run_phase(
     }
 
 
+#: Warm-pool size for the soak phase and the warm-throughput probe —
+#: the same ``build_workload`` prefix both times, so the probe replays
+#: keys the soak already warmed.
+_SOAK_POOL = 24
+
+
+def _nonce_sources(programs: list[str], scale, tag: str) -> list[list[str]]:
+    """Sources for a guaranteed-cold request: the lead program with a
+    ``//`` comment nonce appended — a new content key, same program."""
+    from repro.benchsuite.suite import scaled_sources
+
+    sources = [[name, text] for name, text in scaled_sources(programs[0], scale)]
+    sources[0][1] += f"\n// soak nonce {tag}\n"
+    return sources
+
+
+def run_soak(
+    address: tuple[str, int],
+    programs: list[str],
+    *,
+    duration: float,
+    tenants: int,
+    concurrency: int,
+    scale: int | None,
+    seed: int,
+    timeout: float,
+    retries: int,
+    cold_ratio: float = 0.25,
+    trace: TraceLog | None = None,
+) -> dict:
+    """Duration-based mixed cold/warm multi-tenant traffic.
+
+    ``concurrency`` worker threads are split round-robin over
+    ``tenants`` tenant identities.  Every worker opens with the same
+    barrier-released cold ``run`` request (the deterministic coalesce
+    burst), then loops until the deadline drawing warm requests from a
+    fixed pool (cache/coalesce path) or, with ``cold_ratio``
+    probability, a nonce-comment cold request (worker-pool path).
+
+    Quota rejections are *accounting, not failures*: a request that
+    exhausts retries on ``reason="quota"`` is tallied under
+    ``quota_exhausted``, and only non-quota errors land in
+    ``failures``.
+    """
+    warm_pool = build_workload(
+        programs, _SOAK_POOL, seed=seed, scale=scale, concurrency=0
+    )
+    burst = {
+        "sources": _nonce_sources(programs, scale, f"burst-{seed}"),
+        "mode": "each", "variant": "om-full", "timed": True,
+    }
+    barrier = threading.Barrier(concurrency)
+    lock = threading.Lock()
+    # tenant, seconds, cached, coalesced, opening-burst
+    samples: list[tuple[str, float, bool, bool, bool]] = []
+    failures: list[dict] = []
+    totals = {
+        "busy_replies": 0, "busy_reasons": {}, "quota_exhausted": 0,
+        "cold_sent": 0, "transport_retries": 0,
+    }
+
+    def worker(index: int) -> None:
+        tenant = f"t{index % tenants}"
+        rng = random.Random((seed + 1) * 10_000 + index)
+        client = ServeClient(
+            address, timeout=timeout, retries=retries,
+            trace=trace, tenant=tenant, rng=rng,
+        )
+        local_cold = 0
+        try:
+            barrier.wait(timeout=timeout)
+            deadline = time.monotonic() + duration
+            first = True
+            while True:
+                now = time.monotonic()
+                if not first and now >= deadline:
+                    break
+                is_burst = first
+                if first:
+                    op, params = "run", dict(burst)
+                    first = False
+                elif rng.random() < cold_ratio:
+                    local_cold += 1
+                    op = "compile"
+                    params = {
+                        "sources": _nonce_sources(
+                            programs, scale, f"w{index}-{local_cold}-{seed}"
+                        ),
+                        "mode": "each",
+                    }
+                else:
+                    op, params = warm_pool[rng.randrange(len(warm_pool))]
+                    params = dict(params)
+                started = time.monotonic()
+                try:
+                    response = client.request(op, **params)
+                except ServerBusy as exc:
+                    with lock:
+                        if exc.reason == "quota":
+                            totals["quota_exhausted"] += 1
+                        else:
+                            failures.append({
+                                "tenant": tenant, "op": op,
+                                "error": f"ServerBusy: {exc}",
+                            })
+                    continue
+                except ServeError as exc:
+                    with lock:
+                        failures.append({
+                            "tenant": tenant, "op": op,
+                            "error": f"{type(exc).__name__}: {exc}",
+                        })
+                    continue
+                elapsed = time.monotonic() - started
+                with lock:
+                    samples.append((
+                        tenant, elapsed,
+                        bool(response.get("cached")),
+                        bool(response.get("coalesced")),
+                        is_burst,
+                    ))
+        finally:
+            with lock:
+                totals["busy_replies"] += client.busy_retries
+                totals["transport_retries"] += client.transport_retries
+                totals["cold_sent"] += local_cold
+                for reason, count in client.busy_reasons.items():
+                    totals["busy_reasons"][reason] = (
+                        totals["busy_reasons"].get(reason, 0) + count
+                    )
+            client.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), name=f"soak-{i}", daemon=True)
+        for i in range(concurrency)
+    ]
+    started = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.monotonic() - started
+    if trace is not None:
+        trace.flush()
+
+    per_tenant: dict[str, dict] = {}
+    for tenant, elapsed, cached, coalesced, _ in samples:
+        bucket = per_tenant.setdefault(
+            tenant, {"ok": 0, "cached": 0, "coalesced": 0, "latencies": []}
+        )
+        bucket["ok"] += 1
+        bucket["cached"] += cached
+        bucket["coalesced"] += coalesced
+        bucket["latencies"].append(elapsed)
+    for failure in failures:
+        bucket = per_tenant.setdefault(
+            failure["tenant"],
+            {"ok": 0, "cached": 0, "coalesced": 0, "latencies": []},
+        )
+        bucket["failed"] = bucket.get("failed", 0) + 1
+    tenant_report = {}
+    for tenant, bucket in sorted(per_tenant.items()):
+        latencies = sorted(bucket["latencies"])
+        tenant_report[tenant] = {
+            "ok": bucket["ok"],
+            "failed": bucket.get("failed", 0),
+            "cached": bucket["cached"],
+            "coalesced": bucket["coalesced"],
+            "p50_ms": 1e3 * percentile(latencies, 0.50),
+            "p99_ms": 1e3 * percentile(latencies, 0.99),
+        }
+
+    durations = sorted(elapsed for _, elapsed, _, _, _ in samples)
+    # Only cache hits count as warm latency: a coalesced request may
+    # have joined a *cold* leader (the opening burst does so by
+    # design, and pool items do while the pool is still warming) and
+    # waited out the full compute — deduplication working as intended,
+    # not a warm-path latency signal the p99 gate should read.
+    warm_durations = sorted(
+        elapsed for _, elapsed, cached, _, is_burst in samples
+        if cached and not is_burst
+    )
+    attempted = len(samples) + len(failures) + totals["quota_exhausted"]
+    return {
+        "duration_s": duration,
+        "wall_s": wall,
+        "tenants": tenants,
+        "cold_ratio": cold_ratio,
+        "requests": attempted,
+        "ok": len(samples),
+        "failed": len(failures),
+        "failures": failures[:10],
+        "cold_sent": totals["cold_sent"],
+        "busy_replies": totals["busy_replies"],
+        "busy_reasons": totals["busy_reasons"],
+        "quota_exhausted": totals["quota_exhausted"],
+        "transport_retries": totals["transport_retries"],
+        "coalesced": sum(1 for _, _, _, c, _ in samples if c),
+        "cached": sum(1 for _, _, cached, _, _ in samples if cached),
+        "throughput_rps": len(samples) / wall if wall > 0 else 0.0,
+        "latency_ms": {
+            "p50": 1e3 * percentile(durations, 0.50),
+            "p95": 1e3 * percentile(durations, 0.95),
+            "p99": 1e3 * percentile(durations, 0.99),
+        },
+        "warm_latency_ms": {
+            "count": len(warm_durations),
+            "p50": 1e3 * percentile(warm_durations, 0.50),
+            "p99": 1e3 * percentile(warm_durations, 0.99),
+        },
+        "per_tenant": tenant_report,
+    }
+
+
+def measure_warm_speedup(
+    router: tuple[str, int],
+    single: tuple[str, int],
+    programs: list[str],
+    *,
+    scale: int | None,
+    seed: int,
+    concurrency: int,
+    timeout: float,
+    retries: int,
+    repeat: int = 8,
+) -> dict:
+    """Warm throughput through the router vs. one daemon directly.
+
+    Both measurements replay the same already-warm workload pool
+    against the same shared disk cache, so the comparison isolates the
+    serving topology: N event loops behind a relay vs. one event loop.
+    Run this *after* the reconciliation snapshots — the direct-daemon
+    leg bypasses the router, which would otherwise break the
+    router==daemons counter checks.
+    """
+    pool = build_workload(
+        programs, _SOAK_POOL, seed=seed, scale=scale, concurrency=0
+    )
+    workload = pool * repeat
+    # Prime: make every pool key warm (idempotent if the soak already did).
+    run_phase(router, pool, concurrency, timeout=timeout, retries=retries)
+    fleet = run_phase(
+        router, workload, concurrency, timeout=timeout, retries=retries
+    )
+    direct = run_phase(
+        single, workload, concurrency, timeout=timeout, retries=retries
+    )
+    fleet_rps = fleet["throughput_rps"]
+    single_rps = direct["throughput_rps"]
+    return {
+        "requests": len(workload),
+        "fleet_warm_rps": fleet_rps,
+        "single_warm_rps": single_rps,
+        "speedup": fleet_rps / single_rps if single_rps > 0 else 0.0,
+        "fleet_failed": fleet["failed"],
+        "single_failed": direct["failed"],
+        "fleet_p99_ms": fleet["latency_ms"]["p99"],
+        "single_p99_ms": direct["latency_ms"]["p99"],
+    }
+
+
 def _counter_delta(before: dict, after: dict) -> dict:
     b, a = before["counters"], after["counters"]
     return {key: a[key] - b.get(key, 0) for key in a}
@@ -276,6 +550,137 @@ def reconcile(before: dict, final: dict, phases: dict) -> dict:
             "counters_delta": delta, "checks": checks}
 
 
+def reconcile_soak(
+    before: dict, final: dict, soak: dict, *, error_budget: float = 0.0
+) -> dict:
+    """Fleet-wide reconciliation of a soak run.
+
+    ``before``/``final`` are ``status`` snapshots — either a single
+    daemon's, or the router's fleet payload, whose ``counters`` are
+    the *sum* across daemon status payloads and which carries its own
+    ``router.counters`` section.  The checks tie three ledgers
+    together: what the clients observed, what the router relayed, and
+    what the daemons did — with quota rejections accounted in their
+    own series and never as failures.
+    """
+    delta = _counter_delta(before, final)
+    allowed_failures = int(error_budget * soak["requests"])
+    checks = {
+        "serving_identity": {
+            "ok": delta["completed"]
+            == delta["coalesced"] + delta["cache_hits"] + delta["computed"],
+            "completed": delta["completed"],
+            "coalesced": delta["coalesced"],
+            "cache_hits": delta["cache_hits"],
+            "computed": delta["computed"],
+        },
+        "completed_matches_client": {
+            "ok": delta["completed"] == soak["ok"],
+            "server": delta["completed"], "client": soak["ok"],
+        },
+        "coalescing_observed": {
+            "ok": delta["coalesced"] >= 1, "coalesced": delta["coalesced"],
+        },
+        "failures_within_budget": {
+            "ok": delta["failed"] == 0 and soak["failed"] <= allowed_failures,
+            "server_failed": delta["failed"],
+            "client_failed": soak["failed"],
+            "allowed": allowed_failures,
+        },
+    }
+    router = final.get("router")
+    if router is not None:
+        rbefore = before.get("router", {}).get("counters", {})
+        rdelta = {
+            key: value - rbefore.get(key, 0)
+            for key, value in router["counters"].items()
+        }
+        quota_busy = soak["busy_reasons"].get("quota", 0)
+        checks.update({
+            "router_completed_matches_client": {
+                "ok": rdelta["completed"] == soak["ok"],
+                "router": rdelta["completed"], "client": soak["ok"],
+            },
+            "router_rejected_matches_client_busy": {
+                "ok": rdelta["rejected"] == soak["busy_replies"],
+                "router": rdelta["rejected"], "client": soak["busy_replies"],
+            },
+            "quota_rejections_accounted": {
+                # Separate series on both sides of the wire, and they
+                # agree — a quota rejection is never a failure.
+                "ok": rdelta["quota_rejected"] == quota_busy,
+                "router": rdelta["quota_rejected"], "client": quota_busy,
+            },
+            "daemon_rejections_relayed": {
+                "ok": delta["rejected"] == rdelta["relayed_busy"],
+                "daemons": delta["rejected"], "router": rdelta["relayed_busy"],
+            },
+            "router_zero_failures": {
+                "ok": rdelta["failed"] == 0, "failed": rdelta["failed"],
+            },
+        })
+        checks["router_delta"] = {"ok": True, **rdelta}
+    else:
+        checks["rejected_matches_client_busy"] = {
+            "ok": delta["rejected"] == soak["busy_replies"],
+            "server": delta["rejected"], "client": soak["busy_replies"],
+        }
+    return {"ok": all(check["ok"] for check in checks.values()),
+            "counters_delta": delta, "checks": checks}
+
+
+def metrics_agree_fleet(final: dict, metrics_payload: dict) -> dict:
+    """Fleet exposition vs. the fleet status: the aggregated
+    ``serve_<name>_total`` series (summed by the router across daemon
+    registries) must equal the summed counters in the fleet status
+    payload, and the aggregated per-tenant series must equal the
+    summed ``tenants`` section."""
+    aggregated = metrics_payload.get("fleet", {}).get("counters", [])
+    unlabeled = {
+        series["name"]: series["value"]
+        for series in aggregated if not series["labels"]
+    }
+    mismatches = {}
+    checked = 0
+    for name, value in final["counters"].items():
+        if name == "requests":
+            continue  # admin probes move it between the two samples
+        checked += 1
+        series = f"serve_{name}_total"
+        if unlabeled.get(series) != value:
+            mismatches[series] = {
+                "status": value, "exported": unlabeled.get(series),
+            }
+    by_tenant = {
+        (series["name"], series["labels"].get("tenant")): series["value"]
+        for series in aggregated if "tenant" in series["labels"]
+    }
+    for tenant, kinds in final.get("tenants", {}).items():
+        for kind, value in kinds.items():
+            checked += 1
+            key = (f"serve_tenant_{kind}_total", tenant)
+            if by_tenant.get(key) != value:
+                mismatches[f"{key[0]}{{tenant={tenant}}}"] = {
+                    "status": value, "exported": by_tenant.get(key),
+                }
+    return {"ok": not mismatches, "mismatches": mismatches,
+            "series_checked": checked}
+
+
+def _soak_line(soak: dict) -> str:
+    lat = soak["latency_ms"]
+    return (
+        f" soak: {soak['ok']}/{soak['requests']} ok in "
+        f"{soak['wall_s']:.1f} s ({soak['throughput_rps']:.2f} req/s) | "
+        f"{soak['failed']} failed, {soak['quota_exhausted']} quota-exhausted, "
+        f"busy {soak['busy_replies']} {soak['busy_reasons']} | "
+        f"cold {soak['cold_sent']}, cached {soak['cached']}, "
+        f"coalesced {soak['coalesced']} | "
+        f"p50 {lat['p50']:.1f} ms, p99 {lat['p99']:.1f} ms "
+        f"(warm p99 {soak['warm_latency_ms']['p99']:.1f} ms)"
+    )
+
+
 def _phase_line(name: str, phase: dict) -> str:
     lat = phase["latency_ms"]
     return (
@@ -306,6 +711,34 @@ def main(argv=None) -> int:
     parser.add_argument("--connect", default=None, metavar="HOST:PORT",
                         help="benchmark a running daemon instead of an "
                              "embedded one")
+    parser.add_argument("--fleet", type=int, default=0, metavar="N",
+                        help="embed an N-daemon fleet (router + daemon "
+                             "subprocesses, shared temp cache) instead of "
+                             "a single embedded daemon")
+    parser.add_argument("--quota", action="append", default=None,
+                        metavar="TENANT:KEY=VALUE,...",
+                        help="per-tenant quota for the embedded fleet "
+                             "(repeatable), e.g. 't2:rate=2,burst=2'")
+    parser.add_argument("--soak", action="store_true",
+                        help="duration-based multi-tenant mixed cold/warm "
+                             "soak instead of the two-phase replay")
+    parser.add_argument("--duration", type=float, default=60.0,
+                        help="soak duration in seconds")
+    parser.add_argument("--tenants", type=int, default=3,
+                        help="tenant identities the soak spreads over")
+    parser.add_argument("--cold-ratio", type=float, default=0.25,
+                        help="fraction of soak requests forced cold via "
+                             "a content-key nonce")
+    parser.add_argument("--p99-ms", type=float, default=500.0,
+                        help="soak gate: warm-path (cached/coalesced) "
+                             "client p99 ceiling")
+    parser.add_argument("--error-budget", type=float, default=0.0,
+                        help="soak gate: allowed client failure fraction "
+                             "(quota rejections never count)")
+    parser.add_argument("--speedup-floor", type=float, default=0.0,
+                        help="soak gate against a fleet: warm throughput "
+                             "via the router must be at least this multiple "
+                             "of one daemon's (0 = don't gate)")
     parser.add_argument("--workers", type=int, default=4,
                         help="embedded daemon worker processes")
     parser.add_argument("--queue-limit", type=int, default=32,
@@ -318,8 +751,11 @@ def main(argv=None) -> int:
     parser.add_argument("--trace-dir", default=None,
                         help="collect client/server/worker JSONL trace "
                              "sinks here, merge them into one Chrome "
-                             "trace, and gate on request correlation "
-                             "(embedded daemon only)")
+                             "trace, and gate on request correlation; "
+                             "with --connect only the client sinks are "
+                             "written (point it at the daemon's own "
+                             "--trace-dir and run merge-trace after the "
+                             "drain)")
     parser.add_argument("--shutdown", action="store_true",
                         help="with --connect: send a shutdown request after "
                              "the benchmark (embedded daemons always drain)")
@@ -341,10 +777,36 @@ def main(argv=None) -> int:
     trace_dir = Path(args.trace_dir) if args.trace_dir else None
     if args.connect:
         if trace_dir is not None:
-            parser.error("--trace-dir needs the embedded daemon "
-                         "(worker sinks must land on this filesystem)")
+            # Client sinks only: the daemon side traces via its own
+            # --trace-dir, and its sinks flush on drain — merging here
+            # would race that, so merge-trace runs separately.
+            trace_dir.mkdir(parents=True, exist_ok=True)
         host, _, port = args.connect.rpartition(":")
         address = (host or "127.0.0.1", int(port))
+    elif args.fleet:
+        from repro.serve.fleet import FleetConfig, FleetThread, parse_policy
+
+        cache_dir = args.cache_dir
+        if cache_dir is None:
+            tempdir = tempfile.TemporaryDirectory(prefix="repro-serve-bench-")
+            cache_dir = tempdir.name
+        if trace_dir is not None:
+            trace_dir.mkdir(parents=True, exist_ok=True)
+        thread = FleetThread(
+            FleetConfig(
+                size=args.fleet,
+                workers=args.workers,
+                queue_limit=args.queue_limit,
+                cache_dir=cache_dir,
+                trace_dir=str(trace_dir) if trace_dir is not None else None,
+                quotas=dict(
+                    parse_policy(spec) for spec in args.quota or []
+                ),
+            )
+        )
+        address = thread.start()
+        print(f"embedded fleet on {address[0]}:{address[1]} "
+              f"({args.fleet} daemons, cache: {cache_dir})")
     else:
         from repro.cache import ArtifactCache
         from repro.serve.server import ServeConfig, ServerThread
@@ -374,18 +836,56 @@ def main(argv=None) -> int:
         probe = ServeClient(address, timeout=args.timeout)
         before = probe.status()
         phases = {}
-        for name in ("cold", "warm"):
-            phase_trace = None
+        soak = None
+        warm = None
+        if args.soak:
+            soak_trace = None
             if trace_dir is not None:
-                phase_trace = TraceLog(sink=trace_dir / f"client-{name}.jsonl")
-            phases[name] = run_phase(
-                address, workload, args.concurrency,
-                timeout=args.timeout, retries=args.retries,
-                trace=phase_trace,
+                soak_trace = TraceLog(sink=trace_dir / "client-soak.jsonl")
+            soak = run_soak(
+                address, programs,
+                duration=args.duration, tenants=args.tenants,
+                concurrency=args.concurrency, scale=args.scale,
+                seed=args.seed, timeout=args.timeout, retries=args.retries,
+                cold_ratio=args.cold_ratio, trace=soak_trace,
             )
-            print(_phase_line(name, phases[name]))
-        final = probe.status()
-        metrics = probe.metrics()
+            print(_soak_line(soak))
+            for tenant, row in soak["per_tenant"].items():
+                print(f"  {tenant}: {row['ok']} ok, {row['failed']} failed, "
+                      f"cached {row['cached']}, coalesced {row['coalesced']}, "
+                      f"p99 {row['p99_ms']:.1f} ms")
+            # Snapshot BEFORE the warm-speedup probe: its direct-daemon
+            # leg bypasses the router and would break reconciliation.
+            final = probe.status()
+            metrics = probe.metrics()
+            if final.get("role") == "fleet":
+                healthy = final["router"]["ring"]["healthy"]
+                if healthy:
+                    single = final["daemons"][healthy[0]]["address"]
+                    warm = measure_warm_speedup(
+                        address, (single[0], single[1]), programs,
+                        scale=args.scale, seed=args.seed,
+                        concurrency=args.concurrency,
+                        timeout=args.timeout, retries=args.retries,
+                    )
+                    print(f" warm: fleet {warm['fleet_warm_rps']:.1f} req/s "
+                          f"vs single daemon {warm['single_warm_rps']:.1f} "
+                          f"req/s ({warm['speedup']:.2f}x)")
+        else:
+            for name in ("cold", "warm"):
+                phase_trace = None
+                if trace_dir is not None:
+                    phase_trace = TraceLog(
+                        sink=trace_dir / f"client-{name}.jsonl"
+                    )
+                phases[name] = run_phase(
+                    address, workload, args.concurrency,
+                    timeout=args.timeout, retries=args.retries,
+                    trace=phase_trace,
+                )
+                print(_phase_line(name, phases[name]))
+            final = probe.status()
+            metrics = probe.metrics()
         if args.connect and args.shutdown:
             probe.shutdown()
         probe.close()
@@ -398,7 +898,10 @@ def main(argv=None) -> int:
             tempdir.cleanup()
 
     correlation = None
-    if trace_dir is not None:
+    if trace_dir is not None and args.connect:
+        print(f"client traces: {trace_dir} (remote daemon still "
+              f"flushing; run merge-trace once it drains)")
+    elif trace_dir is not None:
         merged = obs_merge.merge_traces([trace_dir])
         merged_path = trace_dir / "merged.trace.json"
         merged.save_chrome_trace(merged_path)
@@ -407,22 +910,69 @@ def main(argv=None) -> int:
               f"({len(merged.events)} events, "
               f"{correlation['request_ids']} request ids)")
 
-    outcome = reconcile(before, final, phases)
-    exposition = metrics_agree(final, metrics["json"])
-    report = {
-        "bench": "serve",
-        "concurrency": args.concurrency,
-        "requests_per_phase": args.requests,
-        "programs": programs,
-        "scale": args.scale,
-        "seed": args.seed,
-        "phases": phases,
-        "server": {"before": before, "final": final},
-        "metrics": metrics["json"],
-        "reconcile": outcome,
-        "correlation": correlation,
-        "exposition_check": exposition,
-    }
+    fleet_mode = final.get("role") == "fleet"
+    if args.soak:
+        outcome = reconcile_soak(
+            before, final, soak, error_budget=args.error_budget
+        )
+        exposition = (
+            metrics_agree_fleet(final, metrics)
+            if fleet_mode else metrics_agree(final, metrics["json"])
+        )
+        gates = {
+            "warm_p99": {
+                "ok": soak["warm_latency_ms"]["p99"] <= args.p99_ms,
+                "observed_ms": soak["warm_latency_ms"]["p99"],
+                "ceiling_ms": args.p99_ms,
+            },
+            "error_budget": {
+                "ok": soak["failed"]
+                <= int(args.error_budget * soak["requests"]),
+                "failed": soak["failed"],
+                "allowed": int(args.error_budget * soak["requests"]),
+            },
+        }
+        if args.speedup_floor > 0:
+            gates["warm_speedup"] = {
+                "ok": warm is not None
+                and warm["speedup"] >= args.speedup_floor,
+                "observed": warm["speedup"] if warm else None,
+                "floor": args.speedup_floor,
+            }
+        report = {
+            "bench": "serve-soak",
+            "concurrency": args.concurrency,
+            "duration_s": args.duration,
+            "tenants": args.tenants,
+            "programs": programs,
+            "scale": args.scale,
+            "seed": args.seed,
+            "soak": soak,
+            "warm_speedup": warm,
+            "server": {"before": before, "final": final},
+            "reconcile": outcome,
+            "gates": gates,
+            "correlation": correlation,
+            "exposition_check": exposition,
+        }
+    else:
+        outcome = reconcile(before, final, phases)
+        exposition = metrics_agree(final, metrics["json"])
+        gates = {}
+        report = {
+            "bench": "serve",
+            "concurrency": args.concurrency,
+            "requests_per_phase": args.requests,
+            "programs": programs,
+            "scale": args.scale,
+            "seed": args.seed,
+            "phases": phases,
+            "server": {"before": before, "final": final},
+            "metrics": metrics["json"],
+            "reconcile": outcome,
+            "correlation": correlation,
+            "exposition_check": exposition,
+        }
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(f"report: {args.out}")
 
@@ -430,8 +980,15 @@ def main(argv=None) -> int:
         flag = "OK" if check["ok"] else "FAIL"
         detail = {k: v for k, v in check.items() if k != "ok"}
         print(f"  {flag:>4}  {name}  {detail}")
-    failed_requests = sum(phase["failed"] for phase in phases.values())
-    ok = outcome["ok"] and failed_requests == 0
+    for name, gate in gates.items():
+        flag = "OK" if gate["ok"] else "FAIL"
+        detail = {k: v for k, v in gate.items() if k != "ok"}
+        print(f"  {flag:>4}  gate:{name}  {detail}")
+    if args.soak:
+        ok = outcome["ok"] and all(gate["ok"] for gate in gates.values())
+    else:
+        failed_requests = sum(phase["failed"] for phase in phases.values())
+        ok = outcome["ok"] and failed_requests == 0
     if not exposition["ok"]:
         print(f"  FAIL  metrics_exposition  {exposition['mismatches']}")
         ok = False

@@ -30,6 +30,13 @@ correlation.  It is *not* a content field: two requests for the same
 job with different request ids still coalesce and share one cache
 entry; the id only tags the spans each side records, so a merged
 multi-process trace can answer "where did request X spend its time?".
+
+Job requests may also carry a ``tenant`` string (default ``"anon"``).
+Like ``request_id`` it is accounting context, never content: two
+tenants requesting the same job share one cache entry and one flight.
+The fleet router reads it for quota admission and weighted fair
+queueing; daemons count per-tenant completions in labeled registry
+series that the router aggregates fleet-wide.
 """
 
 from __future__ import annotations
@@ -48,6 +55,9 @@ _HEADER_LEN = 4
 #: ``shutdown`` are served inline by the event loop.
 JOB_OPS = ("compile", "link", "run", "explain")
 ADMIN_OPS = ("status", "metrics", "shutdown")
+#: Extra admin ops only the fleet router answers: ``route`` maps a
+#: request's content fields to the daemon that would serve it.
+ROUTER_OPS = ("route",)
 OPS = JOB_OPS + ADMIN_OPS
 
 
@@ -103,6 +113,21 @@ async def read_frame(
     reader: asyncio.StreamReader, *, max_frame: int = MAX_FRAME
 ) -> dict | None:
     """One decoded frame, or None on a clean EOF at a frame boundary."""
+    body = await read_raw_frame(reader, max_frame=max_frame)
+    if body is None:
+        return None
+    return decode_body(body)
+
+
+async def read_raw_frame(
+    reader: asyncio.StreamReader, *, max_frame: int = MAX_FRAME
+) -> bytes | None:
+    """One frame *body*, undecoded, or None on a clean EOF.
+
+    The fleet router reads frames this way so it can relay a request or
+    response verbatim — decoding a private copy for routing decisions
+    but never re-encoding the bytes it forwards (the frame ``id`` is
+    preserved end-to-end, so a response body needs no rewriting)."""
     try:
         header = await reader.readexactly(_HEADER_LEN)
     except asyncio.IncompleteReadError as exc:
@@ -116,7 +141,12 @@ async def read_frame(
         raise TruncatedFrame(
             f"connection closed {length}-byte body short"
         ) from None
-    return decode_body(body)
+    return body
+
+
+def frame_bytes(body: bytes) -> bytes:
+    """The wire frame for an already-encoded body."""
+    return len(body).to_bytes(_HEADER_LEN, "big") + body
 
 
 async def write_frame(
@@ -184,5 +214,12 @@ def error_response(request_id, kind: str, message: str) -> dict:
     return {"id": request_id, "ok": False, "error": {"kind": kind, "message": message}}
 
 
-def busy_response(request_id, retry_after: float) -> dict:
-    return {"id": request_id, "ok": False, "retry_after": retry_after}
+def busy_response(request_id, retry_after: float, *, reason: str | None = None) -> dict:
+    """The backpressure reply.  ``reason`` (optional) tells the client
+    *which* limiter answered — ``"quota"`` for a tenant-quota rejection,
+    ``"upstream"`` for a fleet backend that died mid-request — so load
+    generators can account rejections separately from overload."""
+    response = {"id": request_id, "ok": False, "retry_after": retry_after}
+    if reason is not None:
+        response["reason"] = reason
+    return response

@@ -1,0 +1,273 @@
+"""Tenant isolation for the serve fleet: quotas and fair queueing.
+
+The router is the multi-tenant boundary: every job request carries a
+``tenant`` string (default ``"anon"``), and this module decides what a
+tenant may do *before* any daemon sees the request.
+
+Two mechanisms compose:
+
+* **Quota admission** (:class:`QuotaManager`) — a token bucket per
+  tenant (sustained ``rate`` requests/second with ``burst`` capacity)
+  plus an optional concurrent ``max_inflight`` ceiling.  A request
+  over quota is answered ``retry_after`` with ``reason="quota"`` —
+  the hint is the exact time until the bucket accrues a token, so a
+  well-behaved client's backoff converges on the permitted rate.
+  Rejections are *accounting events, never failures*: they are counted
+  in their own series and excluded from error budgets.
+
+* **Weighted fair queueing** (:class:`FairScheduler`) — once admitted,
+  requests contend for the router's bounded forwarding concurrency.
+  Tenants with queued work are served in start-time-fair virtual-time
+  order (SFQ): each grant advances the tenant's virtual finish time by
+  ``1/weight``, and the lowest finish time is granted next — a tenant
+  with weight 3 gets three grants for every one a weight-1 tenant gets
+  when both have backlog, and an idle tenant's unused share is
+  redistributed instead of accumulating.
+
+Both are plain-asyncio, single-loop objects owned by the router; the
+clock is injectable so tests pin the arithmetic without sleeping.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """What one tenant is entitled to.
+
+    ``rate``/``burst`` bound the sustained request rate (None = no rate
+    quota); ``max_inflight`` bounds concurrently admitted requests
+    (None = unbounded); ``weight`` is the fair-queueing share.
+    """
+
+    weight: float = 1.0
+    rate: float | None = None
+    burst: float = 1.0
+    max_inflight: int | None = None
+
+    def __post_init__(self):
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+        if self.burst < 1.0:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+
+
+def parse_policy(spec: str) -> tuple[str, TenantPolicy]:
+    """Parse a ``--quota`` CLI spec: ``tenant:key=value,key=value``.
+
+    Keys: ``rate`` (req/s), ``burst``, ``weight``, ``inflight``.
+    Example: ``t2:rate=2,burst=4,weight=0.5``.
+    """
+    tenant, sep, body = spec.partition(":")
+    if not tenant or not sep:
+        raise ValueError(f"quota spec {spec!r} wants 'tenant:key=value,...'")
+    kwargs: dict = {}
+    keys = {"rate": "rate", "burst": "burst", "weight": "weight",
+            "inflight": "max_inflight"}
+    for item in body.split(","):
+        key, eq, value = item.partition("=")
+        if not eq or key not in keys:
+            raise ValueError(
+                f"quota spec {spec!r}: bad item {item!r} "
+                f"(keys: {', '.join(keys)})"
+            )
+        kwargs[keys[key]] = int(value) if key == "inflight" else float(value)
+    return tenant, TenantPolicy(**kwargs)
+
+
+class _TenantState:
+    __slots__ = ("tokens", "refilled_at", "inflight",
+                 "admitted", "rejected_rate", "rejected_inflight")
+
+    def __init__(self, burst: float, now: float):
+        self.tokens = burst
+        self.refilled_at = now
+        self.inflight = 0
+        self.admitted = 0
+        self.rejected_rate = 0
+        self.rejected_inflight = 0
+
+
+class QuotaManager:
+    """Per-tenant token buckets and in-flight ceilings.
+
+    Single-loop discipline (the router owns it); no internal locking.
+    """
+
+    def __init__(
+        self,
+        policies: dict[str, TenantPolicy] | None = None,
+        *,
+        default: TenantPolicy | None = None,
+        retry_after: float = 0.05,
+        clock=time.monotonic,
+    ):
+        self._policies = dict(policies or {})
+        self._default = default or TenantPolicy()
+        self._retry_after = retry_after
+        self._clock = clock
+        self._states: dict[str, _TenantState] = {}
+
+    def policy(self, tenant: str) -> TenantPolicy:
+        return self._policies.get(tenant, self._default)
+
+    def weight(self, tenant: str) -> float:
+        return self.policy(tenant).weight
+
+    def _state(self, tenant: str) -> _TenantState:
+        state = self._states.get(tenant)
+        if state is None:
+            state = _TenantState(self.policy(tenant).burst, self._clock())
+            self._states[tenant] = state
+        return state
+
+    def try_admit(self, tenant: str) -> float | None:
+        """Admit one request, or return a ``retry_after`` hint.
+
+        ``None`` means admitted — the caller MUST :meth:`release` when
+        the request completes.  A float is the seconds until retrying
+        is worthwhile (exact for rate quotas, the configured default
+        for in-flight ceilings, whose drain time is unknowable here).
+        """
+        policy = self.policy(tenant)
+        state = self._state(tenant)
+        if policy.rate is not None:
+            now = self._clock()
+            state.tokens = min(
+                policy.burst,
+                state.tokens + (now - state.refilled_at) * policy.rate,
+            )
+            state.refilled_at = now
+        if (
+            policy.max_inflight is not None
+            and state.inflight >= policy.max_inflight
+        ):
+            state.rejected_inflight += 1
+            return self._retry_after
+        if policy.rate is not None:
+            if state.tokens < 1.0:
+                state.rejected_rate += 1
+                return (1.0 - state.tokens) / policy.rate
+            state.tokens -= 1.0
+        state.inflight += 1
+        state.admitted += 1
+        return None
+
+    def release(self, tenant: str) -> None:
+        state = self._state(tenant)
+        if state.inflight <= 0:
+            raise RuntimeError(f"release without admit for tenant {tenant!r}")
+        state.inflight -= 1
+
+    def snapshot(self) -> dict:
+        """Per-tenant accounting for the router's status payload."""
+        out = {}
+        for tenant, state in sorted(self._states.items()):
+            policy = self.policy(tenant)
+            out[tenant] = {
+                "admitted": state.admitted,
+                "rejected_rate": state.rejected_rate,
+                "rejected_inflight": state.rejected_inflight,
+                "inflight": state.inflight,
+                "weight": policy.weight,
+                "rate": policy.rate,
+                "burst": policy.burst,
+                "max_inflight": policy.max_inflight,
+            }
+        return out
+
+
+class FairScheduler:
+    """Start-time-fair queueing of admitted requests onto a bounded
+    forwarding concurrency.
+
+    ``await acquire(tenant)`` returns when a slot is granted;
+    ``release()`` frees a slot and grants the backlogged tenant with
+    the lowest virtual finish time.  Virtual time only advances with
+    grants, so an idle system costs nothing and a newly busy tenant
+    starts at the current virtual time (no banked credit).
+    """
+
+    def __init__(self, limit: int, weight_for=None):
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        self._limit = limit
+        self._weight_for = weight_for or (lambda tenant: 1.0)
+        self._inflight = 0
+        self._queues: dict[str, deque] = {}
+        self._finish: dict[str, float] = {}
+        self._vtime = 0.0
+        self.granted = 0
+        self.queued = 0
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    def backlog(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def _advance(self, tenant: str) -> None:
+        start = max(self._vtime, self._finish.get(tenant, 0.0))
+        weight = max(self._weight_for(tenant), 1e-9)
+        self._finish[tenant] = start + 1.0 / weight
+        self._vtime = start
+        self.granted += 1
+
+    def _grant_next(self) -> None:
+        while self._inflight < self._limit and self._queues:
+            best = None
+            best_key = None
+            for tenant, queue in self._queues.items():
+                # Skip abandoned waiters (acquire timed out / cancelled).
+                while queue and queue[0].cancelled():
+                    queue.popleft()
+                if not queue:
+                    continue
+                key = max(self._vtime, self._finish.get(tenant, 0.0))
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = tenant
+            for tenant in [t for t, q in self._queues.items() if not q]:
+                del self._queues[tenant]
+            if best is None:
+                return
+            future = self._queues[best].popleft()
+            if not self._queues[best]:
+                del self._queues[best]
+            self._inflight += 1
+            self._advance(best)
+            future.set_result(None)
+
+    async def acquire(self, tenant: str) -> None:
+        if self._inflight < self._limit and not self._queues:
+            self._inflight += 1
+            self._advance(tenant)
+            return
+        future = asyncio.get_running_loop().create_future()
+        self._queues.setdefault(tenant, deque()).append(future)
+        self.queued += 1
+        # A free slot with queued peers still queues (fairness), so a
+        # grant pass must run in case this waiter is next anyway.
+        self._grant_next()
+        try:
+            await future
+        except asyncio.CancelledError:
+            if future.done() and not future.cancelled():
+                # Granted and cancelled in the same tick (wait_for
+                # timeout racing set_result): give the slot back.
+                self.release()
+            raise
+
+    def release(self) -> None:
+        if self._inflight <= 0:
+            raise RuntimeError("release without acquire")
+        self._inflight -= 1
+        self._grant_next()

@@ -33,6 +33,7 @@ from __future__ import annotations
 import asyncio
 import functools
 import json
+import multiprocessing
 import os
 import threading
 import time
@@ -215,8 +216,15 @@ class ToolchainServer:
     async def start(self) -> tuple[str, int]:
         """Bind the listener and spin up the pool: (host, port)."""
         if self._executor is None:
+            # Spawned, not forked: pool workers are created lazily, after
+            # the listener binds, and a forked worker would inherit the
+            # listening socket — a SIGKILL'd daemon would then leave an
+            # orphan holding its port open (connects succeed, nothing
+            # answers), which is exactly the hang a fleet router must
+            # never see from a dead backend.
             self._executor = ProcessPoolExecutor(
                 max_workers=self.config.workers,
+                mp_context=multiprocessing.get_context("spawn"),
                 initializer=workers.initialize_worker,
                 initargs=(
                     str(self.cache.root) if self.cache is not None else None,
@@ -309,6 +317,10 @@ class ToolchainServer:
         if self.draining:
             return protocol.error_response(rid, "draining", "server is draining")
 
+        # Accounting identity only — never part of the content key, so
+        # tenants share cache entries and flights.
+        tenant = str(message.get("tenant") or "anon")
+
         # The correlation id the client minted; requests without one
         # still get server-side correlation under a server-minted id.
         request_id = message.get("request_id")
@@ -333,9 +345,11 @@ class ToolchainServer:
             result, cached, coalesced = await self._job(op, payload, request_id)
         except BusyError as exc:
             self.counters.inc("rejected")
+            self._tenant_inc("rejected", tenant)
             return protocol.busy_response(rid, exc.retry_after)
         except JobFailed as exc:
             self.counters.inc("failed")
+            self._tenant_inc("failed", tenant)
             return protocol.error_response(rid, exc.kind, str(exc))
         finally:
             self._pending -= 1
@@ -345,6 +359,7 @@ class ToolchainServer:
                 self._idle.set()
         self.latency[op].observe(duration)
         self.counters.inc("completed")
+        self._tenant_inc("completed", tenant)
         if coalesced:
             self.counters.inc("coalesced")
         elif cached:
@@ -516,6 +531,32 @@ class ToolchainServer:
             )
         return result, False
 
+    # -- per-tenant accounting ----------------------------------------------
+
+    def _tenant_inc(self, kind: str, tenant: str) -> None:
+        """One labeled per-tenant series per outcome kind.  Lazily
+        registered (tenants are discovered from traffic); registration
+        is idempotent on ``(name, labels)`` so this is one dict probe
+        per request after the first."""
+        self.metrics.counter(
+            f"serve_tenant_{kind}_total",
+            f"per-tenant job requests {kind}",
+            tenant=tenant,
+        ).inc()
+
+    def tenants(self) -> dict:
+        """``{tenant: {kind: value}}`` — what the fleet router sums."""
+        out: dict[str, dict[str, int]] = {}
+        prefix, suffix = "serve_tenant_", "_total"
+        for metric in self.metrics:
+            name = metric.name
+            if not (name.startswith(prefix) and name.endswith(suffix)):
+                continue
+            kind = name[len(prefix):-len(suffix)]
+            tenant = metric.labels.get("tenant", "?")
+            out.setdefault(tenant, {})[kind] = metric.value
+        return out
+
     # -- introspection -----------------------------------------------------
 
     def queue_depth(self) -> int:
@@ -533,6 +574,7 @@ class ToolchainServer:
             "active_jobs": self._active_jobs,
             "queue_depth": self.queue_depth(),
             "counters": self.counters.to_dict(),
+            "tenants": self.tenants(),
             "flights": {
                 "started": self.flights.started,
                 "coalesced": self.flights.coalesced,

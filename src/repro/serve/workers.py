@@ -24,6 +24,7 @@ corrupt another job's inputs — the same cache-boundary discipline as
 from __future__ import annotations
 
 import os
+import time
 import traceback
 from pathlib import Path
 
@@ -67,6 +68,27 @@ _WPO_CACHE = None
 _TRACE = None
 
 
+def _watch_parent(parent_pid: int) -> None:
+    """Exit when the daemon that owns this pool dies uncleanly.
+
+    A SIGKILL'd (or OOM-killed) daemon gets no chance to shut its
+    executor down, so its spawned workers would be reparented to init
+    and block on the call pipe forever — and a fleet that auto-restarts
+    the daemon would leak one worker set per kill.  A daemon thread
+    polling the parent pid turns that into a prompt, silent exit;
+    graceful drains still reap workers through ``Executor.shutdown``
+    before this ever fires.
+    """
+    import threading
+
+    def watch() -> None:
+        while os.getppid() == parent_pid:
+            time.sleep(1.0)
+        os._exit(0)
+
+    threading.Thread(target=watch, name="parent-watch", daemon=True).start()
+
+
 def initialize_worker(
     cache_root: str | None, stamp: str | None, trace_dir: str | None = None
 ) -> None:
@@ -88,6 +110,7 @@ def initialize_worker(
     global _WPO_CACHE, _TRACE
     from repro.cache import ArtifactCache
 
+    _watch_parent(os.getppid())
     _TRACE = None
     if trace_dir:
         path = Path(trace_dir)

@@ -202,6 +202,26 @@ def _run(args) -> int:
 def _serve(args) -> int:
     import asyncio
 
+    if args.fleet:
+        from repro.serve.fleet import FleetConfig, fleet_main, parse_policy
+        from repro.serve.router import RouterConfig
+
+        quotas = dict(parse_policy(spec) for spec in args.quota or [])
+        fleet_config = FleetConfig(
+            size=args.fleet,
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            retry_after=args.retry_after,
+            run_budget=args.run_budget,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            trace_dir=args.trace_dir,
+            quotas=quotas,
+        )
+        router_config = RouterConfig(
+            host=args.host, port=args.port, retry_after=args.retry_after
+        )
+        return asyncio.run(fleet_main(fleet_config, router_config))
+
     from repro.cache import ArtifactCache, compute_toolchain_stamp
     from repro.obs.trace import TraceLog
     from repro.serve.server import ServeConfig, serve_main
@@ -368,6 +388,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="directory for per-pid worker trace sinks "
                             "(worker-<pid>.jsonl), mergeable with "
                             "merge-trace")
+    serve.add_argument("--fleet", type=int, default=0, metavar="N",
+                       help="run N daemons behind a consistent-hash "
+                            "router sharing one cache root (0 = single "
+                            "daemon, the default)")
+    serve.add_argument("--quota", action="append", default=None,
+                       metavar="TENANT:KEY=VALUE,...",
+                       help="per-tenant quota for fleet mode, e.g. "
+                            "'t2:rate=2,burst=4,weight=0.5' (repeatable; "
+                            "keys: rate, burst, weight, inflight)")
     serve.set_defaults(func=_serve)
 
     metrics = sub.add_parser(

@@ -6,6 +6,7 @@ so every retry/timeout/backoff path is exercised deterministically,
 without a toolchain in sight.
 """
 
+import random
 import socket
 import threading
 
@@ -27,7 +28,8 @@ class FakeServer:
     Each element of ``script`` handles one accepted connection:
 
     * ``"drop"``        — close immediately (clean EOF before a reply);
-    * ``"busy:<s>"``    — answer every request with retry-after <s>;
+    * ``"busy:<s>[:reason]"`` — answer every request with retry-after
+      <s> (optionally tagged with a rejection ``reason``);
     * ``"busy-once:<s>"`` — retry-after <s> for the first request on
       the connection, ok afterwards;
     * ``"silent"``      — read requests, never reply;
@@ -95,8 +97,12 @@ class FakeServer:
             if step.startswith("busy:") or (
                 step.startswith("busy-once:") and answered == 0
             ):
-                hint = float(step.rsplit(":", 1)[1])
-                protocol.send_frame(conn, protocol.busy_response(rid, hint))
+                parts = step.split(":")
+                hint = float(parts[1])
+                reason = parts[2] if len(parts) > 2 else None
+                protocol.send_frame(
+                    conn, protocol.busy_response(rid, hint, reason=reason)
+                )
                 answered += 1
                 continue
             if step.startswith("busy-once:"):
@@ -154,13 +160,17 @@ def test_connection_refused_is_retried_then_raised():
 
     sleeps = []
     client = ServeClient(
-        address, timeout=5, retries=3, backoff=0.01, sleep=sleeps.append
+        address, timeout=5, retries=3, backoff=0.01,
+        sleep=sleeps.append, rng=random.Random(7),
     )
     with pytest.raises(ConnectionFailed):
         client.request("status")
     assert client.transport_retries == 3
-    # Exponential backoff between attempts: 0.01, 0.02, 0.04.
-    assert sleeps == [0.01, 0.02, 0.04]
+    # Full jitter: each pause is a uniform draw from the capped
+    # exponential window 0.01 * 2^attempt.
+    assert len(sleeps) == 3
+    for delay, window in zip(sleeps, [0.01, 0.02, 0.04]):
+        assert 0.0 <= delay <= window
 
 
 def test_garbage_reply_is_retried_on_a_fresh_connection():
@@ -197,6 +207,74 @@ def test_server_busy_carries_attempts_and_hint():
         assert err.value.attempts == 3
         assert err.value.retry_after == pytest.approx(0.5)
         assert client.busy_retries == 3
+
+
+def test_full_jitter_decorrelates_two_clients():
+    """Satellite: two clients backing off from the same busy burst must
+    draw *distinct* sleep schedules — deterministic backoff would
+    re-synchronize a coalesce burst into a retry storm."""
+    schedules = []
+    for seed in (1, 2):
+        sleeps = []
+        with FakeServer(["busy:0.0"]) as server:
+            client = ServeClient(
+                server.address, timeout=5, retries=4,
+                backoff=0.05, backoff_cap=2.0,
+                sleep=sleeps.append, rng=random.Random(seed),
+            )
+            with pytest.raises(ServerBusy):
+                client.request("run")
+            client.close()
+        assert len(sleeps) == 4
+        schedules.append(sleeps)
+    assert schedules[0] != schedules[1]
+    # Every draw stays inside its exponential window.
+    for sleeps in schedules:
+        for delay, window in zip(sleeps, [0.05, 0.1, 0.2, 0.4]):
+            assert 0.0 <= delay <= window
+
+
+def test_jitter_is_reproducible_for_equal_seeds():
+    schedules = []
+    for _ in range(2):
+        sleeps = []
+        with FakeServer(["busy:0.0"]) as server:
+            client = ServeClient(
+                server.address, timeout=5, retries=3,
+                backoff=0.05, sleep=sleeps.append, rng=random.Random(9),
+            )
+            with pytest.raises(ServerBusy):
+                client.request("run")
+            client.close()
+        schedules.append(sleeps)
+    assert schedules[0] == schedules[1]
+
+
+def test_jittered_pause_is_floored_at_the_server_hint():
+    """The server knows when capacity frees up: a draw below its
+    ``retry_after`` hint is raised to the hint (and still capped)."""
+    sleeps = []
+    with FakeServer(["busy:0.2"]) as server:
+        client = ServeClient(
+            server.address, timeout=5, retries=3,
+            backoff=0.001, backoff_cap=2.0,
+            sleep=sleeps.append, rng=random.Random(3),
+        )
+        with pytest.raises(ServerBusy):
+            client.request("run")
+        client.close()
+    # Window (0.001 * 2^n) is far below the 0.2 s hint: floored exactly.
+    assert sleeps == [pytest.approx(0.2)] * 3
+
+
+def test_busy_reason_is_tracked_and_carried():
+    with FakeServer(["busy:0.1:quota"]) as server:
+        client = _client(server, retries=2)
+        with pytest.raises(ServerBusy) as err:
+            client.request("run")
+        client.close()
+    assert err.value.reason == "quota"
+    assert client.busy_reasons == {"quota": 3}
 
 
 def test_backoff_is_capped():
