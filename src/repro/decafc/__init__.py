@@ -1,0 +1,45 @@
+"""Decaf: the second frontend.
+
+A compact Decaf-class object language — classes with fields and
+virtual methods, single inheritance, ``new``, dynamic dispatch,
+strings, arrays, and a plain ``main`` entry — compiled to the same
+conservative 64-bit address-calculation model as MiniC, through the
+same IR, optimizer, scheduler, and object-file emitter.
+
+Why it exists: every link-time layer (OM, layout/PGO, WPO sharding,
+the JIT, the serve fleet) was built against one code generator, so
+frontend-shaped assumptions went untested.  Decaf stresses exactly the
+shapes MiniC is light on:
+
+* **vtables** — per-class data-section pointer tables (``Class.$vtable``,
+  one REFQUAD per slot against the ``Class.method`` procedures), which
+  OM must carry symbolically, GC must treat as roots, and layout must
+  relocate;
+* **allocation-site address loads** — every ``new C()`` loads
+  ``C.$vtable`` through the GAT, giving OM's address-load removal real
+  Decaf work;
+* **function-pointer-dense calls** — every method call is indirect
+  (load vtable, load slot, ``jsr`` through PV), the call shape the JIT
+  measured as its speedup floor.
+
+The runtime model is the stdlib's bump allocator: ``new`` calls
+``heap_alloc`` (and ``memset64`` for ``new int[n]``), so Decaf
+programs always link against ``libmc`` — mixed-language linking is the
+default, not a special case.
+"""
+
+from repro.decafc.driver import (
+    Options,
+    compile_all,
+    compile_module,
+    parse_source,
+)
+from repro.minicc.errors import CompileError
+
+__all__ = [
+    "CompileError",
+    "Options",
+    "compile_module",
+    "compile_all",
+    "parse_source",
+]

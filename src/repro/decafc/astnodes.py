@@ -1,0 +1,244 @@
+"""Decaf abstract syntax.
+
+Plain dataclasses, mirroring :mod:`repro.minicc.astnodes`: statements
+and expressions carry their source line first for diagnostics.  Types
+are spelled as strings — ``"int"`` for the word type, a class name for
+references, ``"void"`` for value-less returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# -- declarations ------------------------------------------------------------
+
+
+@dataclass
+class FieldDecl:
+    name: str
+    type: str  # "int" or a class name
+    line: int
+
+
+@dataclass
+class MethodDecl:
+    name: str
+    params: list[tuple[str, str]]  # (name, type)
+    ret: str  # "int", "void", or a class name
+    body: "Block | None"  # None for prototypes (extern classes)
+    line: int
+
+
+@dataclass
+class ClassDecl:
+    name: str
+    base: str | None
+    fields: list[FieldDecl]
+    methods: list[MethodDecl]
+    is_extern: bool
+    line: int
+
+
+@dataclass
+class GlobalVar:
+    name: str
+    type: str
+    array_size: int | None
+    init: list[int] | None
+    static: bool
+    extern: bool
+    line: int
+
+
+@dataclass
+class FuncDef:
+    name: str
+    params: list[tuple[str, str]]
+    ret: str
+    body: "Block"
+    static: bool
+    line: int
+
+
+@dataclass
+class FuncProto:
+    name: str
+    params: list[tuple[str, str]]
+    ret: str
+    line: int
+
+
+@dataclass
+class Program:
+    name: str
+    classes: list[ClassDecl] = field(default_factory=list)
+    globals: list[GlobalVar] = field(default_factory=list)
+    functions: list[FuncDef] = field(default_factory=list)
+    protos: list[FuncProto] = field(default_factory=list)
+
+
+# -- statements --------------------------------------------------------------
+
+
+class Stmt:
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    line: int
+    body: list[Stmt]
+
+
+@dataclass
+class LocalDecl(Stmt):
+    line: int
+    name: str
+    type: str
+    array_size: int | None
+    init: "Expr | None"
+
+
+@dataclass
+class ExprStmt(Stmt):
+    line: int
+    expr: "Expr"
+
+
+@dataclass
+class If(Stmt):
+    line: int
+    cond: "Expr"
+    then: Stmt
+    other: Stmt | None
+
+
+@dataclass
+class While(Stmt):
+    line: int
+    cond: "Expr"
+    body: Stmt
+
+
+@dataclass
+class For(Stmt):
+    line: int
+    init: "Expr | None"
+    cond: "Expr | None"
+    step: "Expr | None"
+    body: Stmt
+
+
+@dataclass
+class Return(Stmt):
+    line: int
+    value: "Expr | None"
+
+
+@dataclass
+class Break(Stmt):
+    line: int
+
+
+@dataclass
+class Continue(Stmt):
+    line: int
+
+
+# -- expressions -------------------------------------------------------------
+
+
+class Expr:
+    pass
+
+
+@dataclass
+class Num(Expr):
+    line: int
+    value: int
+
+
+@dataclass
+class Str(Expr):
+    line: int
+    value: str
+
+
+@dataclass
+class Null(Expr):
+    line: int
+
+
+@dataclass
+class This(Expr):
+    line: int
+
+
+@dataclass
+class Var(Expr):
+    line: int
+    name: str
+
+
+@dataclass
+class New(Expr):
+    line: int
+    class_name: str
+
+
+@dataclass
+class NewArray(Expr):
+    line: int
+    size: Expr
+
+
+@dataclass
+class FieldAccess(Expr):
+    line: int
+    obj: Expr
+    name: str
+
+
+@dataclass
+class MethodCall(Expr):
+    line: int
+    obj: Expr
+    name: str
+    args: list[Expr]
+
+
+@dataclass
+class Call(Expr):
+    line: int
+    name: str
+    args: list[Expr]
+
+
+@dataclass
+class Index(Expr):
+    line: int
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class Unary(Expr):
+    line: int
+    op: str
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    line: int
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Assign(Expr):
+    line: int
+    target: Expr
+    value: Expr

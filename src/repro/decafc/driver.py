@@ -1,0 +1,58 @@
+"""Decaf compiler driver: source text to relocatable object module.
+
+The back half is shared with MiniC: Decaf lowers to the same IR, runs
+the same optimizer and scheduler, and emits through the same
+:class:`~repro.isa.asm.Assembler` (via
+:func:`repro.minicc.driver.generate_object`).  A Decaf object module is
+therefore indistinguishable to the linker, OM, layout/PGO, WPO
+sharding, and the JIT from a MiniC one — which is the point.
+
+``compile_all`` merges several Decaf sources into one unit (inlining
+direct calls; virtual dispatch stays indirect — devirtualization is
+future work for OM, not the frontend).
+"""
+
+from __future__ import annotations
+
+from repro.decafc import astnodes as ast
+from repro.decafc.irgen import lower_program
+from repro.decafc.parser import parse
+from repro.decafc.sema import analyze, merge_programs
+from repro.minicc.driver import Options, generate_object
+from repro.minicc.inline import inline_module
+from repro.minicc.opt import optimize_module
+from repro.objfile.objfile import ObjectFile
+
+
+def parse_source(source: str, name: str) -> ast.Program:
+    """Parse one translation unit (exposed for tools and tests)."""
+    return parse(source, name)
+
+
+def compile_module(
+    source: str, name: str, options: Options | None = None
+) -> ObjectFile:
+    """Compile one Decaf source file separately (compile-each mode)."""
+    program = parse(source, name)
+    analyze(program)
+    return _compile_unit(program, mode="each", options=options or Options())
+
+
+def compile_all(
+    sources: list[tuple[str, str]], unit_name: str, options: Options | None = None
+) -> ObjectFile:
+    """Compile several Decaf sources as a single unit (compile-all mode)."""
+    programs = [parse(text, name) for name, text in sources]
+    merged = merge_programs(programs, unit_name)
+    return _compile_unit(merged, mode="all", options=options or Options())
+
+
+def _compile_unit(
+    program: ast.Program, mode: str, options: Options
+) -> ObjectFile:
+    irmod = lower_program(program)
+    if mode == "all" and options.inline:
+        inline_module(irmod)
+    if options.optimize:
+        optimize_module(irmod)
+    return generate_object(irmod, mode, options)

@@ -1,0 +1,686 @@
+"""Lowering from Decaf AST to the shared three-address IR.
+
+Decaf reuses :mod:`repro.minicc.ir` wholesale — the optimizer, the
+scheduler, and code generation never learn a second IR.  The object
+model lowers to plain loads and stores:
+
+* ``new C()`` — ``heap_alloc(1 + nfields)`` words, store the address
+  of ``C.$vtable`` at word 0 (a GAT-resident literal, so every
+  allocation site is an address load OM can optimize), zero the
+  fields (the bump allocator does not);
+* ``e.f`` — a load at byte ``8*(1+index)`` off the reference;
+* ``e.m(a, b)`` — load the vtable pointer from word 0, load slot
+  ``8*slot``, and ``CallPtr`` with the receiver as first argument —
+  the function-pointer-dense call shape the JIT measured as its floor.
+
+Method bodies are ordinary IR functions named ``Class.method`` (the
+``.`` keeps them out of both languages' identifier space, and keeps
+the ``proc$label`` convention unambiguous).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.decafc import astnodes as ast
+from repro.decafc.sema import (
+    BUILTINS,
+    WORD,
+    ClassInfo,
+    ProgramSyms,
+    analyze,
+)
+from repro.minicc import ir
+from repro.minicc.errors import CompileError
+
+#: Pseudo-type of the ``null`` literal: assignable anywhere, never
+#: dispatchable.
+NULL_T = "$null"
+
+
+@dataclass
+class _LoopCtx:
+    break_label: str
+    continue_label: str
+
+
+class FuncLowerer:
+    """Lowers one Decaf function or method body to an :class:`ir.IRFunc`."""
+
+    def __init__(
+        self,
+        syms: ProgramSyms,
+        name: str,
+        params: list[tuple[str, str]],
+        ret: str,
+        body: ast.Block,
+        line: int,
+        filename: str,
+        string_pool: dict[str, str],
+        cls: ClassInfo | None = None,
+        exported: bool = True,
+    ):
+        self.syms = syms
+        self.cls = cls
+        self.ret = ret
+        self.body = body
+        self.line = line
+        self.filename = filename
+        self.string_pool = string_pool
+        self.func = ir.IRFunc(name, [p for p, __ in params], exported=exported)
+        self.scopes: list[dict[str, int]] = [{}]
+        self.local_types: dict[int, str] = {}
+        self.loops: list[_LoopCtx] = []
+        self.loop_depth = 0
+        for pname, ptype in params:
+            self._declare_local(pname, line, type=ptype)
+
+    # -- plumbing -----------------------------------------------------------
+
+    def emit(self, instr: ir.Instr) -> ir.Instr:
+        self.func.body.append(instr)
+        return instr
+
+    def error(self, message: str, line: int) -> CompileError:
+        return CompileError(message, self.filename, line)
+
+    def _declare_local(
+        self,
+        name: str,
+        line: int,
+        size: int = 8,
+        is_array: bool = False,
+        type: str = WORD,
+    ) -> int:
+        scope = self.scopes[-1]
+        if name in scope:
+            raise self.error(f"duplicate local {name!r}", line)
+        index = len(self.func.locals)
+        self.func.locals.append(ir.IRLocal(name, size, is_array))
+        self.local_types[index] = type
+        scope[name] = index
+        return index
+
+    def _lookup_local(self, name: str) -> int | None:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    def _weight(self) -> float:
+        return float(8 ** min(self.loop_depth, 3))
+
+    def _touch(self, local: int) -> None:
+        self.func.locals[local].weight += self._weight()
+
+    def _class_of(self, type_name: str, line: int, what: str) -> ClassInfo:
+        info = self.syms.classes.get(type_name)
+        if info is None:
+            raise self.error(f"{what} on non-object expression", line)
+        return info
+
+    # -- lowering entry point ----------------------------------------------
+
+    def lower(self) -> ir.IRFunc:
+        self.gen_stmt(self.body)
+        body = self.func.body
+        if not body or not isinstance(body[-1], ir.Ret):
+            self.emit(ir.Ret(self.line, None))
+        return self.func
+
+    # -- statements ---------------------------------------------------------
+
+    def gen_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self.scopes.append({})
+            for inner in stmt.body:
+                self.gen_stmt(inner)
+            self.scopes.pop()
+        elif isinstance(stmt, ast.ExprStmt):
+            expr = stmt.expr
+            if isinstance(expr, (ast.Call, ast.MethodCall)):
+                self._gen_call_like(expr, want_result=False)
+            else:
+                self.gen_expr(expr)
+        elif isinstance(stmt, ast.LocalDecl):
+            self._gen_local_decl(stmt)
+        elif isinstance(stmt, ast.If):
+            self._gen_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._gen_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._gen_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            value = None
+            if stmt.value is not None:
+                value, __ = self.gen_expr(stmt.value)
+            self.emit(ir.Ret(stmt.line, value))
+        elif isinstance(stmt, ast.Break):
+            if not self.loops:
+                raise self.error("break outside loop", stmt.line)
+            self.emit(ir.Jump(stmt.line, self.loops[-1].break_label))
+        elif isinstance(stmt, ast.Continue):
+            if not self.loops:
+                raise self.error("continue outside loop", stmt.line)
+            self.emit(ir.Jump(stmt.line, self.loops[-1].continue_label))
+        else:  # pragma: no cover - parser produces no other nodes
+            raise self.error(
+                f"unhandled statement {type(stmt).__name__}", stmt.line
+            )
+
+    def _gen_local_decl(self, stmt: ast.LocalDecl) -> None:
+        if stmt.array_size is not None:
+            if stmt.array_size <= 0:
+                raise self.error("array size must be positive", stmt.line)
+            self._declare_local(
+                stmt.name, stmt.line, size=8 * stmt.array_size, is_array=True
+            )
+            return
+        if stmt.type != WORD and stmt.type not in self.syms.classes:
+            raise self.error(f"unknown type {stmt.type!r}", stmt.line)
+        index = self._declare_local(stmt.name, stmt.line, type=stmt.type)
+        if stmt.init is not None:
+            value, __ = self.gen_expr(stmt.init)
+            self._touch(index)
+            self.emit(ir.StoreLocal(stmt.line, index, value))
+
+    def _gen_if(self, stmt: ast.If) -> None:
+        then_label = self.func.new_label("then")
+        end_label = self.func.new_label("endif")
+        else_label = self.func.new_label("else") if stmt.other else end_label
+        self.gen_cond(stmt.cond, then_label, else_label)
+        self.emit(ir.Label(stmt.line, then_label))
+        self.gen_stmt(stmt.then)
+        if stmt.other is not None:
+            self.emit(ir.Jump(stmt.line, end_label))
+            self.emit(ir.Label(stmt.line, else_label))
+            self.gen_stmt(stmt.other)
+        self.emit(ir.Label(stmt.line, end_label))
+
+    def _gen_while(self, stmt: ast.While) -> None:
+        body_label = self.func.new_label("loop")
+        test_label = self.func.new_label("test")
+        end_label = self.func.new_label("endloop")
+        self.emit(ir.Jump(stmt.line, test_label))
+        self.emit(ir.Label(stmt.line, body_label))
+        self.loops.append(_LoopCtx(end_label, test_label))
+        self.loop_depth += 1
+        self.gen_stmt(stmt.body)
+        self.loop_depth -= 1
+        self.loops.pop()
+        self.emit(ir.Label(stmt.line, test_label))
+        self.gen_cond(stmt.cond, body_label, end_label)
+        self.emit(ir.Label(stmt.line, end_label))
+
+    def _gen_for(self, stmt: ast.For) -> None:
+        body_label = self.func.new_label("loop")
+        step_label = self.func.new_label("step")
+        test_label = self.func.new_label("test")
+        end_label = self.func.new_label("endloop")
+        if stmt.init is not None:
+            self.gen_expr(stmt.init)
+        self.emit(ir.Jump(stmt.line, test_label))
+        self.emit(ir.Label(stmt.line, body_label))
+        self.loops.append(_LoopCtx(end_label, step_label))
+        self.loop_depth += 1
+        self.gen_stmt(stmt.body)
+        self.loop_depth -= 1
+        self.loops.pop()
+        self.emit(ir.Label(stmt.line, step_label))
+        if stmt.step is not None:
+            self.gen_expr(stmt.step)
+        self.emit(ir.Label(stmt.line, test_label))
+        if stmt.cond is not None:
+            self.gen_cond(stmt.cond, body_label, end_label)
+        else:
+            self.emit(ir.Jump(stmt.line, body_label))
+        self.emit(ir.Label(stmt.line, end_label))
+
+    # -- conditions ----------------------------------------------------------
+
+    _COND_CMP = {
+        "<": ("cmplt", False),
+        "<=": ("cmple", False),
+        ">": ("cmplt", True),
+        ">=": ("cmple", True),
+    }
+
+    def gen_cond(self, expr: ast.Expr, if_true: str, if_false: str) -> None:
+        """Emit a branch to ``if_true``/``if_false`` on ``expr``'s truth."""
+        if isinstance(expr, ast.Num):
+            self.emit(ir.Jump(expr.line, if_true if expr.value else if_false))
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "!":
+            self.gen_cond(expr.operand, if_false, if_true)
+            return
+        if isinstance(expr, ast.Binary):
+            if expr.op == "&&":
+                mid = self.func.new_label("and")
+                self.gen_cond(expr.left, mid, if_false)
+                self.emit(ir.Label(expr.line, mid))
+                self.gen_cond(expr.right, if_true, if_false)
+                return
+            if expr.op == "||":
+                mid = self.func.new_label("or")
+                self.gen_cond(expr.left, if_true, mid)
+                self.emit(ir.Label(expr.line, mid))
+                self.gen_cond(expr.right, if_true, if_false)
+                return
+            if expr.op in ("==", "!="):
+                test = self._emit_cmp("cmpeq", expr)
+                if expr.op == "!=":
+                    if_true, if_false = if_false, if_true
+                self.emit(ir.CJump(expr.line, test, if_true, if_false))
+                return
+            if expr.op in self._COND_CMP:
+                op, swapped = self._COND_CMP[expr.op]
+                left, right = (
+                    (expr.right, expr.left) if swapped else (expr.left, expr.right)
+                )
+                a, __ = self.gen_expr(left)
+                b, __ = self.gen_expr(right)
+                test = self.func.new_vreg()
+                self.emit(ir.Bin(expr.line, op, test, a, b))
+                self.emit(ir.CJump(expr.line, test, if_true, if_false))
+                return
+        value, __ = self.gen_expr(expr)
+        self.emit(ir.CJump(expr.line, value, if_true, if_false))
+
+    def _emit_cmp(self, op: str, expr: ast.Binary) -> int:
+        a, __ = self.gen_expr(expr.left)
+        b, __ = self.gen_expr(expr.right)
+        dst = self.func.new_vreg()
+        self.emit(ir.Bin(expr.line, op, dst, a, b))
+        return dst
+
+    # -- expressions ----------------------------------------------------------
+
+    _BIN_MAP = {"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem"}
+
+    def gen_expr(self, expr: ast.Expr) -> tuple[int, str]:
+        """Lower one expression; returns ``(vreg, static_type)``."""
+        if isinstance(expr, ast.Num):
+            dst = self.func.new_vreg()
+            self.emit(ir.Const(expr.line, dst, expr.value))
+            return dst, WORD
+        if isinstance(expr, ast.Null):
+            dst = self.func.new_vreg()
+            self.emit(ir.Const(expr.line, dst, 0))
+            return dst, NULL_T
+        if isinstance(expr, ast.This):
+            if self.cls is None:
+                raise self.error("'this' outside a method", expr.line)
+            this = self._lookup_local("this")
+            dst = self.func.new_vreg()
+            self._touch(this)
+            self.emit(ir.LoadLocal(expr.line, dst, this))
+            return dst, self.cls.name
+        if isinstance(expr, ast.Str):
+            symbol = self.string_pool.get(expr.value)
+            if symbol is None:
+                symbol = f"$str{len(self.string_pool)}"
+                self.string_pool[expr.value] = symbol
+            dst = self.func.new_vreg()
+            self.emit(ir.AddrGlobal(expr.line, dst, symbol))
+            return dst, WORD
+        if isinstance(expr, ast.Var):
+            return self._gen_var_read(expr)
+        if isinstance(expr, ast.New):
+            return self._gen_new(expr)
+        if isinstance(expr, ast.NewArray):
+            return self._gen_new_array(expr)
+        if isinstance(expr, ast.FieldAccess):
+            obj, offset, ftype = self._gen_field_addr(expr)
+            dst = self.func.new_vreg()
+            self.emit(ir.Load(expr.line, dst, obj, offset))
+            return dst, ftype
+        if isinstance(expr, (ast.MethodCall, ast.Call)):
+            return self._gen_call_like(expr, want_result=True)
+        if isinstance(expr, ast.Index):
+            base, offset = self._gen_index_addr(expr)
+            dst = self.func.new_vreg()
+            self.emit(ir.Load(expr.line, dst, base, offset))
+            return dst, WORD
+        if isinstance(expr, ast.Unary):
+            src, __ = self.gen_expr(expr.operand)
+            dst = self.func.new_vreg()
+            op = {"-": "neg", "!": "lognot"}[expr.op]
+            self.emit(ir.Un(expr.line, op, dst, src))
+            return dst, WORD
+        if isinstance(expr, ast.Binary):
+            return self._gen_binary(expr)
+        if isinstance(expr, ast.Assign):
+            return self._gen_assign(expr)
+        raise self.error(
+            f"unhandled expression {type(expr).__name__}", expr.line
+        )
+
+    def _gen_var_read(self, expr: ast.Var) -> tuple[int, str]:
+        name = expr.name
+        local = self._lookup_local(name)
+        dst = self.func.new_vreg()
+        if local is not None:
+            if self.func.locals[local].is_array:
+                self.emit(ir.AddrLocal(expr.line, dst, local))
+            else:
+                self._touch(local)
+                self.emit(ir.LoadLocal(expr.line, dst, local))
+            return dst, self.local_types[local]
+        if self.cls is not None and name in self.cls.field_index:
+            # A bare field name inside a method reads through 'this'.
+            index, ftype = self.cls.field_index[name]
+            this = self._lookup_local("this")
+            base = self.func.new_vreg()
+            self._touch(this)
+            self.emit(ir.LoadLocal(expr.line, base, this))
+            self.emit(ir.Load(expr.line, dst, base, 8 * (1 + index)))
+            return dst, ftype
+        info = self.syms.globals.get(name)
+        if info is not None:
+            addr = self.func.new_vreg()
+            self.emit(ir.AddrGlobal(expr.line, addr, name))
+            if info.array_size is not None:
+                return addr, WORD
+            self.emit(ir.Load(expr.line, dst, addr, 0))
+            return dst, info.type
+        raise self.error(f"undeclared name {name!r}", expr.line)
+
+    def _gen_new(self, expr: ast.New) -> tuple[int, str]:
+        cls = self.syms.classes.get(expr.class_name)
+        if cls is None:
+            raise self.error(f"unknown class {expr.class_name!r}", expr.line)
+        size = self.func.new_vreg()
+        self.emit(ir.Const(expr.line, size, cls.nwords))
+        obj = self.func.new_vreg()
+        self.emit(ir.Call(expr.line, obj, "heap_alloc", [size]))
+        vtable = self.func.new_vreg()
+        self.emit(ir.AddrGlobal(expr.line, vtable, cls.vtable_symbol))
+        self.emit(ir.Store(expr.line, vtable, obj, 0))
+        if cls.fields:
+            zero = self.func.new_vreg()
+            self.emit(ir.Const(expr.line, zero, 0))
+            for index in range(len(cls.fields)):
+                self.emit(ir.Store(expr.line, zero, obj, 8 * (1 + index)))
+        return obj, cls.name
+
+    def _gen_new_array(self, expr: ast.NewArray) -> tuple[int, str]:
+        nwords, __ = self.gen_expr(expr.size)
+        base = self.func.new_vreg()
+        self.emit(ir.Call(expr.line, base, "heap_alloc", [nwords]))
+        zero = self.func.new_vreg()
+        self.emit(ir.Const(expr.line, zero, 0))
+        self.emit(ir.Call(expr.line, None, "memset64", [base, zero, nwords]))
+        return base, WORD
+
+    def _gen_field_addr(
+        self, expr: ast.FieldAccess
+    ) -> tuple[int, int, str]:
+        """Return (object_vreg, byte_offset, field_type) for ``e.f``."""
+        obj, otype = self.gen_expr(expr.obj)
+        cls = self._class_of(otype, expr.line, "field access")
+        entry = cls.field_index.get(expr.name)
+        if entry is None:
+            raise self.error(
+                f"class {cls.name!r} has no field {expr.name!r}", expr.line
+            )
+        index, ftype = entry
+        return obj, 8 * (1 + index), ftype
+
+    def _gen_binary(self, expr: ast.Binary) -> tuple[int, str]:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._materialize_cond(expr), WORD
+        if op in ("==", "!="):
+            test = self._emit_cmp("cmpeq", expr)
+            if op == "==":
+                return test, WORD
+            dst = self.func.new_vreg()
+            self.emit(ir.Un(expr.line, "lognot", dst, test))
+            return dst, WORD
+        if op in self._COND_CMP:
+            cmp_op, swapped = self._COND_CMP[op]
+            left, right = (
+                (expr.right, expr.left) if swapped else (expr.left, expr.right)
+            )
+            a, __ = self.gen_expr(left)
+            b, __ = self.gen_expr(right)
+            dst = self.func.new_vreg()
+            self.emit(ir.Bin(expr.line, cmp_op, dst, a, b))
+            return dst, WORD
+        a, __ = self.gen_expr(expr.left)
+        b, __ = self.gen_expr(expr.right)
+        dst = self.func.new_vreg()
+        self.emit(ir.Bin(expr.line, self._BIN_MAP[op], dst, a, b))
+        return dst, WORD
+
+    def _materialize_cond(self, expr: ast.Expr) -> int:
+        dst = self.func.new_vreg()
+        true_label = self.func.new_label("ctrue")
+        false_label = self.func.new_label("cfalse")
+        end_label = self.func.new_label("cend")
+        self.gen_cond(expr, true_label, false_label)
+        self.emit(ir.Label(expr.line, true_label))
+        self.emit(ir.Const(expr.line, dst, 1))
+        self.emit(ir.Jump(expr.line, end_label))
+        self.emit(ir.Label(expr.line, false_label))
+        self.emit(ir.Const(expr.line, dst, 0))
+        self.emit(ir.Label(expr.line, end_label))
+        return dst
+
+    # -- lvalues, assignment --------------------------------------------------
+
+    def _gen_index_addr(self, expr: ast.Index) -> tuple[int, int]:
+        """Return (base_vreg, byte_offset) for ``base[index]``."""
+        base, __ = self.gen_expr(expr.base)
+        if isinstance(expr.index, ast.Num) and -4096 <= expr.index.value < 4096:
+            return base, 8 * expr.index.value
+        index, __ = self.gen_expr(expr.index)
+        addr = self.func.new_vreg()
+        self.emit(ir.Bin(expr.line, "s8add", addr, index, base))
+        return addr, 0
+
+    def _gen_assign(self, expr: ast.Assign) -> tuple[int, str]:
+        target = expr.target
+        line = expr.line
+
+        if isinstance(target, ast.Var):
+            name = target.name
+            local = self._lookup_local(name)
+            if local is not None:
+                if self.func.locals[local].is_array:
+                    raise self.error("cannot assign to an array", line)
+                value, vtype = self.gen_expr(expr.value)
+                self._touch(local)
+                self.emit(ir.StoreLocal(line, local, value))
+                return value, vtype
+            if self.cls is not None and name in self.cls.field_index:
+                index, ftype = self.cls.field_index[name]
+                this = self._lookup_local("this")
+                base = self.func.new_vreg()
+                self._touch(this)
+                self.emit(ir.LoadLocal(line, base, this))
+                value, __ = self.gen_expr(expr.value)
+                self.emit(ir.Store(line, value, base, 8 * (1 + index)))
+                return value, ftype
+            info = self.syms.globals.get(name)
+            if info is None:
+                raise self.error(f"cannot assign to {name!r}", line)
+            if info.array_size is not None:
+                raise self.error("cannot assign to an array", line)
+            addr = self.func.new_vreg()
+            self.emit(ir.AddrGlobal(line, addr, name))
+            value, __ = self.gen_expr(expr.value)
+            self.emit(ir.Store(line, value, addr, 0))
+            return value, info.type
+
+        if isinstance(target, ast.FieldAccess):
+            obj, offset, ftype = self._gen_field_addr(target)
+            value, __ = self.gen_expr(expr.value)
+            self.emit(ir.Store(line, value, obj, offset))
+            return value, ftype
+
+        if isinstance(target, ast.Index):
+            base, offset = self._gen_index_addr(target)
+            value, __ = self.gen_expr(expr.value)
+            self.emit(ir.Store(line, value, base, offset))
+            return value, WORD
+
+        raise self.error("not an assignable expression", line)
+
+    # -- calls ----------------------------------------------------------------
+
+    def _gen_call_like(
+        self, expr: ast.Call | ast.MethodCall, want_result: bool
+    ) -> tuple[int, str]:
+        if isinstance(expr, ast.MethodCall):
+            return self._gen_method_call(expr, want_result)
+        return self._gen_direct_call(expr, want_result)
+
+    def _gen_method_call(
+        self, expr: ast.MethodCall, want_result: bool
+    ) -> tuple[int, str]:
+        line = expr.line
+        obj, otype = self.gen_expr(expr.obj)
+        cls = self._class_of(otype, line, "method call")
+        slot = cls.slot_index.get(expr.name)
+        if slot is None:
+            raise self.error(
+                f"class {cls.name!r} has no method {expr.name!r}", line
+            )
+        sig = cls.slots[slot]
+        if len(expr.args) != sig.nparams:
+            raise self.error(
+                f"method {expr.name!r} takes {sig.nparams} arguments,"
+                f" {len(expr.args)} given",
+                line,
+            )
+        # Load the vtable pointer from word 0, then the slot: two data
+        # loads per virtual call — the dispatch cost the paper's model
+        # cannot remove, unlike the GAT load feeding 'new'.
+        vtable = self.func.new_vreg()
+        self.emit(ir.Load(line, vtable, obj, 0))
+        target = self.func.new_vreg()
+        self.emit(ir.Load(line, target, vtable, 8 * slot))
+        args = [obj] + [self.gen_expr(arg)[0] for arg in expr.args]
+        dst = self.func.new_vreg() if want_result else None
+        self.emit(ir.CallPtr(line, dst, target, args))
+        ret = sig.ret if sig.ret not in ("void",) else WORD
+        return (dst if dst is not None else -1), ret
+
+    def _gen_direct_call(
+        self, expr: ast.Call, want_result: bool
+    ) -> tuple[int, str]:
+        line = expr.line
+        name = expr.name
+        if name in BUILTINS:
+            return self._gen_builtin(name, expr)
+        if self.cls is not None and name in self.cls.slot_index:
+            # A bare method name inside a method dispatches on 'this'.
+            call = ast.MethodCall(line, ast.This(line), name, expr.args)
+            return self._gen_method_call(call, want_result)
+        sig = self.syms.functions.get(name)
+        if sig is None:
+            raise self.error(f"call to undeclared function {name!r}", line)
+        if len(expr.args) != sig.nparams:
+            raise self.error(
+                f"{name!r} takes {sig.nparams} arguments,"
+                f" {len(expr.args)} given",
+                line,
+            )
+        args = [self.gen_expr(arg)[0] for arg in expr.args]
+        dst = self.func.new_vreg() if want_result else None
+        self.emit(ir.Call(line, dst, name, args))
+        ret = sig.ret if sig.ret not in ("void",) else WORD
+        return (dst if dst is not None else -1), ret
+
+    def _gen_builtin(self, name: str, expr: ast.Call) -> tuple[int, str]:
+        kind = BUILTINS[name]
+        want_arg = kind in ("putint", "putchar")
+        if want_arg != bool(expr.args) or len(expr.args) > 1:
+            raise self.error(f"wrong arguments for builtin {name}", expr.line)
+        arg = self.gen_expr(expr.args[0])[0] if expr.args else None
+        dst = self.func.new_vreg() if kind == "getticks" else None
+        self.emit(ir.Pal(expr.line, kind, dst, arg))
+        return (dst if dst is not None else -1), WORD
+
+
+def lower_program(
+    program: ast.Program, syms: ProgramSyms | None = None
+) -> ir.IRModule:
+    """Lower a parsed program to IR (running semantic analysis if needed)."""
+    syms = syms or analyze(program)
+    out = ir.IRModule(program.name)
+
+    for name, info in syms.globals.items():
+        out.global_sizes[name] = 8 * (info.array_size or 1)
+    for cls in syms.classes.values():
+        out.global_sizes[cls.vtable_symbol] = 8 * max(len(cls.slots), 1)
+
+    for name, info in syms.globals.items():
+        if not info.defined:
+            continue
+        size = 8 * (info.array_size or 1)
+        out.globals.append(
+            ir.IRGlobal(
+                name, size, info.array_size is not None, info.init,
+                not info.static,
+            )
+        )
+
+    string_pool: dict[str, str] = {}
+    seen_classes: set[str] = set()
+    for decl in program.classes:
+        if decl.is_extern or decl.name in seen_classes:
+            continue
+        seen_classes.add(decl.name)
+        cls = syms.classes[decl.name]
+        for method in decl.methods:
+            assert method.body is not None  # parser enforces for definitions
+            params = [("this", cls.name)] + list(method.params)
+            out.functions.append(
+                FuncLowerer(
+                    syms,
+                    cls.method_symbol(method.name),
+                    params,
+                    method.ret,
+                    method.body,
+                    method.line,
+                    program.name,
+                    string_pool,
+                    cls=cls,
+                ).lower()
+            )
+        # The vtable: one code-address slot per method, in slot order.
+        # A methodless class still gets one zero word so the symbol has
+        # extent.
+        slots: list[int | str] = [
+            f"{slot.impl}.{slot.name}" for slot in cls.slots
+        ] or [0]
+        out.globals.append(
+            ir.IRGlobal(
+                cls.vtable_symbol, 8 * len(slots), True, slots, exported=True
+            )
+        )
+
+    for func in program.functions:
+        out.functions.append(
+            FuncLowerer(
+                syms,
+                func.name,
+                func.params,
+                func.ret,
+                func.body,
+                func.line,
+                program.name,
+                string_pool,
+                exported=not func.static,
+            ).lower()
+        )
+
+    for text, symbol in string_pool.items():
+        words = [ord(ch) for ch in text] + [0]
+        out.globals.append(
+            ir.IRGlobal(symbol, 8 * len(words), True, words, exported=False)
+        )
+        out.global_sizes[symbol] = 8 * len(words)
+    return out

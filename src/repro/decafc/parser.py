@@ -1,0 +1,413 @@
+"""Decaf recursive-descent parser.
+
+Grammar sketch::
+
+    program   := (class | extern-class | global | func | proto)*
+    class     := ["extern"] "class" ident ["extends" ident] "{" member* "}"
+    member    := type ident ";"                         -- field
+               | type ident "(" params ")" block        -- method
+               | type ident "(" params ")" ";"          -- method proto
+    type      := "int" | "void" | ident                 -- ident names a class
+
+Everything is one 64-bit word at runtime; the class types exist so the
+compiler can resolve field offsets and vtable slots statically, exactly
+the information dynamic dispatch needs and nothing more.
+"""
+
+from __future__ import annotations
+
+from repro.decafc import astnodes as ast
+from repro.decafc.lexer import Token, tokenize
+from repro.minicc.errors import CompileError
+
+#: Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+
+
+class Parser:
+    """Parses one Decaf translation unit into an :class:`ast.Program`."""
+
+    def __init__(self, source: str, filename: str = "<input>"):
+        self.filename = filename
+        self.tokens: list[Token] = tokenize(source, filename)
+        self.pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    @property
+    def tok(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, ahead: int = 1) -> Token:
+        index = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        if self.tok.kind != kind:
+            raise self.error(f"expected {kind!r}, found {self.tok.value!r}")
+        return self.advance()
+
+    def accept(self, kind: str) -> bool:
+        if self.tok.kind == kind:
+            self.advance()
+            return True
+        return False
+
+    def error(self, message: str) -> CompileError:
+        return CompileError(message, self.filename, self.tok.line)
+
+    # -- top level ----------------------------------------------------------
+
+    def parse_program(self, name: str) -> ast.Program:
+        program = ast.Program(name)
+        while self.tok.kind != "eof":
+            self._parse_top_decl(program)
+        return program
+
+    def _parse_type(self, allow_void: bool = False) -> str:
+        if self.accept("int"):
+            return "int"
+        if self.tok.kind == "void":
+            if not allow_void:
+                raise self.error("'void' is only a return type")
+            self.advance()
+            return "void"
+        if self.tok.kind == "ident":
+            return str(self.advance().value)
+        raise self.error(f"expected type, found {self.tok.value!r}")
+
+    def _parse_top_decl(self, program: ast.Program) -> None:
+        line = self.tok.line
+        is_extern = self.accept("extern")
+        if self.tok.kind == "class":
+            program.classes.append(self._parse_class(is_extern, line))
+            return
+        is_static = self.accept("static")
+        ret = self._parse_type(allow_void=True)
+        name = str(self.expect("ident").value)
+
+        if self.tok.kind == "(":
+            params = self._parse_params()
+            if self.accept(";"):
+                program.protos.append(ast.FuncProto(name, params, ret, line))
+                return
+            if is_extern:
+                raise self.error("extern function declaration needs ';'")
+            body = self._parse_block()
+            program.functions.append(
+                ast.FuncDef(name, params, ret, body, is_static, line)
+            )
+            return
+
+        if ret == "void":
+            raise self.error("variables cannot be 'void'")
+        array_size = None
+        if self.accept("["):
+            array_size = int(self.expect("num").value)
+            self.expect("]")
+            if array_size <= 0:
+                raise CompileError(
+                    "array size must be positive", self.filename, line
+                )
+        init = None
+        if self.accept("="):
+            if is_extern:
+                raise self.error("extern variable cannot have an initializer")
+            init = self._parse_const_init()
+        self.expect(";")
+        program.globals.append(
+            ast.GlobalVar(name, ret, array_size, init, is_static, is_extern, line)
+        )
+
+    def _parse_const_init(self) -> list[int]:
+        if self.accept("{"):
+            values = [self._parse_const_expr()]
+            while self.accept(","):
+                if self.tok.kind == "}":
+                    break
+                values.append(self._parse_const_expr())
+            self.expect("}")
+            return values
+        return [self._parse_const_expr()]
+
+    def _parse_const_expr(self) -> int:
+        negative = self.accept("-")
+        value = int(self.expect("num").value)
+        return -value if negative else value
+
+    # -- classes ------------------------------------------------------------
+
+    def _parse_class(self, is_extern: bool, line: int) -> ast.ClassDecl:
+        self.expect("class")
+        name = str(self.expect("ident").value)
+        base = None
+        if self.accept("extends"):
+            base = str(self.expect("ident").value)
+        self.expect("{")
+        fields: list[ast.FieldDecl] = []
+        methods: list[ast.MethodDecl] = []
+        while not self.accept("}"):
+            if self.tok.kind == "eof":
+                raise self.error("unterminated class body")
+            member_line = self.tok.line
+            mtype = self._parse_type(allow_void=True)
+            member = str(self.expect("ident").value)
+            if self.tok.kind == "(":
+                params = self._parse_params()
+                if self.accept(";"):
+                    if not is_extern:
+                        raise self.error(
+                            f"method {member!r} needs a body"
+                        )
+                    methods.append(
+                        ast.MethodDecl(member, params, mtype, None, member_line)
+                    )
+                    continue
+                if is_extern:
+                    raise self.error(
+                        f"extern class method {member!r} must be a prototype"
+                    )
+                body = self._parse_block()
+                methods.append(
+                    ast.MethodDecl(member, params, mtype, body, member_line)
+                )
+                continue
+            if mtype == "void":
+                raise self.error("fields cannot be 'void'")
+            self.expect(";")
+            fields.append(ast.FieldDecl(member, mtype, member_line))
+        return ast.ClassDecl(name, base, fields, methods, is_extern, line)
+
+    def _parse_params(self) -> list[tuple[str, str]]:
+        self.expect("(")
+        params: list[tuple[str, str]] = []
+        if self.accept(")"):
+            return params
+        if self.tok.kind == "void" and self.peek().kind == ")":
+            self.advance()
+            self.expect(")")
+            return params
+        while True:
+            ptype = self._parse_type()
+            pname = str(self.expect("ident").value)
+            params.append((pname, ptype))
+            if not self.accept(","):
+                break
+        self.expect(")")
+        if len(params) > 5:
+            # 'this' consumes one of the six argument registers, so
+            # methods (and for uniformity all Decaf callables) take at
+            # most five declared parameters.
+            raise self.error("Decaf callables take at most 5 parameters")
+        return params
+
+    # -- statements ----------------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        line = self.tok.line
+        self.expect("{")
+        body: list[ast.Stmt] = []
+        while not self.accept("}"):
+            if self.tok.kind == "eof":
+                raise self.error("unterminated block")
+            body.append(self._parse_stmt())
+        return ast.Block(line, body)
+
+    def _is_decl_start(self) -> bool:
+        if self.tok.kind == "int":
+            return True
+        # "Ident ident" opens a class-typed declaration; a lone ident
+        # starts an expression statement.
+        return self.tok.kind == "ident" and self.peek().kind == "ident"
+
+    def _parse_stmt(self) -> ast.Stmt:
+        line = self.tok.line
+        kind = self.tok.kind
+        if kind == "{":
+            return self._parse_block()
+        if kind == ";":
+            self.advance()
+            return ast.Block(line, [])
+        if self._is_decl_start():
+            dtype = self._parse_type()
+            name = str(self.expect("ident").value)
+            array_size = None
+            init = None
+            if self.accept("["):
+                if dtype != "int":
+                    raise self.error("only 'int' arrays are supported")
+                array_size = int(self.expect("num").value)
+                self.expect("]")
+            elif self.accept("="):
+                init = self._parse_expr()
+            self.expect(";")
+            return ast.LocalDecl(line, name, dtype, array_size, init)
+        if kind == "if":
+            self.advance()
+            self.expect("(")
+            cond = self._parse_expr()
+            self.expect(")")
+            then = self._parse_stmt()
+            other = self._parse_stmt() if self.accept("else") else None
+            return ast.If(line, cond, then, other)
+        if kind == "while":
+            self.advance()
+            self.expect("(")
+            cond = self._parse_expr()
+            self.expect(")")
+            return ast.While(line, cond, self._parse_stmt())
+        if kind == "for":
+            self.advance()
+            self.expect("(")
+            init = None if self.tok.kind == ";" else self._parse_expr()
+            self.expect(";")
+            cond = None if self.tok.kind == ";" else self._parse_expr()
+            self.expect(";")
+            step = None if self.tok.kind == ")" else self._parse_expr()
+            self.expect(")")
+            return ast.For(line, init, cond, step, self._parse_stmt())
+        if kind == "return":
+            self.advance()
+            value = None if self.tok.kind == ";" else self._parse_expr()
+            self.expect(";")
+            return ast.Return(line, value)
+        if kind == "break":
+            self.advance()
+            self.expect(";")
+            return ast.Break(line)
+        if kind == "continue":
+            self.advance()
+            self.expect(";")
+            return ast.Continue(line)
+        expr = self._parse_expr()
+        self.expect(";")
+        return ast.ExprStmt(line, expr)
+
+    # -- expressions ----------------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> ast.Expr:
+        left = self._parse_binary(1)
+        if self.tok.kind == "=":
+            line = self.tok.line
+            self.advance()
+            value = self._parse_assignment()
+            return ast.Assign(line, left, value)
+        return left
+
+    def _parse_binary(self, min_prec: int) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            prec = _PRECEDENCE.get(self.tok.kind, 0)
+            if prec < min_prec:
+                return left
+            op = self.tok.kind
+            line = self.tok.line
+            self.advance()
+            right = self._parse_binary(prec + 1)
+            left = ast.Binary(line, op, left, right)
+
+    def _parse_unary(self) -> ast.Expr:
+        line = self.tok.line
+        if self.tok.kind in ("-", "!"):
+            op = self.tok.kind
+            self.advance()
+            return ast.Unary(line, op, self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            line = self.tok.line
+            if self.accept("["):
+                index = self._parse_expr()
+                self.expect("]")
+                expr = ast.Index(line, expr, index)
+            elif self.accept("."):
+                member = str(self.expect("ident").value)
+                if self.tok.kind == "(":
+                    args = self._parse_args()
+                    expr = ast.MethodCall(line, expr, member, args)
+                else:
+                    expr = ast.FieldAccess(line, expr, member)
+            else:
+                return expr
+
+    def _parse_args(self) -> list[ast.Expr]:
+        self.expect("(")
+        args: list[ast.Expr] = []
+        if self.accept(")"):
+            return args
+        while True:
+            args.append(self._parse_expr())
+            if not self.accept(","):
+                break
+        self.expect(")")
+        if len(args) > 5:
+            raise self.error("Decaf calls take at most 5 arguments")
+        return args
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.tok
+        if token.kind == "num":
+            self.advance()
+            return ast.Num(token.line, int(token.value))
+        if token.kind == "str":
+            self.advance()
+            return ast.Str(token.line, str(token.value))
+        if token.kind == "null":
+            self.advance()
+            return ast.Null(token.line)
+        if token.kind == "this":
+            self.advance()
+            return ast.This(token.line)
+        if token.kind == "new":
+            self.advance()
+            if self.accept("int"):
+                self.expect("[")
+                size = self._parse_expr()
+                self.expect("]")
+                return ast.NewArray(token.line, size)
+            name = str(self.expect("ident").value)
+            self.expect("(")
+            self.expect(")")
+            return ast.New(token.line, name)
+        if token.kind == "ident":
+            self.advance()
+            if self.tok.kind == "(":
+                args = self._parse_args()
+                return ast.Call(token.line, str(token.value), args)
+            return ast.Var(token.line, str(token.value))
+        if token.kind == "(":
+            self.advance()
+            expr = self._parse_expr()
+            self.expect(")")
+            return expr
+        raise self.error(f"unexpected token {token.value!r}")
+
+
+def parse(source: str, name: str, filename: str | None = None) -> ast.Program:
+    """Parse Decaf source text into a program AST."""
+    return Parser(source, filename or name).parse_program(name)

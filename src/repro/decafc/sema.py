@@ -1,0 +1,398 @@
+"""Decaf semantic analysis: class table, layout, and vtable assignment.
+
+Resolves the inheritance hierarchy and fixes the two runtime layouts
+everything downstream depends on:
+
+* **object layout** — word 0 is the vtable pointer, inherited fields
+  first, each field one 8-byte word (``field i`` at byte ``8*(1+i)``);
+* **vtable layout** — the base class's slots first, an override
+  replacing its slot in place, new methods appended.  A subclass
+  vtable is therefore a compatible extension of its base's, which is
+  what makes dispatch through a base-typed reference sound.
+
+An ``extern class`` declaration imports a class's shape (the Decaf
+analog of a C header): layout and slots are computed identically, but
+no code or vtable is emitted — the defining module exports the
+``Class.$vtable`` data symbol and the ``Class.method`` procedures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.decafc import astnodes as ast
+from repro.minicc.errors import CompileError
+
+#: Decaf builtin calls, lowered straight to PAL operations.
+BUILTINS = {"print": "putint", "printc": "putchar", "ticks": "getticks"}
+
+#: Runtime helpers ``new`` lowers to; provided by the stdlib (libmc).
+#: Injected as extern prototypes into every unit, so a unit that also
+#: declares them trips the usual arity check instead of colliding.
+RUNTIME_PROTOS = {"heap_alloc": 1, "memset64": 3}
+
+#: The word type; class types are spelled by name.
+WORD = "int"
+
+
+@dataclass
+class MethodSlot:
+    """One vtable slot: the method and the class whose code fills it."""
+
+    name: str
+    nparams: int  # declared parameters, excluding 'this'
+    ret: str
+    impl: str  # class providing the implementation
+    line: int
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    base: str | None
+    defined: bool  # False for extern (shape-only) declarations
+    line: int
+    fields: list[tuple[str, str]] = field(default_factory=list)
+    field_index: dict[str, tuple[int, str]] = field(default_factory=dict)
+    slots: list[MethodSlot] = field(default_factory=list)
+    slot_index: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def nwords(self) -> int:
+        """Instance size in words: vtable pointer plus the fields."""
+        return 1 + len(self.fields)
+
+    @property
+    def vtable_symbol(self) -> str:
+        return f"{self.name}.$vtable"
+
+    def method_symbol(self, method: str) -> str:
+        return f"{self.name}.{method}"
+
+
+@dataclass
+class FuncSig:
+    name: str
+    nparams: int
+    ret: str = WORD
+    defined: bool = False
+    static: bool = False
+
+
+@dataclass
+class GlobalInfo:
+    name: str
+    type: str = WORD
+    array_size: int | None = None
+    init: list[int] | None = None
+    static: bool = False
+    defined: bool = False
+
+
+@dataclass
+class ProgramSyms:
+    """Name environment of one Decaf translation unit."""
+
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    functions: dict[str, FuncSig] = field(default_factory=dict)
+    globals: dict[str, GlobalInfo] = field(default_factory=dict)
+
+    def is_class_type(self, name: str) -> bool:
+        return name in self.classes
+
+
+def _shape_of(decl: ast.ClassDecl):
+    return (
+        decl.base,
+        tuple((f.name, f.type) for f in decl.fields),
+        tuple((m.name, len(m.params), m.ret) for m in decl.methods),
+    )
+
+
+def analyze(program: ast.Program) -> ProgramSyms:
+    """Build and validate the unit's symbol tables."""
+    syms = ProgramSyms()
+    filename = program.name
+
+    # Collapse class declarations: an extern shape import and the
+    # definition may coexist (and must agree); two definitions clash.
+    decls: dict[str, ast.ClassDecl] = {}
+    for decl in program.classes:
+        existing = decls.get(decl.name)
+        if existing is None:
+            decls[decl.name] = decl
+            continue
+        if not existing.is_extern and not decl.is_extern:
+            raise CompileError(
+                f"duplicate definition of class {decl.name!r}", filename, decl.line
+            )
+        if _shape_of(existing) != _shape_of(decl):
+            raise CompileError(
+                f"conflicting declarations of class {decl.name!r}",
+                filename,
+                decl.line,
+            )
+        if existing.is_extern and not decl.is_extern:
+            decls[decl.name] = decl
+
+    resolving: set[str] = set()
+
+    def resolve(name: str, at_line: int) -> ClassInfo:
+        info = syms.classes.get(name)
+        if info is not None:
+            return info
+        decl = decls.get(name)
+        if decl is None:
+            raise CompileError(f"unknown base class {name!r}", filename, at_line)
+        if name in resolving:
+            raise CompileError(
+                f"inheritance cycle through class {name!r}", filename, decl.line
+            )
+        resolving.add(name)
+        base = resolve(decl.base, decl.line) if decl.base else None
+        resolving.discard(name)
+        info = _layout_class(decl, base, decls, filename)
+        syms.classes[name] = info
+        return info
+
+    for decl in program.classes:
+        resolve(decl.name, decl.line)
+
+    for name, nparams in RUNTIME_PROTOS.items():
+        syms.functions[name] = FuncSig(name, nparams, WORD, defined=False)
+
+    for proto in program.protos:
+        _check_value_types(syms, proto.params, proto.ret, filename, proto.line)
+        _declare_function(
+            syms, proto.name, proto.params, proto.ret, False, False,
+            proto.line, filename,
+        )
+    for func in program.functions:
+        _check_value_types(syms, func.params, func.ret, filename, func.line)
+        _declare_function(
+            syms, func.name, func.params, func.ret, True, func.static,
+            func.line, filename,
+        )
+
+    for var in program.globals:
+        _declare_global(syms, var, filename)
+
+    for name in BUILTINS:
+        if name in syms.functions or name in syms.globals or name in syms.classes:
+            raise CompileError(f"{name!r} is a reserved builtin", filename)
+    return syms
+
+
+def _layout_class(
+    decl: ast.ClassDecl,
+    base: ClassInfo | None,
+    decls: dict[str, ast.ClassDecl],
+    filename: str,
+) -> ClassInfo:
+    info = ClassInfo(decl.name, decl.base, not decl.is_extern, decl.line)
+    if base is not None:
+        info.fields = list(base.fields)
+        info.field_index = dict(base.field_index)
+        info.slots = list(base.slots)
+        info.slot_index = dict(base.slot_index)
+
+    own_fields: set[str] = set()
+    for fdecl in decl.fields:
+        if fdecl.type != WORD and fdecl.type not in decls:
+            raise CompileError(
+                f"unknown type {fdecl.type!r}", filename, fdecl.line
+            )
+        if fdecl.name in own_fields:
+            raise CompileError(
+                f"duplicate field {fdecl.name!r} in class {decl.name!r}",
+                filename,
+                fdecl.line,
+            )
+        if fdecl.name in info.field_index:
+            raise CompileError(
+                f"field {fdecl.name!r} shadows an inherited field",
+                filename,
+                fdecl.line,
+            )
+        own_fields.add(fdecl.name)
+        info.field_index[fdecl.name] = (len(info.fields), fdecl.type)
+        info.fields.append((fdecl.name, fdecl.type))
+
+    own_methods: set[str] = set()
+    for method in decl.methods:
+        for __, ptype in method.params:
+            if ptype != WORD and ptype not in decls:
+                raise CompileError(
+                    f"unknown type {ptype!r}", filename, method.line
+                )
+        if method.ret not in (WORD, "void") and method.ret not in decls:
+            raise CompileError(
+                f"unknown type {method.ret!r}", filename, method.line
+            )
+        if method.name in own_methods:
+            raise CompileError(
+                f"duplicate method {method.name!r} in class {decl.name!r}",
+                filename,
+                method.line,
+            )
+        if method.name in info.field_index:
+            raise CompileError(
+                f"{method.name!r} is both a field and a method",
+                filename,
+                method.line,
+            )
+        own_methods.add(method.name)
+        slot = info.slot_index.get(method.name)
+        if slot is not None:
+            inherited = info.slots[slot]
+            if inherited.nparams != len(method.params):
+                raise CompileError(
+                    f"override of {method.name!r} changes parameter count",
+                    filename,
+                    method.line,
+                )
+            info.slots[slot] = MethodSlot(
+                method.name, len(method.params), method.ret, decl.name,
+                method.line,
+            )
+        else:
+            info.slot_index[method.name] = len(info.slots)
+            info.slots.append(
+                MethodSlot(
+                    method.name, len(method.params), method.ret, decl.name,
+                    method.line,
+                )
+            )
+    for fname in own_fields:
+        if fname in info.slot_index:
+            raise CompileError(
+                f"{fname!r} is both a field and a method", filename, decl.line
+            )
+    return info
+
+
+def _check_value_types(
+    syms: ProgramSyms,
+    params: list[tuple[str, str]],
+    ret: str,
+    filename: str,
+    line: int,
+) -> None:
+    for __, ptype in params:
+        if ptype != WORD and ptype not in syms.classes:
+            raise CompileError(f"unknown type {ptype!r}", filename, line)
+    if ret not in (WORD, "void") and ret not in syms.classes:
+        raise CompileError(f"unknown type {ret!r}", filename, line)
+
+
+def _declare_function(
+    syms: ProgramSyms,
+    name: str,
+    params: list[tuple[str, str]],
+    ret: str,
+    defined: bool,
+    static: bool,
+    line: int,
+    filename: str,
+) -> None:
+    if name in syms.classes:
+        raise CompileError(
+            f"{name!r} declared as both class and function", filename, line
+        )
+    if name in syms.globals:
+        raise CompileError(
+            f"{name!r} declared as both variable and function", filename, line
+        )
+    existing = syms.functions.get(name)
+    if existing is None:
+        syms.functions[name] = FuncSig(name, len(params), ret, defined, static)
+        return
+    if existing.nparams != len(params):
+        raise CompileError(
+            f"conflicting parameter counts for {name!r}", filename, line
+        )
+    if existing.defined and defined:
+        raise CompileError(f"duplicate definition of {name!r}", filename, line)
+    existing.defined = existing.defined or defined
+    existing.static = existing.static or static
+    if defined:
+        existing.ret = ret
+
+
+def _declare_global(
+    syms: ProgramSyms, var: ast.GlobalVar, filename: str
+) -> None:
+    if var.name in syms.classes:
+        raise CompileError(
+            f"{var.name!r} declared as both class and variable",
+            filename,
+            var.line,
+        )
+    if var.name in syms.functions:
+        raise CompileError(
+            f"{var.name!r} declared as both variable and function",
+            filename,
+            var.line,
+        )
+    if var.type != WORD and var.type not in syms.classes:
+        raise CompileError(f"unknown type {var.type!r}", filename, var.line)
+    if var.array_size is not None and var.type != WORD:
+        raise CompileError(
+            "only 'int' arrays are supported", filename, var.line
+        )
+    existing = syms.globals.get(var.name)
+    defined = not var.extern
+    if existing is not None:
+        if existing.defined and defined:
+            raise CompileError(
+                f"duplicate definition of {var.name!r}", filename, var.line
+            )
+        if not existing.defined and defined:
+            existing.type = var.type
+            existing.array_size = var.array_size
+            existing.init = var.init
+            existing.static = var.static
+            existing.defined = True
+        return
+    if var.init is not None and var.array_size is not None:
+        if len(var.init) > var.array_size:
+            raise CompileError(
+                f"too many initializers for {var.name!r}", filename, var.line
+            )
+    syms.globals[var.name] = GlobalInfo(
+        var.name, var.type, var.array_size, var.init, var.static, defined
+    )
+
+
+def merge_programs(programs: list[ast.Program], name: str) -> ast.Program:
+    """Concatenate translation units for compile-all mode.
+
+    Extern shape imports collapse against the definition (checked for
+    agreement by :func:`analyze`); duplicate *definitions* are an
+    error, as they would be at link time.
+    """
+    merged = ast.Program(name)
+    seen_protos: set[str] = set()
+    seen_globals: dict[str, ast.GlobalVar] = {}
+    for program in programs:
+        merged.classes.extend(program.classes)
+        for proto in program.protos:
+            if proto.name not in seen_protos:
+                seen_protos.add(proto.name)
+                merged.protos.append(proto)
+        for var in program.globals:
+            existing = seen_globals.get(var.name)
+            if existing is None:
+                seen_globals[var.name] = var
+                merged.globals.append(var)
+            elif not existing.extern and not var.extern:
+                raise CompileError(
+                    f"duplicate definition of {var.name!r}", name, var.line
+                )
+            elif existing.extern and not var.extern:
+                index = merged.globals.index(existing)
+                merged.globals[index] = var
+                seen_globals[var.name] = var
+        merged.functions.extend(program.functions)
+    analyze(merged)  # validates cross-module consistency
+    return merged

@@ -296,7 +296,7 @@ def _wpo(argv) -> int:
     from repro.fuzz.generate import generate_scale_program
     from repro.linker import make_crt0
     from repro.linker.executable import dump_executable
-    from repro.minicc import compile_module
+    from repro.frontend import compile_sources
     from repro.objfile.archive import Archive
     from repro.objfile.serialize import dump_archive, load_archive
     from repro.om import OMLevel, OMOptions, om_link
@@ -307,11 +307,7 @@ def _wpo(argv) -> int:
 
     def compiled(program) -> bytes:
         return dump_archive(
-            [crt0]
-            + [
-                compile_module(text, name.replace(".mc", ".o"))
-                for name, text in program.modules
-            ]
+            [crt0] + compile_sources(list(program.modules), "each")
         )
 
     def timed_link(blob: bytes, options: OMOptions, use_cache: bool):
@@ -439,7 +435,19 @@ def _fuzz(argv) -> int:
                         help="per-cell simulator budget")
     parser.add_argument("--trace", type=str, default=None,
                         help="write a Chrome-trace timeline of the campaign")
+    parser.add_argument("--languages", type=str, default="minic",
+                        help="comma-separated frontend palette for fresh "
+                             "programs: minic, decaf, mixed")
     args = parser.parse_args(argv)
+
+    languages = tuple(
+        part.strip() for part in args.languages.split(",") if part.strip()
+    )
+    known = {"minic", "decaf", "mixed"}
+    if not languages or not set(languages) <= known:
+        parser.error(
+            f"--languages must name a subset of {sorted(known)}"
+        )
 
     from repro.fuzz import run_campaign
     from repro.fuzz.oracle import DEFAULT_MAX_INSTRUCTIONS
@@ -457,6 +465,7 @@ def _fuzz(argv) -> int:
         trace=trace,
         max_instructions=args.max_instructions or DEFAULT_MAX_INSTRUCTIONS,
         minimize=not args.no_minimize,
+        languages=languages,
         log=print,
     )
     print(stats.format())

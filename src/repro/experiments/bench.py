@@ -18,6 +18,11 @@ surfaces of the toolchain and writes a schema-versioned report:
 * **wpo** — the incremental-relink loop: warm-relink shard misses
   (deterministically zero), misses after a one-module edit, and
   relink-vs-full-link wall seconds;
+* **decaf** — the OO benchsuite programs (second frontend) under
+  ``ld``, ``om-full``, and ``om-full-wpo``: simulated cycles and
+  instructions per variant plus OM's address-load delta, with
+  cross-variant and interp-vs-JIT output identity enforced (any
+  divergence is a correctness failure, not a perf blip);
 * **machine** — interpreter-vs-JIT wall-clock on the plain-run
   (functional) path for every benchsuite program: min-of-N seconds per
   backend, per-program speedup, and the geomean (executed-instruction
@@ -47,6 +52,11 @@ BENCH_SCHEMA = "repro-bench/1"
 BUILD_PROGRAMS = ("eqntott", "compress")
 BUILD_VARIANTS = ("ld", "om-full")
 BUILD_SCALE = 1
+
+#: The Decaf (OO frontend) programs additionally run under the
+#: whole-program-partitioned linker, since vtable-rooted GC and
+#: cross-partition dispatch are exactly what that path must preserve.
+DECAF_VARIANTS = ("ld", "om-full", "om-full-wpo")
 
 #: Pinned serve workload (mirrors the serve-bench smoke defaults).
 SERVE_REQUESTS = 12
@@ -201,7 +211,7 @@ def bench_wpo() -> dict:
     from repro.cache import ArtifactCache
     from repro.fuzz.generate import generate_scale_program
     from repro.linker import make_crt0
-    from repro.minicc import compile_module
+    from repro.frontend import compile_sources
     from repro.objfile.archive import Archive
     from repro.objfile.serialize import dump_archive, load_archive
     from repro.om import OMLevel, OMOptions, om_link
@@ -211,11 +221,7 @@ def bench_wpo() -> dict:
 
     def compiled(program) -> bytes:
         return dump_archive(
-            [crt0]
-            + [
-                compile_module(text, name.replace(".mc", ".o"))
-                for name, text in program.modules
-            ]
+            [crt0] + compile_sources(list(program.modules), "each")
         )
 
     def timed_link(blob: bytes, options: OMOptions, cache):
@@ -246,6 +252,51 @@ def bench_wpo() -> dict:
     metrics["wpo.warm_misses"] = warm.wpo.misses
     metrics["wpo.edit_misses"] = inc.wpo.misses
     metrics["wpo.shards"] = cold.wpo.shards
+    return metrics
+
+
+def bench_decaf() -> dict:
+    """Decaf-frontend matrix: cost and OM metrics for the OO programs.
+
+    Every program runs under all three linkers and both machine
+    backends; outputs must be bit-identical across the whole cell
+    block, so a vtable miscompile trips the gate directly.
+    """
+    from repro.benchsuite.suite import DECAF_PROGRAMS
+    from repro.experiments import build
+    from repro.machine import machine_for
+    from repro.machine.jit import clear_jit_cache
+
+    build.configure_cache(None)
+    build.clear_caches()
+    metrics: dict[str, float] = {}
+    for program in DECAF_PROGRAMS:
+        outputs = set()
+        for variant in DECAF_VARIANTS:
+            exe = build.link_variant(program, "each", variant, BUILD_SCALE)
+            run = build.run_variant(program, "each", variant, BUILD_SCALE)
+            metrics[f"decaf.{program}.{variant}.cycles"] = run.cycles
+            metrics[f"decaf.{program}.{variant}.instructions"] = (
+                run.instructions
+            )
+            outputs.add(run.output)
+            clear_jit_cache()
+            jit = machine_for(exe, backend="jit").run(timed=False)
+            if jit.output != run.output:
+                raise AssertionError(
+                    f"{program}/{variant}: jit output diverges from interp"
+                )
+        if len(outputs) != 1:
+            raise AssertionError(
+                f"{program}: outputs diverge across {DECAF_VARIANTS}"
+            )
+        om = build.variant_stats(program, "each", "om-full", BUILD_SCALE)
+        metrics[f"decaf.{program}.addr_loads_before"] = (
+            om.stats.before.addr_loads
+        )
+        metrics[f"decaf.{program}.addr_loads_after"] = (
+            om.stats.after.addr_loads
+        )
     return metrics
 
 
@@ -302,6 +353,7 @@ _COMPONENTS = {
     "serve": bench_serve,
     "serve.fleet": bench_serve_fleet,
     "wpo": bench_wpo,
+    "decaf": bench_decaf,
     "machine": bench_machine,
 }
 
@@ -324,6 +376,7 @@ def run_suite(components=None, *, log=print) -> dict:
         "config": {
             "build_programs": list(BUILD_PROGRAMS),
             "build_scale": BUILD_SCALE,
+            "decaf_variants": list(DECAF_VARIANTS),
             "serve_requests": SERVE_REQUESTS,
             "serve_concurrency": SERVE_CONCURRENCY,
             "fleet_size": FLEET_SIZE,

@@ -1,0 +1,98 @@
+"""Frontend protocol: language dispatch over source text → ObjectFile.
+
+Every frontend implements the same two-call protocol —
+``compile_module(text, name, options) -> ObjectFile`` for compile-each
+and ``compile_all(sources, unit_name, options) -> ObjectFile`` for
+compile-all — over the shared :class:`~repro.minicc.driver.Options`.
+This module is the single seam that picks a frontend: by source
+extension (``.mc`` → MiniC, ``.dcf`` → Decaf) or by an explicit
+language override (the toolchain's ``--lang``).
+
+:func:`compile_sources` is what the toolchain CLI, the fuzz oracle,
+the serve compile worker, and the benchsuite all dispatch through.  In
+compile-all mode, sources are grouped *per language* into one unit
+each (in first-appearance order): frontends share the IR, not the AST,
+so cross-language merging happens where it always did — at link time.
+"""
+
+from __future__ import annotations
+
+from repro.minicc.driver import Options
+from repro.objfile.objfile import ObjectFile
+
+#: Source-extension → language registry.
+EXTENSIONS = {".mc": "minic", ".dcf": "decaf"}
+
+#: Registered language names, dispatch order for mixed units.
+LANGUAGES = ("minic", "decaf")
+
+#: The language assumed for unknown extensions (and plain stdin text).
+DEFAULT_LANGUAGE = "minic"
+
+
+def frontend_for(language: str):
+    """The frontend module implementing ``language``'s protocol."""
+    if language == "minic":
+        from repro import minicc
+
+        return minicc
+    if language == "decaf":
+        from repro import decafc
+
+        return decafc
+    raise ValueError(
+        f"unknown language {language!r} (choose from {', '.join(LANGUAGES)})"
+    )
+
+
+def language_for(filename: str, default: str = DEFAULT_LANGUAGE) -> str:
+    """The language a file name selects, by extension."""
+    name = str(filename)
+    dot = name.rfind(".")
+    if dot >= 0:
+        language = EXTENSIONS.get(name[dot:])
+        if language is not None:
+            return language
+    return default
+
+
+def object_name(filename: str) -> str:
+    """The object-module name for a source file (``x.dcf`` → ``x.o``)."""
+    stem = str(filename).rsplit(".", 1)[0]
+    return f"{stem}.o"
+
+
+def compile_sources(
+    sources: list[tuple[str, str]],
+    mode: str = "each",
+    options: Options | None = None,
+    language: str | None = None,
+) -> list[ObjectFile]:
+    """Compile ``(name, text)`` pairs, dispatching per-file by language.
+
+    ``mode="each"`` yields one object per source; ``mode="all"`` yields
+    one compile-all unit per language present (named ``all.o`` when the
+    program is single-language, ``all-<lang>.o`` per group otherwise).
+    ``language`` forces every source through one frontend regardless of
+    extension.
+    """
+    if mode not in ("each", "all"):
+        raise ValueError(f"unknown mode {mode!r}")
+    options = options or Options()
+    if mode == "each":
+        return [
+            frontend_for(
+                language or language_for(name)
+            ).compile_module(text, object_name(name), options)
+            for name, text in sources
+        ]
+    groups: dict[str, list[tuple[str, str]]] = {}
+    for name, text in sources:
+        lang = language or language_for(name)
+        frontend_for(lang)  # validate the name before grouping
+        groups.setdefault(lang, []).append((name, text))
+    objects = []
+    for lang, group in groups.items():
+        unit = "all.o" if len(groups) == 1 else f"all-{lang}.o"
+        objects.append(frontend_for(lang).compile_all(group, unit, options))
+    return objects

@@ -138,6 +138,7 @@ def run_campaign(
     trace: TraceLog | None = None,
     max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
     minimize: bool = True,
+    languages: tuple[str, ...] = ("minic",),
     log=None,
 ) -> CampaignStats:
     """Run a deterministic fuzz campaign; returns its statistics.
@@ -146,7 +147,10 @@ def run_campaign(
     (seconds), at the first wave boundary past the budget.  ``jobs > 1``
     fans evaluation across processes but requires a disk ``cache`` (the
     workers share artifacts through it); without one it falls back to
-    inline execution.
+    inline execution.  ``languages`` is the frontend palette fresh
+    configs draw from (``minic``, ``decaf``, ``mixed``); mutation keeps
+    a corpus seed's language, so cross-language campaigns still breed
+    within each frontend's feature space.
     """
     global _WORKER_CACHE
     say = log or (lambda message: None)
@@ -168,8 +172,8 @@ def run_campaign(
             parent = rng.choices(pool, weights=weights)[0]
             return rng.randrange(1 << 32), parent[1].mutated(rng)
         if stats.iterations == 0 and not pool:
-            return rng.randrange(1 << 32), GenConfig()
-        return rng.randrange(1 << 32), random_config(rng)
+            return rng.randrange(1 << 32), GenConfig(language=languages[0])
+        return rng.randrange(1 << 32), random_config(rng, languages)
 
     def fold(result: dict) -> None:
         stats.iterations += 1

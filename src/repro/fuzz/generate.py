@@ -147,6 +147,12 @@ class GenConfig:
     while_loops: bool = True  # fuel-guarded while loops
     big_commons: bool = False  # commons straddling the GAT window
     dead_procs: bool = True  # never-called helpers (GC fodder)
+    #: Which frontend(s) the program exercises: "minic" (the historical
+    #: default — old corpus metadata deserializes to it), "decaf", or
+    #: "mixed" (a Decaf program whose last module is a MiniC kernel
+    #: unit, linked cross-language).  Mutation never flips language, so
+    #: a corpus seed's descendants stay in its frontend's feature space.
+    language: str = "minic"
 
     def mutated(self, rng: random.Random) -> GenConfig:
         """A neighbor in the feature space: one knob nudged."""
@@ -175,9 +181,16 @@ class GenConfig:
         return dataclasses.replace(self, **{knob: not getattr(self, knob)})
 
 
-def random_config(rng: random.Random) -> GenConfig:
-    """A fresh feature mix (used when no corpus seed is being mutated)."""
-    return GenConfig(
+def random_config(
+    rng: random.Random, languages: tuple[str, ...] = ("minic",)
+) -> GenConfig:
+    """A fresh feature mix (used when no corpus seed is being mutated).
+
+    ``languages`` is the campaign's frontend palette; the language draw
+    only consumes randomness when there is an actual choice, so
+    single-language campaigns keep the historical rng stream.
+    """
+    config = GenConfig(
         modules=rng.randint(2, 4),
         stmts=rng.randint(3, 9),
         helpers=rng.randint(1, 3),
@@ -189,6 +202,11 @@ def random_config(rng: random.Random) -> GenConfig:
         big_commons=rng.random() < 0.5,
         dead_procs=rng.random() < 0.7,
     )
+    if len(languages) > 1:
+        return dataclasses.replace(config, language=rng.choice(list(languages)))
+    if languages[0] != "minic":
+        return dataclasses.replace(config, language=languages[0])
+    return config
 
 
 @dataclass(frozen=True)
@@ -555,8 +573,559 @@ class RichProgramGen:
         return GeneratedProgram(self.seed, self.config, tuple(modules))
 
 
+# -- the Decaf generator -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Class:
+    """One planned Decaf class: its home module and exact shape.
+
+    ``own_methods`` is the declaration-order member list of the
+    *definition*; extern shape imports in other modules must mirror it
+    verbatim (sema compares shapes structurally), so the plan is the
+    single source of truth for both spellings.
+    """
+
+    name: str
+    base: str | None
+    module: int
+    fields: tuple[str, ...]
+    own_methods: tuple[tuple[str, int, int], ...]  # (name, slot, nparams)
+
+
+class RichDecafGen:
+    """Grammar-based Decaf generator: hierarchies, overrides, dispatch.
+
+    The OO counterpart of :class:`RichProgramGen`.  Each program plans a
+    single-inheritance class chain whose definitions are spread across
+    modules (so subclassing itself crosses translation units via
+    ``extern class`` shape imports), overrides inherited vtable slots,
+    and drives every call through dynamic dispatch — the
+    function-pointer-dense shape that stresses OM's conservative
+    address-calculation analysis hardest.
+
+    Termination is structural rather than fueled: ``for`` loops use
+    constant bounds and reserved counters the statement generator never
+    assigns, and the callable graph is a DAG by construction — a vtable
+    slot's implementation (any override of it) may only invoke slots
+    strictly below its own, top-level helpers only call methods and
+    strictly earlier helpers, kernels are leaves, and ``main`` sits on
+    top.  Dispatch can pick any override of a slot at runtime, but every
+    override obeys the same slot bound, so no cycle exists.
+
+    With ``config.language == "mixed"`` the last module is a MiniC
+    kernel unit: Decaf code calls MiniC kernels through extern
+    prototypes and both sides read and write each other's globals, so
+    the GAT, lituse relaxation, and WPO partitioning all see one
+    address space built by two frontends.
+    """
+
+    def __init__(self, seed: int, config: GenConfig | None = None):
+        self.seed = seed
+        self.config = config or GenConfig(language="decaf")
+        self.rng = random.Random(seed)
+        self.mixed = self.config.language == "mixed"
+
+    # -- planning -------------------------------------------------------------
+
+    def _plan(self) -> None:
+        rng, cfg = self.rng, self.config
+        nmods = max(2, min(int(cfg.modules), 4))
+        self.nmods = nmods
+        # In mixed mode the last module slot is the MiniC kernel unit.
+        self.ndecaf = nmods - 1 if self.mixed else nmods
+
+        depth = rng.randint(2, 3)
+        base_methods = rng.randint(2, 3)
+        self.slot_sigs: list[int] = [
+            rng.randint(1, 2) for __ in range(base_methods + depth - 1)
+        ]
+
+        self.classes: list[_Class] = []
+        for k in range(depth):
+            if self.ndecaf > 1:
+                home = 1 + (k % (self.ndecaf - 1))
+            else:
+                home = 0
+            fields = tuple(
+                f"f{k}_{i}" for i in range(rng.randint(1, 2))
+            )
+            if k == 0:
+                own = tuple(
+                    (f"m{j}", j, self.slot_sigs[j]) for j in range(base_methods)
+                )
+            else:
+                # One override of an existing slot plus one new slot.
+                nslots = base_methods + k - 1
+                over = rng.randrange(nslots)
+                over_name = f"m{over}" if over < base_methods else f"n{over - base_methods + 1}"
+                new_slot = base_methods + k - 1
+                own = (
+                    (over_name, over, self.slot_sigs[over]),
+                    (f"n{k}", new_slot, self.slot_sigs[new_slot]),
+                )
+            self.classes.append(
+                _Class(f"C{k}", f"C{k - 1}" if k else None, home, fields, own)
+            )
+        self.nslots = base_methods + depth - 1
+
+        #: All fields visible on an instance of class k (inherited first).
+        self.all_fields: list[tuple[str, ...]] = []
+        inherited: tuple[str, ...] = ()
+        for cls in self.classes:
+            inherited = inherited + cls.fields
+            self.all_fields.append(inherited)
+
+        #: Slot names in slot order (override keeps the original name).
+        self.slot_names = [f"m{j}" for j in range(base_methods)] + [
+            f"n{k}" for k in range(1, depth)
+        ]
+
+        self.globals: list[_Global] = []
+        for m in range(self.ndecaf):
+            self.globals.append(_Global(f"dg{m}_0", m, None, None))
+            self.globals.append(_Global(f"dg{m}_1", m, None, rng.randint(-60, 60)))
+            self.globals.append(_Global(f"da{m}_0", m, rng.choice([8, 16]), None))
+        if cfg.big_commons:
+            home = self.ndecaf - 1
+            straddle = rng.randint(
+                GAT_WINDOW_BYTES // WORD - 6, GAT_WINDOW_BYTES // WORD + 6
+            )
+            self.globals.append(_Global(f"dbig{home}_0", home, straddle, None))
+            self.globals.append(
+                _Global(f"dbig{home}_1", home, rng.randint(256, 1024), None)
+            )
+        if self.mixed:
+            # Defined on the Decaf side, read and written by the kernels.
+            self.globals.append(_Global("dsh_0", 0, None, rng.randint(1, 40)))
+
+        self.helpers: list[_Helper] = []
+        order = 0
+        for m in range(1, self.ndecaf):
+            for j in range(max(1, int(cfg.helpers))):
+                self.helpers.append(_Helper(f"dh{m}_{j}", m, "expr", order))
+                order += 1
+        if cfg.dead_procs and self.ndecaf > 0:
+            m = rng.randrange(self.ndecaf)
+            self.helpers.append(_Helper(f"ddead{m}_0", m, "dead", order))
+
+        self.kernels = ["kq0", "kq1"] if self.mixed else []
+        self.scalars = [g for g in self.globals if g.size is None]
+        self.arrays = [g for g in self.globals if g.size is not None]
+        self.callable = [h for h in self.helpers if h.kind != "dead"]
+
+    def _class_of(self, name: str) -> _Class:
+        return self.classes[int(name[1:])]
+
+    # -- expressions ----------------------------------------------------------
+
+    def _safe_index(self, size: int, ctx: dict, depth: int) -> str:
+        rng = self.rng
+        if rng.random() < 0.5:
+            return str(rng.randint(0, size - 1))
+        # Decaf has no bitwise mask; fold into range the portable way.
+        return f"(((({self._expr(ctx, depth + 1)}) % {size}) + {size}) % {size})"
+
+    def _array_read(self, g: _Global, ctx: dict, depth: int) -> str:
+        return f"{g.name}[{self._safe_index(g.size, ctx, depth)}]"
+
+    def _mix_scalars(self) -> list[str]:
+        return ["mixg_0", "mixg_1"] if self.mixed else []
+
+    def _leaf(self, ctx: dict, depth: int) -> str:
+        rng = self.rng
+        choices = [
+            lambda: str(rng.randint(-100, 100)),
+            lambda: str(rng.randint(-(2**40), 2**40)),
+            lambda: rng.choice(
+                [g.name for g in self.scalars] + self._mix_scalars()
+            ),
+        ]
+        if ctx["locals"]:
+            choices.append(lambda: rng.choice(ctx["locals"]))
+        if ctx["fields"]:
+            choices.append(lambda: rng.choice(ctx["fields"]))
+        if self.arrays:
+            choices.append(
+                lambda: self._array_read(rng.choice(self.arrays), ctx, depth)
+            )
+        return rng.choice(choices)()
+
+    def _method_call(
+        self, receiver: str, slot: int, ctx: dict, depth: int
+    ) -> str:
+        args = ", ".join(
+            self._expr(ctx, depth + 1) for __ in range(self.slot_sigs[slot])
+        )
+        name = self.slot_names[slot]
+        return f"{receiver}.{name}({args})" if receiver else f"{name}({args})"
+
+    def _call(self, ctx: dict, depth: int) -> str | None:
+        """A DAG-respecting call, or None when nothing is callable here."""
+        rng = self.rng
+        options = []
+        if self.kernels:
+            options.append(
+                lambda: f"{rng.choice(self.kernels)}"
+                f"({self._expr(ctx, depth + 1)}, {self._expr(ctx, depth + 1)})"
+            )
+        max_slot = ctx["max_slot"]
+        if ctx["this_slots"] and max_slot > 0:
+            options.append(
+                lambda: self._method_call(
+                    rng.choice(["this", ""]), rng.randrange(max_slot), ctx, depth
+                )
+            )
+        for obj, cls_name in ctx["objs"]:
+            nslots = len(self._visible_slots(cls_name))
+            callable_slots = min(nslots, max_slot)
+            if callable_slots > 0:
+                options.append(
+                    lambda o=obj, n=callable_slots: self._method_call(
+                        o, rng.randrange(n), ctx, depth
+                    )
+                )
+        helpers = [h for h in self.callable if h.order < ctx["max_order"]]
+        if helpers:
+            options.append(
+                lambda: f"{rng.choice(helpers).name}"
+                f"({self._expr(ctx, depth + 1)}, {self._expr(ctx, depth + 1)})"
+            )
+        if not options:
+            return None
+        return rng.choice(options)()
+
+    def _visible_slots(self, cls_name: str) -> list[str]:
+        k = int(cls_name[1:])
+        return self.slot_names[: len(self.slot_sigs) - (len(self.classes) - 1 - k)]
+
+    def _expr(self, ctx: dict, depth: int = 0) -> str:
+        rng = self.rng
+        if depth >= self.config.max_depth + 1 or rng.random() < 0.3:
+            return self._leaf(ctx, depth)
+        roll = rng.random()
+        if roll < 0.08:
+            return f"(({self._expr(ctx, depth + 1)}) / {rng.choice([3, 5, 7])})"
+        if roll < 0.16:
+            return f"(({self._expr(ctx, depth + 1)}) % {rng.choice([9, 13, 17])})"
+        if roll < 0.24:
+            op = rng.choice(["-", "!"])
+            return f"({op}({self._expr(ctx, depth + 1)}))"
+        if roll < 0.44:
+            call = self._call(ctx, depth)
+            if call is not None:
+                return call
+        op = rng.choice(["+", "-", "*", "<", "<=", "==", "!=", ">", ">="])
+        return f"(({self._expr(ctx, depth + 1)}) {op} ({self._expr(ctx, depth + 1)}))"
+
+    # -- statements -----------------------------------------------------------
+
+    def _assign_target(self, ctx: dict) -> str:
+        rng = self.rng
+        pool = [g.name for g in self.scalars] + self._mix_scalars()
+        pool += [v for v in ctx["locals"] if v not in _COUNTERS]
+        pool += list(ctx["fields"])
+        for obj, cls_name in ctx["objs"]:
+            k = int(cls_name[1:])
+            pool += [f"{obj}.{f}" for f in self.all_fields[k]]
+        target = rng.choice(pool + [None])
+        if target is not None:
+            return target
+        g = rng.choice(self.arrays)
+        return f"{g.name}[{self._safe_index(g.size, ctx, 1)}]"
+
+    def _stmt(self, ctx: dict, depth: int = 0) -> str:
+        rng, cfg = self.rng, self.config
+        roll = rng.random()
+        if roll < 0.3:
+            target = self._assign_target(ctx)
+            if rng.random() < 0.4:
+                return f"{target} = ({target} + ({self._expr(ctx)}));"
+            return f"{target} = {self._expr(ctx)};"
+        if roll < 0.42 and ctx["putint"]:
+            return f"print({self._expr(ctx)});"
+        if roll < 0.54:
+            call = self._call(ctx, 0)
+            if call is not None:
+                acc = ctx["acc"]
+                return f"{acc} = ({acc} * 3 + {call});"
+        if roll < 0.7 and depth < cfg.max_depth:
+            body = " ".join(
+                self._stmt(ctx, depth + 1) for __ in range(rng.randint(1, 2))
+            )
+            other = (
+                f" else {{ {self._stmt(ctx, depth + 1)} }}"
+                if rng.random() < 0.5
+                else ""
+            )
+            return f"if ({self._expr(ctx)}) {{ {body} }}{other}"
+        if roll < 0.85 and depth < min(cfg.max_depth, len(_COUNTERS)):
+            var = _COUNTERS[depth]
+            bound = rng.randint(1, 6)
+            body = " ".join(
+                self._stmt(ctx, depth + 1) for __ in range(rng.randint(1, 2))
+            )
+            return (
+                f"for ({var} = 0; {var} < {bound}; {var} = {var} + 1) "
+                f"{{ {body} }}"
+            )
+        return f"{ctx['acc']} = ({ctx['acc']} + ({self._expr(ctx)}));"
+
+    def _counter_decls(self) -> list[str]:
+        return [f"int {var} = 0;" for var in _COUNTERS]
+
+    # -- bodies ---------------------------------------------------------------
+
+    def _method_lines(self, cls: _Class, name: str, slot: int) -> list[str]:
+        rng = self.rng
+        k = int(cls.name[1:])
+        params = [chr(ord("a") + i) for i in range(self.slot_sigs[slot])]
+        ctx = {
+            "locals": ["r"] + params,
+            "fields": list(self.all_fields[k]),
+            "objs": [],
+            "acc": "r",
+            "max_slot": slot,
+            "this_slots": True,
+            "max_order": 0,  # methods never call helpers (DAG discipline)
+            "putint": False,
+        }
+        sig = ", ".join(f"int {p}" for p in params)
+        lines = [f"    int {name}({sig}) {{", "        int r = 0;"]
+        lines += [f"        {d}" for d in self._counter_decls()]
+        for __ in range(rng.randint(1, 2)):
+            lines.append(f"        {self._stmt(ctx)}")
+        lines.append(f"        return (r + ({self._expr(ctx)}));")
+        lines.append("    }")
+        return lines
+
+    def _helper_lines(self, helper: _Helper) -> list[str]:
+        rng = self.rng
+        # Helpers build an object and drive it through dispatch; the
+        # receiver's dynamic class is a generator-time choice, so the
+        # same helper source always dispatches the same way — but OM
+        # cannot know that, which is the point.
+        cls = rng.choice(self.classes)
+        ctx = {
+            "locals": ["r", "a", "b"],
+            "fields": [],
+            "objs": [("o", cls.name)],
+            "acc": "r",
+            "max_slot": self.nslots,
+            "this_slots": False,
+            "max_order": helper.order,
+            "putint": False,
+        }
+        k = int(cls.name[1:])
+        lines = [
+            f"int {helper.name}(int a, int b) {{",
+            "    int r = 0;",
+            f"    {cls.name} o = new {cls.name}();",
+            f"    o.{self.all_fields[k][0]} = a;",
+        ]
+        lines += [f"    {d}" for d in self._counter_decls()]
+        for __ in range(rng.randint(1, 2)):
+            lines.append(f"    {self._stmt(ctx)}")
+        lines.append(f"    return (r + ({self._expr(ctx)}));")
+        lines.append("}")
+        return lines
+
+    def _main_lines(self) -> list[str]:
+        rng, cfg = self.rng, self.config
+        # Object roster: one exactly-typed instance per class, plus one
+        # base-typed reference to the most-derived class — the dispatch
+        # site a vtable exists for.
+        objs = []
+        decls = []
+        for k, cls in enumerate(self.classes):
+            objs.append((f"o{k}", cls.name))
+            decls.append(f"    {cls.name} o{k} = new {cls.name}();")
+        top = self.classes[-1].name
+        objs.append(("ob", "C0"))
+        decls.append(f"    C0 ob = new {top}();")
+        ctx = {
+            "locals": ["x", "y", "t"],
+            "fields": [],
+            "objs": objs,
+            "acc": "t",
+            "max_slot": self.nslots,
+            "this_slots": False,
+            "max_order": len(self.helpers) + 1,
+            "putint": True,
+        }
+        lines = [
+            "int main() {",
+            f"    int x = {rng.randint(-10, 10)};",
+            f"    int y = {rng.randint(1, 20)};",
+            "    int t = 0;",
+        ]
+        lines += [f"    {d}" for d in self._counter_decls()]
+        lines += decls
+        for k, cls in enumerate(self.classes):
+            field = self.all_fields[k][-1]
+            lines.append(f"    o{k}.{field} = {rng.randint(-9, 9)};")
+        for __ in range(max(1, int(cfg.stmts))):
+            lines.append(f"    {self._stmt(ctx)}")
+        # The dump: every observable, one line per statement so the
+        # reducer can drop irrelevant observations.  The base-typed
+        # reference's slots all resolve through the derived vtable, so
+        # the dump itself witnesses override resolution.
+        for g in self.scalars:
+            lines.append(f"    print({g.name});")
+        for name in self._mix_scalars():
+            lines.append(f"    print({name});")
+        for g in self.arrays:
+            lines.append(
+                f"    for (i = 0; i < {g.size}; i = i + 1) "
+                f"{{ t = (t + ({g.name}[i] + (i + 1))); }} print(t);"
+            )
+        for obj, cls_name in objs:
+            k = int(cls_name[1:])
+            for field in self.all_fields[k]:
+                lines.append(f"    print({obj}.{field});")
+            for slot, name in enumerate(self._visible_slots(cls_name)):
+                args = ", ".join(
+                    str(rng.randint(-5, 5)) for __ in range(self.slot_sigs[slot])
+                )
+                lines.append(f"    print({obj}.{name}({args}));")
+        lines.append("    print(x);")
+        lines.append("    print(y);")
+        lines.append("    print(t);")
+        lines.append("    return 0;")
+        lines.append("}")
+        return lines
+
+    def _kernel_lines(self) -> list[str]:
+        """The MiniC kernel unit: leaf functions, bit ops, shared globals."""
+        rng = self.rng
+        lines = [f"/* fuzz seed={self.seed} module=kern (MiniC) */"]
+        lines.append("extern int dsh_0;")
+        lines.append(f"int mixg_0 = {rng.randint(-40, 40)};")
+        lines.append("int mixg_1;")
+        lines.append("")
+        lines.append("int kq0(int a, int b) {")
+        lines.append("    mixg_1 = mixg_1 + 1;")
+        lines.append(
+            f"    return ((a ^ {rng.randint(1, 99)}) + (b << {rng.randint(1, 4)}))"
+            f" - (dsh_0 & {rng.randint(1, 31)});"
+        )
+        lines.append("}")
+        lines.append("")
+        lines.append("int kq1(int a, int b) {")
+        lines.append("    int r;")
+        lines.append("    int i;")
+        lines.append("    r = mixg_0;")
+        lines.append(
+            f"    for (i = 0; i < {rng.randint(2, 6)}; i++) "
+            f"{{ r = (r ^ (a + i)) + (b >> 1); }}"
+        )
+        lines.append("    return r;")
+        lines.append("}")
+        return lines
+
+    # -- assembly -------------------------------------------------------------
+
+    def _class_decl_lines(self, cls: _Class, extern: bool) -> list[str]:
+        head = "extern class" if extern else "class"
+        extends = f" extends {cls.base}" if cls.base else ""
+        lines = [f"{head} {cls.name}{extends} {{"]
+        for field in cls.fields:
+            lines.append(f"    int {field};")
+        if extern:
+            for name, slot, nparams in cls.own_methods:
+                sig = ", ".join(
+                    f"int {chr(ord('a') + i)}" for i in range(nparams)
+                )
+                lines.append(f"    int {name}({sig});")
+        else:
+            for name, slot, __ in cls.own_methods:
+                lines.append("")
+                lines += self._method_lines(cls, name, slot)
+        lines.append("}")
+        return lines
+
+    def _extern_lines(self, module: int) -> list[str]:
+        lines = []
+        for g in self.globals:
+            if g.module == module:
+                continue
+            if g.size is None:
+                lines.append(f"extern int {g.name};")
+            else:
+                lines.append(f"extern int {g.name}[{g.size}];")
+        for h in self.helpers:
+            if h.module == module or h.kind == "dead":
+                continue
+            lines.append(f"extern int {h.name}(int a, int b);")
+        for name in self._mix_scalars():
+            lines.append(f"extern int {name};")
+        for kernel in self.kernels:
+            lines.append(f"extern int {kernel}(int a, int b);")
+        return lines
+
+    def _global_lines(self, module: int) -> list[str]:
+        lines = []
+        for g in self.globals:
+            if g.module != module:
+                continue
+            if g.size is not None:
+                lines.append(f"int {g.name}[{g.size}];")
+            elif g.init is None:
+                lines.append(f"int {g.name};")
+            else:
+                lines.append(f"int {g.name} = {g.init};")
+        return lines
+
+    def generate(self) -> GeneratedProgram:
+        self._plan()
+        # Fixed generation order (methods by class and slot, helpers,
+        # main, kernels) keeps the program a pure function of
+        # (seed, config); module assembly below draws no randomness.
+        class_lines: dict[str, list[str]] = {}
+        for cls in self.classes:
+            class_lines[cls.name] = self._class_decl_lines(cls, extern=False)
+        helper_lines: dict[str, list[str]] = {}
+        for helper in self.helpers:
+            helper_lines[helper.name] = self._helper_lines(helper)
+        main_lines = self._main_lines()
+        kernel_lines = self._kernel_lines() if self.mixed else None
+
+        modules: list[tuple[str, str]] = []
+        for m in range(self.ndecaf):
+            lines = [f"/* fuzz seed={self.seed} module=d{m} (Decaf) */"]
+            lines += self._extern_lines(m)
+            # The whole chain, base first: a class is defined in its
+            # home module and shape-imported everywhere else, so every
+            # module can name every class (and subclassing crosses
+            # translation units).
+            for cls in self.classes:
+                lines.append("")
+                if cls.module == m:
+                    lines += class_lines[cls.name]
+                else:
+                    lines += self._class_decl_lines(cls, extern=True)
+            lines.append("")
+            lines += self._global_lines(m)
+            for helper in self.helpers:
+                if helper.module == m:
+                    lines.append("")
+                    lines += helper_lines[helper.name]
+            if m == 0:
+                lines.append("")
+                lines += main_lines
+            modules.append((f"d{m}.dcf", "\n".join(lines) + "\n"))
+        if kernel_lines is not None:
+            modules.append(("kern.mc", "\n".join(kernel_lines) + "\n"))
+        return GeneratedProgram(self.seed, self.config, tuple(modules))
+
+
 def generate_program(seed: int, config: GenConfig | None = None) -> GeneratedProgram:
     """One deterministic program from (seed, config)."""
+    config = config or GenConfig()
+    if config.language in ("decaf", "mixed"):
+        return RichDecafGen(seed, config).generate()
+    if config.language != "minic":
+        raise ValueError(f"unknown generator language {config.language!r}")
     return RichProgramGen(seed, config).generate()
 
 

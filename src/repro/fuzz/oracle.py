@@ -155,19 +155,16 @@ class OracleReport:
 
 
 def _compile_objects(program: GeneratedProgram, mode: str):
-    from repro.minicc import compile_all, compile_module
+    # Dispatch through the frontend protocol: module extensions pick
+    # the language (.mc MiniC, .dcf Decaf), so cross-language programs
+    # flow through every cell of the matrix unchanged.  Compile-all
+    # groups per language — one unit each — merged at link time.
+    from repro.frontend import compile_sources
 
     crt0, libmc = _toolchain()
-    if mode == "each":
-        objects = [crt0] + [
-            compile_module(text, name.replace(".mc", ".o"))
-            for name, text in program.modules
-        ]
-    else:
-        objects = [
-            crt0,
-            compile_all([(name, text) for name, text in program.modules], "all.o"),
-        ]
+    objects = [crt0] + compile_sources(
+        [(name, text) for name, text in program.modules], mode
+    )
     return objects, libmc
 
 

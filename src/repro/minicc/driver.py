@@ -112,7 +112,13 @@ def _emit_globals(asm: Assembler, irmod: ir.IRModule) -> None:
         if glob.init is not None:
             asm.data_symbol(glob.name, SectionKind.DATA, exported=glob.exported)
             for value in glob.init:
-                asm.data_quad(SectionKind.DATA, value)
+                if isinstance(value, str):
+                    # A code-address slot (vtable entry): a REFQUAD
+                    # against the named procedure, fixed up at link time
+                    # and tracked symbolically through OM.
+                    asm.data_quad(SectionKind.DATA, 0, symbol=value)
+                else:
+                    asm.data_quad(SectionKind.DATA, value)
             remaining = glob.size - 8 * len(glob.init)
             if remaining > 0:
                 asm.data_bytes(SectionKind.DATA, bytes(remaining))

@@ -230,12 +230,17 @@ class IRFunc:
 
 @dataclass
 class IRGlobal:
-    """A module-level variable after semantic analysis."""
+    """A module-level variable after semantic analysis.
+
+    ``init`` entries are quadword values; a ``str`` entry names a symbol
+    whose address fills that slot (emitted as a REFQUAD relocation —
+    how vtables carry method addresses through the linker and OM).
+    """
 
     name: str
     size: int = 8
     is_array: bool = False
-    init: list[int] | None = None
+    init: list[int | str] | None = None
     exported: bool = True
 
 

@@ -50,7 +50,7 @@ CACHE_KIND = "serve"
 
 #: Payload fields that participate in the content key, per op family.
 _CONTENT_FIELDS = (
-    "sources", "mode", "variant", "optimize", "schedule", "timed",
+    "sources", "mode", "lang", "variant", "optimize", "schedule", "timed",
     "max_instructions", "backend",
 )
 

@@ -29,9 +29,10 @@ import traceback
 from pathlib import Path
 
 from repro.benchsuite.suite import build_stdlib
+from repro.frontend import LANGUAGES, compile_sources
 from repro.linker import link, make_crt0
 from repro.machine import BACKENDS, ExecutionBudgetExceeded, run
-from repro.minicc import Options, compile_all, compile_module
+from repro.minicc import Options
 from repro.objfile.archive import Archive
 from repro.objfile.sections import SectionKind
 from repro.objfile.serialize import dump_archive, load_archive
@@ -144,14 +145,18 @@ def _compile_objects(payload: dict):
         raise JobError("bad-request", "no sources in payload")
     options = _options(payload)
     mode = payload.get("mode", "each")
-    if mode == "all":
-        return [compile_all(list(sources), "all.o", options)]
-    if mode != "each":
+    if mode not in ("each", "all"):
         raise JobError("bad-request", f"unknown mode {mode!r}")
-    return [
-        compile_module(text, name.rsplit(".", 1)[0] + ".o", options)
-        for name, text in sources
-    ]
+    # Frontend dispatch: per-source by extension (.mc/.dcf), or forced
+    # by an explicit "lang" in the payload.  Part of the content key
+    # either way, so identical requests still share cache entries.
+    language = payload.get("lang") or None
+    if language is not None and language not in LANGUAGES:
+        raise JobError(
+            "bad-request",
+            f"unknown lang {language!r} (choose from {', '.join(LANGUAGES)})",
+        )
+    return compile_sources(list(sources), mode, options, language=language)
 
 
 def _fresh_stdlib() -> Archive:

@@ -39,7 +39,13 @@ from pathlib import Path
 from repro.isa.disasm import disassemble
 from repro.linker import link, make_crt0
 from repro.machine import BACKENDS, run as machine_run
-from repro.minicc import Options, compile_all, compile_module
+from repro.frontend import (
+    LANGUAGES,
+    compile_sources,
+    frontend_for,
+    language_for,
+)
+from repro.minicc import Options
 from repro.objfile.archive import Archive
 from repro.objfile.fileio import (
     load_archive_file,
@@ -55,18 +61,31 @@ def _cc(args) -> int:
     options = Options(optimize=not args.O0, schedule=not args.no_sched)
     if args.all:
         sources = [(Path(p).name, Path(p).read_text()) for p in args.sources]
+        objects = compile_sources(sources, "all", options, language=args.lang)
+        if len(objects) > 1:
+            # A mixed-language compile-all yields one unit per
+            # language; -o names a single object, so require per-file
+            # invocations (each) and a plain link instead.
+            raise SystemExit(
+                "cc -all with mixed languages produces one unit per "
+                "language; compile each language separately"
+            )
         out = args.output or "all.o"
-        save_object(compile_all(sources, Path(out).name, options), out)
+        objects[0].name = Path(out).name
+        save_object(objects[0], out)
         print(out)
         return 0
+    if args.output and len(args.sources) > 1:
+        raise SystemExit("-o with multiple sources requires -all")
     for source in args.sources:
         path = Path(source)
         out = args.output or str(path.with_suffix(".o"))
-        obj = compile_module(path.read_text(), path.with_suffix(".o").name, options)
+        frontend = frontend_for(args.lang or language_for(path.name))
+        obj = frontend.compile_module(
+            path.read_text(), path.with_suffix(".o").name, options
+        )
         save_object(obj, out)
         print(out)
-        if args.output and len(args.sources) > 1:
-            raise SystemExit("-o with multiple sources requires -all")
     return 0
 
 
@@ -291,12 +310,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro.toolchain")
     sub = parser.add_subparsers(dest="tool", required=True)
 
-    cc = sub.add_parser("cc", help="compile MiniC sources")
+    cc = sub.add_parser(
+        "cc", help="compile MiniC (.mc) or Decaf (.dcf) sources"
+    )
     cc.add_argument("sources", nargs="+")
     cc.add_argument("-o", dest="output")
     cc.add_argument("-all", action="store_true", help="compile-all mode")
     cc.add_argument("-O0", action="store_true", help="disable optimization")
     cc.add_argument("-no-sched", action="store_true", help="disable scheduling")
+    cc.add_argument(
+        "--lang",
+        choices=LANGUAGES,
+        default=None,
+        help="force a frontend (default: dispatch by source extension)",
+    )
     cc.set_defaults(func=_cc)
 
     ar = sub.add_parser("ar", help="build a static archive")

@@ -1,0 +1,42 @@
+"""Property: OM's symbolic translation round-trips Decaf modules.
+
+The Decaf twin of ``test_symbolic_roundtrip_property.py``: modules full
+of vtable REFQUADs against procedure symbols, method code, and
+dispatch sequences must survive translate/reassemble byte-for-byte —
+including mixed-language programs, where MiniC and Decaf modules are
+translated side by side.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.decafc import Options
+from repro.decafc import compile_module as compile_decaf
+from repro.fuzz.generate import GenConfig, RichDecafGen, generate_program
+from repro.minicc import compile_module as compile_minic
+from tests.test_symbolic_roundtrip_property import assert_roundtrip
+
+
+def compile_modules(program, schedule):
+    options = Options(schedule=schedule)
+    objects = []
+    for name, text in program.modules:
+        front = compile_decaf if name.endswith(".dcf") else compile_minic
+        objects.append(front(text, name.rsplit(".", 1)[0] + ".o", options))
+    return objects
+
+
+@settings(max_examples=12)
+@given(seed=st.integers(0, 10_000), schedule=st.booleans())
+def test_random_decaf_modules_roundtrip(seed, schedule):
+    program = RichDecafGen(seed, GenConfig(language="decaf")).generate()
+    for obj in compile_modules(program, schedule):
+        assert_roundtrip(obj)
+
+
+@settings(max_examples=8)
+@given(seed=st.integers(0, 10_000))
+def test_random_mixed_modules_roundtrip(seed):
+    program = generate_program(seed, GenConfig(language="mixed"))
+    assert any(name.endswith(".mc") for name, __ in program.modules)
+    for obj in compile_modules(program, schedule=True):
+        assert_roundtrip(obj)

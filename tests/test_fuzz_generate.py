@@ -98,6 +98,84 @@ def test_legacy_programgen_reexported():
     assert "twist" in helper_src
 
 
+def test_decaf_generation_is_deterministic():
+    for seed in SEEDS:
+        config = GenConfig(language="decaf")
+        assert (
+            generate_program(seed, config).modules
+            == generate_program(seed, config).modules
+        )
+
+
+def test_decaf_program_shape():
+    program = generate_program(5, GenConfig(modules=3, language="decaf"))
+    assert len(program.modules) == 3
+    assert all(name.endswith(".dcf") for name, __ in program.modules)
+    text = "\n".join(program.sources)
+    assert "extern class" in text  # hierarchies cross translation units
+    assert "extends" in text
+    assert "new " in text
+
+
+def test_mixed_program_has_one_minic_kernel_unit():
+    program = generate_program(5, GenConfig(modules=3, language="mixed"))
+    assert len(program.modules) == 3
+    suffixes = [name.rsplit(".", 1)[1] for name, __ in program.modules]
+    assert suffixes.count("mc") == 1 and suffixes[-1] == "mc"
+    decaf_text = "\n".join(t for n, t in program.modules if n.endswith(".dcf"))
+    assert "extern int kq0(int a, int b);" in decaf_text
+    assert "extern int mixg_0;" in decaf_text
+
+
+def test_decaf_big_commons_straddle_gat_window():
+    program = generate_program(9, GenConfig(language="decaf", big_commons=True))
+    text = "\n".join(program.sources)
+    sizes = [
+        int(line.split("[")[1].split("]")[0]) * WORD
+        for line in text.splitlines()
+        if line.startswith("int dbig") and "[" in line
+    ]
+    # The straddler is planned within a few words of the boundary (on
+    # either side), so the sorted-placement cut lands inside the run.
+    assert sizes
+    assert any(abs(size - GAT_WINDOW_BYTES) <= 6 * WORD for size in sizes)
+
+
+@pytest.mark.parametrize("language", ["decaf", "mixed"])
+def test_decaf_programs_pass_the_whole_matrix(language):
+    """Cross-language oracle cells: all variants and backends agree."""
+    report = evaluate_program(generate_program(1, GenConfig(language=language)))
+    assert not report.diverged, report.summary()
+    assert len(report.cells) == len(MODES) * len(VARIANTS)
+    assert all(cell.halted for cell in report.cells.values())
+
+
+def test_language_survives_config_roundtrip():
+    config = GenConfig(language="mixed")
+    assert GenConfig(**dataclasses.asdict(config)).language == "mixed"
+    # Old corpus metadata (no language key) must deserialize to minic.
+    legacy = dataclasses.asdict(GenConfig())
+    del legacy["language"]
+    assert GenConfig(**legacy).language == "minic"
+
+
+def test_random_config_languages_palette():
+    rng = random.Random(3)
+    langs = {random_config(rng, ("minic", "decaf", "mixed")).language
+             for __ in range(40)}
+    assert langs == {"minic", "decaf", "mixed"}
+    assert random_config(rng).language == "minic"
+    assert random_config(rng, ("decaf",)).language == "decaf"
+
+
+def test_mutation_preserves_language():
+    rng = random.Random(0)
+    config = GenConfig(language="decaf")
+    for __ in range(30):
+        config = config.mutated(rng)
+        assert config.language == "decaf"
+
+
 def test_rich_generator_reserves_loop_counters():
     # i/j/k are for-loop counters; the statement generator must never
     # assign them or loops could be cut short or never terminate.

@@ -155,3 +155,74 @@ def test_om_gc_flag(workspace, capsys):
     capsys.readouterr()
     main(["run", str(workspace / "gc.exe")])
     assert capsys.readouterr().out == "42\n"
+
+
+DECAF_SRC = """
+extern int helper(int x);
+class Adder {
+    int bias;
+    int apply(int x) { return helper(x) + bias; }
+}
+int main() {
+    Adder a = new Adder();
+    a.bias = 2;
+    print(a.apply(20));
+    return 0;
+}
+"""
+
+
+def test_decaf_source_dispatches_by_extension(workspace, capsys):
+    (workspace / "dmain.dcf").write_text(DECAF_SRC)
+    main(["cc", str(workspace / "dmain.dcf")])
+    main(["cc", str(workspace / "helper.mc")])
+    main(
+        [
+            "om",
+            str(workspace / "dmain.o"),
+            str(workspace / "helper.o"),
+            "-o",
+            str(workspace / "d.exe"),
+            "-l",
+            str(workspace / "libmc.a"),
+        ]
+    )
+    capsys.readouterr()
+    main(["run", str(workspace / "d.exe")])
+    assert capsys.readouterr().out == "42\n"
+
+
+def test_lang_flag_overrides_extension(workspace, capsys):
+    # Decaf source under a .mc name compiles when --lang forces it.
+    (workspace / "forced.mc").write_text(DECAF_SRC)
+    main(["cc", "--lang", "decaf", str(workspace / "forced.mc")])
+    main(["cc", str(workspace / "helper.mc")])
+    main(
+        [
+            "ld",
+            str(workspace / "forced.o"),
+            str(workspace / "helper.o"),
+            "-o",
+            str(workspace / "f.exe"),
+            "-l",
+            str(workspace / "libmc.a"),
+        ]
+    )
+    capsys.readouterr()
+    main(["run", str(workspace / "f.exe")])
+    assert capsys.readouterr().out == "42\n"
+
+
+def test_mixed_language_compile_all_is_rejected(workspace):
+    (workspace / "dmain.dcf").write_text(DECAF_SRC)
+    with pytest.raises(SystemExit, match="mixed languages"):
+        main(
+            [
+                "cc",
+                "-all",
+                str(workspace / "dmain.dcf"),
+                str(workspace / "helper.mc"),
+                "-o",
+                str(workspace / "unit.o"),
+            ]
+        )
